@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench experiments examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# regenerate every table and figure of the paper's evaluation
+experiments:
+	dune exec bin/run_experiments.exe
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/deglobalization_demo.exe
+	dune exec examples/spmdization_demo.exe
+	dune exec examples/remarks_demo.exe
+	dune exec examples/custom_analysis.exe
+	dune exec examples/oom_demo.exe
+
+clean:
+	dune clean

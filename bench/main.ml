@@ -1,0 +1,104 @@
+(* Benchmark harness: one Bechamel test per table and figure of the paper's
+   evaluation, followed by the regeneration of every table at bench scale.
+
+     dune exec bench/main.exe            # bechamel timings + all tables
+     dune exec bench/main.exe -- tables  # tables only (faster)
+
+   The bechamel micro-benchmarks time the full pipeline (compile + optimize
+   + simulate) at tiny scale, so the numbers track the cost of regenerating
+   each artifact; the tables themselves are produced at bench scale, which
+   is where the paper's performance shapes hold. *)
+
+open Bechamel
+open Toolkit
+
+let machine = Gpusim.Machine.bench_machine
+let tiny = Proxyapps.App.Tiny
+
+let run_config app config () =
+  ignore (Harness.Runner.run ~machine ~scale:tiny (Proxyapps.Apps.find_exn app) config)
+
+(* one test per figure/table of the evaluation section *)
+let tests =
+  [
+    Test.make ~name:"fig9/opportunities"
+      (Staged.stage (fun () -> ignore (Harness.Tables.fig9 ~machine ~scale:tiny ())));
+    Test.make ~name:"fig10/xsbench" (Staged.stage (run_config "xsbench" Harness.Config.dev0));
+    Test.make ~name:"fig10/rsbench" (Staged.stage (run_config "rsbench" Harness.Config.dev0));
+    Test.make ~name:"fig10/su3bench" (Staged.stage (run_config "su3bench" Harness.Config.dev0));
+    Test.make ~name:"fig10/miniqmc" (Staged.stage (run_config "miniqmc" Harness.Config.dev0));
+    Test.make ~name:"fig11/xsbench"
+      (Staged.stage (fun () ->
+           ignore
+             (Harness.Tables.fig11 ~machine ~scale:tiny (Proxyapps.Apps.find_exn "xsbench"))));
+    Test.make ~name:"fig11/rsbench"
+      (Staged.stage (fun () ->
+           ignore
+             (Harness.Tables.fig11 ~machine ~scale:tiny (Proxyapps.Apps.find_exn "rsbench"))));
+    Test.make ~name:"fig11/su3bench"
+      (Staged.stage (fun () ->
+           ignore
+             (Harness.Tables.fig11 ~machine ~scale:tiny (Proxyapps.Apps.find_exn "su3bench"))));
+    Test.make ~name:"fig11/miniqmc"
+      (Staged.stage (fun () ->
+           ignore
+             (Harness.Tables.fig11 ~machine ~scale:tiny (Proxyapps.Apps.find_exn "miniqmc"))));
+    (* ablations called out in DESIGN.md *)
+    Test.make ~name:"ablation/guard-grouping"
+      (Staged.stage
+         (run_config "su3bench"
+            {
+              Harness.Config.label = "no-grouping";
+              build =
+                Harness.Config.dev
+                  {
+                    Openmpopt.Pass_manager.default_options with
+                    disable_guard_grouping = true;
+                  };
+            }));
+    Test.make ~name:"ablation/internalization"
+      (Staged.stage
+         (run_config "xsbench"
+            {
+              Harness.Config.label = "no-internalization";
+              build =
+                Harness.Config.dev
+                  {
+                    Openmpopt.Pass_manager.default_options with
+                    disable_internalization = true;
+                  };
+            }));
+  ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) () in
+  Fmt.pr "== Bechamel: time to regenerate each artifact (tiny scale) ==@.";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let result = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Fmt.pr "  %-28s %12.3f ms/run@." name (est /. 1e6)
+          | _ -> Fmt.pr "  %-28s (no estimate)@." name)
+        result)
+    tests;
+  Fmt.pr "@."
+
+let tables () =
+  let scale = Proxyapps.App.Bench in
+  print_string (Harness.Tables.fig9 ~machine ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.fig10 ~machine ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.fig11_all ~machine ~scale ());
+  print_newline ();
+  print_string (Harness.Tables.ablations ~machine ~scale ())
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if not (List.mem "tables" args) then benchmark ();
+  tables ()

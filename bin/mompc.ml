@@ -1,0 +1,118 @@
+(* mompc: the MiniOMP compiler driver.
+
+   Parses a MiniOMP source file, lowers it with the selected globalization
+   scheme, optionally runs the OpenMP-aware optimizer, prints remarks, and
+   emits the resulting MiniIR.  Optionally runs the program on the GPU
+   simulator and reports kernel statistics.
+
+   The disable flags mirror the paper artifact's LLVM flags
+   openmp-opt-disable-... . *)
+
+open Cmdliner
+
+let scheme_conv =
+  let parse = function
+    | "simplified" -> Ok Frontend.Codegen.Simplified
+    | "legacy" -> Ok Frontend.Codegen.Legacy
+    | "cuda" -> Ok Frontend.Codegen.Cuda
+    | s -> Error (`Msg ("unknown scheme: " ^ s))
+  in
+  let print ppf s = Fmt.string ppf (Frontend.Codegen.scheme_name s) in
+  Arg.conv (parse, print)
+
+let run_compile file scheme optimize no_spmd no_deglob no_csm no_fold no_group emit_ir
+    run_sim remarks_only =
+  let src = In_channel.with_open_text file In_channel.input_all in
+  match Frontend.Codegen.compile ~scheme ~file src with
+  | exception Frontend.Codegen.Error (msg, loc) ->
+    Fmt.epr "%a: error: %s@." Support.Loc.pp loc msg;
+    1
+  | exception Frontend.Cparse.Parse_error (msg, loc) ->
+    Fmt.epr "%a: parse error: %s@." Support.Loc.pp loc msg;
+    1
+  | exception Frontend.Lexer.Lex_error (msg, loc) ->
+    Fmt.epr "%a: lex error: %s@." Support.Loc.pp loc msg;
+    1
+  | m -> (
+    match Ir.Verify.check m with
+    | Error msg ->
+      Fmt.epr "verifier error (front end): %s@." msg;
+      1
+    | Ok () ->
+      if optimize then begin
+        let options =
+          {
+            Openmpopt.Pass_manager.default_options with
+            disable_spmdization = no_spmd;
+            disable_deglobalization = no_deglob;
+            disable_state_machine_rewrite = no_csm;
+            disable_folding = no_fold;
+            disable_guard_grouping = no_group;
+          }
+        in
+        let report = Openmpopt.Pass_manager.run ~options m in
+        List.iter
+          (fun r -> Fmt.epr "%s@." (Openmpopt.Remark.to_string r))
+          report.Openmpopt.Pass_manager.remarks;
+        Fmt.epr "openmp-opt: %a@." Openmpopt.Pass_manager.pp_report report;
+        match Ir.Verify.check m with
+        | Error msg ->
+          Fmt.epr "verifier error (after openmp-opt): %s@." msg;
+          exit 1
+        | Ok () -> ()
+      end;
+      if emit_ir && not remarks_only then Fmt.pr "%a" Ir.Printer.pp_module m;
+      if run_sim then begin
+        let sim = Gpusim.Interp.create Gpusim.Machine.bench_machine m in
+        match Gpusim.Interp.run_host sim with
+        | exception Gpusim.Mem.Out_of_memory msg ->
+          Fmt.epr "device out of memory: %s@." msg;
+          exit 3
+        | () ->
+          Fmt.pr "; kernel cycles: %d@." (Gpusim.Interp.total_kernel_cycles sim);
+          List.iter
+            (fun (s : Gpusim.Interp.launch_stats) ->
+              Fmt.pr
+                "; %s: cycles=%d regs=%d smem=%dB heap=%dB instrs=%d barriers=%d@."
+                s.Gpusim.Interp.kernel_name s.Gpusim.Interp.cycles
+                s.Gpusim.Interp.registers s.Gpusim.Interp.shared_bytes
+                s.Gpusim.Interp.heap_high_water s.Gpusim.Interp.instructions
+                s.Gpusim.Interp.barriers)
+            sim.Gpusim.Interp.kernel_stats;
+          Fmt.pr "; trace:%a@."
+            (Fmt.list ~sep:Fmt.sp Gpusim.Rvalue.pp)
+            (Gpusim.Interp.trace_values sim)
+      end;
+      0)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniOMP source file")
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Frontend.Codegen.Simplified
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:"Globalization scheme: simplified (LLVM 13), legacy (LLVM 12), cuda")
+
+let flag names doc = Arg.(value & flag & info names ~doc)
+
+let cmd =
+  let doc = "compile MiniOMP to MiniIR with OpenMP-aware optimization" in
+  Cmd.v
+    (Cmd.info "mompc" ~doc)
+    Term.(
+      const run_compile $ file_arg $ scheme_arg
+      $ flag [ "O"; "openmp-opt" ] "Run the OpenMP-aware optimization pipeline"
+      $ flag [ "openmp-opt-disable-spmdization" ] "Disable SPMDzation"
+      $ flag [ "openmp-opt-disable-deglobalization" ] "Disable HeapToStack/HeapToShared"
+      $ flag [ "openmp-opt-disable-state-machine-rewrite" ]
+          "Disable the custom state machine rewrite"
+      $ flag [ "openmp-opt-disable-folding" ] "Disable runtime-call folding"
+      $ flag [ "openmp-opt-disable-guard-grouping" ]
+          "Disable side-effect grouping before guard generation (Fig. 7)"
+      $ Arg.(value & opt bool true & info [ "emit-ir" ] ~doc:"Print the final MiniIR")
+      $ flag [ "run" ] "Execute on the GPU simulator and print kernel statistics"
+      $ flag [ "remarks-only" ] "Suppress IR output; print only remarks")
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,32 @@
+(* Regenerate every table and figure of the paper's evaluation section.
+
+     dune exec bin/run_experiments.exe            # everything
+     dune exec bin/run_experiments.exe -- fig9
+     dune exec bin/run_experiments.exe -- fig11 xsbench --tiny *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let tiny = List.mem "--tiny" args in
+  let args = List.filter (fun a -> a <> "--tiny") args in
+  let scale = if tiny then Proxyapps.App.Tiny else Proxyapps.App.Bench in
+  let machine = Gpusim.Machine.bench_machine in
+  let all () =
+    print_string (Harness.Tables.fig9 ~machine ~scale ());
+    print_newline ();
+    print_string (Harness.Tables.fig10 ~machine ~scale ());
+    print_newline ();
+    print_string (Harness.Tables.fig11_all ~machine ~scale ());
+    print_newline ();
+    print_string (Harness.Tables.ablations ~machine ~scale ())
+  in
+  match args with
+  | [] -> all ()
+  | [ "fig9" ] -> print_string (Harness.Tables.fig9 ~machine ~scale ())
+  | [ "fig10" ] -> print_string (Harness.Tables.fig10 ~machine ~scale ())
+  | [ "fig11" ] -> print_string (Harness.Tables.fig11_all ~machine ~scale ())
+  | [ "fig11"; name ] ->
+    print_string (Harness.Tables.fig11 ~machine ~scale (Proxyapps.Apps.find_exn name))
+  | [ "ablations" ] -> print_string (Harness.Tables.ablations ~machine ~scale ())
+  | _ ->
+    prerr_endline "usage: run_experiments [fig9|fig10|fig11 [app]|ablations] [--tiny]";
+    exit 2

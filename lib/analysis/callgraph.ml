@@ -1,0 +1,126 @@
+(* Call graph over a MiniIR module.
+
+   Indirect call sites conservatively point at every address-taken function;
+   this pessimism is what inflates register-pressure estimates for kernels
+   with function-pointer state machines, and what the custom state machine
+   rewrite removes (Section IV-B.2 of the paper). *)
+
+module SM = Support.Util.String_map
+module SS = Support.Util.String_set
+
+open Ir
+
+type t = {
+  m : Irmod.t;
+  callees : SS.t SM.t;  (* function -> possible direct+indirect callees *)
+  callers : SS.t SM.t;
+  has_indirect_site : SS.t;  (* functions containing an indirect call *)
+  address_taken : SS.t;
+}
+
+let empty_to name m = match SM.find_opt name m with Some s -> s | None -> SS.empty
+
+let compute (m : Irmod.t) =
+  let address_taken =
+    SS.of_list (List.map (fun f -> f.Func.name) (Irmod.address_taken_funcs m))
+  in
+  let callees = ref SM.empty in
+  let callers = ref SM.empty in
+  let has_indirect_site = ref SS.empty in
+  let add_edge from into =
+    callees := SM.add from (SS.add into (empty_to from !callees)) !callees;
+    callers := SM.add into (SS.add from (empty_to into !callers)) !callers
+  in
+  List.iter
+    (fun f ->
+      let fname = f.Func.name in
+      callees := SM.add fname (empty_to fname !callees) !callees;
+      Func.iter_instrs f ~g:(fun _ i ->
+          match i.Instr.kind with
+          | Instr.Call (_, Instr.Direct callee, args) ->
+            add_edge fname callee;
+            (* a function passed as an argument to a direct call may be
+               invoked by the callee: add a conservative edge too *)
+            List.iter
+              (fun v -> match v with Value.Func g -> add_edge fname g | _ -> ())
+              args
+          | Instr.Call (_, Instr.Indirect _, _) ->
+            has_indirect_site := SS.add fname !has_indirect_site;
+            SS.iter (fun target -> add_edge fname target) address_taken
+          | _ -> ()))
+    (Irmod.defined_funcs m);
+  { m; callees = !callees; callers = !callers;
+    has_indirect_site = !has_indirect_site; address_taken }
+
+let callees t name = empty_to name t.callees
+let callers t name = empty_to name t.callers
+let is_address_taken t name = SS.mem name t.address_taken
+
+(* Transitive closure of callees from a set of roots (roots included). *)
+let reachable_from t roots =
+  let seen = ref SS.empty in
+  let rec visit n =
+    if not (SS.mem n !seen) then begin
+      seen := SS.add n !seen;
+      SS.iter visit (callees t n)
+    end
+  in
+  List.iter visit roots;
+  !seen
+
+(* For every function, the set of kernels that may (transitively) reach it.
+   Used by runtime-call folding: a query can be folded only if all reaching
+   kernels agree on the answer. *)
+let reaching_kernels t =
+  let result = ref SM.empty in
+  List.iter
+    (fun k ->
+      let kname = k.Func.name in
+      SS.iter
+        (fun f -> result := SM.add f (SS.add kname (empty_to f !result)) !result)
+        (reachable_from t [ kname ]))
+    (Irmod.kernels t.m);
+  !result
+
+(* Strongly connected components in reverse topological order (callees before
+   callers), via Tarjan's algorithm.  The optimizer runs late passes per SCC,
+   mirroring the paper's pass scheduling. *)
+let sccs t =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let defined = List.map (fun f -> f.Func.name) (Irmod.defined_funcs t.m) in
+  let defined_set = SS.of_list defined in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    SS.iter
+      (fun w ->
+        if SS.mem w defined_set then
+          if not (Hashtbl.mem index w) then begin
+            strongconnect w;
+            Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+          end
+          else if Hashtbl.find_opt on_stack w = Some true then
+            Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (callees t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) defined;
+  List.rev !components

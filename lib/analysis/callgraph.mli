@@ -1,0 +1,28 @@
+(** Call graph over a MiniIR module.  Indirect call sites conservatively
+    point at every address-taken function. *)
+
+type t = {
+  m : Ir.Irmod.t;
+  callees : Support.Util.String_set.t Support.Util.String_map.t;
+  callers : Support.Util.String_set.t Support.Util.String_map.t;
+  has_indirect_site : Support.Util.String_set.t;
+      (** functions containing an indirect call *)
+  address_taken : Support.Util.String_set.t;
+}
+
+val compute : Ir.Irmod.t -> t
+
+val callees : t -> string -> Support.Util.String_set.t
+val callers : t -> string -> Support.Util.String_set.t
+val is_address_taken : t -> string -> bool
+
+val reachable_from : t -> string list -> Support.Util.String_set.t
+(** Transitive closure of callees from the roots (roots included). *)
+
+val reaching_kernels : t -> Support.Util.String_set.t Support.Util.String_map.t
+(** For every function, the set of kernels that may transitively reach it
+    (runtime-call folding requires all reaching kernels to agree). *)
+
+val sccs : t -> string list list
+(** Strongly connected components in reverse topological order (callees
+    before callers). *)

@@ -1,0 +1,120 @@
+(* Side-effect classification for SPMDzation (Section IV-B.3).
+
+   When a generic-mode kernel is converted to SPMD mode, code that used to be
+   executed by the main thread alone is suddenly executed by every thread of
+   the team.  Each instruction in such code is classified as:
+
+   - [Amenable]: safe for redundant execution by all threads (pure code,
+     loads, stores to thread-private allocas, runtime calls marked
+     spmd_amenable, calls to functions that are themselves amenable).
+   - [Guardable]: a side effect that can be wrapped in an "if (tid == 0)"
+     guard plus a barrier (stores to shared/global memory, atomics,
+     globalization calls, tracing).
+   - [Blocking]: prevents SPMDzation entirely (calls into unknown external
+     code without an ext_spmd_amenable assumption). *)
+
+open Ir
+
+type classification = Amenable | Guardable | Blocking of string
+
+module SM = Support.Util.String_map
+
+type summary = {
+  (* A function is amenable when every instruction in it is amenable. *)
+  mutable amenable_funcs : bool SM.t;
+}
+
+let create () = { amenable_funcs = SM.empty }
+
+(* Is a store target certainly thread-private?  A direct alloca always is;
+   geps/casts of an alloca too.  We resolve through the function-local def
+   chain. *)
+let rec points_to_alloca (f : Func.t) v depth =
+  if depth = 0 then false
+  else
+    match v with
+    | Value.Reg id -> (
+      match Func.def_of f id with
+      | Some i -> (
+        match i.Instr.kind with
+        | Instr.Alloca _ -> true
+        | Instr.Gep (_, base, _) -> points_to_alloca f base (depth - 1)
+        | Instr.Cast ((Instr.Bitcast | Instr.Spacecast), _, base) ->
+          points_to_alloca f base (depth - 1)
+        | _ -> false)
+      | None -> false)
+    | _ -> false
+
+let rec classify_instr t (m : Irmod.t) (f : Func.t) (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Alloca _ | Instr.Load _ | Instr.Gep _ | Instr.Bin _ | Instr.Icmp _
+  | Instr.Fcmp _ | Instr.Cast _ | Instr.Select _ ->
+    Amenable
+  | Instr.Store (_, _, ptr) ->
+    if points_to_alloca f ptr 8 then Amenable else Guardable
+  | Instr.Atomicrmw _ -> Guardable
+  | Instr.Call (_, Instr.Indirect _, _) -> Blocking "indirect call"
+  | Instr.Call (_, Instr.Direct callee, _) -> (
+    match Devrt.Registry.lookup callee with
+    | Some r ->
+      if r.Devrt.Registry.rt_spmd_amenable then Amenable
+      else (
+        match r.Devrt.Registry.rt_effect with
+        | Devrt.Registry.Eff_alloc | Devrt.Registry.Eff_free
+        | Devrt.Registry.Eff_other ->
+          Guardable
+        | Devrt.Registry.Eff_none -> Amenable
+        | Devrt.Registry.Eff_sync | Devrt.Registry.Eff_parallel -> Amenable)
+    | None -> (
+      match Irmod.find_func m callee with
+      | Some g when Func.has_attr g Func.Spmd_amenable -> Amenable
+      | Some g when not (Func.is_declaration g) ->
+        if func_is_amenable t m g then Amenable
+        else Blocking (Printf.sprintf "call to non-amenable @%s" callee)
+      | Some _ | None ->
+        Blocking (Printf.sprintf "call to external @%s without spmd_amenable assumption" callee)))
+
+and func_is_amenable t (m : Irmod.t) (f : Func.t) =
+  match SM.find_opt f.Func.name t.amenable_funcs with
+  | Some v -> v
+  | None ->
+    (* optimistic for recursion, then refine *)
+    t.amenable_funcs <- SM.add f.Func.name true t.amenable_funcs;
+    let ok = ref true in
+    Func.iter_instrs f ~g:(fun _ i ->
+        if !ok then
+          match classify_instr t m f i with
+          | Amenable -> ()
+          | Guardable | Blocking _ -> ok := false);
+    t.amenable_funcs <- SM.add f.Func.name !ok t.amenable_funcs;
+    !ok
+
+(* May the function (transitively) write memory that other threads could
+   observe, or synchronize?  Used by HeapToStack to decide whether
+   synchronization could publish a pointer between threads. *)
+let rec may_sync (m : Irmod.t) seen (f : Func.t) =
+  if Support.Util.String_set.mem f.Func.name seen then false
+  else begin
+    let seen = Support.Util.String_set.add f.Func.name seen in
+    let found = ref false in
+    Func.iter_instrs f ~g:(fun _ i ->
+        if not !found then
+          match i.Instr.kind with
+          | Instr.Call (_, Instr.Direct callee, _) -> (
+            match Devrt.Registry.lookup callee with
+            | Some r -> (
+              match r.Devrt.Registry.rt_effect with
+              | Devrt.Registry.Eff_sync | Devrt.Registry.Eff_parallel -> found := true
+              | _ -> ())
+            | None -> (
+              match Irmod.find_func m callee with
+              | Some g when not (Func.is_declaration g) ->
+                if may_sync m seen g then found := true
+              | Some g when Func.has_attr g Func.Nosync -> ()
+              | Some _ | None -> found := true))
+          | Instr.Call (_, Instr.Indirect _, _) -> found := true
+          | _ -> ());
+    !found
+  end
+
+let func_may_sync m f = may_sync m Support.Util.String_set.empty f

@@ -1,0 +1,23 @@
+(** Side-effect classification for SPMDzation (paper Section IV-B.3).
+
+    When a generic-mode kernel becomes SPMD, formerly main-thread-only code
+    is executed redundantly by every thread; each instruction is then
+    [Amenable] (safe to duplicate), [Guardable] (wrap in an
+    if-thread-0 guard plus barrier), or [Blocking] (prevents the
+    conversion, e.g. a call into unknown external code without an
+    [ext_spmd_amenable] assumption). *)
+
+type classification = Amenable | Guardable | Blocking of string
+
+type summary
+
+val create : unit -> summary
+(** Memoization for the per-function amenability facts. *)
+
+val classify_instr : summary -> Ir.Irmod.t -> Ir.Func.t -> Ir.Instr.t -> classification
+
+val func_is_amenable : summary -> Ir.Irmod.t -> Ir.Func.t -> bool
+(** Every instruction of the function is amenable. *)
+
+val func_may_sync : Ir.Irmod.t -> Ir.Func.t -> bool
+(** May the function (transitively) synchronize threads? *)

@@ -1,0 +1,241 @@
+(* Inter-procedural pointer-capture ("escape to another thread") analysis.
+
+   This is the first check of the paper's HeapToStack transformation: "follow
+   all uses of the heap pointer inter-procedurally and report if any of the
+   uses might expose the pointer to another thread."  A pointer escapes when
+   it is itself stored to memory, returned, passed to an unknown or
+   address-taken function, or handed to a runtime call that may capture it.
+
+   Derived pointers (gep, casts, selects) are tracked; passing the pointer to
+   a defined function recurses into the callee's uses of the corresponding
+   parameter, with memoization and a recursion cut-off for cycles. *)
+
+open Ir
+
+type verdict = No_escape | Escapes of string  (* reason, for remarks *)
+
+let is_no_escape = function No_escape -> true | Escapes _ -> false
+
+type memo_key = string * int  (* function name, parameter index *)
+
+type ctx = {
+  m : Irmod.t;
+  memo : (memo_key, verdict) Hashtbl.t;
+  mutable in_progress : memo_key list;  (* cycle detection *)
+}
+
+let create m = { m; memo = Hashtbl.create 32; in_progress = [] }
+
+(* Resolve a value through space/bit casts to its defining alloca, if any.
+   Used to recognize thread-private "slots" (the parameter copies Clang-style
+   codegen emits): storing a pointer into such a slot is not a capture as
+   long as the slot itself never escapes; loads from the slot yield the
+   tracked pointer again. *)
+let rec slot_root (f : Func.t) v =
+  match v with
+  | Value.Reg r -> (
+    match Func.def_of f r with
+    | Some i -> (
+      match i.Instr.kind with
+      | Instr.Alloca _ -> Some r
+      | Instr.Cast ((Instr.Spacecast | Instr.Bitcast), _, inner) -> slot_root f inner
+      | _ -> None)
+    | None -> None)
+  | _ -> None
+
+(* Allocas whose every use is a load from it or a store *to* it (address
+   position only): safe slots for capture tracking. *)
+let safe_slots (f : Func.t) =
+  let slots = Hashtbl.create 8 in
+  Func.iter_instrs f ~g:(fun _ i ->
+      match i.Instr.kind with
+      | Instr.Alloca _ -> Hashtbl.replace slots i.Instr.id true
+      | _ -> ());
+  let invalidate a = Hashtbl.replace slots a false in
+  Func.iter_instrs f ~g:(fun _ i ->
+      let resolves v = slot_root f v in
+      match i.Instr.kind with
+      | Instr.Load (_, _) -> ()
+      | Instr.Store (_, v, p) -> (
+        (* storing the slot address itself anywhere leaks the slot *)
+        match resolves v with
+        | Some a -> ( match resolves p with Some a' when a' = a -> invalidate a | _ -> invalidate a)
+        | None -> ())
+      | Instr.Cast ((Instr.Spacecast | Instr.Bitcast), _, _) -> ()
+      | _ ->
+        (* any other use of a slot value (gep, call argument, compare, ...)
+           disqualifies it *)
+        List.iter
+          (fun v -> match resolves v with Some a -> invalidate a | None -> ())
+          (Instr.operands i));
+  List.iter
+    (fun b ->
+      List.iter
+        (fun v -> match slot_root f v with Some a -> invalidate a | None -> ())
+        (Block.term_operands b.Block.term))
+    f.Func.blocks;
+  slots
+
+let is_safe_slot slots a = Hashtbl.find_opt slots a = Some true
+
+(* Does value [v] syntactically involve register [reg]?  Tracked values are
+   always registers or arguments in this analysis. *)
+let rec value_uses tracked v =
+  match (tracked, v) with
+  | `Reg r, Value.Reg r' -> r = r'
+  | `Arg a, Value.Arg a' -> a = a'
+  | _, _ ->
+    ignore tracked;
+    ignore v;
+    false
+
+and escapes_in_func ctx (f : Func.t) tracked =
+  let slots = safe_slots f in
+  (* registers derived from the tracked pointer, plus the safe slots that
+     currently hold it, grown to a fixpoint *)
+  let derived = Hashtbl.create 8 in
+  let holders = Hashtbl.create 4 in
+  let is_tracked v =
+    value_uses tracked v
+    || match v with Value.Reg r -> Hashtbl.mem derived r | _ -> false
+  in
+  let grow () =
+    let changed = ref false in
+    let add_derived id =
+      if not (Hashtbl.mem derived id) then begin
+        Hashtbl.replace derived id ();
+        changed := true
+      end
+    in
+    Func.iter_instrs f ~g:(fun _ i ->
+        match i.Instr.kind with
+        | Instr.Gep (_, base, _) when is_tracked base -> add_derived i.Instr.id
+        | Instr.Cast (_, _, v) when is_tracked v -> add_derived i.Instr.id
+        | Instr.Select (_, _, a, b) when is_tracked a || is_tracked b ->
+          add_derived i.Instr.id
+        | Instr.Store (_, v, p) when is_tracked v -> (
+          match slot_root f p with
+          | Some a when is_safe_slot slots a && not (Hashtbl.mem holders a) ->
+            Hashtbl.replace holders a ();
+            changed := true
+          | _ -> ())
+        | Instr.Load (_, p) -> (
+          match slot_root f p with
+          | Some a when Hashtbl.mem holders a -> add_derived i.Instr.id
+          | _ -> ())
+        | _ -> ());
+    !changed
+  in
+  Support.Util.fixpoint grow;
+  let result = ref No_escape in
+  let note reason = if is_no_escape !result then result := Escapes reason in
+  Func.iter_instrs f ~g:(fun _ i ->
+      if is_no_escape !result then
+        match i.Instr.kind with
+        | Instr.Store (_, v, p) when is_tracked v -> (
+          match slot_root f p with
+          | Some a when is_safe_slot slots a -> ()  (* held in a private slot *)
+          | _ -> note (Printf.sprintf "pointer stored to memory in @%s" f.Func.name))
+        | Instr.Call (_, Instr.Direct callee, args) ->
+          List.iteri
+            (fun idx arg ->
+              if is_tracked arg then
+                match Devrt.Registry.lookup callee with
+                | Some r ->
+                  if not r.Devrt.Registry.rt_nocapture then
+                    note (Printf.sprintf "pointer captured by runtime call @%s" callee)
+                | None -> (
+                  match Irmod.find_func ctx.m callee with
+                  | Some g when not (Func.is_declaration g) ->
+                    if Func.has_attr g Func.Nocapture_args then ()
+                    else (
+                      match escapes_via_param ctx g idx with
+                      | No_escape -> ()
+                      | Escapes r -> note r)
+                  | Some g when Func.has_attr g Func.Nocapture_args -> ()
+                  | Some _ | None ->
+                    note (Printf.sprintf "pointer passed to external @%s" callee)))
+            args
+        | Instr.Call (_, Instr.Indirect _, args) ->
+          if List.exists is_tracked args then note "pointer passed through indirect call"
+        | Instr.Atomicrmw (_, _, _, v) when is_tracked v ->
+          note "pointer exchanged atomically"
+        | _ -> ());
+  (* returning the pointer exposes it to an arbitrary caller *)
+  List.iter
+    (fun b ->
+      match b.Block.term with
+      | Block.Ret (Some v) when is_tracked v ->
+        note (Printf.sprintf "pointer returned from @%s" f.Func.name)
+      | _ -> ())
+    f.Func.blocks;
+  !result
+
+and escapes_via_param ctx (f : Func.t) idx =
+  let key = (f.Func.name, idx) in
+  match Hashtbl.find_opt ctx.memo key with
+  | Some v -> v
+  | None ->
+    if List.mem key ctx.in_progress then No_escape  (* optimistic on cycles *)
+    else begin
+      ctx.in_progress <- key :: ctx.in_progress;
+      let v = escapes_in_func ctx f (`Arg idx) in
+      ctx.in_progress <- List.tl ctx.in_progress;
+      Hashtbl.replace ctx.memo key v;
+      v
+    end
+
+(* Entry point: may the pointer produced by instruction [alloc] in [f] escape
+   to another thread? *)
+let pointer_escapes ctx (f : Func.t) (alloc : Instr.t) = escapes_in_func ctx f (`Reg alloc.Instr.id)
+
+(* Second HeapToStack check: on every path from the allocation to a return
+   of [f], is the matching deallocation reached?  Implemented as a CFG walk
+   from the allocation site that stops at blocks containing the free; if a
+   return is reachable without passing a free, the check fails. *)
+let free_always_reached (f : Func.t) ~(alloc : Instr.t) ~free_name =
+  let is_free_of i =
+    match i.Instr.kind with
+    | Instr.Call (_, Instr.Direct n, args) when String.equal n free_name ->
+      List.exists (fun a -> Value.equal a (Value.Reg alloc.Instr.id)) args
+    | _ -> false
+  in
+  let alloc_block =
+    List.find_opt
+      (fun b -> List.exists (fun i -> i.Instr.id = alloc.Instr.id) b.Block.instrs)
+      f.Func.blocks
+  in
+  match alloc_block with
+  | None -> false
+  | Some b0 ->
+    (* instructions after the alloc in its own block *)
+    let rec after = function
+      | [] -> []
+      | i :: rest when i.Instr.id = alloc.Instr.id -> rest
+      | _ :: rest -> after rest
+    in
+    if List.exists is_free_of (after b0.Block.instrs) then true
+    else begin
+      let module SS = Support.Util.String_set in
+      let visited = ref SS.empty in
+      let ok = ref true in
+      let rec visit label =
+        if !ok && not (SS.mem label !visited) then begin
+          visited := SS.add label !visited;
+          match Func.find_block f label with
+          | None -> ok := false
+          | Some b ->
+            if List.exists is_free_of b.Block.instrs then ()  (* path is freed *)
+            else begin
+              (match b.Block.term with
+              | Block.Ret _ -> ok := false  (* escaped to a return unfreed *)
+              | _ -> ());
+              List.iter visit (Block.successors b)
+            end
+        end
+      in
+      (match b0.Block.term with
+      | Block.Ret _ -> ok := false
+      | _ -> List.iter visit (Block.successors b0));
+      !ok
+    end

@@ -1,0 +1,26 @@
+(** Inter-procedural pointer-capture ("escape to another thread") analysis —
+    the first check of the paper's HeapToStack transformation — plus the
+    second check (is the matching deallocation always reached?).
+
+    A pointer escapes when it is stored to memory that is not a provably
+    private slot, returned, passed to unknown or address-taken code, or
+    handed to a runtime call that may capture it.  Derived pointers (gep,
+    casts, selects, loads from private holder slots) are tracked; passing
+    the pointer to a defined function recurses into the callee's uses of
+    the corresponding parameter, with memoization. *)
+
+type verdict = No_escape | Escapes of string  (** reason, for the remarks *)
+
+val is_no_escape : verdict -> bool
+
+type ctx
+
+val create : Ir.Irmod.t -> ctx
+(** A memoized analysis context for one module. *)
+
+val pointer_escapes : ctx -> Ir.Func.t -> Ir.Instr.t -> verdict
+(** May the pointer produced by [alloc] in [f] escape to another thread? *)
+
+val free_always_reached : Ir.Func.t -> alloc:Ir.Instr.t -> free_name:string -> bool
+(** On every path from the allocation to a return of the function, is a
+    [free_name] call taking the allocation's result reached? *)

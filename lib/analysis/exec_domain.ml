@@ -1,0 +1,224 @@
+(* Execution-domain analysis: which threads execute a given block, call site,
+   or function?
+
+   In a generic-mode kernel, __kmpc_target_init separates the main thread
+   (return value -1) from the workers.  Code on the main edge is executed by
+   the main thread alone until a parallel region activates the workers.  The
+   inter-procedural part propagates this over the call graph: a device
+   function is [Main_only] if every call site is in main-only code of some
+   kernel, [Parallel] if only reached from parallel regions, [Both]
+   otherwise.
+
+   This is the analysis behind HeapToShared ("determines if the runtime
+   allocation is only executed by the main thread of the OpenMP team"),
+   SPMDzation guards, and the folding of omp_get_thread_num in sequential
+   regions. *)
+
+module SM = Support.Util.String_map
+module SS = Support.Util.String_set
+
+open Ir
+
+type domain = Main_only | Parallel | Both
+
+let join a b =
+  match (a, b) with
+  | Main_only, Main_only -> Main_only
+  | Parallel, Parallel -> Parallel
+  | _ -> Both
+
+let pp_domain ppf = function
+  | Main_only -> Fmt.string ppf "main-only"
+  | Parallel -> Fmt.string ppf "parallel"
+  | Both -> Fmt.string ppf "both"
+
+type t = {
+  block_domains : domain SM.t SM.t;  (* function -> block label -> domain *)
+  func_domains : domain SM.t;  (* summary per function *)
+  parallel_regions : SS.t;  (* outlined functions passed to __kmpc_parallel_51 *)
+}
+
+(* Recognize the generic-mode prologue:
+     %r = call i32 @__kmpc_target_init(i32 0)
+     %c = icmp eq i32 %r, -1        (or icmp ne)
+     cbr %c, main_label, worker_label
+   Returns (main_label, worker_label) if matched. *)
+let generic_prologue (f : Func.t) =
+  match f.Func.blocks with
+  | [] -> None
+  | entry :: _ -> (
+    let init_reg =
+      List.find_map
+        (fun i ->
+          match i.Instr.kind with
+          | Instr.Call (_, Instr.Direct "__kmpc_target_init", _) -> Some i.Instr.id
+          | _ -> None)
+        entry.Block.instrs
+    in
+    match init_reg with
+    | None -> None
+    | Some r -> (
+      let cmp =
+        List.find_map
+          (fun i ->
+            match i.Instr.kind with
+            | Instr.Icmp (cc, _, Value.Reg r', Value.Const (Value.CInt (_, -1L)))
+              when r' = r && (cc = Instr.Eq || cc = Instr.Ne) ->
+              Some (i.Instr.id, cc)
+            | _ -> None)
+          entry.Block.instrs
+      in
+      match (cmp, entry.Block.term) with
+      | Some (c, cc), Block.Cbr (Value.Reg c', l1, l2) when c = c' ->
+        (* icmp eq .. -1 : true edge is the main thread *)
+        if cc = Instr.Eq then Some (l1, l2) else Some (l2, l1)
+      | _ -> None))
+
+(* The set of functions used as parallel-region entry points. *)
+let find_parallel_regions (m : Irmod.t) =
+  List.fold_left
+    (fun acc f ->
+      Func.fold_instrs f ~init:acc ~g:(fun acc _ i ->
+          match i.Instr.kind with
+          | Instr.Call (_, Instr.Direct "__kmpc_parallel_51", Value.Func fn :: _) ->
+            SS.add fn acc
+          | _ -> acc))
+    SS.empty (Irmod.defined_funcs m)
+
+(* Per-block domains inside one kernel via forward dataflow on CFG edges. *)
+let kernel_block_domains (f : Func.t) =
+  let cfg = Cfg.compute f in
+  match f.Func.kernel with
+  | None -> SM.empty
+  | Some { Func.exec_mode = Func.Spmd; _ } ->
+    List.fold_left (fun m b -> SM.add b.Block.label Parallel m) SM.empty f.Func.blocks
+  | Some { Func.exec_mode = Func.Generic; _ } -> (
+    match generic_prologue f with
+    | None ->
+      (* No recognizable prologue: assume everything may be executed by all
+         threads (conservative). *)
+      List.fold_left (fun m b -> SM.add b.Block.label Both m) SM.empty f.Func.blocks
+    | Some (main_l, worker_l) ->
+      let entry_l = (Func.entry f).Block.label in
+      let dom = ref (SM.singleton entry_l Both) in
+      (* seed the two edges of the prologue branch *)
+      let seed = [ (main_l, Main_only); (worker_l, Parallel) ] in
+      let get l = SM.find_opt l !dom in
+      let update l d =
+        let next = match get l with None -> d | Some old -> join old d in
+        if get l <> Some next then begin
+          dom := SM.add l next !dom;
+          true
+        end
+        else false
+      in
+      List.iter (fun (l, d) -> ignore (update l d)) seed;
+      Support.Util.fixpoint (fun () ->
+          let changed = ref false in
+          List.iter
+            (fun b ->
+              let label = b.Block.label in
+              match get label with
+              | None -> ()
+              | Some d ->
+                List.iter
+                  (fun s ->
+                    (* do not overwrite the seeded prologue edges from entry *)
+                    if not (String.equal label entry_l && (s = main_l || s = worker_l))
+                    then if update s d then changed := true)
+                  (Cfg.succs cfg label))
+            (Cfg.blocks_in_order cfg);
+          !changed);
+      (* unreachable blocks default to Both *)
+      List.fold_left
+        (fun m b ->
+          let label = b.Block.label in
+          SM.add label (match SM.find_opt label m with Some d -> d | None -> Both) m)
+        !dom f.Func.blocks)
+
+let compute (m : Irmod.t) (cg : Callgraph.t) =
+  let parallel_regions = find_parallel_regions m in
+  let block_domains =
+    List.fold_left
+      (fun acc k -> SM.add k.Func.name (kernel_block_domains k) acc)
+      SM.empty (Irmod.kernels m)
+  in
+  (* function summaries: fixpoint over the call graph *)
+  let func_domains = ref SM.empty in
+  let get name = SM.find_opt name !func_domains in
+  let set name d =
+    match get name with
+    | Some old when join old d = old -> false
+    | Some old ->
+      func_domains := SM.add name (join old d) !func_domains;
+      true
+    | None ->
+      func_domains := SM.add name d !func_domains;
+      true
+  in
+  List.iter (fun k -> ignore (set k.Func.name Main_only)) (Irmod.kernels m);
+  SS.iter (fun r -> ignore (set r Parallel)) parallel_regions;
+  (* Externally visible functions may be called from unknown contexts; this
+     is the precision loss that the internalization pass avoids. *)
+  List.iter
+    (fun f ->
+      match f.Func.linkage with
+      | Func.External | Func.Weak ->
+        if not (Func.is_kernel f) then ignore (set f.Func.name Both)
+      | Func.Internal -> ())
+    (Irmod.defined_funcs m);
+  Support.Util.fixpoint (fun () ->
+      let changed = ref false in
+      List.iter
+        (fun f ->
+          let fname = f.Func.name in
+          let caller_domain_of_site b i =
+            (* domain at a call site: block domain inside kernels, the
+               caller's summary otherwise *)
+            match Func.is_kernel f with
+            | true -> (
+              match SM.find_opt fname block_domains with
+              | Some bd -> (
+                match SM.find_opt b.Block.label bd with Some d -> d | None -> Both)
+              | None -> Both)
+            | false -> ( match get fname with Some d -> d | None -> Both)
+            |> fun d ->
+            ignore i;
+            d
+          in
+          Func.iter_instrs f ~g:(fun b i ->
+              match i.Instr.kind with
+              | Instr.Call (_, Instr.Direct callee, _)
+                when not (Devrt.Registry.is_runtime_fn callee) ->
+                (* a parallel-region entry keeps its Parallel domain no
+                   matter where the launch happens *)
+                if not (SS.mem callee parallel_regions) then begin
+                  let d = caller_domain_of_site b i in
+                  if set callee d then changed := true
+                end
+              | Instr.Call (_, Instr.Indirect _, _) ->
+                SS.iter
+                  (fun target ->
+                    if not (SS.mem target parallel_regions) then
+                      if set target Both then changed := true)
+                  cg.Callgraph.address_taken
+              | _ -> ()))
+        (Irmod.defined_funcs m);
+      !changed);
+  { block_domains; func_domains = !func_domains; parallel_regions }
+
+(* Domain of a specific instruction in a specific function. *)
+let instr_domain t (f : Func.t) (b : Block.t) =
+  if Func.is_kernel f then
+    match SM.find_opt f.Func.name t.block_domains with
+    | Some bd -> ( match SM.find_opt b.Block.label bd with Some d -> d | None -> Both)
+    | None -> Both
+  else
+    match SM.find_opt f.Func.name t.func_domains with
+    | Some d -> d
+    | None -> Both  (* never-called function: unknown context *)
+
+let func_domain t name =
+  match SM.find_opt name t.func_domains with Some d -> d | None -> Both
+
+let is_parallel_region t name = SS.mem name t.parallel_regions

@@ -1,0 +1,38 @@
+(** Execution-domain analysis: which threads execute a block, call site or
+    function?
+
+    In a generic-mode kernel, [__kmpc_target_init] separates the main thread
+    from the workers; code on the main edge is executed by the main thread
+    alone.  The inter-procedural part propagates these facts over the call
+    graph.  This is the analysis behind HeapToShared ("only executed by the
+    main thread of the OpenMP team"), SPMDzation guards, and the folding of
+    thread-id queries in sequential regions. *)
+
+type domain = Main_only | Parallel | Both
+
+val join : domain -> domain -> domain
+val pp_domain : Format.formatter -> domain -> unit
+
+type t = {
+  block_domains : domain Support.Util.String_map.t Support.Util.String_map.t;
+      (** kernel name -> block label -> domain *)
+  func_domains : domain Support.Util.String_map.t;  (** per-function summary *)
+  parallel_regions : Support.Util.String_set.t;
+      (** outlined functions passed to [__kmpc_parallel_51] *)
+}
+
+val generic_prologue : Ir.Func.t -> (string * string) option
+(** Recognize the generic-mode prologue of a kernel; returns
+    [(main_label, worker_label)] — the two targets of the
+    is-main-thread branch. *)
+
+val find_parallel_regions : Ir.Irmod.t -> Support.Util.String_set.t
+
+val compute : Ir.Irmod.t -> Callgraph.t -> t
+
+val instr_domain : t -> Ir.Func.t -> Ir.Block.t -> domain
+(** Domain of the instructions in block [b] of function [f]: the per-block
+    fact inside kernels, the function summary elsewhere. *)
+
+val func_domain : t -> string -> domain
+val is_parallel_region : t -> string -> bool

@@ -1,0 +1,140 @@
+(* Two auxiliary OpenMPOpt transformations from the upstream implementation:
+
+   - Runtime-call deduplication (OMP170): repeated calls to side-effect-free
+     device runtime queries whose result cannot change during the kernel
+     (thread id, team id, launch bounds, execution mode) are deduplicated:
+     later calls are replaced by the value of a dominating earlier call.
+
+   - Dead parallel-region elimination (OMP160): a __kmpc_parallel_51 whose
+     outlined region has no observable side effects is removed entirely,
+     together with its argument-buffer setup when that becomes dead. *)
+
+open Ir
+module SS = Support.Util.String_set
+
+(* Queries that return the same value on every call within one kernel
+   execution for a fixed thread. *)
+let dedupable_queries =
+  SS.of_list
+    [
+      "__gpu_thread_id"; "__gpu_num_threads"; "__gpu_team_id"; "__gpu_num_teams";
+      "__kmpc_is_spmd_exec_mode"; "__kmpc_get_warp_size";
+      "__kmpc_get_hardware_num_threads"; "omp_get_thread_num"; "omp_get_num_threads";
+      "omp_get_team_num"; "omp_get_num_teams";
+    ]
+
+(* Deduplicate within a function: a call in block B replaces a later call to
+   the same query in any block dominated by B (including B itself). *)
+let dedup_calls_in_func (f : Func.t) =
+  if Func.is_declaration f then 0
+  else begin
+    let cfg = Cfg.compute f in
+    let dom = Cfg.dominators cfg in
+    (* first occurrence per query: (block label, index, instr) *)
+    let first : (string, string * int * Instr.t) Hashtbl.t = Hashtbl.create 8 in
+    let removed = ref 0 in
+    List.iter
+      (fun b ->
+        List.iteri
+          (fun idx (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Call (_, Instr.Direct name, [])
+              when SS.mem name dedupable_queries -> (
+              match Hashtbl.find_opt first name with
+              | None -> Hashtbl.replace first name (b.Block.label, idx, i)
+              | Some (dlabel, didx, def) ->
+                let dominates =
+                  if String.equal dlabel b.Block.label then didx < idx
+                  else Cfg.dominates dom ~by:dlabel b.Block.label
+                in
+                if dominates then begin
+                  Func.replace_uses f ~old_v:(Value.Reg i.Instr.id)
+                    ~new_v:(Value.Reg def.Instr.id);
+                  b.Block.instrs <-
+                    List.filter (fun j -> j.Instr.id <> i.Instr.id) b.Block.instrs;
+                  incr removed
+                end)
+            | _ -> ())
+          b.Block.instrs)
+      (Cfg.blocks_in_order cfg);
+    !removed
+  end
+
+let dedup_runtime_calls (m : Irmod.t) (sink : Remark.sink) =
+  List.fold_left
+    (fun acc f ->
+      let n = dedup_calls_in_func f in
+      if n > 0 then
+        Remark.emit sink
+          (Remark.make ~loc:f.Func.loc ~func:f.Func.name 170
+             ~detail:(Printf.sprintf "%d calls" n));
+      acc + n)
+    0 (Irmod.defined_funcs m)
+
+(* ------------------------------------------------------------------ *)
+(* Dead parallel-region elimination                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the outlined region function (transitively) perform any observable
+   side effect?  Loads are not observable; stores, atomics, tracing,
+   allocation, nested parallelism and unknown calls are. *)
+let rec region_has_effects (m : Irmod.t) seen (f : Func.t) =
+  if SS.mem f.Func.name seen then false
+  else begin
+    let seen = SS.add f.Func.name seen in
+    Func.fold_instrs f ~init:false ~g:(fun acc _ i ->
+        acc
+        ||
+        match i.Instr.kind with
+        | Instr.Store (_, _, ptr) -> (
+          (* stores to provably-private allocas are invisible outside *)
+          match ptr with
+          | Value.Reg r -> (
+            match Func.def_of f r with
+            | Some { Instr.kind = Instr.Alloca _; _ } -> false
+            | _ -> true)
+          | _ -> true)
+        | Instr.Atomicrmw _ -> true
+        | Instr.Call (_, Instr.Indirect _, _) -> true
+        | Instr.Call (_, Instr.Direct callee, _) -> (
+          match Devrt.Registry.lookup callee with
+          | Some r -> (
+            match r.Devrt.Registry.rt_effect with
+            | Devrt.Registry.Eff_none -> false
+            | Devrt.Registry.Eff_sync -> false  (* sync alone is unobservable *)
+            | Devrt.Registry.Eff_alloc | Devrt.Registry.Eff_free -> false
+            | Devrt.Registry.Eff_parallel | Devrt.Registry.Eff_other -> true)
+          | None -> (
+            match Irmod.find_func m callee with
+            | Some g when not (Func.is_declaration g) -> region_has_effects m seen g
+            | Some _ | None -> true))
+        | _ -> false)
+  end
+
+let delete_dead_regions (m : Irmod.t) (sink : Remark.sink) =
+  let deleted = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          b.Block.instrs <-
+            List.filter
+              (fun (i : Instr.t) ->
+                match i.Instr.kind with
+                | Instr.Call (_, Instr.Direct "__kmpc_parallel_51",
+                              Value.Func region :: _) -> (
+                  match Irmod.find_func m region with
+                  | Some rf
+                    when (not (Func.is_declaration rf))
+                         && not (region_has_effects m SS.empty rf) ->
+                    incr deleted;
+                    Remark.emit sink
+                      (Remark.make ~loc:i.Instr.loc ~func:f.Func.name 160
+                         ~detail:("@" ^ region));
+                    false
+                  | _ -> true)
+                | _ -> true)
+              b.Block.instrs)
+        f.Func.blocks)
+    (Irmod.defined_funcs m);
+  !deleted

@@ -1,0 +1,121 @@
+(* Deglobalization (Section IV-A): undo the front-end's conservative
+   globalization in the middle-end.
+
+   HeapToStack: a __kmpc_alloc_shared whose pointer provably never escapes to
+   another thread and whose deallocation is always reached becomes a plain
+   alloca (hoisted to the entry block).
+
+   HeapToShared: a remaining allocation that is only ever executed by the
+   main thread of a team is replaced by a statically allocated shared-memory
+   global, and its deallocations are removed. *)
+
+open Ir
+
+type result = {
+  mutable to_stack : int;
+  mutable to_shared : int;
+  mutable shared_bytes : int;
+}
+
+(* An upper bound on statically allocated shared memory, like the
+   -openmp-opt-shared-limit flag upstream. *)
+let shared_budget = 64 * 1024
+
+let alloc_sites (f : Func.t) =
+  Func.fold_instrs f ~init:[] ~g:(fun acc b i ->
+      match i.Instr.kind with
+      | Instr.Call (_, Instr.Direct "__kmpc_alloc_shared", [ size ]) -> (b, i, size) :: acc
+      | _ -> acc)
+  |> List.rev
+
+let remove_frees (f : Func.t) reg =
+  List.iter
+    (fun b ->
+      b.Block.instrs <-
+        List.filter
+          (fun (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Call (_, Instr.Direct "__kmpc_free_shared", args) ->
+              not (List.exists (fun a -> Value.equal a (Value.Reg reg)) args)
+            | _ -> true)
+          b.Block.instrs)
+    f.Func.blocks
+
+(* Replace the allocation call by an entry-block alloca + spacecast carrying
+   the original register id (so all uses stay valid). *)
+let to_stack (f : Func.t) (b : Block.t) (i : Instr.t) size =
+  let alloca_id = Func.fresh_reg f in
+  let alloca =
+    Instr.make ~loc:i.Instr.loc ~id:alloca_id (Instr.Alloca (Types.I8, max 1 size))
+  in
+  let cast =
+    Instr.make ~loc:i.Instr.loc ~id:i.Instr.id
+      (Instr.Cast (Instr.Spacecast, Types.Ptr Types.Generic, Value.Reg alloca_id))
+  in
+  b.Block.instrs <- List.filter (fun j -> j.Instr.id <> i.Instr.id) b.Block.instrs;
+  let entry = Func.entry f in
+  entry.Block.instrs <- alloca :: cast :: entry.Block.instrs;
+  remove_frees f i.Instr.id
+
+let to_shared (m : Irmod.t) (f : Func.t) (i : Instr.t) size =
+  let gname = Irmod.fresh_name m (Printf.sprintf "%s_shared_glob" f.Func.name) in
+  Irmod.add_global m
+    {
+      Irmod.gname;
+      gty = Types.Arr (max 1 size, Types.I8);
+      gspace = Types.Shared;
+      ginit = None;
+      glinkage = Func.Internal;
+    };
+  i.Instr.kind <-
+    Instr.Cast (Instr.Spacecast, Types.Ptr Types.Generic, Value.Global gname);
+  remove_frees f i.Instr.id
+
+let run ?(heap_to_shared = true) (m : Irmod.t) (domains : Analysis.Exec_domain.t) (sink : Remark.sink) =
+  let res = { to_stack = 0; to_shared = 0; shared_bytes = 0 } in
+  let ctx = Analysis.Escape.create m in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (b, i, size_v) ->
+          let size =
+            match Value.as_int size_v with Some s -> Int64.to_int s | None -> -1
+          in
+          if size >= 0 then begin
+            let escape = Analysis.Escape.pointer_escapes ctx f i in
+            let freed =
+              Analysis.Escape.free_always_reached f ~alloc:i
+                ~free_name:"__kmpc_free_shared"
+            in
+            match escape with
+            | Analysis.Escape.No_escape when freed ->
+              to_stack f b i size;
+              res.to_stack <- res.to_stack + 1;
+              Remark.emit sink
+                (Remark.make ~loc:i.Instr.loc ~func:f.Func.name 110)
+            | _ -> (
+              let domain = Analysis.Exec_domain.instr_domain domains f b in
+              match domain with
+              | Analysis.Exec_domain.Main_only
+                when heap_to_shared && res.shared_bytes + size <= shared_budget ->
+                to_shared m f i size;
+                res.to_shared <- res.to_shared + 1;
+                res.shared_bytes <- res.shared_bytes + size;
+                Remark.emit sink
+                  (Remark.make ~loc:i.Instr.loc ~func:f.Func.name 111
+                     ~detail:(Printf.sprintf "%d bytes" size))
+              | _ ->
+                (* globalization stays: report it, with the reason *)
+                Remark.emit sink
+                  (Remark.make ~kind:Remark.Missed ~loc:i.Instr.loc ~func:f.Func.name
+                     112);
+                (match escape with
+                | Analysis.Escape.Escapes reason ->
+                  Remark.emit sink
+                    (Remark.make ~kind:Remark.Missed ~loc:i.Instr.loc
+                       ~func:f.Func.name 113 ~detail:reason)
+                | Analysis.Escape.No_escape -> ()))
+          end)
+        (alloc_sites f))
+    (Irmod.defined_funcs m);
+  res

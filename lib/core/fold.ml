@@ -1,0 +1,160 @@
+(* Runtime-call folding (Section IV-C): replace device runtime queries with
+   constants when the answer is statically known.
+
+   Execution mode   __kmpc_is_spmd_exec_mode folds when every kernel that can
+                    reach the containing function runs in the same mode.
+   Parallel level   __kmpc_parallel_level folds when the containing function
+                    executes in a statically known nesting context and no
+                    nested parallelism exists in the module.
+   Thread execution __gpu_thread_id folds to 0 in main-thread-only code.
+   Launch bounds    __gpu_num_threads/__gpu_num_teams fold when all reaching
+                    kernels carry the same constant clause.
+
+   Per the paper, no user-facing remarks are emitted for these folds (the
+   calls often originate in the runtime glue, not user code); counts are
+   reported for the Figure 9 table instead. *)
+
+open Ir
+module SM = Support.Util.String_map
+module SS = Support.Util.String_set
+
+type counts = {
+  mutable exec_mode : int;
+  mutable parallel_level : int;
+  mutable thread_exec : int;
+  mutable launch_bounds : int;
+}
+
+(* Does any parallel region (transitively) launch another parallel region?
+   If not, the parallel level inside regions is exactly 1. *)
+let has_nested_parallelism (m : Irmod.t) cg (domains : Analysis.Exec_domain.t) =
+  ignore domains;
+  let regions =
+    List.filter
+      (fun f -> Analysis.Exec_domain.is_parallel_region domains f.Func.name)
+      (Irmod.defined_funcs m)
+  in
+  List.exists
+    (fun r ->
+      let reach = Analysis.Callgraph.reachable_from cg [ r.Func.name ] in
+      SS.exists
+        (fun fname ->
+          match Irmod.find_func m fname with
+          | Some f ->
+            Func.fold_instrs f ~init:false ~g:(fun acc _ i ->
+                acc
+                ||
+                match i.Instr.kind with
+                | Instr.Call (_, Instr.Direct "__kmpc_parallel_51", _) -> true
+                | _ -> false)
+          | None -> false)
+        reach)
+    regions
+
+(* Replace a call instruction's uses with a constant and delete the call. *)
+let fold_call (f : Func.t) (b : Block.t) (i : Instr.t) const =
+  Func.replace_uses f ~old_v:(Value.Reg i.Instr.id) ~new_v:const;
+  b.Block.instrs <- List.filter (fun j -> j.Instr.id <> i.Instr.id) b.Block.instrs
+
+(* [fold_exec_mode] must only be enabled after SPMDzation has settled the
+   final execution mode of every kernel; the other folds are mode-invariant
+   and run early so the sequential-fallback branches disappear before
+   deglobalization counts allocation sites. *)
+let run ?(fold_exec_mode = true) (m : Irmod.t) (domains : Analysis.Exec_domain.t) =
+  let cg = Analysis.Callgraph.compute m in
+  let reaching = Analysis.Callgraph.reaching_kernels cg in
+  let counts = { exec_mode = 0; parallel_level = 0; thread_exec = 0; launch_bounds = 0 } in
+  let nested = has_nested_parallelism m cg domains in
+  let kernel_mode name =
+    match Irmod.find_func m name with
+    | Some { Func.kernel = Some k; _ } -> Some k.Func.exec_mode
+    | _ -> None
+  in
+  let kernel_threads name =
+    match Irmod.find_func m name with
+    | Some { Func.kernel = Some k; _ } -> k.Func.num_threads
+    | _ -> None
+  in
+  let kernel_teams name =
+    match Irmod.find_func m name with
+    | Some { Func.kernel = Some k; _ } -> k.Func.num_teams
+    | _ -> None
+  in
+  (* all-equal over the kernels reaching [fname]; None when unknown/empty *)
+  let consensus fname extract =
+    match SM.find_opt fname reaching with
+    | None -> None
+    | Some kernels when SS.is_empty kernels -> None
+    | Some kernels -> (
+      let values = List.filter_map extract (SS.elements kernels) in
+      if List.length values <> SS.cardinal kernels then None
+      else
+        match values with
+        | [] -> None
+        | v :: rest -> if List.for_all (( = ) v) rest then Some v else None)
+  in
+  List.iter
+    (fun f ->
+      let fname = f.Func.name in
+      let domain = Analysis.Exec_domain.func_domain domains fname in
+      let domain =
+        (* inside a kernel, use the per-block domain at each call site *)
+        domain
+      in
+      ignore domain;
+      List.iter
+        (fun b ->
+          let site_domain = Analysis.Exec_domain.instr_domain domains f b in
+          List.iter
+            (fun (i : Instr.t) ->
+              match i.Instr.kind with
+              | Instr.Call (_, Instr.Direct "__kmpc_is_spmd_exec_mode", [])
+                when fold_exec_mode -> (
+                match consensus fname kernel_mode with
+                | Some Func.Spmd ->
+                  fold_call f b i (Value.i1 true);
+                  counts.exec_mode <- counts.exec_mode + 1
+                | Some Func.Generic ->
+                  fold_call f b i (Value.i1 false);
+                  counts.exec_mode <- counts.exec_mode + 1
+                | None -> ())
+              | Instr.Call (_, Instr.Direct "__kmpc_parallel_level", []) -> (
+                if nested then ()
+                else
+                  match site_domain with
+                  | Analysis.Exec_domain.Parallel ->
+                    (* in SPMD kernels the whole body counts as level 1 *)
+                    fold_call f b i (Value.i32 1);
+                    counts.parallel_level <- counts.parallel_level + 1
+                  | Analysis.Exec_domain.Main_only ->
+                    fold_call f b i (Value.i32 0);
+                    counts.parallel_level <- counts.parallel_level + 1
+                  | Analysis.Exec_domain.Both -> ())
+              | Instr.Call (_, Instr.Direct "__gpu_thread_id", []) -> (
+                match site_domain with
+                | Analysis.Exec_domain.Main_only
+                  when not (Func.is_kernel f && f.Func.kernel <> None
+                           && (match f.Func.kernel with
+                              | Some k -> k.Func.exec_mode = Func.Spmd
+                              | None -> false)) ->
+                  fold_call f b i (Value.i32 0);
+                  counts.thread_exec <- counts.thread_exec + 1
+                | _ -> ())
+              | Instr.Call (_, Instr.Direct ("__gpu_num_threads"
+                                            | "__kmpc_get_hardware_num_threads"), []) -> (
+                match consensus fname kernel_threads with
+                | Some n ->
+                  fold_call f b i (Value.i32 n);
+                  counts.launch_bounds <- counts.launch_bounds + 1
+                | None -> ())
+              | Instr.Call (_, Instr.Direct "__gpu_num_teams", []) -> (
+                match consensus fname kernel_teams with
+                | Some n ->
+                  fold_call f b i (Value.i32 n);
+                  counts.launch_bounds <- counts.launch_bounds + 1
+                | None -> ())
+              | _ -> ())
+            b.Block.instrs)
+        f.Func.blocks)
+    (Irmod.defined_funcs m);
+  counts

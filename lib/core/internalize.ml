@@ -1,0 +1,78 @@
+(* Aggressive internalization (Section IV): duplicate externally visible
+   functions into internal-only copies and redirect all intra-module uses to
+   the copy.  The original is kept for unknown external callers; the copy
+   has full visibility, so inter-procedural analyses are not poisoned by
+   "could be called from anywhere". *)
+
+open Ir
+
+let clone_func (f : Func.t) new_name =
+  let g =
+    Func.make ~linkage:Func.Internal ~attrs:f.Func.attrs ?kernel:f.Func.kernel
+      ~loc:f.Func.loc new_name ~ret_ty:f.Func.ret_ty ~params:f.Func.params
+  in
+  List.iter
+    (fun b ->
+      let nb = Block.make b.Block.label ~term:b.Block.term in
+      List.iter
+        (fun (i : Instr.t) ->
+          Block.append nb (Instr.make ~loc:i.Instr.loc ~id:i.Instr.id i.Instr.kind))
+        b.Block.instrs;
+      Func.add_block g nb)
+    f.Func.blocks;
+  Support.Util.Id_gen.reserve g.Func.reg_gen
+    (Func.fold_instrs f ~init:0 ~g:(fun acc _ i -> max acc i.Instr.id));
+  g
+
+let run (m : Irmod.t) (sink : Remark.sink) =
+  let candidates =
+    List.filter
+      (fun f ->
+        (not (Func.is_declaration f))
+        && (not (Func.is_kernel f))
+        && (not (String.equal f.Func.name "main"))
+        && not (Devrt.Registry.is_runtime_fn f.Func.name))
+      m.Irmod.funcs
+  in
+  let renames = ref [] in
+  List.iter
+    (fun f ->
+      match f.Func.linkage with
+      | Func.Internal -> ()
+      | Func.Weak ->
+        (* weak definitions may be replaced at link time: cannot duplicate *)
+        Remark.emit sink
+          (Remark.make ~kind:Remark.Missed ~loc:f.Func.loc ~func:f.Func.name 140)
+      | Func.External ->
+        let copy_name = Irmod.fresh_name m (f.Func.name ^ ".internalized") in
+        let copy = clone_func f copy_name in
+        Irmod.add_func m copy;
+        renames := (f.Func.name, copy_name) :: !renames)
+    candidates;
+  let rename_map = !renames in
+  if rename_map <> [] then begin
+    let subst v =
+      match v with
+      | Value.Func n -> (
+        match List.assoc_opt n rename_map with Some n' -> Value.Func n' | None -> v)
+      | _ -> v
+    in
+    List.iter
+      (fun f ->
+        List.iter
+          (fun b ->
+            List.iter
+              (fun (i : Instr.t) ->
+                (match i.Instr.kind with
+                | Instr.Call (ty, Instr.Direct callee, args) -> (
+                  match List.assoc_opt callee rename_map with
+                  | Some callee' -> i.Instr.kind <- Instr.Call (ty, Instr.Direct callee', args)
+                  | None -> ())
+                | _ -> ());
+                Instr.map_operands subst i)
+              b.Block.instrs;
+            Block.map_term_operands subst b)
+          f.Func.blocks)
+      (Irmod.defined_funcs m)
+  end;
+  List.length rename_map

@@ -1,0 +1,202 @@
+(* The OpenMPOpt pass driver.
+
+   Mirrors the paper's pipeline: aggressive internalization first (module
+   pass, "run early on the entire module"), then rounds of deglobalization,
+   SPMDzation, state-machine rewriting, runtime-call folding, and generic
+   cleanup ("run ... again late on each strongly connected component"; our
+   rounds iterate the whole module, which subsumes the SCC scheduling at our
+   module sizes).
+
+   The disable flags match the artifact's LLVM flags:
+   openmp-opt-disable-{spmdization, deglobalization, state-machine-rewrite,
+   folding}. *)
+
+type options = {
+  disable_spmdization : bool;
+  disable_deglobalization : bool;
+  disable_state_machine_rewrite : bool;
+  disable_folding : bool;
+  disable_internalization : bool;  (* ablation *)
+  disable_guard_grouping : bool;  (* ablation: Fig. 7 off *)
+  disable_heap_to_shared : bool;  (* isolate plain HeapToStack (Fig. 11d) *)
+  rounds : int;
+}
+
+let default_options =
+  {
+    disable_spmdization = false;
+    disable_deglobalization = false;
+    disable_state_machine_rewrite = false;
+    disable_folding = false;
+    disable_internalization = false;
+    disable_guard_grouping = false;
+    disable_heap_to_shared = false;
+    rounds = 3;
+  }
+
+let all_disabled =
+  {
+    default_options with
+    disable_spmdization = true;
+    disable_deglobalization = true;
+    disable_state_machine_rewrite = true;
+    disable_folding = true;
+    disable_internalization = true;
+  }
+
+type report = {
+  remarks : Remark.t list;
+  internalized : int;
+  heap_to_stack : int;
+  heap_to_shared : int;
+  shared_bytes : int;
+  spmdized : int;
+  guards : int;
+  custom_state_machines : int;
+  csm_fallbacks : int;
+  folds_exec_mode : int;
+  folds_parallel_level : int;
+  folds_thread_exec : int;
+  folds_launch_bounds : int;
+  deduplicated_calls : int;
+  dead_regions : int;
+}
+
+let empty_report =
+  {
+    remarks = [];
+    internalized = 0;
+    heap_to_stack = 0;
+    heap_to_shared = 0;
+    shared_bytes = 0;
+    spmdized = 0;
+    guards = 0;
+    custom_state_machines = 0;
+    csm_fallbacks = 0;
+    folds_exec_mode = 0;
+    folds_parallel_level = 0;
+    folds_thread_exec = 0;
+    folds_launch_bounds = 0;
+    deduplicated_calls = 0;
+    dead_regions = 0;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "internalized=%d h2s=%d h2shared=%d(%dB) spmdized=%d(guards=%d) csm=%d(fallback=%d) \
+     folds: em=%d pl=%d te=%d launch=%d, %d remarks"
+    r.internalized r.heap_to_stack r.heap_to_shared r.shared_bytes r.spmdized r.guards
+    r.custom_state_machines r.csm_fallbacks r.folds_exec_mode r.folds_parallel_level
+    r.folds_thread_exec r.folds_launch_bounds (List.length r.remarks);
+  if r.deduplicated_calls > 0 || r.dead_regions > 0 then
+    Fmt.pf ppf " dedup=%d dead-regions=%d" r.deduplicated_calls r.dead_regions
+
+(* OMP100: calls to __kmpc-prefixed functions the registry does not know
+   are either a runtime version mismatch or a user error; flag them, since
+   every analysis must treat them as opaque. *)
+let flag_unknown_runtime_calls (m : Ir.Irmod.t) (sink : Remark.sink) =
+  List.iter
+    (fun f ->
+      Ir.Func.iter_instrs f ~g:(fun _ i ->
+          match i.Ir.Instr.kind with
+          | Ir.Instr.Call (_, Ir.Instr.Direct name, _)
+            when String.length name >= 7
+                 && String.sub name 0 7 = "__kmpc_"
+                 && not (Devrt.Registry.is_runtime_fn name) ->
+            Remark.emit sink
+              (Remark.make ~kind:Remark.Analysis ~loc:i.Ir.Instr.loc ~func:f.Ir.Func.name
+                 100 ~detail:("@" ^ name))
+          | _ -> ()))
+    (Ir.Irmod.defined_funcs m)
+
+let run ?(options = default_options) (m : Ir.Irmod.t) : report =
+  let sink = Remark.sink () in
+  let report = ref empty_report in
+  flag_unknown_runtime_calls m sink;
+  let internalized =
+    if options.disable_internalization then 0 else Internalize.run m sink
+  in
+  report := { !report with internalized };
+  let add_folds counts =
+    report :=
+      {
+        !report with
+        folds_exec_mode = !report.folds_exec_mode + counts.Fold.exec_mode;
+        folds_parallel_level = !report.folds_parallel_level + counts.Fold.parallel_level;
+        folds_thread_exec = !report.folds_thread_exec + counts.Fold.thread_exec;
+        folds_launch_bounds = !report.folds_launch_bounds + counts.Fold.launch_bounds;
+      }
+  in
+  for _round = 1 to options.rounds do
+    (* mode-invariant folds first: pruning the sequential fallbacks before
+       deglobalization avoids double-counted allocation sites *)
+    if not options.disable_folding then begin
+      let cg = Analysis.Callgraph.compute m in
+      let domains = Analysis.Exec_domain.compute m cg in
+      add_folds (Fold.run ~fold_exec_mode:false m domains);
+      ignore (Simplify.run m)
+    end;
+    let cg = Analysis.Callgraph.compute m in
+    let domains = Analysis.Exec_domain.compute m cg in
+    if not options.disable_deglobalization then begin
+      let res =
+        Deglobalize.run m domains sink
+          ~heap_to_shared:(not options.disable_heap_to_shared)
+      in
+      report :=
+        {
+          !report with
+          heap_to_stack = !report.heap_to_stack + res.Deglobalize.to_stack;
+          heap_to_shared = !report.heap_to_shared + res.Deglobalize.to_shared;
+          shared_bytes = !report.shared_bytes + res.Deglobalize.shared_bytes;
+        }
+    end;
+    (* recompute domains: deglobalization changes instructions *)
+    let cg = Analysis.Callgraph.compute m in
+    let domains = Analysis.Exec_domain.compute m cg in
+    if not options.disable_spmdization then begin
+      let converted, guards =
+        Spmdization.run m domains sink ~grouping:(not options.disable_guard_grouping)
+      in
+      report :=
+        {
+          !report with
+          spmdized = !report.spmdized + converted;
+          guards = !report.guards + guards;
+        }
+    end;
+    if not options.disable_state_machine_rewrite then begin
+      let rewritten, fallbacks = State_machine.run m sink in
+      report :=
+        {
+          !report with
+          custom_state_machines = !report.custom_state_machines + rewritten;
+          csm_fallbacks = !report.csm_fallbacks + fallbacks;
+        }
+    end;
+    if not options.disable_folding then begin
+      let cg = Analysis.Callgraph.compute m in
+      let domains = Analysis.Exec_domain.compute m cg in
+      add_folds (Fold.run ~fold_exec_mode:true m domains);
+      (* deduplicate surviving runtime queries and drop effect-free regions *)
+      let deduped = Dedup.dedup_runtime_calls m sink in
+      let dead = Dedup.delete_dead_regions m sink in
+      report :=
+        {
+          !report with
+          deduplicated_calls = !report.deduplicated_calls + deduped;
+          dead_regions = !report.dead_regions + dead;
+        }
+    end;
+    ignore (Simplify.run m)
+  done;
+  (* analyses re-run each round and re-emit the same findings: dedupe *)
+  let remarks =
+    List.sort_uniq
+      (fun (a : Remark.t) b ->
+        compare
+          (a.Remark.id, a.Remark.func, Support.Loc.to_string a.Remark.loc, a.Remark.message)
+          (b.Remark.id, b.Remark.func, Support.Loc.to_string b.Remark.loc, b.Remark.message))
+      (Remark.all sink)
+  in
+  { !report with remarks }

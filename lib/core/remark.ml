@@ -1,0 +1,81 @@
+(* Optimization remarks (Section IV-D).
+
+   Every remark carries the unique OMP1xx identifier used by the upstream
+   implementation, so users can look up the explanation page; [Passed]
+   remarks report performed transformations, [Missed] ones are actionable
+   missed opportunities, [Analysis] ones provide supporting detail. *)
+
+type kind = Passed | Missed | Analysis
+
+type t = {
+  id : int;  (* e.g. 110 for OMP110 *)
+  kind : kind;
+  loc : Support.Loc.t;
+  func : string;  (* enclosing function *)
+  message : string;
+}
+
+let registry : (int * string) list =
+  [
+    (100, "Potentially unknown OpenMP target region behaviour.");
+    (110, "Moving globalized variable to the stack.");
+    (111, "Replacing globalized variable with shared memory.");
+    (112, "Found thread data sharing on the GPU. Expect degraded performance due to data \
+           globalization.");
+    (113, "Could not move globalized variable to the stack. Variable is potentially captured \
+           in call. Mark parameter as `__attribute__((noescape))` to override.");
+    (120, "Transformed generic-mode kernel to SPMD-mode.");
+    (121, "Value has potential side effects preventing SPMD-mode execution. Add \
+           `ext_spmd_amenable` assumption to the called function to override.");
+    (130, "Rewriting generic-mode kernel with a customized state machine.");
+    (131, "Generic-mode kernel is executed with a customized state machine that requires a \
+           fallback.");
+    (132, "Generic-mode kernel is executed with a customized state machine that requires a \
+           fallback (indirect call or unknown callee).");
+    (133, "Generic-mode kernel contains no parallel regions; the state machine was removed.");
+    (140, "Could not internalize function. Some optimizations may not be possible.");
+    (150, "Parallel region is used in unknown ways. Will not attempt to rewrite the state \
+           machine.");
+    (160, "Removing parallel region with no side-effects.");
+    (170, "OpenMP runtime call deduplicated.");
+    (180, "Replacing OpenMP runtime call with a constant.");
+  ]
+
+let description id =
+  match List.assoc_opt id registry with
+  | Some d -> d
+  | None -> "Unknown remark."
+
+let make ?(kind = Passed) ?(loc = Support.Loc.none) ~func ?detail id =
+  let message =
+    match detail with
+    | Some d -> Printf.sprintf "%s (%s)" (description id) d
+    | None -> description id
+  in
+  { id; kind; loc; func; message }
+
+let pp ppf r =
+  let kind_str =
+    match r.kind with
+    | Passed -> "-Rpass=openmp-opt"
+    | Missed -> "-Rpass-missed=openmp-opt"
+    | Analysis -> "-Rpass-analysis=openmp-opt"
+  in
+  Fmt.pf ppf "%a: remark: %s [OMP%d] [%s] (in %s)" Support.Loc.pp r.loc r.message r.id
+    kind_str r.func
+
+let to_string r = Fmt.str "%a" pp r
+
+(* A collector threaded through the passes. *)
+type sink = { mutable remarks : t list }
+
+let sink () = { remarks = [] }
+let emit sink r = sink.remarks <- r :: sink.remarks
+let all sink = List.rev sink.remarks
+let count ?id ?kind sink =
+  List.length
+    (List.filter
+       (fun r ->
+         (match id with Some i -> r.id = i | None -> true)
+         && match kind with Some k -> r.kind = k | None -> true)
+       sink.remarks)

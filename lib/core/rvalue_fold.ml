@@ -1,0 +1,54 @@
+(* Pure integer folding helpers shared by the simplifier (kept independent
+   of the simulator so the optimizer has no dependency on gpusim). *)
+
+let truncate_to (ty : Ir.Types.t) v =
+  match ty with
+  | Ir.Types.I1 -> Int64.logand v 1L
+  | Ir.Types.I8 -> Int64.shift_right (Int64.shift_left v 56) 56
+  | Ir.Types.I32 -> Int64.shift_right (Int64.shift_left v 32) 32
+  | _ -> v
+
+(* Unsigned operations must see the zero-extended value of the width;
+   signed/bitwise ones are width-agnostic on sign-extended representations. *)
+let unsigned_of ty v =
+  match ty with
+  | Ir.Types.I1 -> Int64.logand v 1L
+  | Ir.Types.I8 -> Int64.logand v 0xFFL
+  | Ir.Types.I32 -> Int64.logand v 0xFFFFFFFFL
+  | _ -> v
+
+let bin_int ?(ty = Ir.Types.I64) (op : Ir.Instr.bin) a b =
+  let open Ir.Instr in
+  match op with
+  | Add -> Some (Int64.add a b)
+  | Sub -> Some (Int64.sub a b)
+  | Mul -> Some (Int64.mul a b)
+  | Sdiv -> if b = 0L then None else Some (Int64.div a b)
+  | Srem -> if b = 0L then None else Some (Int64.rem a b)
+  | Udiv ->
+    if b = 0L then None
+    else Some (Int64.unsigned_div (unsigned_of ty a) (unsigned_of ty b))
+  | Urem ->
+    if b = 0L then None
+    else Some (Int64.unsigned_rem (unsigned_of ty a) (unsigned_of ty b))
+  | And -> Some (Int64.logand a b)
+  | Or -> Some (Int64.logor a b)
+  | Xor -> Some (Int64.logxor a b)
+  | Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+  | Lshr -> Some (Int64.shift_right_logical (unsigned_of ty a) (Int64.to_int b land 63))
+  | Ashr -> Some (Int64.shift_right a (Int64.to_int b land 63))
+  | Fadd | Fsub | Fmul | Fdiv -> None
+
+let icmp_int (cc : Ir.Instr.icmp) a b =
+  let open Ir.Instr in
+  match cc with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Slt -> a < b
+  | Sle -> a <= b
+  | Sgt -> a > b
+  | Sge -> a >= b
+  | Ult -> Int64.unsigned_compare a b < 0
+  | Ule -> Int64.unsigned_compare a b <= 0
+  | Ugt -> Int64.unsigned_compare a b > 0
+  | Uge -> Int64.unsigned_compare a b >= 0

@@ -1,0 +1,178 @@
+(* Generic IR cleanup run between OpenMP-specific passes: constant folding,
+   branch folding, dead-code elimination and unreachable-block pruning.
+   This is what turns a folded __kmpc_is_spmd_exec_mode into an actually
+   removed branch (e.g. the generic path of the runtime glue helpers). *)
+
+open Ir
+module IS = Support.Util.Int_set
+
+let const_int ty v = Value.Const (Value.CInt (ty, Rvalue_fold.truncate_to ty v))
+
+(* Fold an instruction with constant operands into a constant value. *)
+let fold_instr (i : Instr.t) : Value.t option =
+  match i.Instr.kind with
+  | Instr.Bin (op, ty, Value.Const (Value.CInt (_, a)), Value.Const (Value.CInt (_, b))) ->
+    Rvalue_fold.bin_int ~ty op a b |> Option.map (fun v -> const_int ty v)
+  | Instr.Icmp (cc, _, Value.Const (Value.CInt (_, a)), Value.Const (Value.CInt (_, b))) ->
+    Some (Value.i1 (Rvalue_fold.icmp_int cc a b))
+  | Instr.Cast (Instr.Sext, ty, Value.Const (Value.CInt (_, v)))
+  | Instr.Cast (Instr.Trunc, ty, Value.Const (Value.CInt (_, v)))
+  | Instr.Cast (Instr.Zext, ty, Value.Const (Value.CInt (_, v)))
+    when Types.is_integer ty ->
+    Some (const_int ty v)
+  | Instr.Select (_, Value.Const (Value.CInt (_, c)), a, b) ->
+    Some (if c <> 0L then a else b)
+  | _ -> None
+
+let used_regs (f : Func.t) =
+  Func.fold_instrs f ~init:IS.empty ~g:(fun acc _ i ->
+      List.fold_left
+        (fun acc v -> match v with Value.Reg r -> IS.add r acc | _ -> acc)
+        acc (Instr.operands i))
+  |> fun init ->
+  List.fold_left
+    (fun acc b ->
+      List.fold_left
+        (fun acc v -> match v with Value.Reg r -> IS.add r acc | _ -> acc)
+        acc
+        (Block.term_operands b.Block.term))
+    init f.Func.blocks
+
+(* Calls are removable only when the callee is known side-effect free. *)
+let removable_if_unused (m : Irmod.t) (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Alloca _ | Instr.Load _ | Instr.Gep _ | Instr.Bin _ | Instr.Icmp _
+  | Instr.Fcmp _ | Instr.Cast _ | Instr.Select _ ->
+    true
+  | Instr.Store _ | Instr.Atomicrmw _ -> false
+  | Instr.Call (_, Instr.Direct name, _) -> (
+    match Devrt.Registry.lookup name with
+    | Some r -> r.Devrt.Registry.rt_effect = Devrt.Registry.Eff_none
+    | None -> (
+      match Irmod.find_func m name with
+      | Some f -> Func.has_attr f Func.Pure
+      | None -> false))
+  | Instr.Call (_, Instr.Indirect _, _) -> false
+
+let run_func (m : Irmod.t) (f : Func.t) =
+  if Func.is_declaration f then false
+  else begin
+    let changed = ref false in
+    (* 1. constant folding: replace uses of foldable instructions *)
+    Func.iter_instrs f ~g:(fun _ i ->
+        match fold_instr i with
+        | Some c ->
+          Func.replace_uses f ~old_v:(Value.Reg i.Instr.id) ~new_v:c;
+          changed := true
+        | None -> ());
+    (* 2. branch folding *)
+    List.iter
+      (fun b ->
+        match b.Block.term with
+        | Block.Cbr (Value.Const (Value.CInt (_, c)), l1, l2) ->
+          b.Block.term <- Block.Br (if c <> 0L then l1 else l2);
+          changed := true
+        | Block.Cbr (_, l1, l2) when String.equal l1 l2 ->
+          b.Block.term <- Block.Br l1;
+          changed := true
+        | Block.Switch (Value.Const (Value.CInt (_, c)), cases, d) ->
+          let target = match List.assoc_opt c cases with Some l -> l | None -> d in
+          b.Block.term <- Block.Br target;
+          changed := true
+        | _ -> ())
+      f.Func.blocks;
+    (* 3. unreachable block pruning *)
+    if Cfg.prune_unreachable f then changed := true;
+    (* 3b. merge straight-line blocks: b -> Br l where l has one predecessor *)
+    (let cfg = Cfg.compute f in
+     let merged = ref true in
+     while !merged do
+       merged := false;
+       List.iter
+         (fun b ->
+           match b.Block.term with
+           | Block.Br l
+             when (not (String.equal l b.Block.label))
+                  && (match Func.find_block f l with
+                     | Some succ ->
+                       List.length (Cfg.preds cfg l) = 1
+                       && not (String.equal succ.Block.label (Func.entry f).Block.label)
+                     | None -> false) -> (
+             match Func.find_block f l with
+             | Some succ when List.memq succ f.Func.blocks && List.memq b f.Func.blocks ->
+               b.Block.instrs <- b.Block.instrs @ succ.Block.instrs;
+               b.Block.term <- succ.Block.term;
+               Func.remove_blocks f [ l ];
+               merged := true;
+               changed := true
+             | _ -> ())
+           | _ -> ())
+         f.Func.blocks
+     done);
+    (* 4. dead instruction elimination *)
+    let used = used_regs f in
+    List.iter
+      (fun b ->
+        let keep =
+          List.filter
+            (fun i ->
+              let dead =
+                (not (Instr.has_result i) && false)
+                || (not (IS.mem i.Instr.id used)) && removable_if_unused m i
+              in
+              if dead then changed := true;
+              not dead)
+            b.Block.instrs
+        in
+        b.Block.instrs <- keep)
+      f.Func.blocks;
+    !changed
+  end
+
+(* Remove internal functions not reachable from any root (main, kernels,
+   externally visible functions).  This clears dead runtime glue and the
+   leftovers of internalization, which would otherwise pollute the
+   register-pressure estimates and fold counts. *)
+let remove_dead_functions (m : Irmod.t) =
+  let cg = Analysis.Callgraph.compute m in
+  let roots =
+    List.filter_map
+      (fun f ->
+        if
+          Func.is_kernel f
+          || String.equal f.Func.name "main"
+          || f.Func.linkage <> Func.Internal
+        then Some f.Func.name
+        else None)
+      (Irmod.defined_funcs m)
+  in
+  let live = Analysis.Callgraph.reachable_from cg roots in
+  let dead =
+    List.filter
+      (fun f ->
+        (not (Func.is_declaration f))
+        && f.Func.linkage = Func.Internal
+        && not (Support.Util.String_set.mem f.Func.name live))
+      m.Irmod.funcs
+  in
+  List.iter (fun f -> Irmod.remove_func m f.Func.name) dead;
+  dead <> []
+
+let run (m : Irmod.t) =
+  let changed = ref false in
+  List.iter (fun f -> if run_func m f then changed := true) (Irmod.defined_funcs m);
+  (* iterate locally to a fixpoint: folding exposes dead branches which
+     expose dead code *)
+  let rounds = ref 0 in
+  let any = ref !changed in
+  while !changed && !rounds < 8 do
+    incr rounds;
+    changed := false;
+    List.iter (fun f -> if run_func m f then changed := true) (Irmod.defined_funcs m);
+    if !changed then any := true
+  done;
+  (* standalone IR fragments (unit tests, tools) have no kernels or main;
+     skip the global DCE there so hand-written functions survive *)
+  (if Irmod.kernels m <> [] || Irmod.find_func m "main" <> None then
+     if remove_dead_functions m then any := true);
+  !any

@@ -1,0 +1,296 @@
+(* SPMDzation (Section IV-B.3): convert a generic-mode kernel into SPMD mode.
+
+   All code executed by the main thread alone becomes redundantly executed by
+   every thread; side effects in that code are wrapped in "if (tid == 0)"
+   guards followed by a team barrier, with values flowing out of a guard
+   broadcast through shared memory.  Prior to guard generation, side effects
+   are grouped at the basic-block level (Figure 7): SPMD-amenable
+   instructions that do not depend on the pending group are hoisted above it
+   so that adjacent side effects share one guarded region and one barrier.
+
+   The worker state machine becomes dead and is removed; parallel regions
+   keep their __kmpc_parallel_51 call sites, which the (SPMD-mode) runtime
+   executes directly on every thread. *)
+
+open Ir
+module SS = Support.Util.String_set
+
+type outcome =
+  | Converted of { guards : int }
+  | Not_applicable  (* already SPMD, or no prologue recognized *)
+  | Blocked of string * Support.Loc.t
+
+let gptr = Types.Ptr Types.Generic
+
+(* depends_on i group: does [i] use a result produced by the group? *)
+let depends_on (i : Instr.t) group =
+  List.exists
+    (fun v ->
+      match v with
+      | Value.Reg r -> List.exists (fun (j : Instr.t) -> j.Instr.id = r) group
+      | _ -> false)
+    (Instr.operands i)
+
+(* Partition the instructions of one block into segments of amenable code and
+   guardable groups, applying the grouping/hoisting optimization. *)
+let segment_block ~grouping eff m f (b : Block.t) =
+  (* returns (segments, blocked) where segments are
+     [`Plain of instrs | `Guard of instrs] in order.  While a guardable
+     group is pending, amenable instructions that are pure, read no memory
+     and do not depend on the group are hoisted above it (accumulated in
+     [plain], which is emitted before the group); anything else closes the
+     group. *)
+  let segments = ref [] in
+  let plain = ref [] in
+  let pending = ref [] in
+  let blocked = ref None in
+  let flush () =
+    if !plain <> [] then begin
+      segments := `Plain (List.rev !plain) :: !segments;
+      plain := []
+    end;
+    if !pending <> [] then begin
+      segments := `Guard (List.rev !pending) :: !segments;
+      pending := []
+    end
+  in
+  let hoistable i =
+    grouping && Instr.is_pure i
+    && (not (Instr.reads_memory i))
+    && not (depends_on i !pending)
+  in
+  List.iter
+    (fun (i : Instr.t) ->
+      if !blocked = None then
+        match Analysis.Effects.classify_instr eff m f i with
+        | Analysis.Effects.Blocking reason -> blocked := Some (reason, i.Instr.loc)
+        | Analysis.Effects.Guardable -> pending := i :: !pending
+        | Analysis.Effects.Amenable ->
+          if !pending = [] || hoistable i then plain := i :: !plain
+          else begin
+            flush ();
+            plain := [ i ]
+          end)
+    b.Block.instrs;
+  (match !blocked with None -> flush () | Some _ -> ());
+  (List.rev !segments, !blocked)
+
+(* Emit the guarded structure for one block's segments, rewriting the
+   function's block list.  Returns the number of guarded regions emitted. *)
+let emit_guards (m : Irmod.t) (f : Func.t) (b : Block.t) segments =
+  let guards = ref 0 in
+  (* snapshot all uses in the function BEFORE rebuilding the block, so that
+     uses in later segments of this very block are seen *)
+  let all_uses =
+    let acc = ref [] in
+    List.iter
+      (fun blk ->
+        List.iter
+          (fun (j : Instr.t) -> acc := (j.Instr.id, Instr.operands j) :: !acc)
+          blk.Block.instrs;
+        acc := (-1, Block.term_operands blk.Block.term) :: !acc)
+      f.Func.blocks;
+    !acc
+  in
+  (* We rebuild the block chain: the original block keeps its label and the
+     first segment; each guard introduces guard/rejoin blocks. *)
+  let orig_term = b.Block.term in
+  let cur = ref b in
+  (!cur).Block.instrs <- [];
+  let new_blocks = ref [] in
+  let fresh_label base =
+    let existing =
+      List.map (fun blk -> blk.Block.label) f.Func.blocks
+      @ List.map (fun blk -> blk.Block.label) !new_blocks
+    in
+    let rec loop i =
+      let l = Printf.sprintf "%s.%d" base i in
+      if List.mem l existing then loop (i + 1) else l
+    in
+    loop 0
+  in
+  let append_block label =
+    let nb = Block.make label in
+    new_blocks := nb :: !new_blocks;
+    nb
+  in
+  let uses_outside_segment (i : Instr.t) seg =
+    Instr.has_result i
+    && List.exists
+         (fun (user_id, operands) ->
+           (not (List.exists (fun (k : Instr.t) -> k.Instr.id = user_id) seg))
+           && List.exists (fun v -> Value.equal v (Value.Reg i.Instr.id)) operands)
+         all_uses
+  in
+  List.iter
+    (fun seg ->
+      match seg with
+      | `Plain instrs ->
+        (!cur).Block.instrs <- (!cur).Block.instrs @ instrs
+      | `Guard instrs ->
+        incr guards;
+        let guard_bb = append_block (fresh_label (b.Block.label ^ ".guard")) in
+        let rejoin_bb = append_block (fresh_label (b.Block.label ^ ".rejoin")) in
+        (* broadcast slots for values escaping the guard *)
+        let escaping = List.filter (fun i -> uses_outside_segment i instrs) instrs in
+        let slots =
+          List.map
+            (fun (i : Instr.t) ->
+              let gname =
+                Irmod.fresh_name m (Printf.sprintf "%s_bcast" f.Func.name)
+              in
+              Irmod.add_global m
+                {
+                  Irmod.gname;
+                  gty = Types.Arr (8, Types.I8);
+                  gspace = Types.Shared;
+                  ginit = None;
+                  glinkage = Func.Internal;
+                };
+              (i, gname))
+            escaping
+        in
+        (* rename escaping results inside the guard to fresh ids *)
+        let renames =
+          List.map
+            (fun ((i : Instr.t), gname) ->
+              let fresh = Func.fresh_reg f in
+              (i.Instr.id, fresh, gname, Instr.result_ty i))
+            slots
+        in
+        let rename_value v =
+          match v with
+          | Value.Reg r -> (
+            match List.find_opt (fun (old, _, _, _) -> old = r) renames with
+            | Some (_, fresh, _, _) -> Value.Reg fresh
+            | None -> v)
+          | _ -> v
+        in
+        (* guard entry: tid check in the current block *)
+        let tid_id = Func.fresh_reg f in
+        let cmp_id = Func.fresh_reg f in
+        (!cur).Block.instrs <-
+          (!cur).Block.instrs
+          @ [
+              Instr.make ~id:tid_id (Instr.Call (Types.I32, Instr.Direct "__gpu_thread_id", []));
+              Instr.make ~id:cmp_id
+                (Instr.Icmp (Instr.Eq, Types.I32, Value.Reg tid_id, Value.i32 0));
+            ];
+        (!cur).Block.term <-
+          Block.Cbr (Value.Reg cmp_id, guard_bb.Block.label, rejoin_bb.Block.label);
+        (* guard body: renamed side effects + broadcast stores *)
+        let guarded_instrs =
+          List.map
+            (fun (i : Instr.t) ->
+              match List.find_opt (fun (old, _, _, _) -> old = i.Instr.id) renames with
+              | Some (_, fresh, _, _) ->
+                let copy = Instr.make ~loc:i.Instr.loc ~id:fresh i.Instr.kind in
+                Instr.map_operands rename_value copy;
+                copy
+              | None ->
+                Instr.map_operands rename_value i;
+                i)
+            instrs
+        in
+        let bcast_stores =
+          List.map
+            (fun (_, fresh, gname, ty) ->
+              Instr.make (Instr.Store (ty, Value.Reg fresh, Value.Global gname))
+                ~id:(Func.fresh_reg f))
+            renames
+        in
+        guard_bb.Block.instrs <- guarded_instrs @ bcast_stores;
+        guard_bb.Block.term <- Block.Br rejoin_bb.Block.label;
+        (* rejoin: barrier, then broadcast loads into the original ids *)
+        let barrier =
+          Instr.make ~id:(Func.fresh_reg f)
+            (Instr.Call (Types.Void, Instr.Direct "__kmpc_barrier", []))
+        in
+        let bcast_loads =
+          List.map
+            (fun (old, _, gname, ty) ->
+              Instr.make ~id:old (Instr.Load (ty, Value.Global gname)))
+            renames
+        in
+        rejoin_bb.Block.instrs <- (barrier :: bcast_loads);
+        rejoin_bb.Block.term <- orig_term;  (* temporarily; fixed below *)
+        cur := rejoin_bb)
+    segments;
+  (!cur).Block.term <- orig_term;
+  (* register newly created blocks *)
+  List.iter (fun nb -> Func.add_block f nb) (List.rev !new_blocks);
+  !guards
+
+(* Remove the worker state machine of a generic kernel: redirect the
+   prologue branch straight to the main path and prune. *)
+let remove_state_machine (f : Func.t) ~main_label =
+  let entry = Func.entry f in
+  entry.Block.term <- Block.Br main_label;
+  ignore (Cfg.prune_unreachable f)
+
+let rewrite_init_constants (f : Func.t) =
+  Func.iter_instrs f ~g:(fun _ i ->
+      match i.Instr.kind with
+      | Instr.Call (ty, Instr.Direct ("__kmpc_target_init" as n), [ _ ])
+      | Instr.Call (ty, Instr.Direct ("__kmpc_target_deinit" as n), [ _ ]) ->
+        i.Instr.kind <- Instr.Call (ty, Instr.Direct n, [ Value.i32 1 ])
+      | _ -> ())
+
+(* Attempt to SPMDize one kernel. *)
+let try_kernel (m : Irmod.t) (domains : Analysis.Exec_domain.t) (sink : Remark.sink)
+    ~grouping (kernel : Func.t) =
+  match kernel.Func.kernel with
+  | None | Some { Func.exec_mode = Func.Spmd; _ } -> Not_applicable
+  | Some ({ Func.exec_mode = Func.Generic; _ } as info) -> (
+    match Analysis.Exec_domain.generic_prologue kernel with
+    | None -> Not_applicable
+    | Some (main_label, _worker_label) -> (
+      let eff = Analysis.Effects.create () in
+      (* analyze all main-only blocks first; collect per-block segments *)
+      let main_blocks =
+        List.filter
+          (fun b ->
+            Analysis.Exec_domain.instr_domain domains kernel b
+            = Analysis.Exec_domain.Main_only)
+          kernel.Func.blocks
+      in
+      let analyzed =
+        List.map (fun b -> (b, segment_block ~grouping eff m kernel b)) main_blocks
+      in
+      let first_blocked =
+        List.find_map (fun (_, (_, blocked)) -> blocked) analyzed
+      in
+      match first_blocked with
+      | Some (reason, loc) ->
+        Remark.emit sink
+          (Remark.make ~kind:Remark.Missed ~loc ~func:kernel.Func.name 121
+             ~detail:reason);
+        Blocked (reason, loc)
+      | None ->
+        let guards = ref 0 in
+        List.iter
+          (fun (b, (segments, _)) ->
+            let has_guard =
+              List.exists (function `Guard _ -> true | `Plain _ -> false) segments
+            in
+            if has_guard then guards := !guards + emit_guards m kernel b segments)
+          analyzed;
+        remove_state_machine kernel ~main_label;
+        rewrite_init_constants kernel;
+        info.Func.exec_mode <- Func.Spmd;
+        Remark.emit sink
+          (Remark.make ~loc:kernel.Func.loc ~func:kernel.Func.name 120);
+        Converted { guards = !guards }))
+
+let run (m : Irmod.t) (domains : Analysis.Exec_domain.t) (sink : Remark.sink) ~grouping =
+  let converted = ref 0 in
+  let guards = ref 0 in
+  List.iter
+    (fun k ->
+      match try_kernel m domains sink ~grouping k with
+      | Converted g ->
+        incr converted;
+        guards := !guards + g.guards
+      | Not_applicable | Blocked _ -> ())
+    (Irmod.kernels m);
+  (!converted, !guards)

@@ -1,0 +1,247 @@
+(* Custom state machine rewrite (Section IV-B.2): eliminate the function
+   pointers used to communicate parallel regions to the workers.
+
+   For a generic-mode kernel whose reachable parallel regions are all known
+   statically, the worker loop's indirect dispatch is replaced with an
+   if-cascade comparing a region id delivered by __kmpc_worker_wait_id
+   against the statically assigned ids, calling each region directly.  When
+   unknown regions may reach the kernel (indirect calls or calls into
+   external code), an indirect fallback via __kmpc_get_parallel_fn remains
+   and a remark is issued. *)
+
+open Ir
+module SS = Support.Util.String_set
+
+type outcome =
+  | Rewritten of { regions : int; fallback : bool }
+  | No_state_machine  (* SPMD kernel, or the pattern was not found *)
+  | Unknown_regions of string
+
+let gptr = Types.Ptr Types.Generic
+
+(* Find the worker state machine blocks by pattern: the await block contains
+   the __kmpc_worker_wait call and ends in cbr(exit, dispatch). *)
+let find_state_machine (kernel : Func.t) =
+  List.find_map
+    (fun b ->
+      let wait =
+        List.find_opt
+          (fun (i : Instr.t) ->
+            match i.Instr.kind with
+            | Instr.Call (_, Instr.Direct "__kmpc_worker_wait", _) -> true
+            | _ -> false)
+          b.Block.instrs
+      in
+      match (wait, b.Block.term) with
+      | Some wait, Block.Cbr (_, exit_l, dispatch_l) -> Some (b, wait, exit_l, dispatch_l)
+      | _ -> None)
+    kernel.Func.blocks
+
+(* All parallel_51 call sites in functions reachable from [kernel], plus
+   whether unknown parallel regions may exist (external callees, indirect
+   calls outside the state machine, or non-constant region functions). *)
+let gather_regions (m : Irmod.t) cg (kernel : Func.t) ~dispatch_label =
+  let reachable = Analysis.Callgraph.reachable_from cg [ kernel.Func.name ] in
+  let regions = ref [] in
+  let unknown = ref None in
+  SS.iter
+    (fun fname ->
+      match Irmod.find_func m fname with
+      | None -> ()
+      | Some f when Func.is_declaration f ->
+        (* the OpenMP 5.1 omp_no_openmp assumption guarantees the callee
+           contains no OpenMP constructs, hence no parallel regions *)
+        if
+          (not (Devrt.Registry.is_runtime_fn fname))
+          && not (Func.has_attr f Func.No_openmp)
+        then
+          unknown := Some (Printf.sprintf "external function @%s may contain parallel regions" fname)
+      | Some f ->
+        Func.iter_instrs f ~g:(fun b i ->
+            match i.Instr.kind with
+            | Instr.Call (_, Instr.Direct "__kmpc_parallel_51", args) -> (
+              match args with
+              | Value.Func region :: _ ->
+                if not (List.mem region !regions) then regions := region :: !regions
+              | _ -> unknown := Some "parallel region with a non-constant function")
+            | Instr.Call (_, Instr.Indirect _, _)
+              when not
+                     (String.equal f.Func.name kernel.Func.name
+                     && String.equal b.Block.label dispatch_label) ->
+              unknown := Some (Printf.sprintf "indirect call in @%s" fname)
+            | _ -> ()))
+    reachable;
+  (List.rev !regions, !unknown)
+
+(* Rewrite the parallel_51 call sites of the given regions to carry their
+   assigned ids. *)
+let assign_ids (m : Irmod.t) region_ids =
+  List.iter
+    (fun f ->
+      Func.iter_instrs f ~g:(fun _ i ->
+          match i.Instr.kind with
+          | Instr.Call (ty, Instr.Direct "__kmpc_parallel_51",
+                        (Value.Func region :: _ :: rest)) -> (
+            match List.assoc_opt region region_ids with
+            | Some id ->
+              i.Instr.kind <-
+                Instr.Call
+                  (ty, Instr.Direct "__kmpc_parallel_51",
+                   Value.Func region :: Value.i64 (Int64.to_int id) :: rest)
+            | None -> ())
+          | _ -> ()))
+    (Irmod.defined_funcs m)
+
+let rewrite_kernel (m : Irmod.t) cg (sink : Remark.sink) (kernel : Func.t) =
+  match kernel.Func.kernel with
+  | None | Some { Func.exec_mode = Func.Spmd; _ } -> No_state_machine
+  | Some { Func.exec_mode = Func.Generic; _ } -> (
+    match find_state_machine kernel with
+    | None -> No_state_machine
+    | Some (await_bb, wait_instr, exit_l, dispatch_l) -> (
+      let regions, unknown = gather_regions m cg kernel ~dispatch_label:dispatch_l in
+      match (regions, unknown) with
+      | [], None ->
+        (* no parallel regions at all: nothing for workers to do *)
+        Remark.emit sink (Remark.make ~loc:kernel.Func.loc ~func:kernel.Func.name 133);
+        No_state_machine
+      | _ -> (
+        match unknown with
+        | Some reason when regions = [] ->
+          Remark.emit sink
+            (Remark.make ~kind:Remark.Missed ~loc:kernel.Func.loc
+               ~func:kernel.Func.name 150 ~detail:reason);
+          Unknown_regions reason
+        | _ ->
+          let fallback = unknown <> None in
+          let region_ids = List.mapi (fun idx r -> (r, Int64.of_int idx)) regions in
+          assign_ids m region_ids;
+          let await_label = await_bb.Block.label in
+          (* rewrite the await block: wait for an id instead of a pointer *)
+          let id_reg = wait_instr.Instr.id in
+          wait_instr.Instr.kind <-
+            Instr.Call (Types.I64, Instr.Direct "__kmpc_worker_wait_id", []);
+          let term_cmp = Func.fresh_reg kernel in
+          (* replace the null-check icmp: find it (it uses the wait result) *)
+          await_bb.Block.instrs <-
+            List.map
+              (fun (i : Instr.t) ->
+                match i.Instr.kind with
+                | Instr.Icmp (_, _, Value.Reg r, _) when r = id_reg ->
+                  Instr.make ~id:i.Instr.id
+                    (Instr.Icmp (Instr.Eq, Types.I64, Value.Reg id_reg, Value.i64 (-2)))
+                | _ -> i)
+              await_bb.Block.instrs;
+          ignore term_cmp;
+          (* build the if-cascade, replacing the old dispatch block *)
+          let cascade_labels =
+            List.mapi
+              (fun idx _ -> Printf.sprintf "%s.case%d" dispatch_l idx)
+              regions
+          in
+          let call_labels =
+            List.mapi (fun idx _ -> Printf.sprintf "%s.call%d" dispatch_l idx) regions
+          in
+          let fallback_label = dispatch_l ^ ".fallback" in
+          let next_label idx =
+            if idx + 1 < List.length regions then List.nth cascade_labels (idx + 1)
+            else if fallback then fallback_label
+            else dispatch_l ^ ".nowork"
+          in
+          (* dispatch_l itself becomes the first cascade test *)
+          let blocks = ref [] in
+          List.iteri
+            (fun idx region ->
+              let test_label =
+                if idx = 0 then dispatch_l else List.nth cascade_labels idx
+              in
+              let cmp = Func.fresh_reg kernel in
+              let test_bb =
+                Block.make test_label
+                  ~instrs:
+                    [
+                      Instr.make ~id:cmp
+                        (Instr.Icmp
+                           (Instr.Eq, Types.I64, Value.Reg id_reg,
+                            Value.i64 (Int64.to_int (List.assoc region region_ids))));
+                    ]
+                  ~term:(Block.Cbr (Value.Reg cmp, List.nth call_labels idx, next_label idx))
+              in
+              let args_reg = Func.fresh_reg kernel in
+              (* every cascade leaf signals region completion itself *)
+              let call_bb =
+                Block.make (List.nth call_labels idx)
+                  ~instrs:
+                    [
+                      Instr.make ~id:args_reg
+                        (Instr.Call (gptr, Instr.Direct "__kmpc_get_parallel_args", []));
+                      Instr.make ~id:(Func.fresh_reg kernel)
+                        (Instr.Call (Types.Void, Instr.Direct region, [ Value.Reg args_reg ]));
+                      Instr.make ~id:(Func.fresh_reg kernel)
+                        (Instr.Call (Types.Void, Instr.Direct "__kmpc_worker_done", []));
+                    ]
+                  ~term:(Block.Br await_label)
+              in
+              blocks := call_bb :: test_bb :: !blocks)
+            regions;
+          (* fallback or no-work termination *)
+          if fallback then begin
+            let fn_reg = Func.fresh_reg kernel in
+            let args_reg = Func.fresh_reg kernel in
+            let fb =
+              Block.make fallback_label
+                ~instrs:
+                  [
+                    Instr.make ~id:fn_reg
+                      (Instr.Call (gptr, Instr.Direct "__kmpc_get_parallel_fn", []));
+                    Instr.make ~id:args_reg
+                      (Instr.Call (gptr, Instr.Direct "__kmpc_get_parallel_args", []));
+                    Instr.make ~id:(Func.fresh_reg kernel)
+                      (Instr.Call (Types.Void, Instr.Indirect (Value.Reg fn_reg),
+                                   [ Value.Reg args_reg ]));
+                    Instr.make ~id:(Func.fresh_reg kernel)
+                      (Instr.Call (Types.Void, Instr.Direct "__kmpc_worker_done", []));
+                  ]
+                ~term:(Block.Br await_label)
+            in
+            blocks := fb :: !blocks
+          end
+          else begin
+            let nw =
+              Block.make (dispatch_l ^ ".nowork")
+                ~instrs:
+                  [
+                    Instr.make ~id:(Func.fresh_reg kernel)
+                      (Instr.Call (Types.Void, Instr.Direct "__kmpc_worker_done", []));
+                  ]
+                ~term:(Block.Br await_label)
+            in
+            blocks := nw :: !blocks
+          end;
+          (* splice: drop the old dispatch block, add the new ones *)
+          Func.remove_blocks kernel [ dispatch_l ];
+          List.iter (fun b -> Func.add_block kernel b) (List.rev !blocks);
+          (* the exit branch target is unchanged *)
+          ignore exit_l;
+          Remark.emit sink
+            (Remark.make ~loc:kernel.Func.loc ~func:kernel.Func.name
+               (if fallback then 132 else 130));
+          if fallback then
+            Remark.emit sink
+              (Remark.make ~kind:Remark.Analysis ~loc:kernel.Func.loc
+                 ~func:kernel.Func.name 131);
+          Rewritten { regions = List.length regions; fallback })))
+
+let run (m : Irmod.t) (sink : Remark.sink) =
+  let cg = Analysis.Callgraph.compute m in
+  let rewritten = ref 0 in
+  let fallbacks = ref 0 in
+  List.iter
+    (fun k ->
+      match rewrite_kernel m cg sink k with
+      | Rewritten { fallback; _ } ->
+        incr rewritten;
+        if fallback then incr fallbacks
+      | No_state_machine | Unknown_regions _ -> ())
+    (Irmod.kernels m);
+  (!rewritten, !fallbacks)

@@ -1,0 +1,159 @@
+(* The device runtime function registry.
+
+   This is the MiniIR equivalent of LLVM's OMPKinds.def: the single table of
+   known device runtime functions together with the semantic facts the
+   OpenMP-aware optimizer is allowed to assume about them (Section IV of the
+   paper: "we look for uses of known LLVM/OpenMP runtime functions that have
+   been emitted by the front-end in response to user pragmas").
+
+   The GPU simulator intercepts calls to these functions by name; their
+   executable semantics live in [Gpusim]. *)
+
+open Ir
+
+(* Execution-mode encoding used as the i32 argument of __kmpc_target_init. *)
+let mode_generic = 0
+let mode_spmd = 1
+
+(* __kmpc_target_init returns this for the thread that continues as the team's
+   main thread; workers receive their hardware thread id instead. *)
+let main_thread_return = -1
+
+type effect_class =
+  | Eff_none  (* pure query; may read launch state but no side effects *)
+  | Eff_alloc  (* allocates globalized storage *)
+  | Eff_free
+  | Eff_sync  (* synchronizes threads *)
+  | Eff_parallel  (* launches a parallel region *)
+  | Eff_other  (* arbitrary observable side effect (tracing) *)
+
+type t = {
+  rt_name : string;
+  rt_ret : Types.t;
+  rt_params : Types.t list;
+  rt_effect : effect_class;
+  (* Safe for every thread of a team to execute (used by SPMDzation to skip
+     guarding: "our SPMDzation analysis explicitly interacts with the data
+     placement optimization"). *)
+  rt_spmd_amenable : bool;
+  (* Pointer arguments do not escape through this call. *)
+  rt_nocapture : bool;
+}
+
+let rt ?(spmd_amenable = false) ?(nocapture = true) name ret params effect_ =
+  {
+    rt_name = name;
+    rt_ret = ret;
+    rt_params = params;
+    rt_effect = effect_;
+    rt_spmd_amenable = spmd_amenable;
+    rt_nocapture = nocapture;
+  }
+
+let gp = Types.Ptr Types.Generic
+let i1 = Types.I1
+let i32 = Types.I32
+let i64 = Types.I64
+let f64 = Types.F64
+let f32 = Types.F32
+let void = Types.Void
+
+let all : t list =
+  [
+    (* kernel bracketing *)
+    rt "__kmpc_target_init" i32 [ i32 ] Eff_sync ~spmd_amenable:true;
+    rt "__kmpc_target_deinit" void [ i32 ] Eff_sync ~spmd_amenable:true;
+    (* parallel region launch: fn pointer (or null), region id (or -1),
+       shared args pointer, requested num_threads (0 = all) *)
+    rt "__kmpc_parallel_51" void [ gp; i64; gp; i32 ] Eff_parallel ~spmd_amenable:true
+      ~nocapture:false;
+    (* worker state-machine primitives (generic mode only) *)
+    rt "__kmpc_worker_wait" gp [] Eff_sync;
+    rt "__kmpc_get_parallel_id" i64 [] Eff_none;
+    rt "__kmpc_get_parallel_fn" gp [] Eff_none;
+    rt "__kmpc_worker_wait_id" i64 [] Eff_sync;
+    rt "__kmpc_get_parallel_args" gp [] Eff_none;
+    rt "__kmpc_worker_done" void [] Eff_sync;
+    (* simplified globalization (LLVM 13 / this paper, Fig. 4c) *)
+    rt "__kmpc_alloc_shared" gp [ i64 ] Eff_alloc;
+    rt "__kmpc_free_shared" void [ gp; i64 ] Eff_free;
+    (* legacy globalization (LLVM 12, Fig. 4b).  The LLVM-12-era device
+       runtime is an opaque pre-compiled library: its entry points cost a
+       real call and are not foldable, unlike the bitcode-linked runtime
+       glue of the Dev branch. *)
+    rt "__kmpc_data_sharing_push_stack" gp [ i64; i32 ] Eff_alloc;
+    rt "__kmpc_data_sharing_pop_stack" void [ gp ] Eff_free;
+    rt "__kmpc_data_sharing_mode_check" i1 [] Eff_none ~spmd_amenable:true;
+    (* queries folded by the runtime-call optimization (Section IV-C) *)
+    rt "__kmpc_is_spmd_exec_mode" i1 [] Eff_none ~spmd_amenable:true;
+    (* raw hardware queries (CUDA's threadIdx/blockIdx equivalents) *)
+    rt "__gpu_thread_id" i32 [] Eff_none ~spmd_amenable:true;
+    rt "__gpu_num_threads" i32 [] Eff_none ~spmd_amenable:true;
+    rt "__gpu_team_id" i32 [] Eff_none ~spmd_amenable:true;
+    rt "__gpu_num_teams" i32 [] Eff_none ~spmd_amenable:true;
+    rt "__kmpc_parallel_level" i32 [] Eff_none ~spmd_amenable:true;
+    rt "__kmpc_get_warp_size" i32 [] Eff_none ~spmd_amenable:true;
+    rt "__kmpc_get_hardware_num_threads" i32 [] Eff_none ~spmd_amenable:true;
+    rt "omp_get_thread_num" i32 [] Eff_none ~spmd_amenable:true;
+    rt "omp_get_num_threads" i32 [] Eff_none ~spmd_amenable:true;
+    rt "omp_get_team_num" i32 [] Eff_none ~spmd_amenable:true;
+    rt "omp_get_num_teams" i32 [] Eff_none ~spmd_amenable:true;
+    (* synchronization *)
+    rt "__kmpc_barrier" void [] Eff_sync ~spmd_amenable:true;
+    (* math builtins: pure, thread-independent *)
+    rt "__math_sqrt" f64 [ f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_sin" f64 [ f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_cos" f64 [ f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_exp" f64 [ f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_log" f64 [ f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_fabs" f64 [ f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_pow" f64 [ f64; f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_fmin" f64 [ f64; f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_fmax" f64 [ f64; f64 ] Eff_none ~spmd_amenable:true;
+    rt "__math_sqrtf" f32 [ f32 ] Eff_none ~spmd_amenable:true;
+    (* observable tracing, used by differential tests: optimizations must
+       preserve the trace a program produces *)
+    rt "__devrt_trace" void [ i64 ] Eff_other ~spmd_amenable:false;
+    rt "__devrt_trace_f64" void [ f64 ] Eff_other ~spmd_amenable:false;
+  ]
+
+let by_name = Hashtbl.create 64
+
+let () = List.iter (fun r -> Hashtbl.replace by_name r.rt_name r) all
+
+let lookup name = Hashtbl.find_opt by_name name
+let is_runtime_fn name = Hashtbl.mem by_name name
+
+let is_alloc name =
+  match lookup name with Some r -> r.rt_effect = Eff_alloc | None -> false
+
+let is_free name = match lookup name with Some r -> r.rt_effect = Eff_free | None -> false
+
+(* The matching deallocation function of an allocation function. *)
+let free_of_alloc = function
+  | "__kmpc_alloc_shared" -> Some "__kmpc_free_shared"
+  | "__kmpc_data_sharing_push_stack" -> Some "__kmpc_data_sharing_pop_stack"
+  | _ -> None
+
+let is_spmd_amenable name =
+  match lookup name with Some r -> r.rt_spmd_amenable | None -> false
+
+let has_side_effect name =
+  match lookup name with
+  | Some r -> (
+    match r.rt_effect with
+    | Eff_none -> false
+    | Eff_alloc | Eff_free | Eff_sync | Eff_parallel | Eff_other -> true)
+  | None -> true
+
+(* Add declarations for every runtime function not yet present. *)
+let declare_in (m : Irmod.t) =
+  List.iter
+    (fun r ->
+      match Irmod.find_func m r.rt_name with
+      | Some _ -> ()
+      | None ->
+        Irmod.add_func m
+          (Func.declare r.rt_name ~ret_ty:r.rt_ret
+             ~params:(List.map (fun ty -> ("", ty)) r.rt_params)))
+    all

@@ -1,0 +1,52 @@
+(** The device runtime function registry — the MiniIR equivalent of LLVM's
+    OMPKinds.def: the single table of known device runtime functions and
+    the semantic facts the OpenMP-aware optimizer may assume about them
+    ("we look for uses of known LLVM/OpenMP runtime functions that have
+    been emitted by the front-end", paper Section IV).
+
+    The GPU simulator intercepts calls to these functions by name; their
+    executable semantics live in [Gpusim.Interp]. *)
+
+val mode_generic : int
+(** Execution-mode encoding of the i32 argument of [__kmpc_target_init]. *)
+
+val mode_spmd : int
+
+val main_thread_return : int
+(** What [__kmpc_target_init] returns to the thread that continues as the
+    team's main thread in generic mode (workers get their hardware id). *)
+
+type effect_class =
+  | Eff_none  (** pure query; reads launch state but has no side effects *)
+  | Eff_alloc  (** allocates globalized storage *)
+  | Eff_free
+  | Eff_sync  (** synchronizes threads *)
+  | Eff_parallel  (** launches a parallel region *)
+  | Eff_other  (** arbitrary observable side effect (tracing) *)
+
+type t = {
+  rt_name : string;
+  rt_ret : Ir.Types.t;
+  rt_params : Ir.Types.t list;
+  rt_effect : effect_class;
+  rt_spmd_amenable : bool;
+      (** safe for every thread of a team to execute redundantly (lets
+          SPMDzation skip guarding this call) *)
+  rt_nocapture : bool;  (** pointer arguments do not escape through the call *)
+}
+
+val all : t list
+
+val lookup : string -> t option
+val is_runtime_fn : string -> bool
+val is_alloc : string -> bool
+val is_free : string -> bool
+
+val free_of_alloc : string -> string option
+(** The matching deallocation function of an allocation function. *)
+
+val is_spmd_amenable : string -> bool
+val has_side_effect : string -> bool
+
+val declare_in : Ir.Irmod.t -> unit
+(** Add declarations for every runtime function not yet present. *)

@@ -1,0 +1,175 @@
+(* Abstract syntax of MiniOMP: a small C subset with OpenMP pragmas, just
+   large enough to express the proxy applications and the paper's examples. *)
+
+type cty =
+  | Tvoid
+  | Tint     (* 32-bit signed *)
+  | Tlong    (* 64-bit signed *)
+  | Tfloat
+  | Tdouble
+  | Tptr of cty
+  | Tarr of cty * int
+
+let rec pp_cty ppf = function
+  | Tvoid -> Fmt.string ppf "void"
+  | Tint -> Fmt.string ppf "int"
+  | Tlong -> Fmt.string ppf "long"
+  | Tfloat -> Fmt.string ppf "float"
+  | Tdouble -> Fmt.string ppf "double"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_cty t
+  | Tarr (t, n) -> Fmt.pf ppf "%a[%d]" pp_cty t n
+
+type unop = Neg | Lnot | Bnot | Addr | Deref
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+  | Band | Bor | Bxor | Shl | Shr
+
+type expr = { e : expr_kind; eloc : Support.Loc.t }
+
+and expr_kind =
+  | Int_lit of int64
+  | Float_lit of float
+  | Ident of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of expr * expr
+  | Op_assign of binop * expr * expr  (* x += e and friends *)
+  | Call of string * expr list
+  | Index of expr * expr
+  | Cast of cty * expr
+  | Cond of expr * expr * expr
+
+type clause =
+  | Num_teams of int
+  | Thread_limit of int
+  | Num_threads of int
+
+type pragma =
+  | P_target_teams of clause list
+  | P_target_teams_distribute of clause list
+  | P_target_teams_distribute_parallel_for of clause list
+  | P_parallel of clause list
+  | P_parallel_for of clause list
+  | P_barrier
+  | P_atomic
+
+type stmt = { s : stmt_kind; sloc : Support.Loc.t }
+
+and stmt_kind =
+  | Decl of cty * string * expr option
+  | Expr of expr
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of stmt option * expr option * expr option * stmt
+  | Return of expr option
+  | Block of stmt list
+  | Pragma of pragma * stmt
+  | Break
+  | Continue
+
+(* Assumptions attachable to functions, mirroring the OpenMP 5.1 [assume]
+   directive integration described in Section IV-D. *)
+type assumption = A_spmd_amenable | A_nocapture | A_no_openmp
+
+type func_def = {
+  fname : string;
+  fret : cty;
+  fparams : (cty * string) list;
+  fbody : stmt option;  (* None for extern declarations *)
+  fassumes : assumption list;
+  fstatic : bool;  (* static = internal linkage *)
+  floc : Support.Loc.t;
+}
+
+type global_def = {
+  gname : string;
+  gty : cty;
+  gloc : Support.Loc.t;
+}
+
+type program = { globals : global_def list; funcs : func_def list }
+
+(* Free variables of a statement, minus those declared inside it.  Used by
+   the code generator to compute the captures of outlined regions. *)
+module SS = Support.Util.String_set
+
+let rec expr_vars e =
+  match e.e with
+  | Int_lit _ | Float_lit _ -> SS.empty
+  | Ident x -> SS.singleton x
+  | Unary (_, a) | Cast (_, a) -> expr_vars a
+  | Binary (_, a, b) | Assign (a, b) | Op_assign (_, a, b) | Index (a, b) ->
+    SS.union (expr_vars a) (expr_vars b)
+  | Call (_, args) -> List.fold_left (fun s a -> SS.union s (expr_vars a)) SS.empty args
+  | Cond (c, a, b) -> SS.union (expr_vars c) (SS.union (expr_vars a) (expr_vars b))
+
+let rec stmt_free_vars st =
+  match st.s with
+  | Decl (_, _, init) -> ( match init with Some e -> expr_vars e | None -> SS.empty)
+  | Expr e -> expr_vars e
+  | If (c, t, f) ->
+    SS.union (expr_vars c)
+      (SS.union (stmt_free_vars t)
+         (match f with Some f -> stmt_free_vars f | None -> SS.empty))
+  | While (c, body) -> SS.union (expr_vars c) (stmt_free_vars body)
+  | For (init, cond, step, body) ->
+    let of_opt_e = function Some e -> expr_vars e | None -> SS.empty in
+    let inner =
+      SS.union (of_opt_e cond) (SS.union (of_opt_e step) (stmt_free_vars body))
+    in
+    (* a variable declared in the init clause is bound in the whole loop *)
+    let inner =
+      match init with
+      | Some { s = Decl (_, x, ie); _ } ->
+        SS.union
+          (match ie with Some e -> expr_vars e | None -> SS.empty)
+          (SS.remove x inner)
+      | Some st -> SS.union (stmt_free_vars st) inner
+      | None -> inner
+    in
+    inner
+  | Return (Some e) -> expr_vars e
+  | Return None | Break | Continue -> SS.empty
+  | Block stmts ->
+    (* fold right so declarations bind the statements that follow them *)
+    List.fold_right
+      (fun st acc ->
+        match st.s with
+        | Decl (_, x, init) ->
+          SS.union
+            (match init with Some e -> expr_vars e | None -> SS.empty)
+            (SS.remove x acc)
+        | _ -> SS.union (stmt_free_vars st) acc)
+      stmts SS.empty
+  | Pragma (_, body) -> stmt_free_vars body
+
+(* Variables whose address is taken explicitly with &x inside a statement. *)
+let rec addr_taken_vars st =
+  let rec of_expr e =
+    match e.e with
+    | Unary (Addr, { e = Ident x; _ }) -> SS.singleton x
+    | Int_lit _ | Float_lit _ | Ident _ -> SS.empty
+    | Unary (_, a) | Cast (_, a) -> of_expr a
+    | Binary (_, a, b) | Assign (a, b) | Op_assign (_, a, b) | Index (a, b) ->
+      SS.union (of_expr a) (of_expr b)
+    | Call (_, args) -> List.fold_left (fun s a -> SS.union s (of_expr a)) SS.empty args
+    | Cond (c, a, b) -> SS.union (of_expr c) (SS.union (of_expr a) (of_expr b))
+  in
+  match st.s with
+  | Decl (_, _, Some e) | Expr e -> of_expr e
+  | Decl (_, _, None) | Break | Continue | Return None -> SS.empty
+  | Return (Some e) -> of_expr e
+  | If (c, t, f) ->
+    SS.union (of_expr c)
+      (SS.union (addr_taken_vars t)
+         (match f with Some f -> addr_taken_vars f | None -> SS.empty))
+  | While (c, body) -> SS.union (of_expr c) (addr_taken_vars body)
+  | For (init, cond, step, body) ->
+    let of_opt = function Some e -> of_expr e | None -> SS.empty in
+    let of_init = function Some st -> addr_taken_vars st | None -> SS.empty in
+    SS.union (of_init init) (SS.union (of_opt cond) (SS.union (of_opt step) (addr_taken_vars body)))
+  | Block stmts -> List.fold_left (fun s st -> SS.union s (addr_taken_vars st)) SS.empty stmts
+  | Pragma (_, body) -> addr_taken_vars body

@@ -1,0 +1,1382 @@
+(* MiniOMP -> MiniIR code generation, modeled after Clang's OpenMP device
+   lowering.
+
+   Three globalization schemes are supported (Section IV-A):
+
+   - [Simplified] (LLVM 13 / the paper, Fig. 4c): every escaping local gets
+     its own __kmpc_alloc_shared / __kmpc_free_shared pair, always, even in
+     SPMD kernels.  Correct but slow until the middle-end undoes it.
+   - [Legacy] (LLVM 12, Fig. 4b): escaping locals are aggregated into one
+     runtime allocation; SPMD-mode kernels skip globalization entirely (the
+     unsound fast path that miscompiles Fig. 3); device functions emit a
+     runtime execution-mode check choosing between stack and runtime stack.
+   - [Cuda]: kernel-language semantics, no globalization (used for the CUDA
+     watermark builds of the benchmarks).
+
+   Kernels are emitted in generic mode (explicit worker state machine in IR,
+   TRegion-style) unless the directive is the combined
+   "target teams distribute parallel for", which is lowered SPMD. *)
+
+open Ast
+module SM = Support.Util.String_map
+module SS = Support.Util.String_set
+open Ir
+
+exception Error of string * Support.Loc.t
+
+let err loc fmt = Fmt.kstr (fun s -> raise (Error (s, loc))) fmt
+
+type scheme = Simplified | Legacy | Cuda
+
+let scheme_name = function
+  | Simplified -> "simplified"
+  | Legacy -> "legacy"
+  | Cuda -> "cuda"
+
+type options = { scheme : scheme; module_name : string }
+
+(* ------------------------------------------------------------------ *)
+(* C type helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec sizeof_cty = function
+  | Tvoid -> 0
+  | Tint -> 4
+  | Tlong -> 8
+  | Tfloat -> 4
+  | Tdouble -> 8
+  | Tptr _ -> 8
+  | Tarr (t, n) -> n * sizeof_cty t
+
+(* The IR type of a [cty] when used as a first-class value. *)
+let irty_value = function
+  | Tvoid -> Types.Void
+  | Tint -> Types.I32
+  | Tlong -> Types.I64
+  | Tfloat -> Types.F32
+  | Tdouble -> Types.F64
+  | Tptr _ | Tarr _ -> Types.Ptr Types.Generic
+
+(* The IR type used to allocate storage for a [cty]. *)
+let rec irty_storage = function
+  | Tarr (t, n) -> Types.Arr (n, irty_storage t)
+  | t -> irty_value t
+
+let is_float_cty = function Tfloat | Tdouble -> true | _ -> false
+let is_int_cty = function Tint | Tlong -> true | _ -> false
+let is_ptr_cty = function Tptr _ | Tarr _ -> true | _ -> false
+
+(* usual arithmetic conversions: double > float > long > int *)
+let rank = function Tdouble -> 4 | Tfloat -> 3 | Tlong -> 2 | Tint -> 1 | _ -> 0
+let unify_cty a b = if rank a >= rank b then a else b
+
+(* ------------------------------------------------------------------ *)
+(* Contexts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type context =
+  | Host
+  | Kernel_main of Func.exec_mode
+  | Parallel_region
+  | Device_fn
+
+let is_device_ctx = function Host -> false | Kernel_main _ | Parallel_region | Device_fn -> true
+
+type gctx = {
+  m : Irmod.t;
+  opts : options;
+  fsigs : (cty * cty list) SM.t;
+  global_tys : cty SM.t;
+  outlined_counter : Support.Util.Id_gen.t;
+  kernel_counter : Support.Util.Id_gen.t;
+}
+
+type binding = { addr : Value.t (* ptr(generic) *); bcty : cty }
+
+type fenv = {
+  g : gctx;
+  bld : Builder.t;
+  func : Func.t;
+  mutable vars : binding SM.t;
+  (* globalized allocations to release on return, in allocation order *)
+  frees : (Value.t * int) list ref;
+  legacy_base : Value.t option;  (* base of the aggregated legacy allocation *)
+  globalize : SS.t;
+  legacy_offsets : int SM.t;
+  mutable brk : string list;
+  mutable cont : string list;
+  ctx : context;
+}
+
+type tv = { v : Value.t; t : cty }
+
+(* ------------------------------------------------------------------ *)
+(* small IR helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gptr = Types.Ptr Types.Generic
+
+let to_generic fe v ty =
+  match ty with
+  | Types.Ptr Types.Generic -> v
+  | Types.Ptr _ -> Builder.cast fe.bld Instr.Spacecast gptr v
+  | _ -> v
+
+(* convert a typed value to another C type *)
+let convert fe (x : tv) (target : cty) loc =
+  if x.t = target then x.v
+  else
+    match (x.t, target) with
+    | Tint, Tlong -> Builder.cast fe.bld Instr.Sext Types.I64 x.v
+    | Tlong, Tint -> Builder.cast fe.bld Instr.Trunc Types.I32 x.v
+    | (Tint | Tlong), (Tfloat | Tdouble) ->
+      Builder.cast fe.bld Instr.Sitofp (irty_value target) x.v
+    | (Tfloat | Tdouble), (Tint | Tlong) ->
+      Builder.cast fe.bld Instr.Fptosi (irty_value target) x.v
+    | Tfloat, Tdouble -> Builder.cast fe.bld Instr.Fpext Types.F64 x.v
+    | Tdouble, Tfloat -> Builder.cast fe.bld Instr.Fptrunc Types.F32 x.v
+    | (Tptr _ | Tarr _), (Tptr _ | Tarr _) -> x.v
+    | _ -> err loc "cannot convert %a to %a" pp_cty x.t pp_cty target
+
+let zero_of = function
+  | Tint -> Value.i32 0
+  | Tlong -> Value.i64 0
+  | Tfloat -> Value.f32 0.0
+  | Tdouble -> Value.f64 0.0
+  | Tptr _ | Tarr _ -> Value.null Types.Generic
+  | Tvoid -> Value.undef Types.Void
+
+(* an i1 from a C scalar: v != 0 *)
+let truth fe (x : tv) loc =
+  match x.t with
+  | Tint | Tlong -> Builder.icmp fe.bld Instr.Ne (irty_value x.t) x.v (zero_of x.t)
+  | Tfloat | Tdouble -> Builder.fcmp fe.bld Instr.One (irty_value x.t) x.v (zero_of x.t)
+  | Tptr _ | Tarr _ -> Builder.icmp fe.bld Instr.Ne gptr x.v (Value.null Types.Generic)
+  | Tvoid -> err loc "void value used in condition"
+
+(* C int from an i1 *)
+let of_bool fe b = Builder.cast fe.bld Instr.Zext Types.I32 b
+
+(* ------------------------------------------------------------------ *)
+(* Variable allocation and globalization                               *)
+(* ------------------------------------------------------------------ *)
+
+let should_globalize fe name =
+  is_device_ctx fe.ctx
+  && fe.g.opts.scheme <> Cuda
+  && SS.mem name fe.globalize
+  &&
+  (* Legacy SPMD kernels skip globalization: the unsound fast path. *)
+  match (fe.g.opts.scheme, fe.ctx) with
+  | Legacy, Kernel_main Func.Spmd -> false
+  | _ -> true
+
+(* Allocate backing storage for a variable and return its generic address. *)
+let alloc_var fe name cty loc =
+  let size = sizeof_cty cty in
+  if not (should_globalize fe name) then begin
+    let a = Builder.alloca fe.bld (irty_storage cty) in
+    to_generic fe a (Types.Ptr Types.Local)
+  end
+  else
+    match fe.g.opts.scheme with
+    | Simplified ->
+      Builder.set_loc fe.bld loc;
+      let p = Builder.call fe.bld gptr "__kmpc_alloc_shared" [ Value.i64 size ] in
+      fe.frees := (p, size) :: !(fe.frees);
+      p
+    | Legacy -> (
+      match (fe.legacy_base, SM.find_opt name fe.legacy_offsets) with
+      | Some base, Some off ->
+        Builder.gep fe.bld ~ptr_ty:gptr base (Value.i64 off)
+      | _ ->
+        (* a variable we did not account for in the prescan: fall back *)
+        let a = Builder.alloca fe.bld (irty_storage cty) in
+        to_generic fe a (Types.Ptr Types.Local))
+    | Cuda -> assert false
+
+let bind fe name cty addr = fe.vars <- SM.add name { addr; bcty = cty } fe.vars
+
+(* emit the frees for all live globalized allocations (at returns) *)
+let emit_frees fe =
+  (match fe.g.opts.scheme with
+  | Simplified ->
+    List.iter
+      (fun (p, size) ->
+        ignore (Builder.call fe.bld Types.Void "__kmpc_free_shared" [ p; Value.i64 size ]))
+      !(fe.frees)
+  | Legacy -> (
+    match fe.legacy_base with
+    | Some base ->
+      ignore (Builder.call fe.bld Types.Void "__kmpc_data_sharing_pop_stack" [ base ])
+    | None -> ())
+  | Cuda -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Builtin calls                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* name -> (runtime function, return cty, param ctys); device glue versions
+   are chosen in [gen_call]. *)
+let math_builtins =
+  [
+    ("sqrt", "__math_sqrt"); ("sin", "__math_sin"); ("cos", "__math_cos");
+    ("exp", "__math_exp"); ("log", "__math_log"); ("fabs", "__math_fabs");
+    ("pow", "__math_pow"); ("fmin", "__math_fmin"); ("fmax", "__math_fmax");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_lvalue fe (e : expr) : Value.t * cty =
+  match e.e with
+  | Ident x -> (
+    match SM.find_opt x fe.vars with
+    | Some b -> (b.addr, b.bcty)
+    | None -> (
+      match SM.find_opt x fe.g.global_tys with
+      | Some cty ->
+        let v = to_generic fe (Value.Global x) (Types.Ptr Types.Global) in
+        (v, cty)
+      | None -> err e.eloc "unknown variable %s" x))
+  | Index (a, i) -> (
+    let base, elem_ty =
+      let addr, cty = gen_addr_of_indexable fe a in
+      match cty with
+      | Tarr (el, _) -> (addr, el)
+      | Tptr el -> (addr, el)
+      | t -> err a.eloc "cannot index a value of type %a" pp_cty t
+    in
+    let iv = gen_expr fe i in
+    let idx64 = convert fe iv Tlong i.eloc in
+    let scaled =
+      Builder.mul fe.bld Types.I64 idx64 (Value.i64 (sizeof_cty elem_ty))
+    in
+    (Builder.gep fe.bld ~ptr_ty:gptr base scaled, elem_ty))
+  | Unary (Deref, p) ->
+    let pv = gen_expr fe p in
+    (match pv.t with
+    | Tptr t -> (pv.v, t)
+    | t -> err e.eloc "cannot dereference a value of type %a" pp_cty t)
+  | _ -> err e.eloc "expression is not an lvalue"
+
+(* For a[i]: if [a] is an array lvalue we use its address directly (no load);
+   if it is a pointer we load the pointer value. *)
+and gen_addr_of_indexable fe (a : expr) : Value.t * cty =
+  match a.e with
+  | Ident x -> (
+    match SM.find_opt x fe.vars with
+    | Some ({ bcty = Tarr _; _ } as b) -> (b.addr, b.bcty)
+    | Some _ ->
+      let v = gen_expr fe a in
+      (v.v, v.t)
+    | None -> (
+      match SM.find_opt x fe.g.global_tys with
+      | Some (Tarr _ as cty) ->
+        (to_generic fe (Value.Global x) (Types.Ptr Types.Global), cty)
+      | Some _ ->
+        let v = gen_expr fe a in
+        (v.v, v.t)
+      | None -> err a.eloc "unknown variable %s" x))
+  | Index _ ->
+    (* multi-dimensional arrays: inner index yields an array-typed lvalue *)
+    let addr, cty = gen_lvalue fe a in
+    (match cty with
+    | Tarr _ -> (addr, cty)
+    | Tptr _ ->
+      let v = Builder.load fe.bld gptr addr in
+      (v, cty)
+    | t -> err a.eloc "cannot index into %a" pp_cty t)
+  | _ ->
+    let v = gen_expr fe a in
+    (v.v, v.t)
+
+and gen_expr fe (e : expr) : tv =
+  Builder.set_loc fe.bld e.eloc;
+  match e.e with
+  | Int_lit v ->
+    if v >= -2147483648L && v <= 2147483647L then
+      { v = Value.Const (Value.CInt (Types.I32, v)); t = Tint }
+    else { v = Value.Const (Value.CInt (Types.I64, v)); t = Tlong }
+  | Float_lit v -> { v = Value.f64 v; t = Tdouble }
+  | Ident _ | Index _ | Unary (Deref, _) ->
+    let addr, cty = gen_lvalue fe e in
+    (match cty with
+    | Tarr (el, _) -> { v = addr; t = Tptr el }  (* array decays to pointer *)
+    | _ -> { v = Builder.load fe.bld (irty_value cty) addr; t = cty })
+  | Unary (Addr, inner) ->
+    let addr, cty = gen_lvalue fe inner in
+    let pointee = match cty with Tarr (el, _) -> el | t -> t in
+    { v = addr; t = Tptr pointee }
+  | Unary (Neg, inner) ->
+    let x = gen_expr fe inner in
+    if is_float_cty x.t then
+      { v = Builder.bin fe.bld Instr.Fsub (irty_value x.t) (zero_of x.t) x.v; t = x.t }
+    else { v = Builder.sub fe.bld (irty_value x.t) (zero_of x.t) x.v; t = x.t }
+  | Unary (Lnot, inner) ->
+    let x = gen_expr fe inner in
+    let b = truth fe x e.eloc in
+    let nb = Builder.icmp fe.bld Instr.Eq Types.I1 b (Value.i1 false) in
+    { v = of_bool fe nb; t = Tint }
+  | Unary (Bnot, inner) ->
+    let x = gen_expr fe inner in
+    if not (is_int_cty x.t) then err e.eloc "~ requires an integer";
+    let all_ones = if x.t = Tint then Value.i32 (-1) else Value.i64 (-1) in
+    { v = Builder.bin fe.bld Instr.Xor (irty_value x.t) x.v all_ones; t = x.t }
+  | Binary ((Land | Lor) as op, a, b) -> gen_short_circuit fe op a b e.eloc
+  | Binary (op, a, b) ->
+    let av = gen_expr fe a in
+    let bv = gen_expr fe b in
+    gen_arith fe op av bv e.eloc
+  | Assign (lhs, rhs) ->
+    let addr, cty = gen_lvalue fe lhs in
+    let rv = gen_expr fe rhs in
+    let v = convert fe rv cty e.eloc in
+    Builder.store fe.bld (irty_value cty) v addr;
+    { v; t = cty }
+  | Op_assign (op, lhs, rhs) ->
+    let addr, cty = gen_lvalue fe lhs in
+    let old = { v = Builder.load fe.bld (irty_value cty) addr; t = cty } in
+    let rv = gen_expr fe rhs in
+    let res = gen_arith fe op old rv e.eloc in
+    let v = convert fe res cty e.eloc in
+    Builder.store fe.bld (irty_value cty) v addr;
+    { v; t = cty }
+  | Call (name, args) -> gen_call fe name args e.eloc
+  | Cast (cty, inner) ->
+    let x = gen_expr fe inner in
+    { v = convert fe x cty e.eloc; t = cty }
+  | Cond (c, a, b) ->
+    (* lower with a result slot; avoids needing phi nodes *)
+    let cv = gen_expr fe c in
+    let cb = truth fe cv e.eloc in
+    let then_bb = Builder.new_block fe.bld "cond.then" in
+    let else_bb = Builder.new_block fe.bld "cond.else" in
+    let merge_bb = Builder.new_block fe.bld "cond.end" in
+    (* evaluate both arms into a result slot; the slot's type is computed by
+       a cheap syntactic typing of the arms (no side effects are emitted) *)
+    let probe_ty =
+      (* peek: literals and idents give us the type cheaply *)
+      let rec ty_of (x : expr) =
+        match x.e with
+        | Int_lit _ -> Tint
+        | Float_lit _ -> Tdouble
+        | Ident n -> (
+          match SM.find_opt n fe.vars with
+          | Some b -> b.bcty
+          | None -> (
+            match SM.find_opt n fe.g.global_tys with Some t -> t | None -> Tdouble))
+        | Cast (t, _) -> t
+        | Binary (_, l, r) -> unify_cty (ty_of l) (ty_of r)
+        | _ -> Tdouble
+      in
+      unify_cty (ty_of a) (ty_of b)
+    in
+    let res_slot = Builder.alloca fe.bld (irty_value probe_ty) in
+    let res_addr = to_generic fe res_slot (Types.Ptr Types.Local) in
+    Builder.cbr fe.bld cb then_bb.Block.label else_bb.Block.label;
+    Builder.position_at_end fe.bld then_bb;
+    let av = gen_expr fe a in
+    Builder.store fe.bld (irty_value probe_ty) (convert fe av probe_ty e.eloc) res_addr;
+    Builder.br fe.bld merge_bb.Block.label;
+    Builder.position_at_end fe.bld else_bb;
+    let bv = gen_expr fe b in
+    Builder.store fe.bld (irty_value probe_ty) (convert fe bv probe_ty e.eloc) res_addr;
+    Builder.br fe.bld merge_bb.Block.label;
+    Builder.position_at_end fe.bld merge_bb;
+    { v = Builder.load fe.bld (irty_value probe_ty) res_addr; t = probe_ty }
+
+and gen_short_circuit fe op a b loc =
+  let res_slot = Builder.alloca fe.bld Types.I32 in
+  let res_addr = to_generic fe res_slot (Types.Ptr Types.Local) in
+  let rhs_bb = Builder.new_block fe.bld "sc.rhs" in
+  let merge_bb = Builder.new_block fe.bld "sc.end" in
+  let av = gen_expr fe a in
+  let ab = truth fe av loc in
+  Builder.store fe.bld Types.I32 (of_bool fe ab) res_addr;
+  (match op with
+  | Land -> Builder.cbr fe.bld ab rhs_bb.Block.label merge_bb.Block.label
+  | Lor -> Builder.cbr fe.bld ab merge_bb.Block.label rhs_bb.Block.label
+  | _ -> assert false);
+  Builder.position_at_end fe.bld rhs_bb;
+  let bv = gen_expr fe b in
+  let bb = truth fe bv loc in
+  Builder.store fe.bld Types.I32 (of_bool fe bb) res_addr;
+  Builder.br fe.bld merge_bb.Block.label;
+  Builder.position_at_end fe.bld merge_bb;
+  { v = Builder.load fe.bld Types.I32 res_addr; t = Tint }
+
+and gen_arith fe op (a : tv) (b : tv) loc : tv =
+  match op with
+  | Add | Sub | Mul | Div | Mod -> (
+    (* pointer arithmetic *)
+    match (a.t, op) with
+    | (Tptr el | Tarr (el, _)), (Add | Sub) when is_int_cty b.t ->
+      let off = convert fe b Tlong loc in
+      let scaled = Builder.mul fe.bld Types.I64 off (Value.i64 (sizeof_cty el)) in
+      let scaled =
+        if op = Sub then Builder.sub fe.bld Types.I64 (Value.i64 0) scaled else scaled
+      in
+      { v = Builder.gep fe.bld ~ptr_ty:gptr a.v scaled; t = Tptr el }
+    | _ ->
+      let ty = unify_cty a.t b.t in
+      if rank ty = 0 then err loc "invalid arithmetic operands";
+      let av = convert fe a ty loc and bv = convert fe b ty loc in
+      let instr_op =
+        if is_float_cty ty then
+          match op with
+          | Add -> Instr.Fadd | Sub -> Instr.Fsub | Mul -> Instr.Fmul | Div -> Instr.Fdiv
+          | Mod -> err loc "%% on floating point"
+          | _ -> assert false
+        else
+          match op with
+          | Add -> Instr.Add | Sub -> Instr.Sub | Mul -> Instr.Mul | Div -> Instr.Sdiv
+          | Mod -> Instr.Srem
+          | _ -> assert false
+      in
+      { v = Builder.bin fe.bld instr_op (irty_value ty) av bv; t = ty })
+  | Band | Bor | Bxor | Shl | Shr ->
+    let ty = unify_cty a.t b.t in
+    if not (is_int_cty ty) then err loc "bitwise op requires integers";
+    let av = convert fe a ty loc and bv = convert fe b ty loc in
+    let instr_op =
+      match op with
+      | Band -> Instr.And | Bor -> Instr.Or | Bxor -> Instr.Xor
+      | Shl -> Instr.Shl | Shr -> Instr.Ashr
+      | _ -> assert false
+    in
+    { v = Builder.bin fe.bld instr_op (irty_value ty) av bv; t = ty }
+  | Lt | Le | Gt | Ge | Eq | Ne ->
+    let cmp =
+      if is_ptr_cty a.t || is_ptr_cty b.t then begin
+        let cc =
+          match op with
+          | Eq -> Instr.Eq | Ne -> Instr.Ne | Lt -> Instr.Ult | Le -> Instr.Ule
+          | Gt -> Instr.Ugt | Ge -> Instr.Uge
+          | _ -> assert false
+        in
+        Builder.icmp fe.bld cc gptr a.v b.v
+      end
+      else begin
+        let ty = unify_cty a.t b.t in
+        let av = convert fe a ty loc and bv = convert fe b ty loc in
+        if is_float_cty ty then
+          let cc =
+            match op with
+            | Eq -> Instr.Oeq | Ne -> Instr.One | Lt -> Instr.Olt | Le -> Instr.Ole
+            | Gt -> Instr.Ogt | Ge -> Instr.Oge
+            | _ -> assert false
+          in
+          Builder.fcmp fe.bld cc (irty_value ty) av bv
+        else
+          let cc =
+            match op with
+            | Eq -> Instr.Eq | Ne -> Instr.Ne | Lt -> Instr.Slt | Le -> Instr.Sle
+            | Gt -> Instr.Sgt | Ge -> Instr.Sge
+            | _ -> assert false
+          in
+          Builder.icmp fe.bld cc (irty_value ty) av bv
+      end
+    in
+    { v = of_bool fe cmp; t = Tint }
+  | Land | Lor -> assert false  (* handled by gen_short_circuit *)
+
+and gen_call fe name args loc : tv =
+  let eval_args () = List.map (gen_expr fe) args in
+  let unary_f64 rt =
+    match eval_args () with
+    | [ a ] -> { v = Builder.call fe.bld Types.F64 rt [ convert fe a Tdouble loc ]; t = Tdouble }
+    | _ -> err loc "%s expects 1 argument" name
+  in
+  let binary_f64 rt =
+    match eval_args () with
+    | [ a; b ] ->
+      { v =
+          Builder.call fe.bld Types.F64 rt
+            [ convert fe a Tdouble loc; convert fe b Tdouble loc ];
+        t = Tdouble;
+      }
+    | _ -> err loc "%s expects 2 arguments" name
+  in
+  match name with
+  | "sqrt" | "sin" | "cos" | "exp" | "log" | "fabs" ->
+    unary_f64 (List.assoc name math_builtins)
+  | "pow" | "fmin" | "fmax" -> binary_f64 (List.assoc name math_builtins)
+  | "trace" -> (
+    match eval_args () with
+    | [ a ] ->
+      let v = convert fe a Tlong loc in
+      ignore (Builder.call fe.bld Types.Void "__devrt_trace" [ v ]);
+      { v = Value.undef Types.Void; t = Tvoid }
+    | _ -> err loc "trace expects 1 argument")
+  | "trace_f64" -> (
+    match eval_args () with
+    | [ a ] ->
+      let v = convert fe a Tdouble loc in
+      ignore (Builder.call fe.bld Types.Void "__devrt_trace_f64" [ v ]);
+      { v = Value.undef Types.Void; t = Tvoid }
+    | _ -> err loc "trace_f64 expects 1 argument")
+  | "omp_get_thread_num" ->
+    { v = Builder.call fe.bld Types.I32 (omp_query fe `Tid) []; t = Tint }
+  | "omp_get_num_threads" ->
+    { v = Builder.call fe.bld Types.I32 (omp_query fe `Nthreads) []; t = Tint }
+  | "omp_get_team_num" ->
+    { v = Builder.call fe.bld Types.I32 (omp_query fe `Team) []; t = Tint }
+  | "omp_get_num_teams" ->
+    { v = Builder.call fe.bld Types.I32 (omp_query fe `Nteams) []; t = Tint }
+  | _ -> (
+    match SM.find_opt name fe.g.fsigs with
+    | None -> err loc "call to unknown function %s" name
+    | Some (ret, params) ->
+      let avs = eval_args () in
+      if List.length avs <> List.length params then
+        err loc "%s expects %d arguments, got %d" name (List.length params)
+          (List.length avs);
+      let conv = List.map2 (fun a p -> convert fe a p loc) avs params in
+      { v = Builder.call fe.bld (irty_value ret) name conv; t = ret })
+
+(* which query functions to use: CUDA builds read the hardware registers
+   directly; OpenMP builds go through the IR glue helpers *)
+and omp_query fe q =
+  match (fe.g.opts.scheme, q) with
+  | Cuda, `Tid -> "__gpu_thread_id"
+  | Cuda, `Nthreads -> "__gpu_num_threads"
+  | Cuda, `Team -> "__gpu_team_id"
+  | Cuda, `Nteams -> "__gpu_num_teams"
+  (* the LLVM-12-era runtime is an opaque library: queries are real calls *)
+  | Legacy, `Tid -> "omp_get_thread_num"
+  | Legacy, `Nthreads -> "omp_get_num_threads"
+  | Legacy, `Team -> "omp_get_team_num"
+  | Legacy, `Nteams -> "omp_get_num_teams"
+  (* the Dev runtime is linked as IR: queries go through foldable glue *)
+  | Simplified, `Tid -> Glue.tid_name
+  | Simplified, `Nthreads -> Glue.nthreads_name
+  | Simplified, `Team -> Glue.team_name
+  | Simplified, `Nteams -> Glue.nteams_name
+
+(* ------------------------------------------------------------------ *)
+(* Worksharing loop normalization                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A canonical worksharing loop: for (ty v = lb; v < ub; v += step). *)
+type canonical_loop = {
+  lv_name : string;
+  lv_ty : cty;
+  lb : expr;
+  ub : expr;
+  inclusive : bool;  (* <= instead of < *)
+  step : expr;
+  body : stmt;
+}
+
+let normalize_for loc (init, cond, step, body) =
+  let lv_name, lv_ty, lb =
+    match init with
+    | Some { s = Decl ((Tint | Tlong) as ty, v, Some lb); _ } -> (v, ty, lb)
+    | Some { s = Expr { e = Assign ({ e = Ident v; _ }, lb); _ }; _ } -> (v, Tint, lb)
+    | _ -> err loc "worksharing loop must initialize its induction variable"
+  in
+  let ub, inclusive =
+    match cond with
+    | Some { e = Binary (Lt, { e = Ident v; _ }, ub); _ } when v = lv_name -> (ub, false)
+    | Some { e = Binary (Le, { e = Ident v; _ }, ub); _ } when v = lv_name -> (ub, true)
+    | _ -> err loc "worksharing loop condition must be 'v < ub' or 'v <= ub'"
+  in
+  let step =
+    match step with
+    | Some { e = Op_assign (Add, { e = Ident v; _ }, s); _ } when v = lv_name -> s
+    | Some { e = Assign ({ e = Ident v; _ },
+                         { e = Binary (Add, { e = Ident v'; _ }, s); _ }); _ }
+      when v = lv_name && v' = lv_name ->
+      s
+    | _ -> err loc "worksharing loop step must be 'v += step' or 'v = v + step'"
+  in
+  { lv_name; lv_ty; lb; ub; inclusive; step; body }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_stmt fe (st : stmt) =
+  Builder.set_loc fe.bld st.sloc;
+  match st.s with
+  | Decl (cty, name, init) ->
+    let addr = alloc_var fe name cty st.sloc in
+    bind fe name cty addr;
+    (match init with
+    | Some e ->
+      let v = gen_expr fe e in
+      Builder.store fe.bld (irty_value cty) (convert fe v cty st.sloc) addr
+    | None -> ())
+  | Expr e -> ignore (gen_expr fe e)
+  | Block stmts ->
+    let saved = fe.vars in
+    let saved_frees = !(fe.frees) in
+    List.iter (gen_stmt fe) stmts;
+    (* release globalized allocations made in this scope (Clang frees at end
+       of scope; crucial when the scope sits inside a loop) *)
+    (match fe.g.opts.scheme with
+    | Simplified ->
+      let scope_allocs =
+        let rec take acc = function
+          | rest when rest == saved_frees -> acc
+          | (p, size) :: rest -> take ((p, size) :: acc) rest
+          | [] -> acc
+        in
+        List.rev (take [] !(fe.frees))
+      in
+      List.iter
+        (fun (p, size) ->
+          ignore
+            (Builder.call fe.bld Types.Void "__kmpc_free_shared" [ p; Value.i64 size ]))
+        scope_allocs;
+      fe.frees := saved_frees
+    | Legacy | Cuda -> ());
+    fe.vars <- saved
+  | If (c, t, f) ->
+    let cv = gen_expr fe c in
+    let cb = truth fe cv st.sloc in
+    let then_bb = Builder.new_block fe.bld "if.then" in
+    let else_bb = Builder.new_block fe.bld "if.else" in
+    let end_bb = Builder.new_block fe.bld "if.end" in
+    Builder.cbr fe.bld cb then_bb.Block.label else_bb.Block.label;
+    Builder.position_at_end fe.bld then_bb;
+    gen_stmt fe t;
+    Builder.br fe.bld end_bb.Block.label;
+    Builder.position_at_end fe.bld else_bb;
+    (match f with Some f -> gen_stmt fe f | None -> ());
+    Builder.br fe.bld end_bb.Block.label;
+    Builder.position_at_end fe.bld end_bb
+  | While (c, body) ->
+    let cond_bb = Builder.new_block fe.bld "while.cond" in
+    let body_bb = Builder.new_block fe.bld "while.body" in
+    let end_bb = Builder.new_block fe.bld "while.end" in
+    Builder.br fe.bld cond_bb.Block.label;
+    Builder.position_at_end fe.bld cond_bb;
+    let cv = gen_expr fe c in
+    let cb = truth fe cv st.sloc in
+    Builder.cbr fe.bld cb body_bb.Block.label end_bb.Block.label;
+    Builder.position_at_end fe.bld body_bb;
+    fe.brk <- end_bb.Block.label :: fe.brk;
+    fe.cont <- cond_bb.Block.label :: fe.cont;
+    gen_stmt fe body;
+    fe.brk <- List.tl fe.brk;
+    fe.cont <- List.tl fe.cont;
+    Builder.br fe.bld cond_bb.Block.label;
+    Builder.position_at_end fe.bld end_bb
+  | For (init, cond, step, body) ->
+    let saved = fe.vars in
+    (match init with Some s -> gen_stmt fe s | None -> ());
+    let cond_bb = Builder.new_block fe.bld "for.cond" in
+    let body_bb = Builder.new_block fe.bld "for.body" in
+    let step_bb = Builder.new_block fe.bld "for.step" in
+    let end_bb = Builder.new_block fe.bld "for.end" in
+    Builder.br fe.bld cond_bb.Block.label;
+    Builder.position_at_end fe.bld cond_bb;
+    (match cond with
+    | Some c ->
+      let cv = gen_expr fe c in
+      let cb = truth fe cv st.sloc in
+      Builder.cbr fe.bld cb body_bb.Block.label end_bb.Block.label
+    | None -> Builder.br fe.bld body_bb.Block.label);
+    Builder.position_at_end fe.bld body_bb;
+    fe.brk <- end_bb.Block.label :: fe.brk;
+    fe.cont <- step_bb.Block.label :: fe.cont;
+    gen_stmt fe body;
+    fe.brk <- List.tl fe.brk;
+    fe.cont <- List.tl fe.cont;
+    Builder.br fe.bld step_bb.Block.label;
+    Builder.position_at_end fe.bld step_bb;
+    (match step with Some e -> ignore (gen_expr fe e) | None -> ());
+    Builder.br fe.bld cond_bb.Block.label;
+    Builder.position_at_end fe.bld end_bb;
+    fe.vars <- saved
+  | Break -> (
+    match fe.brk with
+    | l :: _ ->
+      Builder.br fe.bld l;
+      Builder.position_at_end fe.bld (Builder.new_block fe.bld "after.break")
+    | [] -> err st.sloc "break outside of a loop")
+  | Continue -> (
+    match fe.cont with
+    | l :: _ ->
+      Builder.br fe.bld l;
+      Builder.position_at_end fe.bld (Builder.new_block fe.bld "after.continue")
+    | [] -> err st.sloc "continue outside of a loop")
+  | Return e -> (
+    match fe.ctx with
+    | Kernel_main _ -> err st.sloc "return is not allowed inside a target region"
+    | _ ->
+      let v =
+        match e with
+        | Some e ->
+          let x = gen_expr fe e in
+          let ret_cty =
+            match fe.func.Func.ret_ty with
+            | Types.Void -> err st.sloc "returning a value from a void function"
+            | _ -> cty_of_ret fe
+          in
+          Some (convert fe x ret_cty st.sloc)
+        | None -> None
+      in
+      emit_frees fe;
+      Builder.ret fe.bld v;
+      Builder.position_at_end fe.bld (Builder.new_block fe.bld "after.return"))
+  | Pragma (p, body) -> gen_pragma fe p body st.sloc
+
+and cty_of_ret fe =
+  match fe.func.Func.ret_ty with
+  | Types.I32 -> Tint
+  | Types.I64 -> Tlong
+  | Types.F32 -> Tfloat
+  | Types.F64 -> Tdouble
+  | Types.Ptr _ -> Tptr Tvoid
+  | _ -> Tvoid
+
+(* ------------------------------------------------------------------ *)
+(* Pragmas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and gen_pragma fe p body loc =
+  match (p, fe.ctx) with
+  | (P_target_teams _ | P_target_teams_distribute _
+    | P_target_teams_distribute_parallel_for _), Host ->
+    gen_kernel fe p body loc
+  | (P_target_teams _ | P_target_teams_distribute _
+    | P_target_teams_distribute_parallel_for _), _ ->
+    err loc "nested target regions are not supported"
+  | P_parallel clauses, (Kernel_main _ | Parallel_region | Device_fn) ->
+    gen_parallel fe clauses ~is_for:false body loc
+  | P_parallel_for clauses, (Kernel_main _ | Parallel_region | Device_fn) ->
+    gen_parallel fe clauses ~is_for:true body loc
+  | (P_parallel _ | P_parallel_for _), Host ->
+    err loc "host-side parallel regions are not supported (device-only model)"
+  | P_barrier, (Kernel_main _ | Parallel_region | Device_fn) ->
+    let callee =
+      match fe.g.opts.scheme with
+      | Simplified -> Glue.barrier_name
+      | Legacy | Cuda -> "__kmpc_barrier"
+    in
+    ignore (Builder.call fe.bld Types.Void callee [])
+  | P_barrier, Host -> ()
+  | P_atomic, _ -> gen_atomic fe body loc
+
+and gen_atomic fe body loc =
+  match body.s with
+  | Expr { e = Op_assign ((Add | Sub) as op, lhs, rhs); _ } ->
+    let addr, cty = gen_lvalue fe lhs in
+    let rv = gen_expr fe rhs in
+    let v = convert fe rv cty loc in
+    let v =
+      if op = Sub then
+        if is_float_cty cty then
+          Builder.bin fe.bld Instr.Fsub (irty_value cty) (zero_of cty) v
+        else Builder.sub fe.bld (irty_value cty) (zero_of cty) v
+      else v
+    in
+    let aop = if is_float_cty cty then Instr.A_fadd else Instr.A_add in
+    ignore (Builder.atomicrmw fe.bld aop (irty_value cty) addr v)
+  | _ -> err loc "atomic supports only '+=' and '-=' updates"
+
+(* ------------------------------------------------------------------ *)
+(* Worksharing loop emission                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit: for (v = lb + who*step; v </<= ub; v += step*total) body
+   where [who]/[total] are i32 values. *)
+and gen_cyclic_loop fe ?iv_addr (cl : canonical_loop) ~who ~total =
+  let saved = fe.vars in
+  let ty = cl.lv_ty in
+  (* the induction variable may be captured by a nested parallel region
+     (e.g. the site index of a distribute loop), in which case it must be
+     globalized like any other shared local.  When the loop is emitted twice
+     (sequential fallback + parallel arm) the caller allocates the storage
+     once, above the branch, and passes it in. *)
+  let iv_addr =
+    match iv_addr with
+    | Some addr -> addr
+    | None -> alloc_var fe cl.lv_name ty cl.body.sloc
+  in
+  bind fe cl.lv_name ty iv_addr;
+  let lb = gen_expr fe cl.lb in
+  let lb = convert fe lb ty cl.body.sloc in
+  let step = gen_expr fe cl.step in
+  let step = convert fe step ty cl.body.sloc in
+  let who_c = convert fe { v = who; t = Tint } ty cl.body.sloc in
+  let total_c = convert fe { v = total; t = Tint } ty cl.body.sloc in
+  let offset = Builder.mul fe.bld (irty_value ty) who_c step in
+  let start = Builder.add fe.bld (irty_value ty) lb offset in
+  Builder.store fe.bld (irty_value ty) start iv_addr;
+  let stride = Builder.mul fe.bld (irty_value ty) step total_c in
+  let cond_bb = Builder.new_block fe.bld "ws.cond" in
+  let body_bb = Builder.new_block fe.bld "ws.body" in
+  let end_bb = Builder.new_block fe.bld "ws.end" in
+  Builder.br fe.bld cond_bb.Block.label;
+  Builder.position_at_end fe.bld cond_bb;
+  let cur = Builder.load fe.bld (irty_value ty) iv_addr in
+  let ub = gen_expr fe cl.ub in
+  let ub = convert fe ub ty cl.body.sloc in
+  let cc = if cl.inclusive then Instr.Sle else Instr.Slt in
+  let c = Builder.icmp fe.bld cc (irty_value ty) cur ub in
+  Builder.cbr fe.bld c body_bb.Block.label end_bb.Block.label;
+  Builder.position_at_end fe.bld body_bb;
+  fe.brk <- end_bb.Block.label :: fe.brk;
+  fe.cont <- cond_bb.Block.label :: fe.cont;
+  gen_stmt fe cl.body;
+  fe.brk <- List.tl fe.brk;
+  fe.cont <- List.tl fe.cont;
+  let cur2 = Builder.load fe.bld (irty_value ty) iv_addr in
+  let nxt = Builder.add fe.bld (irty_value ty) cur2 stride in
+  Builder.store fe.bld (irty_value ty) nxt iv_addr;
+  Builder.br fe.bld cond_bb.Block.label;
+  Builder.position_at_end fe.bld end_bb;
+  fe.vars <- saved
+
+(* Worksharing loops carry an inline sequential fallback for nested
+   parallelism: the runtime parallel level selects between the parallel
+   cyclic schedule and a serial execution on the encountering thread.  The
+   runtime-call folding pass removes the level check (and with it the
+   sequential path) when nested parallelism is provably absent. *)
+and gen_worksharing_with_fallback fe cl ~queries =
+  if fe.g.opts.scheme = Cuda then begin
+    let who, total = queries fe in
+    gen_cyclic_loop fe cl ~who ~total
+  end
+  else begin
+    (* allocate the induction variable once, dominating both arms *)
+    let iv_addr = alloc_var fe cl.lv_name cl.lv_ty cl.body.sloc in
+    let lvl = Builder.call fe.bld Types.I32 "__kmpc_parallel_level" [] in
+    let nested = Builder.icmp fe.bld Instr.Sgt Types.I32 lvl (Value.i32 1) in
+    let seq_bb = Builder.new_block fe.bld "ws.seq" in
+    let par_bb = Builder.new_block fe.bld "ws.par" in
+    let join_bb = Builder.new_block fe.bld "ws.join" in
+    Builder.cbr fe.bld nested seq_bb.Block.label par_bb.Block.label;
+    Builder.position_at_end fe.bld seq_bb;
+    gen_cyclic_loop fe ~iv_addr cl ~who:(Value.i32 0) ~total:(Value.i32 1);
+    Builder.br fe.bld join_bb.Block.label;
+    Builder.position_at_end fe.bld par_bb;
+    let who, total = queries fe in
+    gen_cyclic_loop fe ~iv_addr cl ~who ~total;
+    Builder.br fe.bld join_bb.Block.label;
+    Builder.position_at_end fe.bld join_bb
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel regions (outlining)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [by_value] selects firstprivate capture semantics: the combined
+   target-teams-distribute-parallel-for construct makes scalars firstprivate
+   per the OpenMP spec, so the outlined region receives copies rather than
+   addresses (and the argument buffer can live on the thread's own stack). *)
+and gen_parallel fe ?ws_queries ?(by_value = false) clauses ~is_for body loc =
+  (* captured variables: free in the region, bound in the enclosing fn *)
+  let free = stmt_free_vars body in
+  let captured =
+    SS.elements free
+    |> List.filter (fun x -> SM.mem x fe.vars)
+    |> List.sort String.compare
+  in
+  let region_idx = Support.Util.Id_gen.fresh fe.g.outlined_counter in
+  let fn_name = Printf.sprintf "__omp_outlined__%d" region_idx in
+  (* build the outlined function *)
+  let outlined =
+    Func.make ~linkage:Func.Internal ~loc fn_name ~ret_ty:Types.Void
+      ~params:[ ("args", gptr) ]
+  in
+  Irmod.add_func fe.g.m outlined;
+  let obld = Builder.create outlined in
+  let oentry = Builder.new_block obld "entry" in
+  Builder.position_at_end obld oentry;
+  let ofe =
+    {
+      g = fe.g;
+      bld = obld;
+      func = outlined;
+      vars = SM.empty;
+      frees = ref [];
+      legacy_base = None;
+      globalize = compute_globalize_set fe.g body [];
+      legacy_offsets = SM.empty;
+      brk = [];
+      cont = [];
+      ctx = Parallel_region;
+    }
+  in
+  (* rebind captures from the args buffer: by reference (shared semantics)
+     or by value (firstprivate: copy into a fresh private slot) *)
+  List.iteri
+    (fun idx name ->
+      let b = SM.find name fe.vars in
+      let slot = Builder.gep obld ~ptr_ty:gptr (Value.Arg 0) (Value.i64 (8 * idx)) in
+      if by_value then begin
+        let v = Builder.load obld (irty_value b.bcty) slot in
+        let priv = Builder.alloca obld (irty_value b.bcty) in
+        let priv = to_generic ofe priv (Types.Ptr Types.Local) in
+        Builder.store obld (irty_value b.bcty) v priv;
+        ofe.vars <- SM.add name { addr = priv; bcty = b.bcty } ofe.vars
+      end
+      else begin
+        let addr = Builder.load obld gptr slot in
+        ofe.vars <- SM.add name { addr; bcty = b.bcty } ofe.vars
+      end)
+    captured;
+  (* legacy scheme: outlined regions with globalized locals get the runtime
+     check pattern; simplified handles it per variable in alloc_var *)
+  let ofe = setup_legacy_frame ofe body [] in
+  (match is_for with
+  | true ->
+    let cl =
+      match body.s with
+      | For (i, c, s, b) -> normalize_for loc (i, c, s, b)
+      | _ -> err loc "'parallel for' must be followed by a for loop"
+    in
+    let default_queries fe' =
+      let who = Builder.call fe'.bld Types.I32 (omp_query fe' `Tid) [] in
+      let total = Builder.call fe'.bld Types.I32 (omp_query fe' `Nthreads) [] in
+      (who, total)
+    in
+    let queries = Option.value ws_queries ~default:default_queries in
+    gen_worksharing_with_fallback ofe cl ~queries
+  | false -> gen_stmt ofe body);
+  emit_frees ofe;
+  Builder.ret ofe.bld None;
+  (* call-site: allocate and fill the args buffer, launch *)
+  let nargs = List.length captured in
+  let args_size = max 8 (8 * nargs) in
+  let args_ptr =
+    if by_value then begin
+      (* firstprivate payload: never crosses threads, lives on the stack *)
+      let a = Builder.alloca fe.bld (Types.Arr (args_size, Types.I8)) in
+      to_generic fe a (Types.Ptr Types.Local)
+    end
+    else
+      match fe.g.opts.scheme with
+      | Legacy ->
+        Builder.call fe.bld gptr "__kmpc_data_sharing_push_stack"
+          [ Value.i64 args_size; Value.i32 1 ]
+      | Simplified | Cuda ->
+        Builder.call fe.bld gptr "__kmpc_alloc_shared" [ Value.i64 args_size ]
+  in
+  List.iteri
+    (fun idx name ->
+      let b = SM.find name fe.vars in
+      let slot = Builder.gep fe.bld ~ptr_ty:gptr args_ptr (Value.i64 (8 * idx)) in
+      if by_value then begin
+        let v = Builder.load fe.bld (irty_value b.bcty) b.addr in
+        Builder.store fe.bld (irty_value b.bcty) v slot
+      end
+      else Builder.store fe.bld gptr b.addr slot)
+    captured;
+  let num_threads =
+    List.fold_left
+      (fun acc c -> match c with Num_threads n -> n | _ -> acc)
+      0 clauses
+  in
+  ignore
+    (Builder.call fe.bld Types.Void "__kmpc_parallel_51"
+       [ Value.Func fn_name; Value.i64 (-1); args_ptr; Value.i32 num_threads ]);
+  if not by_value then
+    match fe.g.opts.scheme with
+    | Legacy ->
+      ignore (Builder.call fe.bld Types.Void "__kmpc_data_sharing_pop_stack" [ args_ptr ])
+    | Simplified | Cuda ->
+      ignore
+        (Builder.call fe.bld Types.Void "__kmpc_free_shared"
+           [ args_ptr; Value.i64 args_size ])
+
+(* ------------------------------------------------------------------ *)
+(* Globalization set computation and legacy frames                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Variables of a function body that the front-end must globalize: those
+   whose address is taken, those captured by nested parallel regions, and
+   local arrays (their address is implicitly taken on use). *)
+and compute_globalize_set g (body : stmt) (params : (cty * string) list) =
+  let addr_taken = addr_taken_vars body in
+  let captured_by_parallel =
+    let acc = ref SS.empty in
+    let rec walk st =
+      (match st.s with
+      | Pragma ((P_parallel _ | P_parallel_for _), pbody) ->
+        acc := SS.union !acc (stmt_free_vars pbody)
+      | _ -> ());
+      match st.s with
+      | Block ss -> List.iter walk ss
+      | If (_, t, f) ->
+        walk t;
+        Option.iter walk f
+      | While (_, b) | For (_, _, _, b) | Pragma (_, b) -> walk b
+      | Decl _ | Expr _ | Return _ | Break | Continue -> ()
+    in
+    walk body;
+    !acc
+  in
+  let local_arrays =
+    let acc = ref SS.empty in
+    let rec walk st =
+      (match st.s with
+      | Decl (Tarr _, name, _) -> acc := SS.add name !acc
+      | _ -> ());
+      match st.s with
+      | Block ss -> List.iter walk ss
+      | If (_, t, f) ->
+        walk t;
+        Option.iter walk f
+      | For (init, _, _, b) ->
+        Option.iter walk init;
+        walk b
+      | While (_, b) | Pragma (_, b) -> walk b
+      | Decl _ | Expr _ | Return _ | Break | Continue -> ()
+    in
+    walk body;
+    !acc
+  in
+  ignore params;
+  let set = SS.union addr_taken (SS.union captured_by_parallel local_arrays) in
+  (* globals are referenced directly, never captured *)
+  SS.filter (fun x -> not (SM.mem x g.global_tys)) set
+
+(* For the legacy scheme, pre-scan the function body for globalized
+   declarations, lay them out in one aggregate and emit the Fig. 4b pattern.
+   Returns the fenv updated with the aggregate base. *)
+and setup_legacy_frame fe (body : stmt) (params : (cty * string) list) =
+  if fe.g.opts.scheme <> Legacy || not (is_device_ctx fe.ctx) then fe
+  else if (match fe.ctx with Kernel_main Func.Spmd -> true | _ -> false) then fe
+  else begin
+    (* collect (name, cty) of globalized declarations in order *)
+    let decls = ref [] in
+    let rec walk st =
+      (match st.s with
+      | Decl (cty, name, _) when SS.mem name fe.globalize ->
+        if not (List.mem_assoc name !decls) then decls := (name, cty) :: !decls
+      | _ -> ());
+      match st.s with
+      | Block ss -> List.iter walk ss
+      | If (_, t, f) ->
+        walk t;
+        Option.iter walk f
+      | For (init, _, _, b) ->
+        Option.iter walk init;
+        walk b
+      | While (_, b) | Pragma (_, b) -> walk b
+      | Decl _ | Expr _ | Return _ | Break | Continue -> ()
+    in
+    walk body;
+    List.iter
+      (fun (cty, name) ->
+        if SS.mem name fe.globalize && not (List.mem_assoc name !decls) then
+          decls := (name, cty) :: !decls)
+      params;
+    let decls = List.rev !decls in
+    if decls = [] then fe
+    else begin
+      let offsets, total =
+        List.fold_left
+          (fun (m, off) (name, cty) ->
+            let size = Support.Util.round_up_to (sizeof_cty cty) ~multiple:8 in
+            (SM.add name off m, off + size))
+          (SM.empty, 0) decls
+      in
+      let base =
+        match fe.ctx with
+        | Kernel_main Func.Generic ->
+          (* statically known generic mode: push directly *)
+          Builder.call fe.bld gptr "__kmpc_data_sharing_push_stack"
+            [ Value.i64 total; Value.i32 1 ]
+        | _ ->
+          (* device function / parallel region: runtime mode check (Fig 4b) *)
+          let slot = Builder.alloca fe.bld gptr in
+          let slot = to_generic fe slot (Types.Ptr Types.Local) in
+          let spmd_bb = Builder.new_block fe.bld "leg.spmd" in
+          let gen_bb = Builder.new_block fe.bld "leg.generic" in
+          let merge_bb = Builder.new_block fe.bld "leg.merge" in
+          let is_spmd =
+            Builder.call fe.bld Types.I1 "__kmpc_data_sharing_mode_check" []
+          in
+          Builder.cbr fe.bld is_spmd spmd_bb.Block.label gen_bb.Block.label;
+          Builder.position_at_end fe.bld spmd_bb;
+          let a = Builder.alloca fe.bld (Types.Arr (total, Types.I8)) in
+          let ag = to_generic fe a (Types.Ptr Types.Local) in
+          Builder.store fe.bld gptr ag slot;
+          Builder.br fe.bld merge_bb.Block.label;
+          Builder.position_at_end fe.bld gen_bb;
+          let p =
+            Builder.call fe.bld gptr "__kmpc_data_sharing_push_stack"
+              [ Value.i64 total; Value.i32 1 ]
+          in
+          Builder.store fe.bld gptr p slot;
+          Builder.br fe.bld merge_bb.Block.label;
+          Builder.position_at_end fe.bld merge_bb;
+          Builder.load fe.bld gptr slot
+      in
+      { fe with legacy_base = Some base; legacy_offsets = offsets }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and clause_launch_bounds clauses =
+  List.fold_left
+    (fun (teams, threads) c ->
+      match c with
+      | Num_teams n -> (Some n, threads)
+      | Thread_limit n | Num_threads n -> (teams, Some n))
+    (None, None) clauses
+
+(* Emit the generic-mode worker state machine (TRegion style): workers loop
+   waiting for a published parallel region and invoke it through a function
+   pointer.  The custom state machine rewrite of the optimizer replaces the
+   indirect call with an if-cascade over region ids. *)
+and emit_worker_state_machine bld ~exit_label =
+  let wait_bb = Builder.new_block bld "worker.await" in
+  let dispatch_bb = Builder.new_block bld "worker.dispatch" in
+  let done_bb = Builder.new_block bld "worker.done" in
+  Builder.br bld wait_bb.Block.label;
+  Builder.position_at_end bld wait_bb;
+  let fp = Builder.call bld gptr "__kmpc_worker_wait" [] in
+  let is_term = Builder.icmp bld Instr.Eq gptr fp (Value.null Types.Generic) in
+  Builder.cbr bld is_term exit_label dispatch_bb.Block.label;
+  Builder.position_at_end bld dispatch_bb;
+  let args = Builder.call bld gptr "__kmpc_get_parallel_args" [] in
+  ignore (Builder.call_indirect bld Types.Void fp [ args ]);
+  Builder.br bld done_bb.Block.label;
+  Builder.position_at_end bld done_bb;
+  ignore (Builder.call bld Types.Void "__kmpc_worker_done" []);
+  Builder.br bld wait_bb.Block.label
+
+and gen_kernel fe p body loc =
+  let clauses, mode, kind =
+    match p with
+    | P_target_teams c -> (c, Func.Generic, `Teams)
+    | P_target_teams_distribute c -> (c, Func.Generic, `Distribute)
+    | P_target_teams_distribute_parallel_for c -> (c, Func.Spmd, `Combined)
+    | _ -> assert false
+  in
+  let num_teams, num_threads = clause_launch_bounds clauses in
+  let free = stmt_free_vars body in
+  let captured =
+    SS.elements free
+    |> List.filter (fun x -> SM.mem x fe.vars)
+    |> List.sort String.compare
+  in
+  let kid = Support.Util.Id_gen.fresh fe.g.kernel_counter in
+  let kname =
+    Printf.sprintf "__omp_offloading_%s_l%d_%d" fe.func.Func.name loc.Support.Loc.line kid
+  in
+  let captured_ctys = List.map (fun x -> (x, (SM.find x fe.vars).bcty)) captured in
+  let params =
+    List.map (fun (x, cty) -> (x, irty_value cty)) captured_ctys
+  in
+  let kernel =
+    Func.make ~linkage:Func.External ~loc
+      ~kernel:{ Func.exec_mode = mode; num_teams; num_threads }
+      kname ~ret_ty:Types.Void ~params
+  in
+  if fe.g.opts.scheme = Cuda then Func.add_attr kernel Func.Cuda_kernel;
+  Irmod.add_func fe.g.m kernel;
+  let kbld = Builder.create kernel in
+  let entry = Builder.new_block kbld "entry" in
+  let kfe =
+    {
+      g = fe.g;
+      bld = kbld;
+      func = kernel;
+      vars = SM.empty;
+      frees = ref [];
+      legacy_base = None;
+      globalize = compute_globalize_set fe.g body [];
+      legacy_offsets = SM.empty;
+      brk = [];
+      cont = [];
+      ctx = Kernel_main mode;
+    }
+  in
+  (match mode with
+  | Func.Generic ->
+    let exit_bb = Builder.new_block kbld "worker.exit" in
+    let worker_bb = Builder.new_block kbld "worker.begin" in
+    let main_bb = Builder.new_block kbld "main.begin" in
+    Builder.position_at_end kbld entry;
+    let r = Builder.call kbld Types.I32 "__kmpc_target_init" [ Value.i32 0 ] in
+    let is_main = Builder.icmp kbld Instr.Eq Types.I32 r (Value.i32 (-1)) in
+    Builder.cbr kbld is_main main_bb.Block.label worker_bb.Block.label;
+    Builder.position_at_end kbld worker_bb;
+    emit_worker_state_machine kbld ~exit_label:exit_bb.Block.label;
+    Builder.position_at_end kbld exit_bb;
+    Builder.ret kbld None;
+    Builder.position_at_end kbld main_bb;
+    gen_kernel_main kfe captured_ctys kind body loc;
+    emit_frees kfe;
+    ignore (Builder.call kfe.bld Types.Void "__kmpc_target_deinit" [ Value.i32 0 ]);
+    Builder.ret kfe.bld None
+  | Func.Spmd ->
+    Builder.position_at_end kbld entry;
+    ignore (Builder.call kbld Types.I32 "__kmpc_target_init" [ Value.i32 1 ]);
+    gen_kernel_main kfe captured_ctys kind body loc;
+    emit_frees kfe;
+    ignore (Builder.call kfe.bld Types.Void "__kmpc_target_deinit" [ Value.i32 1 ]);
+    Builder.ret kfe.bld None);
+  (* host side: evaluate the captured values and "launch" (the simulator
+     intercepts direct calls to kernel functions) *)
+  let args =
+    List.map
+      (fun x ->
+        let b = SM.find x fe.vars in
+        let v = gen_expr fe { e = Ident x; eloc = loc } in
+        convert fe v b.bcty loc)
+      captured
+  in
+  ignore (Builder.call fe.bld Types.Void kname args)
+
+(* The user code of a kernel: bind captured parameters into (possibly
+   globalized) storage, set up the legacy frame if needed, then emit the
+   region body according to the directive kind. *)
+and gen_kernel_main kfe captured_ctys kind body loc =
+  let kfe =
+    setup_legacy_frame kfe body (List.map (fun (n, cty) -> (cty, n)) captured_ctys)
+  in
+  List.iteri
+    (fun idx (name, cty) ->
+      let addr = alloc_var kfe name cty loc in
+      Builder.store kfe.bld (irty_value cty) (Value.Arg idx) addr;
+      bind kfe name cty addr)
+    captured_ctys;
+  match kind with
+  | `Teams -> gen_stmt kfe body
+  | `Distribute ->
+    let cl =
+      match body.s with
+      | For (i, c, s, b) -> normalize_for loc (i, c, s, b)
+      | _ -> err loc "'distribute' must be followed by a for loop"
+    in
+    let who = Builder.call kfe.bld Types.I32 (omp_query kfe `Team) [] in
+    let total = Builder.call kfe.bld Types.I32 (omp_query kfe `Nteams) [] in
+    gen_cyclic_loop kfe cl ~who ~total
+  | `Combined ->
+    (match body.s with
+    | For _ -> ()
+    | _ -> err loc "combined directive must be followed by a for loop");
+    let league_queries fe' =
+      let tid = Builder.call fe'.bld Types.I32 (omp_query fe' `Tid) [] in
+      let nthreads = Builder.call fe'.bld Types.I32 (omp_query fe' `Nthreads) [] in
+      let team = Builder.call fe'.bld Types.I32 (omp_query fe' `Team) [] in
+      let nteams = Builder.call fe'.bld Types.I32 (omp_query fe' `Nteams) [] in
+      let base = Builder.mul fe'.bld Types.I32 team nthreads in
+      let gtid = Builder.add fe'.bld Types.I32 base tid in
+      let total = Builder.mul fe'.bld Types.I32 nteams nthreads in
+      (gtid, total)
+    in
+    if kfe.g.opts.scheme = Cuda then begin
+      (* kernel-language form: the loop is the kernel body *)
+      let cl =
+        match body.s with
+        | For (i, c, s, b) -> normalize_for loc (i, c, s, b)
+        | _ -> assert false
+      in
+      gen_worksharing_with_fallback kfe cl ~queries:league_queries
+    end
+    else
+      (* Clang outlines the combined parallel region and launches it through
+         __kmpc_parallel_51; nested parallel regions inside the loop body
+         then observe level >= 1 and serialize *)
+      gen_parallel kfe ~ws_queries:league_queries ~by_value:true [] ~is_for:true body loc
+
+(* ------------------------------------------------------------------ *)
+(* Functions and the module driver                                     *)
+(* ------------------------------------------------------------------ *)
+
+let compile_func g (fd : func_def) =
+  let ret_ty = irty_value fd.fret in
+  let params = List.map (fun (cty, name) -> (name, irty_value cty)) fd.fparams in
+  let attrs =
+    List.filter_map
+      (function
+        | A_spmd_amenable -> Some Func.Spmd_amenable
+        | A_nocapture -> Some Func.Nocapture_args
+        | A_no_openmp -> Some Func.No_openmp)
+      fd.fassumes
+  in
+  match fd.fbody with
+  | None -> Irmod.add_func g.m (Func.declare ~attrs fd.fname ~ret_ty ~params)
+  | Some body ->
+    let linkage = if fd.fstatic then Func.Internal else Func.External in
+    let f = Func.make ~linkage ~attrs ~loc:fd.floc fd.fname ~ret_ty ~params in
+    Irmod.add_func g.m f;
+    let bld = Builder.create f in
+    let entry = Builder.new_block bld "entry" in
+    Builder.position_at_end bld entry;
+    let ctx = if String.equal fd.fname "main" then Host else Device_fn in
+    let fe =
+      {
+        g;
+        bld;
+        func = f;
+        vars = SM.empty;
+        frees = ref [];
+        legacy_base = None;
+        globalize = compute_globalize_set g body fd.fparams;
+        legacy_offsets = SM.empty;
+        brk = [];
+        cont = [];
+        ctx;
+      }
+    in
+    let fe = setup_legacy_frame fe body fd.fparams in
+    List.iteri
+      (fun idx (cty, name) ->
+        let addr = alloc_var fe name cty fd.floc in
+        Builder.store fe.bld (irty_value cty) (Value.Arg idx) addr;
+        bind fe name cty addr)
+      fd.fparams;
+    gen_stmt fe body;
+    (* fall-off-the-end return *)
+    emit_frees fe;
+    (match f.Func.ret_ty with
+    | Types.Void -> Builder.ret fe.bld None
+    | _ -> Builder.ret fe.bld (Some (zero_of fd.fret)))
+
+let run (opts : options) (prog : program) =
+  let m = Irmod.create ~name:opts.module_name () in
+  Devrt.Registry.declare_in m;
+  if opts.scheme = Simplified then Glue.emit m;
+  List.iter
+    (fun (gd : global_def) ->
+      Irmod.add_global m
+        {
+          Irmod.gname = gd.gname;
+          gty = irty_storage gd.gty;
+          gspace = Types.Global;
+          ginit = None;
+          glinkage = Func.External;
+        })
+    prog.globals;
+  let fsigs =
+    List.fold_left
+      (fun acc fd -> SM.add fd.fname (fd.fret, List.map fst fd.fparams) acc)
+      SM.empty prog.funcs
+  in
+  let global_tys =
+    List.fold_left (fun acc (gd : global_def) -> SM.add gd.gname gd.gty acc) SM.empty
+      prog.globals
+  in
+  let g =
+    {
+      m;
+      opts;
+      fsigs;
+      global_tys;
+      outlined_counter = Support.Util.Id_gen.create ();
+      kernel_counter = Support.Util.Id_gen.create ();
+    }
+  in
+  List.iter (compile_func g) prog.funcs;
+  m
+
+(* Convenience: parse and lower in one step. *)
+let compile ?(scheme = Simplified) ~file src =
+  let prog = Cparse.parse_program ~file src in
+  run { scheme; module_name = file } prog

@@ -1,0 +1,39 @@
+(** MiniOMP → MiniIR code generation, modeled after Clang's OpenMP device
+    lowering (paper Section IV-A).
+
+    The generator emits the same runtime-call shapes the optimizer pattern
+    matches on: [__kmpc_target_init] bracketing with an explicit worker
+    state machine for generic-mode kernels, [__kmpc_parallel_51] region
+    launches with outlined functions, and per-scheme globalization of
+    escaping locals. *)
+
+exception Error of string * Support.Loc.t
+
+(** Globalization scheme selecting which compiler era to model:
+
+    - [Simplified]: the paper / LLVM 13 (Fig. 4c): one
+      [__kmpc_alloc_shared]/[__kmpc_free_shared] pair per escaping local,
+      in every execution mode.  Correct; relies on the middle end to
+      recover performance.
+    - [Legacy]: LLVM 12 (Fig. 4b): locals aggregated into one runtime
+      allocation behind an opaque execution-mode check; SPMD-mode kernels
+      skip globalization entirely — the unsound fast path that miscompiles
+      the paper's Figure 3.
+    - [Cuda]: kernel-language semantics; no globalization, no runtime glue
+      (used for the CUDA watermark builds). *)
+type scheme = Simplified | Legacy | Cuda
+
+val scheme_name : scheme -> string
+
+type options = { scheme : scheme; module_name : string }
+
+val run : options -> Ast.program -> Ir.Irmod.t
+(** Lower a parsed program.  The resulting module contains the device
+    runtime declarations, the per-scheme runtime glue, one kernel function
+    per [target] construct (named [__omp_offloading_<fn>_l<line>_<n>]), one
+    outlined function per parallel region ([__omp_outlined__<n>]), and a
+    host [main].  @raise Error on semantic errors. *)
+
+val compile : ?scheme:scheme -> file:string -> string -> Ir.Irmod.t
+(** Parse and lower in one step.
+    @raise Cparse.Parse_error / Lexer.Lex_error / Error. *)

@@ -1,0 +1,476 @@
+(* Recursive-descent parser for MiniOMP. *)
+
+open Ast
+
+exception Parse_error of string * Support.Loc.t
+
+let error loc fmt = Fmt.kstr (fun s -> raise (Parse_error (s, loc))) fmt
+
+type state = { toks : Lexer.spanned array; mutable idx : int }
+
+let peek st = st.toks.(st.idx)
+let peek2 st = if st.idx + 1 < Array.length st.toks then Some st.toks.(st.idx + 1) else None
+let next st =
+  let t = st.toks.(st.idx) in
+  if st.idx + 1 < Array.length st.toks then st.idx <- st.idx + 1;
+  t
+
+let cur_loc st = (peek st).Lexer.loc
+
+let expect_punct st p =
+  match next st with
+  | { tok = Lexer.PUNCT q; _ } when q = p -> ()
+  | { loc; _ } -> error loc "expected '%s'" p
+
+let accept_punct st p =
+  match (peek st).tok with
+  | Lexer.PUNCT q when q = p ->
+    ignore (next st);
+    true
+  | _ -> false
+
+let expect_ident st =
+  match next st with
+  | { tok = Lexer.IDENT x; _ } -> x
+  | { loc; _ } -> error loc "expected identifier"
+
+let is_type_kw = function
+  | "void" | "int" | "long" | "float" | "double" -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let base_ty_of_kw loc = function
+  | "void" -> Tvoid
+  | "int" -> Tint
+  | "long" -> Tlong
+  | "float" -> Tfloat
+  | "double" -> Tdouble
+  | kw -> error loc "not a type: %s" kw
+
+let parse_base_ty st =
+  match next st with
+  | { tok = Lexer.KW kw; loc } when is_type_kw kw ->
+    let base = base_ty_of_kw loc kw in
+    let rec stars t = if accept_punct st "*" then stars (Tptr t) else t in
+    stars base
+  | { loc; _ } -> error loc "expected type"
+
+let looking_at_type st =
+  match (peek st).tok with Lexer.KW kw -> is_type_kw kw | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk loc e = { e; eloc = loc }
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  let loc = cur_loc st in
+  match (peek st).tok with
+  | Lexer.PUNCT "=" ->
+    ignore (next st);
+    mk loc (Assign (lhs, parse_assign st))
+  | Lexer.PUNCT ("+=" | "-=" | "*=" | "/=" | "%=" as p) ->
+    ignore (next st);
+    let op =
+      match p with
+      | "+=" -> Add | "-=" -> Sub | "*=" -> Mul | "/=" -> Div | _ -> Mod
+    in
+    mk loc (Op_assign (op, lhs, parse_assign st))
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_binary st 0 in
+  if accept_punct st "?" then begin
+    let loc = c.eloc in
+    let t = parse_expr st in
+    expect_punct st ":";
+    let f = parse_cond st in
+    mk loc (Cond (c, t, f))
+  end
+  else c
+
+(* precedence-climbing over binary operators *)
+and binop_of_punct = function
+  | "||" -> Some (Lor, 0) | "&&" -> Some (Land, 1)
+  | "|" -> Some (Bor, 2) | "^" -> Some (Bxor, 3) | "&" -> Some (Band, 4)
+  | "==" -> Some (Eq, 5) | "!=" -> Some (Ne, 5)
+  | "<" -> Some (Lt, 6) | "<=" -> Some (Le, 6) | ">" -> Some (Gt, 6) | ">=" -> Some (Ge, 6)
+  | "<<" -> Some (Shl, 7) | ">>" -> Some (Shr, 7)
+  | "+" -> Some (Add, 8) | "-" -> Some (Sub, 8)
+  | "*" -> Some (Mul, 9) | "/" -> Some (Div, 9) | "%" -> Some (Mod, 9)
+  | _ -> None
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).tok with
+    | Lexer.PUNCT p -> (
+      match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        let loc = cur_loc st in
+        ignore (next st);
+        let rhs = parse_binary st (prec + 1) in
+        lhs := mk loc (Binary (op, !lhs, rhs))
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match (peek st).tok with
+  | Lexer.PUNCT "-" ->
+    ignore (next st);
+    mk loc (Unary (Neg, parse_unary st))
+  | Lexer.PUNCT "!" ->
+    ignore (next st);
+    mk loc (Unary (Lnot, parse_unary st))
+  | Lexer.PUNCT "~" ->
+    ignore (next st);
+    mk loc (Unary (Bnot, parse_unary st))
+  | Lexer.PUNCT "&" ->
+    ignore (next st);
+    mk loc (Unary (Addr, parse_unary st))
+  | Lexer.PUNCT "*" ->
+    ignore (next st);
+    mk loc (Unary (Deref, parse_unary st))
+  | Lexer.PUNCT "++" ->
+    ignore (next st);
+    let e = parse_unary st in
+    mk loc (Op_assign (Add, e, mk loc (Int_lit 1L)))
+  | Lexer.PUNCT "--" ->
+    ignore (next st);
+    let e = parse_unary st in
+    mk loc (Op_assign (Sub, e, mk loc (Int_lit 1L)))
+  | Lexer.PUNCT "(" when (match peek2 st with
+                         | Some { tok = Lexer.KW kw; _ } -> is_type_kw kw
+                         | _ -> false) ->
+    ignore (next st);
+    let ty = parse_base_ty st in
+    expect_punct st ")";
+    mk loc (Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let loc = cur_loc st in
+    match (peek st).tok with
+    | Lexer.PUNCT "[" ->
+      ignore (next st);
+      let idx = parse_expr st in
+      expect_punct st "]";
+      e := mk loc (Index (!e, idx))
+    | Lexer.PUNCT "++" ->
+      ignore (next st);
+      e := mk loc (Op_assign (Add, !e, mk loc (Int_lit 1L)))
+    | Lexer.PUNCT "--" ->
+      ignore (next st);
+      e := mk loc (Op_assign (Sub, !e, mk loc (Int_lit 1L)))
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_primary st =
+  let { Lexer.tok; loc } = next st in
+  match tok with
+  | Lexer.INT_LIT v -> mk loc (Int_lit v)
+  | Lexer.FLOAT_LIT v -> mk loc (Float_lit v)
+  | Lexer.IDENT x ->
+    if accept_punct st "(" then begin
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        let rec loop () =
+          args := parse_expr st :: !args;
+          if accept_punct st "," then loop () else expect_punct st ")"
+        in
+        loop ()
+      end;
+      mk loc (Call (x, List.rev !args))
+    end
+    else mk loc (Ident x)
+  | Lexer.PUNCT "(" ->
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | _ -> error loc "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Pragmas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_clauses loc text =
+  (* text looks like "num_teams(8)thread_limit(128)" *)
+  let n = String.length text in
+  let pos = ref 0 in
+  let clauses = ref [] in
+  while !pos < n do
+    let start = !pos in
+    while !pos < n && text.[!pos] <> '(' do
+      incr pos
+    done;
+    if !pos >= n then error loc "malformed clause list: %s" text;
+    let name = String.sub text start (!pos - start) in
+    incr pos;
+    let num_start = !pos in
+    while !pos < n && text.[!pos] <> ')' do
+      incr pos
+    done;
+    if !pos >= n then error loc "malformed clause list: %s" text;
+    let num_text = String.sub text num_start (!pos - num_start) in
+    incr pos;
+    let v =
+      match int_of_string_opt (String.trim num_text) with
+      | Some v -> v
+      | None -> error loc "clause %s requires an integer constant, got %s" name num_text
+    in
+    let clause =
+      match name with
+      | "num_teams" -> Num_teams v
+      | "thread_limit" -> Thread_limit v
+      | "num_threads" -> Num_threads v
+      | _ -> error loc "unknown clause %s" name
+    in
+    clauses := clause :: !clauses
+  done;
+  List.rev !clauses
+
+let parse_pragma loc words =
+  let clauses_of rest = parse_clauses loc (String.concat "" rest) in
+  match words with
+  | "target" :: "teams" :: "distribute" :: "parallel" :: "for" :: rest ->
+    P_target_teams_distribute_parallel_for (clauses_of rest)
+  | "target" :: "teams" :: "distribute" :: rest -> P_target_teams_distribute (clauses_of rest)
+  | "target" :: "teams" :: rest -> P_target_teams (clauses_of rest)
+  | "parallel" :: "for" :: rest -> P_parallel_for (clauses_of rest)
+  | "parallel" :: rest -> P_parallel (clauses_of rest)
+  | [ "barrier" ] -> P_barrier
+  | [ "atomic" ] -> P_atomic
+  | _ -> error loc "unsupported pragma: omp %s" (String.concat " " words)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mks loc s = { s; sloc = loc }
+
+let rec parse_stmt st =
+  let loc = cur_loc st in
+  match (peek st).tok with
+  | Lexer.PRAGMA (words, ploc) ->
+    ignore (next st);
+    let pragma = parse_pragma ploc words in
+    (match pragma with
+    | P_barrier -> mks loc (Pragma (pragma, mks loc (Block [])))
+    | _ -> mks loc (Pragma (pragma, parse_stmt st)))
+  | Lexer.PUNCT "{" ->
+    ignore (next st);
+    let stmts = ref [] in
+    while not (accept_punct st "}") do
+      stmts := parse_stmt st :: !stmts
+    done;
+    mks loc (Block (List.rev !stmts))
+  | Lexer.KW "if" ->
+    ignore (next st);
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let t = parse_stmt st in
+    let f =
+      match (peek st).tok with
+      | Lexer.KW "else" ->
+        ignore (next st);
+        Some (parse_stmt st)
+      | _ -> None
+    in
+    mks loc (If (c, t, f))
+  | Lexer.KW "while" ->
+    ignore (next st);
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    mks loc (While (c, parse_stmt st))
+  | Lexer.KW "for" ->
+    ignore (next st);
+    expect_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else begin
+        let s = parse_simple_stmt st in
+        expect_punct st ";";
+        Some s
+      end
+    in
+    let cond = if accept_punct st ";" then None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        Some e
+      end
+    in
+    let step = if accept_punct st ")" then None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ")";
+        Some e
+      end
+    in
+    mks loc (For (init, cond, step, parse_stmt st))
+  | Lexer.KW "return" ->
+    ignore (next st);
+    if accept_punct st ";" then mks loc (Return None)
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      mks loc (Return (Some e))
+    end
+  | Lexer.KW "break" ->
+    ignore (next st);
+    expect_punct st ";";
+    mks loc Break
+  | Lexer.KW "continue" ->
+    ignore (next st);
+    expect_punct st ";";
+    mks loc Continue
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect_punct st ";";
+    s
+
+(* declaration or expression, without the trailing semicolon *)
+and parse_simple_stmt st =
+  let loc = cur_loc st in
+  if looking_at_type st then begin
+    let ty = parse_base_ty st in
+    let name = expect_ident st in
+    (* array suffixes *)
+    let rec arr_suffix ty =
+      if accept_punct st "[" then begin
+        let n =
+          match next st with
+          | { tok = Lexer.INT_LIT v; _ } -> Int64.to_int v
+          | { loc; _ } -> error loc "array size must be an integer constant"
+        in
+        expect_punct st "]";
+        (* innermost dimension binds last: int a[2][3] = Tarr(Tarr(int,3),2) *)
+        match arr_suffix ty with t -> Tarr (t, n)
+      end
+      else ty
+    in
+    let ty = arr_suffix ty in
+    let init = if accept_punct st "=" then Some (parse_expr st) else None in
+    mks loc (Decl (ty, name, init))
+  end
+  else mks loc (Expr (parse_expr st))
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params st =
+  expect_punct st "(";
+  if accept_punct st ")" then []
+  else begin
+    let params = ref [] in
+    let rec loop () =
+      let ty = parse_base_ty st in
+      let name = expect_ident st in
+      (* array parameters decay to pointers *)
+      let ty = if accept_punct st "[" then (expect_punct st "]"; Tptr ty) else ty in
+      params := (ty, name) :: !params;
+      if accept_punct st "," then loop () else expect_punct st ")"
+    in
+    loop ();
+    List.rev !params
+  end
+
+let parse_program ~file src =
+  let toks = Array.of_list (Lexer.tokenize ~file src) in
+  let st = { toks; idx = 0 } in
+  let funcs = ref [] in
+  let globals = ref [] in
+  let pending_assumes = ref [] in
+  let rec loop () =
+    match (peek st).tok with
+    | Lexer.EOF -> ()
+    | Lexer.PRAGMA (words, ploc) ->
+      ignore (next st);
+      (match words with
+      | [ "assume"; "ext_spmd_amenable" ] ->
+        pending_assumes := A_spmd_amenable :: !pending_assumes
+      | [ "assume"; "ext_nocapture" ] -> pending_assumes := A_nocapture :: !pending_assumes
+      | [ "assume"; "ext_no_openmp" ] -> pending_assumes := A_no_openmp :: !pending_assumes
+      | [ "declare"; "target" ] | [ "end"; "declare"; "target" ] -> ()
+      | _ -> error ploc "unsupported top-level pragma: omp %s" (String.concat " " words));
+      loop ()
+    | _ ->
+      let loc = cur_loc st in
+      let is_static =
+        match (peek st).tok with
+        | Lexer.KW "static" ->
+          ignore (next st);
+          true
+        | _ -> false
+      in
+      let is_extern =
+        match (peek st).tok with
+        | Lexer.KW "extern" ->
+          ignore (next st);
+          true
+        | _ -> false
+      in
+      let ty = parse_base_ty st in
+      let name = expect_ident st in
+      (match (peek st).tok with
+      | Lexer.PUNCT "(" ->
+        let params = parse_params st in
+        let body =
+          if accept_punct st ";" then None
+          else begin
+            let body = parse_stmt st in
+            Some body
+          end
+        in
+        let body = if is_extern then None else body in
+        funcs :=
+          {
+            fname = name;
+            fret = ty;
+            fparams = params;
+            fbody = body;
+            fassumes = List.rev !pending_assumes;
+            fstatic = is_static;
+            floc = loc;
+          }
+          :: !funcs;
+        pending_assumes := []
+      | _ ->
+        (* global variable, possibly an array *)
+        let rec arr_suffix ty =
+          if accept_punct st "[" then begin
+            let n =
+              match next st with
+              | { tok = Lexer.INT_LIT v; _ } -> Int64.to_int v
+              | { loc; _ } -> error loc "array size must be an integer constant"
+            in
+            expect_punct st "]";
+            match arr_suffix ty with t -> Tarr (t, n)
+          end
+          else ty
+        in
+        let ty = arr_suffix ty in
+        expect_punct st ";";
+        globals := { gname = name; gty = ty; gloc = loc } :: !globals);
+      loop ()
+  in
+  loop ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,5 @@
+(** Recursive-descent parser for MiniOMP. *)
+
+exception Parse_error of string * Support.Loc.t
+
+val parse_program : file:string -> string -> Ast.program

@@ -1,0 +1,87 @@
+(* The IR "glue" layer of the device runtime.
+
+   In LLVM the OpenMP device runtime is shipped as bitcode and linked into
+   the application module, so execution-mode and parallel-level checks that
+   live inside runtime helpers become visible to (and foldable by) the
+   middle-end optimizer.  We reproduce that: the front-end routes OpenMP API
+   queries through small IR-defined helpers whose bodies branch on
+   __kmpc_is_spmd_exec_mode / __kmpc_parallel_level; the runtime-call folding
+   pass of the optimizer (Section IV-C) then removes those branches when the
+   answers are statically known. *)
+
+open Ir
+
+let tid_name = "__omp_tid"
+let nthreads_name = "__omp_nthreads"
+let team_name = "__omp_team"
+let nteams_name = "__omp_nteams"
+let barrier_name = "__omp_barrier"
+
+(* The SPMD and generic runtimes fetch thread-level queries differently;
+   the mode check inside these helpers is what the folding pass removes.
+   Nested parallelism is handled by the inline sequential fallback the
+   front-end emits around worksharing loops, not here. *)
+let emit_query_with_mode_check m name target_spmd target_generic =
+  let f = Func.make ~linkage:Func.Internal name ~ret_ty:Types.I32 ~params:[] in
+  let b = Builder.create f in
+  let entry = Builder.new_block b "entry" in
+  let spmd_bb = Builder.new_block b "spmd" in
+  let generic_bb = Builder.new_block b "generic" in
+  Builder.position_at_end b entry;
+  let is_spmd = Builder.call b Types.I1 "__kmpc_is_spmd_exec_mode" [] in
+  Builder.cbr b is_spmd spmd_bb.Block.label generic_bb.Block.label;
+  Builder.position_at_end b spmd_bb;
+  let t = Builder.call b Types.I32 target_spmd [] in
+  Builder.ret b (Some t);
+  Builder.position_at_end b generic_bb;
+  let t = Builder.call b Types.I32 target_generic [] in
+  Builder.ret b (Some t);
+  Irmod.add_func m f
+
+let emit_tid m = emit_query_with_mode_check m tid_name "__gpu_thread_id" "__gpu_thread_id"
+
+let emit_nthreads m =
+  emit_query_with_mode_check m nthreads_name "__gpu_num_threads" "__gpu_num_threads"
+
+(* Team queries have no mode dependence: plain pass-throughs. *)
+let emit_passthrough m name target =
+  let f = Func.make ~linkage:Func.Internal name ~ret_ty:Types.I32 ~params:[] in
+  let b = Builder.create f in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let t = Builder.call b Types.I32 target [] in
+  Builder.ret b (Some t);
+  Irmod.add_func m f
+
+(* define internal void @__omp_barrier(): the aligned (SPMD) barrier and the
+   generic-mode barrier differ in the real runtime; the mode check is what
+   the folding pass removes. *)
+let emit_barrier m =
+  let f = Func.make ~linkage:Func.Internal barrier_name ~ret_ty:Types.Void ~params:[] in
+  let b = Builder.create f in
+  let entry = Builder.new_block b "entry" in
+  let spmd_bb = Builder.new_block b "spmd" in
+  let generic_bb = Builder.new_block b "generic" in
+  let exit_bb = Builder.new_block b "exit" in
+  Builder.position_at_end b entry;
+  let is_spmd = Builder.call b Types.I1 "__kmpc_is_spmd_exec_mode" [] in
+  Builder.cbr b is_spmd spmd_bb.Block.label generic_bb.Block.label;
+  Builder.position_at_end b spmd_bb;
+  ignore (Builder.call b Types.Void "__kmpc_barrier" []);
+  Builder.br b exit_bb.Block.label;
+  Builder.position_at_end b generic_bb;
+  ignore (Builder.call b Types.Void "__kmpc_barrier" []);
+  Builder.br b exit_bb.Block.label;
+  Builder.position_at_end b exit_bb;
+  Builder.ret b None;
+  Irmod.add_func m f
+
+(* Emit the glue helpers into [m] (idempotent). *)
+let emit m =
+  if Irmod.find_func m tid_name = None then begin
+    emit_tid m;
+    emit_nthreads m;
+    emit_passthrough m team_name "__gpu_team_id";
+    emit_passthrough m nteams_name "__gpu_num_teams";
+    emit_barrier m
+  end

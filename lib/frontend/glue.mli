@@ -1,0 +1,17 @@
+(** The IR "glue" layer of the device runtime.
+
+    In LLVM the OpenMP device runtime is shipped as bitcode and linked into
+    the application module, so the execution-mode checks inside runtime
+    helpers become visible to (and foldable by) the middle end.  The front
+    end reproduces that by routing OpenMP API queries through these
+    IR-defined helpers; LLVM-12-style (legacy) builds instead call opaque
+    runtime entries that cannot fold. *)
+
+val tid_name : string
+val nthreads_name : string
+val team_name : string
+val nteams_name : string
+val barrier_name : string
+
+val emit : Ir.Irmod.t -> unit
+(** Define the glue helpers in the module (idempotent). *)

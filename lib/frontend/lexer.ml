@@ -1,0 +1,140 @@
+(* Hand-written lexer for MiniOMP.  Pragmas are recognized as whole lines and
+   delivered as a single [PRAGMA] token carrying the word list after
+   "#pragma omp". *)
+
+type token =
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string  (* int, long, float, double, void, if, else, ... *)
+  | PRAGMA of string list * Support.Loc.t  (* words after "#pragma omp" *)
+  | PUNCT of string  (* operators and punctuation *)
+  | EOF
+
+type spanned = { tok : token; loc : Support.Loc.t }
+
+exception Lex_error of string * Support.Loc.t
+
+let keywords =
+  [ "void"; "int"; "long"; "float"; "double"; "if"; "else"; "while"; "for";
+    "return"; "break"; "continue"; "static"; "extern" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* Longest-match table of multi-character punctuation. *)
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "+="; "-="; "*="; "/="; "%="; "<<"; ">>"; "++"; "--" ]
+
+let tokenize ~file src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let loc () = Support.Loc.make ~file ~line:!line ~col:!col in
+  let advance () =
+    (if !pos < n then
+       if src.[!pos] = '\n' then begin
+         incr line;
+         col := 1
+       end
+       else incr col);
+    incr pos
+  in
+  let emit tok loc = toks := { tok; loc } :: !toks in
+  let peek_at k = if !pos + k < n then Some src.[!pos + k] else None in
+  let read_while pred =
+    let buf = Buffer.create 16 in
+    while !pos < n && pred src.[!pos] do
+      Buffer.add_char buf src.[!pos];
+      advance ()
+    done;
+    Buffer.contents buf
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    let start_loc = loc () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek_at 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek_at 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '*' && peek_at 1 = Some '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done;
+      if not !closed then raise (Lex_error ("unterminated comment", start_loc))
+    end
+    else if c = '#' then begin
+      (* pragma line *)
+      let rest = read_while (fun c -> c <> '\n') in
+      let words =
+        String.split_on_char ' ' rest
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | "#pragma" :: "omp" :: tail -> emit (PRAGMA (tail, start_loc)) start_loc
+      | _ -> raise (Lex_error ("unsupported preprocessor line: " ^ rest, start_loc))
+    end
+    else if is_digit c || (c = '.' && (match peek_at 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let text =
+        read_while (fun c ->
+            is_digit c || c = '.' || c = 'e' || c = 'E' || c = 'x'
+            || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+      in
+      (* allow a trailing exponent sign: 1e-5 *)
+      let text =
+        if (!pos < n && (src.[!pos] = '+' || src.[!pos] = '-'))
+           && (String.length text > 0
+              && (text.[String.length text - 1] = 'e' || text.[String.length text - 1] = 'E'))
+        then begin
+          let sign = String.make 1 src.[!pos] in
+          advance ();
+          text ^ sign ^ read_while is_digit
+        end
+        else text
+      in
+      match Int64.of_string_opt text with
+      | Some i -> emit (INT_LIT i) start_loc
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> emit (FLOAT_LIT f) start_loc
+        | None -> raise (Lex_error ("bad numeric literal " ^ text, start_loc)))
+    end
+    else if is_alpha c then begin
+      let word = read_while is_alnum in
+      if List.mem word keywords then emit (KW word) start_loc
+      else emit (IDENT word) start_loc
+    end
+    else begin
+      let two =
+        if !pos + 1 < n then Some (String.sub src !pos 2) else None
+      in
+      match two with
+      | Some p when List.mem p puncts2 ->
+        advance ();
+        advance ();
+        emit (PUNCT p) start_loc
+      | _ ->
+        let p = String.make 1 c in
+        if String.contains "+-*/%<>=!&|^~?:;,(){}[]" c then begin
+          advance ();
+          emit (PUNCT p) start_loc
+        end
+        else raise (Lex_error (Printf.sprintf "unexpected character %c" c, start_loc))
+    end
+  done;
+  emit EOF (loc ());
+  List.rev !toks

@@ -1,0 +1,17 @@
+(** Hand-written lexer for MiniOMP.  Pragma lines are delivered whole, as the
+    word list following "#pragma omp". *)
+
+type token =
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string
+  | PRAGMA of string list * Support.Loc.t
+  | PUNCT of string
+  | EOF
+
+type spanned = { tok : token; loc : Support.Loc.t }
+
+exception Lex_error of string * Support.Loc.t
+
+val tokenize : file:string -> string -> spanned list

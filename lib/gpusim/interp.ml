@@ -1,0 +1,1195 @@
+(* The SIMT interpreter.
+
+   Threads are simulated with a run-to-block discipline: each thread executes
+   until it finishes or blocks on a synchronization point (barrier, the
+   worker state machine, or a parallel-region join), accumulating its own
+   cycle clock.  Synchronization points align the clocks of the released
+   threads to the maximum arrival time plus the synchronization cost, which
+   yields a causally consistent timing model without lock-step emulation.
+
+   The device runtime's executable semantics (__kmpc_* interception) live
+   here; its *static* semantics (what the optimizer may assume) live in
+   [Devrt.Registry]. *)
+
+open Ir
+open Rvalue
+
+exception Deadlock of string
+exception Trap of string
+
+type status =
+  | Runnable
+  | Wait_work  (* worker parked in the state machine *)
+  | Wait_join  (* main thread waiting for workers to finish a region *)
+  | In_barrier
+  | Finished
+
+type frame_kind =
+  | Normal
+  | Parallel_body_generic  (* main thread running the region it published *)
+  | Parallel_body_spmd  (* SPMD-mode region body: implicit barrier on return *)
+  | Parallel_body_nested
+
+type frame = {
+  ffunc : Func.t;
+  mutable fblock : Block.t;
+  mutable fidx : int;
+  fregs : (int, Rvalue.t) Hashtbl.t;
+  fargs : Rvalue.t array;
+  flocal_base : int;
+  fkind : frame_kind;
+  (* register of the calling instruction expecting our return value *)
+  fret_reg : int option;
+}
+
+type thread = {
+  gid : int;
+  tid : int;
+  mutable stack : frame list;
+  mutable status : status;
+  mutable clock : int;
+  mutable local_sp : int;
+  mutable level : int;  (* parallel nesting level *)
+  mutable last_work_gen : int;
+  (* value delivered to the blocked runtime call on wakeup *)
+  mutable wake_value : Rvalue.t;
+  (* result register of the runtime call this thread is blocked in *)
+  mutable blocked_reg : int option;
+  (* true when parked in __kmpc_worker_wait_id (id protocol, post-CSM) *)
+  mutable wait_wants_id : bool;
+  (* device-heap bytes this thread currently holds (globalization spills) *)
+  mutable heap_live : int;
+}
+
+type work = {
+  wfn : string;
+  wid : int64;
+  wargs : Rvalue.t;
+  wactive : int;  (* number of participating threads, including main *)
+  wgen : int;
+}
+
+type team = {
+  team_idx : int;  (* index within the launch (0..nteams-1) *)
+  team_uid : int;  (* globally unique id, keys the shared memory arena *)
+  threads : thread array;
+  mutable shared_sp : int;
+  mutable shared_high : int;
+  mutable work : (work, unit) Either.t option;  (* Left w = published work *)
+  mutable work_gen : int;
+  mutable join_pending : int;
+  mutable terminating : bool;
+  mutable barrier_waiting : thread list;
+  mutable exec_spmd : bool;
+  mutable is_cuda : bool;
+  (* shared-stack regions allocated AoS by __kmpc_alloc_shared: accesses
+     into them are uncoalesced *)
+  mutable uncoalesced : (int * int) list;
+  launch_teams : int;
+  launch_threads : int;
+}
+
+type launch_stats = {
+  kernel_name : string;
+  mutable cycles : int;  (* modeled kernel time *)
+  mutable team_cycles_total : int;
+  mutable instructions : int;
+  mutable loads_global : int;
+  mutable loads_shared : int;
+  mutable loads_local : int;
+  mutable runtime_calls : int;
+  mutable barriers : int;
+  mutable indirect_calls : int;
+  mutable shared_bytes : int;  (* static + stack high water, max over teams *)
+  mutable heap_high_water : int;
+  mutable registers : int;
+  mutable teams : int;
+  mutable threads_per_team : int;
+}
+
+type t = {
+  m : Irmod.t;
+  machine : Machine.t;
+  mem : Mem.t;
+  mutable trace : Rvalue.t list;  (* __devrt_trace output, newest first *)
+  mutable kernel_stats : launch_stats list;  (* newest first *)
+  team_uid_gen : Support.Util.Id_gen.t;
+  mutable fuel : int;
+  (* the team the currently-simulated thread belongs to (None = host) *)
+  mutable cur_team : team option;
+}
+
+let create ?(fuel = 200_000_000) (machine : Machine.t) (m : Irmod.t) =
+  let mem = Mem.create machine in
+  Mem.layout_module mem m;
+  {
+    m;
+    machine;
+    mem;
+    trace = [];
+    kernel_stats = [];
+    team_uid_gen = Support.Util.Id_gen.create ();
+    fuel;
+    cur_team = None;
+  }
+
+let costs t = t.machine.Machine.costs
+
+(* ------------------------------------------------------------------ *)
+(* Value evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cur_frame th =
+  match th.stack with
+  | f :: _ -> f
+  | [] -> error "thread %d has no frame" th.gid
+
+let team_for_globals t th =
+  ignore th;
+  match t.cur_team with Some team -> team.team_uid | None -> -1
+
+let eval t th (v : Value.t) : Rvalue.t =
+  match v with
+  | Value.Const c -> of_const c
+  | Value.Reg id -> (
+    let f = cur_frame th in
+    match Hashtbl.find_opt f.fregs id with
+    | Some rv -> rv
+    | None -> error "read of unset register %%%d in @%s" id f.ffunc.Func.name)
+  | Value.Arg i -> (cur_frame th).fargs.(i)
+  | Value.Global name -> P (Mem.global_addr t.mem name ~team:(team_for_globals t th))
+  | Value.Func name -> Fn name
+
+let set_reg th id rv = Hashtbl.replace (cur_frame th).fregs id rv
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let exec_bin op ty a b =
+  let open Instr in
+  if Types.is_float ty then begin
+    let x = as_float a and y = as_float b in
+    let r =
+      match op with
+      | Fadd -> x +. y
+      | Fsub -> x -. y
+      | Fmul -> x *. y
+      | Fdiv -> x /. y
+      | _ -> error "integer binop on float type"
+    in
+    F (if Types.equal ty Types.F32 then to_f32 r else r)
+  end
+  else begin
+    let x = as_int a and y = as_int b in
+    (* unsigned operations must see the zero-extended value of the width *)
+    let unsigned v =
+      match ty with
+      | Types.I1 -> Int64.logand v 1L
+      | Types.I8 -> Int64.logand v 0xFFL
+      | Types.I32 -> Int64.logand v 0xFFFFFFFFL
+      | _ -> v
+    in
+    let r =
+      match op with
+      | Add -> Int64.add x y
+      | Sub -> Int64.sub x y
+      | Mul -> Int64.mul x y
+      | Sdiv -> if y = 0L then error "division by zero" else Int64.div x y
+      | Srem -> if y = 0L then error "remainder by zero" else Int64.rem x y
+      | Udiv ->
+        if y = 0L then error "division by zero"
+        else Int64.unsigned_div (unsigned x) (unsigned y)
+      | Urem ->
+        if y = 0L then error "remainder by zero"
+        else Int64.unsigned_rem (unsigned x) (unsigned y)
+      | And -> Int64.logand x y
+      | Or -> Int64.logor x y
+      | Xor -> Int64.logxor x y
+      | Shl -> Int64.shift_left x (Int64.to_int y land 63)
+      | Lshr -> Int64.shift_right_logical (unsigned x) (Int64.to_int y land 63)
+      | Ashr -> Int64.shift_right x (Int64.to_int y land 63)
+      | Fadd | Fsub | Fmul | Fdiv -> error "float binop on integer type"
+    in
+    I (truncate_to ty r)
+  end
+
+let ptr_as_bits = function
+  | P p -> Mem.encode_ptr p
+  | Fn name -> Int64.of_int (1 + Hashtbl.hash name)  (* nonzero: never null *)
+  | v -> as_int v
+
+let exec_icmp cc ty a b =
+  let open Instr in
+  let x, y =
+    if Types.is_pointer ty then (ptr_as_bits a, ptr_as_bits b) else (as_int a, as_int b)
+  in
+  let r =
+    match cc with
+    | Eq -> x = y
+    | Ne -> x <> y
+    | Slt -> x < y
+    | Sle -> x <= y
+    | Sgt -> x > y
+    | Sge -> x >= y
+    | Ult -> Int64.unsigned_compare x y < 0
+    | Ule -> Int64.unsigned_compare x y <= 0
+    | Ugt -> Int64.unsigned_compare x y > 0
+    | Uge -> Int64.unsigned_compare x y >= 0
+  in
+  I (if r then 1L else 0L)
+
+let exec_fcmp cc a b =
+  let open Instr in
+  let x = as_float a and y = as_float b in
+  let r =
+    match cc with
+    | Oeq -> x = y
+    | One -> x <> y && not (Float.is_nan x || Float.is_nan y)
+    | Olt -> x < y
+    | Ole -> x <= y
+    | Ogt -> x > y
+    | Oge -> x >= y
+  in
+  I (if r then 1L else 0L)
+
+let exec_cast op to_ty v =
+  let open Instr in
+  match op with
+  | Zext | Sext -> I (truncate_to to_ty (as_int v))
+  | Trunc -> I (truncate_to to_ty (as_int v))
+  | Sitofp ->
+    let f = Int64.to_float (as_int v) in
+    F (if Types.equal to_ty Types.F32 then to_f32 f else f)
+  | Fptosi -> I (truncate_to to_ty (Int64.of_float (as_float v)))
+  | Fpext -> F (as_float v)
+  | Fptrunc -> F (to_f32 (as_float v))
+  | Bitcast -> (
+    match (v, to_ty) with
+    | F f, Types.I64 -> I (Int64.bits_of_float f)
+    | F f, Types.I32 -> I (Int64.of_int32 (Int32.bits_of_float f))
+    | I i, Types.F64 -> F (Int64.float_of_bits i)
+    | I i, Types.F32 -> F (Int32.float_of_bits (Int64.to_int32 i))
+    | v, _ -> v)
+  | Spacecast -> v
+
+(* ------------------------------------------------------------------ *)
+(* Cost accounting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let access_cost t (p : ptr) =
+  let c = costs t in
+  match p.sp with
+  | Sglobal ->
+    if Mem.is_cached t.mem p.addr then c.Machine.global_cached_access
+    else c.Machine.global_access
+  | Sshared uid -> (
+    match t.cur_team with
+    | Some team
+      when team.team_uid = uid
+           && List.exists (fun (a, b) -> p.addr >= a && p.addr < b) team.uncoalesced ->
+      c.Machine.shared_uncoalesced_access
+    | _ -> c.Machine.shared_access)
+  | Slocal _ -> c.Machine.local_access
+
+let stats_top t =
+  match t.kernel_stats with s :: _ -> Some s | [] -> None
+
+let count_load t (p : ptr) =
+  match stats_top t with
+  | None -> ()
+  | Some s -> (
+    match p.sp with
+    | Sglobal -> s.loads_global <- s.loads_global + 1
+    | Sshared _ -> s.loads_shared <- s.loads_shared + 1
+    | Slocal _ -> s.loads_local <- s.loads_local + 1)
+
+let charge th cycles = th.clock <- th.clock + cycles
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization mechanics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_expected team =
+  if team.exec_spmd then Array.length team.threads
+  else
+    match team.work with
+    | Some (Either.Left w) -> w.wactive
+    | Some (Either.Right ()) | None -> 1
+
+(* Thread [th] arrives at a team barrier.  Returns [true] if the thread may
+   continue immediately (it was the last to arrive or is alone). *)
+let barrier_enter t team th =
+  let expected = barrier_expected team in
+  (match stats_top t with Some s -> s.barriers <- s.barriers + 1 | None -> ());
+  if expected <= 1 then begin
+    charge th (costs t).Machine.barrier;
+    true
+  end
+  else begin
+    team.barrier_waiting <- th :: team.barrier_waiting;
+    if List.length team.barrier_waiting >= expected then begin
+      let arrival =
+        List.fold_left (fun acc th' -> max acc th'.clock) 0 team.barrier_waiting
+      in
+      let release = arrival + (costs t).Machine.barrier in
+      List.iter
+        (fun th' ->
+          th'.clock <- release;
+          th'.status <- Runnable)
+        team.barrier_waiting;
+      team.barrier_waiting <- [];
+      true
+    end
+    else begin
+      th.status <- In_barrier;
+      false
+    end
+  end
+
+(* Publish a parallel region from the main thread (generic mode, level 0). *)
+let publish_work t team th ~fn ~id ~args ~requested =
+  let nthreads = Array.length team.threads in
+  let active = if requested > 0 then min requested nthreads else nthreads in
+  charge th (costs t).Machine.parallel_publish;
+  team.work_gen <- team.work_gen + 1;
+  team.work <-
+    Some (Either.Left { wfn = fn; wid = id; wargs = args; wactive = active; wgen = team.work_gen });
+  team.join_pending <- active - 1;  (* workers; main participates directly *)
+  (* wake parked workers that participate *)
+  Array.iter
+    (fun w ->
+      if w.tid > 0 && w.tid < active && w.status = Wait_work then begin
+        w.status <- Runnable;
+        w.clock <- max w.clock (th.clock + (costs t).Machine.worker_resume);
+        w.wake_value <- (if w.wait_wants_id then I id else Fn fn);
+        w.last_work_gen <- team.work_gen;
+        w.level <- 1
+      end)
+    team.threads
+
+let finish_join t team =
+  team.work <- None;
+  let main = team.threads.(0) in
+  if main.status = Wait_join then begin
+    let worker_max =
+      Array.fold_left
+        (fun acc w -> if w.tid > 0 then max acc w.clock else acc)
+        0 team.threads
+    in
+    main.status <- Runnable;
+    main.clock <- max main.clock worker_max + (costs t).Machine.parallel_join
+  end;
+  ignore t
+
+(* ------------------------------------------------------------------ *)
+(* Function call machinery                                             *)
+(* ------------------------------------------------------------------ *)
+
+let push_frame th ?(kind = Normal) ?ret_reg (f : Func.t) args =
+  if Func.is_declaration f then error "call to undefined function @%s" f.Func.name;
+  let frame =
+    {
+      ffunc = f;
+      fblock = Func.entry f;
+      fidx = 0;
+      fregs = Hashtbl.create 32;
+      fargs = Array.of_list args;
+      flocal_base = th.local_sp;
+      fkind = kind;
+      fret_reg = ret_reg;
+    }
+  in
+  th.stack <- frame :: th.stack
+
+(* Returns [false] when the thread has fully finished. *)
+let pop_frame t team_opt th (ret : Rvalue.t) =
+  match th.stack with
+  | [] -> false
+  | frame :: rest ->
+    th.local_sp <- frame.flocal_base;
+    th.stack <- rest;
+    (match frame.fkind with
+    | Normal -> ()
+    | Parallel_body_generic -> (
+      th.level <- th.level - 1;
+      match team_opt with
+      | Some team ->
+        if team.join_pending > 0 then th.status <- Wait_join else finish_join t team
+      | None -> ())
+    | Parallel_body_spmd -> (
+      th.level <- th.level - 1;
+      match team_opt with
+      | Some team -> ignore (barrier_enter t team th)
+      | None -> ())
+    | Parallel_body_nested -> th.level <- th.level - 1);
+    (match (rest, frame.fret_reg) with
+    | caller :: _, Some reg ->
+      ignore caller;
+      Hashtbl.replace (List.hd rest).fregs reg ret
+    | _ -> ());
+    rest <> []
+
+(* ------------------------------------------------------------------ *)
+(* Device runtime interception                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* result of a runtime call *)
+type rt_result =
+  | Done of Rvalue.t  (* call completed, thread continues *)
+  | Blocked  (* thread parked; the call's result arrives via wake_value *)
+
+let is_main_thread th = th.tid = 0
+
+(* Allocate from the device heap, modeling the concurrent footprint: on
+   real hardware every resident team runs all of its threads at once, and
+   each executes the same allocation sites; the simulator serializes
+   threads, so the footprint is reconstructed from the per-thread live
+   bytes scaled by the number of concurrently allocating threads. *)
+let device_heap_alloc t team th size =
+  let p, granted = Mem.heap_alloc t.mem size in
+  th.heap_live <- th.heap_live + granted;
+  let resident_teams = max 1 (min team.launch_teams t.machine.Machine.num_sms) in
+  let allocating_threads =
+    if team.exec_spmd || th.level > 0 then Array.length team.threads else 1
+  in
+  let footprint = th.heap_live * allocating_threads * resident_teams in
+  (match stats_top t with
+  | Some s -> if footprint > s.heap_high_water then s.heap_high_water <- footprint
+  | None -> ());
+  if footprint > t.machine.Machine.heap_bytes then
+    raise
+      (Mem.Out_of_memory
+         (Printf.sprintf
+            "device heap exhausted: %d teams x %d threads x %d live bytes exceeds %d"
+            resident_teams allocating_threads th.heap_live
+            t.machine.Machine.heap_bytes));
+  p
+
+let device_heap_free t th addr size =
+  let size8 = Support.Util.round_up_to (max 8 size) ~multiple:8 in
+  th.heap_live <- max 0 (th.heap_live - size8);
+  Mem.heap_free_block t.mem addr size
+
+let alloc_shared_storage t team th size =
+  let c = costs t in
+  let in_sequential_main =
+    (not team.exec_spmd) && is_main_thread th && th.level = 0
+  in
+  let size_tax = size / 8 in
+  if in_sequential_main then begin
+    (* bump the team's dynamic data-sharing stack; it is a small carve-out,
+       so large allocations fall back to the device heap *)
+    let size8 = Support.Util.round_up_to (max 8 size) ~multiple:8 in
+    let dyn_used = team.shared_sp - t.mem.Mem.static_shared_size in
+    if
+      dyn_used + size8 <= t.machine.Machine.dyn_shared_stack_bytes
+      && team.shared_sp + size8 <= t.machine.Machine.shared_bytes_per_team
+    then begin
+      charge th (c.Machine.alloc_shared_main + size_tax);
+      let addr = team.shared_sp in
+      team.shared_sp <- team.shared_sp + size8;
+      if team.shared_sp > team.shared_high then team.shared_high <- team.shared_sp;
+      team.uncoalesced <- (addr, addr + size8) :: team.uncoalesced;
+      P { sp = Sshared team.team_uid; addr }
+    end
+    else begin
+      charge th (c.Machine.alloc_shared_parallel + size_tax);
+      P (device_heap_alloc t team th size)
+    end
+  end
+  else begin
+    (* per-thread allocation in a parallel context: contended global heap *)
+    charge th (c.Machine.alloc_shared_parallel + size_tax);
+    P (device_heap_alloc t team th size)
+  end
+
+let free_shared_storage t team th ptr size =
+  let c = costs t in
+  charge th c.Machine.free_shared;
+  match ptr with
+  | P { sp = Sshared uid; addr } when uid = team.team_uid ->
+    let size8 = Support.Util.round_up_to (max 8 size) ~multiple:8 in
+    (* LIFO pop when possible; otherwise just account *)
+    if addr + size8 = team.shared_sp then team.shared_sp <- addr
+  | P ({ sp = Sglobal; _ } as p) -> device_heap_free t th p.addr size
+  | P { sp = Slocal _; _ } -> ()  (* legacy SPMD fast path: plain alloca *)
+  | _ -> ()
+
+(* Legacy push: one aggregated allocation.  In a sequential main region it
+   behaves like alloc_shared; in a parallel context the warp-coalesced
+   implementation amortizes the runtime call across the warp and still
+   places data in shared memory when it fits. *)
+let legacy_push t team th size =
+  let c = costs t in
+  let size8 = Support.Util.round_up_to (max 8 size) ~multiple:8 in
+  let fits = team.shared_sp + size8 <= t.machine.Machine.shared_bytes_per_team in
+  if fits then begin
+    let amortized =
+      if th.level > 0 || team.exec_spmd then max 16 (c.Machine.push_stack / 4)
+      else c.Machine.push_stack
+    in
+    charge th amortized;
+    let addr = team.shared_sp in
+    team.shared_sp <- team.shared_sp + size8;
+    if team.shared_sp > team.shared_high then team.shared_high <- team.shared_sp;
+    P { sp = Sshared team.team_uid; addr }
+  end
+  else begin
+    charge th c.Machine.push_stack;
+    P (device_heap_alloc t team th size)
+  end
+
+let trace_value t rv = t.trace <- rv :: t.trace
+
+let math1 name x =
+  match name with
+  | "__math_sqrt" -> sqrt x
+  | "__math_sin" -> sin x
+  | "__math_cos" -> cos x
+  | "__math_exp" -> exp x
+  | "__math_log" -> log x
+  | "__math_fabs" -> Float.abs x
+  | _ -> error "unknown math builtin %s" name
+
+(* Execute a device runtime call on a device thread. *)
+let device_runtime_call t team th name (args : Rvalue.t list) : rt_result =
+  let c = costs t in
+  (match stats_top t with Some s -> s.runtime_calls <- s.runtime_calls + 1 | None -> ());
+  match (name, args) with
+  | "__kmpc_target_init", [ _mode ] ->
+    let cost =
+      if team.is_cuda then c.Machine.target_init_cuda
+      else if team.exec_spmd then c.Machine.target_init_spmd
+      else c.Machine.target_init_generic
+    in
+    charge th cost;
+    Done (I (if (not team.exec_spmd) && is_main_thread th then -1L else Int64.of_int th.tid))
+  | "__kmpc_target_deinit", [ _mode ] ->
+    charge th c.Machine.target_deinit;
+    if not team.exec_spmd then begin
+      (* main thread terminates the worker state machine *)
+      team.terminating <- true;
+      Array.iter
+        (fun w ->
+          if w.tid > 0 && w.status = Wait_work then begin
+            w.status <- Runnable;
+            w.clock <- max w.clock (th.clock + c.Machine.worker_resume);
+            (* null fn pointer / id -2: exit the state machine *)
+            w.wake_value <- (if w.wait_wants_id then I (-2L) else I 0L)
+          end)
+        team.threads
+    end;
+    Done Undef
+  | "__kmpc_parallel_51", [ fnv; idv; argsv; numv ] -> (
+    let fname =
+      match fnv with
+      | Fn f -> f
+      | v when is_null v -> ""
+      | _ -> error "parallel_51: bad function operand"
+    in
+    let resolve_fn () =
+      match Irmod.find_func t.m fname with
+      | Some f -> f
+      | None -> error "parallel_51: unknown function %s" fname
+    in
+    if th.level > 0 then begin
+      (* nested parallelism executes sequentially on the encountering thread *)
+      charge th c.Machine.call;
+      th.level <- th.level + 1;
+      push_frame th ~kind:Parallel_body_nested (resolve_fn ()) [ argsv ];
+      Done Undef
+    end
+    else if team.exec_spmd then begin
+      (* SPMD: every thread runs the region directly; implicit barrier at end *)
+      charge th c.Machine.call;
+      th.level <- th.level + 1;
+      push_frame th ~kind:Parallel_body_spmd (resolve_fn ()) [ argsv ];
+      Done Undef
+    end
+    else begin
+      (* generic mode level 0: publish to the worker state machine *)
+      publish_work t team th ~fn:fname ~id:(as_int idv) ~args:argsv
+        ~requested:(Int64.to_int (as_int numv));
+      th.level <- th.level + 1;
+      push_frame th ~kind:Parallel_body_generic (resolve_fn ()) [ argsv ];
+      Done Undef
+    end)
+  | "__kmpc_worker_wait", [] | "__kmpc_worker_wait_id", [] -> (
+    let want_id = String.equal name "__kmpc_worker_wait_id" in
+    if team.terminating then
+      Done (if want_id then I (-2L) else I 0L)
+    else
+      match team.work with
+      | Some (Either.Left w) when w.wgen > th.last_work_gen && th.tid < w.wactive ->
+        th.last_work_gen <- w.wgen;
+        charge th c.Machine.worker_resume;
+        th.level <- 1;  (* the worker is now inside the parallel region *)
+        Done (if want_id then I w.wid else Fn w.wfn)
+      | _ ->
+        th.status <- Wait_work;
+        th.wait_wants_id <- want_id;
+        Blocked)
+  | "__kmpc_get_parallel_args", [] -> (
+    match team.work with
+    | Some (Either.Left w) -> Done w.wargs
+    | _ -> error "get_parallel_args outside a region")
+  | "__kmpc_get_parallel_id", [] -> (
+    match team.work with
+    | Some (Either.Left w) -> Done (I w.wid)
+    | _ -> error "get_parallel_id outside a region")
+  | "__kmpc_get_parallel_fn", [] -> (
+    match team.work with
+    | Some (Either.Left w) -> Done (Fn w.wfn)
+    | _ -> error "get_parallel_fn outside a region")
+  | "__kmpc_worker_done", [] ->
+    charge th c.Machine.worker_done;
+    th.level <- 0;
+    team.join_pending <- team.join_pending - 1;
+    if team.join_pending <= 0 then finish_join t team;
+    Done Undef
+  | "__kmpc_alloc_shared", [ size ] ->
+    Done (alloc_shared_storage t team th (Int64.to_int (as_int size)))
+  | "__kmpc_free_shared", [ ptr; size ] ->
+    free_shared_storage t team th ptr (Int64.to_int (as_int size));
+    Done Undef
+  | "__kmpc_data_sharing_push_stack", [ size; _use_shared ] ->
+    Done (legacy_push t team th (Int64.to_int (as_int size)))
+  | "__kmpc_data_sharing_pop_stack", [ ptr ] ->
+    (match ptr with
+    | P { sp = Sshared uid; addr } when uid = team.team_uid ->
+      charge th c.Machine.pop_stack;
+      if addr < team.shared_sp then team.shared_sp <- addr
+    | P ({ sp = Sglobal; _ } as p) ->
+      charge th c.Machine.pop_stack;
+      (* we do not know the size; free a conservative 8 bytes *)
+      device_heap_free t th p.addr 8
+    | _ -> ());
+    Done Undef
+  | "__kmpc_is_spmd_exec_mode", [] ->
+    charge th c.Machine.runtime_query;
+    Done (I (if team.exec_spmd then 1L else 0L))
+  | "__kmpc_parallel_level", [] ->
+    charge th c.Machine.runtime_query;
+    Done (I (Int64.of_int (if team.exec_spmd then max 1 th.level else th.level)))
+  | "__gpu_thread_id", [] ->
+    charge th c.Machine.alu;
+    Done (I (Int64.of_int th.tid))
+  | "__gpu_num_threads", [] ->
+    charge th c.Machine.alu;
+    let n =
+      if team.exec_spmd then Array.length team.threads
+      else
+        match team.work with
+        | Some (Either.Left w) when th.level > 0 -> w.wactive
+        | _ -> Array.length team.threads
+    in
+    Done (I (Int64.of_int n))
+  | "__gpu_team_id", [] ->
+    charge th c.Machine.alu;
+    Done (I (Int64.of_int team.team_idx))
+  | "__gpu_num_teams", [] ->
+    charge th c.Machine.alu;
+    Done (I (Int64.of_int team.launch_teams))
+  | "__kmpc_data_sharing_mode_check", [] ->
+    charge th c.Machine.runtime_query_opaque;
+    Done (I (if team.exec_spmd then 1L else 0L))
+  | "omp_get_thread_num", [] ->
+    charge th c.Machine.runtime_query_opaque;
+    Done (I (Int64.of_int (if team.exec_spmd || th.level > 0 then th.tid else 0)))
+  | "omp_get_num_threads", [] ->
+    charge th c.Machine.runtime_query_opaque;
+    let n =
+      if team.exec_spmd then Array.length team.threads
+      else
+        match team.work with
+        | Some (Either.Left w) when th.level > 0 -> w.wactive
+        | _ -> Array.length team.threads
+    in
+    Done (I (Int64.of_int n))
+  | "omp_get_team_num", [] ->
+    charge th c.Machine.runtime_query_opaque;
+    Done (I (Int64.of_int team.team_idx))
+  | "omp_get_num_teams", [] ->
+    charge th c.Machine.runtime_query_opaque;
+    Done (I (Int64.of_int team.launch_teams))
+  | "__kmpc_get_warp_size", [] ->
+    charge th c.Machine.runtime_query;
+    Done (I (Int64.of_int t.machine.Machine.warp_size))
+  | "__kmpc_get_hardware_num_threads", [] ->
+    charge th c.Machine.runtime_query;
+    Done (I (Int64.of_int (Array.length team.threads)))
+  | "__kmpc_barrier", [] ->
+    ignore (barrier_enter t team th);
+    Done Undef
+  | "__devrt_trace", [ v ] ->
+    charge th c.Machine.trace;
+    trace_value t (I (as_int v));
+    Done Undef
+  | "__devrt_trace_f64", [ v ] ->
+    charge th c.Machine.trace;
+    trace_value t (F (as_float v));
+    Done Undef
+  | _, _ -> (
+    match name with
+    | "__math_pow" -> (
+      charge th c.Machine.math_pow;
+      match args with
+      | [ x; y ] -> Done (F (Float.pow (as_float x) (as_float y)))
+      | _ -> error "pow arity")
+    | "__math_fmin" -> (
+      charge th c.Machine.alu;
+      match args with
+      | [ x; y ] -> Done (F (Float.min (as_float x) (as_float y)))
+      | _ -> error "fmin arity")
+    | "__math_fmax" -> (
+      charge th c.Machine.alu;
+      match args with
+      | [ x; y ] -> Done (F (Float.max (as_float x) (as_float y)))
+      | _ -> error "fmax arity")
+    | "__math_sqrtf" -> (
+      charge th c.Machine.math_sqrt;
+      match args with
+      | [ x ] -> Done (F (to_f32 (sqrt (as_float x))))
+      | _ -> error "sqrtf arity")
+    | "__math_sqrt" ->
+      charge th c.Machine.math_sqrt;
+      (match args with [ x ] -> Done (F (math1 name (as_float x))) | _ -> error "arity")
+    | "__math_sin" | "__math_cos" | "__math_exp" | "__math_log" ->
+      charge th c.Machine.math_trig;
+      (match args with [ x ] -> Done (F (math1 name (as_float x))) | _ -> error "arity")
+    | "__math_fabs" ->
+      charge th c.Machine.alu;
+      (match args with [ x ] -> Done (F (math1 name (as_float x))) | _ -> error "arity")
+    | _ -> error "unimplemented runtime function %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction stepping                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bin_cost t (op : Instr.bin) =
+  let c = costs t in
+  match op with
+  | Instr.Add | Instr.Sub | Instr.And | Instr.Or | Instr.Xor | Instr.Shl
+  | Instr.Lshr | Instr.Ashr ->
+    c.Machine.alu
+  | Instr.Mul -> c.Machine.imul
+  | Instr.Sdiv | Instr.Srem | Instr.Udiv | Instr.Urem -> c.Machine.idiv
+  | Instr.Fadd | Instr.Fsub -> c.Machine.fadd
+  | Instr.Fmul -> c.Machine.fmul
+  | Instr.Fdiv -> c.Machine.fdiv
+
+(* Host-side subset of the runtime: math, tracing, and trivial queries.
+   Synchronization primitives are meaningless on the single host thread. *)
+let host_runtime_call t th name (args : Rvalue.t list) : Rvalue.t =
+  ignore th;
+  match (name, args) with
+  | "__devrt_trace", [ v ] ->
+    trace_value t (I (as_int v));
+    Undef
+  | "__devrt_trace_f64", [ v ] ->
+    trace_value t (F (as_float v));
+    Undef
+  | "__math_pow", [ x; y ] -> F (Float.pow (as_float x) (as_float y))
+  | "__math_fmin", [ x; y ] -> F (Float.min (as_float x) (as_float y))
+  | "__math_fmax", [ x; y ] -> F (Float.max (as_float x) (as_float y))
+  | "__math_sqrtf", [ x ] -> F (to_f32 (sqrt (as_float x)))
+  | ("__math_sqrt" | "__math_sin" | "__math_cos" | "__math_exp" | "__math_log"
+    | "__math_fabs"), [ x ] ->
+    F (math1 name (as_float x))
+  | "omp_get_thread_num", [] | "__gpu_thread_id", [] | "__gpu_team_id", []
+  | "omp_get_team_num", [] ->
+    I 0L
+  | "omp_get_num_threads", [] | "__gpu_num_threads", [] | "__gpu_num_teams", []
+  | "omp_get_num_teams", [] | "__kmpc_parallel_level", [] ->
+    I 1L
+  | "__kmpc_is_spmd_exec_mode", [] | "__kmpc_data_sharing_mode_check", [] -> I 0L
+  | "__kmpc_barrier", [] -> Undef
+  | "__kmpc_alloc_shared", [ size ] ->
+    let p, _ = Mem.heap_alloc t.mem (Int64.to_int (as_int size)) in
+    P p
+  | "__kmpc_free_shared", [ ptr; size ] ->
+    (match ptr with
+    | P { sp = Sglobal; addr } -> Mem.heap_free_block t.mem addr (Int64.to_int (as_int size))
+    | _ -> ());
+    Undef
+  | _ -> error "runtime call %s is not available on the host" name
+
+(* mutable hook filled in below to break the recursion with kernel launch *)
+let launch_hook :
+    (t -> Func.t -> Rvalue.t list -> unit) ref =
+  ref (fun _ _ _ -> error "launch hook not installed")
+
+(* Execute the instruction at the current position; assumes fidx was already
+   advanced past it by the caller. *)
+let exec_instr t (team_opt : team option) th (i : Instr.t) =
+  let c = costs t in
+  (match stats_top t with Some s -> s.instructions <- s.instructions + 1 | None -> ());
+  t.fuel <- t.fuel - 1;
+  if t.fuel <= 0 then raise (Trap "simulation fuel exhausted (infinite loop?)");
+  let ev v = eval t th v in
+  match i.Instr.kind with
+  | Instr.Alloca (ty, n) ->
+    charge th c.Machine.alu;
+    let size = Support.Util.round_up_to (max 1 (Types.size_of ty * n)) ~multiple:8 in
+    let addr = th.local_sp in
+    if addr + size > t.machine.Machine.local_bytes_per_thread then
+      error "thread %d local stack overflow" th.gid;
+    th.local_sp <- th.local_sp + size;
+    set_reg th i.Instr.id (P { sp = Slocal th.gid; addr })
+  | Instr.Load (ty, pv) ->
+    let p = as_ptr (ev pv) in
+    charge th (access_cost t p);
+    count_load t p;
+    set_reg th i.Instr.id (Mem.read t.mem ~current:th.gid p ty)
+  | Instr.Store (ty, v, pv) ->
+    let p = as_ptr (ev pv) in
+    charge th (access_cost t p);
+    Mem.write t.mem ~current:th.gid p ty (ev v)
+  | Instr.Gep (_, base, off) ->
+    charge th c.Machine.alu;
+    let p = as_ptr (ev base) in
+    let o = Int64.to_int (as_int (ev off)) in
+    set_reg th i.Instr.id (P { p with addr = p.addr + o })
+  | Instr.Bin (op, ty, a, b) ->
+    charge th (bin_cost t op);
+    set_reg th i.Instr.id (exec_bin op ty (ev a) (ev b))
+  | Instr.Icmp (cc, ty, a, b) ->
+    charge th c.Machine.alu;
+    set_reg th i.Instr.id (exec_icmp cc ty (ev a) (ev b))
+  | Instr.Fcmp (cc, _, a, b) ->
+    charge th c.Machine.alu;
+    set_reg th i.Instr.id (exec_fcmp cc (ev a) (ev b))
+  | Instr.Cast (op, ty, v) ->
+    charge th c.Machine.cast;
+    set_reg th i.Instr.id (exec_cast op ty (ev v))
+  | Instr.Select (_, cv, a, b) ->
+    charge th c.Machine.alu;
+    set_reg th i.Instr.id (if as_int (ev cv) <> 0L then ev a else ev b)
+  | Instr.Atomicrmw (op, ty, pv, v) ->
+    let p = as_ptr (ev pv) in
+    charge th
+      (match p.sp with
+      | Sglobal -> c.Machine.atomic_global
+      | Sshared _ -> c.Machine.atomic_shared
+      | Slocal _ -> c.Machine.local_access);
+    let old = Mem.read t.mem ~current:th.gid p ty in
+    let next =
+      match op with
+      | Instr.A_add -> exec_bin Instr.Add ty old (ev v)
+      | Instr.A_fadd -> exec_bin Instr.Fadd ty old (ev v)
+      | Instr.A_min ->
+        if Types.is_float ty then F (Float.min (as_float old) (as_float (ev v)))
+        else I (min (as_int old) (as_int (ev v)))
+      | Instr.A_max ->
+        if Types.is_float ty then F (Float.max (as_float old) (as_float (ev v)))
+        else I (max (as_int old) (as_int (ev v)))
+      | Instr.A_exchange -> ev v
+      | Instr.A_cas -> ev v
+    in
+    Mem.write t.mem ~current:th.gid p ty next;
+    set_reg th i.Instr.id old
+  | Instr.Call (_, callee, argvs) -> (
+    let args = List.map ev argvs in
+    let dispatch name =
+      match Devrt.Registry.lookup name with
+      | Some _ -> (
+        match team_opt with
+        | Some team -> (
+          match device_runtime_call t team th name args with
+          | Done rv -> if Instr.has_result i then set_reg th i.Instr.id rv
+          | Blocked ->
+            th.blocked_reg <- (if Instr.has_result i then Some i.Instr.id else None))
+        | None -> (
+          match host_runtime_call t th name args with
+          | rv -> if Instr.has_result i then set_reg th i.Instr.id rv))
+      | None -> (
+        match Irmod.find_func t.m name with
+        | Some f when Func.is_kernel f && team_opt = None ->
+          !launch_hook t f args
+        | Some f when not (Func.is_declaration f) ->
+          charge th c.Machine.call;
+          push_frame th
+            ?ret_reg:(if Instr.has_result i then Some i.Instr.id else None)
+            f args
+        | Some f when Func.is_kernel f ->
+          error "kernel @%s launched from device code" f.Func.name
+        | Some _ -> error "call to external function @%s" name
+        | None -> error "call to unknown function @%s" name)
+    in
+    match callee with
+    | Instr.Direct name -> dispatch name
+    | Instr.Indirect fv -> (
+      charge th c.Machine.indirect_call;
+      (match stats_top t with
+      | Some s -> s.indirect_calls <- s.indirect_calls + 1
+      | None -> ());
+      match ev fv with
+      | Fn name -> dispatch name
+      | v -> error "indirect call through non-function value %s" (Fmt.str "%a" pp v)))
+
+(* Execute the terminator of the current block. *)
+let exec_term t th (b : Block.t) =
+  let c = costs t in
+  let goto label =
+    let frame = cur_frame th in
+    frame.fblock <- Func.find_block_exn frame.ffunc label;
+    frame.fidx <- 0
+  in
+  ignore c;
+  match b.Block.term with
+  | Block.Br l ->
+    charge th c.Machine.alu;
+    goto l;
+    `Continue
+  | Block.Cbr (v, l1, l2) ->
+    charge th c.Machine.alu;
+    goto (if as_int (eval t th v) <> 0L then l1 else l2);
+    `Continue
+  | Block.Switch (v, cases, default) ->
+    charge th c.Machine.alu;
+    let x = as_int (eval t th v) in
+    let target =
+      match List.assoc_opt x cases with Some l -> l | None -> default
+    in
+    goto target;
+    `Continue
+  | Block.Ret v ->
+    let rv = match v with Some v -> eval t th v | None -> Undef in
+    let team_opt = t.cur_team in
+    if pop_frame t team_opt th rv then `Continue else `Finished
+  | Block.Unreachable -> error "executed unreachable in @%s" (cur_frame th).ffunc.Func.name
+
+(* Run [th] until it blocks or finishes. *)
+let run_thread t (team_opt : team option) th =
+  (* deliver the result of a call the thread was parked in *)
+  (match th.blocked_reg with
+  | Some reg when th.status = Runnable ->
+    set_reg th reg th.wake_value;
+    th.blocked_reg <- None
+  | _ -> ());
+  let continue_ = ref true in
+  while !continue_ && th.status = Runnable do
+    match th.stack with
+    | [] ->
+      th.status <- Finished;
+      continue_ := false
+    | frame :: _ ->
+      let instrs = frame.fblock.Block.instrs in
+      if frame.fidx < List.length instrs then begin
+        let i = List.nth instrs frame.fidx in
+        frame.fidx <- frame.fidx + 1;
+        exec_instr t team_opt th i
+      end
+      else
+        match exec_term t th frame.fblock with
+        | `Continue -> ()
+        | `Finished ->
+          th.status <- Finished;
+          continue_ := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Team simulation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_team t team =
+  let prev = t.cur_team in
+  t.cur_team <- Some team;
+  let all_done () = Array.for_all (fun th -> th.status = Finished) team.threads in
+  let guard = ref 0 in
+  while not (all_done ()) do
+    incr guard;
+    if !guard > 100_000_000 then raise (Deadlock "team scheduling did not converge");
+    (* pick the runnable thread with the smallest clock *)
+    let best = ref None in
+    Array.iter
+      (fun th ->
+        if th.status = Runnable then
+          match !best with
+          | Some b when b.clock <= th.clock -> ()
+          | _ -> best := Some th)
+      team.threads;
+    match !best with
+    | Some th -> run_thread t (Some team) th
+    | None ->
+      (* nobody runnable: every non-finished thread is parked *)
+      let parked_workers =
+        Array.exists (fun th -> th.status = Wait_work) team.threads
+      in
+      if parked_workers && team.terminating then
+        Array.iter
+          (fun th -> if th.status = Wait_work then th.status <- Finished)
+          team.threads
+      else
+        raise
+          (Deadlock
+             (Printf.sprintf "team %d: no runnable thread (barrier=%d waiting)"
+                team.team_idx
+                (List.length team.barrier_waiting)))
+  done;
+  t.cur_team <- prev
+
+(* ------------------------------------------------------------------ *)
+(* Kernel launch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Latency hiding degrades as register pressure reduces the number of
+   resident warps per SM: time scales with (max_warps / active_warps)^0.75,
+   a standard throughput approximation.  This is what turns the legacy
+   builds' register bloat (Fig. 10) into their slowdown (Fig. 11). *)
+let occupancy_factor machine regs =
+  let regfile = machine.Machine.registers_per_sm in
+  let max_warps = float_of_int machine.Machine.max_warps_per_sm in
+  let active =
+    Float.max 1.0
+      (Float.min max_warps (float_of_int regfile /. (float_of_int (max 16 regs) *. 32.0)))
+  in
+  Float.pow (max_warps /. active) 0.75
+
+let launch_kernel t (kernel : Func.t) (args : Rvalue.t list) =
+  let info =
+    match kernel.Func.kernel with
+    | Some k -> k
+    | None -> error "@%s is not a kernel" kernel.Func.name
+  in
+  let nteams =
+    match info.Func.num_teams with Some n -> n | None -> t.machine.Machine.default_teams
+  in
+  let nthreads =
+    min t.machine.Machine.max_threads_per_team
+      (match info.Func.num_threads with
+      | Some n -> n
+      | None -> t.machine.Machine.default_threads)
+  in
+  let stats =
+    {
+      kernel_name = kernel.Func.name;
+      cycles = 0;
+      team_cycles_total = 0;
+      instructions = 0;
+      loads_global = 0;
+      loads_shared = 0;
+      loads_local = 0;
+      runtime_calls = 0;
+      barriers = 0;
+      indirect_calls = 0;
+      shared_bytes = 0;
+      heap_high_water = 0;
+      registers = Regalloc.estimate t.m kernel;
+      teams = nteams;
+      threads_per_team = nthreads;
+    }
+  in
+  t.kernel_stats <- stats :: t.kernel_stats;
+  (* track the heap high-water mark of this launch alone *)
+  t.mem.Mem.heap_high_water <- t.mem.Mem.heap_in_use;
+  let is_spmd = info.Func.exec_mode = Func.Spmd in
+  let is_cuda = Func.has_attr kernel Func.Cuda_kernel in
+  let max_team_shared = ref 0 in
+  for team_idx = 0 to nteams - 1 do
+    let team_uid = Support.Util.Id_gen.fresh t.team_uid_gen in
+    let threads =
+      Array.init nthreads (fun tid ->
+          {
+            gid = (team_uid * t.machine.Machine.max_threads_per_team) + tid;
+            tid;
+            stack = [];
+            status = Runnable;
+            clock = 0;
+            local_sp = 0;
+            level = 0;
+            last_work_gen = 0;
+            wake_value = Undef;
+            blocked_reg = None;
+            wait_wants_id = false;
+            heap_live = 0;
+          })
+    in
+    let team =
+      {
+        team_idx;
+        team_uid;
+        threads;
+        shared_sp = t.mem.Mem.static_shared_size;
+        shared_high = t.mem.Mem.static_shared_size;
+        work = None;
+        work_gen = 0;
+        join_pending = 0;
+        terminating = false;
+        barrier_waiting = [];
+        exec_spmd = is_spmd;
+        is_cuda;
+        uncoalesced = [];
+        launch_teams = nteams;
+        launch_threads = nthreads;
+      }
+    in
+    Array.iter (fun th -> push_frame th kernel args) threads;
+    run_team t team;
+    let team_time = Array.fold_left (fun acc th -> max acc th.clock) 0 threads in
+    stats.team_cycles_total <- stats.team_cycles_total + team_time;
+    if team.shared_high > !max_team_shared then max_team_shared := team.shared_high;
+    (* release per-team memory arenas *)
+    Hashtbl.remove t.mem.Mem.shareds team_uid;
+    Array.iter (fun th -> Hashtbl.remove t.mem.Mem.locals th.gid) threads
+  done;
+  stats.shared_bytes <- !max_team_shared;
+  (* keep the larger of the concurrency-scaled footprint (recorded at the
+     allocation sites) and the arena's own high-water mark *)
+  stats.heap_high_water <- max stats.heap_high_water t.mem.Mem.heap_high_water;
+  let concurrent = max 1 (min nteams t.machine.Machine.num_sms) in
+  stats.cycles <-
+    int_of_float
+      (float_of_int stats.team_cycles_total /. float_of_int concurrent
+      *. occupancy_factor t.machine stats.registers)
+
+let () = launch_hook := launch_kernel
+
+(* ------------------------------------------------------------------ *)
+(* Host execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The host runs as a single-thread pseudo-team so that stray runtime calls
+   (tracing, math) behave; kernels are launched on direct calls to kernel
+   functions. *)
+let run_host ?(entry = "main") t =
+  let f = Irmod.find_func_exn t.m entry in
+  let host_thread =
+    {
+      gid = -1;
+      tid = 0;
+      stack = [];
+      status = Runnable;
+      clock = 0;
+      local_sp = 0;
+      level = 0;
+      last_work_gen = 0;
+      wake_value = Undef;
+      blocked_reg = None;
+      wait_wants_id = false;
+      heap_live = 0;
+    }
+  in
+  push_frame host_thread f [];
+  (* host executes outside any team; kernel launches install their own *)
+  let continue_ = ref true in
+  while !continue_ do
+    run_thread t None host_thread;
+    match host_thread.status with
+    | Finished -> continue_ := false
+    | Runnable -> ()
+    | _ -> raise (Deadlock "host thread blocked")
+  done;
+  ()
+
+(* Total modeled GPU kernel time of all launches (the nvprof metric). *)
+let total_kernel_cycles t =
+  List.fold_left (fun acc s -> acc + s.cycles) 0 t.kernel_stats
+
+let trace_values t = List.rev t.trace
+
+let max_shared_bytes t =
+  List.fold_left (fun acc s -> max acc s.shared_bytes) 0 t.kernel_stats
+
+let max_registers t = List.fold_left (fun acc s -> max acc s.registers) 0 t.kernel_stats

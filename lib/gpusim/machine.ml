@@ -1,0 +1,160 @@
+(* Machine description and cost model for the cycle-approximate GPU
+   simulator.  The constants model a V100-class device at the granularity
+   the paper's effects require: runtime-call overheads, memory-space
+   latencies, synchronization, and the generic-mode state machine costs.
+   Absolute values are not meant to match silicon; ratios are what drive the
+   reproduced figures. *)
+
+type costs = {
+  alu : int;
+  imul : int;
+  idiv : int;
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  cast : int;
+  local_access : int;
+  shared_access : int;
+  (* runtime-stack shared allocations are laid out AoS per allocation, so
+     warp accesses are uncoalesced / bank-conflicted, unlike the legacy
+     SoA-coalesced aggregate or compiler-placed static shared memory *)
+  shared_uncoalesced_access : int;
+  global_access : int;
+  global_cached_access : int;  (* small arrays resident in the RO cache *)
+  call : int;  (* direct call overhead *)
+  indirect_call : int;  (* function-pointer call: no inlining, ABI spill *)
+  runtime_query : int;  (* bitcode-visible queries (inlined-runtime model) *)
+  runtime_query_opaque : int;  (* opaque library entry points (LLVM-12 model) *)
+  barrier : int;
+  target_init_generic : int;
+  target_init_spmd : int;
+  target_init_cuda : int;
+  target_deinit : int;
+  parallel_publish : int;  (* main signals workers *)
+  parallel_join : int;
+  worker_resume : int;  (* worker woken from the state machine *)
+  worker_done : int;
+  alloc_shared_main : int;  (* bump allocation on the team's shared stack *)
+  alloc_shared_parallel : int;  (* contended global-heap path *)
+  free_shared : int;
+  push_stack : int;  (* legacy aggregated allocation *)
+  pop_stack : int;
+  atomic_global : int;
+  atomic_shared : int;
+  math_sqrt : int;
+  math_trig : int;
+  math_pow : int;
+  trace : int;
+}
+
+let default_costs =
+  {
+    alu = 1;
+    imul = 3;
+    idiv = 18;
+    fadd = 2;
+    fmul = 3;
+    fdiv = 16;
+    cast = 1;
+    local_access = 2;
+    shared_access = 8;
+    shared_uncoalesced_access = 96;
+    global_access = 60;
+    global_cached_access = 14;
+    call = 8;
+    indirect_call = 45;
+    runtime_query = 10;
+    runtime_query_opaque = 300;
+    barrier = 40;
+    target_init_generic = 400;
+    target_init_spmd = 80;
+    target_init_cuda = 10;
+    target_deinit = 40;
+    (* generic-mode parallel-region launch: signaling the workers through
+       the state machine costs on the order of a microsecond on LLVM-12-era
+       runtimes; these constants are what make CPU-style kernels with tiny
+       parallel regions (SU3Bench v0) an order of magnitude slower than
+       their SPMDzed forms *)
+    parallel_publish = 1400;
+    parallel_join = 900;
+    worker_resume = 350;
+    worker_done = 70;
+    alloc_shared_main = 45;
+    alloc_shared_parallel = 280;
+    free_shared = 18;
+    push_stack = 70;
+    pop_stack = 80;  (* opaque runtime entry, like the mode check *)
+    atomic_global = 90;
+    atomic_shared = 24;
+    math_sqrt = 22;
+    math_trig = 40;
+    math_pow = 65;
+    trace = 4;
+  }
+
+type t = {
+  name : string;
+  num_sms : int;
+  warp_size : int;
+  max_threads_per_team : int;
+  shared_bytes_per_team : int;
+  (* the device runtime's dynamic data-sharing stack is a small carve-out of
+     shared memory (LLVM 13 kept it tiny); __kmpc_alloc_shared falls back to
+     the global heap beyond it *)
+  dyn_shared_stack_bytes : int;
+  local_bytes_per_thread : int;
+  heap_bytes : int;  (* device heap used by globalization fallbacks *)
+  global_bytes : int;  (* storage for module globals *)
+  default_teams : int;
+  default_threads : int;
+  registers_per_sm : int;
+  max_warps_per_sm : int;
+  costs : costs;
+}
+
+let v100_like =
+  {
+    name = "v100-like";
+    num_sms = 80;
+    warp_size = 32;
+    max_threads_per_team = 1024;
+    shared_bytes_per_team = 96 * 1024;
+    dyn_shared_stack_bytes = 2048;
+    local_bytes_per_thread = 64 * 1024;
+    heap_bytes = 8 * 1024 * 1024;  (* LIBOMPTARGET_HEAP_SIZE default scale *)
+    global_bytes = 64 * 1024 * 1024;
+    default_teams = 80;
+    default_threads = 128;
+    registers_per_sm = 65536;
+    max_warps_per_sm = 64;
+    costs = default_costs;
+  }
+
+(* A small machine for unit tests: deterministic and fast. *)
+let test_machine =
+  {
+    v100_like with
+    name = "test";
+    num_sms = 4;
+    default_teams = 2;
+    default_threads = 8;
+    heap_bytes = 256 * 1024;
+    global_bytes = 4 * 1024 * 1024;
+    shared_bytes_per_team = 16 * 1024;
+    local_bytes_per_thread = 64 * 1024;
+  }
+
+(* The machine used by the experiment harness: small enough that the proxy
+   applications simulate quickly, with a heap sized so that the paper's
+   RSBench out-of-memory behaviour reproduces (Fig. 11b). *)
+let bench_machine =
+  {
+    v100_like with
+    name = "bench";
+    num_sms = 8;
+    default_teams = 8;
+    default_threads = 64;
+    heap_bytes = 64 * 1024;
+    global_bytes = 16 * 1024 * 1024;
+    shared_bytes_per_team = 48 * 1024;
+  }

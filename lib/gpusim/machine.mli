@@ -1,0 +1,77 @@
+(** Machine description and cost model for the cycle-approximate GPU
+    simulator.  Absolute constants do not aim to match silicon; the ratios
+    between runtime-call overheads, memory-space latencies, synchronization
+    and region-launch costs are what drive the reproduced figures. *)
+
+type costs = {
+  alu : int;
+  imul : int;
+  idiv : int;
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  cast : int;
+  local_access : int;
+  shared_access : int;
+  shared_uncoalesced_access : int;
+      (** runtime-stack shared allocations are laid out AoS per allocation,
+          unlike the legacy SoA aggregate or static shared memory *)
+  global_access : int;
+  global_cached_access : int;  (** small arrays resident in the RO cache *)
+  call : int;
+  indirect_call : int;  (** function-pointer call: no inlining, ABI spill *)
+  runtime_query : int;  (** bitcode-visible queries (inlined-runtime model) *)
+  runtime_query_opaque : int;  (** opaque library entries (LLVM-12 model) *)
+  barrier : int;
+  target_init_generic : int;
+  target_init_spmd : int;
+  target_init_cuda : int;
+  target_deinit : int;
+  parallel_publish : int;  (** main signals the worker state machine *)
+  parallel_join : int;
+  worker_resume : int;
+  worker_done : int;
+  alloc_shared_main : int;  (** bump allocation on the team's shared stack *)
+  alloc_shared_parallel : int;  (** contended global-heap path *)
+  free_shared : int;
+  push_stack : int;  (** legacy aggregated allocation *)
+  pop_stack : int;
+  atomic_global : int;
+  atomic_shared : int;
+  math_sqrt : int;
+  math_trig : int;
+  math_pow : int;
+  trace : int;
+}
+
+val default_costs : costs
+
+type t = {
+  name : string;
+  num_sms : int;
+  warp_size : int;
+  max_threads_per_team : int;
+  shared_bytes_per_team : int;
+  dyn_shared_stack_bytes : int;
+      (** the runtime's dynamic data-sharing carve-out; [__kmpc_alloc_shared]
+          falls back to the device heap beyond it *)
+  local_bytes_per_thread : int;
+  heap_bytes : int;  (** device heap backing globalization spills *)
+  global_bytes : int;
+  default_teams : int;  (** launch default when no num_teams clause *)
+  default_threads : int;
+  registers_per_sm : int;
+  max_warps_per_sm : int;
+  costs : costs;
+}
+
+val v100_like : t
+(** A V100-scale machine (80 SMs, 8 MB heap). *)
+
+val test_machine : t
+(** Small and fast; used by the unit tests. *)
+
+val bench_machine : t
+(** The machine of the experiment harness: 8 SMs and a 64 KB heap, sized so
+    the paper's RSBench out-of-memory behaviour (Fig. 11b) reproduces at the
+    bench workload scale. *)

@@ -1,0 +1,218 @@
+(* The simulated memory subsystem: one global space (module globals + device
+   heap), one shared space per team, one local space per thread.
+
+   Cross-thread access to local memory reproduces real GPU behaviour: local
+   memory is addressed per thread, so dereferencing another thread's local
+   pointer silently reads the *current* thread's local memory at the same
+   offset.  This is exactly why the paper's Figure 3 program miscompiles
+   under the legacy SPMD fast path; the simulator counts these accesses so
+   tests can assert on them. *)
+
+open Rvalue
+
+type t = {
+  machine : Machine.t;
+  global : Bytes.t;
+  shareds : (int, Bytes.t) Hashtbl.t;
+  locals : (int, Bytes.t) Hashtbl.t;
+  globals_layout : (string, int) Hashtbl.t;  (* global-space globals *)
+  shared_layout : (string, int) Hashtbl.t;  (* shared-space globals, per-team offsets *)
+  mutable globals_size : int;
+  mutable static_shared_size : int;
+  heap_base : int;
+  mutable heap_cursor : int;
+  mutable heap_free : (int * int) list;  (* (addr, size) free blocks *)
+  mutable heap_in_use : int;
+  mutable heap_high_water : int;
+  mutable cross_local_accesses : int;
+  (* address ranges of small read-mostly global arrays assumed resident in
+     the read-only cache (the simulator has no cache hierarchy; arrays up to
+     [cache_threshold] get the cached latency) *)
+  mutable cached_ranges : (int * int) list;
+}
+
+exception Out_of_memory of string
+
+let create (machine : Machine.t) =
+  {
+    machine;
+    global = Bytes.make machine.Machine.global_bytes '\000';
+    shareds = Hashtbl.create 16;
+    locals = Hashtbl.create 64;
+    globals_layout = Hashtbl.create 16;
+    shared_layout = Hashtbl.create 16;
+    globals_size = 0;
+    static_shared_size = 0;
+    heap_base = machine.Machine.global_bytes - machine.Machine.heap_bytes;
+    heap_cursor = machine.Machine.global_bytes - machine.Machine.heap_bytes;
+    heap_free = [];
+    heap_in_use = 0;
+    heap_high_water = 0;
+    cross_local_accesses = 0;
+    cached_ranges = [];
+  }
+
+(* Lay out module globals.  Global-space globals share one arena; shared-
+   space globals (created by HeapToShared) get per-team offsets replicated in
+   every team's shared memory. *)
+let cache_threshold = 32 * 1024
+
+let layout_module t (m : Ir.Irmod.t) =
+  let place_global (g : Ir.Irmod.global) =
+    match g.Ir.Irmod.gspace with
+    | Ir.Types.Global | Ir.Types.Generic ->
+      let size = max 1 (Ir.Types.size_of g.Ir.Irmod.gty) in
+      let addr = Support.Util.round_up_to t.globals_size ~multiple:8 in
+      Hashtbl.replace t.globals_layout g.Ir.Irmod.gname addr;
+      if size <= cache_threshold then t.cached_ranges <- (addr, addr + size) :: t.cached_ranges;
+      t.globals_size <- addr + size
+    | Ir.Types.Shared ->
+      let size = max 1 (Ir.Types.size_of g.Ir.Irmod.gty) in
+      let addr = Support.Util.round_up_to t.static_shared_size ~multiple:8 in
+      Hashtbl.replace t.shared_layout g.Ir.Irmod.gname addr;
+      t.static_shared_size <- addr + size
+    | Ir.Types.Local ->
+      raise (Sim_error ("global in local space: " ^ g.Ir.Irmod.gname))
+  in
+  List.iter place_global m.Ir.Irmod.globals;
+  if t.globals_size > t.heap_base then
+    raise (Out_of_memory "module globals exceed global memory")
+
+let global_addr t name ~team =
+  match Hashtbl.find_opt t.globals_layout name with
+  | Some addr -> { sp = Sglobal; addr }
+  | None -> (
+    match Hashtbl.find_opt t.shared_layout name with
+    | Some addr -> { sp = Sshared team; addr }
+    | None -> error "unknown global @%s" name)
+
+let shared_of t team =
+  match Hashtbl.find_opt t.shareds team with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make t.machine.Machine.shared_bytes_per_team '\000' in
+    Hashtbl.replace t.shareds team b;
+    b
+
+let local_of t thread =
+  match Hashtbl.find_opt t.locals thread with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make t.machine.Machine.local_bytes_per_thread '\000' in
+    Hashtbl.replace t.locals thread b;
+    b
+
+(* Resolve a pointer to (backing bytes, offset) for the accessing thread. *)
+let resolve t ~current (p : ptr) =
+  match p.sp with
+  | Sglobal -> (t.global, p.addr)
+  | Sshared team -> (shared_of t team, p.addr)
+  | Slocal owner ->
+    if owner <> current then begin
+      t.cross_local_accesses <- t.cross_local_accesses + 1;
+      (* local memory is thread-addressed: we read our own frame *)
+      (local_of t current, p.addr)
+    end
+    else (local_of t owner, p.addr)
+
+(* ------------------------------------------------------------------ *)
+(* Typed access                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* pointers are serialized as tag(2) | owner(22) | addr(40) *)
+let encode_ptr (p : ptr) =
+  let tag, owner =
+    match p.sp with Sglobal -> (0, 0) | Sshared o -> (1, o) | Slocal o -> (2, o + 1)
+  in
+  Int64.(
+    logor
+      (shift_left (of_int tag) 62)
+      (logor (shift_left (of_int owner) 40) (of_int (p.addr land 0xFFFFFFFFFF))))
+
+let decode_ptr v =
+  let tag = Int64.(to_int (shift_right_logical v 62)) in
+  let owner = Int64.(to_int (logand (shift_right_logical v 40) 0x3FFFFFL)) in
+  let addr = Int64.(to_int (logand v 0xFFFFFFFFFFL)) in
+  match tag with
+  | 0 -> { sp = Sglobal; addr }
+  | 1 -> { sp = Sshared owner; addr }
+  | 2 -> { sp = Slocal (owner - 1); addr }
+  | _ -> error "corrupt pointer bits %Lx" v
+
+let check_bounds bytes off size what =
+  if off < 0 || off + size > Bytes.length bytes then
+    error "out-of-bounds %s at offset %d (size %d, arena %d)" what off size
+      (Bytes.length bytes)
+
+let read t ~current (p : ptr) (ty : Ir.Types.t) : Rvalue.t =
+  let bytes, off = resolve t ~current p in
+  let size = Ir.Types.size_of ty in
+  check_bounds bytes off size "load";
+  match ty with
+  | Ir.Types.I1 | Ir.Types.I8 ->
+    I (truncate_to ty (Int64.of_int (Char.code (Bytes.get bytes off))))
+  | Ir.Types.I32 -> I (Int64.of_int32 (Bytes.get_int32_le bytes off))
+  | Ir.Types.I64 -> I (Bytes.get_int64_le bytes off)
+  | Ir.Types.F32 -> F (Int32.float_of_bits (Bytes.get_int32_le bytes off))
+  | Ir.Types.F64 -> F (Int64.float_of_bits (Bytes.get_int64_le bytes off))
+  | Ir.Types.Ptr _ -> P (decode_ptr (Bytes.get_int64_le bytes off))
+  | Ir.Types.Void | Ir.Types.Arr _ | Ir.Types.Fn _ ->
+    error "load of type %s" (Ir.Types.to_string ty)
+
+let write t ~current (p : ptr) (ty : Ir.Types.t) (v : Rvalue.t) =
+  let bytes, off = resolve t ~current p in
+  let size = Ir.Types.size_of ty in
+  check_bounds bytes off size "store";
+  match ty with
+  | Ir.Types.I1 | Ir.Types.I8 ->
+    Bytes.set bytes off (Char.chr (Int64.to_int (Int64.logand (as_int v) 0xFFL)))
+  | Ir.Types.I32 -> Bytes.set_int32_le bytes off (Int64.to_int32 (as_int v))
+  | Ir.Types.I64 -> Bytes.set_int64_le bytes off (as_int v)
+  | Ir.Types.F32 -> Bytes.set_int32_le bytes off (Int32.bits_of_float (as_float v))
+  | Ir.Types.F64 -> Bytes.set_int64_le bytes off (Int64.bits_of_float (as_float v))
+  | Ir.Types.Ptr _ -> (
+    match v with
+    | P ptr -> Bytes.set_int64_le bytes off (encode_ptr ptr)
+    | I 0L | Undef -> Bytes.set_int64_le bytes off 0L
+    | Fn _ -> error "storing a function pointer to memory is not supported"
+    | _ -> Bytes.set_int64_le bytes off (as_int v))
+  | Ir.Types.Void | Ir.Types.Arr _ | Ir.Types.Fn _ ->
+    error "store of type %s" (Ir.Types.to_string ty)
+
+(* ------------------------------------------------------------------ *)
+(* Device heap (globalization fallback allocations)                    *)
+(* ------------------------------------------------------------------ *)
+
+let heap_alloc t size =
+  let size = Support.Util.round_up_to (max 8 size) ~multiple:8 in
+  let addr =
+    (* first-fit in the free list *)
+    let rec find acc = function
+      | [] -> None
+      | (a, s) :: rest when s >= size ->
+        t.heap_free <- List.rev_append acc rest;
+        Some a
+      | blk :: rest -> find (blk :: acc) rest
+    in
+    match find [] t.heap_free with
+    | Some a -> a
+    | None ->
+      let a = t.heap_cursor in
+      if a + size > t.machine.Machine.global_bytes then
+        raise
+          (Out_of_memory
+             (Printf.sprintf "device heap exhausted (%d bytes in use, %d requested)"
+                t.heap_in_use size));
+      t.heap_cursor <- a + size;
+      a
+  in
+  t.heap_in_use <- t.heap_in_use + size;
+  if t.heap_in_use > t.heap_high_water then t.heap_high_water <- t.heap_in_use;
+  ({ sp = Sglobal; addr }, size)
+
+let heap_free_block t addr size =
+  let size = Support.Util.round_up_to (max 8 size) ~multiple:8 in
+  t.heap_free <- (addr, size) :: t.heap_free;
+  t.heap_in_use <- max 0 (t.heap_in_use - size)
+
+let is_cached t addr = List.exists (fun (a, b) -> addr >= a && addr < b) t.cached_ranges

@@ -1,0 +1,54 @@
+(** The simulated memory subsystem: one global space (module globals + the
+    device heap), one shared space per team, one local space per thread.
+
+    Cross-thread access to local memory reproduces real GPU behaviour:
+    local memory is thread-addressed, so dereferencing another thread's
+    local pointer silently reads the *current* thread's local memory at the
+    same offset — which is exactly how the paper's Figure 3 miscompiles
+    under the legacy SPMD fast path.  Such accesses are counted. *)
+
+type t = {
+  machine : Machine.t;
+  global : Bytes.t;
+  shareds : (int, Bytes.t) Hashtbl.t;
+  locals : (int, Bytes.t) Hashtbl.t;
+  globals_layout : (string, int) Hashtbl.t;
+  shared_layout : (string, int) Hashtbl.t;
+  mutable globals_size : int;
+  mutable static_shared_size : int;
+  heap_base : int;
+  mutable heap_cursor : int;
+  mutable heap_free : (int * int) list;
+  mutable heap_in_use : int;
+  mutable heap_high_water : int;
+  mutable cross_local_accesses : int;
+  mutable cached_ranges : (int * int) list;
+}
+
+exception Out_of_memory of string
+
+val create : Machine.t -> t
+
+val cache_threshold : int
+(** Global arrays up to this size get the read-only-cache latency. *)
+
+val layout_module : t -> Ir.Irmod.t -> unit
+(** Place module globals: global-space globals in one arena, shared-space
+    globals (HeapToShared results) at per-team offsets. *)
+
+val global_addr : t -> string -> team:int -> Rvalue.ptr
+val is_cached : t -> int -> bool
+
+val read : t -> current:int -> Rvalue.ptr -> Ir.Types.t -> Rvalue.t
+val write : t -> current:int -> Rvalue.ptr -> Ir.Types.t -> Rvalue.t -> unit
+
+val encode_ptr : Rvalue.ptr -> int64
+(** Pointers in memory are tag(2) | owner(22) | addr(40). *)
+
+val decode_ptr : int64 -> Rvalue.ptr
+
+val heap_alloc : t -> int -> Rvalue.ptr * int
+(** Returns the block and the granted (rounded) size.
+    @raise Out_of_memory when the arena itself is exhausted. *)
+
+val heap_free_block : t -> int -> int -> unit

@@ -1,0 +1,60 @@
+(* Static per-thread register estimate for a kernel (the "# Regs" column of
+   the paper's Figure 10).
+
+   The estimate walks the call graph from the kernel; each function
+   contributes its liveness-derived virtual-register pressure.  Indirect
+   call sites force the toolchain to assume any address-taken function can
+   be the callee and to spill around the call, which is why eliminating the
+   function pointers of the worker state machine (Section IV-B.2) reduces
+   register usage. *)
+
+open Ir
+module SS = Support.Util.String_set
+
+let base_registers = 10
+let indirect_call_penalty = 28
+let call_overhead = 4
+let max_registers = 255
+
+let pressure_cache : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let pressure (f : Func.t) =
+  (* caching on name is only valid within one estimate call; the cache is
+     cleared per estimate because the optimizer mutates functions *)
+  match Hashtbl.find_opt pressure_cache f.Func.name with
+  | Some p -> p
+  | None ->
+    let p = Liveness.max_pressure f in
+    Hashtbl.replace pressure_cache f.Func.name p;
+    p
+
+let estimate (m : Irmod.t) (kernel : Func.t) =
+  Hashtbl.reset pressure_cache;
+  let cg = Analysis.Callgraph.compute m in
+  let reachable = Analysis.Callgraph.reachable_from cg [ kernel.Func.name ] in
+  let has_indirect =
+    SS.exists (fun n -> SS.mem n cg.Analysis.Callgraph.has_indirect_site) reachable
+  in
+  let defined name =
+    match Irmod.find_func m name with
+    | Some f when not (Func.is_declaration f) -> Some f
+    | _ -> None
+  in
+  (* maximum pressure along any call chain approximated by kernel pressure
+     plus the heaviest reachable callee plus per-level call overhead *)
+  let kernel_p = pressure kernel in
+  let callee_max =
+    SS.fold
+      (fun name acc ->
+        if String.equal name kernel.Func.name then acc
+        else
+          match defined name with
+          | Some f -> max acc (pressure f + call_overhead)
+          | None -> acc)
+      reachable 0
+  in
+  let total =
+    base_registers + kernel_p + callee_max
+    + (if has_indirect then indirect_call_penalty else 0)
+  in
+  min max_registers total

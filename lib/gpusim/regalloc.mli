@@ -1,0 +1,14 @@
+(** Static per-thread register estimate for a kernel (the "# Regs" column of
+    the paper's Figure 10).
+
+    Walks the call graph from the kernel; each function contributes its
+    liveness-derived virtual-register pressure, and the presence of an
+    indirect call site (the generic-mode state machine's dispatch) adds the
+    spill penalty that the custom state machine rewrite removes. *)
+
+val base_registers : int
+val indirect_call_penalty : int
+val call_overhead : int
+val max_registers : int
+
+val estimate : Ir.Irmod.t -> Ir.Func.t -> int

@@ -1,0 +1,66 @@
+(* Runtime values of the simulator. *)
+
+type space =
+  | Sglobal
+  | Sshared of int  (* owning team *)
+  | Slocal of int  (* owning thread (global index); -1 = host *)
+
+type ptr = { sp : space; addr : int }
+
+type t =
+  | I of int64  (* all integer widths, including i1 *)
+  | F of float  (* f32 values are kept rounded to single precision *)
+  | P of ptr
+  | Fn of string
+  | Undef
+
+exception Sim_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Sim_error s)) fmt
+
+let as_int = function
+  | I v -> v
+  | Undef -> 0L
+  | v -> error "expected integer, got %s" (match v with
+      | F _ -> "float" | P _ -> "pointer" | Fn _ -> "function" | I _ | Undef -> "?")
+
+let as_float = function
+  | F v -> v
+  | I v -> Int64.to_float v
+  | Undef -> 0.0
+  | _ -> error "expected float"
+
+let as_ptr = function
+  | P p -> p
+  | I 0L -> { sp = Sglobal; addr = 0 }  (* null *)
+  | Undef -> error "dereference of undef pointer"
+  | _ -> error "expected pointer"
+
+let is_null = function P { addr = 0; _ } | I 0L -> true | _ -> false
+
+(* normalize an integer to the width of [ty] (sign-extended semantics) *)
+let truncate_to ty v =
+  match ty with
+  | Ir.Types.I1 -> Int64.logand v 1L
+  | Ir.Types.I8 -> Int64.shift_right (Int64.shift_left v 56) 56
+  | Ir.Types.I32 -> Int64.shift_right (Int64.shift_left v 32) 32
+  | _ -> v
+
+let to_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let of_const (c : Ir.Value.const) =
+  match c with
+  | Ir.Value.CInt (ty, v) -> I (truncate_to ty v)
+  | Ir.Value.CFloat (Ir.Types.F32, v) -> F (to_f32 v)
+  | Ir.Value.CFloat (_, v) -> F v
+  | Ir.Value.CNull _ -> P { sp = Sglobal; addr = 0 }
+  | Ir.Value.CUndef _ -> Undef
+
+let pp ppf = function
+  | I v -> Fmt.pf ppf "i:%Ld" v
+  | F v -> Fmt.pf ppf "f:%g" v
+  | P { sp = Sglobal; addr } -> Fmt.pf ppf "p:g:%d" addr
+  | P { sp = Sshared t; addr } -> Fmt.pf ppf "p:s%d:%d" t addr
+  | P { sp = Slocal t; addr } -> Fmt.pf ppf "p:l%d:%d" t addr
+  | Fn name -> Fmt.pf ppf "fn:%s" name
+  | Undef -> Fmt.string ppf "undef"

@@ -1,0 +1,35 @@
+(** Runtime values of the simulator. *)
+
+type space =
+  | Sglobal
+  | Sshared of int  (** owning team uid *)
+  | Slocal of int  (** owning thread (global index); -1 = host *)
+
+type ptr = { sp : space; addr : int }
+
+type t =
+  | I of int64  (** all integer widths, including i1 *)
+  | F of float  (** f32 values are kept rounded to single precision *)
+  | P of ptr
+  | Fn of string
+  | Undef
+
+exception Sim_error of string
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise [Sim_error] with a formatted message. *)
+
+val as_int : t -> int64
+val as_float : t -> float
+val as_ptr : t -> ptr
+val is_null : t -> bool
+
+val truncate_to : Ir.Types.t -> int64 -> int64
+(** Normalize an integer to the width of the type (signed semantics). *)
+
+val to_f32 : float -> float
+(** Round to single precision. *)
+
+val of_const : Ir.Value.const -> t
+
+val pp : Format.formatter -> t -> unit

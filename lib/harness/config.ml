@@ -1,0 +1,71 @@
+(* Build configurations of the evaluation (Section V / Figure 11 legends). *)
+
+type build =
+  | Llvm12  (* legacy globalization, no OpenMP-aware middle end *)
+  | Dev_noopt  (* simplified globalization, explicit OpenMP opts disabled *)
+  | Dev of Openmpopt.Pass_manager.options  (* simplified + a subset of passes *)
+  | Cuda  (* kernel-style build of the CUDA source *)
+
+type t = { label : string; build : build }
+
+let dev options = Dev options
+
+let opts = Openmpopt.Pass_manager.default_options
+
+(* Named option subsets, mirroring the bar labels of Figure 11. *)
+let only_h2s =
+  {
+    opts with
+    Openmpopt.Pass_manager.disable_spmdization = true;
+    disable_state_machine_rewrite = true;
+    disable_folding = true;
+    disable_heap_to_shared = true;
+  }
+
+let h2s2 =
+  {
+    opts with
+    Openmpopt.Pass_manager.disable_spmdization = true;
+    disable_state_machine_rewrite = true;
+    disable_folding = true;
+  }
+
+let h2s2_rtc =
+  {
+    opts with
+    Openmpopt.Pass_manager.disable_spmdization = true;
+    disable_state_machine_rewrite = true;
+  }
+
+let h2s2_rtc_csm = { opts with Openmpopt.Pass_manager.disable_spmdization = true }
+
+let h2s2_rtc_spmd = { opts with Openmpopt.Pass_manager.disable_state_machine_rewrite = true }
+
+let dev_full = opts
+
+let llvm12 = { label = "LLVM 12"; build = Llvm12 }
+let no_opt = { label = "No OpenMP Optimization"; build = Dev_noopt }
+let heap_2_stack = { label = "heap-2-stack"; build = dev only_h2s }
+let h2s2_cfg = { label = "heap-2-stack&shared (=h2s2)"; build = dev h2s2 }
+let h2s2_rtc_cfg = { label = "h2s2 + RTCspec"; build = dev h2s2_rtc }
+let h2s2_rtc_csm_cfg = { label = "h2s2 + RTCspec + CSM"; build = dev h2s2_rtc_csm }
+let h2s2_rtc_spmd_cfg = { label = "h2s2 + RTCspec + SPMDzation"; build = dev h2s2_rtc_spmd }
+let dev0 = { label = "LLVM Dev 0"; build = dev dev_full }
+let cuda = { label = "CUDA (Clang Dev)"; build = Cuda }
+
+(* The configuration set used for each application's Figure 11 plot ("we
+   restricted each plot to the configurations that impact performance"). *)
+let fig11_configs (app_name : string) =
+  match app_name with
+  | "xsbench" | "rsbench" ->
+    [ llvm12; no_opt; h2s2_cfg; h2s2_rtc_cfg; dev0; cuda ]
+  | "su3bench" ->
+    [ llvm12; no_opt; h2s2_cfg; h2s2_rtc_csm_cfg; h2s2_rtc_spmd_cfg; dev0; cuda ]
+  | "miniqmc" ->
+    [ llvm12; no_opt; heap_2_stack; h2s2_cfg; h2s2_rtc_csm_cfg; h2s2_rtc_spmd_cfg; dev0 ]
+  | _ -> [ llvm12; no_opt; dev0; cuda ]
+
+let fig10_configs (app_name : string) =
+  match app_name with
+  | "miniqmc" -> [ llvm12; dev0 ]
+  | _ -> [ cuda; llvm12; dev0 ]

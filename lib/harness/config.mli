@@ -1,0 +1,36 @@
+(** Build configurations of the evaluation (Section V / Figure 11 legends). *)
+
+type build =
+  | Llvm12  (** legacy globalization, no OpenMP-aware middle end *)
+  | Dev_noopt  (** simplified globalization, explicit OpenMP opts disabled *)
+  | Dev of Openmpopt.Pass_manager.options  (** simplified + a pass subset *)
+  | Cuda  (** kernel-style build of the CUDA source *)
+
+type t = { label : string; build : build }
+
+val dev : Openmpopt.Pass_manager.options -> build
+
+(** Named option subsets mirroring the bar labels of Figure 11. *)
+
+val only_h2s : Openmpopt.Pass_manager.options
+val h2s2 : Openmpopt.Pass_manager.options
+val h2s2_rtc : Openmpopt.Pass_manager.options
+val h2s2_rtc_csm : Openmpopt.Pass_manager.options
+val h2s2_rtc_spmd : Openmpopt.Pass_manager.options
+val dev_full : Openmpopt.Pass_manager.options
+
+val llvm12 : t
+val no_opt : t
+val heap_2_stack : t
+val h2s2_cfg : t
+val h2s2_rtc_cfg : t
+val h2s2_rtc_csm_cfg : t
+val h2s2_rtc_spmd_cfg : t
+val dev0 : t
+val cuda : t
+
+val fig11_configs : string -> t list
+(** The configuration set of each application's Figure 11 plot ("we
+    restricted each plot to the configurations that impact performance"). *)
+
+val fig10_configs : string -> t list

@@ -1,0 +1,91 @@
+(* Compile + optimize + simulate one proxy application under one build
+   configuration, collecting the metrics the paper reports. *)
+
+type metrics = {
+  cycles : int;
+  smem_bytes : int;
+  registers : int;
+  heap_high_water : int;
+  instructions : int;
+  barriers : int;
+  indirect_calls : int;
+  runtime_calls : int;
+  checksum : float option;  (* the app's traced result, for cross-checking *)
+  report : Openmpopt.Pass_manager.report option;
+}
+
+type outcome = Ok of metrics | Oom of string | Error of string
+
+type measurement = { app : string; config : Config.t; outcome : outcome }
+
+let compile_for (config : Config.t) (app : Proxyapps.App.t) (scale : Proxyapps.App.scale) =
+  let file = app.Proxyapps.App.name ^ ".c" in
+  match config.Config.build with
+  | Config.Llvm12 ->
+    let src = app.Proxyapps.App.omp_source scale in
+    (Frontend.Codegen.compile ~scheme:Frontend.Codegen.Legacy ~file src, None)
+  | Config.Dev_noopt ->
+    let src = app.Proxyapps.App.omp_source scale in
+    (Frontend.Codegen.compile ~scheme:Frontend.Codegen.Simplified ~file src, None)
+  | Config.Dev options ->
+    let src = app.Proxyapps.App.omp_source scale in
+    let m = Frontend.Codegen.compile ~scheme:Frontend.Codegen.Simplified ~file src in
+    let report = Openmpopt.Pass_manager.run ~options m in
+    (m, Some report)
+  | Config.Cuda ->
+    let src = app.Proxyapps.App.cuda_source scale in
+    (Frontend.Codegen.compile ~scheme:Frontend.Codegen.Cuda ~file src, None)
+
+let checksum_of_trace sim =
+  match Gpusim.Interp.trace_values sim with
+  | [ Gpusim.Rvalue.F v ] -> Some v
+  | [ Gpusim.Rvalue.I v ] -> Some (Int64.to_float v)
+  | _ -> None
+
+let run ?(machine = Gpusim.Machine.bench_machine) ?(scale = Proxyapps.App.Bench)
+    (app : Proxyapps.App.t) (config : Config.t) : measurement =
+  let outcome =
+    match compile_for config app scale with
+    | exception e -> Error (Printexc.to_string e)
+    | m, report -> (
+      match Ir.Verify.check m with
+      | Result.Error msg -> Error ("verifier: " ^ msg)
+      | Result.Ok () -> (
+        let sim = Gpusim.Interp.create machine m in
+        match Gpusim.Interp.run_host sim with
+        | exception Gpusim.Mem.Out_of_memory msg -> Oom msg
+        | exception e -> Error (Printexc.to_string e)
+        | () ->
+          let stats = sim.Gpusim.Interp.kernel_stats in
+          let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+          Ok
+            {
+              cycles = Gpusim.Interp.total_kernel_cycles sim;
+              smem_bytes = Gpusim.Interp.max_shared_bytes sim;
+              registers = Gpusim.Interp.max_registers sim;
+              heap_high_water =
+                List.fold_left
+                  (fun acc (s : Gpusim.Interp.launch_stats) ->
+                    max acc s.heap_high_water)
+                  0 stats;
+              instructions = sum (fun s -> s.Gpusim.Interp.instructions);
+              barriers = sum (fun s -> s.Gpusim.Interp.barriers);
+              indirect_calls = sum (fun s -> s.Gpusim.Interp.indirect_calls);
+              runtime_calls = sum (fun s -> s.Gpusim.Interp.runtime_calls);
+              checksum = checksum_of_trace sim;
+              report;
+            }))
+  in
+  { app = app.Proxyapps.App.name; config; outcome }
+
+(* Run a list of configurations for one app; the result list is in config
+   order. *)
+let run_configs ?machine ?scale app configs =
+  List.map (fun config -> run ?machine ?scale app config) configs
+
+(* Relative performance versus a baseline measurement (the paper normalizes
+   to LLVM 12): >1 means faster than the baseline. *)
+let relative ~baseline m =
+  match (baseline.outcome, m.outcome) with
+  | Ok b, Ok x when x.cycles > 0 -> Some (float_of_int b.cycles /. float_of_int x.cycles)
+  | _ -> None

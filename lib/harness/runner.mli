@@ -1,0 +1,41 @@
+(** Compile + optimize + simulate one proxy application under one build
+    configuration, collecting the metrics the paper reports. *)
+
+type metrics = {
+  cycles : int;
+  smem_bytes : int;
+  registers : int;
+  heap_high_water : int;
+  instructions : int;
+  barriers : int;
+  indirect_calls : int;
+  runtime_calls : int;
+  checksum : float option;  (** the app's traced result, for cross-checking *)
+  report : Openmpopt.Pass_manager.report option;  (** for Dev builds *)
+}
+
+type outcome =
+  | Ok of metrics
+  | Oom of string  (** device heap exhausted (RSBench, Fig. 11b) *)
+  | Error of string
+
+type measurement = { app : string; config : Config.t; outcome : outcome }
+
+val run :
+  ?machine:Gpusim.Machine.t ->
+  ?scale:Proxyapps.App.scale ->
+  Proxyapps.App.t ->
+  Config.t ->
+  measurement
+(** Defaults: [Gpusim.Machine.bench_machine], [Proxyapps.App.Bench]. *)
+
+val run_configs :
+  ?machine:Gpusim.Machine.t ->
+  ?scale:Proxyapps.App.scale ->
+  Proxyapps.App.t ->
+  Config.t list ->
+  measurement list
+
+val relative : baseline:measurement -> measurement -> float option
+(** Performance relative to [baseline] (the paper normalizes to LLVM 12):
+    greater than 1 means faster. *)

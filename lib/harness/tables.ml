@@ -1,0 +1,165 @@
+(* Renderers for the evaluation tables and figures.  Each produces the rows
+   the paper reports; EXPERIMENTS.md records paper-vs-measured. *)
+
+let bf = Buffer.create 4096
+
+let line fmt = Fmt.kstr (fun s -> Buffer.add_string bf (s ^ "\n")) fmt
+
+let flush () =
+  let s = Buffer.contents bf in
+  Buffer.clear bf;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: optimization opportunities and remarks per kernel          *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 ?machine ?scale () =
+  line "Figure 9: optimization opportunities and remarks (full pipeline)";
+  line "%-10s | %-17s | %-17s | %-13s | %s" "app" "h2s / h2shared" "CSM / SPMDzation"
+    "RTOpt EM / PL" "Remarks";
+  line "%s" (String.make 78 '-');
+  List.iter
+    (fun app ->
+      let m = Runner.run ?machine ?scale app Config.dev0 in
+      match m.Runner.outcome with
+      | Runner.Ok { report = Some r; _ } ->
+        let spmd = r.Openmpopt.Pass_manager.spmdized > 0 in
+        let csm = r.Openmpopt.Pass_manager.custom_state_machines in
+        let csm_str =
+          if spmd then Printf.sprintf "(%d) / %d" (max 1 csm) 1
+          else if csm > 0 then Printf.sprintf "%d / 0" csm
+          else "n/a"
+        in
+        let remarks =
+          List.length
+            (List.filter
+               (fun (rm : Openmpopt.Remark.t) -> rm.Openmpopt.Remark.kind = Openmpopt.Remark.Passed)
+               r.Openmpopt.Pass_manager.remarks)
+        in
+        line "%-10s | %6d / %-8d | %-17s | %5d / %-5d | %d" m.Runner.app
+          r.Openmpopt.Pass_manager.heap_to_stack r.Openmpopt.Pass_manager.heap_to_shared
+          csm_str r.Openmpopt.Pass_manager.folds_exec_mode
+          r.Openmpopt.Pass_manager.folds_parallel_level remarks
+      | Runner.Ok { report = None; _ } -> line "%-10s | (no report)" m.Runner.app
+      | Runner.Oom msg -> line "%-10s | OOM: %s" m.Runner.app msg
+      | Runner.Error msg -> line "%-10s | ERROR: %s" m.Runner.app msg)
+    Proxyapps.Apps.all;
+  flush ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: kernel time, shared memory, registers per build           *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 ?machine ?scale () =
+  line "Figure 10: kernel cycles, shared memory and register usage";
+  line "%-10s %-28s %12s %10s %7s" "app" "build" "cycles" "SMem(KB)" "#Regs";
+  line "%s" (String.make 72 '-');
+  List.iter
+    (fun app ->
+      List.iter
+        (fun config ->
+          let m = Runner.run ?machine ?scale app config in
+          match m.Runner.outcome with
+          | Runner.Ok x ->
+            line "%-10s %-28s %12d %10.2f %7d" m.Runner.app config.Config.label x.Runner.cycles
+              (float_of_int x.Runner.smem_bytes /. 1024.0)
+              x.Runner.registers
+          | Runner.Oom _ -> line "%-10s %-28s %12s" m.Runner.app config.Config.label "OOM"
+          | Runner.Error msg ->
+            line "%-10s %-28s ERROR: %s" m.Runner.app config.Config.label msg)
+        (Config.fig10_configs app.Proxyapps.App.name);
+      line "%s" "")
+    Proxyapps.Apps.all;
+  flush ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: per-app relative performance                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_consistency (measurements : Runner.measurement list) =
+  (* all successful configs must agree on the application checksum *)
+  let sums =
+    List.filter_map
+      (fun m ->
+        match m.Runner.outcome with
+        | Runner.Ok { checksum = Some c; _ } -> Some (m.Runner.config.Config.label, c)
+        | _ -> None)
+      measurements
+  in
+  match sums with
+  | [] -> []
+  | (_, ref_sum) :: _ ->
+    List.filter_map
+      (fun (label, c) ->
+        if Float.abs (c -. ref_sum) > 1e-6 *. (1.0 +. Float.abs ref_sum) then
+          Some (Printf.sprintf "MISMATCH %s: %.9g vs %.9g" label c ref_sum)
+        else None)
+      sums
+
+let fig11 ?machine ?scale (app : Proxyapps.App.t) =
+  let configs = Config.fig11_configs app.Proxyapps.App.name in
+  let measurements = Runner.run_configs ?machine ?scale app configs in
+  let baseline =
+    List.find
+      (fun m -> m.Runner.config.Config.label = "LLVM 12")
+      measurements
+  in
+  line "Figure 11 (%s): GPU kernel performance relative to LLVM 12" app.Proxyapps.App.name;
+  List.iter
+    (fun m ->
+      match m.Runner.outcome with
+      | Runner.Ok _ -> (
+        match Runner.relative ~baseline m with
+        | Some r -> line "  %-32s %6.2fx" m.Runner.config.Config.label r
+        | None -> line "  %-32s %6s" m.Runner.config.Config.label "n/a")
+      | Runner.Oom _ -> line "  %-32s %6s" m.Runner.config.Config.label "OOM"
+      | Runner.Error msg -> line "  %-32s ERROR: %s" m.Runner.config.Config.label msg)
+    measurements;
+  List.iter (fun msg -> line "  %s" msg) (check_consistency measurements);
+  flush ()
+
+let fig11_all ?machine ?scale () =
+  String.concat "\n"
+    (List.map (fun app -> fig11 ?machine ?scale app) Proxyapps.Apps.all)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md): guard grouping and internalization            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_configs =
+  [
+    ("full pipeline", Openmpopt.Pass_manager.default_options);
+    ( "no guard grouping (Fig. 7 off)",
+      { Openmpopt.Pass_manager.default_options with disable_guard_grouping = true } );
+    ( "no internalization",
+      { Openmpopt.Pass_manager.default_options with disable_internalization = true } );
+    ( "no heap-to-shared",
+      { Openmpopt.Pass_manager.default_options with disable_heap_to_shared = true } );
+  ]
+
+let ablations ?machine ?scale () =
+  line "Ablations: cycles / barriers / guarded regions under pass variants";
+  line "%-10s %-34s %12s %9s %7s" "app" "variant" "cycles" "barriers" "guards";
+  line "%s" (String.make 78 '-');
+  List.iter
+    (fun app ->
+      List.iter
+        (fun (label, options) ->
+          let config = { Config.label; build = Config.dev options } in
+          let m = Runner.run ?machine ?scale app config in
+          match m.Runner.outcome with
+          | Runner.Ok x ->
+            let guards =
+              match x.Runner.report with
+              | Some r -> r.Openmpopt.Pass_manager.guards
+              | None -> 0
+            in
+            line "%-10s %-34s %12d %9d %7d" m.Runner.app label x.Runner.cycles
+              x.Runner.barriers guards
+          | Runner.Oom _ -> line "%-10s %-34s %12s" m.Runner.app label "OOM"
+          | Runner.Error msg -> line "%-10s %-34s ERROR: %s" m.Runner.app label msg)
+        ablation_configs;
+      line "%s" "")
+    Proxyapps.Apps.all;
+  flush ()

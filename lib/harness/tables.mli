@@ -1,0 +1,20 @@
+(** Renderers for the evaluation tables and figures.  Each returns the rows
+    the paper reports; EXPERIMENTS.md records paper-vs-measured. *)
+
+val fig9 : ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> unit -> string
+(** Figure 9: optimization opportunities and remarks per kernel. *)
+
+val fig10 : ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> unit -> string
+(** Figure 10: kernel cycles, shared memory, registers per build. *)
+
+val check_consistency : Runner.measurement list -> string list
+(** Cross-check the application checksum across configurations; returns a
+    MISMATCH line per disagreement (empty = all consistent). *)
+
+val fig11 : ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> Proxyapps.App.t -> string
+(** One application's Figure 11 plot (relative to LLVM 12). *)
+
+val fig11_all : ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> unit -> string
+
+val ablations : ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> unit -> string
+(** The DESIGN.md ablations: guard grouping, internalization, heap-to-shared. *)

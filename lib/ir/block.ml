@@ -1,0 +1,48 @@
+(* Basic blocks: a label, a list of instructions, and a terminator. *)
+
+type term =
+  | Ret of Value.t option
+  | Br of string
+  | Cbr of Value.t * string * string
+  | Switch of Value.t * (int64 * string) list * string  (* cases, default *)
+  | Unreachable
+
+type t = { label : string; mutable instrs : Instr.t list; mutable term : term }
+
+let make ?(instrs = []) ?(term = Unreachable) label = { label; instrs; term }
+
+let successors b =
+  match b.term with
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | Cbr (_, l1, l2) -> if String.equal l1 l2 then [ l1 ] else [ l1; l2 ]
+  | Switch (_, cases, default) ->
+    let labels = default :: List.map snd cases in
+    List.sort_uniq String.compare labels
+
+let term_operands = function
+  | Ret (Some v) -> [ v ]
+  | Ret None | Br _ | Unreachable -> []
+  | Cbr (v, _, _) | Switch (v, _, _) -> [ v ]
+
+let map_term_operands f b =
+  b.term <-
+    (match b.term with
+    | Ret (Some v) -> Ret (Some (f v))
+    | Ret None -> Ret None
+    | Br l -> Br l
+    | Cbr (v, l1, l2) -> Cbr (f v, l1, l2)
+    | Switch (v, cases, d) -> Switch (f v, cases, d)
+    | Unreachable -> Unreachable)
+
+(* Rewrite branch targets; used when splitting blocks or deleting regions. *)
+let map_labels f b =
+  b.term <-
+    (match b.term with
+    | Ret _ as t -> t
+    | Br l -> Br (f l)
+    | Cbr (v, l1, l2) -> Cbr (v, f l1, f l2)
+    | Switch (v, cases, d) -> Switch (v, List.map (fun (c, l) -> (c, f l)) cases, f d)
+    | Unreachable -> Unreachable)
+
+let append b i = b.instrs <- b.instrs @ [ i ]

@@ -1,0 +1,24 @@
+(** Basic blocks: a label, an instruction list, and a terminator. *)
+
+type term =
+  | Ret of Value.t option
+  | Br of string
+  | Cbr of Value.t * string * string
+  | Switch of Value.t * (int64 * string) list * string  (** cases, default *)
+  | Unreachable
+
+type t = { label : string; mutable instrs : Instr.t list; mutable term : term }
+
+val make : ?instrs:Instr.t list -> ?term:term -> string -> t
+(** The default terminator is [Unreachable]. *)
+
+val successors : t -> string list
+(** Successor labels, deduplicated. *)
+
+val term_operands : term -> Value.t list
+val map_term_operands : (Value.t -> Value.t) -> t -> unit
+
+val map_labels : (string -> string) -> t -> unit
+(** Rewrite branch targets (block splitting / region deletion). *)
+
+val append : t -> Instr.t -> unit

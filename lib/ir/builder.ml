@@ -1,0 +1,64 @@
+(* Imperative construction of MiniIR functions, in the style of LLVM's
+   IRBuilder: the builder holds an insertion point (a block) and appends
+   instructions, returning the [Value.t] of each result. *)
+
+type t = {
+  func : Func.t;
+  mutable cur : Block.t option;
+  mutable loc : Support.Loc.t;
+}
+
+let create func = { func; cur = None; loc = Support.Loc.none }
+
+let set_loc b loc = b.loc <- loc
+
+let new_block b label =
+  let label =
+    if Func.find_block b.func label = None then label
+    else
+      let rec loop i =
+        let l = Printf.sprintf "%s.%d" label i in
+        if Func.find_block b.func l = None then l else loop (i + 1)
+      in
+      loop 1
+  in
+  let blk = Block.make label in
+  Func.add_block b.func blk;
+  blk
+
+let position_at_end b blk = b.cur <- Some blk
+
+let current_block b =
+  match b.cur with
+  | Some blk -> blk
+  | None -> Support.Util.failf "Builder: no insertion point in %s" b.func.Func.name
+
+let insert b kind =
+  let id = Func.fresh_reg b.func in
+  let i = Instr.make ~loc:b.loc ~id kind in
+  Block.append (current_block b) i;
+  if Instr.has_result i then Value.Reg id else Value.undef Types.Void
+
+let alloca b ?(count = 1) ty = insert b (Instr.Alloca (ty, count))
+let load b ty ptr = insert b (Instr.Load (ty, ptr))
+let store b ty v ptr = ignore (insert b (Instr.Store (ty, v, ptr)))
+let gep b ~ptr_ty base off = insert b (Instr.Gep (ptr_ty, base, off))
+let bin b op ty x y = insert b (Instr.Bin (op, ty, x, y))
+let icmp b cc ty x y = insert b (Instr.Icmp (cc, ty, x, y))
+let fcmp b cc ty x y = insert b (Instr.Fcmp (cc, ty, x, y))
+let cast b op ty v = insert b (Instr.Cast (op, ty, v))
+let select b ty c x y = insert b (Instr.Select (ty, c, x, y))
+let call b ty name args = insert b (Instr.Call (ty, Instr.Direct name, args))
+let call_indirect b ty fn args = insert b (Instr.Call (ty, Instr.Indirect fn, args))
+let atomicrmw b op ty ptr v = insert b (Instr.Atomicrmw (op, ty, ptr, v))
+
+let add b ty x y = bin b Instr.Add ty x y
+let sub b ty x y = bin b Instr.Sub ty x y
+let mul b ty x y = bin b Instr.Mul ty x y
+
+let set_term b term = (current_block b).Block.term <- term
+let ret b v = set_term b (Block.Ret v)
+let br b label = set_term b (Block.Br label)
+let cbr b cond l1 l2 = set_term b (Block.Cbr (cond, l1, l2))
+let switch b v cases default = set_term b (Block.Switch (v, cases, default))
+let unreachable b = set_term b Block.Unreachable

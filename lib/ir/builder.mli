@@ -1,0 +1,47 @@
+(** Imperative construction of MiniIR functions, in the style of LLVM's
+    IRBuilder: the builder holds an insertion point and appends
+    instructions, returning the [Value.t] of each result. *)
+
+type t
+
+val create : Func.t -> t
+
+val set_loc : t -> Support.Loc.t -> unit
+(** Source location attached to subsequently inserted instructions. *)
+
+val new_block : t -> string -> Block.t
+(** Create and register a block; the label is uniquified if taken. *)
+
+val position_at_end : t -> Block.t -> unit
+val current_block : t -> Block.t
+
+val insert : t -> Instr.kind -> Value.t
+(** Append an instruction; returns its result value ([undef void] for
+    result-less instructions). *)
+
+(** Typed helpers around [insert]. *)
+
+val alloca : t -> ?count:int -> Types.t -> Value.t
+val load : t -> Types.t -> Value.t -> Value.t
+val store : t -> Types.t -> Value.t -> Value.t -> unit
+val gep : t -> ptr_ty:Types.t -> Value.t -> Value.t -> Value.t
+val bin : t -> Instr.bin -> Types.t -> Value.t -> Value.t -> Value.t
+val icmp : t -> Instr.icmp -> Types.t -> Value.t -> Value.t -> Value.t
+val fcmp : t -> Instr.fcmp -> Types.t -> Value.t -> Value.t -> Value.t
+val cast : t -> Instr.cast -> Types.t -> Value.t -> Value.t
+val select : t -> Types.t -> Value.t -> Value.t -> Value.t -> Value.t
+val call : t -> Types.t -> string -> Value.t list -> Value.t
+val call_indirect : t -> Types.t -> Value.t -> Value.t list -> Value.t
+val atomicrmw : t -> Instr.atomic -> Types.t -> Value.t -> Value.t -> Value.t
+val add : t -> Types.t -> Value.t -> Value.t -> Value.t
+val sub : t -> Types.t -> Value.t -> Value.t -> Value.t
+val mul : t -> Types.t -> Value.t -> Value.t -> Value.t
+
+(** Terminators for the current block. *)
+
+val set_term : t -> Block.term -> unit
+val ret : t -> Value.t option -> unit
+val br : t -> string -> unit
+val cbr : t -> Value.t -> string -> string -> unit
+val switch : t -> Value.t -> (int64 * string) list -> string -> unit
+val unreachable : t -> unit

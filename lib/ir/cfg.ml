@@ -1,0 +1,102 @@
+(* CFG utilities over a function: predecessors, reverse post-order,
+   reachability, and iterative dominators (Cooper-Harvey-Kennedy style but on
+   plain sets, which is fine at our scale). *)
+
+module SM = Support.Util.String_map
+module SS = Support.Util.String_set
+
+type t = {
+  func : Func.t;
+  order : string list;  (* reverse post-order from entry *)
+  preds : string list SM.t;
+  succs : string list SM.t;
+}
+
+let compute (f : Func.t) =
+  if Func.is_declaration f then
+    Support.Util.failf "Cfg.compute: %s is a declaration" f.Func.name;
+  let succs =
+    List.fold_left (fun m b -> SM.add b.Block.label (Block.successors b) m) SM.empty f.blocks
+  in
+  let preds = ref SM.empty in
+  List.iter (fun b -> preds := SM.add b.Block.label [] !preds) f.blocks;
+  SM.iter
+    (fun from tos ->
+      List.iter
+        (fun l ->
+          match SM.find_opt l !preds with
+          | Some ps -> preds := SM.add l (from :: ps) !preds
+          | None -> Support.Util.failf "Cfg: branch to unknown block %s in %s" l f.Func.name)
+        tos)
+    succs;
+  (* reverse post-order DFS from entry *)
+  let visited = ref SS.empty in
+  let order = ref [] in
+  let rec dfs label =
+    if not (SS.mem label !visited) then begin
+      visited := SS.add label !visited;
+      List.iter dfs (SM.find label succs);
+      order := label :: !order
+    end
+  in
+  dfs (Func.entry f).Block.label;
+  { func = f; order = !order; preds = !preds; succs }
+
+let reachable t = SS.of_list t.order
+let is_reachable t label = List.mem label t.order
+
+let preds t label = match SM.find_opt label t.preds with Some ps -> ps | None -> []
+let succs t label = match SM.find_opt label t.succs with Some ss -> ss | None -> []
+
+(* Dominator sets: dom(entry) = {entry}; dom(b) = {b} ∪ ⋂ dom(preds).
+   Iterate to fixpoint over the reverse post-order. *)
+let dominators t =
+  let entry = (Func.entry t.func).Block.label in
+  let all = SS.of_list t.order in
+  let dom = ref (SM.singleton entry (SS.singleton entry)) in
+  List.iter
+    (fun l -> if l <> entry then dom := SM.add l all !dom)
+    t.order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> entry then begin
+          let reachable_preds =
+            List.filter (fun p -> SS.mem p all) (preds t l)
+          in
+          let meet =
+            match reachable_preds with
+            | [] -> SS.empty
+            | p :: ps ->
+              List.fold_left
+                (fun acc p -> SS.inter acc (SM.find p !dom))
+                (SM.find p !dom) ps
+          in
+          let next = SS.add l meet in
+          if not (SS.equal next (SM.find l !dom)) then begin
+            dom := SM.add l next !dom;
+            changed := true
+          end
+        end)
+      t.order
+  done;
+  !dom
+
+let dominates dom ~by label =
+  match SM.find_opt label dom with Some s -> SS.mem by s | None -> false
+
+(* Map each reachable block label to its Block.t, in RPO. *)
+let blocks_in_order t = List.map (Func.find_block_exn t.func) t.order
+
+(* Delete blocks unreachable from entry; returns true if anything changed. *)
+let prune_unreachable (f : Func.t) =
+  let t = compute f in
+  let keep = reachable t in
+  let dead = List.filter (fun b -> not (SS.mem b.Block.label keep)) f.blocks in
+  if dead = [] then false
+  else begin
+    Func.remove_blocks f (List.map (fun b -> b.Block.label) dead);
+    true
+  end

@@ -1,0 +1,30 @@
+(** CFG utilities over a function: predecessors, reverse post-order,
+    reachability, and iterative dominators. *)
+
+type t = {
+  func : Func.t;
+  order : string list;  (** reverse post-order from the entry block *)
+  preds : string list Support.Util.String_map.t;
+  succs : string list Support.Util.String_map.t;
+}
+
+val compute : Func.t -> t
+(** @raise Failure on declarations or branches to unknown blocks. *)
+
+val reachable : t -> Support.Util.String_set.t
+val is_reachable : t -> string -> bool
+val preds : t -> string -> string list
+val succs : t -> string -> string list
+
+val dominators : t -> Support.Util.String_set.t Support.Util.String_map.t
+(** [dominators t] maps each reachable label to its dominator set
+    (including itself). *)
+
+val dominates : Support.Util.String_set.t Support.Util.String_map.t -> by:string -> string -> bool
+(** [dominates dom ~by l]: does block [by] dominate block [l]? *)
+
+val blocks_in_order : t -> Block.t list
+(** Reachable blocks in reverse post-order. *)
+
+val prune_unreachable : Func.t -> bool
+(** Delete blocks unreachable from entry; true if anything changed. *)

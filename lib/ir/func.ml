@@ -1,0 +1,135 @@
+(* Functions.  A function with no blocks is a declaration (e.g. the device
+   runtime functions, which the GPU simulator intercepts by name). *)
+
+type linkage = External | Internal | Weak
+
+(* Function attributes.  [Spmd_amenable] and [No_openmp] correspond to the
+   OpenMP 5.1 assumptions the paper integrates ("ext_spmd_amenable" /
+   "omp_no_openmp"); [Nosync] and [Pure] are classic LLVM-style summaries
+   used by the escape and side-effect analyses. *)
+type attr =
+  | Spmd_amenable
+  | No_openmp
+  | Nosync
+  | Pure
+  | Noinline
+  | Nocapture_args  (* no pointer argument is captured by this function *)
+  | Cuda_kernel  (* kernel compiled in native kernel-language style *)
+
+type exec_mode = Generic | Spmd
+
+type kernel_info = {
+  mutable exec_mode : exec_mode;
+  mutable num_teams : int option;    (* from num_teams clause, if constant *)
+  mutable num_threads : int option;  (* from thread_limit/num_threads clause *)
+}
+
+type t = {
+  name : string;
+  ret_ty : Types.t;
+  params : (string * Types.t) list;
+  mutable blocks : Block.t list;  (* entry block first; empty = declaration *)
+  mutable linkage : linkage;
+  mutable attrs : attr list;
+  mutable kernel : kernel_info option;
+  reg_gen : Support.Util.Id_gen.t;
+  mutable loc : Support.Loc.t;
+}
+
+let make ?(linkage = Internal) ?(attrs = []) ?kernel ?(loc = Support.Loc.none) name
+    ~ret_ty ~params =
+  {
+    name;
+    ret_ty;
+    params;
+    blocks = [];
+    linkage;
+    attrs;
+    kernel;
+    reg_gen = Support.Util.Id_gen.create ();
+    loc;
+  }
+
+let declare ?(attrs = []) name ~ret_ty ~params =
+  let f = make ~linkage:External ~attrs name ~ret_ty ~params in
+  f
+
+let is_declaration f = f.blocks = []
+let is_kernel f = f.kernel <> None
+
+let has_attr f a = List.mem a f.attrs
+let add_attr f a = if not (has_attr f a) then f.attrs <- a :: f.attrs
+
+let param_ty f i =
+  match List.nth_opt f.params i with
+  | Some (_, ty) -> ty
+  | None -> Support.Util.failf "Func.param_ty: %s has no parameter %d" f.name i
+
+let entry f =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> Support.Util.failf "Func.entry: %s is a declaration" f.name
+
+let find_block f label = List.find_opt (fun b -> String.equal b.Block.label label) f.blocks
+
+let find_block_exn f label =
+  match find_block f label with
+  | Some b -> b
+  | None -> Support.Util.failf "Func.find_block: no block %s in %s" label f.name
+
+let add_block f b = f.blocks <- f.blocks @ [ b ]
+
+let remove_blocks f labels =
+  f.blocks <- List.filter (fun b -> not (List.mem b.Block.label labels)) f.blocks
+
+let fresh_reg f = Support.Util.Id_gen.fresh f.reg_gen
+
+let iter_blocks f ~g = List.iter g f.blocks
+
+let iter_instrs f ~g = List.iter (fun b -> List.iter (g b) b.Block.instrs) f.blocks
+
+let fold_instrs f ~init ~g =
+  List.fold_left
+    (fun acc b -> List.fold_left (fun acc i -> g acc b i) acc b.Block.instrs)
+    init f.blocks
+
+(* Find the defining instruction of a register. *)
+let def_of f reg =
+  let found = ref None in
+  iter_instrs f ~g:(fun _ i -> if i.Instr.id = reg then found := Some i);
+  !found
+
+(* Replace all uses of [old_v] (in instructions and terminators) by [new_v]. *)
+let replace_uses f ~old_v ~new_v =
+  let subst v = if Value.equal v old_v then new_v else v in
+  List.iter
+    (fun b ->
+      List.iter (Instr.map_operands subst) b.Block.instrs;
+      Block.map_term_operands subst b)
+    f.blocks
+
+let uses_of f v =
+  fold_instrs f ~init:[] ~g:(fun acc _ i ->
+      if List.exists (Value.equal v) (Instr.operands i) then i :: acc else acc)
+  |> List.rev
+
+let linkage_name = function External -> "external" | Internal -> "internal" | Weak -> "weak"
+
+let attr_name = function
+  | Spmd_amenable -> "spmd_amenable"
+  | No_openmp -> "no_openmp"
+  | Nosync -> "nosync"
+  | Pure -> "pure"
+  | Noinline -> "noinline"
+  | Nocapture_args -> "nocapture_args"
+  | Cuda_kernel -> "cuda_kernel"
+
+let attr_of_name = function
+  | "spmd_amenable" -> Some Spmd_amenable
+  | "no_openmp" -> Some No_openmp
+  | "nosync" -> Some Nosync
+  | "pure" -> Some Pure
+  | "noinline" -> Some Noinline
+  | "nocapture_args" -> Some Nocapture_args
+  | "cuda_kernel" -> Some Cuda_kernel
+  | _ -> None

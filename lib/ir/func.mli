@@ -1,0 +1,85 @@
+(** Functions.  A function with no blocks is a declaration (for example the
+    device runtime functions, which the GPU simulator intercepts by name). *)
+
+type linkage = External | Internal | Weak
+
+(** Function attributes.  [Spmd_amenable] and [No_openmp] correspond to the
+    OpenMP 5.1 assumptions the paper integrates ([ext_spmd_amenable] /
+    [omp_no_openmp]); [Nocapture_args] is the noescape-style annotation the
+    HeapToStack remarks suggest. *)
+type attr =
+  | Spmd_amenable
+  | No_openmp
+  | Nosync
+  | Pure
+  | Noinline
+  | Nocapture_args
+  | Cuda_kernel  (** kernel compiled in native kernel-language style *)
+
+type exec_mode = Generic | Spmd
+
+type kernel_info = {
+  mutable exec_mode : exec_mode;
+  mutable num_teams : int option;  (** from the num_teams clause, if constant *)
+  mutable num_threads : int option;  (** from thread_limit / num_threads *)
+}
+
+type t = {
+  name : string;
+  ret_ty : Types.t;
+  params : (string * Types.t) list;
+  mutable blocks : Block.t list;  (** entry first; empty means declaration *)
+  mutable linkage : linkage;
+  mutable attrs : attr list;
+  mutable kernel : kernel_info option;
+  reg_gen : Support.Util.Id_gen.t;
+  mutable loc : Support.Loc.t;
+}
+
+val make :
+  ?linkage:linkage ->
+  ?attrs:attr list ->
+  ?kernel:kernel_info ->
+  ?loc:Support.Loc.t ->
+  string ->
+  ret_ty:Types.t ->
+  params:(string * Types.t) list ->
+  t
+(** A fresh definition shell ([Internal] linkage by default, no blocks). *)
+
+val declare : ?attrs:attr list -> string -> ret_ty:Types.t -> params:(string * Types.t) list -> t
+
+val is_declaration : t -> bool
+val is_kernel : t -> bool
+val has_attr : t -> attr -> bool
+val add_attr : t -> attr -> unit
+
+val param_ty : t -> int -> Types.t
+(** @raise Failure on an out-of-range index. *)
+
+val entry : t -> Block.t
+(** @raise Failure on declarations. *)
+
+val find_block : t -> string -> Block.t option
+val find_block_exn : t -> string -> Block.t
+val add_block : t -> Block.t -> unit
+val remove_blocks : t -> string list -> unit
+
+val fresh_reg : t -> int
+(** A register id unused in this function. *)
+
+val iter_blocks : t -> g:(Block.t -> unit) -> unit
+val iter_instrs : t -> g:(Block.t -> Instr.t -> unit) -> unit
+val fold_instrs : t -> init:'a -> g:('a -> Block.t -> Instr.t -> 'a) -> 'a
+
+val def_of : t -> int -> Instr.t option
+(** The defining instruction of a register. *)
+
+val replace_uses : t -> old_v:Value.t -> new_v:Value.t -> unit
+(** Replace all uses of [old_v] (instructions and terminators). *)
+
+val uses_of : t -> Value.t -> Instr.t list
+
+val linkage_name : linkage -> string
+val attr_name : attr -> string
+val attr_of_name : string -> attr option

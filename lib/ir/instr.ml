@@ -1,0 +1,143 @@
+(* MiniIR instructions.  Each instruction has a function-unique id; its result
+   (if any) is referenced as [Value.Reg id].  Kinds are mutable so that the
+   optimizer can rewrite instructions in place without invalidating uses. *)
+
+type bin =
+  | Add | Sub | Mul | Sdiv | Srem | Udiv | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+type fcmp = Oeq | One | Olt | Ole | Ogt | Oge
+
+type cast = Zext | Sext | Trunc | Sitofp | Fptosi | Fpext | Fptrunc | Bitcast | Spacecast
+
+type atomic = A_add | A_fadd | A_min | A_max | A_exchange | A_cas
+
+type callee = Direct of string | Indirect of Value.t
+
+type kind =
+  | Alloca of Types.t * int  (* element type, element count; yields ptr(local) *)
+  | Load of Types.t * Value.t
+  | Store of Types.t * Value.t * Value.t  (* type, value, pointer *)
+  | Gep of Types.t * Value.t * Value.t  (* result ptr type, base ptr, byte offset (i64) *)
+  | Bin of bin * Types.t * Value.t * Value.t
+  | Icmp of icmp * Types.t * Value.t * Value.t  (* operand type *)
+  | Fcmp of fcmp * Types.t * Value.t * Value.t
+  | Cast of cast * Types.t * Value.t  (* destination type *)
+  | Select of Types.t * Value.t * Value.t * Value.t
+  | Call of Types.t * callee * Value.t list  (* return type *)
+  | Atomicrmw of atomic * Types.t * Value.t * Value.t  (* op, value type, ptr, operand *)
+
+type t = { id : int; mutable kind : kind; mutable loc : Support.Loc.t }
+
+let make ?(loc = Support.Loc.none) ~id kind = { id; kind; loc }
+
+let result_ty i =
+  match i.kind with
+  | Alloca _ -> Types.Ptr Types.Local
+  | Load (ty, _) -> ty
+  | Store _ -> Types.Void
+  | Gep (ty, _, _) -> ty
+  | Bin (_, ty, _, _) -> ty
+  | Icmp _ | Fcmp _ -> Types.I1
+  | Cast (_, ty, _) -> ty
+  | Select (ty, _, _, _) -> ty
+  | Call (ty, _, _) -> ty
+  | Atomicrmw (_, ty, _, _) -> ty
+
+let has_result i = not (Types.equal (result_ty i) Types.Void)
+
+let operands i =
+  match i.kind with
+  | Alloca _ -> []
+  | Load (_, p) -> [ p ]
+  | Store (_, v, p) -> [ v; p ]
+  | Gep (_, b, o) -> [ b; o ]
+  | Bin (_, _, a, b) | Icmp (_, _, a, b) | Fcmp (_, _, a, b) -> [ a; b ]
+  | Cast (_, _, v) -> [ v ]
+  | Select (_, c, a, b) -> [ c; a; b ]
+  | Call (_, Direct _, args) -> args
+  | Call (_, Indirect f, args) -> f :: args
+  | Atomicrmw (_, _, p, v) -> [ p; v ]
+
+(* Rewrite every operand with [f]; used for replace-all-uses-with. *)
+let map_operands f i =
+  let kind =
+    match i.kind with
+    | Alloca _ as k -> k
+    | Load (ty, p) -> Load (ty, f p)
+    | Store (ty, v, p) -> Store (ty, f v, f p)
+    | Gep (ty, b, o) -> Gep (ty, f b, f o)
+    | Bin (op, ty, a, b) -> Bin (op, ty, f a, f b)
+    | Icmp (cc, ty, a, b) -> Icmp (cc, ty, f a, f b)
+    | Fcmp (cc, ty, a, b) -> Fcmp (cc, ty, f a, f b)
+    | Cast (op, ty, v) -> Cast (op, ty, f v)
+    | Select (ty, c, a, b) -> Select (ty, f c, f a, f b)
+    | Call (ty, Direct name, args) -> Call (ty, Direct name, List.map f args)
+    | Call (ty, Indirect fn, args) -> Call (ty, Indirect (f fn), List.map f args)
+    | Atomicrmw (op, ty, p, v) -> Atomicrmw (op, ty, f p, f v)
+  in
+  i.kind <- kind
+
+let callee_name i =
+  match i.kind with Call (_, Direct name, _) -> Some name | _ -> None
+
+(* Purity at the IR level only: calls and atomics are never pure here; the
+   analyses refine call purity using device-runtime knowledge. *)
+let is_pure i =
+  match i.kind with
+  | Store _ | Call _ | Atomicrmw _ -> false
+  | Alloca _ | Load _ | Gep _ | Bin _ | Icmp _ | Fcmp _ | Cast _ | Select _ -> true
+
+let writes_memory i = match i.kind with Store _ | Atomicrmw _ -> true | _ -> false
+let reads_memory i = match i.kind with Load _ | Atomicrmw _ -> true | _ -> false
+
+let bin_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv" | Srem -> "srem"
+  | Udiv -> "udiv" | Urem -> "urem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let bin_of_name = function
+  | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul | "sdiv" -> Some Sdiv
+  | "srem" -> Some Srem | "udiv" -> Some Udiv | "urem" -> Some Urem | "and" -> Some And
+  | "or" -> Some Or | "xor" -> Some Xor | "shl" -> Some Shl | "lshr" -> Some Lshr
+  | "ashr" -> Some Ashr | "fadd" -> Some Fadd | "fsub" -> Some Fsub | "fmul" -> Some Fmul
+  | "fdiv" -> Some Fdiv | _ -> None
+
+let icmp_name = function
+  | Eq -> "eq" | Ne -> "ne" | Slt -> "slt" | Sle -> "sle" | Sgt -> "sgt" | Sge -> "sge"
+  | Ult -> "ult" | Ule -> "ule" | Ugt -> "ugt" | Uge -> "uge"
+
+let icmp_of_name = function
+  | "eq" -> Some Eq | "ne" -> Some Ne | "slt" -> Some Slt | "sle" -> Some Sle
+  | "sgt" -> Some Sgt | "sge" -> Some Sge | "ult" -> Some Ult | "ule" -> Some Ule
+  | "ugt" -> Some Ugt | "uge" -> Some Uge | _ -> None
+
+let fcmp_name = function
+  | Oeq -> "oeq" | One -> "one" | Olt -> "olt" | Ole -> "ole" | Ogt -> "ogt" | Oge -> "oge"
+
+let fcmp_of_name = function
+  | "oeq" -> Some Oeq | "one" -> Some One | "olt" -> Some Olt | "ole" -> Some Ole
+  | "ogt" -> Some Ogt | "oge" -> Some Oge | _ -> None
+
+let cast_name = function
+  | Zext -> "zext" | Sext -> "sext" | Trunc -> "trunc" | Sitofp -> "sitofp"
+  | Fptosi -> "fptosi" | Fpext -> "fpext" | Fptrunc -> "fptrunc" | Bitcast -> "bitcast"
+  | Spacecast -> "spacecast"
+
+let cast_of_name = function
+  | "zext" -> Some Zext | "sext" -> Some Sext | "trunc" -> Some Trunc
+  | "sitofp" -> Some Sitofp | "fptosi" -> Some Fptosi | "fpext" -> Some Fpext
+  | "fptrunc" -> Some Fptrunc | "bitcast" -> Some Bitcast | "spacecast" -> Some Spacecast
+  | _ -> None
+
+let atomic_name = function
+  | A_add -> "add" | A_fadd -> "fadd" | A_min -> "min" | A_max -> "max"
+  | A_exchange -> "exchange" | A_cas -> "cas"
+
+let atomic_of_name = function
+  | "add" -> Some A_add | "fadd" -> Some A_fadd | "min" -> Some A_min
+  | "max" -> Some A_max | "exchange" -> Some A_exchange | "cas" -> Some A_cas
+  | _ -> None

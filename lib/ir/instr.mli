@@ -1,0 +1,66 @@
+(** MiniIR instructions.  Each instruction has a function-unique id; its
+    result (if any) is referenced as [Value.Reg id].  Kinds are mutable so
+    the optimizer can rewrite instructions in place without invalidating
+    uses. *)
+
+type bin =
+  | Add | Sub | Mul | Sdiv | Srem | Udiv | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+type fcmp = Oeq | One | Olt | Ole | Ogt | Oge
+type cast = Zext | Sext | Trunc | Sitofp | Fptosi | Fpext | Fptrunc | Bitcast | Spacecast
+type atomic = A_add | A_fadd | A_min | A_max | A_exchange | A_cas
+
+type callee = Direct of string | Indirect of Value.t
+
+type kind =
+  | Alloca of Types.t * int  (** element type, count; yields ptr(local) *)
+  | Load of Types.t * Value.t
+  | Store of Types.t * Value.t * Value.t  (** type, value, pointer *)
+  | Gep of Types.t * Value.t * Value.t
+      (** result pointer type, base pointer, byte offset (i64) *)
+  | Bin of bin * Types.t * Value.t * Value.t
+  | Icmp of icmp * Types.t * Value.t * Value.t  (** operand type *)
+  | Fcmp of fcmp * Types.t * Value.t * Value.t
+  | Cast of cast * Types.t * Value.t  (** destination type *)
+  | Select of Types.t * Value.t * Value.t * Value.t
+  | Call of Types.t * callee * Value.t list  (** return type *)
+  | Atomicrmw of atomic * Types.t * Value.t * Value.t
+      (** op, value type, pointer, operand; yields the old value *)
+
+type t = { id : int; mutable kind : kind; mutable loc : Support.Loc.t }
+
+val make : ?loc:Support.Loc.t -> id:int -> kind -> t
+
+val result_ty : t -> Types.t
+val has_result : t -> bool
+
+val operands : t -> Value.t list
+(** All value operands (the callee of an indirect call included). *)
+
+val map_operands : (Value.t -> Value.t) -> t -> unit
+(** Rewrite every operand in place; the basis of replace-all-uses-with. *)
+
+val callee_name : t -> string option
+
+val is_pure : t -> bool
+(** Purity at the IR level only: calls and atomics are never pure here; the
+    analyses refine call purity using device-runtime knowledge. *)
+
+val writes_memory : t -> bool
+val reads_memory : t -> bool
+
+(** Mnemonic tables used by the printer and parser. *)
+
+val bin_name : bin -> string
+val bin_of_name : string -> bin option
+val icmp_name : icmp -> string
+val icmp_of_name : string -> icmp option
+val fcmp_name : fcmp -> string
+val fcmp_of_name : string -> fcmp option
+val cast_name : cast -> string
+val cast_of_name : string -> cast option
+val atomic_name : atomic -> string
+val atomic_of_name : string -> atomic option

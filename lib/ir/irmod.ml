@@ -1,0 +1,77 @@
+(* A MiniIR module: globals plus functions, in declaration order. *)
+
+type global = {
+  gname : string;
+  gty : Types.t;
+  gspace : Types.addrspace;
+  mutable ginit : Value.const option;  (* None = zero-initialized *)
+  mutable glinkage : Func.linkage;
+}
+
+type t = {
+  mutable mname : string;
+  mutable globals : global list;
+  mutable funcs : Func.t list;
+}
+
+let create ?(name = "module") () = { mname = name; globals = []; funcs = [] }
+
+let add_func m f =
+  if List.exists (fun g -> String.equal g.Func.name f.Func.name) m.funcs then
+    Support.Util.failf "Irmod.add_func: duplicate function %s" f.Func.name;
+  m.funcs <- m.funcs @ [ f ]
+
+let find_func m name = List.find_opt (fun f -> String.equal f.Func.name name) m.funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> Support.Util.failf "Irmod.find_func: no function %s" name
+
+let remove_func m name =
+  m.funcs <- List.filter (fun f -> not (String.equal f.Func.name name)) m.funcs
+
+let add_global m g =
+  if List.exists (fun g' -> String.equal g'.gname g.gname) m.globals then
+    Support.Util.failf "Irmod.add_global: duplicate global %s" g.gname;
+  m.globals <- m.globals @ [ g ]
+
+let find_global m name = List.find_opt (fun g -> String.equal g.gname name) m.globals
+
+let kernels m = List.filter Func.is_kernel m.funcs
+
+let defined_funcs m = List.filter (fun f -> not (Func.is_declaration f)) m.funcs
+
+(* Functions whose address is taken somewhere in the module (operand position,
+   not direct-call position).  These are the possible targets of indirect
+   calls; spurious call edges to them inflate register usage, which is
+   exactly the effect the custom state machine rewrite removes. *)
+let address_taken_funcs m =
+  let taken = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      Func.iter_instrs f ~g:(fun _ i ->
+          List.iter
+            (fun v -> match v with Value.Func n -> Hashtbl.replace taken n () | _ -> ())
+            (Instr.operands i)))
+    m.funcs;
+  List.iter
+    (fun g ->
+      match g.ginit with
+      | Some c -> (
+        match c with
+        | Value.CInt _ | Value.CFloat _ | Value.CNull _ | Value.CUndef _ -> ())
+      | None -> ())
+    m.globals;
+  List.filter (fun f -> Hashtbl.mem taken f.Func.name) m.funcs
+
+(* A fresh name not yet used by any function or global. *)
+let fresh_name m base =
+  let exists n = find_func m n <> None || find_global m n <> None in
+  if not (exists base) then base
+  else
+    let rec loop i =
+      let n = Printf.sprintf "%s.%d" base i in
+      if exists n then loop (i + 1) else n
+    in
+    loop 1

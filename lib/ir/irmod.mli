@@ -1,0 +1,39 @@
+(** A MiniIR module: globals plus functions, in declaration order. *)
+
+type global = {
+  gname : string;
+  gty : Types.t;
+  gspace : Types.addrspace;
+      (** [Shared] globals (created by HeapToShared) are replicated per team *)
+  mutable ginit : Value.const option;  (** [None] means zero-initialized *)
+  mutable glinkage : Func.linkage;
+}
+
+type t = {
+  mutable mname : string;
+  mutable globals : global list;
+  mutable funcs : Func.t list;
+}
+
+val create : ?name:string -> unit -> t
+
+val add_func : t -> Func.t -> unit
+(** @raise Failure on duplicate names. *)
+
+val find_func : t -> string -> Func.t option
+val find_func_exn : t -> string -> Func.t
+val remove_func : t -> string -> unit
+
+val add_global : t -> global -> unit
+val find_global : t -> string -> global option
+
+val kernels : t -> Func.t list
+val defined_funcs : t -> Func.t list
+
+val address_taken_funcs : t -> Func.t list
+(** Functions whose address appears in operand (non-callee) position: the
+    possible targets of indirect calls.  The pessimism these induce on the
+    register estimate is what the custom state machine rewrite removes. *)
+
+val fresh_name : t -> string -> string
+(** A name not used by any function or global, derived from the base. *)

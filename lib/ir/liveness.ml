@@ -1,0 +1,100 @@
+(* Backward liveness of virtual registers and the derived register-pressure
+   estimate.  The pressure estimate feeds the simulator's "register count"
+   statistic (Figure 10 of the paper): spurious call edges from indirect
+   calls force the worst-case callee to be accounted, which is the cost the
+   custom state machine rewrite eliminates. *)
+
+module SM = Support.Util.String_map
+module IS = Support.Util.Int_set
+
+type block_liveness = { live_in : IS.t; live_out : IS.t }
+
+let regs_of_values vs =
+  List.fold_left (fun acc v -> match v with Value.Reg i -> IS.add i acc | _ -> acc) IS.empty vs
+
+let uses_of_instr i = regs_of_values (Instr.operands i)
+let def_of_instr i = if Instr.has_result i then Some i.Instr.id else None
+
+(* Per-block gen/kill in one backward scan. *)
+let block_gen_kill (b : Block.t) =
+  let gen = ref (regs_of_values (Block.term_operands b.Block.term)) in
+  let kill = ref IS.empty in
+  List.iter
+    (fun i ->
+      (match def_of_instr i with
+      | Some d ->
+        gen := IS.remove d !gen;
+        kill := IS.add d !kill
+      | None -> ());
+      gen := IS.union !gen (uses_of_instr i))
+    (List.rev b.Block.instrs);
+  (!gen, !kill)
+
+let compute (f : Func.t) =
+  let cfg = Cfg.compute f in
+  let gk =
+    List.fold_left
+      (fun m b -> SM.add b.Block.label (block_gen_kill b) m)
+      SM.empty f.Func.blocks
+  in
+  let live_in = ref SM.empty in
+  let live_out = ref SM.empty in
+  List.iter
+    (fun b ->
+      live_in := SM.add b.Block.label IS.empty !live_in;
+      live_out := SM.add b.Block.label IS.empty !live_out)
+    f.Func.blocks;
+  Support.Util.fixpoint (fun () ->
+      let changed = ref false in
+      List.iter
+        (fun b ->
+          let label = b.Block.label in
+          let out =
+            List.fold_left
+              (fun acc s -> IS.union acc (SM.find s !live_in))
+              IS.empty (Block.successors b)
+          in
+          let gen, kill = SM.find label gk in
+          let inn = IS.union gen (IS.diff out kill) in
+          if not (IS.equal out (SM.find label !live_out)) then begin
+            live_out := SM.add label out !live_out;
+            changed := true
+          end;
+          if not (IS.equal inn (SM.find label !live_in)) then begin
+            live_in := SM.add label inn !live_in;
+            changed := true
+          end)
+        (List.rev (Cfg.blocks_in_order cfg));
+      !changed);
+  List.fold_left
+    (fun m b ->
+      let label = b.Block.label in
+      SM.add label
+        { live_in = SM.find label !live_in; live_out = SM.find label !live_out }
+        m)
+    SM.empty f.Func.blocks
+
+(* Maximum number of simultaneously live registers at any program point. *)
+let max_pressure (f : Func.t) =
+  if Func.is_declaration f then 0
+  else begin
+    let liveness = compute f in
+    let best = ref 0 in
+    List.iter
+      (fun b ->
+        match SM.find_opt b.Block.label liveness with
+        | None -> ()
+        | Some { live_out; _ } ->
+          (* walk backwards through the block tracking the live set *)
+          let live = ref live_out in
+          best := max !best (IS.cardinal !live);
+          List.iter
+            (fun i ->
+              (match def_of_instr i with Some d -> live := IS.remove d !live | None -> ());
+              live := IS.union !live (uses_of_instr i);
+              best := max !best (IS.cardinal !live))
+            (List.rev b.Block.instrs))
+      f.Func.blocks;
+    (* function arguments occupy registers on entry as well *)
+    max !best (List.length f.Func.params)
+  end

@@ -1,0 +1,14 @@
+(** Backward liveness of virtual registers and the derived register-pressure
+    estimate that feeds the simulator's register statistic (Figure 10). *)
+
+type block_liveness = {
+  live_in : Support.Util.Int_set.t;
+  live_out : Support.Util.Int_set.t;
+}
+
+val compute : Func.t -> block_liveness Support.Util.String_map.t
+(** Per-block liveness, keyed by label. *)
+
+val max_pressure : Func.t -> int
+(** Maximum number of simultaneously live registers at any program point
+    (at least the parameter count; 0 for declarations). *)

@@ -1,0 +1,565 @@
+(* Parser for the textual MiniIR form emitted by [Printer].  This is used by
+   tests (round-trip property), by the CLI driver to read IR files, and by
+   examples that embed IR snippets. *)
+
+exception Parse_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string       (* keywords, labels, type names *)
+  | Reg of int             (* %3 *)
+  | ArgRef of int          (* %arg2 *)
+  | At of string           (* @name *)
+  | Int of int64
+  | Float of float
+  | Str of string          (* "..." *)
+  | Lparen | Rparen | Lbrack | Rbrack | Lbrace | Rbrace
+  | Comma | Colon | Equal | Arrow | Eof
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "ident %s" s
+  | Reg i -> Fmt.pf ppf "%%%d" i
+  | ArgRef i -> Fmt.pf ppf "%%arg%d" i
+  | At s -> Fmt.pf ppf "@%s" s
+  | Int i -> Fmt.pf ppf "%Ld" i
+  | Float f -> Fmt.pf ppf "%h" f
+  | Str s -> Fmt.pf ppf "%S" s
+  | Lparen -> Fmt.string ppf "(" | Rparen -> Fmt.string ppf ")"
+  | Lbrack -> Fmt.string ppf "[" | Rbrack -> Fmt.string ppf "]"
+  | Lbrace -> Fmt.string ppf "{" | Rbrace -> Fmt.string ppf "}"
+  | Comma -> Fmt.string ppf "," | Colon -> Fmt.string ppf ":"
+  | Equal -> Fmt.string ppf "=" | Arrow -> Fmt.string ppf "->"
+  | Eof -> Fmt.string ppf "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '.'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let emit t = toks := t :: !toks in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred src.[!pos] do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  while !pos < n do
+    match src.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> advance ()
+    | ';' ->
+      (* comment to end of line *)
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    | '(' -> advance (); emit Lparen
+    | ')' -> advance (); emit Rparen
+    | '[' -> advance (); emit Lbrack
+    | ']' -> advance (); emit Rbrack
+    | '{' -> advance (); emit Lbrace
+    | '}' -> advance (); emit Rbrace
+    | ',' -> advance (); emit Comma
+    | ':' -> advance (); emit Colon
+    | '=' -> advance (); emit Equal
+    | '"' ->
+      advance ();
+      let s = read_while (fun c -> c <> '"') in
+      if peek () <> Some '"' then error "unterminated string";
+      advance ();
+      emit (Str s)
+    | '%' ->
+      advance ();
+      let word = read_while is_ident_char in
+      if String.length word > 3 && String.sub word 0 3 = "arg" then
+        emit (ArgRef (int_of_string (String.sub word 3 (String.length word - 3))))
+      else (
+        match int_of_string_opt word with
+        | Some i -> emit (Reg i)
+        | None -> error "bad register name %%%s" word)
+    | '@' ->
+      advance ();
+      emit (At (read_while is_ident_char))
+    | '-' when !pos + 1 < n && src.[!pos + 1] = '>' ->
+      advance (); advance ();
+      emit Arrow
+    | c when c = '-' || is_digit c ->
+      let start = !pos in
+      if c = '-' then advance ();
+      let _ = read_while (fun c -> is_digit c || c = '.' || c = 'x' || c = 'p'
+                                   || c = 'e' || c = '+' || c = '-'
+                                   || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) in
+      let text = String.sub src start (!pos - start) in
+      (match Int64.of_string_opt text with
+      | Some i -> emit (Int i)
+      | None -> (
+        match float_of_string_opt text with
+        | Some f -> emit (Float f)
+        | None -> error "bad number %s" text))
+    | c when is_ident_start c -> emit (Ident (read_while is_ident_char))
+    | c -> error "unexpected character %c" c
+  done;
+  List.rev (Eof :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Token stream                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> Eof
+let next st =
+  match st.toks with
+  | t :: rest ->
+    st.toks <- rest;
+    t
+  | [] -> Eof
+
+let expect st t =
+  let got = next st in
+  if got <> t then error "expected %a, got %a" pp_token t pp_token got
+
+let expect_ident st =
+  match next st with Ident s -> s | t -> error "expected identifier, got %a" pp_token t
+
+let expect_kw st kw =
+  let s = expect_ident st in
+  if s <> kw then error "expected keyword %s, got %s" kw s
+
+let expect_int st =
+  match next st with Int i -> i | t -> error "expected integer, got %a" pp_token t
+
+let accept st t = if peek st = t then (ignore (next st); true) else false
+
+(* ------------------------------------------------------------------ *)
+(* Types and values                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_ty st =
+  match next st with
+  | Ident "void" -> Types.Void
+  | Ident "i1" -> Types.I1
+  | Ident "i8" -> Types.I8
+  | Ident "i32" -> Types.I32
+  | Ident "i64" -> Types.I64
+  | Ident "f32" -> Types.F32
+  | Ident "f64" -> Types.F64
+  | Ident "ptr" ->
+    expect st Lparen;
+    let space = parse_space st in
+    expect st Rparen;
+    Types.Ptr space
+  | Lbrack ->
+    let n = Int64.to_int (expect_int st) in
+    expect_kw st "x";
+    let elt = parse_ty st in
+    expect st Rbrack;
+    Types.Arr (n, elt)
+  | t -> error "expected type, got %a" pp_token t
+
+and parse_space st =
+  let name = expect_ident st in
+  match Types.space_of_name name with
+  | Some s -> s
+  | None -> error "unknown address space %s" name
+
+(* Values: %N | %argN | @name | <int-ty> <int> | <float-ty> <num>
+   | null(<space>) | undef(<ty>).  [@name] is resolved to Func/Global after
+   the whole module is parsed. *)
+let parse_value st =
+  match peek st with
+  | Reg i -> ignore (next st); Value.Reg i
+  | ArgRef i -> ignore (next st); Value.Arg i
+  | At name -> ignore (next st); Value.Global name  (* resolved later *)
+  | Ident "null" ->
+    ignore (next st);
+    expect st Lparen;
+    let space = parse_space st in
+    expect st Rparen;
+    Value.null space
+  | Ident "undef" ->
+    ignore (next st);
+    expect st Lparen;
+    let ty = parse_ty st in
+    expect st Rparen;
+    Value.undef ty
+  | Ident ("i1" | "i8" | "i32" | "i64" | "f32" | "f64") ->
+    let ty = parse_ty st in
+    (match (ty, next st) with
+    | (Types.I1 | Types.I8 | Types.I32 | Types.I64), Int v -> Value.Const (Value.CInt (ty, v))
+    | (Types.F32 | Types.F64), Int v -> Value.Const (Value.CFloat (ty, Int64.to_float v))
+    | (Types.F32 | Types.F64), Float v -> Value.Const (Value.CFloat (ty, v))
+    | _, t -> error "expected literal after type, got %a" pp_token t)
+  | t -> error "expected value, got %a" pp_token t
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_args st =
+  expect st Lparen;
+  if accept st Rparen then []
+  else
+    let rec loop acc =
+      let v = parse_value st in
+      if accept st Comma then loop (v :: acc)
+      else (
+        expect st Rparen;
+        List.rev (v :: acc))
+    in
+    loop []
+
+let parse_call st =
+  let ty = parse_ty st in
+  let callee =
+    match peek st with
+    | At name -> ignore (next st); Instr.Direct name
+    | _ -> Instr.Indirect (parse_value st)
+  in
+  let args = parse_args st in
+  Instr.Call (ty, callee, args)
+
+(* Parse one instruction body given its mnemonic has been consumed. *)
+let parse_instr_kind st mnemonic =
+  let comma () = expect st Comma in
+  match mnemonic with
+  | "alloca" ->
+    let ty = parse_ty st in
+    comma ();
+    let n = Int64.to_int (expect_int st) in
+    Instr.Alloca (ty, n)
+  | "load" ->
+    let ty = parse_ty st in
+    comma ();
+    Instr.Load (ty, parse_value st)
+  | "store" ->
+    let ty = parse_ty st in
+    let v = parse_value st in
+    comma ();
+    Instr.Store (ty, v, parse_value st)
+  | "gep" ->
+    let ty = parse_ty st in
+    comma ();
+    let base = parse_value st in
+    comma ();
+    Instr.Gep (ty, base, parse_value st)
+  | "icmp" ->
+    let cc =
+      match Instr.icmp_of_name (expect_ident st) with
+      | Some cc -> cc
+      | None -> error "bad icmp condition"
+    in
+    let ty = parse_ty st in
+    let a = parse_value st in
+    comma ();
+    Instr.Icmp (cc, ty, a, parse_value st)
+  | "fcmp" ->
+    let cc =
+      match Instr.fcmp_of_name (expect_ident st) with
+      | Some cc -> cc
+      | None -> error "bad fcmp condition"
+    in
+    let ty = parse_ty st in
+    let a = parse_value st in
+    comma ();
+    Instr.Fcmp (cc, ty, a, parse_value st)
+  | "select" ->
+    let ty = parse_ty st in
+    let c = parse_value st in
+    comma ();
+    let a = parse_value st in
+    comma ();
+    Instr.Select (ty, c, a, parse_value st)
+  | "call" -> parse_call st
+  | "atomicrmw" ->
+    let op =
+      match Instr.atomic_of_name (expect_ident st) with
+      | Some op -> op
+      | None -> error "bad atomicrmw op"
+    in
+    let ty = parse_ty st in
+    let p = parse_value st in
+    comma ();
+    Instr.Atomicrmw (op, ty, p, parse_value st)
+  | m -> (
+    match Instr.bin_of_name m with
+    | Some op ->
+      let ty = parse_ty st in
+      let a = parse_value st in
+      comma ();
+      Instr.Bin (op, ty, a, parse_value st)
+    | None -> (
+      match Instr.cast_of_name m with
+      | Some op ->
+        let ty = parse_ty st in
+        comma ();
+        Instr.Cast (op, ty, parse_value st)
+      | None -> error "unknown instruction mnemonic %s" m))
+
+let parse_term st mnemonic =
+  match mnemonic with
+  | "ret" -> (
+    match peek st with
+    | Reg _ | ArgRef _ | At _
+    | Ident ("null" | "undef" | "i1" | "i8" | "i32" | "i64" | "f32" | "f64") ->
+      Block.Ret (Some (parse_value st))
+    | _ -> Block.Ret None)
+  | "br" -> Block.Br (expect_ident st)
+  | "cbr" ->
+    let v = parse_value st in
+    expect st Comma;
+    let l1 = expect_ident st in
+    expect st Comma;
+    Block.Cbr (v, l1, expect_ident st)
+  | "switch" ->
+    let v = parse_value st in
+    expect st Comma;
+    expect st Lbrack;
+    let rec cases acc =
+      if accept st Rbrack then List.rev acc
+      else
+        let c = expect_int st in
+        expect st Arrow;
+        let l = expect_ident st in
+        ignore (accept st Comma);
+        cases ((c, l) :: acc)
+    in
+    let cs = cases [] in
+    expect st Comma;
+    Block.Switch (v, cs, expect_ident st)
+  | "unreachable" -> Block.Unreachable
+  | m -> error "unknown terminator %s" m
+
+let is_term_mnemonic = function
+  | "ret" | "br" | "cbr" | "switch" | "unreachable" -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Functions, globals, module                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_attrs st =
+  if peek st = Ident "attrs" then begin
+    ignore (next st);
+    expect st Lparen;
+    let rec loop acc =
+      let name = expect_ident st in
+      let attr =
+        match Func.attr_of_name name with
+        | Some a -> a
+        | None -> error "unknown attribute %s" name
+      in
+      if accept st Comma then loop (attr :: acc)
+      else (
+        expect st Rparen;
+        List.rev (attr :: acc))
+    in
+    loop []
+  end
+  else []
+
+let parse_kernel_info st =
+  if peek st = Ident "kernel" then begin
+    ignore (next st);
+    expect st Lparen;
+    let mode =
+      match expect_ident st with
+      | "generic" -> Func.Generic
+      | "spmd" -> Func.Spmd
+      | m -> error "unknown exec mode %s" m
+    in
+    let info = { Func.exec_mode = mode; num_teams = None; num_threads = None } in
+    while accept st Comma do
+      let key = expect_ident st in
+      expect st Equal;
+      let v = Int64.to_int (expect_int st) in
+      match key with
+      | "teams" -> info.Func.num_teams <- Some v
+      | "threads" -> info.Func.num_threads <- Some v
+      | k -> error "unknown kernel key %s" k
+    done;
+    expect st Rparen;
+    Some info
+  end
+  else None
+
+let parse_block st =
+  let label = expect_ident st in
+  expect st Colon;
+  let instrs = ref [] in
+  let term = ref None in
+  (* ids of result-less instructions are assigned by the caller once the
+     maximum explicit id of the whole function is known *)
+  let rec loop () =
+    match peek st with
+    | Reg id ->
+      ignore (next st);
+      expect st Equal;
+      let m = expect_ident st in
+      let kind = parse_instr_kind st m in
+      instrs := (Some id, kind) :: !instrs;
+      loop ()
+    | Ident m when is_term_mnemonic m ->
+      ignore (next st);
+      term := Some (parse_term st m)
+    | Ident m ->
+      ignore (next st);
+      let kind = parse_instr_kind st m in
+      instrs := (None, kind) :: !instrs;
+      loop ()
+    | t -> error "expected instruction or terminator in block %s, got %a" label pp_token t
+  in
+  loop ();
+  match !term with
+  | None -> error "block %s has no terminator" label
+  | Some term -> (label, List.rev !instrs, term)
+
+let parse_define st =
+  let linkage =
+    match expect_ident st with
+    | "external" -> Func.External
+    | "internal" -> Func.Internal
+    | "weak" -> Func.Weak
+    | l -> error "unknown linkage %s" l
+  in
+  let ret_ty = parse_ty st in
+  let name = match next st with At n -> n | t -> error "expected @name, got %a" pp_token t in
+  expect st Lparen;
+  let params = ref [] in
+  if not (accept st Rparen) then begin
+    let rec loop () =
+      (match next st with
+      | ArgRef _ -> ()
+      | t -> error "expected %%argN, got %a" pp_token t);
+      expect st Colon;
+      let ty = parse_ty st in
+      params := ("", ty) :: !params;
+      if accept st Comma then loop () else expect st Rparen
+    in
+    loop ()
+  end;
+  let params = List.rev !params in
+  let kernel = parse_kernel_info st in
+  let attrs = parse_attrs st in
+  let f = Func.make ~linkage ~attrs ?kernel name ~ret_ty ~params in
+  expect st Lbrace;
+  let raw_blocks = ref [] in
+  while peek st <> Rbrace do
+    raw_blocks := parse_block st :: !raw_blocks
+  done;
+  expect st Rbrace;
+  let raw_blocks = List.rev !raw_blocks in
+  let max_id = ref (-1) in
+  List.iter
+    (fun (_, raw_instrs, _) ->
+      List.iter
+        (fun (id_opt, _) -> Option.iter (fun id -> if id > !max_id then max_id := id) id_opt)
+        raw_instrs)
+    raw_blocks;
+  List.iter
+    (fun (label, raw_instrs, term) ->
+      let blk = Block.make label ~term in
+      List.iter
+        (fun (id_opt, kind) ->
+          let id =
+            match id_opt with
+            | Some id -> id
+            | None ->
+              incr max_id;
+              !max_id
+          in
+          Block.append blk (Instr.make ~id kind))
+        raw_instrs;
+      Func.add_block f blk)
+    raw_blocks;
+  Support.Util.Id_gen.reserve f.Func.reg_gen !max_id;
+  f
+
+let parse_declare st =
+  let ret_ty = parse_ty st in
+  let name = match next st with At n -> n | t -> error "expected @name, got %a" pp_token t in
+  expect st Lparen;
+  let params = ref [] in
+  if not (accept st Rparen) then begin
+    let rec loop () =
+      let ty = parse_ty st in
+      params := ("", ty) :: !params;
+      if accept st Comma then loop () else expect st Rparen
+    in
+    loop ()
+  end;
+  let attrs = parse_attrs st in
+  Func.declare ~attrs name ~ret_ty ~params:(List.rev !params)
+
+let parse_global st =
+  let linkage =
+    match expect_ident st with
+    | "external" -> Func.External
+    | "internal" -> Func.Internal
+    | "weak" -> Func.Weak
+    | l -> error "unknown linkage %s" l
+  in
+  let name = match next st with At n -> n | t -> error "expected @name, got %a" pp_token t in
+  expect st Colon;
+  let ty = parse_ty st in
+  expect_kw st "in";
+  let space = parse_space st in
+  expect st Equal;
+  let init =
+    if peek st = Ident "zeroinit" then (
+      ignore (next st);
+      None)
+    else
+      match parse_value st with
+      | Value.Const c -> Some c
+      | _ -> error "global initializer must be a constant"
+  in
+  { Irmod.gname = name; gty = ty; gspace = space; ginit = init; glinkage = linkage }
+
+(* After parsing, operands written [@name] default to [Value.Global]; turn
+   the ones naming functions into [Value.Func]. *)
+let resolve_symbols (m : Irmod.t) =
+  let is_func n = Irmod.find_func m n <> None in
+  let fix v = match v with Value.Global n when is_func n -> Value.Func n | v -> v in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun b ->
+          List.iter (Instr.map_operands fix) b.Block.instrs;
+          Block.map_term_operands fix b)
+        f.Func.blocks)
+    m.Irmod.funcs
+
+let parse_module src =
+  let st = { toks = tokenize src } in
+  let m = Irmod.create () in
+  expect_kw st "module";
+  (match next st with
+  | Str name -> m.Irmod.mname <- name
+  | t -> error "expected module name string, got %a" pp_token t);
+  let rec loop () =
+    match next st with
+    | Eof -> ()
+    | Ident "global" ->
+      Irmod.add_global m (parse_global st);
+      loop ()
+    | Ident "declare" ->
+      Irmod.add_func m (parse_declare st);
+      loop ()
+    | Ident "define" ->
+      Irmod.add_func m (parse_define st);
+      loop ()
+    | t -> error "expected top-level item, got %a" pp_token t
+  in
+  loop ();
+  resolve_symbols m;
+  m

@@ -1,0 +1,6 @@
+(** Parser for the textual MiniIR form emitted by [Printer]. *)
+
+exception Parse_error of string
+
+val parse_module : string -> Irmod.t
+(** @raise Parse_error with a description of the first syntax error. *)

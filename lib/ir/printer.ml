@@ -1,0 +1,100 @@
+(* Textual form of MiniIR.  [Parser] accepts exactly this syntax; the
+   round-trip property is checked by the test suite. *)
+
+open Fmt
+
+let pp_callee ppf = function
+  | Instr.Direct name -> pf ppf "@%s" name
+  | Instr.Indirect v -> Value.pp ppf v
+
+let pp_instr ppf (i : Instr.t) =
+  let lhs ppf () = if Instr.has_result i then pf ppf "%%%d = " i.id else pf ppf "" in
+  match i.kind with
+  | Alloca (ty, n) -> pf ppf "%aalloca %a, %d" lhs () Types.pp ty n
+  | Load (ty, p) -> pf ppf "%aload %a, %a" lhs () Types.pp ty Value.pp p
+  | Store (ty, v, p) -> pf ppf "store %a %a, %a" Types.pp ty Value.pp v Value.pp p
+  | Gep (ty, b, o) -> pf ppf "%agep %a, %a, %a" lhs () Types.pp ty Value.pp b Value.pp o
+  | Bin (op, ty, a, b) ->
+    pf ppf "%a%s %a %a, %a" lhs () (Instr.bin_name op) Types.pp ty Value.pp a Value.pp b
+  | Icmp (cc, ty, a, b) ->
+    pf ppf "%aicmp %s %a %a, %a" lhs () (Instr.icmp_name cc) Types.pp ty Value.pp a
+      Value.pp b
+  | Fcmp (cc, ty, a, b) ->
+    pf ppf "%afcmp %s %a %a, %a" lhs () (Instr.fcmp_name cc) Types.pp ty Value.pp a
+      Value.pp b
+  | Cast (op, ty, v) -> pf ppf "%a%s %a, %a" lhs () (Instr.cast_name op) Types.pp ty Value.pp v
+  | Select (ty, c, a, b) ->
+    pf ppf "%aselect %a %a, %a, %a" lhs () Types.pp ty Value.pp c Value.pp a Value.pp b
+  | Call (ty, callee, args) ->
+    pf ppf "%acall %a %a(%a)" lhs () Types.pp ty pp_callee callee
+      (list ~sep:(any ", ") Value.pp) args
+  | Atomicrmw (op, ty, p, v) ->
+    pf ppf "%aatomicrmw %s %a %a, %a" lhs () (Instr.atomic_name op) Types.pp ty Value.pp p
+      Value.pp v
+
+let pp_term ppf = function
+  | Block.Ret None -> string ppf "ret"
+  | Block.Ret (Some v) -> pf ppf "ret %a" Value.pp v
+  | Block.Br l -> pf ppf "br %s" l
+  | Block.Cbr (v, l1, l2) -> pf ppf "cbr %a, %s, %s" Value.pp v l1 l2
+  | Block.Switch (v, cases, d) ->
+    let pp_case ppf (c, l) = pf ppf "%Ld -> %s" c l in
+    pf ppf "switch %a, [%a], %s" Value.pp v (list ~sep:(any ", ") pp_case) cases d
+  | Block.Unreachable -> string ppf "unreachable"
+
+let pp_block ppf (b : Block.t) =
+  pf ppf "%s:@." b.label;
+  List.iter (fun i -> pf ppf "  %a@." pp_instr i) b.instrs;
+  pf ppf "  %a@." pp_term b.term
+
+let pp_kernel_info ppf (k : Func.kernel_info) =
+  let mode = match k.exec_mode with Func.Generic -> "generic" | Func.Spmd -> "spmd" in
+  pf ppf " kernel(%s" mode;
+  Option.iter (pf ppf ", teams=%d") k.num_teams;
+  Option.iter (pf ppf ", threads=%d") k.num_threads;
+  pf ppf ")"
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs -> pf ppf " attrs(%a)" (list ~sep:(any ", ") (using Func.attr_name string)) attrs
+
+let pp_params ppf params =
+  let pp_param ppf (idx, (_, ty)) = pf ppf "%%arg%d : %a" idx Types.pp ty in
+  list ~sep:(any ", ") pp_param ppf (List.mapi (fun i p -> (i, p)) params)
+
+let pp_func ppf (f : Func.t) =
+  if Func.is_declaration f then
+    pf ppf "declare %a @%s(%a)%a@." Types.pp f.ret_ty f.name
+      (list ~sep:(any ", ") Types.pp)
+      (List.map snd f.params) pp_attrs f.attrs
+  else begin
+    pf ppf "define %s %a @%s(%a)" (Func.linkage_name f.linkage) Types.pp f.ret_ty f.name
+      pp_params f.params;
+    Option.iter (pp_kernel_info ppf) f.kernel;
+    pp_attrs ppf f.attrs;
+    pf ppf " {@.";
+    List.iter (pp_block ppf) f.blocks;
+    pf ppf "}@."
+  end
+
+let pp_global ppf (g : Irmod.global) =
+  pf ppf "global %s @%s : %a in %s" (Func.linkage_name g.glinkage) g.gname Types.pp g.gty
+    (Types.space_name g.gspace);
+  (match g.ginit with
+  | None -> pf ppf " = zeroinit"
+  | Some c -> pf ppf " = %a" Value.pp_const c);
+  pf ppf "@."
+
+let pp_module ppf (m : Irmod.t) =
+  pf ppf "module \"%s\"@.@." m.mname;
+  List.iter (pp_global ppf) m.globals;
+  if m.globals <> [] then pf ppf "@.";
+  List.iter
+    (fun f ->
+      pp_func ppf f;
+      pf ppf "@.")
+    m.funcs
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let module_to_string m = Fmt.str "%a" pp_module m
+let instr_to_string i = Fmt.str "%a" pp_instr i

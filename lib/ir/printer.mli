@@ -1,0 +1,13 @@
+(** Textual form of MiniIR.  [Parser] accepts exactly this syntax; the
+    round-trip property is checked by the test suite. *)
+
+val pp_instr : Format.formatter -> Instr.t -> unit
+val pp_term : Format.formatter -> Block.term -> unit
+val pp_block : Format.formatter -> Block.t -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+val pp_global : Format.formatter -> Irmod.global -> unit
+val pp_module : Format.formatter -> Irmod.t -> unit
+
+val func_to_string : Func.t -> string
+val module_to_string : Irmod.t -> string
+val instr_to_string : Instr.t -> string

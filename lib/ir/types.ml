@@ -1,0 +1,79 @@
+(* MiniIR types.
+
+   The IR is byte-addressed: pointers are opaque and carry only an address
+   space, mirroring LLVM's opaque-pointer model.  Address spaces follow the
+   GPU mapping of the paper's Figure 2: global memory is visible to the whole
+   league, shared memory to one team, local memory to a single thread. *)
+
+type addrspace =
+  | Generic  (* may alias any space; produced by address-space casts *)
+  | Global
+  | Shared
+  | Local
+
+type t =
+  | Void
+  | I1
+  | I8
+  | I32
+  | I64
+  | F32
+  | F64
+  | Ptr of addrspace
+  | Arr of int * t
+  | Fn of t * t list  (* return type, parameter types; only used for casts/checks *)
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void | I1, I1 | I8, I8 | I32, I32 | I64, I64 | F32, F32 | F64, F64 -> true
+  | Ptr s1, Ptr s2 -> s1 = s2
+  | Arr (n1, t1), Arr (n2, t2) -> n1 = n2 && equal t1 t2
+  | Fn (r1, ps1), Fn (r2, ps2) ->
+    equal r1 r2 && List.length ps1 = List.length ps2 && List.for_all2 equal ps1 ps2
+  | (Void | I1 | I8 | I32 | I64 | F32 | F64 | Ptr _ | Arr _ | Fn _), _ -> false
+
+let rec size_of = function
+  | Void -> 0
+  | I1 | I8 -> 1
+  | I32 | F32 -> 4
+  | I64 | F64 | Ptr _ -> 8
+  | Arr (n, t) -> n * size_of t
+  | Fn _ -> 8
+
+let is_integer = function I1 | I8 | I32 | I64 -> true | _ -> false
+let is_float = function F32 | F64 -> true | _ -> false
+let is_pointer = function Ptr _ -> true | _ -> false
+
+let bit_width = function
+  | I1 -> 1
+  | I8 -> 8
+  | I32 -> 32
+  | I64 -> 64
+  | t -> Support.Util.failf "Types.bit_width: not an integer type (%d bytes)" (size_of t)
+
+let space_name = function
+  | Generic -> "generic"
+  | Global -> "global"
+  | Shared -> "shared"
+  | Local -> "local"
+
+let space_of_name = function
+  | "generic" -> Some Generic
+  | "global" -> Some Global
+  | "shared" -> Some Shared
+  | "local" -> Some Local
+  | _ -> None
+
+let rec pp ppf = function
+  | Void -> Fmt.string ppf "void"
+  | I1 -> Fmt.string ppf "i1"
+  | I8 -> Fmt.string ppf "i8"
+  | I32 -> Fmt.string ppf "i32"
+  | I64 -> Fmt.string ppf "i64"
+  | F32 -> Fmt.string ppf "f32"
+  | F64 -> Fmt.string ppf "f64"
+  | Ptr s -> Fmt.pf ppf "ptr(%s)" (space_name s)
+  | Arr (n, t) -> Fmt.pf ppf "[%d x %a]" n pp t
+  | Fn (r, ps) -> Fmt.pf ppf "fn(%a)->%a" Fmt.(list ~sep:(any ", ") pp) ps pp r
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,42 @@
+(** MiniIR types.
+
+    The IR is byte-addressed with opaque pointers (LLVM-15 style): a pointer
+    type carries only its address space.  Address spaces follow the GPU
+    mapping of the paper's Figure 2: global memory is visible to the whole
+    league, shared memory to one team, local memory to a single thread. *)
+
+type addrspace =
+  | Generic  (** may alias any space; produced by address-space casts *)
+  | Global
+  | Shared
+  | Local
+
+type t =
+  | Void
+  | I1
+  | I8
+  | I32
+  | I64
+  | F32
+  | F64
+  | Ptr of addrspace
+  | Arr of int * t  (** fixed-size array, for globals and allocas *)
+  | Fn of t * t list  (** function type; only used in casts and checks *)
+
+val equal : t -> t -> bool
+
+val size_of : t -> int
+(** Size in bytes ([Void] is 0, pointers are 8). *)
+
+val is_integer : t -> bool
+val is_float : t -> bool
+val is_pointer : t -> bool
+
+val bit_width : t -> int
+(** @raise Failure on non-integer types. *)
+
+val space_name : addrspace -> string
+val space_of_name : string -> addrspace option
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,63 @@
+(* MiniIR values: constants are self-describing (they carry their type), so
+   every operand position in the textual format is unambiguous. *)
+
+type const =
+  | CInt of Types.t * int64
+  | CFloat of Types.t * float
+  | CNull of Types.addrspace
+  | CUndef of Types.t
+
+type t =
+  | Const of const
+  | Reg of int  (* result of the instruction with this id, function-scoped *)
+  | Arg of int  (* parameter index of the enclosing function *)
+  | Global of string
+  | Func of string
+
+let i1 b = Const (CInt (Types.I1, if b then 1L else 0L))
+let i32 n = Const (CInt (Types.I32, Int64.of_int n))
+let i64 n = Const (CInt (Types.I64, Int64.of_int n))
+let f32 x = Const (CFloat (Types.F32, x))
+let f64 x = Const (CFloat (Types.F64, x))
+let null space = Const (CNull space)
+let undef ty = Const (CUndef ty)
+
+let const_ty = function
+  | CInt (ty, _) -> ty
+  | CFloat (ty, _) -> ty
+  | CNull space -> Types.Ptr space
+  | CUndef ty -> ty
+
+let equal_const a b =
+  match (a, b) with
+  | CInt (t1, v1), CInt (t2, v2) -> Types.equal t1 t2 && Int64.equal v1 v2
+  | CFloat (t1, v1), CFloat (t2, v2) -> Types.equal t1 t2 && Float.equal v1 v2
+  | CNull s1, CNull s2 -> s1 = s2
+  | CUndef t1, CUndef t2 -> Types.equal t1 t2
+  | (CInt _ | CFloat _ | CNull _ | CUndef _), _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Const c1, Const c2 -> equal_const c1 c2
+  | Reg i, Reg j | Arg i, Arg j -> i = j
+  | Global n1, Global n2 | Func n1, Func n2 -> String.equal n1 n2
+  | (Const _ | Reg _ | Arg _ | Global _ | Func _), _ -> false
+
+let pp_const ppf = function
+  | CInt (ty, v) -> Fmt.pf ppf "%a %Ld" Types.pp ty v
+  | CFloat (ty, v) -> Fmt.pf ppf "%a %h" Types.pp ty v
+  | CNull space -> Fmt.pf ppf "null(%s)" (Types.space_name space)
+  | CUndef ty -> Fmt.pf ppf "undef(%a)" Types.pp ty
+
+let pp ppf = function
+  | Const c -> pp_const ppf c
+  | Reg i -> Fmt.pf ppf "%%%d" i
+  | Arg i -> Fmt.pf ppf "%%arg%d" i
+  | Global name -> Fmt.pf ppf "@%s" name
+  | Func name -> Fmt.pf ppf "@%s" name
+
+let to_string v = Fmt.str "%a" pp v
+
+(* Integer constant view, used pervasively by folding passes. *)
+let as_int = function Const (CInt (_, v)) -> Some v | _ -> None
+let is_null = function Const (CNull _) -> true | _ -> false

@@ -1,0 +1,38 @@
+(** MiniIR values.  Constants are self-describing (they carry their type),
+    which keeps every operand position in the textual format unambiguous. *)
+
+type const =
+  | CInt of Types.t * int64
+  | CFloat of Types.t * float
+  | CNull of Types.addrspace
+  | CUndef of Types.t
+
+type t =
+  | Const of const
+  | Reg of int  (** result of the instruction with this id, function-scoped *)
+  | Arg of int  (** parameter index of the enclosing function *)
+  | Global of string
+  | Func of string
+
+(** Constant constructors. *)
+
+val i1 : bool -> t
+val i32 : int -> t
+val i64 : int -> t
+val f32 : float -> t
+val f64 : float -> t
+val null : Types.addrspace -> t
+val undef : Types.t -> t
+
+val const_ty : const -> Types.t
+val equal_const : const -> const -> bool
+val equal : t -> t -> bool
+
+val pp_const : Format.formatter -> const -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val as_int : t -> int64 option
+(** Integer-constant view, used pervasively by folding passes. *)
+
+val is_null : t -> bool

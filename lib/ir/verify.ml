@@ -1,0 +1,206 @@
+(* Module verifier: structural well-formedness plus a type check.  Run by
+   tests after every front-end lowering and every optimizer pass. *)
+
+module SM = Support.Util.String_map
+module IM = Support.Util.Int_map
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+(* Build the register typing environment of a function.  Every register is
+   defined by exactly one instruction, so a single scan suffices. *)
+let reg_types (f : Func.t) =
+  Func.fold_instrs f ~init:IM.empty ~g:(fun env _ i ->
+      if IM.mem i.Instr.id env then fail "%s: register %%%d defined twice" f.name i.Instr.id;
+      IM.add i.Instr.id (Instr.result_ty i) env)
+
+let value_ty (m : Irmod.t) (f : Func.t) env v =
+  match v with
+  | Value.Const c -> Value.const_ty c
+  | Value.Reg id -> (
+    match IM.find_opt id env with
+    | Some ty -> ty
+    | None -> fail "%s: use of undefined register %%%d" f.name id)
+  | Value.Arg i -> Func.param_ty f i
+  | Value.Global name -> (
+    match Irmod.find_global m name with
+    | Some g -> Types.Ptr g.Irmod.gspace
+    | None -> fail "%s: use of undefined global @%s" f.name name)
+  | Value.Func name -> (
+    match Irmod.find_func m name with
+    | Some _ -> Types.Ptr Types.Generic
+    | None -> fail "%s: use of undefined function @%s" f.name name)
+
+let check_ty f what expected actual =
+  if not (Types.equal expected actual) then
+    fail "%s: %s has type %a, expected %a" f.Func.name what Types.pp actual Types.pp expected
+
+let check_pointer f what ty =
+  if not (Types.is_pointer ty) then
+    fail "%s: %s must be a pointer, got %a" f.Func.name what Types.pp ty
+
+let check_instr m f env (i : Instr.t) =
+  let vty v = value_ty m f env v in
+  match i.Instr.kind with
+  | Alloca (ty, n) ->
+    if n <= 0 then fail "%s: alloca with non-positive count" f.Func.name;
+    if Types.equal ty Types.Void then fail "%s: alloca of void" f.Func.name
+  | Load (ty, p) ->
+    check_pointer f "load source" (vty p);
+    if Types.equal ty Types.Void then fail "%s: load of void" f.Func.name
+  | Store (ty, v, p) ->
+    check_pointer f "store target" (vty p);
+    check_ty f "stored value" ty (vty v)
+  | Gep (ty, base, off) ->
+    check_pointer f "gep result" ty;
+    check_pointer f "gep base" (vty base);
+    check_ty f "gep offset" Types.I64 (vty off)
+  | Bin (op, ty, a, b) ->
+    check_ty f "binop lhs" ty (vty a);
+    check_ty f "binop rhs" ty (vty b);
+    let is_float_op = match op with Fadd | Fsub | Fmul | Fdiv -> true | _ -> false in
+    if is_float_op && not (Types.is_float ty) then
+      fail "%s: float binop on %a" f.Func.name Types.pp ty;
+    if (not is_float_op) && not (Types.is_integer ty) then
+      fail "%s: integer binop on %a" f.Func.name Types.pp ty
+  | Icmp (_, ty, a, b) ->
+    check_ty f "icmp lhs" ty (vty a);
+    check_ty f "icmp rhs" ty (vty b);
+    if not (Types.is_integer ty || Types.is_pointer ty) then
+      fail "%s: icmp on %a" f.Func.name Types.pp ty
+  | Fcmp (_, ty, a, b) ->
+    check_ty f "fcmp lhs" ty (vty a);
+    check_ty f "fcmp rhs" ty (vty b);
+    if not (Types.is_float ty) then fail "%s: fcmp on %a" f.Func.name Types.pp ty
+  | Cast (op, to_ty, v) -> (
+    let from_ty = vty v in
+    match op with
+    | Zext | Sext ->
+      if not (Types.is_integer from_ty && Types.is_integer to_ty) then
+        fail "%s: int cast between %a and %a" f.Func.name Types.pp from_ty Types.pp to_ty
+    | Trunc ->
+      if not (Types.is_integer from_ty && Types.is_integer to_ty) then
+        fail "%s: trunc between %a and %a" f.Func.name Types.pp from_ty Types.pp to_ty
+    | Sitofp ->
+      if not (Types.is_integer from_ty && Types.is_float to_ty) then
+        fail "%s: sitofp between %a and %a" f.Func.name Types.pp from_ty Types.pp to_ty
+    | Fptosi ->
+      if not (Types.is_float from_ty && Types.is_integer to_ty) then
+        fail "%s: fptosi between %a and %a" f.Func.name Types.pp from_ty Types.pp to_ty
+    | Fpext | Fptrunc ->
+      if not (Types.is_float from_ty && Types.is_float to_ty) then
+        fail "%s: float cast between %a and %a" f.Func.name Types.pp from_ty Types.pp to_ty
+    | Bitcast ->
+      if Types.size_of from_ty <> Types.size_of to_ty then
+        fail "%s: bitcast changes size" f.Func.name
+    | Spacecast ->
+      if not (Types.is_pointer from_ty && Types.is_pointer to_ty) then
+        fail "%s: spacecast between %a and %a" f.Func.name Types.pp from_ty Types.pp to_ty)
+  | Select (ty, c, a, b) ->
+    check_ty f "select condition" Types.I1 (vty c);
+    check_ty f "select lhs" ty (vty a);
+    check_ty f "select rhs" ty (vty b)
+  | Call (ret_ty, Direct name, args) -> (
+    match Irmod.find_func m name with
+    | None -> fail "%s: call to undefined function @%s" f.Func.name name
+    | Some callee ->
+      check_ty f (Printf.sprintf "call to @%s" name) callee.Func.ret_ty ret_ty;
+      let nparams = List.length callee.Func.params in
+      if List.length args <> nparams then
+        fail "%s: call to @%s with %d args, expected %d" f.Func.name name (List.length args)
+          nparams;
+      List.iteri
+        (fun idx arg ->
+          check_ty f
+            (Printf.sprintf "argument %d of @%s" idx name)
+            (Func.param_ty callee idx) (vty arg))
+        args)
+  | Call (_, Indirect fn, _) -> check_pointer f "indirect callee" (vty fn)
+  | Atomicrmw (_, ty, p, v) ->
+    check_pointer f "atomicrmw pointer" (vty p);
+    check_ty f "atomicrmw operand" ty (vty v)
+
+let check_term m f env b =
+  let vty v = value_ty m f env v in
+  match b.Block.term with
+  | Ret None ->
+    if not (Types.equal f.Func.ret_ty Types.Void) then
+      fail "%s: ret void in non-void function" f.Func.name
+  | Ret (Some v) -> check_ty f "return value" f.Func.ret_ty (vty v)
+  | Br l -> if Func.find_block f l = None then fail "%s: branch to unknown %s" f.Func.name l
+  | Cbr (v, l1, l2) ->
+    check_ty f "branch condition" Types.I1 (vty v);
+    List.iter
+      (fun l -> if Func.find_block f l = None then fail "%s: branch to unknown %s" f.Func.name l)
+      [ l1; l2 ]
+  | Switch (v, cases, d) ->
+    if not (Types.is_integer (vty v)) then fail "%s: switch on non-integer" f.Func.name;
+    List.iter
+      (fun l -> if Func.find_block f l = None then fail "%s: switch to unknown %s" f.Func.name l)
+      (d :: List.map snd cases)
+  | Unreachable -> ()
+
+(* Defs must dominate uses.  Within a block: textual order; across blocks:
+   the defining block must dominate the using block. *)
+let check_dominance (f : Func.t) =
+  let cfg = Cfg.compute f in
+  let dom = Cfg.dominators cfg in
+  (* def site of each register: (block label, index in block) *)
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iteri
+        (fun idx i -> if Instr.has_result i then Hashtbl.replace defs i.Instr.id (b.Block.label, idx))
+        b.Block.instrs)
+    f.blocks;
+  let check_use ulabel uidx v =
+    match v with
+    | Value.Reg id -> (
+      match Hashtbl.find_opt defs id with
+      | None -> fail "%s: use of register %%%d with no definition" f.name id
+      | Some (dlabel, didx) ->
+        let ok =
+          if String.equal dlabel ulabel then didx < uidx
+          else Cfg.dominates dom ~by:dlabel ulabel
+        in
+        if ok || not (Cfg.is_reachable cfg ulabel) then ()
+        else
+          fail "%s: use of %%%d in %s not dominated by its definition in %s" f.name id ulabel
+            dlabel)
+    | _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iteri
+        (fun idx i -> List.iter (check_use b.Block.label idx) (Instr.operands i))
+        b.Block.instrs;
+      List.iter
+        (check_use b.Block.label (List.length b.Block.instrs))
+        (Block.term_operands b.Block.term))
+    f.blocks
+
+let verify_func m (f : Func.t) =
+  if Func.is_declaration f then ()
+  else begin
+    let labels = List.map (fun b -> b.Block.label) f.blocks in
+    let sorted = List.sort_uniq String.compare labels in
+    if List.length sorted <> List.length labels then
+      fail "%s: duplicate block labels" f.name;
+    let env = reg_types f in
+    List.iter
+      (fun b ->
+        List.iter (check_instr m f env) b.Block.instrs;
+        check_term m f env b)
+      f.blocks;
+    check_dominance f
+  end
+
+let verify_module (m : Irmod.t) =
+  let names = List.map (fun f -> f.Func.name) m.funcs in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then fail "module: duplicate function names";
+  List.iter (verify_func m) m.funcs
+
+(* Convenience wrapper returning a result instead of raising. *)
+let check m = match verify_module m with () -> Ok () | exception Invalid msg -> Error msg

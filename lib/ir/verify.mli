@@ -1,0 +1,13 @@
+(** Module verifier: structural well-formedness plus a type check and a
+    defs-dominate-uses check.  Run by the test suite after every front-end
+    lowering and every optimizer pass. *)
+
+exception Invalid of string
+
+val verify_func : Irmod.t -> Func.t -> unit
+(** @raise Invalid describing the first violation. *)
+
+val verify_module : Irmod.t -> unit
+
+val check : Irmod.t -> (unit, string) result
+(** Wrapper around [verify_module] returning a result. *)

@@ -1,0 +1,18 @@
+(* Common shape of a proxy application: a MiniOMP source for the OpenMP
+   build, a (possibly restructured) source for the CUDA-style watermark
+   build, and a scale knob so tests can run tiny configurations while the
+   benchmark harness runs the paper-sized ones. *)
+
+type scale = Tiny | Bench
+
+type t = {
+  name : string;
+  description : string;
+  omp_source : scale -> string;
+  cuda_source : scale -> string;
+  (* expected optimization opportunities under the full pipeline, for the
+     Figure 9 table: (heap_to_stack, heap_to_shared, spmdized) *)
+  expected_h2s : int;
+  expected_h2shared : int;
+  expected_spmdized : bool;
+}

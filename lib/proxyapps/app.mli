@@ -1,0 +1,16 @@
+(** Common shape of a proxy application (paper Section V-A). *)
+
+(** [Tiny] keeps unit tests fast; [Bench] is the scale at which the paper's
+    performance shapes hold (and at which RSBench's unoptimized build runs
+    out of device heap). *)
+type scale = Tiny | Bench
+
+type t = {
+  name : string;
+  description : string;
+  omp_source : scale -> string;  (** the OpenMP (CPU-style) MiniOMP source *)
+  cuda_source : scale -> string;  (** the kernel-style watermark source *)
+  expected_h2s : int;  (** Figure 9: HeapToStack count under the full pipeline *)
+  expected_h2shared : int;  (** Figure 9: HeapToShared count *)
+  expected_spmdized : bool;  (** Figure 9: generic kernel converted to SPMD *)
+}

@@ -1,0 +1,10 @@
+(* All proxy applications, in the order of the paper's evaluation. *)
+
+let all : App.t list = [ Xsbench.app; Rsbench.app; Su3bench.app; Miniqmc.app ]
+
+let find name = List.find_opt (fun a -> String.equal a.App.name name) all
+
+let find_exn name =
+  match find name with
+  | Some a -> a
+  | None -> Support.Util.failf "unknown proxy app %s" name

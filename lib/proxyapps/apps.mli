@@ -1,0 +1,9 @@
+(** All proxy applications, in the order of the paper's evaluation:
+    XSBench, RSBench, SU3Bench, miniQMC. *)
+
+val all : App.t list
+
+val find : string -> App.t option
+
+val find_exn : string -> App.t
+(** @raise Failure on unknown names. *)

@@ -1,0 +1,158 @@
+(* miniQMC: the batched B-spline evaluation of QMCPACK's check_spo kernel.
+   A generic-mode kernel: the team's main thread stages spline parameters
+   and coefficients into team-visible storage (the 18 variables HeapToShared
+   recovers, Fig. 9), then two parallel regions evaluate the orbitals and
+   reduce them.  Three per-thread locals inside the regions are recovered by
+   HeapToStack. *)
+
+let params = function
+  | App.Tiny -> (16, 8, 2, 8)  (* walkers, orbitals, teams, threads *)
+  | App.Bench -> (128, 32, 8, 16)
+
+let source_common ~coefs =
+  Printf.sprintf
+    {|
+double spline_coefs[%d];
+double walker_pos[512];
+double orbital_vals[4096];
+double reductions[512];
+
+static double eval_bspline(double x, double c0, double c1, double c2, double c3,
+                           double* basis) {
+  double t = x - (double)((int)x);
+  basis[0] = (1.0 - t) * (1.0 - t) * (1.0 - t) / 6.0;
+  basis[1] = (3.0 * t * t * t - 6.0 * t * t + 4.0) / 6.0;
+  basis[2] = (0.0 - 3.0 * t * t * t + 3.0 * t * t + 3.0 * t + 1.0) / 6.0;
+  basis[3] = t * t * t / 6.0;
+  return c0 * basis[0] + c1 * basis[1] + c2 * basis[2] + c3 * basis[3];
+}
+
+static double orbital_value(double x, double y, double z,
+                            double c0, double c1, double c2, double c3,
+                            double c4, double c5, double c6, double c7) {
+  double basis_x[4];
+  double basis_y[4];
+  double vx = eval_bspline(x, c0, c1, c2, c3, basis_x);
+  double vy = eval_bspline(y, c4, c5, c6, c7, basis_y);
+  return vx * vy + basis_x[0] * basis_y[0] * 0.001 + z * 0.01;
+}
+
+static double reduce_contrib(double v, double gsx, double gsy) {
+  double tmp[1];
+  tmp[0] = v * gsx + v * v * gsy;
+  return tmp[0];
+}
+|}
+    coefs
+
+let omp_source scale =
+  let walkers, orbitals, teams, threads = params scale in
+  let coefs = 1024 in
+  Printf.sprintf
+    {|%s
+int main() {
+  for (int i = 0; i < %d; i++) { spline_coefs[i] = (double)(i %% 23) * 0.04 + 0.3; }
+  for (int i = 0; i < 512; i++) { walker_pos[i] = (double)(i %% 29) * 0.11; }
+  int n_walkers = %d;
+  int n_orbitals = %d;
+  #pragma omp target teams distribute num_teams(%d) thread_limit(%d)
+  for (int w = 0; w < n_walkers; w++) {
+    // main thread stages spline parameters for this walker: these sixteen
+    // locals are shared with the parallel regions below
+    double gsx = 0.1 + (double)(w %% 3) * 0.01;
+    double gsy = 0.2 + (double)(w %% 5) * 0.01;
+    double gsz = 0.3;
+    double px = walker_pos[(w * 3) %% 512];
+    double py = walker_pos[(w * 3 + 1) %% 512];
+    double pz = walker_pos[(w * 3 + 2) %% 512];
+    int base = (w * 8) %% %d;
+    double c0 = spline_coefs[base];
+    double c1 = spline_coefs[base + 1];
+    double c2 = spline_coefs[base + 2];
+    double c3 = spline_coefs[base + 3];
+    double c4 = spline_coefs[base + 4];
+    double c5 = spline_coefs[base + 5];
+    double c6 = spline_coefs[base + 6];
+    double c7 = spline_coefs[base + 7];
+    double wsum = 0.0;
+    #pragma omp parallel for
+    for (int o = 0; o < n_orbitals; o++) {
+      double x = px * (double)(o + 1) * 0.37;
+      double y = py * (double)(o + 1) * 0.21;
+      orbital_vals[(w %% 256) * %d + o] =
+        orbital_value(x, y, pz, c0, c1, c2, c3, c4, c5, c6, c7);
+    }
+    #pragma omp parallel for
+    for (int o2 = 0; o2 < n_orbitals; o2++) {
+      double v = orbital_vals[(w %% 256) * %d + o2];
+      #pragma omp atomic
+      wsum += reduce_contrib(v, gsx, gsy);
+    }
+    reductions[w %% 512] = wsum + gsz * 0.001;
+  }
+  double checksum = 0.0;
+  for (int w = 0; w < n_walkers; w++) { checksum += reductions[w %% 512]; }
+  trace_f64(checksum);
+  return 0;
+}
+|}
+    (source_common ~coefs) coefs walkers orbitals teams threads (coefs - 8) orbitals
+    orbitals
+
+let cuda_source scale =
+  let walkers, orbitals, teams, threads = params scale in
+  let coefs = 1024 in
+  Printf.sprintf
+    {|%s
+int main() {
+  for (int i = 0; i < %d; i++) { spline_coefs[i] = (double)(i %% 23) * 0.04 + 0.3; }
+  for (int i = 0; i < 512; i++) { walker_pos[i] = (double)(i %% 29) * 0.11; }
+  int n_walkers = %d;
+  int n_orbitals = %d;
+  int n_work = n_walkers * n_orbitals;
+  #pragma omp target teams distribute parallel for num_teams(%d) thread_limit(%d)
+  for (int idx = 0; idx < n_work; idx++) {
+    int w = idx / n_orbitals;
+    int o = idx %% n_orbitals;
+    double px = walker_pos[(w * 3) %% 512];
+    double py = walker_pos[(w * 3 + 1) %% 512];
+    double pz = walker_pos[(w * 3 + 2) %% 512];
+    int base = (w * 8) %% %d;
+    double x = px * (double)(o + 1) * 0.37;
+    double y = py * (double)(o + 1) * 0.21;
+    orbital_vals[(w %% 256) * %d + o] =
+      orbital_value(x, y, pz, spline_coefs[base], spline_coefs[base + 1],
+                    spline_coefs[base + 2], spline_coefs[base + 3],
+                    spline_coefs[base + 4], spline_coefs[base + 5],
+                    spline_coefs[base + 6], spline_coefs[base + 7]);
+  }
+  #pragma omp target teams distribute parallel for num_teams(%d) thread_limit(%d)
+  for (int w = 0; w < n_walkers; w++) {
+    double gsx = 0.1 + (double)(w %% 3) * 0.01;
+    double gsy = 0.2 + (double)(w %% 5) * 0.01;
+    double wsum = 0.0;
+    for (int o2 = 0; o2 < n_orbitals; o2++) {
+      double v = orbital_vals[(w %% 256) * %d + o2];
+      wsum += reduce_contrib(v, gsx, gsy);
+    }
+    reductions[w %% 512] = wsum + 0.3 * 0.001;
+  }
+  double checksum = 0.0;
+  for (int w = 0; w < n_walkers; w++) { checksum += reductions[w %% 512]; }
+  trace_f64(checksum);
+  return 0;
+}
+|}
+    (source_common ~coefs) coefs walkers orbitals teams threads (coefs - 8) orbitals
+    teams threads orbitals
+
+let app : App.t =
+  {
+    App.name = "miniqmc";
+    description = "miniQMC: batched B-spline orbital evaluation (check_spo_batched)";
+    omp_source;
+    cuda_source;
+    expected_h2s = 3;
+    expected_h2shared = 18;
+    expected_spmdized = true;
+  }

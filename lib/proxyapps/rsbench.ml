@@ -1,0 +1,111 @@
+(* RSBench: the multipole-representation cross-section lookup, the compute
+   bound alternative to XSBench.  Seven locals are globalized by the
+   front-end (Fig. 9: 7 / 0); without HeapToStack every thread allocates
+   them from the device heap on each lookup, which reproduces the paper's
+   out-of-memory failure of the unoptimized build (Fig. 11b). *)
+
+let params = function
+  | App.Tiny -> (64, 48, 3, 6, 4, 8)  (* poles, lookups, nuclides, windows, teams, threads *)
+  | App.Bench -> (128, 512, 4, 4, 8, 64)
+
+let source ~scale =
+  let poles, lookups, nuclides, windows, teams, threads = params scale in
+  Printf.sprintf
+    {|
+double pole_re[%d];
+double pole_im[%d];
+double results[%d];
+
+static double lcg(long* seed) {
+  seed[0] = (seed[0] * 1103515245 + 12345) %% 2147483648;
+  return (double)(seed[0]) / 2147483648.0;
+}
+
+static void calculate_sig_t(double e, double* sigTfactors_re, double* sigTfactors_im) {
+  for (int w = 0; w < 4; w++) {
+    double phi = e * (double)(w + 1) * 3.14159265;
+    sigTfactors_re[w] = cos(phi);
+    sigTfactors_im[w] = 0.0 - sin(phi);
+  }
+}
+
+static void pole_contrib(double e, int idx, double sTre, double sTim,
+                         double inv_sqrt_e, double* acc) {
+  double psi[2];
+  double pr = pole_re[idx];
+  double pi = pole_im[idx];
+  psi[0] = pr * sTre - pi * sTim;
+  psi[1] = pr * sTim + pi * sTre;
+  acc[0] += psi[0] * inv_sqrt_e;
+  acc[1] += psi[1] * inv_sqrt_e;
+  acc[2] += psi[0] * psi[0] * 0.01;
+  acc[3] += psi[1] * psi[1] * 0.01;
+}
+
+static void calculate_micro_xs(double e, int nuc, double* micro_xs,
+                               double* sigTfactors_re, double* sigTfactors_im) {
+  double acc[4];
+  acc[0] = 0.0; acc[1] = 0.0; acc[2] = 0.0; acc[3] = 0.0;
+  double inv_sqrt_e = 1.0 / sqrt(e + 0.000001);
+  int per_window = %d / %d;
+  for (int w = 0; w < %d; w++) {
+    for (int p = 0; p < per_window; p++) {
+      int idx = (w * per_window + p + nuc * 7) %% %d;
+      pole_contrib(e, idx, sigTfactors_re[w %% 4], sigTfactors_im[w %% 4],
+                   inv_sqrt_e, acc);
+    }
+  }
+  micro_xs[0] = acc[0] + acc[2];
+  micro_xs[1] = acc[1] + acc[3];
+  micro_xs[2] = fabs(acc[0] - acc[3]);
+  micro_xs[3] = fabs(acc[1] - acc[2]);
+}
+
+static void calculate_macro_xs(double e, double* macro_xs) {
+  double micro_xs[4];
+  double sigTfactors_re[4];
+  double sigTfactors_im[4];
+  for (int c = 0; c < 4; c++) { macro_xs[c] = 0.0; }
+  calculate_sig_t(e, sigTfactors_re, sigTfactors_im);
+  for (int n = 0; n < %d; n++) {
+    calculate_micro_xs(e, n, micro_xs, sigTfactors_re, sigTfactors_im);
+    for (int c = 0; c < 4; c++) {
+      macro_xs[c] += micro_xs[c] * 0.25;
+    }
+  }
+}
+
+int main() {
+  for (int i = 0; i < %d; i++) {
+    pole_re[i] = (double)(i %% 31) * 0.03 + 0.2;
+    pole_im[i] = (double)(i %% 17) * 0.05 + 0.1;
+  }
+  int n_lookups = %d;
+  #pragma omp target teams distribute parallel for num_teams(%d) thread_limit(%d)
+  for (int i = 0; i < n_lookups; i++) {
+    long seed = i * 8121 + 28411;
+    double e = lcg(&seed);
+    double macro_xs[4];
+    calculate_macro_xs(e, macro_xs);
+    double m = 0.0;
+    for (int c = 0; c < 4; c++) { m += macro_xs[c]; }
+    results[i] = m;
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < n_lookups; i++) { checksum += results[i]; }
+  trace_f64(checksum);
+  return 0;
+}
+|}
+    poles poles lookups poles windows windows poles nuclides poles lookups teams threads
+
+let app : App.t =
+  {
+    App.name = "rsbench";
+    description = "RSBench: multipole cross-section lookup (compute bound)";
+    omp_source = (fun scale -> source ~scale);
+    cuda_source = (fun scale -> source ~scale);
+    expected_h2s = 7;
+    expected_h2shared = 0;
+    expected_spmdized = false;
+  }

@@ -1,0 +1,123 @@
+(* SU3Bench: the SU(3) matrix-matrix multiply micro benchmark from
+   MILC/Lattice QCD, "version 0" — the native CPU-style OpenMP kernel: a
+   teams-distribute loop over lattice sites whose body launches two very
+   lightweight parallel regions.  Generic-mode launch overhead dominates,
+   which is why SPMDzation delivers the paper's ~10x (Fig. 11c).
+
+   The CUDA variant flattens sites x elements into combined kernels. *)
+
+let params = function
+  | App.Tiny -> (32, 2, 8)  (* sites, teams, threads *)
+  | App.Bench -> (384, 8, 32)
+
+let preamble sites =
+  Printf.sprintf
+    {|
+double A[%d];
+double B[%d];
+double C[%d];
+double NORMS[%d];
+
+static double dot3(double* x, double* y) {
+  return x[0] * y[0] + x[1] * y[1] + x[2] * y[2];
+}
+
+static void site_mult(int site, int k) {
+  double arow[3];
+  double bcol[3];
+  int r = k / 3;
+  int c = k %% 3;
+  for (int j = 0; j < 3; j++) {
+    arow[j] = A[site * 9 + r * 3 + j];
+    bcol[j] = B[site * 9 + j * 3 + c];
+  }
+  C[site * 9 + k] = dot3(arow, bcol);
+}
+
+static void site_norm(int site, int k) {
+  double tmp[3];
+  double acc[1];
+  acc[0] = 0.0;
+  for (int j = 0; j < 3; j++) {
+    tmp[j] = C[site * 9 + (k %% 3) * 3 + j];
+    acc[0] += tmp[j] * tmp[j];
+  }
+  NORMS[site * 9 + k] = sqrt(acc[0]);
+}
+|}
+    (sites * 9) (sites * 9) (sites * 9) (sites * 9)
+
+let host_init sites =
+  Printf.sprintf
+    {|
+  for (int i = 0; i < %d; i++) {
+    A[i] = (double)(i %% 13) * 0.1 + 0.5;
+    B[i] = (double)(i %% 7) * 0.2 + 0.25;
+  }
+|}
+    (sites * 9)
+
+let host_checksum sites =
+  Printf.sprintf
+    {|
+  double checksum = 0.0;
+  for (int i = 0; i < %d; i++) { checksum += C[i] + NORMS[i]; }
+  trace_f64(checksum);
+  return 0;
+|}
+    (sites * 9)
+
+let omp_source scale =
+  let sites, teams, threads = params scale in
+  Printf.sprintf
+    {|%s
+int main() {
+%s
+  int n_sites = %d;
+  #pragma omp target teams distribute num_teams(%d) thread_limit(%d)
+  for (int site = 0; site < n_sites; site++) {
+    #pragma omp parallel for
+    for (int k = 0; k < 9; k++) {
+      site_mult(site, k);
+    }
+    #pragma omp parallel for
+    for (int k2 = 0; k2 < 9; k2++) {
+      site_norm(site, k2);
+    }
+  }
+%s
+}
+|}
+    (preamble sites) (host_init sites) sites teams threads (host_checksum sites)
+
+let cuda_source scale =
+  let sites, teams, threads = params scale in
+  Printf.sprintf
+    {|%s
+int main() {
+%s
+  int n_elems = %d;
+  #pragma omp target teams distribute parallel for num_teams(%d) thread_limit(%d)
+  for (int idx = 0; idx < n_elems; idx++) {
+    site_mult(idx / 9, idx %% 9);
+  }
+  #pragma omp target teams distribute parallel for num_teams(%d) thread_limit(%d)
+  for (int idx2 = 0; idx2 < n_elems; idx2++) {
+    site_norm(idx2 / 9, idx2 %% 9);
+  }
+%s
+}
+|}
+    (preamble sites) (host_init sites) (sites * 9) teams threads teams threads
+    (host_checksum sites)
+
+let app : App.t =
+  {
+    App.name = "su3bench";
+    description = "SU3Bench: SU(3) matrix-matrix multiply, CPU-style kernel (version 0)";
+    omp_source;
+    cuda_source;
+    expected_h2s = 4;
+    expected_h2shared = 3;  (* the captured site variable and two args buffers *)
+    expected_spmdized = true;
+  }

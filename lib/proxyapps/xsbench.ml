@@ -1,0 +1,91 @@
+(* XSBench: the continuous-energy macroscopic neutron cross-section lookup
+   of OpenMC, memory bound.  The kernel is the combined (SPMD) directive;
+   the optimization opportunities are the three globalized locals that
+   HeapToStack recovers: the RNG seed (address taken), the macroscopic
+   cross-section vector, and the microscopic vector inside the lookup
+   helper (Fig. 9: 3 / 0). *)
+
+let params = function
+  | App.Tiny -> (128, 64, 4, 4, 8)  (* grid, lookups, nuclides, teams, threads *)
+  | App.Bench -> (1024, 768, 8, 16, 32)
+
+let source ~scale =
+  let grid, lookups, nuclides, teams, threads = params scale in
+  Printf.sprintf
+    {|
+double egrid[%d];
+double xs_data[%d];
+double results[%d];
+
+static int grid_search(double e) {
+  int lo = 0;
+  int hi = %d;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (egrid[mid] < e) { lo = mid + 1; } else { hi = mid; }
+  }
+  return lo;
+}
+
+static void calculate_micro_xs(double e, int nuc, double* micro_xs) {
+  int idx = grid_search(e);
+  double f = e * %d.0 - (double)idx;
+  for (int c = 0; c < 5; c++) {
+    double v = xs_data[idx * 5 + c];
+    micro_xs[c] = v * (1.0 - f) + v * f * 0.5 + (double)nuc * 0.001;
+  }
+}
+
+static void calculate_macro_xs(double e, double* macro_xs) {
+  double micro_xs[5];
+  for (int c = 0; c < 5; c++) { macro_xs[c] = 0.0; }
+  for (int n = 0; n < %d; n++) {
+    calculate_micro_xs(e, n, micro_xs);
+    for (int c = 0; c < 5; c++) {
+      macro_xs[c] += micro_xs[c] * 0.125;
+    }
+  }
+}
+
+static double lcg(long* seed) {
+  seed[0] = (seed[0] * 1103515245 + 12345) %% 2147483648;
+  return (double)(seed[0]) / 2147483648.0;
+}
+
+int main() {
+  for (int i = 0; i < %d; i++) { egrid[i] = (double)i / %d.0; }
+  for (int j = 0; j < %d; j++) { xs_data[j] = (double)(j %% 97) * 0.01 + 0.1; }
+  int n_lookups = %d;
+  #pragma omp target teams distribute parallel for num_teams(%d) thread_limit(%d)
+  for (int i = 0; i < n_lookups; i++) {
+    long seed = i * 1337 + 42;
+    double e = lcg(&seed);
+    double macro_xs[5];
+    calculate_macro_xs(e, macro_xs);
+    double m = 0.0;
+    for (int c = 0; c < 5; c++) {
+      if (macro_xs[c] > m) { m = macro_xs[c]; }
+    }
+    results[i] = m;
+  }
+  double checksum = 0.0;
+  for (int i = 0; i < n_lookups; i++) { checksum += results[i]; }
+  trace_f64(checksum);
+  return 0;
+}
+|}
+    grid (grid * 5) lookups (grid - 1) grid nuclides grid grid (grid * 5) lookups teams
+    threads
+
+let app : App.t =
+  {
+    App.name = "xsbench";
+    description = "XSBench: event-based macroscopic cross-section lookup (memory bound)";
+    omp_source = (fun scale -> source ~scale);
+    (* the kernel is already written in kernel style: the CUDA build is the
+       same source compiled without OpenMP runtime overheads *)
+    cuda_source = (fun scale -> source ~scale);
+    expected_h2s = 3;
+    expected_h2shared = 0;
+    expected_spmdized = false;  (* already SPMD *)
+  }

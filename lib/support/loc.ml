@@ -1,0 +1,20 @@
+(* Source locations for MiniOMP programs and the remarks that reference them. *)
+
+type t = { file : string; line : int; col : int }
+
+let none = { file = "<unknown>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let is_none t = t.line = 0 && t.col = 0
+
+let pp ppf t =
+  if is_none t then Fmt.string ppf t.file
+  else Fmt.pf ppf "%s:%d:%d" t.file t.line t.col
+
+let to_string t = Fmt.str "%a" pp t
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c

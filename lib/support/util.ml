@@ -1,0 +1,50 @@
+(* Small utilities shared across the libraries. *)
+
+(* Fresh integer ids, one counter per generator. *)
+module Id_gen = struct
+  type t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let fresh t =
+    let id = t.next in
+    t.next <- t.next + 1;
+    id
+
+  let reserve t n = if n >= t.next then t.next <- n + 1
+end
+
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+
+let round_up_to value ~multiple =
+  if multiple <= 0 then invalid_arg "round_up_to";
+  (value + multiple - 1) / multiple * multiple
+
+(* [take_drop n xs] splits off the first [n] elements of [xs]. *)
+let take_drop n xs =
+  let rec loop acc n = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> loop (x :: acc) (n - 1) rest
+  in
+  loop [] n xs
+
+let list_sum f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+
+let list_max_opt f = function
+  | [] -> None
+  | x :: xs -> Some (List.fold_left (fun acc y -> max acc (f y)) (f x) xs)
+
+(* Topological-ish fixpoint driver: iterate [step] until it reports no change
+   or [max_iters] is exceeded (which signals a bug in a monotone analysis). *)
+let fixpoint ?(max_iters = 10_000) step =
+  let rec loop i =
+    if i > max_iters then failwith "Util.fixpoint: did not converge";
+    if step () then loop (i + 1)
+  in
+  loop 0
+
+let failf fmt = Fmt.kstr failwith fmt

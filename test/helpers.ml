@@ -1,0 +1,72 @@
+(* Shared test helpers: compile MiniOMP snippets, run them on the simulator,
+   and compare observable traces across build configurations. *)
+
+let compile ?(scheme = Frontend.Codegen.Simplified) src =
+  Frontend.Codegen.compile ~scheme ~file:"test.c" src
+
+let verify m =
+  match Ir.Verify.check m with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "verifier rejected module: %s" msg
+
+let optimize ?(options = Openmpopt.Pass_manager.default_options) m =
+  let report = Openmpopt.Pass_manager.run ~options m in
+  verify m;
+  report
+
+let simulate ?(machine = Gpusim.Machine.test_machine) m =
+  let sim = Gpusim.Interp.create machine m in
+  Gpusim.Interp.run_host sim;
+  sim
+
+(* Compile (+ optionally optimize) and return the sorted observable trace. *)
+let run_trace ?(scheme = Frontend.Codegen.Simplified) ?options src =
+  let m = compile ~scheme src in
+  verify m;
+  (match options with
+  | Some options -> ignore (optimize ~options m)
+  | None -> ());
+  let sim = simulate m in
+  Gpusim.Interp.trace_values sim
+  |> List.map (fun v ->
+         match v with
+         | Gpusim.Rvalue.I x -> Printf.sprintf "i:%Ld" x
+         | Gpusim.Rvalue.F x -> Printf.sprintf "f:%.9g" x
+         | v -> Fmt.str "%a" Gpusim.Rvalue.pp v)
+  |> List.sort String.compare
+
+let trace_testable = Alcotest.(list string)
+
+(* Assert that every configuration of a program observes the same trace. *)
+let assert_same_trace ?(schemes = [ Frontend.Codegen.Simplified ]) ?(option_sets = []) src =
+  let base = run_trace src in
+  List.iter
+    (fun scheme ->
+      Alcotest.check trace_testable
+        ("scheme " ^ Frontend.Codegen.scheme_name scheme)
+        base (run_trace ~scheme src))
+    schemes;
+  List.iter
+    (fun (label, options) ->
+      Alcotest.check trace_testable label base (run_trace ~options src))
+    option_sets
+
+let all_opt_variants =
+  let open Openmpopt.Pass_manager in
+  [
+    ("full", default_options);
+    ("no-spmd", { default_options with disable_spmdization = true });
+    ( "no-spmd,no-csm",
+      { default_options with disable_spmdization = true;
+        disable_state_machine_rewrite = true } );
+    ("no-deglob", { default_options with disable_deglobalization = true });
+    ("no-fold", { default_options with disable_folding = true });
+    ("no-group", { default_options with disable_guard_grouping = true });
+    ("no-internalize", { default_options with disable_internalization = true });
+    ("h2s-only", { default_options with disable_spmdization = true;
+                   disable_state_machine_rewrite = true; disable_folding = true;
+                   disable_heap_to_shared = true });
+  ]
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

@@ -1,0 +1,467 @@
+open Ir
+
+let parse text = Ir.Parser.parse_module text
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cg_module () =
+  parse
+    {|module "cg"
+declare void @__devrt_trace(i64)
+define internal void @leaf() {
+entry:
+  call void @__devrt_trace(i64 1)
+  ret
+}
+define internal void @mid() {
+entry:
+  call void @leaf()
+  ret
+}
+define internal void @recursive(%arg0 : i32) {
+entry:
+  %0 = icmp sgt i32 %arg0, i32 0
+  cbr %0, again, done
+again:
+  %1 = add i32 %arg0, i32 -1
+  call void @recursive(%1)
+  br done
+done:
+  ret
+}
+define internal void @indirect_site(%arg0 : ptr(generic)) {
+entry:
+  call void %arg0()
+  ret
+}
+define internal void @takes_addr() {
+entry:
+  call void @indirect_site(@leaf)
+  ret
+}
+define external void @root() {
+entry:
+  call void @mid()
+  call void @recursive(i32 3)
+  call void @takes_addr()
+  ret
+}
+|}
+
+let test_callgraph_edges () =
+  let m = cg_module () in
+  let cg = Analysis.Callgraph.compute m in
+  let callees n = Support.Util.String_set.elements (Analysis.Callgraph.callees cg n) in
+  Alcotest.(check (list string)) "mid calls leaf" [ "leaf" ] (callees "mid");
+  Alcotest.(check bool) "root reaches leaf" true
+    (Support.Util.String_set.mem "leaf"
+       (Analysis.Callgraph.reachable_from cg [ "root" ]));
+  Alcotest.(check bool) "leaf is address-taken" true
+    (Analysis.Callgraph.is_address_taken cg "leaf");
+  Alcotest.(check bool) "mid is not address-taken" false
+    (Analysis.Callgraph.is_address_taken cg "mid")
+
+let test_callgraph_indirect_conservative () =
+  let m = cg_module () in
+  let cg = Analysis.Callgraph.compute m in
+  (* the indirect call site points at every address-taken function *)
+  Alcotest.(check bool) "indirect_site may call leaf" true
+    (Support.Util.String_set.mem "leaf" (Analysis.Callgraph.callees cg "indirect_site"))
+
+let test_sccs () =
+  let m = cg_module () in
+  let cg = Analysis.Callgraph.compute m in
+  let sccs = Analysis.Callgraph.sccs cg in
+  (* every defined function appears exactly once *)
+  let all = List.concat sccs in
+  Alcotest.(check int) "partition" (List.length (Irmod.defined_funcs m)) (List.length all);
+  (* callees come before callers: leaf's component precedes mid's *)
+  let index name =
+    let rec find i = function
+      | [] -> -1
+      | comp :: rest -> if List.mem name comp then i else find (i + 1) rest
+    in
+    find 0 sccs
+  in
+  Alcotest.(check bool) "reverse topological" true (index "leaf" < index "mid");
+  Alcotest.(check bool) "root last-ish" true (index "mid" < index "root")
+
+let test_scc_self_loop () =
+  let m = cg_module () in
+  let cg = Analysis.Callgraph.compute m in
+  let sccs = Analysis.Callgraph.sccs cg in
+  let rec_comp = List.find (List.mem "recursive") sccs in
+  Alcotest.(check (list string)) "self-recursive singleton" [ "recursive" ] rec_comp
+
+(* ------------------------------------------------------------------ *)
+(* Execution domains                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let domain_module () =
+  Helpers.compile
+    {|
+double A[16];
+static double main_only_helper(double x) { return x + 1.0; }
+static double region_helper(double x) { return x * 2.0; }
+int main() {
+  int n = 4;
+  #pragma omp target teams distribute num_teams(2) thread_limit(4)
+  for (int i = 0; i < n; i++) {
+    double v = main_only_helper((double)i);
+    #pragma omp parallel for
+    for (int j = 0; j < 4; j++) {
+      A[i] = A[i] + region_helper(v);
+    }
+  }
+  return 0;
+}
+|}
+
+let test_exec_domain () =
+  let m = domain_module () in
+  let cg = Analysis.Callgraph.compute m in
+  let d = Analysis.Exec_domain.compute m cg in
+  Alcotest.(check bool) "main-only helper" true
+    (Analysis.Exec_domain.func_domain d "main_only_helper" = Analysis.Exec_domain.Main_only);
+  Alcotest.(check bool) "region helper is parallel" true
+    (Analysis.Exec_domain.func_domain d "region_helper" = Analysis.Exec_domain.Parallel);
+  (* the outlined region itself *)
+  Alcotest.(check bool) "outlined region recorded" true
+    (Analysis.Exec_domain.is_parallel_region d "__omp_outlined__0")
+
+let test_exec_domain_generic_prologue () =
+  let m = domain_module () in
+  let kernel = List.hd (Irmod.kernels m) in
+  match Analysis.Exec_domain.generic_prologue kernel with
+  | Some (main_l, worker_l) ->
+    Alcotest.(check bool) "labels differ" true (main_l <> worker_l)
+  | None -> Alcotest.fail "generic prologue not recognized"
+
+let test_exec_domain_spmd_kernel () =
+  let m =
+    Helpers.compile
+      {|
+double A[16];
+int main() {
+  #pragma omp target teams distribute parallel for num_teams(2) thread_limit(4)
+  for (int i = 0; i < 8; i++) { A[i] = (double)i; }
+  return 0;
+}
+|}
+  in
+  let cg = Analysis.Callgraph.compute m in
+  let d = Analysis.Exec_domain.compute m cg in
+  let kernel = List.hd (Irmod.kernels m) in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "all blocks parallel in SPMD" true
+        (Analysis.Exec_domain.instr_domain d kernel b = Analysis.Exec_domain.Parallel))
+    kernel.Func.blocks
+
+let test_exec_domain_external_poisoned () =
+  let m =
+    parse
+      {|module "x"
+define external void @exported() {
+entry:
+  ret
+}
+|}
+  in
+  let cg = Analysis.Callgraph.compute m in
+  let d = Analysis.Exec_domain.compute m cg in
+  Alcotest.(check bool) "external linkage means unknown callers" true
+    (Analysis.Exec_domain.func_domain d "exported" = Analysis.Exec_domain.Both)
+
+(* ------------------------------------------------------------------ *)
+(* Escape analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let escape_module () =
+  parse
+    {|module "esc"
+declare ptr(generic) @__kmpc_alloc_shared(i64)
+declare void @__kmpc_free_shared(ptr(generic), i64)
+declare void @unknown_external(ptr(generic))
+global external @slot : ptr(generic) in global = zeroinit
+define internal void @local_use() {
+entry:
+  %0 = call ptr(generic) @__kmpc_alloc_shared(i64 8)
+  store f64 f64 1.0, %0
+  %2 = load f64, %0
+  call void @__kmpc_free_shared(%0, i64 8)
+  ret
+}
+define internal void @stored_to_global() {
+entry:
+  %0 = call ptr(generic) @__kmpc_alloc_shared(i64 8)
+  store ptr(generic) %0, @slot
+  call void @__kmpc_free_shared(%0, i64 8)
+  ret
+}
+define internal void @reads_param(%arg0 : ptr(generic)) {
+entry:
+  %0 = load f64, %arg0
+  ret
+}
+define internal void @leaks_param(%arg0 : ptr(generic)) {
+entry:
+  call void @unknown_external(%arg0)
+  ret
+}
+define internal void @passes_to_reader() {
+entry:
+  %0 = call ptr(generic) @__kmpc_alloc_shared(i64 8)
+  call void @reads_param(%0)
+  call void @__kmpc_free_shared(%0, i64 8)
+  ret
+}
+define internal void @passes_to_leaker() {
+entry:
+  %0 = call ptr(generic) @__kmpc_alloc_shared(i64 8)
+  call void @leaks_param(%0)
+  call void @__kmpc_free_shared(%0, i64 8)
+  ret
+}
+define internal void @no_free(%arg0 : i1) {
+entry:
+  %0 = call ptr(generic) @__kmpc_alloc_shared(i64 8)
+  cbr %arg0, f, g
+f:
+  call void @__kmpc_free_shared(%0, i64 8)
+  br g
+g:
+  ret
+}
+define internal void @slot_holding() {
+entry:
+  %0 = call ptr(generic) @__kmpc_alloc_shared(i64 8)
+  %1 = alloca ptr(generic), 1
+  %2 = spacecast ptr(generic), %1
+  store ptr(generic) %0, %2
+  %4 = load ptr(generic), %2
+  store f64 f64 2.0, %4
+  call void @__kmpc_free_shared(%0, i64 8)
+  ret
+}
+|}
+
+let find_alloc f =
+  match
+    Ir.Func.fold_instrs f ~init:None ~g:(fun acc _ i ->
+        match i.Instr.kind with
+        | Instr.Call (_, Instr.Direct "__kmpc_alloc_shared", _) -> Some i
+        | _ -> acc)
+  with
+  | Some i -> i
+  | None -> Alcotest.fail "no allocation in function"
+
+let escape_verdict m fname =
+  let ctx = Analysis.Escape.create m in
+  let f = Irmod.find_func_exn m fname in
+  Analysis.Escape.pointer_escapes ctx f (find_alloc f)
+
+let test_escape_local_use () =
+  let m = escape_module () in
+  Alcotest.(check bool) "pure local use does not escape" true
+    (Analysis.Escape.is_no_escape (escape_verdict m "local_use"))
+
+let test_escape_global_store () =
+  let m = escape_module () in
+  Alcotest.(check bool) "store to global escapes" false
+    (Analysis.Escape.is_no_escape (escape_verdict m "stored_to_global"))
+
+let test_escape_interprocedural () =
+  let m = escape_module () in
+  Alcotest.(check bool) "passing to a reader is fine" true
+    (Analysis.Escape.is_no_escape (escape_verdict m "passes_to_reader"));
+  Alcotest.(check bool) "passing to a leaker escapes" false
+    (Analysis.Escape.is_no_escape (escape_verdict m "passes_to_leaker"))
+
+let test_escape_slot_holding () =
+  let m = escape_module () in
+  Alcotest.(check bool) "held in a private alloca slot: no escape" true
+    (Analysis.Escape.is_no_escape (escape_verdict m "slot_holding"))
+
+let test_free_reached () =
+  let m = escape_module () in
+  let check fname expected =
+    let f = Irmod.find_func_exn m fname in
+    Alcotest.(check bool) fname expected
+      (Analysis.Escape.free_always_reached f ~alloc:(find_alloc f)
+         ~free_name:"__kmpc_free_shared")
+  in
+  check "local_use" true;
+  check "no_free" false  (* a path skips the free *)
+
+let test_free_reached_in_loop () =
+  let m =
+    Helpers.compile
+      {|
+int main() {
+  #pragma omp target teams num_teams(1) thread_limit(2)
+  {
+    for (int i = 0; i < 3; i++) {
+      double v = (double)i;
+      #pragma omp parallel
+      { trace_f64(v); }
+    }
+  }
+  return 0;
+}
+|}
+  in
+  (* the kernel's per-iteration allocation is freed at the end of the scope;
+     the path-based check must accept the loop structure *)
+  let kernel = List.hd (Irmod.kernels m) in
+  let allocs =
+    Ir.Func.fold_instrs kernel ~init:[] ~g:(fun acc _ i ->
+        match i.Instr.kind with
+        | Instr.Call (_, Instr.Direct "__kmpc_alloc_shared", _) -> i :: acc
+        | _ -> acc)
+  in
+  Alcotest.(check bool) "kernel has allocations" true (allocs <> []);
+  List.iter
+    (fun alloc ->
+      Alcotest.(check bool) "freed in loop" true
+        (Analysis.Escape.free_always_reached kernel ~alloc
+           ~free_name:"__kmpc_free_shared"))
+    allocs
+
+(* ------------------------------------------------------------------ *)
+(* Effects / SPMD amenability                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_effects_classification () =
+  let m =
+    parse
+      {|module "eff"
+declare void @__devrt_trace(i64)
+declare ptr(generic) @__kmpc_alloc_shared(i64)
+declare i32 @__gpu_thread_id()
+declare void @some_external()
+global external @g : f64 in global = zeroinit
+define internal void @f() {
+entry:
+  %0 = alloca f64, 1
+  store f64 f64 1.0, %0
+  store f64 f64 1.0, @g
+  %3 = call i32 @__gpu_thread_id()
+  call void @__devrt_trace(i64 1)
+  %5 = call ptr(generic) @__kmpc_alloc_shared(i64 8)
+  call void @some_external()
+  ret
+}
+|}
+  in
+  let f = Irmod.find_func_exn m "f" in
+  let eff = Analysis.Effects.create () in
+  let classify_nth n =
+    Analysis.Effects.classify_instr eff m f (List.nth (Ir.Func.entry f).Block.instrs n)
+  in
+  Alcotest.(check bool) "alloca amenable" true (classify_nth 0 = Analysis.Effects.Amenable);
+  Alcotest.(check bool) "store to own alloca amenable" true
+    (classify_nth 1 = Analysis.Effects.Amenable);
+  Alcotest.(check bool) "store to global guardable" true
+    (classify_nth 2 = Analysis.Effects.Guardable);
+  Alcotest.(check bool) "pure query amenable" true (classify_nth 3 = Analysis.Effects.Amenable);
+  Alcotest.(check bool) "trace guardable" true (classify_nth 4 = Analysis.Effects.Guardable);
+  Alcotest.(check bool) "allocation guardable" true
+    (classify_nth 5 = Analysis.Effects.Guardable);
+  (match classify_nth 6 with
+  | Analysis.Effects.Blocking _ -> ()
+  | _ -> Alcotest.fail "external call should block SPMDzation")
+
+let test_effects_amenable_callee () =
+  let m =
+    parse
+      {|module "eff2"
+define internal f64 @pure_helper(%arg0 : f64) {
+entry:
+  %0 = fmul f64 %arg0, f64 2.0
+  ret %0
+}
+define internal void @caller() {
+entry:
+  %0 = call f64 @pure_helper(f64 1.0)
+  ret
+}
+|}
+  in
+  let f = Irmod.find_func_exn m "caller" in
+  let eff = Analysis.Effects.create () in
+  Alcotest.(check bool) "call to amenable function is amenable" true
+    (Analysis.Effects.classify_instr eff m f (List.hd (Ir.Func.entry f).Block.instrs)
+    = Analysis.Effects.Amenable)
+
+let test_effects_assumption_attr () =
+  let m =
+    parse
+      {|module "eff3"
+declare void @opaque() attrs(spmd_amenable)
+define internal void @caller() {
+entry:
+  call void @opaque()
+  ret
+}
+|}
+  in
+  let f = Irmod.find_func_exn m "caller" in
+  let eff = Analysis.Effects.create () in
+  Alcotest.(check bool) "ext_spmd_amenable assumption unblocks" true
+    (Analysis.Effects.classify_instr eff m f (List.hd (Ir.Func.entry f).Block.instrs)
+    = Analysis.Effects.Amenable)
+
+let test_may_sync () =
+  let m =
+    parse
+      {|module "sync"
+declare void @__kmpc_barrier()
+define internal void @with_barrier() {
+entry:
+  call void @__kmpc_barrier()
+  ret
+}
+define internal void @without() {
+entry:
+  %0 = add i32 i32 1, i32 1
+  ret
+}
+define internal void @transitively() {
+entry:
+  call void @with_barrier()
+  ret
+}
+|}
+  in
+  let get n = Irmod.find_func_exn m n in
+  Alcotest.(check bool) "direct barrier" true (Analysis.Effects.func_may_sync m (get "with_barrier"));
+  Alcotest.(check bool) "no sync" false (Analysis.Effects.func_may_sync m (get "without"));
+  Alcotest.(check bool) "transitive" true
+    (Analysis.Effects.func_may_sync m (get "transitively"))
+
+let suite =
+  [
+    Alcotest.test_case "callgraph edges" `Quick test_callgraph_edges;
+    Alcotest.test_case "callgraph indirect conservative" `Quick
+      test_callgraph_indirect_conservative;
+    Alcotest.test_case "sccs" `Quick test_sccs;
+    Alcotest.test_case "scc self loop" `Quick test_scc_self_loop;
+    Alcotest.test_case "exec domains" `Quick test_exec_domain;
+    Alcotest.test_case "generic prologue" `Quick test_exec_domain_generic_prologue;
+    Alcotest.test_case "spmd kernel domains" `Quick test_exec_domain_spmd_kernel;
+    Alcotest.test_case "external linkage poisons domain" `Quick
+      test_exec_domain_external_poisoned;
+    Alcotest.test_case "escape: local use" `Quick test_escape_local_use;
+    Alcotest.test_case "escape: global store" `Quick test_escape_global_store;
+    Alcotest.test_case "escape: interprocedural" `Quick test_escape_interprocedural;
+    Alcotest.test_case "escape: slot holding" `Quick test_escape_slot_holding;
+    Alcotest.test_case "free reached" `Quick test_free_reached;
+    Alcotest.test_case "free reached in loop" `Quick test_free_reached_in_loop;
+    Alcotest.test_case "effects classification" `Quick test_effects_classification;
+    Alcotest.test_case "effects amenable callee" `Quick test_effects_amenable_callee;
+    Alcotest.test_case "effects assumption attr" `Quick test_effects_assumption_attr;
+    Alcotest.test_case "may sync" `Quick test_may_sync;
+  ]

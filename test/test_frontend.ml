@@ -1,0 +1,561 @@
+open Frontend
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tokens src =
+  List.map (fun s -> s.Lexer.tok) (Lexer.tokenize ~file:"t.c" src)
+
+let test_lexer_basic () =
+  match tokens "int x = 42;" with
+  | [ Lexer.KW "int"; Lexer.IDENT "x"; Lexer.PUNCT "="; Lexer.INT_LIT 42L; Lexer.PUNCT ";";
+      Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_floats () =
+  (match tokens "1.5 2e3 1e-5 0.25" with
+  | [ Lexer.FLOAT_LIT a; Lexer.FLOAT_LIT b; Lexer.FLOAT_LIT c; Lexer.FLOAT_LIT d; Lexer.EOF ]
+    ->
+    Alcotest.(check (float 1e-9)) "1.5" 1.5 a;
+    Alcotest.(check (float 1e-9)) "2e3" 2000.0 b;
+    Alcotest.(check (float 1e-12)) "1e-5" 1e-5 c;
+    Alcotest.(check (float 1e-9)) "0.25" 0.25 d
+  | _ -> Alcotest.fail "float literals");
+  match tokens "123" with
+  | [ Lexer.INT_LIT 123L; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "integer literal"
+
+let test_lexer_comments () =
+  match tokens "int /* block \n comment */ x; // line\nint y;" with
+  | [ Lexer.KW "int"; Lexer.IDENT "x"; Lexer.PUNCT ";"; Lexer.KW "int"; Lexer.IDENT "y";
+      Lexer.PUNCT ";"; Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lexer_pragma () =
+  match tokens "#pragma omp target teams num_teams(4)\nint x;" with
+  | Lexer.PRAGMA ([ "target"; "teams"; "num_teams(4)" ], _) :: _ -> ()
+  | _ -> Alcotest.fail "pragma tokenization"
+
+let test_lexer_two_char_ops () =
+  match tokens "a <= b && c != d" with
+  | [ Lexer.IDENT "a"; Lexer.PUNCT "<="; Lexer.IDENT "b"; Lexer.PUNCT "&&"; Lexer.IDENT "c";
+      Lexer.PUNCT "!="; Lexer.IDENT "d"; Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "two-char operators"
+
+let test_lexer_error () =
+  match tokens "int $x;" with
+  | exception Lexer.Lex_error _ -> ()
+  | _ -> Alcotest.fail "expected lexer error"
+
+(* ------------------------------------------------------------------ *)
+(* Parser (AST level)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_prog src = Cparse.parse_program ~file:"t.c" src
+
+let test_parse_function () =
+  let p = parse_prog "static double f(int a, double* b) { return a + b[0]; }" in
+  match p.Ast.funcs with
+  | [ fd ] ->
+    Alcotest.(check string) "name" "f" fd.Ast.fname;
+    Alcotest.(check bool) "static" true fd.Ast.fstatic;
+    Alcotest.(check int) "params" 2 (List.length fd.Ast.fparams)
+  | _ -> Alcotest.fail "one function expected"
+
+let test_parse_globals () =
+  let p = parse_prog "double A[4][8];\nint counter;" in
+  match p.Ast.globals with
+  | [ a; c ] ->
+    Alcotest.(check bool) "2d array type" true
+      (a.Ast.gty = Ast.Tarr (Ast.Tarr (Ast.Tdouble, 8), 4));
+    Alcotest.(check bool) "scalar" true (c.Ast.gty = Ast.Tint)
+  | _ -> Alcotest.fail "two globals expected"
+
+let test_parse_precedence () =
+  let p = parse_prog "int f() { return 1 + 2 * 3 < 4 && 5 > 6; }" in
+  match p.Ast.funcs with
+  | [ { Ast.fbody = Some { s = Ast.Block [ { s = Ast.Return (Some e); _ } ]; _ }; _ } ] -> (
+    match e.Ast.e with
+    | Ast.Binary (Ast.Land, _, _) -> ()
+    | _ -> Alcotest.fail "&& should bind loosest")
+  | _ -> Alcotest.fail "structure"
+
+let test_parse_assumes () =
+  let p =
+    parse_prog "#pragma omp assume ext_spmd_amenable\nvoid f() { }\nvoid g() { }"
+  in
+  (match p.Ast.funcs with
+  | [ f; g ] ->
+    Alcotest.(check bool) "f has assumption" true (f.Ast.fassumes = [ Ast.A_spmd_amenable ]);
+    Alcotest.(check bool) "g does not" true (g.Ast.fassumes = [])
+  | _ -> Alcotest.fail "two functions")
+
+let test_parse_errors () =
+  let bad src =
+    match parse_prog src with
+    | exception Cparse.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  bad "int f( { }";
+  bad "int f() { return }";
+  bad "int f() { if x { } }";
+  bad "#pragma omp bogus\nint f() {}";
+  bad "int f() { for (;;) }"
+
+let test_free_vars () =
+  let p = parse_prog "int f(int a) { int b = a; { int c = b; b = c; } return b + g; }" in
+  match p.Ast.funcs with
+  | [ { Ast.fbody = Some body; _ } ] ->
+    let fv = Ast.stmt_free_vars body in
+    Alcotest.(check bool) "a free" true (Ast.SS.mem "a" fv);
+    Alcotest.(check bool) "g free" true (Ast.SS.mem "g" fv);
+    Alcotest.(check bool) "b bound" false (Ast.SS.mem "b" fv);
+    Alcotest.(check bool) "c bound" false (Ast.SS.mem "c" fv)
+  | _ -> Alcotest.fail "structure"
+
+let test_addr_taken () =
+  let p = parse_prog "void f() { int x; int y; g(&x); int* p = &y; }" in
+  match p.Ast.funcs with
+  | [ { Ast.fbody = Some body; _ } ] ->
+    let at = Ast.addr_taken_vars body in
+    Alcotest.(check bool) "x taken" true (Ast.SS.mem "x" at);
+    Alcotest.(check bool) "y taken" true (Ast.SS.mem "y" at)
+  | _ -> Alcotest.fail "structure"
+
+(* ------------------------------------------------------------------ *)
+(* Codegen: semantics via the simulator                                *)
+(* ------------------------------------------------------------------ *)
+
+let host_trace src = Helpers.run_trace src
+
+let test_arith_semantics () =
+  Alcotest.check Helpers.trace_testable "arith"
+    [ "i:-3"; "i:1"; "i:2"; "i:42"; "i:7" ]
+    (List.sort String.compare
+       (host_trace
+          {|
+int main() {
+  trace(6 * 7);
+  trace(15 % 4 - 2);    // 3 - 2
+  trace(10 / 5);        // 2
+  trace(1 - 4);         // -3
+  trace(23 % 8);        // 7
+  return 0;
+}
+|}))
+
+let test_float_semantics () =
+  Alcotest.check Helpers.trace_testable "floats"
+    [ "f:0.5"; "f:2"; "f:3.5" ]
+    (host_trace
+       {|
+int main() {
+  double a = 1.5;
+  double b = 2.0;
+  trace_f64(a + b);
+  trace_f64(a / 3.0);
+  trace_f64(b);
+  return 0;
+}
+|})
+
+let test_casts_and_promotions () =
+  Alcotest.check Helpers.trace_testable "conversions"
+    [ "f:2.5"; "i:2"; "i:3"; "i:5000000000" ]
+    (host_trace
+       {|
+int main() {
+  int i = 2;
+  double d = i + 0.5;
+  trace_f64(d);
+  trace((int)d);
+  trace((int)3.9);
+  long big = 5000000000;
+  trace(big);
+  return 0;
+}
+|})
+
+let test_control_flow () =
+  Alcotest.check Helpers.trace_testable "loops and branches"
+    [ "i:0"; "i:1"; "i:10"; "i:3" ]
+    (host_trace
+       {|
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 5; i++) { sum += i; }
+  trace(sum);                       // 10
+  int k = 0;
+  while (k < 3) { k++; }
+  trace(k);                         // 3
+  if (sum > 5) { trace(1); } else { trace(2); }
+  if (sum < 5) { trace(9); } else { trace(0); }
+  return 0;
+}
+|})
+
+let test_break_continue () =
+  Alcotest.check Helpers.trace_testable "break/continue"
+    [ "i:12" ]
+    (host_trace
+       {|
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i == 2) { continue; }
+    if (i == 6) { break; }
+    sum += i;    // 0+1+3+4+5 = 13 - 1 = ... 0+1+3+4+5 = 13
+  }
+  trace(sum - 1);  // 12
+  return 0;
+}
+|})
+
+let test_short_circuit () =
+  (* the right operand must not be evaluated when the left decides *)
+  Alcotest.check Helpers.trace_testable "short circuit"
+    [ "i:0"; "i:1"; "i:5" ]
+    (host_trace
+       {|
+int side_effect() { trace(5); return 1; }
+int main() {
+  int a = 0;
+  trace(a && side_effect());   // 0, no side effect
+  trace(1 || side_effect());   // 1, no side effect
+  if (1 && side_effect()) { }  // side effect exactly once
+  return 0;
+}
+|})
+
+let test_ternary_and_logical_not () =
+  Alcotest.check Helpers.trace_testable "cond"
+    [ "i:0"; "i:1"; "i:7"; "i:9" ]
+    (host_trace
+       {|
+int main() {
+  int x = 3;
+  trace(x > 2 ? 7 : 8);
+  trace(x < 2 ? 7 : 9);
+  trace(!x);
+  trace(!!x);
+  return 0;
+}
+|})
+
+let test_arrays_and_pointers () =
+  Alcotest.check Helpers.trace_testable "arrays"
+    [ "f:11"; "f:22"; "f:33" ]
+    (host_trace
+       {|
+double G[4];
+static void fill(double* p, int n) {
+  for (int i = 0; i < n; i++) { p[i] = (double)(i + 1) * 11.0; }
+}
+int main() {
+  fill(G, 3);
+  double* q = G;
+  trace_f64(q[0]);
+  trace_f64(*(q + 1));
+  trace_f64(G[2]);
+  return 0;
+}
+|})
+
+let test_multidim_arrays () =
+  Alcotest.check Helpers.trace_testable "2d array"
+    [ "f:5"; "f:6" ]
+    (host_trace
+       {|
+double M[2][3];
+int main() {
+  M[1][2] = 5.0;
+  M[0][0] = 6.0;
+  trace_f64(M[1][2]);
+  trace_f64(M[0][0]);
+  return 0;
+}
+|})
+
+let test_math_builtins () =
+  Alcotest.check Helpers.trace_testable "math"
+    [ "f:1.41421356"; "f:2"; "f:3"; "f:8" ]
+    (List.map
+       (fun s ->
+         (* truncate to 9 significant digits like the helper already does *)
+         s)
+       (host_trace
+          {|
+int main() {
+  trace_f64(sqrt(2.0));
+  trace_f64(fabs(-2.0));
+  trace_f64(fmax(1.0, 3.0));
+  trace_f64(pow(2.0, 3.0));
+  return 0;
+}
+|}))
+
+let test_local_arrays_on_device () =
+  (* a local array used in a combined kernel: globalized then recovered *)
+  Helpers.assert_same_trace
+    ~schemes:[ Frontend.Codegen.Simplified; Frontend.Codegen.Legacy; Frontend.Codegen.Cuda ]
+    {|
+double Out[8];
+int main() {
+  #pragma omp target teams distribute parallel for num_teams(2) thread_limit(4)
+  for (int i = 0; i < 8; i++) {
+    double acc[2];
+    acc[0] = (double)i;
+    acc[1] = acc[0] * 2.0;
+    Out[i] = acc[0] + acc[1];
+  }
+  double s = 0.0;
+  for (int i = 0; i < 8; i++) { s += Out[i]; }
+  trace_f64(s);
+  return 0;
+}
+|}
+
+let test_kernel_captures_by_value () =
+  Alcotest.check Helpers.trace_testable "scalar capture"
+    [ "f:30" ]
+    (host_trace
+       {|
+double Out[4];
+int main() {
+  int n = 4;
+  double scale = 2.5;
+  #pragma omp target teams distribute parallel for num_teams(1) thread_limit(4)
+  for (int i = 0; i < n; i++) { Out[i] = scale * (double)i; }
+  double s = 0.0;
+  for (int i = 0; i < n; i++) { s += Out[i]; }
+  trace_f64(s + 15.0);
+  return 0;
+}
+|})
+
+let test_generic_kernel_team_private () =
+  (* each team works on its own slice; team_val shared within the team *)
+  Helpers.assert_same_trace
+    ~schemes:[ Frontend.Codegen.Simplified; Frontend.Codegen.Legacy ]
+    {|
+double A[8];
+int main() {
+  #pragma omp target teams distribute num_teams(2) thread_limit(4)
+  for (int i = 0; i < 8; i++) {
+    double team_val = (double)(i * 10);
+    #pragma omp parallel for
+    for (int j = 0; j < 4; j++) {
+      #pragma omp atomic
+      team_val += 1.0;
+    }
+    A[i] = team_val;
+  }
+  for (int i = 0; i < 8; i++) { trace_f64(A[i]); }
+  return 0;
+}
+|}
+
+let test_barrier_in_region () =
+  Helpers.assert_same_trace ~schemes:[ Frontend.Codegen.Simplified ]
+    {|
+double Stage[4];
+double Out[4];
+int main() {
+  #pragma omp target teams num_teams(1) thread_limit(4)
+  {
+    #pragma omp parallel
+    {
+      int t = omp_get_thread_num();
+      Stage[t] = (double)(t + 1);
+      #pragma omp barrier
+      Out[t] = Stage[(t + 1) % 4];
+    }
+  }
+  for (int i = 0; i < 4; i++) { trace_f64(Out[i]); }
+  return 0;
+}
+|}
+
+let test_nested_parallel_serializes () =
+  (* a nested region runs sequentially on the encountering thread *)
+  Alcotest.check Helpers.trace_testable "nested"
+    [ "f:11" ]
+    (host_trace
+       {|
+double Out[1];
+int main() {
+  #pragma omp target teams num_teams(1) thread_limit(4)
+  {
+    #pragma omp parallel
+    {
+      if (omp_get_thread_num() == 0) {
+        #pragma omp parallel for
+        for (int i = 0; i < 4; i++) {
+          #pragma omp atomic
+          Out[0] += (double)i;   // nested: thread 0 runs 0+1+2+3
+        }
+      }
+      #pragma omp atomic
+      Out[0] += 1.0;             // all four threads
+    }
+  }
+  trace_f64(Out[0] + 1.0);  // 6 + 4 + 1 = 11
+  return 0;
+}
+|})
+
+let test_codegen_errors () =
+  let bad src =
+    match Helpers.compile src with
+    | exception Codegen.Error _ -> ()
+    | _ -> Alcotest.failf "expected codegen error"
+  in
+  bad "int main() { unknown_fn(); return 0; }";
+  bad "int main() { int x; return x(3); }";
+  bad {|int main() { #pragma omp target teams distribute
+        for (int i = 10; i > 0; i--) { } return 0; }|};
+  bad {|int f() { #pragma omp target teams
+        { return 3; } }|};
+  bad "int main() { break; return 0; }"
+
+let test_scheme_structural_differences () =
+  let src =
+    {|
+double A[4];
+static void touch(double* p) { p[0] += 1.0; }
+int main() {
+  #pragma omp target teams distribute parallel for num_teams(1) thread_limit(4)
+  for (int i = 0; i < 4; i++) {
+    double v = (double)i;
+    touch(&v);
+    A[i] = v;
+  }
+  return 0;
+}
+|}
+  in
+  let count_calls m name =
+    List.fold_left
+      (fun acc f ->
+        Ir.Func.fold_instrs f ~init:acc ~g:(fun acc _ i ->
+            match i.Ir.Instr.kind with
+            | Ir.Instr.Call (_, Ir.Instr.Direct n, _) when n = name -> acc + 1
+            | _ -> acc))
+      0 (Ir.Irmod.defined_funcs m)
+  in
+  let simplified = Helpers.compile ~scheme:Codegen.Simplified src in
+  let legacy = Helpers.compile ~scheme:Codegen.Legacy src in
+  let cuda = Helpers.compile ~scheme:Codegen.Cuda src in
+  Alcotest.(check bool) "simplified uses alloc_shared" true
+    (count_calls simplified "__kmpc_alloc_shared" > 0);
+  (* the legacy scheme guards globalization behind a runtime mode check: the
+     push exists statically on the generic-mode path, but an SPMD kernel
+     dynamically takes the (unsound) local fast path — see the Fig. 3 test *)
+  Alcotest.(check bool) "legacy outlined region carries the runtime mode check" true
+    (count_calls legacy "__kmpc_data_sharing_mode_check" > 0);
+  Alcotest.(check int) "cuda never globalizes" 0 (count_calls cuda "__kmpc_alloc_shared");
+  (* legacy generic-mode device functions do use the runtime check pattern *)
+  let legacy_generic =
+    Helpers.compile ~scheme:Codegen.Legacy
+      {|
+double A[4];
+static void touch(double* p) { double tmp[1]; tmp[0] = p[0]; p[0] = tmp[0] + 1.0; }
+int main() {
+  #pragma omp target teams num_teams(1) thread_limit(2)
+  {
+    double v = 1.0;
+    touch(&v);
+    A[0] = v;
+  }
+  return 0;
+}
+|}
+  in
+  Alcotest.(check bool) "legacy device fn uses mode check" true
+    (count_calls legacy_generic "__kmpc_data_sharing_mode_check" > 0)
+
+let test_kernel_modes () =
+  let m =
+    Helpers.compile
+      {|
+double A[4];
+int main() {
+  #pragma omp target teams distribute parallel for num_teams(1) thread_limit(2)
+  for (int i = 0; i < 4; i++) { A[i] = 1.0; }
+  #pragma omp target teams num_teams(1) thread_limit(2)
+  { A[0] = 2.0; }
+  return 0;
+}
+|}
+  in
+  match Ir.Irmod.kernels m with
+  | [ k1; k2 ] ->
+    let mode k = (Option.get k.Ir.Func.kernel).Ir.Func.exec_mode in
+    Alcotest.(check bool) "combined is SPMD" true (mode k1 = Ir.Func.Spmd);
+    Alcotest.(check bool) "teams-only is generic" true (mode k2 = Ir.Func.Generic)
+  | ks -> Alcotest.failf "expected 2 kernels, got %d" (List.length ks)
+
+(* property: random arithmetic expressions agree with a reference evaluator *)
+let arb_expr_ints =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 1 8) (pair (int_range 1 50) (int_range 0 3)))
+
+let prop_sum_pipeline ops =
+  (* builds: x starts at 1; per op: 0:add k, 1:sub k, 2:mul (k%7+1), 3:mod... *)
+  let body, expected =
+    List.fold_left
+      (fun (src, v) (k, op) ->
+        match op with
+        | 0 -> (src ^ Printf.sprintf "  x = x + %d;\n" k, v + k)
+        | 1 -> (src ^ Printf.sprintf "  x = x - %d;\n" k, v - k)
+        | 2 ->
+          let f = (k mod 7) + 1 in
+          (src ^ Printf.sprintf "  x = x * %d;\n" f, v * f)
+        | _ ->
+          let d = (k mod 9) + 1 in
+          (src ^ Printf.sprintf "  x = x %% %d;\n" d, v mod d))
+      ("", 1) ops
+  in
+  let src = Printf.sprintf "int main() {\n  int x = 1;\n%s  trace(x);\n  return 0;\n}" body in
+  Helpers.run_trace src = [ Printf.sprintf "i:%d" expected ]
+
+let suite =
+  [
+    Alcotest.test_case "lexer basic" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer floats" `Quick test_lexer_floats;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer pragma" `Quick test_lexer_pragma;
+    Alcotest.test_case "lexer two-char ops" `Quick test_lexer_two_char_ops;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "parse function" `Quick test_parse_function;
+    Alcotest.test_case "parse globals" `Quick test_parse_globals;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse assumes" `Quick test_parse_assumes;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "free variables" `Quick test_free_vars;
+    Alcotest.test_case "address taken" `Quick test_addr_taken;
+    Alcotest.test_case "arith semantics" `Quick test_arith_semantics;
+    Alcotest.test_case "float semantics" `Quick test_float_semantics;
+    Alcotest.test_case "casts and promotions" `Quick test_casts_and_promotions;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "break/continue" `Quick test_break_continue;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "ternary and not" `Quick test_ternary_and_logical_not;
+    Alcotest.test_case "arrays and pointers" `Quick test_arrays_and_pointers;
+    Alcotest.test_case "multidim arrays" `Quick test_multidim_arrays;
+    Alcotest.test_case "math builtins" `Quick test_math_builtins;
+    Alcotest.test_case "device local arrays" `Quick test_local_arrays_on_device;
+    Alcotest.test_case "kernel captures by value" `Quick test_kernel_captures_by_value;
+    Alcotest.test_case "team-private sharing" `Quick test_generic_kernel_team_private;
+    Alcotest.test_case "barrier in region" `Quick test_barrier_in_region;
+    Alcotest.test_case "nested parallel serializes" `Quick test_nested_parallel_serializes;
+    Alcotest.test_case "codegen errors" `Quick test_codegen_errors;
+    Alcotest.test_case "scheme structural differences" `Quick
+      test_scheme_structural_differences;
+    Alcotest.test_case "kernel modes" `Quick test_kernel_modes;
+    Helpers.qtest ~count:60 "random int pipelines" arb_expr_ints prop_sum_pipeline;
+  ]

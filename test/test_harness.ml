@@ -1,0 +1,86 @@
+(* Harness: configuration sets, relative-performance computation, and the
+   table renderers (smoke + shape assertions at tiny scale). *)
+
+let machine = Gpusim.Machine.test_machine
+let scale = Proxyapps.App.Tiny
+
+let test_config_sets () =
+  List.iter
+    (fun app ->
+      let configs = Harness.Config.fig11_configs app in
+      Alcotest.(check bool)
+        (app ^ " has an LLVM 12 baseline")
+        true
+        (List.exists (fun c -> c.Harness.Config.label = "LLVM 12") configs);
+      Alcotest.(check bool)
+        (app ^ " has the dev build")
+        true
+        (List.exists (fun c -> c.Harness.Config.label = "LLVM Dev 0") configs))
+    [ "xsbench"; "rsbench"; "su3bench"; "miniqmc" ]
+
+let test_relative () =
+  let app = Proxyapps.Apps.find_exn "xsbench" in
+  let baseline = Harness.Runner.run ~machine ~scale app Harness.Config.llvm12 in
+  let dev = Harness.Runner.run ~machine ~scale app Harness.Config.dev0 in
+  match Harness.Runner.relative ~baseline dev with
+  | Some r -> Alcotest.(check bool) "relative positive" true (r > 0.0)
+  | None -> Alcotest.fail "relative performance unavailable"
+
+let test_su3_shape () =
+  (* the headline result: SPMDzation gives an order-of-magnitude speedup on
+     the CPU-style SU3Bench kernel (Fig. 11c) *)
+  let app = Proxyapps.Apps.find_exn "su3bench" in
+  let baseline = Harness.Runner.run ~machine ~scale app Harness.Config.llvm12 in
+  let no_opt = Harness.Runner.run ~machine ~scale app Harness.Config.no_opt in
+  let dev = Harness.Runner.run ~machine ~scale app Harness.Config.dev0 in
+  let csm = Harness.Runner.run ~machine ~scale app Harness.Config.h2s2_rtc_csm_cfg in
+  let cuda = Harness.Runner.run ~machine ~scale app Harness.Config.cuda in
+  let rel m =
+    match Harness.Runner.relative ~baseline m with
+    | Some r -> r
+    | None -> Alcotest.fail "missing measurement"
+  in
+  Alcotest.(check bool) "no-opt is a regression" true (rel no_opt < 1.0);
+  Alcotest.(check bool) "SPMDzation beats CSM" true (rel dev > rel csm);
+  Alcotest.(check bool) "SPMDzation is a substantial win" true (rel dev > 2.0);
+  Alcotest.(check bool) "CUDA is the watermark" true (rel cuda > rel dev)
+
+let test_miniqmc_ordering () =
+  let app = Proxyapps.Apps.find_exn "miniqmc" in
+  let r cfg =
+    let baseline = Harness.Runner.run ~machine ~scale app Harness.Config.llvm12 in
+    match
+      Harness.Runner.relative ~baseline (Harness.Runner.run ~machine ~scale app cfg)
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "missing measurement"
+  in
+  let no_opt = r Harness.Config.no_opt in
+  let h2s = r Harness.Config.heap_2_stack in
+  let h2s2 = r Harness.Config.h2s2_cfg in
+  let spmd = r Harness.Config.dev0 in
+  Alcotest.(check bool) "no-opt slowest" true (no_opt < h2s2);
+  Alcotest.(check bool) "h2s alone is not enough (Fig. 11d)" true (h2s < h2s2);
+  Alcotest.(check bool) "full pipeline fastest" true (spmd >= h2s2)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_tables_render () =
+  let fig9 = Harness.Tables.fig9 ~machine ~scale () in
+  Alcotest.(check bool) "fig9 mentions all apps" true
+    (List.for_all (contains fig9) [ "xsbench"; "rsbench"; "su3bench"; "miniqmc" ]);
+  let fig11 = Harness.Tables.fig11 ~machine ~scale (Proxyapps.Apps.find_exn "xsbench") in
+  Alcotest.(check bool) "fig11 has the baseline row" true (contains fig11 "LLVM 12");
+  Alcotest.(check bool) "fig11 reports no mismatches" false (contains fig11 "MISMATCH")
+
+let suite =
+  [
+    Alcotest.test_case "config sets" `Quick test_config_sets;
+    Alcotest.test_case "relative performance" `Quick test_relative;
+    Alcotest.test_case "su3 shape" `Slow test_su3_shape;
+    Alcotest.test_case "miniqmc ordering" `Slow test_miniqmc_ordering;
+    Alcotest.test_case "tables render" `Slow test_tables_render;
+  ]

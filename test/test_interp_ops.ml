@@ -1,0 +1,288 @@
+(* Operational tests of the IR interpreter: every instruction kind exercised
+   through hand-written IR run on the host thread, with edge values. *)
+
+let run_ir body =
+  let text =
+    Printf.sprintf
+      {|module "t"
+declare void @__devrt_trace(i64)
+declare void @__devrt_trace_f64(f64)
+define external i32 @main() {
+%s
+}
+|}
+      body
+  in
+  let m = Ir.Parser.parse_module text in
+  Devrt.Registry.declare_in m;
+  (match Ir.Verify.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verifier: %s" e);
+  let sim = Gpusim.Interp.create Gpusim.Machine.test_machine m in
+  Gpusim.Interp.run_host sim;
+  Gpusim.Interp.trace_values sim
+
+let ints = Alcotest.testable Gpusim.Rvalue.pp (fun a b -> a = b)
+
+let check_ir name body expected = Alcotest.check (Alcotest.list ints) name expected (run_ir body)
+
+let i v = Gpusim.Rvalue.I v
+let f v = Gpusim.Rvalue.F v
+
+let test_int_arithmetic () =
+  check_ir "add wraps i32"
+    {|entry:
+  %0 = add i32 i32 2147483647, i32 1
+  %1 = sext i64, %0
+  call void @__devrt_trace(%1)
+  ret i32 0|}
+    [ i (-2147483648L) ];
+  check_ir "sdiv truncates toward zero"
+    {|entry:
+  %0 = sdiv i32 i32 -7, i32 2
+  %1 = sext i64, %0
+  call void @__devrt_trace(%1)
+  ret i32 0|}
+    [ i (-3L) ];
+  check_ir "srem keeps dividend sign"
+    {|entry:
+  %0 = srem i32 i32 -7, i32 3
+  %1 = sext i64, %0
+  call void @__devrt_trace(%1)
+  ret i32 0|}
+    [ i (-1L) ];
+  check_ir "udiv is unsigned"
+    {|entry:
+  %0 = udiv i32 i32 -2, i32 2
+  %1 = zext i64, %0
+  %2 = and i64 %1, i64 4294967295
+  call void @__devrt_trace(%2)
+  ret i32 0|}
+    [ i 2147483647L ]
+
+let test_shifts_and_bits () =
+  check_ir "shift amount masked"
+    {|entry:
+  %0 = shl i64 i64 1, i64 65
+  call void @__devrt_trace(%0)
+  ret i32 0|}
+    [ i 2L ];
+  check_ir "ashr sign extends"
+    {|entry:
+  %0 = ashr i64 i64 -8, i64 1
+  call void @__devrt_trace(%0)
+  ret i32 0|}
+    [ i (-4L) ];
+  check_ir "lshr is logical"
+    {|entry:
+  %0 = lshr i64 i64 -1, i64 60
+  call void @__devrt_trace(%0)
+  ret i32 0|}
+    [ i 15L ];
+  check_ir "xor/and/or"
+    {|entry:
+  %0 = xor i64 i64 12, i64 10
+  %1 = and i64 %0, i64 14
+  %2 = or i64 %1, i64 1
+  call void @__devrt_trace(%2)
+  ret i32 0|}
+    [ i 7L ]
+
+let test_division_by_zero_traps () =
+  match
+    run_ir
+      {|entry:
+  %0 = sdiv i32 i32 1, i32 0
+  ret i32 0|}
+  with
+  | exception Gpusim.Rvalue.Sim_error _ -> ()
+  | _ -> Alcotest.fail "expected a division-by-zero trap"
+
+let test_float_ops () =
+  check_ir "fdiv"
+    {|entry:
+  %0 = fdiv f64 f64 1.0, f64 4.0
+  call void @__devrt_trace_f64(%0)
+  ret i32 0|}
+    [ f 0.25 ];
+  check_ir "fptosi truncates"
+    {|entry:
+  %0 = fptosi i64, f64 -2.9
+  call void @__devrt_trace(%0)
+  ret i32 0|}
+    [ i (-2L) ];
+  check_ir "f32 arithmetic rounds"
+    {|entry:
+  %0 = fadd f32 f32 0.1, f32 0.2
+  %1 = fpext f64, %0
+  call void @__devrt_trace_f64(%1)
+  ret i32 0|}
+    [ f (Gpusim.Rvalue.to_f32 (Gpusim.Rvalue.to_f32 0.1 +. Gpusim.Rvalue.to_f32 0.2)) ]
+
+let test_comparisons () =
+  check_ir "signed vs unsigned compare"
+    {|entry:
+  %0 = icmp slt i32 i32 -1, i32 0
+  %1 = icmp ult i32 i32 -1, i32 0
+  %2 = zext i64, %0
+  %3 = zext i64, %1
+  call void @__devrt_trace(%2)
+  call void @__devrt_trace(%3)
+  ret i32 0|}
+    [ i 1L; i 0L ];
+  check_ir "fcmp one with nan"
+    {|entry:
+  %0 = fdiv f64 f64 0.0, f64 0.0
+  %1 = fcmp one f64 %0, f64 1.0
+  %2 = zext i64, %1
+  call void @__devrt_trace(%2)
+  ret i32 0|}
+    [ i 0L ]
+
+let test_select_and_switch () =
+  check_ir "select"
+    {|entry:
+  %0 = icmp sgt i32 i32 5, i32 3
+  %1 = select i64 %0, i64 11, i64 22
+  call void @__devrt_trace(%1)
+  ret i32 0|}
+    [ i 11L ];
+  check_ir "switch hits case and default"
+    {|entry:
+  %0 = add i64 i64 1, i64 1
+  switch %0, [1 -> one, 2 -> two], other
+one:
+  call void @__devrt_trace(i64 100)
+  ret i32 0
+two:
+  call void @__devrt_trace(i64 200)
+  ret i32 0
+other:
+  call void @__devrt_trace(i64 300)
+  ret i32 0|}
+    [ i 200L ]
+
+let test_memory_and_gep () =
+  check_ir "alloca/store/load with gep offsets"
+    {|entry:
+  %0 = alloca [4 x i64], 1
+  %1 = spacecast ptr(generic), %0
+  store i64 i64 7, %1
+  %3 = gep ptr(generic), %1, i64 8
+  store i64 i64 9, %3
+  %5 = load i64, %1
+  %6 = load i64, %3
+  %7 = add i64 %5, %6
+  call void @__devrt_trace(%7)
+  ret i32 0|}
+    [ i 16L ];
+  check_ir "i8 store and sign-extending load"
+    {|entry:
+  %0 = alloca i8, 1
+  store i8 i8 200, %0
+  %2 = load i8, %0
+  %3 = sext i64, %2
+  call void @__devrt_trace(%3)
+  ret i32 0|}
+    [ i (-56L) ]
+
+let test_atomicrmw_returns_old () =
+  check_ir "atomicrmw add yields old value"
+    {|entry:
+  %0 = alloca i64, 1
+  store i64 i64 40, %0
+  %2 = atomicrmw add i64 %0, i64 2
+  %3 = load i64, %0
+  call void @__devrt_trace(%2)
+  call void @__devrt_trace(%3)
+  ret i32 0|}
+    [ i 40L; i 42L ];
+  check_ir "atomicrmw max"
+    {|entry:
+  %0 = alloca i64, 1
+  store i64 i64 10, %0
+  %2 = atomicrmw max i64 %0, i64 7
+  %3 = load i64, %0
+  call void @__devrt_trace(%3)
+  ret i32 0|}
+    [ i 10L ]
+
+let test_calls_and_recursion () =
+  let m =
+    Ir.Parser.parse_module
+      {|module "r"
+declare void @__devrt_trace(i64)
+define internal i64 @fib(%arg0 : i64) {
+entry:
+  %0 = icmp sle i64 %arg0, i64 1
+  cbr %0, base, rec
+base:
+  ret %arg0
+rec:
+  %1 = sub i64 %arg0, i64 1
+  %2 = call i64 @fib(%1)
+  %3 = sub i64 %arg0, i64 2
+  %4 = call i64 @fib(%3)
+  %5 = add i64 %2, %4
+  ret %5
+}
+define external i32 @main() {
+entry:
+  %0 = call i64 @fib(i64 10)
+  call void @__devrt_trace(%0)
+  ret i32 0
+}
+|}
+  in
+  Devrt.Registry.declare_in m;
+  let sim = Gpusim.Interp.create Gpusim.Machine.test_machine m in
+  Gpusim.Interp.run_host sim;
+  Alcotest.check (Alcotest.list ints) "fib 10" [ i 55L ] (Gpusim.Interp.trace_values sim)
+
+let test_unreachable_traps () =
+  match
+    run_ir {|entry:
+  unreachable|}
+  with
+  | exception Gpusim.Rvalue.Sim_error _ -> ()
+  | _ -> Alcotest.fail "expected a trap on unreachable"
+
+(* property: bin op folding in the simplifier agrees with the interpreter *)
+let arb_binop =
+  QCheck.make
+    QCheck.Gen.(
+      triple (int_range 0 12) (map Int64.of_int (int_range (-1000) 1000))
+        (map Int64.of_int (int_range (-1000) 1000)))
+
+let prop_fold_matches_interp (opi, a, b) =
+  let op =
+    List.nth
+      [ Ir.Instr.Add; Ir.Instr.Sub; Ir.Instr.Mul; Ir.Instr.Sdiv; Ir.Instr.Srem;
+        Ir.Instr.Udiv; Ir.Instr.Urem; Ir.Instr.And; Ir.Instr.Or; Ir.Instr.Xor;
+        Ir.Instr.Shl; Ir.Instr.Lshr; Ir.Instr.Ashr ]
+      opi
+  in
+  match Openmpopt.Rvalue_fold.bin_int op a b with
+  | None -> b = 0L  (* division by zero is the only un-foldable case *)
+  | Some folded ->
+    let interp =
+      Gpusim.Rvalue.as_int
+        (Gpusim.Interp.exec_bin op Ir.Types.I64 (Gpusim.Rvalue.I a) (Gpusim.Rvalue.I b))
+    in
+    Gpusim.Rvalue.truncate_to Ir.Types.I64 folded = interp
+
+let suite =
+  [
+    Alcotest.test_case "int arithmetic" `Quick test_int_arithmetic;
+    Alcotest.test_case "shifts and bit ops" `Quick test_shifts_and_bits;
+    Alcotest.test_case "division by zero traps" `Quick test_division_by_zero_traps;
+    Alcotest.test_case "float ops" `Quick test_float_ops;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "select and switch" `Quick test_select_and_switch;
+    Alcotest.test_case "memory and gep" `Quick test_memory_and_gep;
+    Alcotest.test_case "atomicrmw" `Quick test_atomicrmw_returns_old;
+    Alcotest.test_case "calls and recursion" `Quick test_calls_and_recursion;
+    Alcotest.test_case "unreachable traps" `Quick test_unreachable_traps;
+    Helpers.qtest ~count:200 "constant folding agrees with the interpreter" arb_binop
+      prop_fold_matches_interp;
+  ]

@@ -1,0 +1,521 @@
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sizes () =
+  Alcotest.(check int) "i1" 1 (Types.size_of Types.I1);
+  Alcotest.(check int) "i8" 1 (Types.size_of Types.I8);
+  Alcotest.(check int) "i32" 4 (Types.size_of Types.I32);
+  Alcotest.(check int) "i64" 8 (Types.size_of Types.I64);
+  Alcotest.(check int) "f32" 4 (Types.size_of Types.F32);
+  Alcotest.(check int) "f64" 8 (Types.size_of Types.F64);
+  Alcotest.(check int) "ptr" 8 (Types.size_of (Types.Ptr Types.Generic));
+  Alcotest.(check int) "array" 40 (Types.size_of (Types.Arr (5, Types.F64)));
+  Alcotest.(check int) "nested array" 24 (Types.size_of (Types.Arr (2, Types.Arr (3, Types.I32))))
+
+let test_type_equal () =
+  Alcotest.(check bool) "ptr spaces differ" false
+    (Types.equal (Types.Ptr Types.Shared) (Types.Ptr Types.Local));
+  Alcotest.(check bool) "same array" true
+    (Types.equal (Types.Arr (4, Types.I8)) (Types.Arr (4, Types.I8)));
+  Alcotest.(check bool) "array length differs" false
+    (Types.equal (Types.Arr (4, Types.I8)) (Types.Arr (5, Types.I8)))
+
+let test_type_pp () =
+  Alcotest.(check string) "ptr" "ptr(shared)" (Types.to_string (Types.Ptr Types.Shared));
+  Alcotest.(check string) "arr" "[3 x f64]" (Types.to_string (Types.Arr (3, Types.F64)))
+
+let test_spaces () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        "space name roundtrip" true
+        (Types.space_of_name (Types.space_name s) = Some s))
+    [ Types.Generic; Types.Global; Types.Shared; Types.Local ]
+
+(* ------------------------------------------------------------------ *)
+(* Values and instructions                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_views () =
+  Alcotest.(check (option int64)) "as_int" (Some 42L) (Value.as_int (Value.i32 42));
+  Alcotest.(check (option int64)) "not int" None (Value.as_int (Value.f64 1.0));
+  Alcotest.(check bool) "null" true (Value.is_null (Value.null Types.Generic));
+  Alcotest.(check bool) "const ty" true
+    (Types.equal (Value.const_ty (Value.CInt (Types.I64, 7L))) Types.I64)
+
+let test_instr_result_ty () =
+  let mk kind = Instr.make ~id:0 kind in
+  Alcotest.(check bool) "alloca is local ptr" true
+    (Types.equal (Instr.result_ty (mk (Instr.Alloca (Types.I32, 1)))) (Types.Ptr Types.Local));
+  Alcotest.(check bool) "store is void" false
+    (Instr.has_result (mk (Instr.Store (Types.I32, Value.i32 0, Value.null Types.Generic))));
+  Alcotest.(check bool) "icmp is i1" true
+    (Types.equal
+       (Instr.result_ty (mk (Instr.Icmp (Instr.Eq, Types.I32, Value.i32 0, Value.i32 0))))
+       Types.I1)
+
+let test_instr_operands () =
+  let i =
+    Instr.make ~id:3
+      (Instr.Call (Types.Void, Instr.Indirect (Value.Reg 1), [ Value.Reg 2; Value.i32 5 ]))
+  in
+  Alcotest.(check int) "indirect callee is an operand" 3 (List.length (Instr.operands i));
+  Instr.map_operands
+    (fun v -> if Value.equal v (Value.Reg 2) then Value.Reg 9 else v)
+    i;
+  Alcotest.(check bool) "map_operands rewrote" true
+    (List.exists (Value.equal (Value.Reg 9)) (Instr.operands i))
+
+let test_mnemonic_roundtrips () =
+  let bins =
+    [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Sdiv; Instr.Srem; Instr.Udiv; Instr.Urem;
+      Instr.And; Instr.Or; Instr.Xor; Instr.Shl; Instr.Lshr; Instr.Ashr; Instr.Fadd;
+      Instr.Fsub; Instr.Fmul; Instr.Fdiv ]
+  in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "bin" true (Instr.bin_of_name (Instr.bin_name b) = Some b))
+    bins;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "icmp" true (Instr.icmp_of_name (Instr.icmp_name c) = Some c))
+    [ Instr.Eq; Instr.Ne; Instr.Slt; Instr.Sle; Instr.Sgt; Instr.Sge; Instr.Ult;
+      Instr.Ule; Instr.Ugt; Instr.Uge ];
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "cast" true (Instr.cast_of_name (Instr.cast_name c) = Some c))
+    [ Instr.Zext; Instr.Sext; Instr.Trunc; Instr.Sitofp; Instr.Fptosi; Instr.Fpext;
+      Instr.Fptrunc; Instr.Bitcast; Instr.Spacecast ]
+
+(* ------------------------------------------------------------------ *)
+(* Builder + function utilities                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build_simple_func () =
+  let f = Func.make "f" ~ret_ty:Types.I32 ~params:[ ("x", Types.I32) ] in
+  let b = Builder.create f in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  let slot = Builder.alloca b Types.I32 in
+  Builder.store b Types.I32 (Value.Arg 0) slot;
+  let v = Builder.load b Types.I32 slot in
+  let r = Builder.add b Types.I32 v (Value.i32 1) in
+  Builder.ret b (Some r);
+  f
+
+let test_builder () =
+  let f = build_simple_func () in
+  Alcotest.(check int) "one block" 1 (List.length f.Func.blocks);
+  Alcotest.(check int) "four instructions" 4 (List.length (Func.entry f).Block.instrs);
+  Alcotest.(check bool) "not a declaration" false (Func.is_declaration f)
+
+let test_replace_uses () =
+  let f = build_simple_func () in
+  (* replace the loaded value with a constant in all uses *)
+  let load_id =
+    Func.fold_instrs f ~init:(-1) ~g:(fun acc _ i ->
+        match i.Instr.kind with Instr.Load _ -> i.Instr.id | _ -> acc)
+  in
+  Func.replace_uses f ~old_v:(Value.Reg load_id) ~new_v:(Value.i32 41);
+  let uses = Func.uses_of f (Value.Reg load_id) in
+  Alcotest.(check int) "no uses remain" 0 (List.length uses)
+
+let test_block_successors () =
+  let b = Block.make "b" ~term:(Block.Cbr (Value.i1 true, "x", "y")) in
+  Alcotest.(check (list string)) "cbr" [ "x"; "y" ] (Block.successors b);
+  let b2 = Block.make "b" ~term:(Block.Cbr (Value.i1 true, "x", "x")) in
+  Alcotest.(check (list string)) "cbr same target deduped" [ "x" ] (Block.successors b2);
+  let b3 =
+    Block.make "b" ~term:(Block.Switch (Value.i32 0, [ (0L, "a"); (1L, "b") ], "d"))
+  in
+  Alcotest.(check (list string)) "switch" [ "a"; "b"; "d" ] (Block.successors b3)
+
+let test_module_utilities () =
+  let m = Irmod.create () in
+  Irmod.add_func m (build_simple_func ());
+  Alcotest.(check bool) "find" true (Irmod.find_func m "f" <> None);
+  Alcotest.check_raises "duplicate rejected" (Failure "Irmod.add_func: duplicate function f")
+    (fun () -> Irmod.add_func m (build_simple_func ()));
+  Alcotest.(check string) "fresh name avoids clash" "f.1" (Irmod.fresh_name m "f");
+  Irmod.remove_func m "f";
+  Alcotest.(check bool) "removed" true (Irmod.find_func m "f" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Printer / parser round-trip                                         *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip m =
+  let text = Printer.module_to_string m in
+  let m2 = Parser.parse_module text in
+  let text2 = Printer.module_to_string m2 in
+  Alcotest.(check string) "print/parse/print fixpoint" text text2
+
+let test_roundtrip_simple () =
+  let m = Irmod.create ~name:"rt" () in
+  Irmod.add_func m (build_simple_func ());
+  roundtrip m
+
+let test_roundtrip_rich () =
+  let text =
+    {|module "rich"
+global internal @g : [16 x f64] in shared = zeroinit
+global external @c : i32 in global = i32 7
+declare i32 @ext(i32, ptr(generic))
+define external void @k(%arg0 : i32) kernel(generic, teams=4, threads=32) attrs(noinline) {
+entry:
+  %0 = alloca [4 x i32], 1
+  %1 = spacecast ptr(generic), %0
+  store i32 %arg0, %1
+  %3 = load i32, %1
+  %4 = icmp sge i32 %3, i32 0
+  cbr %4, pos, neg
+pos:
+  %5 = call i32 @ext(%3, %1)
+  %6 = sitofp f64, %5
+  %7 = fmul f64 %6, f64 0x1p+1
+  store f64 %7, @g
+  br done
+neg:
+  %9 = select i32 %4, %3, i32 0
+  switch %9, [0 -> done, 1 -> pos], done
+done:
+  ret
+}
+|}
+  in
+  let m = Parser.parse_module text in
+  (match Verify.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rich module should verify: %s" e);
+  roundtrip m
+
+let test_roundtrip_compiled_program () =
+  let m =
+    Helpers.compile
+      {|
+double A[8];
+static double helper(double* p) { return p[0] * 2.0; }
+int main() {
+  int n = 4;
+  #pragma omp target teams distribute num_teams(2) thread_limit(4)
+  for (int i = 0; i < n; i++) {
+    double v = (double)i;
+    #pragma omp parallel for
+    for (int j = 0; j < 2; j++) {
+      #pragma omp atomic
+      v += helper(&v);
+    }
+    A[i] = v;
+  }
+  return 0;
+}
+|}
+  in
+  roundtrip m
+
+let test_parser_errors () =
+  let bad input =
+    match Parser.parse_module input with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" input
+  in
+  bad "module \"x\" define";
+  bad "module \"x\" global";
+  bad {|module "x" define internal void @f() { entry: %0 = bogus i32 %1, %2 ret }|};
+  bad {|module "x" define internal void @f() { entry: br }|};
+  bad {|module "x" define internal void @f() { entry: }|}
+
+let test_parse_values () =
+  let m =
+    Parser.parse_module
+      {|module "v"
+define internal f64 @f() {
+entry:
+  %0 = fadd f64 f64 1.5, f64 -2.0
+  %1 = select f64 i1 1, %0, undef(f64)
+  %2 = icmp eq ptr(generic) null(generic), null(generic)
+  ret %1
+}
+|}
+  in
+  match Verify.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "value forms should verify: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let expect_invalid text =
+  let m = Parser.parse_module text in
+  match Verify.check m with
+  | Ok () -> Alcotest.fail "verifier should have rejected the module"
+  | Error _ -> ()
+
+let test_verify_type_errors () =
+  expect_invalid
+    {|module "x"
+define internal void @f() {
+entry:
+  %0 = add i32 i32 1, i64 2
+  ret
+}
+|};
+  expect_invalid
+    {|module "x"
+define internal void @f() {
+entry:
+  %0 = fadd i32 i32 1, i32 2
+  ret
+}
+|};
+  expect_invalid
+    {|module "x"
+define internal void @f() {
+entry:
+  %0 = load i32, i32 5
+  ret
+}
+|}
+
+let test_verify_ret_mismatch () =
+  expect_invalid
+    {|module "x"
+define internal i32 @f() {
+entry:
+  ret
+}
+|};
+  expect_invalid
+    {|module "x"
+define internal i32 @f() {
+entry:
+  ret f64 1.0
+}
+|}
+
+let test_verify_bad_branch () =
+  expect_invalid
+    {|module "x"
+define internal void @f() {
+entry:
+  br nowhere
+}
+|}
+
+let test_verify_call_arity () =
+  expect_invalid
+    {|module "x"
+declare i32 @g(i32)
+define internal void @f() {
+entry:
+  %0 = call i32 @g(i32 1, i32 2)
+  ret
+}
+|}
+
+let test_verify_use_before_def () =
+  expect_invalid
+    {|module "x"
+define internal void @f() {
+entry:
+  %0 = add i32 %1, i32 1
+  %1 = add i32 i32 1, i32 1
+  ret
+}
+|}
+
+let test_verify_dominance_across_blocks () =
+  expect_invalid
+    {|module "x"
+define internal void @f(%arg0 : i1) {
+entry:
+  cbr %arg0, a, b
+a:
+  %0 = add i32 i32 1, i32 1
+  br b
+b:
+  %1 = add i32 %0, i32 1
+  ret
+}
+|}
+
+let test_verify_accepts_dominating_use () =
+  let m =
+    Parser.parse_module
+      {|module "x"
+define internal i32 @f(%arg0 : i1) {
+entry:
+  %0 = add i32 i32 1, i32 1
+  cbr %arg0, a, b
+a:
+  %1 = add i32 %0, i32 1
+  br b
+b:
+  %2 = add i32 %0, i32 2
+  ret %2
+}
+|}
+  in
+  match Verify.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "dominating uses should verify: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* CFG, dominators, liveness                                           *)
+(* ------------------------------------------------------------------ *)
+
+let diamond () =
+  Parser.parse_module
+    {|module "d"
+define internal i32 @f(%arg0 : i1) {
+entry:
+  %0 = add i32 i32 1, i32 0
+  cbr %arg0, left, right
+left:
+  %1 = add i32 %0, i32 1
+  br join
+right:
+  %2 = add i32 %0, i32 2
+  br join
+join:
+  %3 = add i32 %0, i32 3
+  ret %3
+}
+|}
+
+let test_cfg () =
+  let m = diamond () in
+  let f = Irmod.find_func_exn m "f" in
+  let cfg = Cfg.compute f in
+  Alcotest.(check (list string)) "preds of join" [ "left"; "right" ]
+    (List.sort String.compare (Cfg.preds cfg "join"));
+  Alcotest.(check (list string)) "succs of entry" [ "left"; "right" ]
+    (List.sort String.compare (Cfg.succs cfg "entry"));
+  Alcotest.(check bool) "entry first in RPO" true (List.hd cfg.Cfg.order = "entry")
+
+let test_dominators () =
+  let m = diamond () in
+  let f = Irmod.find_func_exn m "f" in
+  let cfg = Cfg.compute f in
+  let dom = Cfg.dominators cfg in
+  Alcotest.(check bool) "entry dominates join" true (Cfg.dominates dom ~by:"entry" "join");
+  Alcotest.(check bool) "left does not dominate join" false
+    (Cfg.dominates dom ~by:"left" "join");
+  Alcotest.(check bool) "join dominates itself" true (Cfg.dominates dom ~by:"join" "join")
+
+let test_prune_unreachable () =
+  let m =
+    Parser.parse_module
+      {|module "p"
+define internal void @f() {
+entry:
+  ret
+dead:
+  br dead2
+dead2:
+  ret
+}
+|}
+  in
+  let f = Irmod.find_func_exn m "f" in
+  Alcotest.(check bool) "pruned" true (Cfg.prune_unreachable f);
+  Alcotest.(check int) "one block left" 1 (List.length f.Func.blocks);
+  Alcotest.(check bool) "idempotent" false (Cfg.prune_unreachable f)
+
+let test_liveness_pressure () =
+  let m = diamond () in
+  let f = Irmod.find_func_exn m "f" in
+  let p = Liveness.max_pressure f in
+  Alcotest.(check bool) "pressure is small but positive" true (p >= 1 && p <= 4);
+  (* a function with many simultaneously live values *)
+  let m2 =
+    Parser.parse_module
+      {|module "p"
+define internal i32 @g() {
+entry:
+  %0 = add i32 i32 1, i32 1
+  %1 = add i32 i32 2, i32 2
+  %2 = add i32 i32 3, i32 3
+  %3 = add i32 i32 4, i32 4
+  %4 = add i32 %0, %1
+  %5 = add i32 %2, %3
+  %6 = add i32 %4, %5
+  ret %6
+}
+|}
+  in
+  let g = Irmod.find_func_exn m2 "g" in
+  Alcotest.(check bool) "wide expression has higher pressure" true
+    (Liveness.max_pressure g >= 4)
+
+(* property: round-trip of randomly generated straight-line functions *)
+let arb_straightline =
+  let open QCheck.Gen in
+  let gen =
+    list_size (int_range 1 20)
+      (oneof
+         [
+           map2 (fun a b -> `Add (a, b)) (int_bound 100) (int_bound 100);
+           map2 (fun a b -> `Mul (a, b)) (int_bound 100) (int_bound 100);
+           map (fun a -> `Cmp a) (int_bound 100);
+         ])
+  in
+  QCheck.make gen
+
+let prop_roundtrip_straightline ops =
+  let f = Func.make "gen" ~ret_ty:Types.Void ~params:[] in
+  let b = Builder.create f in
+  let entry = Builder.new_block b "entry" in
+  Builder.position_at_end b entry;
+  List.iter
+    (fun op ->
+      match op with
+      | `Add (x, y) -> ignore (Builder.add b Types.I32 (Value.i32 x) (Value.i32 y))
+      | `Mul (x, y) -> ignore (Builder.mul b Types.I64 (Value.i64 x) (Value.i64 y))
+      | `Cmp x ->
+        ignore (Builder.icmp b Instr.Slt Types.I32 (Value.i32 x) (Value.i32 50)))
+    ops;
+  Builder.ret b None;
+  let m = Irmod.create () in
+  Irmod.add_func m f;
+  let text = Printer.module_to_string m in
+  let m2 = Parser.parse_module text in
+  String.equal text (Printer.module_to_string m2)
+
+let suite =
+  [
+    Alcotest.test_case "type sizes" `Quick test_sizes;
+    Alcotest.test_case "type equality" `Quick test_type_equal;
+    Alcotest.test_case "type printing" `Quick test_type_pp;
+    Alcotest.test_case "address spaces" `Quick test_spaces;
+    Alcotest.test_case "value views" `Quick test_value_views;
+    Alcotest.test_case "instr result types" `Quick test_instr_result_ty;
+    Alcotest.test_case "instr operands" `Quick test_instr_operands;
+    Alcotest.test_case "mnemonic roundtrips" `Quick test_mnemonic_roundtrips;
+    Alcotest.test_case "builder" `Quick test_builder;
+    Alcotest.test_case "replace uses" `Quick test_replace_uses;
+    Alcotest.test_case "block successors" `Quick test_block_successors;
+    Alcotest.test_case "module utilities" `Quick test_module_utilities;
+    Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+    Alcotest.test_case "roundtrip rich module" `Quick test_roundtrip_rich;
+    Alcotest.test_case "roundtrip compiled program" `Quick test_roundtrip_compiled_program;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "parse value forms" `Quick test_parse_values;
+    Alcotest.test_case "verify type errors" `Quick test_verify_type_errors;
+    Alcotest.test_case "verify return mismatch" `Quick test_verify_ret_mismatch;
+    Alcotest.test_case "verify bad branch" `Quick test_verify_bad_branch;
+    Alcotest.test_case "verify call arity" `Quick test_verify_call_arity;
+    Alcotest.test_case "verify use before def" `Quick test_verify_use_before_def;
+    Alcotest.test_case "verify dominance" `Quick test_verify_dominance_across_blocks;
+    Alcotest.test_case "verify accepts dominating use" `Quick test_verify_accepts_dominating_use;
+    Alcotest.test_case "cfg" `Quick test_cfg;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "prune unreachable" `Quick test_prune_unreachable;
+    Alcotest.test_case "liveness pressure" `Quick test_liveness_pressure;
+    Helpers.qtest "roundtrip random straight-line" arb_straightline
+      prop_roundtrip_straightline;
+  ]

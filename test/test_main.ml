@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "ompgpu"
+    [
+      ("support", Test_support.suite);
+      ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("frontend", Test_frontend.suite);
+      ("gpusim", Test_gpusim.suite);
+      ("interp-ops", Test_interp_ops.suite);
+      ("openmpopt", Test_openmpopt.suite);
+      ("passes-ir", Test_passes_ir.suite);
+      ("proxyapps", Test_proxyapps.suite);
+      ("harness", Test_harness.suite);
+      ("wave3", Test_wave3.suite);
+      ("fuzz", Test_fuzz.suite);
+    ]

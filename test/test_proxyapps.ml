@@ -1,0 +1,151 @@
+(* Proxy applications: every app compiles and verifies in all schemes, the
+   optimization opportunity counts match the paper's Figure 9, and all build
+   configurations agree on the computed checksum. *)
+
+let scale = Proxyapps.App.Tiny
+
+let compile_ok app scheme source =
+  let m = Frontend.Codegen.compile ~scheme ~file:(app ^ ".c") source in
+  Helpers.verify m;
+  m
+
+let per_app_tests (app : Proxyapps.App.t) =
+  let name = app.Proxyapps.App.name in
+  [
+    Alcotest.test_case (name ^ ": compiles in all schemes") `Quick (fun () ->
+        ignore (compile_ok name Frontend.Codegen.Simplified (app.Proxyapps.App.omp_source scale));
+        ignore (compile_ok name Frontend.Codegen.Legacy (app.Proxyapps.App.omp_source scale));
+        ignore (compile_ok name Frontend.Codegen.Cuda (app.Proxyapps.App.cuda_source scale)));
+    Alcotest.test_case (name ^ ": Figure 9 opportunity counts") `Quick (fun () ->
+        let m =
+          compile_ok name Frontend.Codegen.Simplified (app.Proxyapps.App.omp_source scale)
+        in
+        let report = Helpers.optimize m in
+        Alcotest.(check int)
+          (name ^ " heap-to-stack")
+          app.Proxyapps.App.expected_h2s
+          report.Openmpopt.Pass_manager.heap_to_stack;
+        Alcotest.(check int)
+          (name ^ " heap-to-shared")
+          app.Proxyapps.App.expected_h2shared
+          report.Openmpopt.Pass_manager.heap_to_shared;
+        Alcotest.(check bool)
+          (name ^ " SPMDzed")
+          app.Proxyapps.App.expected_spmdized
+          (report.Openmpopt.Pass_manager.spmdized > 0);
+        Alcotest.(check bool)
+          (name ^ " has runtime-call folds")
+          true
+          (report.Openmpopt.Pass_manager.folds_exec_mode > 0
+          && report.Openmpopt.Pass_manager.folds_parallel_level > 0));
+    Alcotest.test_case (name ^ ": no missed opportunities") `Quick (fun () ->
+        let m =
+          compile_ok name Frontend.Codegen.Simplified (app.Proxyapps.App.omp_source scale)
+        in
+        let report = Helpers.optimize m in
+        let missed =
+          List.filter
+            (fun r -> r.Openmpopt.Remark.kind = Openmpopt.Remark.Missed)
+            report.Openmpopt.Pass_manager.remarks
+        in
+        Alcotest.(check (list string)) (name ^ " missed remarks") []
+          (List.map Openmpopt.Remark.to_string missed));
+    Alcotest.test_case (name ^ ": checksums agree across configs") `Quick (fun () ->
+        let machine = Gpusim.Machine.test_machine in
+        let configs =
+          [ Harness.Config.llvm12; Harness.Config.no_opt; Harness.Config.dev0;
+            Harness.Config.h2s2_cfg; Harness.Config.cuda ]
+        in
+        let ms = Harness.Runner.run_configs ~machine ~scale app configs in
+        let mismatches = Harness.Tables.check_consistency ms in
+        Alcotest.(check (list string)) (name ^ " consistency") [] mismatches;
+        (* at least the dev configuration must have succeeded *)
+        List.iter
+          (fun (m : Harness.Runner.measurement) ->
+            match m.Harness.Runner.outcome with
+            | Harness.Runner.Error msg ->
+              Alcotest.failf "%s/%s failed: %s" name m.Harness.Runner.config.Harness.Config.label
+                msg
+            | _ -> ())
+          ms);
+  ]
+
+let test_rsbench_oom_at_bench_scale () =
+  (* the paper's Figure 11b: the unoptimized build runs out of device heap *)
+  let app = Proxyapps.Apps.find_exn "rsbench" in
+  let m =
+    Harness.Runner.run ~machine:Gpusim.Machine.bench_machine ~scale:Proxyapps.App.Bench app
+      Harness.Config.no_opt
+  in
+  (match m.Harness.Runner.outcome with
+  | Harness.Runner.Oom _ -> ()
+  | _ -> Alcotest.fail "expected the unoptimized RSBench to run out of memory");
+  (* while heap-to-stack rescues it *)
+  let m2 =
+    Harness.Runner.run ~machine:Gpusim.Machine.bench_machine ~scale:Proxyapps.App.Bench app
+      Harness.Config.dev0
+  in
+  match m2.Harness.Runner.outcome with
+  | Harness.Runner.Ok _ -> ()
+  | _ -> Alcotest.fail "optimized RSBench must run"
+
+let test_apps_registry () =
+  Alcotest.(check int) "four applications" 4 (List.length Proxyapps.Apps.all);
+  Alcotest.(check bool) "find" true (Proxyapps.Apps.find "xsbench" <> None);
+  Alcotest.(check bool) "find unknown" true (Proxyapps.Apps.find "nope" = None)
+
+let suite =
+  List.concat_map per_app_tests Proxyapps.Apps.all
+  @ [
+      Alcotest.test_case "rsbench OOM at bench scale" `Slow test_rsbench_oom_at_bench_scale;
+      Alcotest.test_case "registry" `Quick test_apps_registry;
+    ]
+
+(* workload characterization, mirroring the paper's description: XSBench is
+   memory bound (dominated by uncached global loads), RSBench is the compute
+   bound alternative *)
+let test_memory_vs_compute_bound () =
+  (* at bench scale XSBench's cross-section table exceeds the read-only
+     cache while RSBench's pole data fits, so XSBench stalls on memory:
+     higher modeled cycles per retired instruction *)
+  let machine = Gpusim.Machine.bench_machine in
+  let cpi name =
+    let app = Proxyapps.Apps.find_exn name in
+    let m =
+      Harness.Runner.run ~machine ~scale:Proxyapps.App.Bench app Harness.Config.dev0
+    in
+    match m.Harness.Runner.outcome with
+    | Harness.Runner.Ok x ->
+      float_of_int x.Harness.Runner.cycles /. float_of_int (max 1 x.Harness.Runner.instructions)
+    | _ -> Alcotest.failf "%s should run" name
+  in
+  Alcotest.(check bool) "xsbench stalls on memory more than rsbench" true
+    (cpi "xsbench" > cpi "rsbench")
+
+let test_launch_dimensions_from_clauses () =
+  List.iter
+    (fun (name, expect_spmd) ->
+      let app = Proxyapps.Apps.find_exn name in
+      let m =
+        Frontend.Codegen.compile ~scheme:Frontend.Codegen.Simplified ~file:(name ^ ".c")
+          (app.Proxyapps.App.omp_source Proxyapps.App.Tiny)
+      in
+      match Ir.Irmod.kernels m with
+      | [ k ] ->
+        let info = Option.get k.Ir.Func.kernel in
+        Alcotest.(check bool) (name ^ " has constant launch bounds") true
+          (info.Ir.Func.num_teams <> None && info.Ir.Func.num_threads <> None);
+        Alcotest.(check bool)
+          (name ^ " front-end mode")
+          expect_spmd
+          (info.Ir.Func.exec_mode = Ir.Func.Spmd)
+      | ks -> Alcotest.failf "%s: expected 1 kernel, got %d" name (List.length ks))
+    [ ("xsbench", true); ("rsbench", true); ("su3bench", false); ("miniqmc", false) ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "memory vs compute bound" `Slow test_memory_vs_compute_bound;
+      Alcotest.test_case "launch bounds from clauses" `Quick
+        test_launch_dimensions_from_clauses;
+    ]

@@ -1,0 +1,65 @@
+open Support
+
+let test_round_up () =
+  Alcotest.(check int) "exact" 16 (Util.round_up_to 16 ~multiple:8);
+  Alcotest.(check int) "up" 16 (Util.round_up_to 9 ~multiple:8);
+  Alcotest.(check int) "zero" 0 (Util.round_up_to 0 ~multiple:8);
+  Alcotest.(check int) "one" 8 (Util.round_up_to 1 ~multiple:8)
+
+let test_round_up_invalid () =
+  Alcotest.check_raises "non-positive multiple" (Invalid_argument "round_up_to") (fun () ->
+      ignore (Util.round_up_to 5 ~multiple:0))
+
+let test_id_gen () =
+  let g = Util.Id_gen.create () in
+  Alcotest.(check int) "first" 0 (Util.Id_gen.fresh g);
+  Alcotest.(check int) "second" 1 (Util.Id_gen.fresh g);
+  Util.Id_gen.reserve g 10;
+  Alcotest.(check int) "after reserve" 11 (Util.Id_gen.fresh g);
+  Util.Id_gen.reserve g 3;
+  Alcotest.(check int) "reserve below is a no-op" 12 (Util.Id_gen.fresh g)
+
+let test_take_drop () =
+  Alcotest.(check (pair (list int) (list int)))
+    "split" ([ 1; 2 ], [ 3; 4 ]) (Util.take_drop 2 [ 1; 2; 3; 4 ]);
+  Alcotest.(check (pair (list int) (list int)))
+    "short" ([ 1 ], []) (Util.take_drop 5 [ 1 ])
+
+let test_fixpoint () =
+  let n = ref 0 in
+  Util.fixpoint (fun () ->
+      incr n;
+      !n < 5);
+  Alcotest.(check int) "iterations" 5 !n
+
+let test_fixpoint_diverges () =
+  Alcotest.check_raises "divergence detected" (Failure "Util.fixpoint: did not converge")
+    (fun () -> Util.fixpoint ~max_iters:10 (fun () -> true))
+
+let test_loc () =
+  let l = Loc.make ~file:"a.c" ~line:3 ~col:7 in
+  Alcotest.(check string) "render" "a.c:3:7" (Loc.to_string l);
+  Alcotest.(check bool) "none" true (Loc.is_none Loc.none);
+  Alcotest.(check bool) "not none" false (Loc.is_none l);
+  Alcotest.(check int) "compare equal" 0 (Loc.compare l l);
+  Alcotest.(check bool) "ordering" true
+    (Loc.compare l (Loc.make ~file:"a.c" ~line:4 ~col:0) < 0)
+
+let qcheck_round_up =
+  Helpers.qtest "round_up_to is the smallest multiple >= value"
+    QCheck.(pair (int_bound 10_000) (int_range 1 64))
+    (fun (v, m) ->
+      let r = Util.round_up_to v ~multiple:m in
+      r >= v && r mod m = 0 && r - v < m)
+
+let suite =
+  [
+    Alcotest.test_case "round_up_to" `Quick test_round_up;
+    Alcotest.test_case "round_up_to invalid" `Quick test_round_up_invalid;
+    Alcotest.test_case "id generator" `Quick test_id_gen;
+    Alcotest.test_case "take_drop" `Quick test_take_drop;
+    Alcotest.test_case "fixpoint" `Quick test_fixpoint;
+    Alcotest.test_case "fixpoint divergence" `Quick test_fixpoint_diverges;
+    Alcotest.test_case "locations" `Quick test_loc;
+    qcheck_round_up;
+  ]

@@ -1,0 +1,13 @@
+(* Dump a proxy application's MiniOMP source: gensrc <app> [tiny|bench] [omp|cuda] *)
+let () =
+  let app = Proxyapps.Apps.find_exn (try Sys.argv.(1) with _ -> "xsbench") in
+  let scale =
+    match (try Sys.argv.(2) with _ -> "tiny") with
+    | "bench" -> Proxyapps.App.Bench
+    | _ -> Proxyapps.App.Tiny
+  in
+  let variant = try Sys.argv.(3) with _ -> "omp" in
+  print_string
+    (match variant with
+    | "cuda" -> app.Proxyapps.App.cuda_source scale
+    | _ -> app.Proxyapps.App.omp_source scale)
