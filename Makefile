@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples clean
+.PHONY: all build test bench experiments examples ci clean
 
 all: build
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	dune runtest
+
+# what a gate should run: build everything, the full test suite, and a
+# reproducible (fixed-seed) longer fuzz pass
+ci:
+	dune build @all
+	dune runtest
+	FUZZ_SEED=42 FUZZ_ITERS=200 dune exec test/test_main.exe -- test fuzz
 
 # regenerate every table and figure of the paper's evaluation
 experiments:

@@ -96,9 +96,38 @@ let tables () =
   print_newline ();
   print_string (Harness.Tables.fig11_all ~machine ~scale ());
   print_newline ();
+  print_string (Harness.Tables.pass_breakdown_all ~machine ~scale ());
+  print_newline ();
   print_string (Harness.Tables.ablations ~machine ~scale ())
+
+(* Machine-readable perf trajectory: every app at bench scale under the
+   default developer build, with the pipeline trace attached, so future
+   changes can be diffed against this file. *)
+let observe_json path =
+  let scale = Proxyapps.App.Bench in
+  let records =
+    List.map
+      (fun app ->
+        Harness.Runner.json_of_measurement
+          (Harness.Runner.run ~machine ~scale ~with_trace:true app
+             Harness.Config.dev0))
+      Proxyapps.Apps.all
+  in
+  let json =
+    Observe.Json.Obj
+      [
+        ("scale", Observe.Json.String "bench");
+        ("config", Observe.Json.String Harness.Config.dev0.Harness.Config.label);
+        ("measurements", Observe.Json.List records);
+      ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Observe.Json.to_string json);
+      Out_channel.output_char oc '\n');
+  Fmt.pr "wrote %s@." path
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if not (List.mem "tables" args) then benchmark ();
-  tables ()
+  tables ();
+  observe_json "BENCH_observe.json"

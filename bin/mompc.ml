@@ -21,7 +21,7 @@ let scheme_conv =
   Arg.conv (parse, print)
 
 let run_compile file scheme optimize no_spmd no_deglob no_csm no_fold no_group emit_ir
-    run_sim remarks_only =
+    run_sim remarks_only stats_json print_trace =
   let src = In_channel.with_open_text file In_channel.input_all in
   match Frontend.Codegen.compile ~scheme ~file src with
   | exception Frontend.Codegen.Error (msg, loc) ->
@@ -39,6 +39,12 @@ let run_compile file scheme optimize no_spmd no_deglob no_csm no_fold no_group e
       Fmt.epr "verifier error (front end): %s@." msg;
       1
     | Ok () ->
+      (* the trace feeds both --trace (human-readable) and --stats-json *)
+      let trace =
+        if print_trace || stats_json <> None then Some (Observe.Trace.create ())
+        else None
+      in
+      let opt_report = ref None in
       if optimize then begin
         let options =
           {
@@ -50,39 +56,85 @@ let run_compile file scheme optimize no_spmd no_deglob no_csm no_fold no_group e
             disable_guard_grouping = no_group;
           }
         in
-        let report = Openmpopt.Pass_manager.run ~options m in
+        let report = Openmpopt.Pass_manager.run ~options ?trace m in
+        opt_report := Some report;
         List.iter
           (fun r -> Fmt.epr "%s@." (Openmpopt.Remark.to_string r))
           report.Openmpopt.Pass_manager.remarks;
         Fmt.epr "openmp-opt: %a@." Openmpopt.Pass_manager.pp_report report;
-        match Ir.Verify.check m with
+        (match Ir.Verify.check m with
         | Error msg ->
           Fmt.epr "verifier error (after openmp-opt): %s@." msg;
           exit 1
-        | Ok () -> ()
+        | Ok () -> ());
+        if print_trace then
+          Option.iter
+            (fun tr ->
+              Fmt.epr "openmp-opt trace:@.";
+              List.iter
+                (fun e -> Fmt.epr "  %a@." Observe.Trace.pp_event e)
+                (Observe.Trace.events tr))
+            trace
       end;
       if emit_ir && not remarks_only then Fmt.pr "%a" Ir.Printer.pp_module m;
-      if run_sim then begin
-        let sim = Gpusim.Interp.create Gpusim.Machine.bench_machine m in
-        match Gpusim.Interp.run_host sim with
-        | exception Gpusim.Mem.Out_of_memory msg ->
-          Fmt.epr "device out of memory: %s@." msg;
-          exit 3
-        | () ->
-          Fmt.pr "; kernel cycles: %d@." (Gpusim.Interp.total_kernel_cycles sim);
-          List.iter
-            (fun (s : Gpusim.Interp.launch_stats) ->
-              Fmt.pr
-                "; %s: cycles=%d regs=%d smem=%dB heap=%dB instrs=%d barriers=%d@."
-                s.Gpusim.Interp.kernel_name s.Gpusim.Interp.cycles
-                s.Gpusim.Interp.registers s.Gpusim.Interp.shared_bytes
-                s.Gpusim.Interp.heap_high_water s.Gpusim.Interp.instructions
-                s.Gpusim.Interp.barriers)
-            sim.Gpusim.Interp.kernel_stats;
-          Fmt.pr "; trace:%a@."
-            (Fmt.list ~sep:Fmt.sp Gpusim.Rvalue.pp)
-            (Gpusim.Interp.trace_values sim)
-      end;
+      let sim_result =
+        if run_sim then begin
+          let sim = Gpusim.Interp.create Gpusim.Machine.bench_machine m in
+          match Gpusim.Interp.run_host sim with
+          | exception Gpusim.Mem.Out_of_memory msg ->
+            Fmt.epr "device out of memory: %s@." msg;
+            exit 3
+          | () ->
+            Fmt.pr "; kernel cycles: %d@." (Gpusim.Interp.total_kernel_cycles sim);
+            List.iter
+              (fun (s : Gpusim.Interp.launch_stats) ->
+                Fmt.pr
+                  "; %s: cycles=%d regs=%d smem=%dB heap=%dB instrs=%d barriers=%d \
+                   atomics=%d div-branches=%d@."
+                  s.Gpusim.Interp.kernel_name s.Gpusim.Interp.cycles
+                  s.Gpusim.Interp.registers s.Gpusim.Interp.shared_bytes
+                  s.Gpusim.Interp.heap_high_water s.Gpusim.Interp.instructions
+                  s.Gpusim.Interp.barriers
+                  (s.Gpusim.Interp.atomics_global + s.Gpusim.Interp.atomics_shared)
+                  s.Gpusim.Interp.divergent_branches)
+              sim.Gpusim.Interp.kernel_stats;
+            Fmt.pr "; trace:%a@."
+              (Fmt.list ~sep:Fmt.sp Gpusim.Rvalue.pp)
+              (Gpusim.Interp.trace_values sim);
+            Some sim
+        end
+        else None
+      in
+      (match stats_json with
+      | None -> ()
+      | Some path ->
+        let json =
+          Observe.Json.Obj
+            ([
+               ("file", Observe.Json.String file);
+               ( "scheme",
+                 Observe.Json.String (Frontend.Codegen.scheme_name scheme) );
+               ( "report",
+                 match !opt_report with
+                 | Some r -> Openmpopt.Pass_manager.report_to_json r
+                 | None -> Observe.Json.Null );
+               ( "passes",
+                 match trace with
+                 | Some tr -> Observe.Trace.to_json tr
+                 | None -> Observe.Json.List [] );
+             ]
+            @
+            match sim_result with
+            | Some sim -> [ ("sim", Gpusim.Stats.json_of_sim sim) ]
+            | None -> [])
+        in
+        try
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Observe.Json.to_string json);
+              Out_channel.output_char oc '\n')
+        with Sys_error msg ->
+          Fmt.epr "cannot write stats: %s@." msg;
+          exit 2);
       0)
 
 let file_arg =
@@ -113,6 +165,15 @@ let cmd =
           "Disable side-effect grouping before guard generation (Fig. 7)"
       $ Arg.(value & opt bool true & info [ "emit-ir" ] ~doc:"Print the final MiniIR")
       $ flag [ "run" ] "Execute on the GPU simulator and print kernel statistics"
-      $ flag [ "remarks-only" ] "Suppress IR output; print only remarks")
+      $ flag [ "remarks-only" ] "Suppress IR output; print only remarks"
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "stats-json" ] ~docv:"FILE"
+              ~doc:
+                "Write per-round/per-pass pipeline events, the report \
+                 counters and (with $(b,--run)) per-kernel simulator \
+                 cost-model counters as JSON to $(docv)")
+      $ flag [ "trace" ] "Print the per-pass pipeline trace to stderr")
 
 let () = exit (Cmd.eval' cmd)

@@ -11,6 +11,8 @@
 
 open Ir
 module SS = Support.Util.String_set
+(* stable identifier used by the Observe trace layer *)
+let pass_name = "dedup"
 
 (* Queries that return the same value on every call within one kernel
    execution for a fixed thread. *)

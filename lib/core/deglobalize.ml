@@ -10,6 +10,8 @@
    global, and its deallocations are removed. *)
 
 open Ir
+(* stable identifier used by the Observe trace layer *)
+let pass_name = "deglobalize"
 
 type result = {
   mutable to_stack : int;

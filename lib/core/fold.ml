@@ -17,6 +17,8 @@
 open Ir
 module SM = Support.Util.String_map
 module SS = Support.Util.String_set
+(* stable identifier used by the Observe trace layer *)
+let pass_name = "fold"
 
 type counts = {
   mutable exec_mode : int;

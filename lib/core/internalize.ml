@@ -5,6 +5,8 @@
    "could be called from anywhere". *)
 
 open Ir
+(* stable identifier used by the Observe trace layer *)
+let pass_name = "internalize"
 
 let clone_func (f : Func.t) new_name =
   let g =

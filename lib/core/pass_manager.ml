@@ -81,6 +81,52 @@ let empty_report =
     dead_regions = 0;
   }
 
+(* The int fields of the report, as named counters.  Order is stable; the
+   trace layer diffs two of these lists to get per-pass increments, and the
+   JSON export reuses the names as keys. *)
+let counters_of_report (r : report) =
+  [
+    ("internalized", r.internalized);
+    ("heap_to_stack", r.heap_to_stack);
+    ("heap_to_shared", r.heap_to_shared);
+    ("shared_bytes", r.shared_bytes);
+    ("spmdized", r.spmdized);
+    ("guards", r.guards);
+    ("custom_state_machines", r.custom_state_machines);
+    ("csm_fallbacks", r.csm_fallbacks);
+    ("folds_exec_mode", r.folds_exec_mode);
+    ("folds_parallel_level", r.folds_parallel_level);
+    ("folds_thread_exec", r.folds_thread_exec);
+    ("folds_launch_bounds", r.folds_launch_bounds);
+    ("deduplicated_calls", r.deduplicated_calls);
+    ("dead_regions", r.dead_regions);
+  ]
+
+let report_to_json (r : report) =
+  let kind_name = function
+    | Remark.Passed -> "passed"
+    | Remark.Missed -> "missed"
+    | Remark.Analysis -> "analysis"
+  in
+  Observe.Json.Obj
+    (List.map (fun (k, v) -> (k, Observe.Json.Int v)) (counters_of_report r)
+    @ [
+        ( "remarks",
+          Observe.Json.List
+            (List.map
+               (fun (rm : Remark.t) ->
+                 Observe.Json.Obj
+                   [
+                     ("id", Observe.Json.Int rm.Remark.id);
+                     ("kind", Observe.Json.String (kind_name rm.Remark.kind));
+                     ("func", Observe.Json.String rm.Remark.func);
+                     ( "loc",
+                       Observe.Json.String (Support.Loc.to_string rm.Remark.loc) );
+                     ("message", Observe.Json.String rm.Remark.message);
+                   ])
+               r.remarks) );
+      ])
+
 let pp_report ppf r =
   Fmt.pf ppf
     "internalized=%d h2s=%d h2shared=%d(%dB) spmdized=%d(guards=%d) csm=%d(fallback=%d) \
@@ -109,14 +155,36 @@ let flag_unknown_runtime_calls (m : Ir.Irmod.t) (sink : Remark.sink) =
           | _ -> ()))
     (Ir.Irmod.defined_funcs m)
 
-let run ?(options = default_options) (m : Ir.Irmod.t) : report =
+let run ?(options = default_options) ?trace (m : Ir.Irmod.t) : report =
   let sink = Remark.sink () in
   let report = ref empty_report in
-  flag_unknown_runtime_calls m sink;
-  let internalized =
-    if options.disable_internalization then 0 else Internalize.run m sink
+  (* Wrap one pass invocation: when a trace is attached, snapshot the module
+     and the counters around [f] and record the deltas as one event.  The
+     analyses a pass recomputes run inside the window, so the event's time
+     includes them (that is the cost the pipeline actually pays). *)
+  let instrument ~round ~pass f =
+    match trace with
+    | None -> f ()
+    | Some tr ->
+      let before = Observe.Trace.snapshot m in
+      let c0 = counters_of_report !report in
+      let remarks0 = List.length (Remark.all sink) in
+      let t0 = Sys.time () in
+      f ();
+      let time_s = Sys.time () -. t0 in
+      let after = Observe.Trace.snapshot m in
+      let counters =
+        List.map2
+          (fun (k, old_v) (_, new_v) -> (k, new_v - old_v))
+          c0 (counters_of_report !report)
+        @ [ ("remarks", List.length (Remark.all sink) - remarks0) ]
+      in
+      ignore (Observe.Trace.record_pass tr ~round ~pass ~time_s ~before ~after ~counters)
   in
-  report := { !report with internalized };
+  flag_unknown_runtime_calls m sink;
+  if not options.disable_internalization then
+    instrument ~round:0 ~pass:Internalize.pass_name (fun () ->
+        report := { !report with internalized = Internalize.run m sink });
   let add_folds counts =
     report :=
       {
@@ -127,68 +195,67 @@ let run ?(options = default_options) (m : Ir.Irmod.t) : report =
         folds_launch_bounds = !report.folds_launch_bounds + counts.Fold.launch_bounds;
       }
   in
-  for _round = 1 to options.rounds do
+  for round = 1 to options.rounds do
+    let domains () =
+      let cg = Analysis.Callgraph.compute m in
+      Analysis.Exec_domain.compute m cg
+    in
+    let instrument ~pass f = instrument ~round ~pass f in
     (* mode-invariant folds first: pruning the sequential fallbacks before
        deglobalization avoids double-counted allocation sites *)
     if not options.disable_folding then begin
-      let cg = Analysis.Callgraph.compute m in
-      let domains = Analysis.Exec_domain.compute m cg in
-      add_folds (Fold.run ~fold_exec_mode:false m domains);
-      ignore (Simplify.run m)
+      instrument ~pass:(Fold.pass_name ^ "-early") (fun () ->
+          add_folds (Fold.run ~fold_exec_mode:false m (domains ())));
+      instrument ~pass:Simplify.pass_name (fun () -> ignore (Simplify.run m))
     end;
-    let cg = Analysis.Callgraph.compute m in
-    let domains = Analysis.Exec_domain.compute m cg in
-    if not options.disable_deglobalization then begin
-      let res =
-        Deglobalize.run m domains sink
-          ~heap_to_shared:(not options.disable_heap_to_shared)
-      in
-      report :=
-        {
-          !report with
-          heap_to_stack = !report.heap_to_stack + res.Deglobalize.to_stack;
-          heap_to_shared = !report.heap_to_shared + res.Deglobalize.to_shared;
-          shared_bytes = !report.shared_bytes + res.Deglobalize.shared_bytes;
-        }
-    end;
-    (* recompute domains: deglobalization changes instructions *)
-    let cg = Analysis.Callgraph.compute m in
-    let domains = Analysis.Exec_domain.compute m cg in
-    if not options.disable_spmdization then begin
-      let converted, guards =
-        Spmdization.run m domains sink ~grouping:(not options.disable_guard_grouping)
-      in
-      report :=
-        {
-          !report with
-          spmdized = !report.spmdized + converted;
-          guards = !report.guards + guards;
-        }
-    end;
-    if not options.disable_state_machine_rewrite then begin
-      let rewritten, fallbacks = State_machine.run m sink in
-      report :=
-        {
-          !report with
-          custom_state_machines = !report.custom_state_machines + rewritten;
-          csm_fallbacks = !report.csm_fallbacks + fallbacks;
-        }
-    end;
+    if not options.disable_deglobalization then
+      instrument ~pass:Deglobalize.pass_name (fun () ->
+          let res =
+            Deglobalize.run m (domains ()) sink
+              ~heap_to_shared:(not options.disable_heap_to_shared)
+          in
+          report :=
+            {
+              !report with
+              heap_to_stack = !report.heap_to_stack + res.Deglobalize.to_stack;
+              heap_to_shared = !report.heap_to_shared + res.Deglobalize.to_shared;
+              shared_bytes = !report.shared_bytes + res.Deglobalize.shared_bytes;
+            });
+    (* domains are recomputed per pass: deglobalization changes instructions *)
+    if not options.disable_spmdization then
+      instrument ~pass:Spmdization.pass_name (fun () ->
+          let converted, guards =
+            Spmdization.run m (domains ()) sink
+              ~grouping:(not options.disable_guard_grouping)
+          in
+          report :=
+            {
+              !report with
+              spmdized = !report.spmdized + converted;
+              guards = !report.guards + guards;
+            });
+    if not options.disable_state_machine_rewrite then
+      instrument ~pass:State_machine.pass_name (fun () ->
+          let rewritten, fallbacks = State_machine.run m sink in
+          report :=
+            {
+              !report with
+              custom_state_machines = !report.custom_state_machines + rewritten;
+              csm_fallbacks = !report.csm_fallbacks + fallbacks;
+            });
     if not options.disable_folding then begin
-      let cg = Analysis.Callgraph.compute m in
-      let domains = Analysis.Exec_domain.compute m cg in
-      add_folds (Fold.run ~fold_exec_mode:true m domains);
+      instrument ~pass:(Fold.pass_name ^ "-late") (fun () ->
+          add_folds (Fold.run ~fold_exec_mode:true m (domains ())));
       (* deduplicate surviving runtime queries and drop effect-free regions *)
-      let deduped = Dedup.dedup_runtime_calls m sink in
-      let dead = Dedup.delete_dead_regions m sink in
-      report :=
-        {
-          !report with
-          deduplicated_calls = !report.deduplicated_calls + deduped;
-          dead_regions = !report.dead_regions + dead;
-        }
+      instrument ~pass:Dedup.pass_name (fun () ->
+          let deduped = Dedup.dedup_runtime_calls m sink in
+          report :=
+            { !report with deduplicated_calls = !report.deduplicated_calls + deduped });
+      instrument ~pass:"dead-regions" (fun () ->
+          let dead = Dedup.delete_dead_regions m sink in
+          report := { !report with dead_regions = !report.dead_regions + dead })
     end;
-    ignore (Simplify.run m)
+    instrument ~pass:Simplify.pass_name (fun () -> ignore (Simplify.run m))
   done;
   (* analyses re-run each round and re-emit the same findings: dedupe *)
   let remarks =

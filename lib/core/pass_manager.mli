@@ -51,9 +51,22 @@ type report = {
 
 val empty_report : report
 
+val counters_of_report : report -> (string * int) list
+(** The int fields of the report as named counters, in a stable order (the
+    keys of the [--stats-json] export; remarks are not included). *)
+
+val report_to_json : report -> Observe.Json.t
+(** Counters plus the remark list (schema in docs/OBSERVABILITY.md). *)
+
 val pp_report : Format.formatter -> report -> unit
 
-val run : ?options:options -> Ir.Irmod.t -> report
+val run : ?options:options -> ?trace:Observe.Trace.t -> Ir.Irmod.t -> report
 (** [run m] optimizes [m] in place and reports what happened.  The module
     remains verifier-clean; every transformation preserves the observable
-    trace semantics of the program (checked by the differential test suite). *)
+    trace semantics of the program (checked by the differential test suite).
+
+    When [trace] is given, every executed pass records one
+    [Observe.Trace.event] per round: wall time, module and per-function IR
+    deltas, and the increments to the report counters (plus a ["remarks"]
+    pseudo-counter with the number of remarks the pass emitted).  Disabled
+    passes record nothing. *)

@@ -5,6 +5,8 @@
 
 open Ir
 module IS = Support.Util.Int_set
+(* stable identifier used by the Observe trace layer *)
+let pass_name = "simplify"
 
 let const_int ty v = Value.Const (Value.CInt (ty, Rvalue_fold.truncate_to ty v))
 

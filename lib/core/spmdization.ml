@@ -14,6 +14,8 @@
 
 open Ir
 module SS = Support.Util.String_set
+(* stable identifier used by the Observe trace layer *)
+let pass_name = "spmdize"
 
 type outcome =
   | Converted of { guards : int }

@@ -11,6 +11,8 @@
 
 open Ir
 module SS = Support.Util.String_set
+(* stable identifier used by the Observe trace layer *)
+let pass_name = "state-machine"
 
 type outcome =
   | Rewritten of { regions : int; fallback : bool }

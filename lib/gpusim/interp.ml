@@ -59,6 +59,9 @@ type thread = {
   mutable wait_wants_id : bool;
   (* device-heap bytes this thread currently holds (globalization spills) *)
   mutable heap_live : int;
+  (* per branch site, how many times this thread has executed it; indexes
+     the team's divergence table *)
+  site_execs : (string, int) Hashtbl.t;
 }
 
 type work = {
@@ -85,6 +88,9 @@ type team = {
   (* shared-stack regions allocated AoS by __kmpc_alloc_shared: accesses
      into them are uncoalesced *)
   mutable uncoalesced : (int * int) list;
+  (* first target taken at (branch site, per-thread execution index): a
+     later thread choosing differently is a divergent-branch event *)
+  branch_first : (string * int, string) Hashtbl.t;
   launch_teams : int;
   launch_threads : int;
 }
@@ -97,6 +103,12 @@ type launch_stats = {
   mutable loads_global : int;
   mutable loads_shared : int;
   mutable loads_local : int;
+  mutable stores_global : int;
+  mutable stores_shared : int;
+  mutable stores_local : int;
+  mutable atomics_global : int;
+  mutable atomics_shared : int;
+  mutable divergent_branches : int;
   mutable runtime_calls : int;
   mutable barriers : int;
   mutable indirect_calls : int;
@@ -304,6 +316,51 @@ let count_load t (p : ptr) =
     | Sshared _ -> s.loads_shared <- s.loads_shared + 1
     | Slocal _ -> s.loads_local <- s.loads_local + 1)
 
+let count_store t (p : ptr) =
+  match stats_top t with
+  | None -> ()
+  | Some s -> (
+    match p.sp with
+    | Sglobal -> s.stores_global <- s.stores_global + 1
+    | Sshared _ -> s.stores_shared <- s.stores_shared + 1
+    | Slocal _ -> s.stores_local <- s.stores_local + 1)
+
+let count_atomic t (p : ptr) =
+  match stats_top t with
+  | None -> ()
+  | Some s -> (
+    match p.sp with
+    | Sglobal -> s.atomics_global <- s.atomics_global + 1
+    | Sshared _ -> s.atomics_shared <- s.atomics_shared + 1
+    | Slocal _ -> ()  (* thread-private: not a contended operation *))
+
+(* Divergence detection.  The run-to-block scheduler never aligns thread
+   PCs, so SIMT divergence is reconstructed structurally: per branch site,
+   the n-th execution by every thread of a team should take the same target;
+   a thread disagreeing with the first-recorded target at its index is one
+   divergent-branch event.  Tracking stops past [divergence_window]
+   executions per site to bound the table on long-running uniform loops
+   (divergence there repeats the early pattern). *)
+let divergence_window = 4096
+
+let note_branch t th ~target =
+  match t.cur_team with
+  | Some team when Array.length team.threads > 1 -> (
+    match stats_top t with
+    | None -> ()
+    | Some s ->
+      let frame = cur_frame th in
+      let site = frame.ffunc.Func.name ^ "/" ^ frame.fblock.Block.label in
+      let n = match Hashtbl.find_opt th.site_execs site with Some n -> n | None -> 0 in
+      Hashtbl.replace th.site_execs site (n + 1);
+      if n < divergence_window then begin
+        match Hashtbl.find_opt team.branch_first (site, n) with
+        | None -> Hashtbl.add team.branch_first (site, n) target
+        | Some first when String.equal first target -> ()
+        | Some _ -> s.divergent_branches <- s.divergent_branches + 1
+      end)
+  | _ -> ()
+
 let charge th cycles = th.clock <- th.clock + cycles
 
 (* ------------------------------------------------------------------ *)
@@ -352,6 +409,13 @@ let publish_work t team th ~fn ~id ~args ~requested =
   let nthreads = Array.length team.threads in
   let active = if requested > 0 then min requested nthreads else nthreads in
   charge th (costs t).Machine.parallel_publish;
+  (* the generic-mode runtime releases work through a team-wide dispatch
+     barrier (one arrival per thread); its time is already modeled by the
+     publish/resume costs, but it counts as a barrier in the cost model —
+     this is the synchronization SPMDization deletes *)
+  (match stats_top t with
+  | Some s -> s.barriers <- s.barriers + nthreads
+  | None -> ());
   team.work_gen <- team.work_gen + 1;
   team.work <-
     Some (Either.Left { wfn = fn; wid = id; wargs = args; wactive = active; wgen = team.work_gen });
@@ -380,7 +444,10 @@ let finish_join t team =
     main.status <- Runnable;
     main.clock <- max main.clock worker_max + (costs t).Machine.parallel_join
   end;
-  ignore t
+  (* the matching join side of the dispatch barrier (see publish_work) *)
+  match stats_top t with
+  | Some s -> s.barriers <- s.barriers + Array.length team.threads
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Function call machinery                                             *)
@@ -845,6 +912,7 @@ let exec_instr t (team_opt : team option) th (i : Instr.t) =
   | Instr.Store (ty, v, pv) ->
     let p = as_ptr (ev pv) in
     charge th (access_cost t p);
+    count_store t p;
     Mem.write t.mem ~current:th.gid p ty (ev v)
   | Instr.Gep (_, base, off) ->
     charge th c.Machine.alu;
@@ -873,6 +941,7 @@ let exec_instr t (team_opt : team option) th (i : Instr.t) =
       | Sglobal -> c.Machine.atomic_global
       | Sshared _ -> c.Machine.atomic_shared
       | Slocal _ -> c.Machine.local_access);
+    count_atomic t p;
     let old = Mem.read t.mem ~current:th.gid p ty in
     let next =
       match op with
@@ -944,7 +1013,9 @@ let exec_term t th (b : Block.t) =
     `Continue
   | Block.Cbr (v, l1, l2) ->
     charge th c.Machine.alu;
-    goto (if as_int (eval t th v) <> 0L then l1 else l2);
+    let target = if as_int (eval t th v) <> 0L then l1 else l2 in
+    note_branch t th ~target;
+    goto target;
     `Continue
   | Block.Switch (v, cases, default) ->
     charge th c.Machine.alu;
@@ -952,6 +1023,7 @@ let exec_term t th (b : Block.t) =
     let target =
       match List.assoc_opt x cases with Some l -> l | None -> default
     in
+    note_branch t th ~target;
     goto target;
     `Continue
   | Block.Ret v ->
@@ -1071,6 +1143,12 @@ let launch_kernel t (kernel : Func.t) (args : Rvalue.t list) =
       loads_global = 0;
       loads_shared = 0;
       loads_local = 0;
+      stores_global = 0;
+      stores_shared = 0;
+      stores_local = 0;
+      atomics_global = 0;
+      atomics_shared = 0;
+      divergent_branches = 0;
       runtime_calls = 0;
       barriers = 0;
       indirect_calls = 0;
@@ -1104,6 +1182,7 @@ let launch_kernel t (kernel : Func.t) (args : Rvalue.t list) =
             blocked_reg = None;
             wait_wants_id = false;
             heap_live = 0;
+            site_execs = Hashtbl.create 16;
           })
     in
     let team =
@@ -1121,6 +1200,7 @@ let launch_kernel t (kernel : Func.t) (args : Rvalue.t list) =
         exec_spmd = is_spmd;
         is_cuda;
         uncoalesced = [];
+        branch_first = Hashtbl.create 64;
         launch_teams = nteams;
         launch_threads = nthreads;
       }
@@ -1169,6 +1249,7 @@ let run_host ?(entry = "main") t =
       blocked_reg = None;
       wait_wants_id = false;
       heap_live = 0;
+      site_execs = Hashtbl.create 16;
     }
   in
   push_frame host_thread f [];

@@ -20,6 +20,14 @@ type launch_stats = {
   mutable loads_global : int;
   mutable loads_shared : int;
   mutable loads_local : int;
+  mutable stores_global : int;
+  mutable stores_shared : int;
+  mutable stores_local : int;
+  mutable atomics_global : int;
+  mutable atomics_shared : int;
+  mutable divergent_branches : int;
+      (** threads of one team disagreeing on a branch target at the same
+          per-site execution index (structural SIMT-divergence model) *)
   mutable runtime_calls : int;
   mutable barriers : int;
   mutable indirect_calls : int;

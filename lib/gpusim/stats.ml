@@ -1,0 +1,36 @@
+(* Cost-model counters as JSON, one object per kernel launch. *)
+
+let json_of_launch (s : Interp.launch_stats) =
+  Observe.Json.Obj
+    [
+      ("kernel", Observe.Json.String s.Interp.kernel_name);
+      ("cycles", Observe.Json.Int s.Interp.cycles);
+      ("team_cycles_total", Observe.Json.Int s.Interp.team_cycles_total);
+      ("instructions", Observe.Json.Int s.Interp.instructions);
+      ("loads_global", Observe.Json.Int s.Interp.loads_global);
+      ("loads_shared", Observe.Json.Int s.Interp.loads_shared);
+      ("loads_local", Observe.Json.Int s.Interp.loads_local);
+      ("stores_global", Observe.Json.Int s.Interp.stores_global);
+      ("stores_shared", Observe.Json.Int s.Interp.stores_shared);
+      ("stores_local", Observe.Json.Int s.Interp.stores_local);
+      ("atomics_global", Observe.Json.Int s.Interp.atomics_global);
+      ("atomics_shared", Observe.Json.Int s.Interp.atomics_shared);
+      ("divergent_branches", Observe.Json.Int s.Interp.divergent_branches);
+      ("runtime_calls", Observe.Json.Int s.Interp.runtime_calls);
+      ("barriers", Observe.Json.Int s.Interp.barriers);
+      ("indirect_calls", Observe.Json.Int s.Interp.indirect_calls);
+      ("shared_bytes", Observe.Json.Int s.Interp.shared_bytes);
+      ("heap_high_water", Observe.Json.Int s.Interp.heap_high_water);
+      ("registers", Observe.Json.Int s.Interp.registers);
+      ("teams", Observe.Json.Int s.Interp.teams);
+      ("threads_per_team", Observe.Json.Int s.Interp.threads_per_team);
+    ]
+
+let json_of_sim (t : Interp.t) =
+  Observe.Json.Obj
+    [
+      ("total_kernel_cycles", Observe.Json.Int (Interp.total_kernel_cycles t));
+      ( "kernels",
+        Observe.Json.List
+          (List.rev_map json_of_launch t.Interp.kernel_stats) );
+    ]

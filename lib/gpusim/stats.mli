@@ -1,0 +1,9 @@
+(** JSON export of the simulator cost model (schema in
+    docs/OBSERVABILITY.md). *)
+
+val json_of_launch : Interp.launch_stats -> Observe.Json.t
+(** One kernel launch as a flat JSON object of its counters. *)
+
+val json_of_sim : Interp.t -> Observe.Json.t
+(** All launches of a simulation, oldest first, plus the total modeled
+    kernel cycles: [{"total_kernel_cycles": n, "kernels": [...]}]. *)

@@ -8,17 +8,22 @@ type metrics = {
   heap_high_water : int;
   instructions : int;
   barriers : int;
+  atomics : int;
+  divergent_branches : int;
   indirect_calls : int;
   runtime_calls : int;
   checksum : float option;  (* the app's traced result, for cross-checking *)
   report : Openmpopt.Pass_manager.report option;
+  kernel_stats : Gpusim.Interp.launch_stats list;  (* oldest first *)
+  trace : Observe.Trace.t option;  (* present when run with [with_trace] *)
 }
 
 type outcome = Ok of metrics | Oom of string | Error of string
 
 type measurement = { app : string; config : Config.t; outcome : outcome }
 
-let compile_for (config : Config.t) (app : Proxyapps.App.t) (scale : Proxyapps.App.scale) =
+let compile_for ?trace (config : Config.t) (app : Proxyapps.App.t)
+    (scale : Proxyapps.App.scale) =
   let file = app.Proxyapps.App.name ^ ".c" in
   match config.Config.build with
   | Config.Llvm12 ->
@@ -30,7 +35,7 @@ let compile_for (config : Config.t) (app : Proxyapps.App.t) (scale : Proxyapps.A
   | Config.Dev options ->
     let src = app.Proxyapps.App.omp_source scale in
     let m = Frontend.Codegen.compile ~scheme:Frontend.Codegen.Simplified ~file src in
-    let report = Openmpopt.Pass_manager.run ~options m in
+    let report = Openmpopt.Pass_manager.run ~options ?trace m in
     (m, Some report)
   | Config.Cuda ->
     let src = app.Proxyapps.App.cuda_source scale in
@@ -43,9 +48,10 @@ let checksum_of_trace sim =
   | _ -> None
 
 let run ?(machine = Gpusim.Machine.bench_machine) ?(scale = Proxyapps.App.Bench)
-    (app : Proxyapps.App.t) (config : Config.t) : measurement =
+    ?(with_trace = false) (app : Proxyapps.App.t) (config : Config.t) : measurement =
+  let trace = if with_trace then Some (Observe.Trace.create ()) else None in
   let outcome =
-    match compile_for config app scale with
+    match compile_for ?trace config app scale with
     | exception e -> Error (Printexc.to_string e)
     | m, report -> (
       match Ir.Verify.check m with
@@ -70,18 +76,24 @@ let run ?(machine = Gpusim.Machine.bench_machine) ?(scale = Proxyapps.App.Bench)
                   0 stats;
               instructions = sum (fun s -> s.Gpusim.Interp.instructions);
               barriers = sum (fun s -> s.Gpusim.Interp.barriers);
+              atomics =
+                sum (fun s ->
+                    s.Gpusim.Interp.atomics_global + s.Gpusim.Interp.atomics_shared);
+              divergent_branches = sum (fun s -> s.Gpusim.Interp.divergent_branches);
               indirect_calls = sum (fun s -> s.Gpusim.Interp.indirect_calls);
               runtime_calls = sum (fun s -> s.Gpusim.Interp.runtime_calls);
               checksum = checksum_of_trace sim;
               report;
+              kernel_stats = List.rev stats;
+              trace;
             }))
   in
   { app = app.Proxyapps.App.name; config; outcome }
 
 (* Run a list of configurations for one app; the result list is in config
    order. *)
-let run_configs ?machine ?scale app configs =
-  List.map (fun config -> run ?machine ?scale app config) configs
+let run_configs ?machine ?scale ?with_trace app configs =
+  List.map (fun config -> run ?machine ?scale ?with_trace app config) configs
 
 (* Relative performance versus a baseline measurement (the paper normalizes
    to LLVM 12): >1 means faster than the baseline. *)
@@ -89,3 +101,54 @@ let relative ~baseline m =
   match (baseline.outcome, m.outcome) with
   | Ok b, Ok x when x.cycles > 0 -> Some (float_of_int b.cycles /. float_of_int x.cycles)
   | _ -> None
+
+(* One measurement as a machine-readable perf record (bench/main.ml appends
+   these to BENCH_observe.json). *)
+let json_of_measurement (m : measurement) : Observe.Json.t =
+  let base =
+    [
+      ("app", Observe.Json.String m.app);
+      ("config", Observe.Json.String m.config.Config.label);
+    ]
+  in
+  match m.outcome with
+  | Oom msg ->
+    Observe.Json.Obj
+      (base
+      @ [ ("outcome", Observe.Json.String "oom"); ("error", Observe.Json.String msg) ])
+  | Error msg ->
+    Observe.Json.Obj
+      (base
+      @ [
+          ("outcome", Observe.Json.String "error"); ("error", Observe.Json.String msg);
+        ])
+  | Ok x ->
+    Observe.Json.Obj
+      (base
+      @ [
+          ("outcome", Observe.Json.String "ok");
+          ("cycles", Observe.Json.Int x.cycles);
+          ("smem_bytes", Observe.Json.Int x.smem_bytes);
+          ("registers", Observe.Json.Int x.registers);
+          ("heap_high_water", Observe.Json.Int x.heap_high_water);
+          ("instructions", Observe.Json.Int x.instructions);
+          ("barriers", Observe.Json.Int x.barriers);
+          ("atomics", Observe.Json.Int x.atomics);
+          ("divergent_branches", Observe.Json.Int x.divergent_branches);
+          ("indirect_calls", Observe.Json.Int x.indirect_calls);
+          ("runtime_calls", Observe.Json.Int x.runtime_calls);
+          ( "checksum",
+            match x.checksum with
+            | Some c -> Observe.Json.Float c
+            | None -> Observe.Json.Null );
+          ( "report",
+            match x.report with
+            | Some r -> Openmpopt.Pass_manager.report_to_json r
+            | None -> Observe.Json.Null );
+          ( "kernels",
+            Observe.Json.List (List.map Gpusim.Stats.json_of_launch x.kernel_stats) );
+          ( "passes",
+            match x.trace with
+            | Some tr -> Observe.Trace.to_json tr
+            | None -> Observe.Json.List [] );
+        ])

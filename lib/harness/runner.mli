@@ -8,10 +8,17 @@ type metrics = {
   heap_high_water : int;
   instructions : int;
   barriers : int;
+  atomics : int;  (** global + shared atomic RMW operations executed *)
+  divergent_branches : int;  (** structural divergence events (cost model) *)
   indirect_calls : int;
   runtime_calls : int;
   checksum : float option;  (** the app's traced result, for cross-checking *)
   report : Openmpopt.Pass_manager.report option;  (** for Dev builds *)
+  kernel_stats : Gpusim.Interp.launch_stats list;
+      (** per-launch cost-model counters, oldest launch first *)
+  trace : Observe.Trace.t option;
+      (** per-pass pipeline events; present only for Dev builds run with
+          [with_trace] *)
 }
 
 type outcome =
@@ -24,14 +31,18 @@ type measurement = { app : string; config : Config.t; outcome : outcome }
 val run :
   ?machine:Gpusim.Machine.t ->
   ?scale:Proxyapps.App.scale ->
+  ?with_trace:bool ->
   Proxyapps.App.t ->
   Config.t ->
   measurement
-(** Defaults: [Gpusim.Machine.bench_machine], [Proxyapps.App.Bench]. *)
+(** Defaults: [Gpusim.Machine.bench_machine], [Proxyapps.App.Bench],
+    [with_trace:false].  Tracing is off by default so that bechamel
+    micro-benchmarks measure the pipeline itself, not the instrumentation. *)
 
 val run_configs :
   ?machine:Gpusim.Machine.t ->
   ?scale:Proxyapps.App.scale ->
+  ?with_trace:bool ->
   Proxyapps.App.t ->
   Config.t list ->
   measurement list
@@ -39,3 +50,9 @@ val run_configs :
 val relative : baseline:measurement -> measurement -> float option
 (** Performance relative to [baseline] (the paper normalizes to LLVM 12):
     greater than 1 means faster. *)
+
+val json_of_measurement : measurement -> Observe.Json.t
+(** One measurement as a machine-readable perf record: simulator counters,
+    report counters, per-kernel cost-model stats and (when traced) the
+    per-pass pipeline events.  bench/main.ml collects these into
+    BENCH_observe.json. *)

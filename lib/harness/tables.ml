@@ -124,6 +124,38 @@ let fig11_all ?machine ?scale () =
     (List.map (fun app -> fig11 ?machine ?scale app) Proxyapps.Apps.all)
 
 (* ------------------------------------------------------------------ *)
+(* Per-pass pipeline breakdown (Observe trace, dev0 build)              *)
+(* ------------------------------------------------------------------ *)
+
+let pass_breakdown ?machine ?scale (app : Proxyapps.App.t) =
+  line "Pass breakdown (%s, %s): per-round pipeline effects" app.Proxyapps.App.name
+    Config.dev0.Config.label;
+  line "%-3s %-14s %10s %8s %8s %7s  %s" "rnd" "pass" "time(us)" "Δinstrs" "Δblocks"
+    "Δallocs" "counters";
+  line "%s" (String.make 76 '-');
+  let m = Runner.run ?machine ?scale ~with_trace:true app Config.dev0 in
+  (match m.Runner.outcome with
+  | Runner.Ok { trace = Some tr; _ } ->
+    List.iter
+      (fun (e : Observe.Trace.event) ->
+        let counters =
+          String.concat ", "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%+d" k v) e.counters)
+        in
+        line "%-3d %-14s %10.1f %+8d %+8d %+7d  %s" e.round e.pass (e.time_s *. 1e6)
+          e.delta.Observe.Trace.instrs e.delta.Observe.Trace.blocks
+          e.delta.Observe.Trace.allocs counters)
+      (Observe.Trace.events tr)
+  | Runner.Ok { trace = None; _ } -> line "  (no trace)"
+  | Runner.Oom msg -> line "  OOM: %s" msg
+  | Runner.Error msg -> line "  ERROR: %s" msg);
+  flush ()
+
+let pass_breakdown_all ?machine ?scale () =
+  String.concat "\n"
+    (List.map (fun app -> pass_breakdown ?machine ?scale app) Proxyapps.Apps.all)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md): guard grouping and internalization            *)
 (* ------------------------------------------------------------------ *)
 

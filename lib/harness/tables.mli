@@ -16,5 +16,14 @@ val fig11 : ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> Proxyapps
 
 val fig11_all : ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> unit -> string
 
+val pass_breakdown :
+  ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> Proxyapps.App.t -> string
+(** Per-round/per-pass pipeline breakdown for one application under the
+    default developer build: wall time, IR deltas and report-counter
+    increments, from the [Observe.Trace] events. *)
+
+val pass_breakdown_all :
+  ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> unit -> string
+
 val ablations : ?machine:Gpusim.Machine.t -> ?scale:Proxyapps.App.scale -> unit -> string
 (** The DESIGN.md ablations: guard grouping, internalization, heap-to-shared. *)

@@ -1,0 +1,35 @@
+(** A minimal JSON tree: enough for the observability exports and their
+    round-trip tests, with no external dependency.  Numbers keep the
+    int/float distinction ([Int] prints without a decimal point) so counter
+    values survive a round trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** members in insertion order *)
+
+val equal : t -> t -> bool
+
+val to_string : ?minify:bool -> t -> string
+(** Serialize; [minify:false] (the default) pretty-prints with 2-space
+    indentation, [minify:true] emits a single line. *)
+
+val pp : Format.formatter -> t -> unit
+(** Minified rendering (for error messages and logs). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    Numbers without [.], [e] or [E] parse as [Int]. *)
+
+(** Accessors used by the JSON round-trip paths; all are total. *)
+
+val member : string -> t -> t option
+(** [member k j] is the value of key [k] when [j] is an [Obj]. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

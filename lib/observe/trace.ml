@@ -1,0 +1,239 @@
+(* Pass-pipeline trace layer: per-round, per-pass, per-function events. *)
+
+type ir_stats = {
+  funcs : int;
+  blocks : int;
+  instrs : int;
+  calls : int;
+  allocs : int;
+}
+
+let ir_stats_zero = { funcs = 0; blocks = 0; instrs = 0; calls = 0; allocs = 0 }
+
+let ir_stats_add a b =
+  {
+    funcs = a.funcs + b.funcs;
+    blocks = a.blocks + b.blocks;
+    instrs = a.instrs + b.instrs;
+    calls = a.calls + b.calls;
+    allocs = a.allocs + b.allocs;
+  }
+
+let ir_stats_sub a b =
+  {
+    funcs = a.funcs - b.funcs;
+    blocks = a.blocks - b.blocks;
+    instrs = a.instrs - b.instrs;
+    calls = a.calls - b.calls;
+    allocs = a.allocs - b.allocs;
+  }
+
+let ir_stats_is_zero s = s = ir_stats_zero
+
+(* runtime entry points that allocate: counted as allocation sites so the
+   deglobalization delta shows up in [allocs], not just [calls] *)
+let allocating_runtime_call = function
+  | "__kmpc_alloc_shared" | "__kmpc_data_sharing_push_stack" -> true
+  | _ -> false
+
+let stats_of_func (f : Ir.Func.t) =
+  if Ir.Func.is_declaration f then ir_stats_zero
+  else
+    Ir.Func.fold_instrs f
+      ~init:{ ir_stats_zero with funcs = 1; blocks = List.length f.Ir.Func.blocks }
+      ~g:(fun acc _ (i : Ir.Instr.t) ->
+        let acc = { acc with instrs = acc.instrs + 1 } in
+        match i.Ir.Instr.kind with
+        | Ir.Instr.Alloca _ -> { acc with allocs = acc.allocs + 1 }
+        | Ir.Instr.Call (_, Ir.Instr.Direct name, _) when allocating_runtime_call name ->
+          { acc with calls = acc.calls + 1; allocs = acc.allocs + 1 }
+        | Ir.Instr.Call _ -> { acc with calls = acc.calls + 1 }
+        | _ -> acc)
+
+let stats_of_module (m : Ir.Irmod.t) =
+  List.fold_left
+    (fun acc f -> ir_stats_add acc (stats_of_func f))
+    ir_stats_zero
+    (Ir.Irmod.defined_funcs m)
+
+type snapshot = (string * ir_stats) list
+
+let snapshot (m : Ir.Irmod.t) : snapshot =
+  List.map (fun f -> (f.Ir.Func.name, stats_of_func f)) (Ir.Irmod.defined_funcs m)
+
+type event = {
+  seq : int;
+  round : int;
+  pass : string;
+  time_s : float;
+  delta : ir_stats;
+  per_func : (string * ir_stats) list;
+  counters : (string * int) list;
+}
+
+type t = { mutable rev_events : event list; mutable next_seq : int; on_event : event -> unit }
+
+let create ?(on_event = fun _ -> ()) () = { rev_events = []; next_seq = 0; on_event }
+
+let diff_snapshots (before : snapshot) (after : snapshot) =
+  let deltas = ref [] in
+  (* functions present after the pass: delta vs. before (zero if new) *)
+  List.iter
+    (fun (name, sa) ->
+      let sb =
+        match List.assoc_opt name before with Some s -> s | None -> ir_stats_zero
+      in
+      let d = ir_stats_sub sa sb in
+      if not (ir_stats_is_zero d) then deltas := (name, d) :: !deltas)
+    after;
+  (* functions the pass deleted: their full statistics, negated *)
+  List.iter
+    (fun (name, sb) ->
+      if not (List.mem_assoc name after) then
+        deltas := (name, ir_stats_sub ir_stats_zero sb) :: !deltas)
+    before;
+  List.rev !deltas
+
+let record_pass tr ~round ~pass ~time_s ~before ~after ~counters =
+  let per_func = diff_snapshots before after in
+  let delta =
+    List.fold_left (fun acc (_, d) -> ir_stats_add acc d) ir_stats_zero per_func
+  in
+  let counters = List.filter (fun (_, v) -> v <> 0) counters in
+  let event =
+    { seq = tr.next_seq; round; pass; time_s; delta; per_func; counters }
+  in
+  tr.next_seq <- tr.next_seq + 1;
+  tr.rev_events <- event :: tr.rev_events;
+  tr.on_event event;
+  event
+
+let events tr = List.rev tr.rev_events
+
+let pp_event ppf e =
+  let pp_delta ppf (d : ir_stats) =
+    let field name v = if v <> 0 then Some (Printf.sprintf "%s%+d" name v) else None in
+    let parts =
+      List.filter_map Fun.id
+        [
+          field "funcs" d.funcs; field "blocks" d.blocks; field "instrs" d.instrs;
+          field "calls" d.calls; field "allocs" d.allocs;
+        ]
+    in
+    Fmt.string ppf (if parts = [] then "=" else String.concat " " parts)
+  in
+  Fmt.pf ppf "r%d %-14s %8.3fms  %a" e.round e.pass (e.time_s *. 1000.0) pp_delta
+    e.delta;
+  if e.counters <> [] then
+    Fmt.pf ppf "  {%s}"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) e.counters))
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let stats_to_json (s : ir_stats) =
+  Json.Obj
+    [
+      ("funcs", Json.Int s.funcs);
+      ("blocks", Json.Int s.blocks);
+      ("instrs", Json.Int s.instrs);
+      ("calls", Json.Int s.calls);
+      ("allocs", Json.Int s.allocs);
+    ]
+
+let stats_of_json j =
+  let get k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "ir_stats: missing int field %S" k)
+  in
+  Result.bind (get "funcs") (fun funcs ->
+      Result.bind (get "blocks") (fun blocks ->
+          Result.bind (get "instrs") (fun instrs ->
+              Result.bind (get "calls") (fun calls ->
+                  Result.map
+                    (fun allocs -> { funcs; blocks; instrs; calls; allocs })
+                    (get "allocs")))))
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("seq", Json.Int e.seq);
+      ("round", Json.Int e.round);
+      ("pass", Json.String e.pass);
+      ("time_us", Json.Int (int_of_float (e.time_s *. 1e6)));
+      ("delta", stats_to_json e.delta);
+      ( "per_func",
+        Json.List
+          (List.map
+             (fun (name, d) ->
+               match stats_to_json d with
+               | Json.Obj members -> Json.Obj (("func", Json.String name) :: members)
+               | j -> j)
+             e.per_func) );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters));
+    ]
+
+let event_of_json j =
+  let int k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "event: missing int field %S" k)
+  in
+  let str k =
+    match Option.bind (Json.member k j) Json.to_str with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "event: missing string field %S" k)
+  in
+  Result.bind (int "seq") (fun seq ->
+      Result.bind (int "round") (fun round ->
+          Result.bind (str "pass") (fun pass ->
+              Result.bind (int "time_us") (fun time_us ->
+                  Result.bind
+                    (match Json.member "delta" j with
+                    | Some d -> stats_of_json d
+                    | None -> Error "event: missing \"delta\"")
+                    (fun delta ->
+                      let per_func =
+                        match Option.bind (Json.member "per_func" j) Json.to_list with
+                        | None -> Ok []
+                        | Some items ->
+                          List.fold_left
+                            (fun acc item ->
+                              Result.bind acc (fun acc ->
+                                  match
+                                    Option.bind (Json.member "func" item) Json.to_str
+                                  with
+                                  | None -> Error "per_func: missing \"func\""
+                                  | Some name ->
+                                    Result.map
+                                      (fun d -> (name, d) :: acc)
+                                      (stats_of_json item)))
+                            (Ok []) items
+                          |> Result.map List.rev
+                      in
+                      Result.map
+                        (fun per_func ->
+                          let counters =
+                            match Json.member "counters" j with
+                            | Some (Json.Obj members) ->
+                              List.filter_map
+                                (fun (k, v) ->
+                                  Option.map (fun v -> (k, v)) (Json.to_int v))
+                                members
+                            | _ -> []
+                          in
+                          {
+                            seq;
+                            round;
+                            pass;
+                            time_s = float_of_int time_us /. 1e6;
+                            delta;
+                            per_func;
+                            counters;
+                          })
+                        per_func)))))
+
+let to_json tr = Json.List (List.map event_to_json (events tr))

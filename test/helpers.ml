@@ -9,8 +9,21 @@ let verify m =
   | Ok () -> ()
   | Error msg -> Alcotest.failf "verifier rejected module: %s" msg
 
+(* Verify after EVERY pipeline pass, not just at the end: the trace layer
+   fires an event per executed pass, so a verifier failure is pinned to the
+   offending pass and round instead of to "somewhere in the pipeline". *)
 let optimize ?(options = Openmpopt.Pass_manager.default_options) m =
-  let report = Openmpopt.Pass_manager.run ~options m in
+  let trace =
+    Observe.Trace.create
+      ~on_event:(fun (e : Observe.Trace.event) ->
+        match Ir.Verify.check m with
+        | Ok () -> ()
+        | Error msg ->
+          Alcotest.failf "verifier rejected module after pass %s (round %d): %s"
+            e.Observe.Trace.pass e.Observe.Trace.round msg)
+      ()
+  in
+  let report = Openmpopt.Pass_manager.run ~options ~trace m in
   verify m;
   report
 
@@ -68,5 +81,19 @@ let all_opt_variants =
                    disable_heap_to_shared = true });
   ]
 
+(* Property tests honour two environment variables so that CI (and bug
+   reproduction) can pin the run:
+     FUZZ_ITERS  override the iteration count of every property
+     FUZZ_SEED   fix the random seed (integer) *)
 let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+  let count =
+    match Option.bind (Sys.getenv_opt "FUZZ_ITERS") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> count
+  in
+  let rand =
+    Option.map
+      (fun seed -> Random.State.make [| seed |])
+      (Option.bind (Sys.getenv_opt "FUZZ_SEED") int_of_string_opt)
+  in
+  QCheck_alcotest.to_alcotest ?rand (QCheck.Test.make ~count ~name gen prop)

@@ -112,8 +112,40 @@ let gen_prog =
       (list_size (int_range 1 4) gen_stmt)
       bool)
 
+(* Greedy shrinker: counterexamples come out as the smallest failing kernel.
+   QCheck keeps a candidate only if the property still fails on it, so each
+   yield below is a *candidate* simplification, tried in order:
+   drop a statement, shrink the trip count, replace a sub-expression by a
+   constant. *)
+let shrink_prog (p : prog) yield =
+  let rec drops pre = function
+    | [] -> ()
+    | s :: rest ->
+      yield { p with stmts = List.rev_append pre rest };
+      drops (s :: pre) rest
+  in
+  if List.length p.stmts > 1 then drops [] p.stmts;
+  if p.outer > 4 then yield { p with outer = 4 };
+  let rec stmts pre = function
+    | [] -> ()
+    | s :: rest ->
+      let try_expr e rebuild =
+        match e with
+        | Cst _ -> ()
+        | _ -> yield { p with stmts = List.rev_append pre (rebuild (Cst 1) :: rest) }
+      in
+      (match s with
+      | Store_a (k, e) -> try_expr e (fun e -> Store_a (k, e))
+      | Store_ai e -> try_expr e (fun e -> Store_ai e)
+      | Atomic_b e -> try_expr e (fun e -> Atomic_b e)
+      | Local e -> try_expr e (fun e -> Local e)
+      | Nested e -> try_expr e (fun e -> Nested e));
+      stmts (s :: pre) rest
+  in
+  stmts [] p.stmts
+
 let arb_prog =
-  QCheck.make gen_prog ~print:(fun p -> render p)
+  QCheck.make gen_prog ~print:(fun p -> render p) ~shrink:shrink_prog
 
 (* ------------------------------------------------------------------ *)
 (* The differential property                                           *)
@@ -187,9 +219,20 @@ let prop_idempotent p =
   ignore (Openmpopt.Pass_manager.run m);
   let second = Openmpopt.Pass_manager.run m in
   let open Openmpopt.Pass_manager in
-  second.heap_to_stack = 0 && second.heap_to_shared = 0 && second.spmdized = 0
-  && second.custom_state_machines = 0
-  && Result.is_ok (Ir.Verify.check m)
+  if
+    second.heap_to_stack <> 0 || second.heap_to_shared <> 0 || second.spmdized <> 0
+    || second.custom_state_machines <> 0
+  then
+    QCheck.Test.fail_reportf
+      "second pipeline run still transformed (h2s=%d h2shared=%d spmd=%d csm=%d):@.%s"
+      second.heap_to_stack second.heap_to_shared second.spmdized
+      second.custom_state_machines src
+  else
+    match Ir.Verify.check m with
+    | Result.Ok () -> true
+    | Result.Error msg ->
+      QCheck.Test.fail_reportf "verifier rejected twice-optimized module: %s@.%s" msg
+        src
 
 let suite =
   [

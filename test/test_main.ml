@@ -12,5 +12,7 @@ let () =
       ("proxyapps", Test_proxyapps.suite);
       ("harness", Test_harness.suite);
       ("wave3", Test_wave3.suite);
+      ("observe", Test_observe.suite);
+      ("report-golden", Test_report_golden.suite);
       ("fuzz", Test_fuzz.suite);
     ]
