@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples ci clean
+.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate
 
 all: build
 
@@ -10,12 +10,33 @@ build:
 test:
 	dune runtest
 
-# what a gate should run: build everything, the full test suite, and a
-# reproducible (fixed-seed) longer fuzz pass
+# Formatting is pinned by .ocamlformat (currently `disable = true`: the
+# infrastructure is wired and enforced in CI, adoption is per-file).
+# Requires the ocamlformat binary; CI installs the pinned version.
+fmt:
+	dune build @fmt --auto-promote
+
+fmt-check:
+	dune build @fmt
+
+# What a gate should run: build everything, the full test suite, a
+# reproducible (fixed-seed) longer fuzz pass, and the regression test that
+# fuzz counterexamples actually fail the gate (exit-code propagation).
 ci:
 	dune build @all
 	dune runtest
 	FUZZ_SEED=42 FUZZ_ITERS=200 dune exec test/test_main.exe -- test fuzz
+	sh tools/check_fuzz_exit.sh
+
+# Benchmark-regression gate: regenerate BENCH_observe.json into a scratch
+# directory and diff its deterministic counters (per-app barriers and store
+# counts) against the committed baseline.  Wall-clock numbers are never
+# gated; they measure the host, not the compiler.
+bench-gate:
+	dune build bench/main.exe tools/bench_gate.exe
+	mkdir -p _gate
+	cd _gate && ../_build/default/bench/main.exe tables > /dev/null
+	./_build/default/tools/bench_gate.exe BENCH_observe.json _gate/BENCH_observe.json
 
 # regenerate every table and figure of the paper's evaluation
 experiments:
@@ -34,3 +55,4 @@ examples:
 
 clean:
 	dune clean
+	rm -rf _gate

@@ -100,10 +100,92 @@ let tables () =
   print_newline ();
   print_string (Harness.Tables.ablations ~machine ~scale ())
 
+(* ------------------------------------------------------------------ *)
+(* Scheduler benchmark: sequential vs parallel batch + cache hit rates  *)
+(* ------------------------------------------------------------------ *)
+
+(* The batch is every Figure-10 cell at tiny scale — the same workload
+   run_experiments parallelizes.  Wall clock must be Unix.gettimeofday:
+   Sys.time is process CPU time, which *sums* across domains and would
+   report a slowdown for any parallel run.  Speedup is whatever this host
+   measures (a single-core machine legitimately reports ~1x); the cache
+   hit rates are machine-independent. *)
+let sched_domains = 4
+
+let sched_bench () =
+  let jobs =
+    List.concat_map
+      (fun (app : Proxyapps.App.t) ->
+        List.map
+          (fun config -> (app, config))
+          (Harness.Config.fig10_configs app.Proxyapps.App.name))
+      Proxyapps.Apps.all
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s =
+    timed (fun () -> Harness.Runner.run_batch ~machine ~scale:tiny jobs)
+  in
+  let cache : Harness.Runner.outcome Sched.Cache.t = Sched.Cache.create () in
+  let (par, pool_stats), par_s =
+    timed (fun () ->
+        Sched.Pool.with_pool ~domains:sched_domains (fun pool ->
+            let r = Harness.Runner.run_batch ~machine ~scale:tiny ~pool ~cache jobs in
+            (r, Sched.Pool.stats pool)))
+  in
+  let cold_hits = Sched.Cache.hits cache in
+  let cold_misses = Sched.Cache.misses cache in
+  Sched.Cache.reset_counters cache;
+  let warm, warm_s =
+    timed (fun () ->
+        Sched.Pool.with_pool ~domains:sched_domains (fun pool ->
+            Harness.Runner.run_batch ~machine ~scale:tiny ~pool ~cache jobs))
+  in
+  let labels ms =
+    List.map
+      (fun (m : Harness.Runner.measurement) ->
+        (m.Harness.Runner.app, m.Harness.Runner.config.Harness.Config.label))
+      ms
+  in
+  assert (labels seq = labels par && labels seq = labels warm);
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 1.0 in
+  Fmt.pr "== Sched: batch of %d jobs, %d domains ==@." (List.length jobs)
+    sched_domains;
+  Fmt.pr "  sequential         %8.3f s@." seq_s;
+  Fmt.pr "  parallel (cold)    %8.3f s  speedup %.2fx  cache %d hit / %d miss@."
+    par_s speedup cold_hits cold_misses;
+  Fmt.pr "  parallel (warm)    %8.3f s  cache hit rate %.2f@." warm_s
+    (Sched.Cache.hit_rate cache);
+  Fmt.pr "  pool: submitted=%d executed=%d stolen=%d max_pending=%d@.@."
+    pool_stats.Sched.Pool.submitted pool_stats.Sched.Pool.executed
+    pool_stats.Sched.Pool.stolen pool_stats.Sched.Pool.max_pending;
+  Observe.Json.Obj
+    [
+      ("jobs", Observe.Json.Int (List.length jobs));
+      ("domains", Observe.Json.Int sched_domains);
+      ("sequential_s", Observe.Json.Float seq_s);
+      ("parallel_s", Observe.Json.Float par_s);
+      ("speedup", Observe.Json.Float speedup);
+      ("cold_cache_hits", Observe.Json.Int cold_hits);
+      ("cold_cache_misses", Observe.Json.Int cold_misses);
+      ("warm_cache_hit_rate", Observe.Json.Float (Sched.Cache.hit_rate cache));
+      ( "pool",
+        Observe.Json.Obj
+          [
+            ("submitted", Observe.Json.Int pool_stats.Sched.Pool.submitted);
+            ("executed", Observe.Json.Int pool_stats.Sched.Pool.executed);
+            ("stolen", Observe.Json.Int pool_stats.Sched.Pool.stolen);
+            ("max_pending", Observe.Json.Int pool_stats.Sched.Pool.max_pending);
+          ] );
+    ]
+
 (* Machine-readable perf trajectory: every app at bench scale under the
    default developer build, with the pipeline trace attached, so future
    changes can be diffed against this file. *)
-let observe_json path =
+let observe_json ~sched path =
   let scale = Proxyapps.App.Bench in
   let records =
     List.map
@@ -119,6 +201,7 @@ let observe_json path =
         ("scale", Observe.Json.String "bench");
         ("config", Observe.Json.String Harness.Config.dev0.Harness.Config.label);
         ("measurements", Observe.Json.List records);
+        ("sched", sched);
       ]
   in
   Out_channel.with_open_text path (fun oc ->
@@ -129,5 +212,6 @@ let observe_json path =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if not (List.mem "tables" args) then benchmark ();
+  let sched = sched_bench () in
   tables ();
-  observe_json "BENCH_observe.json"
+  observe_json ~sched "BENCH_observe.json"

@@ -1,9 +1,15 @@
 (* mompc: the MiniOMP compiler driver.
 
-   Parses a MiniOMP source file, lowers it with the selected globalization
+   Parses MiniOMP source files, lowers them with the selected globalization
    scheme, optionally runs the OpenMP-aware optimizer, prints remarks, and
-   emits the resulting MiniIR.  Optionally runs the program on the GPU
+   emits the resulting MiniIR.  Optionally runs each program on the GPU
    simulator and reports kernel statistics.
+
+   Several files compile as one batch: [-j N] runs them on N scheduler
+   domains (per-file output is buffered and printed in input order, so
+   parallel output is byte-identical to sequential), and [--cache-dir DIR]
+   memoizes each file's full compiler output on disk, content-addressed by
+   source text, scheme and pass options.
 
    The disable flags mirror the paper artifact's LLVM flags
    openmp-opt-disable-... . *)
@@ -20,125 +26,250 @@ let scheme_conv =
   let print ppf s = Fmt.string ppf (Frontend.Codegen.scheme_name s) in
   Arg.conv (parse, print)
 
-let run_compile file scheme optimize no_spmd no_deglob no_csm no_fold no_group emit_ir
-    run_sim remarks_only stats_json print_trace =
+(* Result of compiling one file: the process exit code it asks for, plus
+   everything it wants on stdout/stderr.  Buffering instead of printing
+   directly is what makes parallel batch compilation safe: formatters are
+   not shared across domains, and output order is decided by the driver. *)
+type file_result = { code : int; out : string; err : string }
+
+let compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
+    ~print_trace file : file_result =
+  let out_buf = Buffer.create 1024 in
+  let err_buf = Buffer.create 1024 in
+  let out = Format.formatter_of_buffer out_buf in
+  let err = Format.formatter_of_buffer err_buf in
+  let finish code =
+    Format.pp_print_flush out ();
+    Format.pp_print_flush err ();
+    { code; out = Buffer.contents out_buf; err = Buffer.contents err_buf }
+  in
   let src = In_channel.with_open_text file In_channel.input_all in
   match Frontend.Codegen.compile ~scheme ~file src with
   | exception Frontend.Codegen.Error (msg, loc) ->
-    Fmt.epr "%a: error: %s@." Support.Loc.pp loc msg;
-    1
+    Fmt.pf err "%a: error: %s@." Support.Loc.pp loc msg;
+    finish 1
   | exception Frontend.Cparse.Parse_error (msg, loc) ->
-    Fmt.epr "%a: parse error: %s@." Support.Loc.pp loc msg;
-    1
+    Fmt.pf err "%a: parse error: %s@." Support.Loc.pp loc msg;
+    finish 1
   | exception Frontend.Lexer.Lex_error (msg, loc) ->
-    Fmt.epr "%a: lex error: %s@." Support.Loc.pp loc msg;
-    1
+    Fmt.pf err "%a: lex error: %s@." Support.Loc.pp loc msg;
+    finish 1
   | m -> (
     match Ir.Verify.check m with
     | Error msg ->
-      Fmt.epr "verifier error (front end): %s@." msg;
-      1
-    | Ok () ->
+      Fmt.pf err "verifier error (front end): %s@." msg;
+      finish 1
+    | Ok () -> (
       (* the trace feeds both --trace (human-readable) and --stats-json *)
       let trace =
         if print_trace || stats_json <> None then Some (Observe.Trace.create ())
         else None
       in
       let opt_report = ref None in
-      if optimize then begin
-        let options =
-          {
-            Openmpopt.Pass_manager.default_options with
-            disable_spmdization = no_spmd;
-            disable_deglobalization = no_deglob;
-            disable_state_machine_rewrite = no_csm;
-            disable_folding = no_fold;
-            disable_guard_grouping = no_group;
-          }
-        in
+      let verifier_failed = ref false in
+      (match options with
+      | None -> ()
+      | Some options ->
         let report = Openmpopt.Pass_manager.run ~options ?trace m in
         opt_report := Some report;
         List.iter
-          (fun r -> Fmt.epr "%s@." (Openmpopt.Remark.to_string r))
+          (fun r -> Fmt.pf err "%s@." (Openmpopt.Remark.to_string r))
           report.Openmpopt.Pass_manager.remarks;
-        Fmt.epr "openmp-opt: %a@." Openmpopt.Pass_manager.pp_report report;
+        Fmt.pf err "openmp-opt: %a@." Openmpopt.Pass_manager.pp_report report;
         (match Ir.Verify.check m with
         | Error msg ->
-          Fmt.epr "verifier error (after openmp-opt): %s@." msg;
-          exit 1
+          Fmt.pf err "verifier error (after openmp-opt): %s@." msg;
+          verifier_failed := true
         | Ok () -> ());
         if print_trace then
           Option.iter
             (fun tr ->
-              Fmt.epr "openmp-opt trace:@.";
+              Fmt.pf err "openmp-opt trace:@.";
               List.iter
-                (fun e -> Fmt.epr "  %a@." Observe.Trace.pp_event e)
+                (fun e -> Fmt.pf err "  %a@." Observe.Trace.pp_event e)
                 (Observe.Trace.events tr))
-            trace
-      end;
-      if emit_ir && not remarks_only then Fmt.pr "%a" Ir.Printer.pp_module m;
-      let sim_result =
-        if run_sim then begin
-          let sim = Gpusim.Interp.create Gpusim.Machine.bench_machine m in
-          match Gpusim.Interp.run_host sim with
-          | exception Gpusim.Mem.Out_of_memory msg ->
-            Fmt.epr "device out of memory: %s@." msg;
-            exit 3
-          | () ->
-            Fmt.pr "; kernel cycles: %d@." (Gpusim.Interp.total_kernel_cycles sim);
-            List.iter
-              (fun (s : Gpusim.Interp.launch_stats) ->
-                Fmt.pr
-                  "; %s: cycles=%d regs=%d smem=%dB heap=%dB instrs=%d barriers=%d \
-                   atomics=%d div-branches=%d@."
-                  s.Gpusim.Interp.kernel_name s.Gpusim.Interp.cycles
-                  s.Gpusim.Interp.registers s.Gpusim.Interp.shared_bytes
-                  s.Gpusim.Interp.heap_high_water s.Gpusim.Interp.instructions
-                  s.Gpusim.Interp.barriers
-                  (s.Gpusim.Interp.atomics_global + s.Gpusim.Interp.atomics_shared)
-                  s.Gpusim.Interp.divergent_branches)
-              sim.Gpusim.Interp.kernel_stats;
-            Fmt.pr "; trace:%a@."
-              (Fmt.list ~sep:Fmt.sp Gpusim.Rvalue.pp)
-              (Gpusim.Interp.trace_values sim);
-            Some sim
-        end
-        else None
-      in
-      (match stats_json with
-      | None -> ()
-      | Some path ->
-        let json =
-          Observe.Json.Obj
-            ([
-               ("file", Observe.Json.String file);
-               ( "scheme",
-                 Observe.Json.String (Frontend.Codegen.scheme_name scheme) );
-               ( "report",
-                 match !opt_report with
-                 | Some r -> Openmpopt.Pass_manager.report_to_json r
-                 | None -> Observe.Json.Null );
-               ( "passes",
-                 match trace with
-                 | Some tr -> Observe.Trace.to_json tr
-                 | None -> Observe.Json.List [] );
-             ]
-            @
-            match sim_result with
-            | Some sim -> [ ("sim", Gpusim.Stats.json_of_sim sim) ]
-            | None -> [])
+            trace);
+      if !verifier_failed then finish 1
+      else begin
+        if emit_ir && not remarks_only then Fmt.pf out "%a" Ir.Printer.pp_module m;
+        let sim_result =
+          if run_sim then begin
+            let sim = Gpusim.Interp.create Gpusim.Machine.bench_machine m in
+            match Gpusim.Interp.run_host sim with
+            | exception Gpusim.Mem.Out_of_memory msg ->
+              Fmt.pf err "device out of memory: %s@." msg;
+              Error 3
+            | () ->
+              Fmt.pf out "; kernel cycles: %d@." (Gpusim.Interp.total_kernel_cycles sim);
+              List.iter
+                (fun (s : Gpusim.Interp.launch_stats) ->
+                  Fmt.pf out
+                    "; %s: cycles=%d regs=%d smem=%dB heap=%dB instrs=%d barriers=%d \
+                     atomics=%d div-branches=%d@."
+                    s.Gpusim.Interp.kernel_name s.Gpusim.Interp.cycles
+                    s.Gpusim.Interp.registers s.Gpusim.Interp.shared_bytes
+                    s.Gpusim.Interp.heap_high_water s.Gpusim.Interp.instructions
+                    s.Gpusim.Interp.barriers
+                    (s.Gpusim.Interp.atomics_global + s.Gpusim.Interp.atomics_shared)
+                    s.Gpusim.Interp.divergent_branches)
+                sim.Gpusim.Interp.kernel_stats;
+              Fmt.pf out "; trace:%a@."
+                (Fmt.list ~sep:Fmt.sp Gpusim.Rvalue.pp)
+                (Gpusim.Interp.trace_values sim);
+              Ok (Some sim)
+          end
+          else Ok None
         in
-        try
-          Out_channel.with_open_text path (fun oc ->
-              Out_channel.output_string oc (Observe.Json.to_string json);
-              Out_channel.output_char oc '\n')
-        with Sys_error msg ->
-          Fmt.epr "cannot write stats: %s@." msg;
-          exit 2);
-      0)
+        match sim_result with
+        | Error code -> finish code
+        | Ok sim_result -> (
+          match stats_json with
+          | None -> finish 0
+          | Some path -> (
+            let json =
+              Observe.Json.Obj
+                ([
+                   ("file", Observe.Json.String file);
+                   ( "scheme",
+                     Observe.Json.String (Frontend.Codegen.scheme_name scheme) );
+                   ( "report",
+                     match !opt_report with
+                     | Some r -> Openmpopt.Pass_manager.report_to_json r
+                     | None -> Observe.Json.Null );
+                   ( "passes",
+                     match trace with
+                     | Some tr -> Observe.Trace.to_json tr
+                     | None -> Observe.Json.List [] );
+                 ]
+                @
+                match sim_result with
+                | Some sim -> [ ("sim", Gpusim.Stats.json_of_sim sim) ]
+                | None -> [])
+            in
+            try
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc (Observe.Json.to_string json);
+                  Out_channel.output_char oc '\n');
+              finish 0
+            with Sys_error msg ->
+              Fmt.pf err "cannot write stats: %s@." msg;
+              finish 2))
+      end))
 
-let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniOMP source file")
+(* ------------------------------------------------------------------ *)
+(* Disk cache (--cache-dir)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Cached payload: the full per-file result as JSON, so warm output is
+   byte-identical to cold output.  The key covers everything that shapes the
+   output: source text, scheme, option fingerprint and emission flags.
+   --stats-json writes a side file and --trace prints wall times, so those
+   runs bypass the cache. *)
+let cache_version = "mompc-cache-v1"
+
+let cache_key ~scheme ~options ~emit_ir ~run_sim ~remarks_only src =
+  Sched.Cache.key
+    [
+      cache_version;
+      src;
+      Frontend.Codegen.scheme_name scheme;
+      (match options with
+      | None -> "noopt"
+      | Some o -> Openmpopt.Pass_manager.options_fingerprint o);
+      Printf.sprintf "emit=%b;sim=%b;remarks-only=%b" emit_ir run_sim remarks_only;
+    ]
+
+let result_to_json (r : file_result) =
+  Observe.Json.Obj
+    [
+      ("code", Observe.Json.Int r.code);
+      ("out", Observe.Json.String r.out);
+      ("err", Observe.Json.String r.err);
+    ]
+
+let result_of_json s =
+  match Observe.Json.of_string s with
+  | Error _ -> None
+  | Ok j -> (
+    match
+      ( Option.bind (Observe.Json.member "code" j) Observe.Json.to_int,
+        Option.bind (Observe.Json.member "out" j) Observe.Json.to_str,
+        Option.bind (Observe.Json.member "err" j) Observe.Json.to_str )
+    with
+    | Some code, Some out, Some err -> Some { code; out; err }
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group emit_ir
+    run_sim remarks_only stats_json print_trace jobs cache_dir =
+  let options =
+    if optimize then
+      Some
+        {
+          Openmpopt.Pass_manager.default_options with
+          disable_spmdization = no_spmd;
+          disable_deglobalization = no_deglob;
+          disable_state_machine_rewrite = no_csm;
+          disable_folding = no_fold;
+          disable_guard_grouping = no_group;
+        }
+    else None
+  in
+  if stats_json <> None && List.length files > 1 then begin
+    Fmt.epr "mompc: --stats-json accepts a single input file@.";
+    2
+  end
+  else begin
+    let cache =
+      (* stats-json writes a side file and --trace prints wall times:
+         neither is reproducible from a cached blob *)
+      if stats_json = None && not print_trace then
+        Option.map (fun dir -> Sched.Disk_cache.create ~dir) cache_dir
+      else None
+    in
+    let one file =
+      let compute () =
+        compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
+          ~print_trace file
+      in
+      match cache with
+      | None -> compute ()
+      | Some cache -> (
+        let src = In_channel.with_open_text file In_channel.input_all in
+        let key = cache_key ~scheme ~options ~emit_ir ~run_sim ~remarks_only src in
+        match Option.bind (Sched.Disk_cache.find cache ~key) result_of_json with
+        | Some r -> r
+        | None ->
+          let r = compute () in
+          (* failed compiles are not cached: they are cheap and the user is
+             about to edit the file anyway *)
+          if r.code = 0 then
+            Sched.Disk_cache.store cache ~key
+              ~data:(Observe.Json.to_string (result_to_json r));
+          r)
+    in
+    let results =
+      if jobs > 1 && List.length files > 1 then
+        Sched.Pool.with_pool ~domains:jobs (fun pool -> Sched.Pool.map_list pool one files)
+      else List.map one files
+    in
+    List.iter
+      (fun (r : file_result) ->
+        print_string r.out;
+        prerr_string r.err)
+      results;
+    flush stdout;
+    flush stderr;
+    List.fold_left (fun acc r -> max acc r.code) 0 results
+  end
+
+let files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE" ~doc:"MiniOMP source file(s); several compile as a batch")
 
 let scheme_arg =
   Arg.(
@@ -154,7 +285,7 @@ let cmd =
   Cmd.v
     (Cmd.info "mompc" ~doc)
     Term.(
-      const run_compile $ file_arg $ scheme_arg
+      const run_compile $ files_arg $ scheme_arg
       $ flag [ "O"; "openmp-opt" ] "Run the OpenMP-aware optimization pipeline"
       $ flag [ "openmp-opt-disable-spmdization" ] "Disable SPMDzation"
       $ flag [ "openmp-opt-disable-deglobalization" ] "Disable HeapToStack/HeapToShared"
@@ -173,7 +304,23 @@ let cmd =
               ~doc:
                 "Write per-round/per-pass pipeline events, the report \
                  counters and (with $(b,--run)) per-kernel simulator \
-                 cost-model counters as JSON to $(docv)")
-      $ flag [ "trace" ] "Print the per-pass pipeline trace to stderr")
+                 cost-model counters as JSON to $(docv).  Single input file \
+                 only.")
+      $ flag [ "trace" ] "Print the per-pass pipeline trace to stderr"
+      $ Arg.(
+          value & opt int 1
+          & info [ "j"; "jobs" ] ~docv:"N"
+              ~doc:
+                "Compile a multi-file batch on $(docv) scheduler domains.  \
+                 Output is printed in input order, byte-identical to -j 1.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "cache-dir" ] ~docv:"DIR"
+              ~doc:
+                "Content-addressed compilation cache: memoize each file's \
+                 compiler output in $(docv), keyed by source text, scheme \
+                 and pass options.  Ignored with $(b,--stats-json) and \
+                 $(b,--trace)."))
 
 let () = exit (Cmd.eval' cmd)

@@ -1,32 +1,59 @@
 (* Regenerate every table and figure of the paper's evaluation section.
 
-     dune exec bin/run_experiments.exe            # everything
+     dune exec bin/run_experiments.exe                 # everything, sequential
+     dune exec bin/run_experiments.exe -- -j 4         # everything, 4 domains
      dune exec bin/run_experiments.exe -- fig9
-     dune exec bin/run_experiments.exe -- fig11 xsbench --tiny *)
+     dune exec bin/run_experiments.exe -- fig11 xsbench --tiny
+
+   Every figure collects its measurements through the Sched work-stealing
+   pool ([-j N], default 1) and a shared content-addressed result cache, so
+   configurations that repeat across tables (e.g. dev0 appears in Figures
+   9, 10 and 11) are compiled and simulated once.  Tables are rendered from
+   ordered batch results: the output is byte-identical at every [-j]. *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let tiny = List.mem "--tiny" args in
+  let rec extract_j acc = function
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+      | _ ->
+        prerr_endline "run_experiments: -j expects a positive integer";
+        exit 2)
+    | a :: rest -> extract_j (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let jobs, args = extract_j [] args in
+  let jobs = Option.value jobs ~default:1 in
   let args = List.filter (fun a -> a <> "--tiny") args in
   let scale = if tiny then Proxyapps.App.Tiny else Proxyapps.App.Bench in
   let machine = Gpusim.Machine.bench_machine in
+  Sched.Pool.with_pool ~domains:jobs @@ fun pool ->
+  let cache : Harness.Runner.outcome Sched.Cache.t = Sched.Cache.create () in
+  let fig9 () = Harness.Tables.fig9 ~machine ~scale ~pool ~cache () in
+  let fig10 () = Harness.Tables.fig10 ~machine ~scale ~pool ~cache () in
+  let fig11_all () = Harness.Tables.fig11_all ~machine ~scale ~pool ~cache () in
+  let ablations () = Harness.Tables.ablations ~machine ~scale ~pool ~cache () in
   let all () =
-    print_string (Harness.Tables.fig9 ~machine ~scale ());
+    print_string (fig9 ());
     print_newline ();
-    print_string (Harness.Tables.fig10 ~machine ~scale ());
+    print_string (fig10 ());
     print_newline ();
-    print_string (Harness.Tables.fig11_all ~machine ~scale ());
+    print_string (fig11_all ());
     print_newline ();
-    print_string (Harness.Tables.ablations ~machine ~scale ())
+    print_string (ablations ())
   in
   match args with
   | [] -> all ()
-  | [ "fig9" ] -> print_string (Harness.Tables.fig9 ~machine ~scale ())
-  | [ "fig10" ] -> print_string (Harness.Tables.fig10 ~machine ~scale ())
-  | [ "fig11" ] -> print_string (Harness.Tables.fig11_all ~machine ~scale ())
+  | [ "fig9" ] -> print_string (fig9 ())
+  | [ "fig10" ] -> print_string (fig10 ())
+  | [ "fig11" ] -> print_string (fig11_all ())
   | [ "fig11"; name ] ->
-    print_string (Harness.Tables.fig11 ~machine ~scale (Proxyapps.Apps.find_exn name))
-  | [ "ablations" ] -> print_string (Harness.Tables.ablations ~machine ~scale ())
+    print_string
+      (Harness.Tables.fig11 ~machine ~scale ~pool ~cache (Proxyapps.Apps.find_exn name))
+  | [ "ablations" ] -> print_string (ablations ())
   | _ ->
-    prerr_endline "usage: run_experiments [fig9|fig10|fig11 [app]|ablations] [--tiny]";
+    prerr_endline
+      "usage: run_experiments [fig9|fig10|fig11 [app]|ablations] [--tiny] [-j N]";
     exit 2

@@ -34,6 +34,22 @@ let default_options =
     rounds = 3;
   }
 
+(* Stable, human-readable identity of an option set.  Part of the content
+   address of a pipeline job (Sched.Cache): two jobs share a cache entry only
+   if their input IR text AND this fingerprint agree, so every field must
+   appear here.  Update this when adding an option field. *)
+let options_fingerprint (o : options) =
+  Printf.sprintf
+    "spmd=%b;deglob=%b;csm=%b;fold=%b;internalize=%b;group=%b;h2shared=%b;rounds=%d"
+    (not o.disable_spmdization)
+    (not o.disable_deglobalization)
+    (not o.disable_state_machine_rewrite)
+    (not o.disable_folding)
+    (not o.disable_internalization)
+    (not o.disable_guard_grouping)
+    (not o.disable_heap_to_shared)
+    o.rounds
+
 let all_disabled =
   {
     default_options with
@@ -155,8 +171,13 @@ let flag_unknown_runtime_calls (m : Ir.Irmod.t) (sink : Remark.sink) =
           | _ -> ()))
     (Ir.Irmod.defined_funcs m)
 
-let run ?(options = default_options) ?trace (m : Ir.Irmod.t) : report =
-  let sink = Remark.sink () in
+let run ?(options = default_options) ?trace ?sink (m : Ir.Irmod.t) : report =
+  (* Every mutable artifact of one pipeline run — the remark sink, the
+     counter record and the optional trace — is local to this invocation (or
+     injected by the job context that owns it), never module-level state:
+     the batch scheduler runs many pipelines concurrently on separate
+     domains and their remarks/counters must not bleed into each other. *)
+  let sink = match sink with Some s -> s | None -> Remark.sink () in
   let report = ref empty_report in
   (* Wrap one pass invocation: when a trace is attached, snapshot the module
      and the counters around [f] and record the deltas as one event.  The

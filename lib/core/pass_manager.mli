@@ -26,6 +26,11 @@ type options = {
 val default_options : options
 (** Everything enabled, three rounds. *)
 
+val options_fingerprint : options -> string
+(** Stable, human-readable identity of an option set; used as part of the
+    content address of a pipeline job in the scheduler's result cache
+    (see docs/SCHEDULER.md).  Covers every field. *)
+
 val all_disabled : options
 (** Every OpenMP-specific optimization off (the "No OpenMP Optimization"
     build of Figure 11); generic cleanup still runs. *)
@@ -60,10 +65,17 @@ val report_to_json : report -> Observe.Json.t
 
 val pp_report : Format.formatter -> report -> unit
 
-val run : ?options:options -> ?trace:Observe.Trace.t -> Ir.Irmod.t -> report
+val run :
+  ?options:options -> ?trace:Observe.Trace.t -> ?sink:Remark.sink -> Ir.Irmod.t -> report
 (** [run m] optimizes [m] in place and reports what happened.  The module
     remains verifier-clean; every transformation preserves the observable
     trace semantics of the program (checked by the differential test suite).
+
+    All mutable pipeline state (remark sink, counters, trace) is local to
+    one [run] invocation, so concurrent runs on distinct modules from
+    different domains are safe and cannot observe each other's remarks.
+    [sink] injects a caller-owned (fresh, per-job) remark sink; when
+    omitted, a private one is created.
 
     When [trace] is given, every executed pass records one
     [Observe.Trace.event] per round: wall time, module and per-function IR

@@ -33,7 +33,12 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
-(** A mutable collector threaded through the passes. *)
+(** A mutable collector threaded through the passes.
+
+    Ownership contract (domain safety): a sink belongs to exactly one
+    pipeline run — create a fresh one per job and never share a sink
+    between concurrent [Pass_manager.run] invocations.  There is
+    deliberately no module-level default sink. *)
 type sink
 
 val sink : unit -> sink

@@ -16,11 +16,11 @@ let indirect_call_penalty = 28
 let call_overhead = 4
 let max_registers = 255
 
-let pressure_cache : (string, int) Hashtbl.t = Hashtbl.create 64
-
-let pressure (f : Func.t) =
-  (* caching on name is only valid within one estimate call; the cache is
-     cleared per estimate because the optimizer mutates functions *)
+(* The memo table lives for one [estimate] call and is allocated there, not
+   at module level: a global table keyed by function name is invalid across
+   modules that reuse names and is a data race when two domains simulate
+   concurrently (the batch scheduler runs one simulation per worker). *)
+let pressure pressure_cache (f : Func.t) =
   match Hashtbl.find_opt pressure_cache f.Func.name with
   | Some p -> p
   | None ->
@@ -29,7 +29,8 @@ let pressure (f : Func.t) =
     p
 
 let estimate (m : Irmod.t) (kernel : Func.t) =
-  Hashtbl.reset pressure_cache;
+  let pressure_cache : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let pressure = pressure pressure_cache in
   let cg = Analysis.Callgraph.compute m in
   let reachable = Analysis.Callgraph.reachable_from cg [ kernel.Func.name ] in
   let has_indirect =

@@ -10,6 +10,16 @@ type t = { label : string; build : build }
 
 let dev options = Dev options
 
+(* Content identity of a build for the scheduler's result cache.  The label
+   is deliberately excluded: two configs with different labels but the same
+   build produce the same measurement and should share a cache entry. *)
+let build_fingerprint = function
+  | Llvm12 -> "llvm12"
+  | Dev_noopt -> "dev-noopt"
+  | Dev options ->
+    "dev{" ^ Openmpopt.Pass_manager.options_fingerprint options ^ "}"
+  | Cuda -> "cuda"
+
 let opts = Openmpopt.Pass_manager.default_options
 
 (* Named option subsets, mirroring the bar labels of Figure 11. *)

@@ -10,6 +10,11 @@ type t = { label : string; build : build }
 
 val dev : Openmpopt.Pass_manager.options -> build
 
+val build_fingerprint : build -> string
+(** Content identity of a build for the scheduler's result cache.  Excludes
+    the display label: configs that differ only in label share cache
+    entries. *)
+
 (** Named option subsets mirroring the bar labels of Figure 11. *)
 
 val only_h2s : Openmpopt.Pass_manager.options

@@ -22,7 +22,11 @@ type outcome = Ok of metrics | Oom of string | Error of string
 
 type measurement = { app : string; config : Config.t; outcome : outcome }
 
-let compile_for ?trace (config : Config.t) (app : Proxyapps.App.t)
+(* Front-end compile only: the returned options say whether (and how) the
+   OpenMP-aware pipeline still has to run.  Splitting the front end from the
+   middle end lets the cached path content-address the *unoptimized* module
+   text and skip the optimize+simulate work on a hit. *)
+let frontend_for (config : Config.t) (app : Proxyapps.App.t)
     (scale : Proxyapps.App.scale) =
   let file = app.Proxyapps.App.name ^ ".c" in
   match config.Config.build with
@@ -34,12 +38,18 @@ let compile_for ?trace (config : Config.t) (app : Proxyapps.App.t)
     (Frontend.Codegen.compile ~scheme:Frontend.Codegen.Simplified ~file src, None)
   | Config.Dev options ->
     let src = app.Proxyapps.App.omp_source scale in
-    let m = Frontend.Codegen.compile ~scheme:Frontend.Codegen.Simplified ~file src in
-    let report = Openmpopt.Pass_manager.run ~options ?trace m in
-    (m, Some report)
+    (Frontend.Codegen.compile ~scheme:Frontend.Codegen.Simplified ~file src, Some options)
   | Config.Cuda ->
     let src = app.Proxyapps.App.cuda_source scale in
     (Frontend.Codegen.compile ~scheme:Frontend.Codegen.Cuda ~file src, None)
+
+let compile_for ?trace (config : Config.t) (app : Proxyapps.App.t)
+    (scale : Proxyapps.App.scale) =
+  match frontend_for config app scale with
+  | m, None -> (m, None)
+  | m, Some options ->
+    let report = Openmpopt.Pass_manager.run ~options ?trace m in
+    (m, Some report)
 
 let checksum_of_trace sim =
   match Gpusim.Interp.trace_values sim with
@@ -47,53 +57,111 @@ let checksum_of_trace sim =
   | [ Gpusim.Rvalue.I v ] -> Some (Int64.to_float v)
   | _ -> None
 
+(* Verify + simulate an already-optimized module. *)
+let measure ~machine ~trace (m : Ir.Irmod.t)
+    (report : Openmpopt.Pass_manager.report option) : outcome =
+  match Ir.Verify.check m with
+  | Result.Error msg -> Error ("verifier: " ^ msg)
+  | Result.Ok () -> (
+    let sim = Gpusim.Interp.create machine m in
+    match Gpusim.Interp.run_host sim with
+    | exception Gpusim.Mem.Out_of_memory msg -> Oom msg
+    | exception e -> Error (Printexc.to_string e)
+    | () ->
+      let stats = sim.Gpusim.Interp.kernel_stats in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+      Ok
+        {
+          cycles = Gpusim.Interp.total_kernel_cycles sim;
+          smem_bytes = Gpusim.Interp.max_shared_bytes sim;
+          registers = Gpusim.Interp.max_registers sim;
+          heap_high_water =
+            List.fold_left
+              (fun acc (s : Gpusim.Interp.launch_stats) ->
+                max acc s.heap_high_water)
+              0 stats;
+          instructions = sum (fun s -> s.Gpusim.Interp.instructions);
+          barriers = sum (fun s -> s.Gpusim.Interp.barriers);
+          atomics =
+            sum (fun s ->
+                s.Gpusim.Interp.atomics_global + s.Gpusim.Interp.atomics_shared);
+          divergent_branches = sum (fun s -> s.Gpusim.Interp.divergent_branches);
+          indirect_calls = sum (fun s -> s.Gpusim.Interp.indirect_calls);
+          runtime_calls = sum (fun s -> s.Gpusim.Interp.runtime_calls);
+          checksum = checksum_of_trace sim;
+          report;
+          kernel_stats = List.rev stats;
+          trace;
+        })
+
+(* Machine descriptions are immutable records of scalars, so marshalling is
+   a deterministic content fingerprint. *)
+let machine_fingerprint (machine : Gpusim.Machine.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string machine []))
+
+let scale_fingerprint = function
+  | Proxyapps.App.Tiny -> "tiny"
+  | Proxyapps.App.Bench -> "bench"
+
+(* The content address of one pipeline job (docs/SCHEDULER.md): the
+   unoptimized MiniIR text plus everything else that determines the
+   measurement — the build (pass options), the simulated machine and the
+   problem scale.  The app name is deliberately NOT part of the key. *)
+let cache_key ~machine ~scale (m : Ir.Irmod.t) (config : Config.t) =
+  Sched.Cache.key
+    [
+      Ir.Printer.module_to_string m;
+      Config.build_fingerprint config.Config.build;
+      machine_fingerprint machine;
+      scale_fingerprint scale;
+    ]
+
 let run ?(machine = Gpusim.Machine.bench_machine) ?(scale = Proxyapps.App.Bench)
-    ?(with_trace = false) (app : Proxyapps.App.t) (config : Config.t) : measurement =
+    ?(with_trace = false) ?cache (app : Proxyapps.App.t) (config : Config.t) :
+    measurement =
+  (* each job owns a fresh trace (and, inside the pass manager, a fresh
+     remark sink), so concurrent jobs never interleave their events *)
   let trace = if with_trace then Some (Observe.Trace.create ()) else None in
   let outcome =
-    match compile_for ?trace config app scale with
-    | exception e -> Error (Printexc.to_string e)
-    | m, report -> (
-      match Ir.Verify.check m with
-      | Result.Error msg -> Error ("verifier: " ^ msg)
-      | Result.Ok () -> (
-        let sim = Gpusim.Interp.create machine m in
-        match Gpusim.Interp.run_host sim with
-        | exception Gpusim.Mem.Out_of_memory msg -> Oom msg
-        | exception e -> Error (Printexc.to_string e)
-        | () ->
-          let stats = sim.Gpusim.Interp.kernel_stats in
-          let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
-          Ok
-            {
-              cycles = Gpusim.Interp.total_kernel_cycles sim;
-              smem_bytes = Gpusim.Interp.max_shared_bytes sim;
-              registers = Gpusim.Interp.max_registers sim;
-              heap_high_water =
-                List.fold_left
-                  (fun acc (s : Gpusim.Interp.launch_stats) ->
-                    max acc s.heap_high_water)
-                  0 stats;
-              instructions = sum (fun s -> s.Gpusim.Interp.instructions);
-              barriers = sum (fun s -> s.Gpusim.Interp.barriers);
-              atomics =
-                sum (fun s ->
-                    s.Gpusim.Interp.atomics_global + s.Gpusim.Interp.atomics_shared);
-              divergent_branches = sum (fun s -> s.Gpusim.Interp.divergent_branches);
-              indirect_calls = sum (fun s -> s.Gpusim.Interp.indirect_calls);
-              runtime_calls = sum (fun s -> s.Gpusim.Interp.runtime_calls);
-              checksum = checksum_of_trace sim;
-              report;
-              kernel_stats = List.rev stats;
-              trace;
-            }))
+    match cache with
+    | None -> (
+      match compile_for ?trace config app scale with
+      | exception e -> Error (Printexc.to_string e)
+      | m, report -> measure ~machine ~trace m report)
+    | Some cache -> (
+      (* the front end always runs (its text is the cache key); the
+         optimize+simulate work — the expensive part — is what a hit skips.
+         Front-end failures produce no module, hence no key: not cached. *)
+      match frontend_for config app scale with
+      | exception e -> Error (Printexc.to_string e)
+      | m, options ->
+        let key = cache_key ~machine ~scale m config in
+        Sched.Cache.find_or_compute cache ~key (fun () ->
+            let report =
+              Option.map
+                (fun options -> Openmpopt.Pass_manager.run ~options ?trace m)
+                options
+            in
+            measure ~machine ~trace m report))
   in
   { app = app.Proxyapps.App.name; config; outcome }
 
 (* Run a list of configurations for one app; the result list is in config
-   order. *)
-let run_configs ?machine ?scale ?with_trace app configs =
-  List.map (fun config -> run ?machine ?scale ?with_trace app config) configs
+   order regardless of the execution interleaving. *)
+let run_configs ?machine ?scale ?with_trace ?pool ?cache app configs =
+  let one config = run ?machine ?scale ?with_trace ?cache app config in
+  match pool with
+  | None -> List.map one configs
+  | Some pool -> Sched.Pool.map_list pool one configs
+
+(* The batch entry point of the scheduler: compile+optimize+simulate every
+   (app, config) pair, concurrently when a pool is given.  Results are in
+   input order, so sequential and parallel runs render identical tables. *)
+let run_batch ?machine ?scale ?with_trace ?pool ?cache jobs =
+  let one (app, config) = run ?machine ?scale ?with_trace ?cache app config in
+  match pool with
+  | None -> List.map one jobs
+  | Some pool -> Sched.Pool.map_list pool one jobs
 
 (* Relative performance versus a baseline measurement (the paper normalizes
    to LLVM 12): >1 means faster than the baseline. *)

@@ -28,24 +28,57 @@ type outcome =
 
 type measurement = { app : string; config : Config.t; outcome : outcome }
 
+val cache_key :
+  machine:Gpusim.Machine.t ->
+  scale:Proxyapps.App.scale ->
+  Ir.Irmod.t ->
+  Config.t ->
+  string
+(** Content address of one pipeline job: digest of the unoptimized MiniIR
+    module text, the build fingerprint (pass options), the machine
+    description and the scale.  Exposed for the test suite; the exact
+    definition is documented in docs/SCHEDULER.md. *)
+
 val run :
   ?machine:Gpusim.Machine.t ->
   ?scale:Proxyapps.App.scale ->
   ?with_trace:bool ->
+  ?cache:outcome Sched.Cache.t ->
   Proxyapps.App.t ->
   Config.t ->
   measurement
 (** Defaults: [Gpusim.Machine.bench_machine], [Proxyapps.App.Bench],
     [with_trace:false].  Tracing is off by default so that bechamel
-    micro-benchmarks measure the pipeline itself, not the instrumentation. *)
+    micro-benchmarks measure the pipeline itself, not the instrumentation.
+
+    With [cache], the front end still runs (its output text is the content
+    address) but the optimize+simulate work is skipped on a hit.  A cached
+    outcome carries the trace and report of the job that computed it;
+    front-end failures are never cached. *)
 
 val run_configs :
   ?machine:Gpusim.Machine.t ->
   ?scale:Proxyapps.App.scale ->
   ?with_trace:bool ->
+  ?pool:Sched.Pool.t ->
+  ?cache:outcome Sched.Cache.t ->
   Proxyapps.App.t ->
   Config.t list ->
   measurement list
+(** Results in config order regardless of execution interleaving. *)
+
+val run_batch :
+  ?machine:Gpusim.Machine.t ->
+  ?scale:Proxyapps.App.scale ->
+  ?with_trace:bool ->
+  ?pool:Sched.Pool.t ->
+  ?cache:outcome Sched.Cache.t ->
+  (Proxyapps.App.t * Config.t) list ->
+  measurement list
+(** Compile+optimize+simulate every (app, config) pair — concurrently when
+    [pool] is given, each job with its own trace and remark sink — and
+    return measurements in input order, so sequential and parallel batches
+    render byte-identical tables. *)
 
 val relative : baseline:measurement -> measurement -> float option
 (** Performance relative to [baseline] (the paper normalizes to LLVM 12):

@@ -1,27 +1,41 @@
 (* Renderers for the evaluation tables and figures.  Each produces the rows
-   the paper reports; EXPERIMENTS.md records paper-vs-measured. *)
+   the paper reports; EXPERIMENTS.md records paper-vs-measured.
 
-let bf = Buffer.create 4096
+   Rendering is two-phase: collect every measurement through
+   [Runner.run_batch] (parallel when a [pool] is given), then print from the
+   ordered results into a buffer local to the call.  The buffer used to be a
+   module-level global, which silently corrupted output when two tables were
+   rendered from different domains; collection order is the only thing that
+   parallelism may change, and batches preserve input order, so a table is
+   byte-identical at any [-j]. *)
 
-let line fmt = Fmt.kstr (fun s -> Buffer.add_string bf (s ^ "\n")) fmt
+(* A per-call line printer over a private buffer.  The polymorphic record
+   field keeps [line] usable at every format type inside the callback
+   (a plain lambda parameter would be monomorphic). *)
+type liner = { line : 'a. ('a, Format.formatter, unit, unit) format4 -> 'a }
 
-let flush () =
-  let s = Buffer.contents bf in
-  Buffer.clear bf;
-  s
+let with_lines f =
+  let bf = Buffer.create 4096 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string bf (s ^ "\n")) fmt in
+  f { line };
+  Buffer.contents bf
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9: optimization opportunities and remarks per kernel          *)
 (* ------------------------------------------------------------------ *)
 
-let fig9 ?machine ?scale () =
+let fig9 ?machine ?scale ?pool ?cache () =
+  with_lines @@ fun { line } ->
   line "Figure 9: optimization opportunities and remarks (full pipeline)";
   line "%-10s | %-17s | %-17s | %-13s | %s" "app" "h2s / h2shared" "CSM / SPMDzation"
     "RTOpt EM / PL" "Remarks";
   line "%s" (String.make 78 '-');
+  let measurements =
+    Runner.run_batch ?machine ?scale ?pool ?cache
+      (List.map (fun app -> (app, Config.dev0)) Proxyapps.Apps.all)
+  in
   List.iter
-    (fun app ->
-      let m = Runner.run ?machine ?scale app Config.dev0 in
+    (fun (m : Runner.measurement) ->
       match m.Runner.outcome with
       | Runner.Ok { report = Some r; _ } ->
         let spmd = r.Openmpopt.Pass_manager.spmdized > 0 in
@@ -44,34 +58,48 @@ let fig9 ?machine ?scale () =
       | Runner.Ok { report = None; _ } -> line "%-10s | (no report)" m.Runner.app
       | Runner.Oom msg -> line "%-10s | OOM: %s" m.Runner.app msg
       | Runner.Error msg -> line "%-10s | ERROR: %s" m.Runner.app msg)
-    Proxyapps.Apps.all;
-  flush ()
+    measurements
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10: kernel time, shared memory, registers per build           *)
 (* ------------------------------------------------------------------ *)
 
-let fig10 ?machine ?scale () =
+let fig10 ?machine ?scale ?pool ?cache () =
+  (* one flat batch over every (app, config) cell, then render per app *)
+  let jobs =
+    List.concat_map
+      (fun app ->
+        List.map
+          (fun config -> (app, config))
+          (Config.fig10_configs app.Proxyapps.App.name))
+      Proxyapps.Apps.all
+  in
+  let results = Runner.run_batch ?machine ?scale ?pool ?cache jobs in
+  let by_app =
+    List.map2 (fun (app, _) m -> (app.Proxyapps.App.name, m)) jobs results
+  in
+  with_lines @@ fun { line } ->
   line "Figure 10: kernel cycles, shared memory and register usage";
   line "%-10s %-28s %12s %10s %7s" "app" "build" "cycles" "SMem(KB)" "#Regs";
   line "%s" (String.make 72 '-');
   List.iter
     (fun app ->
       List.iter
-        (fun config ->
-          let m = Runner.run ?machine ?scale app config in
-          match m.Runner.outcome with
-          | Runner.Ok x ->
-            line "%-10s %-28s %12d %10.2f %7d" m.Runner.app config.Config.label x.Runner.cycles
-              (float_of_int x.Runner.smem_bytes /. 1024.0)
-              x.Runner.registers
-          | Runner.Oom _ -> line "%-10s %-28s %12s" m.Runner.app config.Config.label "OOM"
-          | Runner.Error msg ->
-            line "%-10s %-28s ERROR: %s" m.Runner.app config.Config.label msg)
-        (Config.fig10_configs app.Proxyapps.App.name);
+        (fun (name, (m : Runner.measurement)) ->
+          if String.equal name app.Proxyapps.App.name then
+            match m.Runner.outcome with
+            | Runner.Ok x ->
+              line "%-10s %-28s %12d %10.2f %7d" m.Runner.app
+                m.Runner.config.Config.label x.Runner.cycles
+                (float_of_int x.Runner.smem_bytes /. 1024.0)
+                x.Runner.registers
+            | Runner.Oom _ ->
+              line "%-10s %-28s %12s" m.Runner.app m.Runner.config.Config.label "OOM"
+            | Runner.Error msg ->
+              line "%-10s %-28s ERROR: %s" m.Runner.app m.Runner.config.Config.label msg)
+        by_app;
       line "%s" "")
-    Proxyapps.Apps.all;
-  flush ()
+    Proxyapps.Apps.all
 
 (* ------------------------------------------------------------------ *)
 (* Figure 11: per-app relative performance                              *)
@@ -97,14 +125,15 @@ let check_consistency (measurements : Runner.measurement list) =
         else None)
       sums
 
-let fig11 ?machine ?scale (app : Proxyapps.App.t) =
+let fig11 ?machine ?scale ?pool ?cache (app : Proxyapps.App.t) =
   let configs = Config.fig11_configs app.Proxyapps.App.name in
-  let measurements = Runner.run_configs ?machine ?scale app configs in
+  let measurements = Runner.run_configs ?machine ?scale ?pool ?cache app configs in
   let baseline =
     List.find
       (fun m -> m.Runner.config.Config.label = "LLVM 12")
       measurements
   in
+  with_lines @@ fun { line } ->
   line "Figure 11 (%s): GPU kernel performance relative to LLVM 12" app.Proxyapps.App.name;
   List.iter
     (fun m ->
@@ -116,25 +145,25 @@ let fig11 ?machine ?scale (app : Proxyapps.App.t) =
       | Runner.Oom _ -> line "  %-32s %6s" m.Runner.config.Config.label "OOM"
       | Runner.Error msg -> line "  %-32s ERROR: %s" m.Runner.config.Config.label msg)
     measurements;
-  List.iter (fun msg -> line "  %s" msg) (check_consistency measurements);
-  flush ()
+  List.iter (fun msg -> line "  %s" msg) (check_consistency measurements)
 
-let fig11_all ?machine ?scale () =
+let fig11_all ?machine ?scale ?pool ?cache () =
   String.concat "\n"
-    (List.map (fun app -> fig11 ?machine ?scale app) Proxyapps.Apps.all)
+    (List.map (fun app -> fig11 ?machine ?scale ?pool ?cache app) Proxyapps.Apps.all)
 
 (* ------------------------------------------------------------------ *)
 (* Per-pass pipeline breakdown (Observe trace, dev0 build)              *)
 (* ------------------------------------------------------------------ *)
 
 let pass_breakdown ?machine ?scale (app : Proxyapps.App.t) =
+  with_lines @@ fun { line } ->
   line "Pass breakdown (%s, %s): per-round pipeline effects" app.Proxyapps.App.name
     Config.dev0.Config.label;
   line "%-3s %-14s %10s %8s %8s %7s  %s" "rnd" "pass" "time(us)" "Δinstrs" "Δblocks"
     "Δallocs" "counters";
   line "%s" (String.make 76 '-');
   let m = Runner.run ?machine ?scale ~with_trace:true app Config.dev0 in
-  (match m.Runner.outcome with
+  match m.Runner.outcome with
   | Runner.Ok { trace = Some tr; _ } ->
     List.iter
       (fun (e : Observe.Trace.event) ->
@@ -148,8 +177,7 @@ let pass_breakdown ?machine ?scale (app : Proxyapps.App.t) =
       (Observe.Trace.events tr)
   | Runner.Ok { trace = None; _ } -> line "  (no trace)"
   | Runner.Oom msg -> line "  OOM: %s" msg
-  | Runner.Error msg -> line "  ERROR: %s" msg);
-  flush ()
+  | Runner.Error msg -> line "  ERROR: %s" msg
 
 let pass_breakdown_all ?machine ?scale () =
   String.concat "\n"
@@ -170,28 +198,41 @@ let ablation_configs =
       { Openmpopt.Pass_manager.default_options with disable_heap_to_shared = true } );
   ]
 
-let ablations ?machine ?scale () =
+let ablations ?machine ?scale ?pool ?cache () =
+  let jobs =
+    List.concat_map
+      (fun app ->
+        List.map
+          (fun (label, options) ->
+            (app, { Config.label; build = Config.dev options }))
+          ablation_configs)
+      Proxyapps.Apps.all
+  in
+  let results = Runner.run_batch ?machine ?scale ?pool ?cache jobs in
+  let by_app =
+    List.map2 (fun (app, _) m -> (app.Proxyapps.App.name, m)) jobs results
+  in
+  with_lines @@ fun { line } ->
   line "Ablations: cycles / barriers / guarded regions under pass variants";
   line "%-10s %-34s %12s %9s %7s" "app" "variant" "cycles" "barriers" "guards";
   line "%s" (String.make 78 '-');
   List.iter
     (fun app ->
       List.iter
-        (fun (label, options) ->
-          let config = { Config.label; build = Config.dev options } in
-          let m = Runner.run ?machine ?scale app config in
-          match m.Runner.outcome with
-          | Runner.Ok x ->
-            let guards =
-              match x.Runner.report with
-              | Some r -> r.Openmpopt.Pass_manager.guards
-              | None -> 0
-            in
-            line "%-10s %-34s %12d %9d %7d" m.Runner.app label x.Runner.cycles
-              x.Runner.barriers guards
-          | Runner.Oom _ -> line "%-10s %-34s %12s" m.Runner.app label "OOM"
-          | Runner.Error msg -> line "%-10s %-34s ERROR: %s" m.Runner.app label msg)
-        ablation_configs;
+        (fun (name, (m : Runner.measurement)) ->
+          if String.equal name app.Proxyapps.App.name then
+            let label = m.Runner.config.Config.label in
+            match m.Runner.outcome with
+            | Runner.Ok x ->
+              let guards =
+                match x.Runner.report with
+                | Some r -> r.Openmpopt.Pass_manager.guards
+                | None -> 0
+              in
+              line "%-10s %-34s %12d %9d %7d" m.Runner.app label x.Runner.cycles
+                x.Runner.barriers guards
+            | Runner.Oom _ -> line "%-10s %-34s %12s" m.Runner.app label "OOM"
+            | Runner.Error msg -> line "%-10s %-34s ERROR: %s" m.Runner.app label msg)
+        by_app;
       line "%s" "")
-    Proxyapps.Apps.all;
-  flush ()
+    Proxyapps.Apps.all

@@ -1,6 +1,13 @@
 (** Imperative construction of MiniIR functions, in the style of LLVM's
     IRBuilder: the builder holds an insertion point and appends
-    instructions, returning the [Value.t] of each result. *)
+    instructions, returning the [Value.t] of each result.
+
+    Domain-safety invariant: a builder carries no global state — fresh
+    register ids come from the per-function generator ([Func.fresh_reg])
+    and fresh names from the per-module [Irmod.fresh_name], so two domains
+    building (or optimizing) distinct modules never contend on a shared
+    counter.  Keep it that way: never introduce a module-level [Id_gen]
+    here (the batch scheduler relies on it; see docs/SCHEDULER.md). *)
 
 type t
 

@@ -1,0 +1,70 @@
+(* In-memory content-addressed cache; one mutex, accurate hit/miss
+   accounting under concurrency. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+(* Frame every part with its length so ["ab"; "c"] and ["a"; "bc"] cannot
+   collide, then digest. *)
+let key parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p;
+      Buffer.add_char buf '\n')
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let find_or_compute t ~key f =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.mutex;
+    v
+  | None ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.mutex;
+    let v = f () in
+    Mutex.lock t.mutex;
+    (* first insertion wins; concurrent computers of the same key produced
+       equal values by the determinism contract *)
+    let v =
+      match Hashtbl.find_opt t.table key with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.replace t.table key v;
+        v
+    in
+    Mutex.unlock t.mutex;
+    v
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  let v = f () in
+  Mutex.unlock t.mutex;
+  v
+
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+
+let hit_rate t =
+  with_lock t (fun () ->
+      let total = t.hits + t.misses in
+      if total = 0 then 0. else float_of_int t.hits /. float_of_int total)
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let reset_counters t =
+  with_lock t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0)

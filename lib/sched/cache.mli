@@ -1,0 +1,39 @@
+(** Content-addressed, domain-safe result cache.
+
+    Keys are digests of job *content* — for pipeline jobs, the printed IR
+    module text plus the pass-option fingerprint (plus machine/scale salts;
+    see docs/SCHEDULER.md for the exact key definition) — so identical
+    inputs hit regardless of which file, app or batch slot produced them.
+    Values are whatever the job computes (pipeline report, optimized IR
+    text, a full measurement).
+
+    All operations are thread-safe.  Two domains that miss the same key
+    concurrently both compute; the first insertion wins and both count as
+    misses (values are equal by the determinism contract, so which one is
+    kept is unobservable). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val key : string list -> string
+(** Digest (hex) of the concatenated parts, separator-framed so that part
+    boundaries cannot collide. *)
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
+(** Return the cached value for [key], or run the thunk (outside the cache
+    lock), memoize and return its result.  A raising thunk caches
+    nothing. *)
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val hit_rate : 'a t -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
+
+val length : 'a t -> int
+
+val reset_counters : 'a t -> unit
+(** Zero the hit/miss counters, keeping the cached entries — used to
+    measure the hit rate of one warm batch in isolation. *)

@@ -1,0 +1,81 @@
+(* Directory-backed blob cache.  No Unix dependency: Sys + channels are
+   enough for mkdir-p (via repeated Sys.mkdir), atomic publish (write a
+   unique temp file, Sys.rename over the destination) and lookup. *)
+
+type t = {
+  cache_dir : string;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.file_exists path -> ()  (* lost a creation race *)
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  {
+    cache_dir = dir;
+    mutex = Mutex.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let dir t = t.cache_dir
+
+(* keys are Cache.key digests, but sanitize anyway so a stray caller cannot
+   escape the cache directory *)
+let path_of t key =
+  let safe =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '_')
+      key
+  in
+  Filename.concat t.cache_dir safe
+
+let count_hit t ok =
+  Mutex.lock t.mutex;
+  if ok then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  Mutex.unlock t.mutex
+
+let find t ~key =
+  let path = path_of t key in
+  if Sys.file_exists path then begin
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    count_hit t true;
+    Some data
+  end
+  else begin
+    count_hit t false;
+    None
+  end
+
+let store t ~key ~data =
+  let path = path_of t key in
+  (* Filename.temp_file picks a name unique across processes; the rename is
+     same-directory, so the publish is atomic *)
+  let tmp = Filename.temp_file ~temp_dir:t.cache_dir "sched-cache" ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+  Sys.rename tmp path
+
+let find_or_compute t ~key f =
+  match find t ~key with
+  | Some data -> data
+  | None ->
+    let data = f () in
+    store t ~key ~data;
+    data
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  let v = f () in
+  Mutex.unlock t.mutex;
+  v
+
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)

@@ -1,0 +1,23 @@
+(** Directory-backed blob cache (the [--cache-dir] of [mompc]).
+
+    One file per key under the cache directory, written atomically
+    (temp file + rename), so concurrent writers of the same key — even
+    across processes — leave a complete entry.  Keys must be filesystem-safe;
+    use {!Cache.key} digests. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and missing parents) if needed. *)
+
+val dir : t -> string
+
+val find : t -> key:string -> string option
+
+val store : t -> key:string -> data:string -> unit
+
+val find_or_compute : t -> key:string -> (unit -> string) -> string
+
+val hits : t -> int
+
+val misses : t -> int

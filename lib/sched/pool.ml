@@ -1,0 +1,229 @@
+(* Work-stealing domain pool.
+
+   One mutex guards all scheduler state (the per-worker deques and the
+   counters).  Our jobs are whole compile+optimize+simulate pipelines —
+   milliseconds to seconds each — so a scheduler-level lock is invisible in
+   profiles; what matters is the work-stealing *shape*: owners pop
+   newest-first from their own deque (locality: a just-submitted batch stays
+   warm), thieves take the oldest job of a victim (the one the owner would
+   reach last). *)
+
+(* A deque as a front/back list pair; every operation runs under the pool
+   mutex, so no per-deque synchronization is needed. *)
+module Deque = struct
+  type 'a t = { mutable front : 'a list; mutable back : 'a list }
+  (* front holds oldest-first, back holds newest-first *)
+
+  let create () = { front = []; back = [] }
+  let push_newest d x = d.back <- x :: d.back
+
+  let pop_newest d =
+    match d.back with
+    | x :: rest ->
+      d.back <- rest;
+      Some x
+    | [] -> (
+      (* move front (oldest-first) to back (newest-first) *)
+      match List.rev d.front with
+      | [] -> None
+      | x :: rest ->
+        d.front <- [];
+        d.back <- rest;
+        Some x)
+
+  let pop_oldest d =
+    match d.front with
+    | x :: rest ->
+      d.front <- rest;
+      Some x
+    | [] -> (
+      match List.rev d.back with
+      | [] -> None
+      | x :: rest ->
+        d.back <- [];
+        d.front <- rest;
+        Some x)
+end
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fcond : Condition.t;
+  mutable fstate : 'a state;
+}
+
+(* Jobs erase their result type: the closure fulfils its own future. *)
+type job = unit -> unit
+
+type stats = { submitted : int; executed : int; stolen : int; max_pending : int }
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;  (* workers wait here for jobs *)
+  space_available : Condition.t;  (* submitters wait here under backpressure *)
+  deques : job Deque.t array;
+  queue_capacity : int;
+  mutable pending : int;  (* queued, not yet started *)
+  mutable next_deque : int;  (* round-robin submission cursor *)
+  mutable shutting_down : bool;
+  mutable submitted : int;
+  mutable executed : int;
+  mutable stolen : int;
+  mutable max_pending : int;
+  mutable workers : unit Domain.t list;
+}
+
+let domain_count t = Array.length t.deques
+
+(* Take a job for worker [i]: own deque newest-first, then steal the oldest
+   job from the first non-empty sibling.  Caller holds the mutex. *)
+let try_take t i =
+  match Deque.pop_newest t.deques.(i) with
+  | Some j -> Some j
+  | None ->
+    let n = Array.length t.deques in
+    let rec scan k =
+      if k = n then None
+      else
+        let victim = (i + k) mod n in
+        match Deque.pop_oldest t.deques.(victim) with
+        | Some j ->
+          t.stolen <- t.stolen + 1;
+          Some j
+        | None -> scan (k + 1)
+    in
+    scan 1
+
+let worker_loop t i =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match try_take t i with
+    | Some job ->
+      t.pending <- t.pending - 1;
+      Condition.signal t.space_available;
+      Mutex.unlock t.mutex;
+      job ();
+      Mutex.lock t.mutex;
+      next ()
+    | None ->
+      if t.shutting_down then Mutex.unlock t.mutex
+      else begin
+        Condition.wait t.work_available t.mutex;
+        next ()
+      end
+  in
+  next ()
+
+let create ?queue_capacity ~domains () =
+  let domains = max 1 domains in
+  let queue_capacity =
+    match queue_capacity with Some c -> max 1 c | None -> 4 * domains
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      space_available = Condition.create ();
+      deques = Array.init domains (fun _ -> Deque.create ());
+      queue_capacity;
+      pending = 0;
+      next_deque = 0;
+      shutting_down = false;
+      submitted = 0;
+      executed = 0;
+      stolen = 0;
+      max_pending = 0;
+      workers = [];
+    }
+  in
+  t.workers <- List.init domains (fun i -> Domain.spawn (fun () -> worker_loop t i));
+  t
+
+let fulfil fut result =
+  Mutex.lock fut.fmutex;
+  fut.fstate <- result;
+  Condition.broadcast fut.fcond;
+  Mutex.unlock fut.fmutex
+
+let submit t f =
+  let fut = { fmutex = Mutex.create (); fcond = Condition.create (); fstate = Pending } in
+  (* [executed] is bumped before the future is fulfilled, so any stats read
+     that follows an [await] of this job already counts it. *)
+  let job () =
+    let result =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock t.mutex;
+    t.executed <- t.executed + 1;
+    Mutex.unlock t.mutex;
+    fulfil fut result
+  in
+  Mutex.lock t.mutex;
+  if t.shutting_down then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Sched.Pool.submit: pool is shut down"
+  end;
+  while t.pending >= t.queue_capacity do
+    Condition.wait t.space_available t.mutex
+  done;
+  Deque.push_newest t.deques.(t.next_deque) job;
+  t.next_deque <- (t.next_deque + 1) mod Array.length t.deques;
+  t.pending <- t.pending + 1;
+  t.submitted <- t.submitted + 1;
+  if t.pending > t.max_pending then t.max_pending <- t.pending;
+  Condition.signal t.work_available;
+  Mutex.unlock t.mutex;
+  fut
+
+let await fut =
+  Mutex.lock fut.fmutex;
+  while fut.fstate = Pending do
+    Condition.wait fut.fcond fut.fmutex
+  done;
+  let st = fut.fstate in
+  Mutex.unlock fut.fmutex;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+(* Results come back in input order regardless of execution interleaving:
+   the futures list is built in order and awaited in order. *)
+let map_list t f xs =
+  let futures = List.map (fun x -> submit t (fun () -> f x)) xs in
+  List.map await futures
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      submitted = t.submitted;
+      executed = t.executed;
+      stolen = t.stolen;
+      max_pending = t.max_pending;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.shutting_down then Mutex.unlock t.mutex
+  else begin
+    t.shutting_down <- true;
+    Condition.broadcast t.work_available;
+    Condition.broadcast t.space_available;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?queue_capacity ~domains f =
+  let t = create ?queue_capacity ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

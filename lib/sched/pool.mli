@@ -1,0 +1,55 @@
+(** A fixed-size work-stealing job scheduler on OCaml 5 [Domain]s.
+
+    The pool owns [domains] worker domains.  Each worker has its own deque;
+    submitted jobs are distributed round-robin, a worker services its own
+    deque newest-first (LIFO, for locality) and steals the oldest job
+    (FIFO) from a sibling when its own deque is empty.  The pending-job
+    count is bounded: [submit] blocks once [queue_capacity] jobs are
+    queued, giving natural backpressure to producers.
+
+    Domain-safety contract for jobs: a job must not touch mutable state
+    shared with another job (each compile/simulate job builds its own IR
+    module, remark sink and trace; see docs/SCHEDULER.md).  Jobs must not
+    themselves call [submit]/[await] on the same pool — the pool is a flat
+    worker pool, not a nested fork-join runtime. *)
+
+type t
+
+type 'a future
+
+(** Lifetime statistics of a pool (monotonic; read with {!stats}). *)
+type stats = {
+  submitted : int;  (** jobs accepted by {!submit} *)
+  executed : int;  (** jobs completed (successfully or with an exception) *)
+  stolen : int;  (** jobs a worker took from a sibling's deque *)
+  max_pending : int;  (** high-water mark of the bounded queue *)
+}
+
+val create : ?queue_capacity:int -> domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] worker domains (at least 1).
+    [queue_capacity] bounds the number of queued-but-not-started jobs
+    (default [4 * domains]; at least 1). *)
+
+val domain_count : t -> int
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a job.  Blocks while the queue is at capacity.  Raises
+    [Invalid_argument] if the pool has been shut down. *)
+
+val await : 'a future -> 'a
+(** Wait for a job's result.  Re-raises the job's exception (with its
+    backtrace) if it failed. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list t f xs] runs [f x] for every element as pool jobs and returns
+    the results in input order — deterministic output for deterministic
+    [f], whatever the execution interleaving.  Equivalent to
+    [List.map f xs] observationally when [f] is pure per-element. *)
+
+val stats : t -> stats
+
+val shutdown : t -> unit
+(** Drain every queued job, then join the worker domains.  Idempotent. *)
+
+val with_pool : ?queue_capacity:int -> domains:int -> (t -> 'a) -> 'a
+(** [create], run the callback, always [shutdown]. *)

@@ -234,9 +234,25 @@ let prop_idempotent p =
       QCheck.Test.fail_reportf "verifier rejected twice-optimized module: %s@.%s" msg
         src
 
+(* CI exit-path canary: FUZZ_FORCE_FAIL=1 injects a property that always
+   fails, so the shrinker reduces a counterexample and the run must exit
+   nonzero.  tools/check_fuzz_exit.sh asserts that this exit code survives
+   the `dune exec ... -- test fuzz` invocation `make ci` uses; a gate whose
+   failing fuzz run exits 0 is not a gate. *)
+let forced_fail =
+  Helpers.qtest ~count:5 "forced failure (FUZZ_FORCE_FAIL canary)" arb_prog
+    (fun p ->
+      ignore (render (deracify p));
+      QCheck.Test.fail_reportf "FUZZ_FORCE_FAIL canary: intentional failure")
+
 let suite =
-  [
-    Helpers.qtest ~count:40 "random kernels: all schemes and configs agree" arb_prog
-      prop_differential;
-    Helpers.qtest ~count:30 "optimizer pipeline is idempotent" arb_prog prop_idempotent;
-  ]
+  let base =
+    [
+      Helpers.qtest ~count:40 "random kernels: all schemes and configs agree" arb_prog
+        prop_differential;
+      Helpers.qtest ~count:30 "optimizer pipeline is idempotent" arb_prog
+        prop_idempotent;
+    ]
+  in
+  if Sys.getenv_opt "FUZZ_FORCE_FAIL" = Some "1" then base @ [ forced_fail ]
+  else base

@@ -14,5 +14,6 @@ let () =
       ("wave3", Test_wave3.suite);
       ("observe", Test_observe.suite);
       ("report-golden", Test_report_golden.suite);
+      ("sched", Test_sched.suite);
       ("fuzz", Test_fuzz.suite);
     ]

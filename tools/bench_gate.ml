@@ -1,0 +1,113 @@
+(* bench_gate: the CI benchmark-regression gate.
+
+     bench_gate BASELINE.json NEW.json [--threshold PCT]
+
+   Compares two BENCH_observe.json files (the committed baseline vs a fresh
+   run) and fails — exit 1 — when any per-app cost-model counter regresses
+   by more than the threshold (default 20%).
+
+   Only deterministic simulator counters are gated: per-app barriers and the
+   store counts summed over kernel launches (global + shared + local).
+   Wall-clock numbers (bechamel estimates, the sched speedup) are *never*
+   gated — they measure the CI host, not the compiler. *)
+
+let threshold = ref 20.0
+
+let die fmt = Fmt.kstr (fun s -> prerr_endline ("bench_gate: " ^ s); exit 2) fmt
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> die "%s" msg
+  | s -> (
+    match Observe.Json.of_string s with
+    | Ok j -> j
+    | Error msg -> die "%s: %s" path msg)
+
+let measurements j =
+  match Option.bind (Observe.Json.member "measurements" j) Observe.Json.to_list with
+  | Some ms -> ms
+  | None -> die "no \"measurements\" member"
+
+let str_member k j =
+  match Option.bind (Observe.Json.member k j) Observe.Json.to_str with
+  | Some s -> s
+  | None -> die "measurement without %S" k
+
+let int_member k j =
+  match Option.bind (Observe.Json.member k j) Observe.Json.to_int with
+  | Some n -> n
+  | None -> die "measurement without counter %S" k
+
+(* the gated counters for one measurement: name -> value *)
+let counters m =
+  let kernels =
+    Option.value ~default:[]
+      (Option.bind (Observe.Json.member "kernels" m) Observe.Json.to_list)
+  in
+  let sum key = List.fold_left (fun acc k -> acc + int_member key k) 0 kernels in
+  [
+    ("barriers", int_member "barriers" m);
+    ("stores_global", sum "stores_global");
+    ("stores_shared", sum "stores_shared");
+    ("stores_local", sum "stores_local");
+  ]
+
+let () =
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t > 0.0 ->
+        threshold := t;
+        parse rest
+      | _ -> die "--threshold expects a positive number")
+    | a :: rest ->
+      positional := a :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, new_path =
+    match List.rev !positional with
+    | [ b; n ] -> (b, n)
+    | _ ->
+      prerr_endline "usage: bench_gate BASELINE.json NEW.json [--threshold PCT]";
+      exit 2
+  in
+  let base = measurements (load baseline_path) in
+  let next = measurements (load new_path) in
+  let find_app app ms =
+    List.find_opt (fun m -> String.equal (str_member "app" m) app) ms
+  in
+  let failures = ref 0 in
+  Fmt.pr "bench_gate: %s vs %s (threshold %+.0f%%)@." baseline_path new_path
+    !threshold;
+  Fmt.pr "%-10s %-14s %12s %12s %9s@." "app" "counter" "baseline" "new" "delta";
+  List.iter
+    (fun bm ->
+      let app = str_member "app" bm in
+      match find_app app next with
+      | None ->
+        Fmt.pr "%-10s MISSING from %s@." app new_path;
+        incr failures
+      | Some nm ->
+        List.iter2
+          (fun (name, bv) (name', nv) ->
+            assert (String.equal name name');
+            let delta =
+              if bv = 0 then if nv = 0 then 0.0 else infinity
+              else 100.0 *. float_of_int (nv - bv) /. float_of_int bv
+            in
+            let verdict = if delta > !threshold then "FAIL" else "" in
+            if delta > !threshold then incr failures;
+            if delta <> 0.0 || verdict <> "" then
+              Fmt.pr "%-10s %-14s %12d %12d %+8.1f%% %s@." app name bv nv delta
+                verdict)
+          (counters bm) (counters nm))
+    base;
+  if !failures > 0 then begin
+    Fmt.pr "bench_gate: %d counter regression(s) above %+.0f%%@." !failures
+      !threshold;
+    exit 1
+  end
+  else Fmt.pr "bench_gate: OK (no counter regression above %+.0f%%)@." !threshold

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regression test for the CI gate's fuzz exit path.
+#
+# `make ci` relies on `dune exec test/test_main.exe -- test fuzz` exiting
+# nonzero when the differential fuzzer finds (and shrinks) a counterexample.
+# A gate whose failing fuzz run exits 0 is not a gate, so this script pins
+# the behavior: FUZZ_FORCE_FAIL=1 injects an always-failing property into
+# the fuzz suite (see test/test_fuzz.ml) whose counterexample goes through
+# the shrinker, and the exact invocation `make ci` uses must fail.
+set -u
+
+if FUZZ_FORCE_FAIL=1 FUZZ_SEED=42 FUZZ_ITERS=5 \
+    dune exec test/test_main.exe -- test fuzz >/dev/null 2>&1; then
+  echo "check_fuzz_exit: FAIL - forced-failing fuzz run exited 0" >&2
+  exit 1
+fi
+
+if ! FUZZ_SEED=42 FUZZ_ITERS=5 \
+    dune exec test/test_main.exe -- test fuzz >/dev/null 2>&1; then
+  echo "check_fuzz_exit: FAIL - healthy fuzz run exited nonzero" >&2
+  exit 1
+fi
+
+echo "check_fuzz_exit: OK - fuzz counterexamples propagate a nonzero exit"
