@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate
+.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix
 
 all: build
 
@@ -27,6 +27,16 @@ ci:
 	dune runtest
 	FUZZ_SEED=42 FUZZ_ITERS=200 dune exec test/test_main.exe -- test fuzz
 	sh tools/check_fuzz_exit.sh
+	sh tools/fault_matrix.sh
+
+# Fault-injection matrix: every injection site through the mompc CLI in each
+# supervision mode (fail-fast, bounded retry, graceful fallback, watchdog),
+# asserting the taxonomy exit codes, that no unhandled exception escapes the
+# driver, and that two same-seed runs are byte-identical
+# (docs/ROBUSTNESS.md).
+fault-matrix:
+	dune build bin/mompc.exe
+	sh tools/fault_matrix.sh
 
 # Benchmark-regression gate: regenerate BENCH_observe.json into a scratch
 # directory and diff its deterministic counters (per-app barriers and store

@@ -55,6 +55,7 @@ let tests =
                     Openmpopt.Pass_manager.default_options with
                     disable_guard_grouping = true;
                   };
+              inject = [];
             }));
     Test.make ~name:"ablation/internalization"
       (Staged.stage
@@ -67,6 +68,7 @@ let tests =
                     Openmpopt.Pass_manager.default_options with
                     disable_internalization = true;
                   };
+              inject = [];
             }));
   ]
 

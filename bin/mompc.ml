@@ -32,8 +32,13 @@ let scheme_conv =
    not shared across domains, and output order is decided by the driver. *)
 type file_result = { code : int; out : string; err : string }
 
-let compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
-    ~print_trace file : file_result =
+(* Backtrace printing is opt-in (OMPGPU_BACKTRACE=1 or --backtrace):
+   diagnostics must be byte-stable across runs — the CI fault matrix
+   compares two same-seed runs — and backtraces are not. *)
+let backtraces_wanted = ref false
+
+let compile_one ~scheme ~options ~injector ~emit_ir ~run_sim ~remarks_only
+    ~stats_json ~print_trace file : file_result =
   let out_buf = Buffer.create 1024 in
   let err_buf = Buffer.create 1024 in
   let out = Format.formatter_of_buffer out_buf in
@@ -43,22 +48,28 @@ let compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
     Format.pp_print_flush err ();
     { code; out = Buffer.contents out_buf; err = Buffer.contents err_buf }
   in
+  (* Every failure exits through here: one stable diagnostic line, the
+     taxonomy's exit code, and (opt-in) the captured backtrace. *)
+  let fail (e : Fault.Ompgpu_error.t) =
+    Fmt.pf err "%s: %s@." file (Fault.Ompgpu_error.to_string e);
+    (if !backtraces_wanted then
+       match e.Fault.Ompgpu_error.backtrace with
+       | Some bt -> Fmt.pf err "%s@." (String.trim bt)
+       | None -> ());
+    finish (Fault.Ompgpu_error.exit_code e)
+  in
+  let classify ~phase e =
+    Harness.Errors.classify ~phase e (Printexc.get_raw_backtrace ())
+  in
   let src = In_channel.with_open_text file In_channel.input_all in
   match Frontend.Codegen.compile ~scheme ~file src with
-  | exception Frontend.Codegen.Error (msg, loc) ->
-    Fmt.pf err "%a: error: %s@." Support.Loc.pp loc msg;
-    finish 1
-  | exception Frontend.Cparse.Parse_error (msg, loc) ->
-    Fmt.pf err "%a: parse error: %s@." Support.Loc.pp loc msg;
-    finish 1
-  | exception Frontend.Lexer.Lex_error (msg, loc) ->
-    Fmt.pf err "%a: lex error: %s@." Support.Loc.pp loc msg;
-    finish 1
+  | exception e -> fail (classify ~phase:Fault.Ompgpu_error.Lowering e)
   | m -> (
     match Ir.Verify.check m with
     | Error msg ->
-      Fmt.pf err "verifier error (front end): %s@." msg;
-      finish 1
+      fail
+        (Fault.Ompgpu_error.make Fault.Ompgpu_error.Verify
+           ~phase:Fault.Ompgpu_error.Verifying ("front end: " ^ msg))
     | Ok () -> (
       (* the trace feeds both --trace (human-readable) and --stats-json *)
       let trace =
@@ -66,39 +77,43 @@ let compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
         else None
       in
       let opt_report = ref None in
-      let verifier_failed = ref false in
+      let opt_error = ref None in
       (match options with
       | None -> ()
-      | Some options ->
-        let report = Openmpopt.Pass_manager.run ~options ?trace m in
-        opt_report := Some report;
-        List.iter
-          (fun r -> Fmt.pf err "%s@." (Openmpopt.Remark.to_string r))
-          report.Openmpopt.Pass_manager.remarks;
-        Fmt.pf err "openmp-opt: %a@." Openmpopt.Pass_manager.pp_report report;
-        (match Ir.Verify.check m with
-        | Error msg ->
-          Fmt.pf err "verifier error (after openmp-opt): %s@." msg;
-          verifier_failed := true
-        | Ok () -> ());
-        if print_trace then
-          Option.iter
-            (fun tr ->
-              Fmt.pf err "openmp-opt trace:@.";
-              List.iter
-                (fun e -> Fmt.pf err "  %a@." Observe.Trace.pp_event e)
-                (Observe.Trace.events tr))
-            trace);
-      if !verifier_failed then finish 1
-      else begin
+      | Some options -> (
+        match Openmpopt.Pass_manager.run ~options ~injector ?trace m with
+        | exception e -> opt_error := Some (classify ~phase:Fault.Ompgpu_error.Optimizing e)
+        | report ->
+          opt_report := Some report;
+          List.iter
+            (fun r -> Fmt.pf err "%s@." (Openmpopt.Remark.to_string r))
+            report.Openmpopt.Pass_manager.remarks;
+          Fmt.pf err "openmp-opt: %a@." Openmpopt.Pass_manager.pp_report report;
+          (match Ir.Verify.check m with
+          | Error msg ->
+            opt_error :=
+              Some
+                (Fault.Ompgpu_error.make Fault.Ompgpu_error.Verify
+                   ~phase:Fault.Ompgpu_error.Verifying ("after openmp-opt: " ^ msg))
+          | Ok () -> ());
+          if print_trace then
+            Option.iter
+              (fun tr ->
+                Fmt.pf err "openmp-opt trace:@.";
+                List.iter
+                  (fun e -> Fmt.pf err "  %a@." Observe.Trace.pp_event e)
+                  (Observe.Trace.events tr))
+              trace));
+      match !opt_error with
+      | Some e -> fail e
+      | None ->
         if emit_ir && not remarks_only then Fmt.pf out "%a" Ir.Printer.pp_module m;
         let sim_result =
           if run_sim then begin
-            let sim = Gpusim.Interp.create Gpusim.Machine.bench_machine m in
+            let sim = Gpusim.Interp.create ~injector Gpusim.Machine.bench_machine m in
             match Gpusim.Interp.run_host sim with
-            | exception Gpusim.Mem.Out_of_memory msg ->
-              Fmt.pf err "device out of memory: %s@." msg;
-              Error 3
+            | exception e ->
+              Error (classify ~phase:Fault.Ompgpu_error.Simulating e)
             | () ->
               Fmt.pf out "; kernel cycles: %d@." (Gpusim.Interp.total_kernel_cycles sim);
               List.iter
@@ -121,7 +136,7 @@ let compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
           else Ok None
         in
         match sim_result with
-        | Error code -> finish code
+        | Error e -> fail e
         | Ok sim_result -> (
           match stats_json with
           | None -> finish 0
@@ -153,8 +168,7 @@ let compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
               finish 0
             with Sys_error msg ->
               Fmt.pf err "cannot write stats: %s@." msg;
-              finish 2))
-      end))
+              finish 2))))
 
 (* ------------------------------------------------------------------ *)
 (* Disk cache (--cache-dir)                                            *)
@@ -162,12 +176,13 @@ let compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
 
 (* Cached payload: the full per-file result as JSON, so warm output is
    byte-identical to cold output.  The key covers everything that shapes the
-   output: source text, scheme, option fingerprint and emission flags.
-   --stats-json writes a side file and --trace prints wall times, so those
-   runs bypass the cache. *)
-let cache_version = "mompc-cache-v1"
+   output: source text, scheme, option fingerprint, emission flags and the
+   fault-injector fingerprint (injected and clean runs must never share an
+   entry).  --stats-json writes a side file and --trace prints wall times,
+   so those runs bypass the cache. *)
+let cache_version = "mompc-cache-v2"
 
-let cache_key ~scheme ~options ~emit_ir ~run_sim ~remarks_only src =
+let cache_key ~scheme ~options ~injector ~emit_ir ~run_sim ~remarks_only src =
   Sched.Cache.key
     [
       cache_version;
@@ -176,6 +191,7 @@ let cache_key ~scheme ~options ~emit_ir ~run_sim ~remarks_only src =
       (match options with
       | None -> "noopt"
       | Some o -> Openmpopt.Pass_manager.options_fingerprint o);
+      Fault.Injector.fingerprint injector;
       Printf.sprintf "emit=%b;sim=%b;remarks-only=%b" emit_ir run_sim remarks_only;
     ]
 
@@ -204,7 +220,11 @@ let result_of_json s =
 (* ------------------------------------------------------------------ *)
 
 let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group emit_ir
-    run_sim remarks_only stats_json print_trace jobs cache_dir =
+    run_sim remarks_only stats_json print_trace jobs cache_dir inject retries
+    backoff watchdog backtrace =
+  backtraces_wanted :=
+    backtrace || Sys.getenv_opt "OMPGPU_BACKTRACE" = Some "1";
+  if !backtraces_wanted then Printexc.record_backtrace true;
   let options =
     if optimize then
       Some
@@ -218,32 +238,77 @@ let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group 
         }
     else None
   in
-  if stats_json <> None && List.length files > 1 then begin
+  let specs, spec_errors =
+    List.fold_left
+      (fun (ok, errs) s ->
+        match Fault.Injector.parse_spec s with
+        | Ok spec -> (spec :: ok, errs)
+        | Error msg -> (ok, msg :: errs))
+      ([], []) inject
+  in
+  if spec_errors <> [] then begin
+    List.iter (fun m -> Fmt.epr "mompc: --inject: %s@." m) (List.rev spec_errors);
+    2
+  end
+  else if stats_json <> None && List.length files > 1 then begin
     Fmt.epr "mompc: --stats-json accepts a single input file@.";
     2
   end
   else begin
+    let base_injector = Fault.Injector.create (List.rev specs) in
     let cache =
       (* stats-json writes a side file and --trace prints wall times:
          neither is reproducible from a cached blob *)
       if stats_json = None && not print_trace then
-        Option.map (fun dir -> Sched.Disk_cache.create ~dir) cache_dir
+        Option.map
+          (fun dir ->
+            Sched.Disk_cache.create ~injector:base_injector
+              ~on_corrupt:(fun ~key ~path ->
+                Fmt.epr
+                  "mompc: remark: cache entry %s failed verification, \
+                   quarantined at %s@."
+                  key path)
+              ~dir ())
+          cache_dir
       else None
     in
     let one file =
-      let compute () =
-        compile_one ~scheme ~options ~emit_ir ~run_sim ~remarks_only ~stats_json
-          ~print_trace file
+      (* Per-(file, attempt) injector: the coin sequence a file sees does
+         not depend on batch order or domain count, and a retry draws fresh
+         coins.  [stall] exercises the pool watchdog when pool-stall is
+         armed. *)
+      let compute ~attempt =
+        let injector =
+          Fault.Injector.derive base_injector
+            (Printf.sprintf "%s#%d" file attempt)
+        in
+        Fault.Injector.stall injector;
+        compile_one ~scheme ~options ~injector ~emit_ir ~run_sim ~remarks_only
+          ~stats_json ~print_trace file
+      in
+      (* Bounded retry on the taxonomy's transient exit codes only
+         (21 = oom, 24 = timeout); deterministic failures re-fail
+         identically, so retrying them is waste. *)
+      let rec attempt_loop n =
+        let r = compute ~attempt:n in
+        if n < retries && (r.code = 21 || r.code = 24) then begin
+          Unix.sleepf (backoff *. float_of_int (1 lsl n));
+          attempt_loop (n + 1)
+        end
+        else r
       in
       match cache with
-      | None -> compute ()
+      | None -> attempt_loop 0
       | Some cache -> (
         let src = In_channel.with_open_text file In_channel.input_all in
-        let key = cache_key ~scheme ~options ~emit_ir ~run_sim ~remarks_only src in
+        let key =
+          cache_key ~scheme ~options ~injector:base_injector ~emit_ir ~run_sim
+            ~remarks_only src
+        in
         match Option.bind (Sched.Disk_cache.find cache ~key) result_of_json with
         | Some r -> r
         | None ->
-          let r = compute () in
+          let r = attempt_loop 0 in
           (* failed compiles are not cached: they are cheap and the user is
              about to edit the file anyway *)
           if r.code = 0 then
@@ -253,7 +318,32 @@ let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group 
     in
     let results =
       if jobs > 1 && List.length files > 1 then
-        Sched.Pool.with_pool ~domains:jobs (fun pool -> Sched.Pool.map_list pool one files)
+        Sched.Pool.with_pool ~domains:jobs (fun pool ->
+            match watchdog with
+            | None -> Sched.Pool.map_list pool one files
+            | Some watchdog_s ->
+              (* The guard turns a hung job into a structured Timeout; the
+                 per-file retry loop already lives inside [one], so the
+                 guard itself does not retry. *)
+              Sched.Pool.map_list_guarded pool ~watchdog_s
+                (fun ~attempt:_ file -> one file)
+                files
+              |> List.map2
+                   (fun file -> function
+                     | Ok r -> r
+                     | Error (e, bt) ->
+                       let e =
+                         Harness.Errors.classify
+                           ~phase:Fault.Ompgpu_error.Scheduling e bt
+                       in
+                       {
+                         code = Fault.Ompgpu_error.exit_code e;
+                         out = "";
+                         err =
+                           Printf.sprintf "%s: %s\n" file
+                             (Fault.Ompgpu_error.to_string e);
+                       })
+                   files)
       else List.map one files
     in
     List.iter
@@ -321,6 +411,41 @@ let cmd =
                 "Content-addressed compilation cache: memoize each file's \
                  compiler output in $(docv), keyed by source text, scheme \
                  and pass options.  Ignored with $(b,--stats-json) and \
-                 $(b,--trace)."))
+                 $(b,--trace).")
+      $ Arg.(
+          value
+          & opt_all string []
+          & info [ "inject" ] ~docv:"SITE[:RATE][:SEED]"
+              ~doc:
+                "Arm a deterministic fault-injection site (repeatable).  \
+                 Sites: mem-alloc, shared-budget, sim-trap, pass-crash, \
+                 cache-corrupt, pool-stall.  RATE defaults to 1.0, SEED to \
+                 0; the same seed replays the same faults.  See \
+                 docs/ROBUSTNESS.md.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "retries" ] ~docv:"N"
+              ~doc:
+                "Retry a file up to $(docv) times when it fails with a \
+                 transient taxonomy code (oom, timeout).  Each attempt \
+                 draws fresh injector coins.")
+      $ Arg.(
+          value & opt float 0.05
+          & info [ "backoff" ] ~docv:"S"
+              ~doc:
+                "Base retry backoff in seconds (doubles per attempt; \
+                 default 0.05).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "watchdog" ] ~docv:"S"
+              ~doc:
+                "With $(b,-j) > 1: declare a file's job hung after $(docv) \
+                 seconds and settle it as a structured timeout (exit code \
+                 24) instead of blocking the batch.")
+      $ flag [ "backtrace" ]
+          "Print the captured raise-point backtrace under each diagnostic \
+           (also enabled by OMPGPU_BACKTRACE=1).  Off by default: \
+           diagnostics stay byte-stable across runs.")
 
 let () = exit (Cmd.eval' cmd)

@@ -17,8 +17,9 @@ let measure label machine config =
   | Harness.Runner.Ok x ->
     Fmt.pr "  %-42s %10d cycles   heap high-water %6d KB@." label x.Harness.Runner.cycles
       (x.Harness.Runner.heap_high_water / 1024)
-  | Harness.Runner.Oom msg -> Fmt.pr "  %-42s OOM (%s)@." label msg
-  | Harness.Runner.Error e -> Fmt.pr "  %-42s ERROR %s@." label e);
+  | Harness.Runner.Err { Fault.Ompgpu_error.kind = Fault.Ompgpu_error.Oom; message; _ } ->
+    Fmt.pr "  %-42s OOM (%s)@." label message
+  | Harness.Runner.Err e -> Fmt.pr "  %-42s ERROR %s@." label (Fault.Ompgpu_error.to_string e));
   m
 
 let () =

@@ -171,7 +171,8 @@ let flag_unknown_runtime_calls (m : Ir.Irmod.t) (sink : Remark.sink) =
           | _ -> ()))
     (Ir.Irmod.defined_funcs m)
 
-let run ?(options = default_options) ?trace ?sink (m : Ir.Irmod.t) : report =
+let run ?(options = default_options) ?(injector = Fault.Injector.none) ?trace ?sink
+    (m : Ir.Irmod.t) : report =
   (* Every mutable artifact of one pipeline run — the remark sink, the
      counter record and the optional trace — is local to this invocation (or
      injected by the job context that owns it), never module-level state:
@@ -184,6 +185,16 @@ let run ?(options = default_options) ?trace ?sink (m : Ir.Irmod.t) : report =
      analyses a pass recomputes run inside the window, so the event's time
      includes them (that is the cost the pipeline actually pays). *)
   let instrument ~round ~pass f =
+    (* the Pass_crash fault site lives here so every executed pass — traced
+       or not — is a potential crash point with a precise (pass, round) id *)
+    let f () =
+      if Fault.Injector.fire injector Fault.Injector.Pass_crash then
+        Fault.Ompgpu_error.raise_error
+          (Fault.Ompgpu_error.Pass_crash { pass; round })
+          ~phase:Fault.Ompgpu_error.Optimizing
+          "injected crash in pass %s (round %d)" pass round;
+      f ()
+    in
     match trace with
     | None -> f ()
     | Some tr ->

@@ -66,10 +66,20 @@ val report_to_json : report -> Observe.Json.t
 val pp_report : Format.formatter -> report -> unit
 
 val run :
-  ?options:options -> ?trace:Observe.Trace.t -> ?sink:Remark.sink -> Ir.Irmod.t -> report
+  ?options:options ->
+  ?injector:Fault.Injector.t ->
+  ?trace:Observe.Trace.t ->
+  ?sink:Remark.sink ->
+  Ir.Irmod.t ->
+  report
 (** [run m] optimizes [m] in place and reports what happened.  The module
     remains verifier-clean; every transformation preserves the observable
     trace semantics of the program (checked by the differential test suite).
+
+    [injector] arms the [Pass_crash] fault site: each executed pass first
+    draws a coin and raises a structured
+    [Fault.Ompgpu_error.Pass_crash {pass; round}] error when it fires —
+    exercising the driver-level recovery paths.
 
     All mutable pipeline state (remark sink, counters, trace) is local to
     one [run] invocation, so concurrent runs on distinct modules from

@@ -1,0 +1,63 @@
+(** Deterministic, seedable fault injection.
+
+    An injector is a set of named sites, each with a firing rate and a seed.
+    Every layer that can fail consults its site before the fallible action:
+    [fire t site] draws the next pseudo-random coin of that site — a pure
+    function of (seed, site, query index), so a run is replayable from its
+    seed alone, independent of wall-clock, scheduling or domain count.
+
+    Per-job determinism under the parallel drivers comes from [derive]: the
+    batch runner derives a child injector per (job, attempt) tag, so the
+    coin sequence a job sees does not depend on how jobs interleave — and a
+    *retried* job draws fresh coins, which is what makes bounded retry
+    worthwhile against sub-1.0 rates. *)
+
+type site =
+  | Mem_alloc  (** device-heap allocation failure in [Gpusim.Mem] *)
+  | Shared_budget
+      (** shared-memory budget exhaustion in [Gpusim.Interp]: forces the
+          paper's heap-fallback path (graceful, counted) instead of abort *)
+  | Sim_trap  (** a trap on an executed instruction in [Gpusim.Interp] *)
+  | Pass_crash  (** an exception inside [Openmpopt.Pass_manager.run] *)
+  | Cache_corrupt  (** bit-flip a [Sched.Disk_cache] entry at store time *)
+  | Pool_stall  (** stall a scheduler job (exercises the pool watchdog) *)
+
+val all_sites : site list
+val site_name : site -> string
+val site_of_name : string -> site option
+
+type spec = { site : site; rate : float; seed : int }
+
+val parse_spec : string -> (spec, string) result
+(** Parse ["site[:rate][:seed]"] (e.g. ["mem-alloc:0.5:42"]).  Rate
+    defaults to 1.0, seed to 0. *)
+
+val spec_to_string : spec -> string
+
+type t
+
+val none : t
+(** The null injector: every [fire] is false, zero overhead. *)
+
+val create : spec list -> t
+val is_none : t -> bool
+val specs : t -> spec list
+
+val fire : t -> site -> bool
+(** Draw the site's next coin; false when the site is not armed. *)
+
+val derive : t -> string -> t
+(** Child injector with per-site seeds re-derived from [tag] (and fresh
+    query counters): same parent + same tag → same coin sequence. *)
+
+val fingerprint : t -> string
+(** Stable content identity for cache keys: ["" ] for [none], else the
+    sorted spec list.  Two runs with different injection must never share a
+    cached result. *)
+
+val stall_seconds : float
+(** How long an injected [Pool_stall] sleeps (long enough for a short
+    watchdog to fire, short enough for tests: 0.25s). *)
+
+val stall : t -> unit
+(** Sleep [stall_seconds] if the [Pool_stall] site fires. *)

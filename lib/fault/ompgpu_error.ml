@@ -1,0 +1,139 @@
+(* Structured error taxonomy (see the .mli and docs/ROBUSTNESS.md). *)
+
+type phase =
+  | Lexing
+  | Parsing
+  | Lowering
+  | Verifying
+  | Optimizing
+  | Simulating
+  | Scheduling
+  | Caching
+  | Driver
+
+type kind =
+  | Lex
+  | Parse
+  | Codegen
+  | Verify
+  | Pass_crash of { pass : string; round : int }
+  | Sim_trap
+  | Oom
+  | Shared_budget_exceeded
+  | Deadlock of { barrier : string }
+  | Timeout of { seconds : float }
+  | Cache_corrupt
+  | Internal
+
+type t = {
+  kind : kind;
+  phase : phase;
+  loc : Support.Loc.t option;
+  message : string;
+  backtrace : string option;
+}
+
+exception Error of t
+
+let make kind ~phase ?loc ?backtrace message = { kind; phase; loc; message; backtrace }
+
+let raise_error kind ~phase ?loc fmt =
+  Fmt.kstr (fun message -> raise (Error (make kind ~phase ?loc message))) fmt
+
+let kind_name = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Codegen -> "codegen"
+  | Verify -> "verify"
+  | Pass_crash _ -> "pass-crash"
+  | Sim_trap -> "sim-trap"
+  | Oom -> "oom"
+  | Shared_budget_exceeded -> "shared-budget-exceeded"
+  | Deadlock _ -> "deadlock"
+  | Timeout _ -> "timeout"
+  | Cache_corrupt -> "cache-corrupt"
+  | Internal -> "internal"
+
+let phase_name = function
+  | Lexing -> "lexing"
+  | Parsing -> "parsing"
+  | Lowering -> "lowering"
+  | Verifying -> "verifying"
+  | Optimizing -> "optimizing"
+  | Simulating -> "simulating"
+  | Scheduling -> "scheduling"
+  | Caching -> "caching"
+  | Driver -> "driver"
+
+(* Exit codes are API: scripts and CI match on them.  10-19 compile-time,
+   20-29 simulation, 30-39 infrastructure, 70 internal (sysexits' EX_SOFTWARE). *)
+let exit_code t =
+  match t.kind with
+  | Lex -> 10
+  | Parse -> 11
+  | Codegen -> 12
+  | Verify -> 13
+  | Pass_crash _ -> 14
+  | Sim_trap -> 20
+  | Oom -> 21
+  | Shared_budget_exceeded -> 22
+  | Deadlock _ -> 23
+  | Timeout _ -> 24
+  | Cache_corrupt -> 30
+  | Internal -> 70
+
+(* Retry policy (docs/ROBUSTNESS.md): a timeout may be scheduling pressure
+   or an injected stall whose next attempt draws a fresh coin; an OOM may be
+   concurrent heap pressure.  Everything else is deterministic — retrying a
+   parse error or a miscompile-induced deadlock just repeats it. *)
+let is_transient t =
+  match t.kind with Timeout _ | Oom -> true | _ -> false
+
+let transient_exn = function Error t -> is_transient t | _ -> false
+
+let kind_detail = function
+  | Pass_crash { pass; round } -> Printf.sprintf " (pass %s, round %d)" pass round
+  | Deadlock { barrier } when barrier <> "" -> Printf.sprintf " (barrier %s)" barrier
+  | Timeout { seconds } when seconds > 0. -> Printf.sprintf " (after %.2fs)" seconds
+  | _ -> ""
+
+let to_string t =
+  let loc =
+    match t.loc with
+    | Some l when not (Support.Loc.is_none l) -> " at " ^ Support.Loc.to_string l
+    | _ -> ""
+  in
+  Printf.sprintf "%s error[%s]%s%s: %s" (phase_name t.phase) (kind_name t.kind)
+    (kind_detail t.kind) loc t.message
+
+let to_json t =
+  Observe.Json.Obj
+    ([
+       ("kind", Observe.Json.String (kind_name t.kind));
+       ("phase", Observe.Json.String (phase_name t.phase));
+       ("exit_code", Observe.Json.Int (exit_code t));
+       ("message", Observe.Json.String t.message);
+     ]
+    @ (match t.kind with
+      | Pass_crash { pass; round } ->
+        [ ("pass", Observe.Json.String pass); ("round", Observe.Json.Int round) ]
+      | Deadlock { barrier } -> [ ("barrier", Observe.Json.String barrier) ]
+      | Timeout { seconds } -> [ ("seconds", Observe.Json.Float seconds) ]
+      | _ -> [])
+    @ (match t.loc with
+      | Some l -> [ ("loc", Observe.Json.String (Support.Loc.to_string l)) ]
+      | None -> [])
+    @
+    match t.backtrace with
+    | Some bt -> [ ("backtrace", Observe.Json.String bt) ]
+    | None -> [])
+
+let backtrace_of_raw bt =
+  match Printexc.raw_backtrace_to_string bt with "" -> None | s -> Some s
+
+let of_exn ~phase e bt =
+  match e with
+  | Error t ->
+    if t.backtrace = None then { t with backtrace = backtrace_of_raw bt } else t
+  | e ->
+    make Internal ~phase ?backtrace:(backtrace_of_raw bt) (Printexc.to_string e)

@@ -1,0 +1,88 @@
+(** The structured error taxonomy of the whole compile-and-simulate stack.
+
+    Every failure a user can observe — from a lexer error to a simulated
+    barrier-divergence deadlock — is one [t]: a kind (the taxonomy), the
+    pipeline phase that produced it, an optional source location, a
+    human-readable message and, when backtrace recording is on, the raw
+    backtrace captured at the raise point.  docs/ROBUSTNESS.md tabulates the
+    kind → exit-code → JSON mapping. *)
+
+(** Which layer of the stack the error escaped from. *)
+type phase =
+  | Lexing
+  | Parsing
+  | Lowering  (** MiniOMP → MiniIR codegen *)
+  | Verifying
+  | Optimizing  (** the OpenMPOpt pass pipeline *)
+  | Simulating
+  | Scheduling  (** the batch driver / domain pool *)
+  | Caching
+  | Driver  (** argument handling, I/O *)
+
+type kind =
+  | Lex
+  | Parse
+  | Codegen
+  | Verify
+  | Pass_crash of { pass : string; round : int }
+  | Sim_trap  (** dynamic simulation error: bad memory, unknown call, trap *)
+  | Oom  (** device heap or host allocation exhausted *)
+  | Shared_budget_exceeded
+      (** shared-memory budget exhausted with no fallback possible (the
+          normal path degrades to the device heap and is NOT an error) *)
+  | Deadlock of { barrier : string }
+      (** true barrier divergence; [barrier] is the "func/block" site(s) the
+          blocked threads are parked at *)
+  | Timeout of { seconds : float }
+      (** simulation fuel exhausted ([seconds = 0.]) or a watchdog fired *)
+  | Cache_corrupt
+  | Internal  (** an escaping exception: always a bug worth a backtrace *)
+
+type t = {
+  kind : kind;
+  phase : phase;
+  loc : Support.Loc.t option;
+  message : string;
+  backtrace : string option;  (** raise-point backtrace, when recorded *)
+}
+
+exception Error of t
+(** The one structured exception layers raise across module boundaries. *)
+
+val make : kind -> phase:phase -> ?loc:Support.Loc.t -> ?backtrace:string -> string -> t
+
+val raise_error : kind -> phase:phase -> ?loc:Support.Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Format a message and raise [Error]. *)
+
+val kind_name : kind -> string
+(** Stable lowercase name, e.g. ["deadlock"], ["pass-crash"]. *)
+
+val phase_name : phase -> string
+
+val exit_code : t -> int
+(** Process exit code of the kind (stable, documented in ROBUSTNESS.md);
+    distinct ranges per family: 10-19 compile, 20-29 simulate, 30-39
+    infrastructure, 70 internal. *)
+
+val is_transient : t -> bool
+(** Whether a bounded retry is worthwhile: timeouts and allocation failures
+    are transient (another attempt re-consults the fault injector / runs
+    under different pressure); miscompiles and parse errors are not. *)
+
+val transient_exn : exn -> bool
+(** [is_transient] lifted to exceptions; false for anything that is not an
+    [Error]. *)
+
+val to_string : t -> string
+(** Stable one-line rendering ["phase error[kind] at loc: message"], without
+    the backtrace — this is the byte-stable diagnostic CI compares. *)
+
+val to_json : t -> Observe.Json.t
+(** {"kind"; "phase"; "exit_code"; "message"; "loc"?; "backtrace"?} *)
+
+val of_exn : phase:phase -> exn -> Printexc.raw_backtrace -> t
+(** Classify an arbitrary exception caught at a layer boundary.  [Error t]
+    passes through (filling in the backtrace if it has none); anything else
+    becomes [Internal] with the backtrace preserved.  Layer-specific
+    exceptions (frontend, simulator) are classified by
+    [Harness.Errors.classify], which wraps this. *)

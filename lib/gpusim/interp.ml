@@ -14,8 +14,13 @@
 open Ir
 open Rvalue
 
-exception Deadlock of string
-exception Trap of string
+(* All abnormal terminations raise [Fault.Ompgpu_error.Error] with a
+   simulation-phase payload: [Sim_trap] for trap instructions and injected
+   traps, [Timeout] for fuel exhaustion, [Deadlock] (with the offending
+   barrier site) for true barrier divergence.  [Rvalue.Sim_error] still
+   covers dynamic value errors; harness boundaries classify it. *)
+
+let sim_error kind fmt = Fault.Ompgpu_error.raise_error kind ~phase:Fault.Ompgpu_error.Simulating fmt
 
 type status =
   | Runnable
@@ -57,6 +62,9 @@ type thread = {
   mutable blocked_reg : int option;
   (* true when parked in __kmpc_worker_wait_id (id protocol, post-CSM) *)
   mutable wait_wants_id : bool;
+  (* "func/block" of the barrier this thread is parked in ("" when not);
+     the deadlock detector reports it on barrier divergence *)
+  mutable barrier_site : string;
   (* device-heap bytes this thread currently holds (globalization spills) *)
   mutable heap_live : int;
   (* per branch site, how many times this thread has executed it; indexes
@@ -113,6 +121,9 @@ type launch_stats = {
   mutable barriers : int;
   mutable indirect_calls : int;
   mutable shared_bytes : int;  (* static + stack high water, max over teams *)
+  mutable shared_fallbacks : int;
+    (* shared-memory budget misses served from the device heap instead of
+       aborting (the paper's globalization fallback path) *)
   mutable heap_high_water : int;
   mutable registers : int;
   mutable teams : int;
@@ -127,12 +138,14 @@ type t = {
   mutable kernel_stats : launch_stats list;  (* newest first *)
   team_uid_gen : Support.Util.Id_gen.t;
   mutable fuel : int;
+  injector : Fault.Injector.t;
   (* the team the currently-simulated thread belongs to (None = host) *)
   mutable cur_team : team option;
 }
 
-let create ?(fuel = 200_000_000) (machine : Machine.t) (m : Irmod.t) =
-  let mem = Mem.create machine in
+let create ?(fuel = 200_000_000) ?(injector = Fault.Injector.none)
+    (machine : Machine.t) (m : Irmod.t) =
+  let mem = Mem.create ~injector machine in
   Mem.layout_module mem m;
   {
     m;
@@ -142,6 +155,7 @@ let create ?(fuel = 200_000_000) (machine : Machine.t) (m : Irmod.t) =
     kernel_stats = [];
     team_uid_gen = Support.Util.Id_gen.create ();
     fuel;
+    injector;
     cur_team = None;
   }
 
@@ -374,6 +388,14 @@ let barrier_expected team =
     | Some (Either.Left w) -> w.wactive
     | Some (Either.Right ()) | None -> 1
 
+(* The "func/block" site a thread currently executes — the barrier id the
+   deadlock detector reports.  Region-exit implicit barriers run after the
+   frame was popped, so fall back to the caller frame (or a fixed tag). *)
+let thread_site th =
+  match th.stack with
+  | f :: _ -> f.ffunc.Func.name ^ "/" ^ f.fblock.Block.label
+  | [] -> "<region-exit>"
+
 (* Thread [th] arrives at a team barrier.  Returns [true] if the thread may
    continue immediately (it was the last to arrive or is alone). *)
 let barrier_enter t team th =
@@ -393,13 +415,15 @@ let barrier_enter t team th =
       List.iter
         (fun th' ->
           th'.clock <- release;
-          th'.status <- Runnable)
+          th'.status <- Runnable;
+          th'.barrier_site <- "")
         team.barrier_waiting;
       team.barrier_waiting <- [];
       true
     end
     else begin
       th.status <- In_barrier;
+      th.barrier_site <- thread_site th;
       false
     end
   end
@@ -538,6 +562,18 @@ let device_heap_free t th addr size =
   th.heap_live <- max 0 (th.heap_live - size8);
   Mem.heap_free_block t.mem addr size
 
+let count_shared_fallback t =
+  match stats_top t with
+  | Some s -> s.shared_fallbacks <- s.shared_fallbacks + 1
+  | None -> ()
+
+(* The shared-memory budget check of an allocation site.  Injection at
+   [Shared_budget] simulates exhaustion: the allocation must then take the
+   same graceful heap-fallback path a genuinely full budget takes — the
+   run continues (slower), it does not abort. *)
+let shared_budget_allows t fits =
+  fits && not (Fault.Injector.fire t.injector Fault.Injector.Shared_budget)
+
 let alloc_shared_storage t team th size =
   let c = costs t in
   let in_sequential_main =
@@ -550,8 +586,9 @@ let alloc_shared_storage t team th size =
     let size8 = Support.Util.round_up_to (max 8 size) ~multiple:8 in
     let dyn_used = team.shared_sp - t.mem.Mem.static_shared_size in
     if
-      dyn_used + size8 <= t.machine.Machine.dyn_shared_stack_bytes
-      && team.shared_sp + size8 <= t.machine.Machine.shared_bytes_per_team
+      shared_budget_allows t
+        (dyn_used + size8 <= t.machine.Machine.dyn_shared_stack_bytes
+        && team.shared_sp + size8 <= t.machine.Machine.shared_bytes_per_team)
     then begin
       charge th (c.Machine.alloc_shared_main + size_tax);
       let addr = team.shared_sp in
@@ -561,6 +598,8 @@ let alloc_shared_storage t team th size =
       P { sp = Sshared team.team_uid; addr }
     end
     else begin
+      (* budget miss (real or injected): graceful device-heap fallback *)
+      count_shared_fallback t;
       charge th (c.Machine.alloc_shared_parallel + size_tax);
       P (device_heap_alloc t team th size)
     end
@@ -590,7 +629,10 @@ let free_shared_storage t team th ptr size =
 let legacy_push t team th size =
   let c = costs t in
   let size8 = Support.Util.round_up_to (max 8 size) ~multiple:8 in
-  let fits = team.shared_sp + size8 <= t.machine.Machine.shared_bytes_per_team in
+  let fits =
+    shared_budget_allows t
+      (team.shared_sp + size8 <= t.machine.Machine.shared_bytes_per_team)
+  in
   if fits then begin
     let amortized =
       if th.level > 0 || team.exec_spmd then max 16 (c.Machine.push_stack / 4)
@@ -603,6 +645,7 @@ let legacy_push t team th size =
     P { sp = Sshared team.team_uid; addr }
   end
   else begin
+    count_shared_fallback t;
     charge th c.Machine.push_stack;
     P (device_heap_alloc t team th size)
   end
@@ -893,7 +936,14 @@ let exec_instr t (team_opt : team option) th (i : Instr.t) =
   let c = costs t in
   (match stats_top t with Some s -> s.instructions <- s.instructions + 1 | None -> ());
   t.fuel <- t.fuel - 1;
-  if t.fuel <= 0 then raise (Trap "simulation fuel exhausted (infinite loop?)");
+  if t.fuel <= 0 then
+    sim_error
+      (Fault.Ompgpu_error.Timeout { seconds = 0. })
+      "simulation fuel exhausted (infinite loop?)";
+  if Fault.Injector.fire t.injector Fault.Injector.Sim_trap then
+    sim_error Fault.Ompgpu_error.Sim_trap
+      "injected trap in @%s (thread %d)"
+      (cur_frame th).ffunc.Func.name th.gid;
   let ev v = eval t th v in
   match i.Instr.kind with
   | Instr.Alloca (ty, n) ->
@@ -1065,6 +1115,51 @@ let run_thread t (team_opt : team option) th =
 (* Team simulation                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Diagnose a stuck team: no thread runnable, yet not all finished.  The
+   prime suspect is barrier divergence — some threads parked in a barrier
+   whose remaining arrivals can never come because their teammates finished
+   or parked elsewhere.  Report the offending barrier site(s) with arrival
+   accounting so the user can find the divergent branch. *)
+let deadlock_diagnosis team =
+  let count p = Array.fold_left (fun n th -> if p th then n + 1 else n) 0 team.threads in
+  let in_barrier = count (fun th -> th.status = In_barrier) in
+  if in_barrier > 0 then begin
+    let sites = Hashtbl.create 4 in
+    Array.iter
+      (fun th ->
+        if th.status = In_barrier then begin
+          let site = if th.barrier_site = "" then "<unknown>" else th.barrier_site in
+          let n = match Hashtbl.find_opt sites site with Some n -> n | None -> 0 in
+          Hashtbl.replace sites site (n + 1)
+        end)
+      team.threads;
+    let site_list =
+      List.sort compare (Hashtbl.fold (fun site n acc -> (site, n) :: acc) sites [])
+    in
+    let barrier = String.concat ", " (List.map fst site_list) in
+    let detail =
+      String.concat "; "
+        (List.map (fun (site, n) -> Printf.sprintf "%d at %s" n site) site_list)
+    in
+    sim_error
+      (Fault.Ompgpu_error.Deadlock { barrier })
+      "barrier divergence in team %d: %s waiting for %d arrival(s), but %d \
+       teammate(s) finished and %d parked elsewhere — a barrier on a \
+       divergent path is never released"
+      team.team_idx detail (barrier_expected team)
+      (count (fun th -> th.status = Finished))
+      (count (fun th -> th.status = Wait_work || th.status = Wait_join))
+  end
+  else
+    sim_error
+      (Fault.Ompgpu_error.Deadlock { barrier = "<worker-state-machine>" })
+      "team %d: no runnable thread (%d waiting for work, %d waiting to join, \
+       %d finished) — the worker state machine cannot make progress"
+      team.team_idx
+      (count (fun th -> th.status = Wait_work))
+      (count (fun th -> th.status = Wait_join))
+      (count (fun th -> th.status = Finished))
+
 let run_team t team =
   let prev = t.cur_team in
   t.cur_team <- Some team;
@@ -1072,7 +1167,10 @@ let run_team t team =
   let guard = ref 0 in
   while not (all_done ()) do
     incr guard;
-    if !guard > 100_000_000 then raise (Deadlock "team scheduling did not converge");
+    if !guard > 100_000_000 then
+      sim_error
+        (Fault.Ompgpu_error.Deadlock { barrier = "<scheduler>" })
+        "team %d scheduling did not converge after %d steps" team.team_idx !guard;
     (* pick the runnable thread with the smallest clock *)
     let best = ref None in
     Array.iter
@@ -1093,12 +1191,7 @@ let run_team t team =
         Array.iter
           (fun th -> if th.status = Wait_work then th.status <- Finished)
           team.threads
-      else
-        raise
-          (Deadlock
-             (Printf.sprintf "team %d: no runnable thread (barrier=%d waiting)"
-                team.team_idx
-                (List.length team.barrier_waiting)))
+      else deadlock_diagnosis team
   done;
   t.cur_team <- prev
 
@@ -1153,6 +1246,7 @@ let launch_kernel t (kernel : Func.t) (args : Rvalue.t list) =
       barriers = 0;
       indirect_calls = 0;
       shared_bytes = 0;
+      shared_fallbacks = 0;
       heap_high_water = 0;
       registers = Regalloc.estimate t.m kernel;
       teams = nteams;
@@ -1181,6 +1275,7 @@ let launch_kernel t (kernel : Func.t) (args : Rvalue.t list) =
             wake_value = Undef;
             blocked_reg = None;
             wait_wants_id = false;
+            barrier_site = "";
             heap_live = 0;
             site_execs = Hashtbl.create 16;
           })
@@ -1248,6 +1343,7 @@ let run_host ?(entry = "main") t =
       wake_value = Undef;
       blocked_reg = None;
       wait_wants_id = false;
+      barrier_site = "";
       heap_live = 0;
       site_execs = Hashtbl.create 16;
     }
@@ -1260,7 +1356,10 @@ let run_host ?(entry = "main") t =
     match host_thread.status with
     | Finished -> continue_ := false
     | Runnable -> ()
-    | _ -> raise (Deadlock "host thread blocked")
+    | _ ->
+      sim_error
+        (Fault.Ompgpu_error.Deadlock { barrier = "<host>" })
+        "host thread blocked on a device synchronization primitive"
   done;
   ()
 

@@ -7,9 +7,11 @@
     intercepted as launches.  Device runtime functions ([__kmpc_*],
     [__gpu_*], math builtins, tracing) are interpreted natively here. *)
 
-exception Deadlock of string
-exception Trap of string
-(** Raised on simulation-fuel exhaustion (runaway loops). *)
+(** Abnormal terminations raise [Fault.Ompgpu_error.Error] with phase
+    [Simulating]: [Sim_trap] for (injected) traps, [Timeout] for fuel
+    exhaustion, [Deadlock {barrier}] — carrying the offending "func/block"
+    barrier site(s) — for true barrier divergence or a wedged worker state
+    machine.  [Rvalue.Sim_error] still covers dynamic value errors. *)
 
 (** Statistics of one kernel launch — the raw material of Figures 10/11. *)
 type launch_stats = {
@@ -32,6 +34,9 @@ type launch_stats = {
   mutable barriers : int;
   mutable indirect_calls : int;
   mutable shared_bytes : int;  (** static + stack high water, max over teams *)
+  mutable shared_fallbacks : int;
+      (** shared-memory budget misses served gracefully from the device heap
+          (the globalization fallback path) instead of aborting *)
   mutable heap_high_water : int;  (** concurrency-scaled device-heap footprint *)
   mutable registers : int;  (** static per-thread estimate (Regalloc) *)
   mutable teams : int;
@@ -46,6 +51,7 @@ type t = {
   mutable kernel_stats : launch_stats list;  (** newest first *)
   team_uid_gen : Support.Util.Id_gen.t;
   mutable fuel : int;
+  injector : Fault.Injector.t;
   mutable cur_team : team option;
 }
 
@@ -61,16 +67,17 @@ val exec_cast : Ir.Instr.cast -> Ir.Types.t -> Rvalue.t -> Rvalue.t
 val occupancy_factor : Machine.t -> int -> float
 (** Time multiplier from register-limited occupancy: (max_warps/active)^0.75. *)
 
-val create : ?fuel:int -> Machine.t -> Ir.Irmod.t -> t
+val create : ?fuel:int -> ?injector:Fault.Injector.t -> Machine.t -> Ir.Irmod.t -> t
 (** Lay out the module's globals and prepare a simulation.  [fuel] bounds
-    the total number of executed instructions (default 2e8). *)
+    the total number of executed instructions (default 2e8).  [injector]
+    arms the [Mem_alloc], [Shared_budget] and [Sim_trap] fault sites. *)
 
 val run_host : ?entry:string -> t -> unit
 (** Execute the host [entry] function (default ["main"]).  Kernel launches
     happen synchronously as they are reached.
     @raise Mem.Out_of_memory when a launch exhausts the device heap.
     @raise Rvalue.Sim_error on dynamic errors (bad memory, unknown calls).
-    @raise Deadlock / Trap on scheduling bugs or fuel exhaustion. *)
+    @raise Fault.Ompgpu_error.Error on deadlock, trap or fuel exhaustion. *)
 
 val launch_kernel : t -> Ir.Func.t -> Rvalue.t list -> unit
 (** Launch one kernel directly (used by the host interception; exposed for

@@ -12,6 +12,7 @@ open Rvalue
 
 type t = {
   machine : Machine.t;
+  injector : Fault.Injector.t;
   global : Bytes.t;
   shareds : (int, Bytes.t) Hashtbl.t;
   locals : (int, Bytes.t) Hashtbl.t;
@@ -33,9 +34,10 @@ type t = {
 
 exception Out_of_memory of string
 
-let create (machine : Machine.t) =
+let create ?(injector = Fault.Injector.none) (machine : Machine.t) =
   {
     machine;
+    injector;
     global = Bytes.make machine.Machine.global_bytes '\000';
     shareds = Hashtbl.create 16;
     locals = Hashtbl.create 64;
@@ -184,6 +186,12 @@ let write t ~current (p : ptr) (ty : Ir.Types.t) (v : Rvalue.t) =
 (* ------------------------------------------------------------------ *)
 
 let heap_alloc t size =
+  if Fault.Injector.fire t.injector Fault.Injector.Mem_alloc then
+    raise
+      (Out_of_memory
+         (Printf.sprintf "injected device-heap allocation failure (site %s, %d bytes)"
+            (Fault.Injector.site_name Fault.Injector.Mem_alloc)
+            size));
   let size = Support.Util.round_up_to (max 8 size) ~multiple:8 in
   let addr =
     (* first-fit in the free list *)

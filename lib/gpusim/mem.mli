@@ -9,6 +9,7 @@
 
 type t = {
   machine : Machine.t;
+  injector : Fault.Injector.t;
   global : Bytes.t;
   shareds : (int, Bytes.t) Hashtbl.t;
   locals : (int, Bytes.t) Hashtbl.t;
@@ -27,7 +28,9 @@ type t = {
 
 exception Out_of_memory of string
 
-val create : Machine.t -> t
+val create : ?injector:Fault.Injector.t -> Machine.t -> t
+(** [injector] arms the [Mem_alloc] fault site: [heap_alloc] then fails
+    deterministically at the injected rate. *)
 
 val cache_threshold : int
 (** Global arrays up to this size get the read-only-cache latency. *)
@@ -49,6 +52,7 @@ val decode_ptr : int64 -> Rvalue.ptr
 
 val heap_alloc : t -> int -> Rvalue.ptr * int
 (** Returns the block and the granted (rounded) size.
-    @raise Out_of_memory when the arena itself is exhausted. *)
+    @raise Out_of_memory when the arena itself is exhausted, or when the
+    [Mem_alloc] fault site fires. *)
 
 val heap_free_block : t -> int -> int -> unit

@@ -20,6 +20,7 @@ let json_of_launch (s : Interp.launch_stats) =
       ("barriers", Observe.Json.Int s.Interp.barriers);
       ("indirect_calls", Observe.Json.Int s.Interp.indirect_calls);
       ("shared_bytes", Observe.Json.Int s.Interp.shared_bytes);
+      ("shared_fallbacks", Observe.Json.Int s.Interp.shared_fallbacks);
       ("heap_high_water", Observe.Json.Int s.Interp.heap_high_water);
       ("registers", Observe.Json.Int s.Interp.registers);
       ("teams", Observe.Json.Int s.Interp.teams);

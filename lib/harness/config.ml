@@ -6,9 +6,11 @@ type build =
   | Dev of Openmpopt.Pass_manager.options  (* simplified + a subset of passes *)
   | Cuda  (* kernel-style build of the CUDA source *)
 
-type t = { label : string; build : build }
+type t = { label : string; build : build; inject : Fault.Injector.spec list }
 
 let dev options = Dev options
+
+let with_inject inject t = { t with inject }
 
 (* Content identity of a build for the scheduler's result cache.  The label
    is deliberately excluded: two configs with different labels but the same
@@ -53,15 +55,17 @@ let h2s2_rtc_spmd = { opts with Openmpopt.Pass_manager.disable_state_machine_rew
 
 let dev_full = opts
 
-let llvm12 = { label = "LLVM 12"; build = Llvm12 }
-let no_opt = { label = "No OpenMP Optimization"; build = Dev_noopt }
-let heap_2_stack = { label = "heap-2-stack"; build = dev only_h2s }
-let h2s2_cfg = { label = "heap-2-stack&shared (=h2s2)"; build = dev h2s2 }
-let h2s2_rtc_cfg = { label = "h2s2 + RTCspec"; build = dev h2s2_rtc }
-let h2s2_rtc_csm_cfg = { label = "h2s2 + RTCspec + CSM"; build = dev h2s2_rtc_csm }
-let h2s2_rtc_spmd_cfg = { label = "h2s2 + RTCspec + SPMDzation"; build = dev h2s2_rtc_spmd }
-let dev0 = { label = "LLVM Dev 0"; build = dev dev_full }
-let cuda = { label = "CUDA (Clang Dev)"; build = Cuda }
+let mk label build = { label; build; inject = [] }
+
+let llvm12 = mk "LLVM 12" Llvm12
+let no_opt = mk "No OpenMP Optimization" Dev_noopt
+let heap_2_stack = mk "heap-2-stack" (dev only_h2s)
+let h2s2_cfg = mk "heap-2-stack&shared (=h2s2)" (dev h2s2)
+let h2s2_rtc_cfg = mk "h2s2 + RTCspec" (dev h2s2_rtc)
+let h2s2_rtc_csm_cfg = mk "h2s2 + RTCspec + CSM" (dev h2s2_rtc_csm)
+let h2s2_rtc_spmd_cfg = mk "h2s2 + RTCspec + SPMDzation" (dev h2s2_rtc_spmd)
+let dev0 = mk "LLVM Dev 0" (dev dev_full)
+let cuda = mk "CUDA (Clang Dev)" Cuda
 
 (* The configuration set used for each application's Figure 11 plot ("we
    restricted each plot to the configurations that impact performance"). *)

@@ -6,9 +6,20 @@ type build =
   | Dev of Openmpopt.Pass_manager.options  (** simplified + a pass subset *)
   | Cuda  (** kernel-style build of the CUDA source *)
 
-type t = { label : string; build : build }
+type t = {
+  label : string;
+  build : build;
+  inject : Fault.Injector.spec list;
+      (** armed fault sites; the runner derives a per-(job, attempt)
+          injector from these so batch results are schedule-independent *)
+}
 
 val dev : Openmpopt.Pass_manager.options -> build
+
+val with_inject : Fault.Injector.spec list -> t -> t
+(** The same configuration with fault injection armed.  Injection joins the
+    cache key (via the derived injector's fingerprint), so injected and
+    clean runs never share cached results. *)
 
 val build_fingerprint : build -> string
 (** Content identity of a build for the scheduler's result cache.  Excludes

@@ -1,0 +1,26 @@
+(* Exception → taxonomy mapping (see the .mli for why it lives here). *)
+
+module E = Fault.Ompgpu_error
+
+let backtrace_opt bt =
+  match Printexc.raw_backtrace_to_string bt with "" -> None | s -> Some s
+
+let classify ~phase e bt : E.t =
+  let mk ?loc kind ~phase msg = E.make kind ~phase ?loc ?backtrace:(backtrace_opt bt) msg in
+  match e with
+  | E.Error t -> (
+    match t.E.backtrace with
+    | Some _ -> t
+    | None -> { t with E.backtrace = backtrace_opt bt })
+  | Frontend.Lexer.Lex_error (msg, loc) -> mk E.Lex ~phase:E.Lexing ~loc msg
+  | Frontend.Cparse.Parse_error (msg, loc) -> mk E.Parse ~phase:E.Parsing ~loc msg
+  | Frontend.Codegen.Error (msg, loc) -> mk E.Codegen ~phase:E.Lowering ~loc msg
+  | Gpusim.Mem.Out_of_memory msg -> mk E.Oom ~phase:E.Simulating msg
+  | Gpusim.Rvalue.Sim_error msg -> mk E.Sim_trap ~phase:E.Simulating msg
+  | Stdlib.Out_of_memory -> mk E.Oom ~phase "host allocation exhausted"
+  | e -> E.of_exn ~phase e bt
+
+let run_protected ~phase f =
+  match f () with
+  | v -> Ok v
+  | exception e -> Error (classify ~phase e (Printexc.get_raw_backtrace ()))

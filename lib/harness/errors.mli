@@ -1,0 +1,24 @@
+(** Classification of layer-specific exceptions into the structured
+    taxonomy.  The [fault] library owns the taxonomy but cannot name the
+    frontend or simulator exception types (it sits below them); the harness
+    depends on every layer, so the mapping lives here.  [bin/mompc] and the
+    batch runner both route caught exceptions through {!classify}. *)
+
+val classify :
+  phase:Fault.Ompgpu_error.phase ->
+  exn ->
+  Printexc.raw_backtrace ->
+  Fault.Ompgpu_error.t
+(** Map any exception caught at a harness boundary to a structured error.
+    Known layer exceptions (frontend lex/parse/codegen errors, simulator
+    OOM and dynamic errors) get their precise kind, phase and location —
+    the [phase] argument only labels exceptions that carry no phase of
+    their own, which become [Internal].  A [Fault.Ompgpu_error.Error]
+    passes through unchanged (filling in the backtrace if absent).  The
+    backtrace is preserved whenever recording is on. *)
+
+val run_protected :
+  phase:Fault.Ompgpu_error.phase ->
+  (unit -> 'a) ->
+  ('a, Fault.Ompgpu_error.t) result
+(** Run a thunk, classifying any escaping exception. *)

@@ -18,7 +18,10 @@ type metrics = {
   trace : Observe.Trace.t option;  (* present when run with [with_trace] *)
 }
 
-type outcome = Ok of metrics | Oom of string | Error of string
+(* Every failure is one structured error: kind, phase, optional location,
+   message and (when recording is on) the raise-point backtrace.  Match on
+   [e.kind] where the old [Oom]/[Error] distinction mattered. *)
+type outcome = Ok of metrics | Err of Fault.Ompgpu_error.t
 
 type measurement = { app : string; config : Config.t; outcome : outcome }
 
@@ -43,12 +46,12 @@ let frontend_for (config : Config.t) (app : Proxyapps.App.t)
     let src = app.Proxyapps.App.cuda_source scale in
     (Frontend.Codegen.compile ~scheme:Frontend.Codegen.Cuda ~file src, None)
 
-let compile_for ?trace (config : Config.t) (app : Proxyapps.App.t)
+let compile_for ?trace ?injector (config : Config.t) (app : Proxyapps.App.t)
     (scale : Proxyapps.App.scale) =
   match frontend_for config app scale with
   | m, None -> (m, None)
   | m, Some options ->
-    let report = Openmpopt.Pass_manager.run ~options ?trace m in
+    let report = Openmpopt.Pass_manager.run ~options ?injector ?trace m in
     (m, Some report)
 
 let checksum_of_trace sim =
@@ -58,15 +61,20 @@ let checksum_of_trace sim =
   | _ -> None
 
 (* Verify + simulate an already-optimized module. *)
-let measure ~machine ~trace (m : Ir.Irmod.t)
+let measure ~machine ~trace ?injector (m : Ir.Irmod.t)
     (report : Openmpopt.Pass_manager.report option) : outcome =
   match Ir.Verify.check m with
-  | Result.Error msg -> Error ("verifier: " ^ msg)
+  | Result.Error msg ->
+    Err
+      (Fault.Ompgpu_error.make Fault.Ompgpu_error.Verify
+         ~phase:Fault.Ompgpu_error.Verifying msg)
   | Result.Ok () -> (
-    let sim = Gpusim.Interp.create machine m in
+    let sim = Gpusim.Interp.create ?injector machine m in
     match Gpusim.Interp.run_host sim with
-    | exception Gpusim.Mem.Out_of_memory msg -> Oom msg
-    | exception e -> Error (Printexc.to_string e)
+    | exception e ->
+      Err
+        (Errors.classify ~phase:Fault.Ompgpu_error.Simulating e
+           (Printexc.get_raw_backtrace ()))
     | () ->
       let stats = sim.Gpusim.Interp.kernel_stats in
       let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
@@ -105,63 +113,128 @@ let scale_fingerprint = function
 
 (* The content address of one pipeline job (docs/SCHEDULER.md): the
    unoptimized MiniIR text plus everything else that determines the
-   measurement — the build (pass options), the simulated machine and the
-   problem scale.  The app name is deliberately NOT part of the key. *)
-let cache_key ~machine ~scale (m : Ir.Irmod.t) (config : Config.t) =
+   measurement — the build (pass options), the simulated machine, the
+   problem scale, and the (derived) fault-injector fingerprint: an injected
+   run must never share a cached result with a clean one, nor with a
+   different seed.  The app name is deliberately NOT part of the key. *)
+let cache_key ~machine ~scale ?(inject = "") (m : Ir.Irmod.t) (config : Config.t) =
   Sched.Cache.key
     [
       Ir.Printer.module_to_string m;
       Config.build_fingerprint config.Config.build;
       machine_fingerprint machine;
       scale_fingerprint scale;
+      inject;
     ]
 
+(* The per-job injector: derived from the config's specs with a tag naming
+   the job AND the attempt, so (a) the coin sequence one job sees is
+   independent of how pool domains interleave jobs, and (b) a retried job
+   draws fresh coins — that is what makes bounded retry worthwhile. *)
+let injector_for ~scale ~attempt (app : Proxyapps.App.t) (config : Config.t) =
+  let base = Fault.Injector.create config.Config.inject in
+  if Fault.Injector.is_none base then base
+  else
+    Fault.Injector.derive base
+      (Printf.sprintf "%s|%s|%s|%d" app.Proxyapps.App.name
+         (Config.build_fingerprint config.Config.build)
+         (scale_fingerprint scale) attempt)
+
 let run ?(machine = Gpusim.Machine.bench_machine) ?(scale = Proxyapps.App.Bench)
-    ?(with_trace = false) ?cache (app : Proxyapps.App.t) (config : Config.t) :
-    measurement =
+    ?(with_trace = false) ?cache ?(attempt = 0) (app : Proxyapps.App.t)
+    (config : Config.t) : measurement =
   (* each job owns a fresh trace (and, inside the pass manager, a fresh
      remark sink), so concurrent jobs never interleave their events *)
   let trace = if with_trace then Some (Observe.Trace.create ()) else None in
+  let injector = injector_for ~scale ~attempt app config in
+  (* the Pool_stall site: an injected stall at job start exercises the
+     batch watchdog without touching any compute layer *)
+  Fault.Injector.stall injector;
+  let classify ~phase e = Err (Errors.classify ~phase e (Printexc.get_raw_backtrace ())) in
   let outcome =
     match cache with
     | None -> (
-      match compile_for ?trace config app scale with
-      | exception e -> Error (Printexc.to_string e)
-      | m, report -> measure ~machine ~trace m report)
+      match compile_for ?trace ~injector config app scale with
+      | exception e -> classify ~phase:Fault.Ompgpu_error.Lowering e
+      | m, report -> measure ~machine ~trace ~injector m report)
     | Some cache -> (
       (* the front end always runs (its text is the cache key); the
          optimize+simulate work — the expensive part — is what a hit skips.
          Front-end failures produce no module, hence no key: not cached. *)
       match frontend_for config app scale with
-      | exception e -> Error (Printexc.to_string e)
+      | exception e -> classify ~phase:Fault.Ompgpu_error.Lowering e
       | m, options ->
-        let key = cache_key ~machine ~scale m config in
+        let key =
+          cache_key ~machine ~scale ~inject:(Fault.Injector.fingerprint injector) m
+            config
+        in
         Sched.Cache.find_or_compute cache ~key (fun () ->
-            let report =
+            match
               Option.map
-                (fun options -> Openmpopt.Pass_manager.run ~options ?trace m)
+                (fun options -> Openmpopt.Pass_manager.run ~options ~injector ?trace m)
                 options
-            in
-            measure ~machine ~trace m report))
+            with
+            | exception e -> classify ~phase:Fault.Ompgpu_error.Optimizing e
+            | report -> measure ~machine ~trace ~injector m report))
   in
   { app = app.Proxyapps.App.name; config; outcome }
 
-(* Run a list of configurations for one app; the result list is in config
-   order regardless of the execution interleaving. *)
-let run_configs ?machine ?scale ?with_trace ?pool ?cache app configs =
-  let one config = run ?machine ?scale ?with_trace ?cache app config in
-  match pool with
-  | None -> List.map one configs
-  | Some pool -> Sched.Pool.map_list pool one configs
+let is_transient_outcome = function
+  | Err e -> Fault.Ompgpu_error.is_transient e
+  | Ok _ -> false
 
 (* The batch entry point of the scheduler: compile+optimize+simulate every
    (app, config) pair, concurrently when a pool is given.  Results are in
-   input order, so sequential and parallel runs render identical tables. *)
-let run_batch ?machine ?scale ?with_trace ?pool ?cache jobs =
-  let one (app, config) = run ?machine ?scale ?with_trace ?cache app config in
+   input order, so sequential and parallel runs render identical tables.
+
+   Supervision: [watchdog_s] bounds each job's wall time (pool runs only —
+   a sequential run cannot be preempted); transient failures (timeouts,
+   allocation faults) are retried up to [retries] times with exponential
+   backoff, each attempt drawing fresh injector coins.  No exception
+   escapes a batch: every job settles to a measurement. *)
+let run_batch ?machine ?scale ?with_trace ?pool ?cache ?watchdog_s ?(retries = 0)
+    ?backoff_s jobs =
   match pool with
-  | None -> List.map one jobs
-  | Some pool -> Sched.Pool.map_list pool one jobs
+  | None ->
+    let rec attempt n (app, config) =
+      let m = run ?machine ?scale ?with_trace ?cache ~attempt:n app config in
+      if n < retries && is_transient_outcome m.outcome then begin
+        (match backoff_s with
+        | Some b -> Unix.sleepf (b *. float_of_int (1 lsl n))
+        | None -> ());
+        attempt (n + 1) (app, config)
+      end
+      else m
+    in
+    List.map (attempt 0) jobs
+  | Some pool ->
+    let job ~attempt (app, config) =
+      let m = run ?machine ?scale ?with_trace ?cache ~attempt app config in
+      (* surface transient failures as exceptions so the pool's guard can
+         apply its retry policy; terminal failures settle immediately *)
+      match m.outcome with
+      | Err e when Fault.Ompgpu_error.is_transient e -> raise (Fault.Ompgpu_error.Error e)
+      | _ -> m
+    in
+    List.map2
+      (fun (app, config) result ->
+        match result with
+        | Result.Ok m -> m
+        | Result.Error (e, bt) ->
+          {
+            app = app.Proxyapps.App.name;
+            config;
+            outcome = Err (Errors.classify ~phase:Fault.Ompgpu_error.Scheduling e bt);
+          })
+      jobs
+      (Sched.Pool.map_list_guarded pool ?watchdog_s ~retries ?backoff_s job jobs)
+
+(* Run a list of configurations for one app; the result list is in config
+   order regardless of the execution interleaving. *)
+let run_configs ?machine ?scale ?with_trace ?pool ?cache ?watchdog_s ?retries
+    ?backoff_s app configs =
+  run_batch ?machine ?scale ?with_trace ?pool ?cache ?watchdog_s ?retries ?backoff_s
+    (List.map (fun config -> (app, config)) configs)
 
 (* Relative performance versus a baseline measurement (the paper normalizes
    to LLVM 12): >1 means faster than the baseline. *)
@@ -180,15 +253,12 @@ let json_of_measurement (m : measurement) : Observe.Json.t =
     ]
   in
   match m.outcome with
-  | Oom msg ->
-    Observe.Json.Obj
-      (base
-      @ [ ("outcome", Observe.Json.String "oom"); ("error", Observe.Json.String msg) ])
-  | Error msg ->
+  | Err e ->
     Observe.Json.Obj
       (base
       @ [
-          ("outcome", Observe.Json.String "error"); ("error", Observe.Json.String msg);
+          ("outcome", Observe.Json.String "error");
+          ("error", Fault.Ompgpu_error.to_json e);
         ])
   | Ok x ->
     Observe.Json.Obj

@@ -23,20 +23,24 @@ type metrics = {
 
 type outcome =
   | Ok of metrics
-  | Oom of string  (** device heap exhausted (RSBench, Fig. 11b) *)
-  | Error of string
+  | Err of Fault.Ompgpu_error.t
+      (** any failure, as a structured taxonomy value: match on [kind]
+          (e.g. [Oom] for the device-heap exhaustion of RSBench, Fig. 11b);
+          the raise-point backtrace is preserved when recording is on *)
 
 type measurement = { app : string; config : Config.t; outcome : outcome }
 
 val cache_key :
   machine:Gpusim.Machine.t ->
   scale:Proxyapps.App.scale ->
+  ?inject:string ->
   Ir.Irmod.t ->
   Config.t ->
   string
 (** Content address of one pipeline job: digest of the unoptimized MiniIR
     module text, the build fingerprint (pass options), the machine
-    description and the scale.  Exposed for the test suite; the exact
+    description, the scale and the fault-injector fingerprint ([inject],
+    default [""] = no injection).  Exposed for the test suite; the exact
     definition is documented in docs/SCHEDULER.md. *)
 
 val run :
@@ -44,12 +48,18 @@ val run :
   ?scale:Proxyapps.App.scale ->
   ?with_trace:bool ->
   ?cache:outcome Sched.Cache.t ->
+  ?attempt:int ->
   Proxyapps.App.t ->
   Config.t ->
   measurement
 (** Defaults: [Gpusim.Machine.bench_machine], [Proxyapps.App.Bench],
     [with_trace:false].  Tracing is off by default so that bechamel
     micro-benchmarks measure the pipeline itself, not the instrumentation.
+
+    Never raises: every failure settles into an [Err] outcome.  When the
+    config arms fault sites ([Config.with_inject]), a per-(job, [attempt])
+    injector is derived and threaded through the pass manager and the
+    simulator; [attempt] (default 0) makes retried jobs draw fresh coins.
 
     With [cache], the front end still runs (its output text is the content
     address) but the optimize+simulate work is skipped on a hit.  A cached
@@ -62,6 +72,9 @@ val run_configs :
   ?with_trace:bool ->
   ?pool:Sched.Pool.t ->
   ?cache:outcome Sched.Cache.t ->
+  ?watchdog_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
   Proxyapps.App.t ->
   Config.t list ->
   measurement list
@@ -73,12 +86,21 @@ val run_batch :
   ?with_trace:bool ->
   ?pool:Sched.Pool.t ->
   ?cache:outcome Sched.Cache.t ->
+  ?watchdog_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
   (Proxyapps.App.t * Config.t) list ->
   measurement list
 (** Compile+optimize+simulate every (app, config) pair — concurrently when
     [pool] is given, each job with its own trace and remark sink — and
     return measurements in input order, so sequential and parallel batches
-    render byte-identical tables. *)
+    render byte-identical tables.
+
+    Supervision: [watchdog_s] bounds each job's wall time (pool runs only;
+    a hung job settles to [Err] with kind [Timeout]); failures whose
+    [Fault.Ompgpu_error.is_transient] holds are retried up to [retries]
+    times (default 0) with exponential backoff ([backoff_s]), each attempt
+    drawing fresh injector coins.  No exception escapes a batch. *)
 
 val relative : baseline:measurement -> measurement -> float option
 (** Performance relative to [baseline] (the paper normalizes to LLVM 12):

@@ -56,8 +56,9 @@ let fig9 ?machine ?scale ?pool ?cache () =
           csm_str r.Openmpopt.Pass_manager.folds_exec_mode
           r.Openmpopt.Pass_manager.folds_parallel_level remarks
       | Runner.Ok { report = None; _ } -> line "%-10s | (no report)" m.Runner.app
-      | Runner.Oom msg -> line "%-10s | OOM: %s" m.Runner.app msg
-      | Runner.Error msg -> line "%-10s | ERROR: %s" m.Runner.app msg)
+      | Runner.Err { kind = Fault.Ompgpu_error.Oom; message; _ } ->
+        line "%-10s | OOM: %s" m.Runner.app message
+      | Runner.Err e -> line "%-10s | ERROR: %s" m.Runner.app (Fault.Ompgpu_error.to_string e))
     measurements
 
 (* ------------------------------------------------------------------ *)
@@ -93,10 +94,11 @@ let fig10 ?machine ?scale ?pool ?cache () =
                 m.Runner.config.Config.label x.Runner.cycles
                 (float_of_int x.Runner.smem_bytes /. 1024.0)
                 x.Runner.registers
-            | Runner.Oom _ ->
+            | Runner.Err { kind = Fault.Ompgpu_error.Oom; _ } ->
               line "%-10s %-28s %12s" m.Runner.app m.Runner.config.Config.label "OOM"
-            | Runner.Error msg ->
-              line "%-10s %-28s ERROR: %s" m.Runner.app m.Runner.config.Config.label msg)
+            | Runner.Err e ->
+              line "%-10s %-28s ERROR: %s" m.Runner.app m.Runner.config.Config.label
+                (Fault.Ompgpu_error.to_string e))
         by_app;
       line "%s" "")
     Proxyapps.Apps.all
@@ -142,8 +144,11 @@ let fig11 ?machine ?scale ?pool ?cache (app : Proxyapps.App.t) =
         match Runner.relative ~baseline m with
         | Some r -> line "  %-32s %6.2fx" m.Runner.config.Config.label r
         | None -> line "  %-32s %6s" m.Runner.config.Config.label "n/a")
-      | Runner.Oom _ -> line "  %-32s %6s" m.Runner.config.Config.label "OOM"
-      | Runner.Error msg -> line "  %-32s ERROR: %s" m.Runner.config.Config.label msg)
+      | Runner.Err { kind = Fault.Ompgpu_error.Oom; _ } ->
+        line "  %-32s %6s" m.Runner.config.Config.label "OOM"
+      | Runner.Err e ->
+        line "  %-32s ERROR: %s" m.Runner.config.Config.label
+          (Fault.Ompgpu_error.to_string e))
     measurements;
   List.iter (fun msg -> line "  %s" msg) (check_consistency measurements)
 
@@ -176,8 +181,8 @@ let pass_breakdown ?machine ?scale (app : Proxyapps.App.t) =
           e.delta.Observe.Trace.allocs counters)
       (Observe.Trace.events tr)
   | Runner.Ok { trace = None; _ } -> line "  (no trace)"
-  | Runner.Oom msg -> line "  OOM: %s" msg
-  | Runner.Error msg -> line "  ERROR: %s" msg
+  | Runner.Err { kind = Fault.Ompgpu_error.Oom; message; _ } -> line "  OOM: %s" message
+  | Runner.Err e -> line "  ERROR: %s" (Fault.Ompgpu_error.to_string e)
 
 let pass_breakdown_all ?machine ?scale () =
   String.concat "\n"
@@ -204,7 +209,7 @@ let ablations ?machine ?scale ?pool ?cache () =
       (fun app ->
         List.map
           (fun (label, options) ->
-            (app, { Config.label; build = Config.dev options }))
+            (app, { Config.label; build = Config.dev options; inject = [] }))
           ablation_configs)
       Proxyapps.Apps.all
   in
@@ -231,8 +236,11 @@ let ablations ?machine ?scale ?pool ?cache () =
               in
               line "%-10s %-34s %12d %9d %7d" m.Runner.app label x.Runner.cycles
                 x.Runner.barriers guards
-            | Runner.Oom _ -> line "%-10s %-34s %12s" m.Runner.app label "OOM"
-            | Runner.Error msg -> line "%-10s %-34s ERROR: %s" m.Runner.app label msg)
+            | Runner.Err { kind = Fault.Ompgpu_error.Oom; _ } ->
+              line "%-10s %-34s %12s" m.Runner.app label "OOM"
+            | Runner.Err e ->
+              line "%-10s %-34s ERROR: %s" m.Runner.app label
+                (Fault.Ompgpu_error.to_string e))
         by_app;
       line "%s" "")
     Proxyapps.Apps.all

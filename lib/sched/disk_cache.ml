@@ -1,12 +1,21 @@
 (* Directory-backed blob cache.  No Unix dependency: Sys + channels are
    enough for mkdir-p (via repeated Sys.mkdir), atomic publish (write a
-   unique temp file, Sys.rename over the destination) and lookup. *)
+   unique temp file, Sys.rename over the destination) and lookup.
+
+   Entries are self-verifying: a digest header is prepended at store time
+   and checked on every read.  An entry that fails the check — torn write,
+   disk corruption, an injected bit-flip — is quarantined (moved aside, so
+   a later run can inspect it) and reported as a miss: the cache heals by
+   recomputing, it never serves corrupt data. *)
 
 type t = {
   cache_dir : string;
+  injector : Fault.Injector.t;
+  on_corrupt : (key:string -> path:string -> unit) option;
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable corrupt : int;
 }
 
 let rec mkdir_p path =
@@ -16,13 +25,16 @@ let rec mkdir_p path =
     with Sys_error _ when Sys.file_exists path -> ()  (* lost a creation race *)
   end
 
-let create ~dir =
+let create ?(injector = Fault.Injector.none) ?on_corrupt ~dir () =
   mkdir_p dir;
   {
     cache_dir = dir;
+    injector;
+    on_corrupt;
     mutex = Mutex.create ();
     hits = 0;
     misses = 0;
+    corrupt = 0;
   }
 
 let dir t = t.cache_dir
@@ -43,24 +55,78 @@ let count_hit t ok =
   if ok then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
   Mutex.unlock t.mutex
 
+(* Entry format: "sched-blob-v1:" ^ md5-hex(payload) ^ "\n" ^ payload.
+   The magic doubles as a format version; headerless files (from an older
+   layout or a foreign writer) fail verification like corrupt ones. *)
+let header_magic = "sched-blob-v1:"
+let digest_hex_len = 32
+let header_len = String.length header_magic + digest_hex_len + 1
+
+let encode_entry data = header_magic ^ Digest.to_hex (Digest.string data) ^ "\n" ^ data
+
+let decode_entry raw =
+  if
+    String.length raw >= header_len
+    && String.sub raw 0 (String.length header_magic) = header_magic
+    && raw.[header_len - 1] = '\n'
+  then begin
+    let digest = String.sub raw (String.length header_magic) digest_hex_len in
+    let data = String.sub raw header_len (String.length raw - header_len) in
+    if String.equal digest (Digest.to_hex (Digest.string data)) then Some data else None
+  end
+  else None
+
+(* Move a failed entry aside rather than deleting it: the quarantine
+   directory preserves the evidence for post-mortem without ever being
+   consulted by lookups. *)
+let quarantine t ~key path =
+  Mutex.lock t.mutex;
+  t.corrupt <- t.corrupt + 1;
+  Mutex.unlock t.mutex;
+  let qdir = Filename.concat t.cache_dir "quarantine" in
+  mkdir_p qdir;
+  (try Sys.rename path (Filename.concat qdir (Filename.basename path))
+   with Sys_error _ -> ()  (* lost a race with another reader; already moved *));
+  match t.on_corrupt with Some f -> f ~key ~path | None -> ()
+
 let find t ~key =
   let path = path_of t key in
   if Sys.file_exists path then begin
-    let data = In_channel.with_open_bin path In_channel.input_all in
-    count_hit t true;
-    Some data
+    let raw = In_channel.with_open_bin path In_channel.input_all in
+    match decode_entry raw with
+    | Some data ->
+      count_hit t true;
+      Some data
+    | None ->
+      quarantine t ~key path;
+      count_hit t false;
+      None
   end
   else begin
     count_hit t false;
     None
   end
 
+(* Flip one payload bit after the digest was computed: the entry is
+   well-formed on disk but fails verification on the next read. *)
+let corrupt_entry entry =
+  let b = Bytes.of_string entry in
+  let pos = min (Bytes.length b - 1) header_len in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+  Bytes.to_string b
+
 let store t ~key ~data =
   let path = path_of t key in
+  let entry = encode_entry data in
+  let entry =
+    if Fault.Injector.fire t.injector Fault.Injector.Cache_corrupt then
+      corrupt_entry entry
+    else entry
+  in
   (* Filename.temp_file picks a name unique across processes; the rename is
      same-directory, so the publish is atomic *)
   let tmp = Filename.temp_file ~temp_dir:t.cache_dir "sched-cache" ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc entry);
   Sys.rename tmp path
 
 let find_or_compute t ~key f =
@@ -79,3 +145,4 @@ let with_lock t f =
 
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)
+let corrupt t = with_lock t (fun () -> t.corrupt)

@@ -3,12 +3,26 @@
     One file per key under the cache directory, written atomically
     (temp file + rename), so concurrent writers of the same key — even
     across processes — leave a complete entry.  Keys must be filesystem-safe;
-    use {!Cache.key} digests. *)
+    use {!Cache.key} digests.
+
+    Entries carry a digest header verified on every read.  A failing entry
+    — torn write, disk corruption, an injected bit-flip — is moved to a
+    [quarantine/] subdirectory, counted, reported through [on_corrupt], and
+    treated as a miss: the cache recomputes, it never serves corrupt data. *)
 
 type t
 
-val create : dir:string -> t
-(** Creates [dir] (and missing parents) if needed. *)
+val create :
+  ?injector:Fault.Injector.t ->
+  ?on_corrupt:(key:string -> path:string -> unit) ->
+  dir:string ->
+  unit ->
+  t
+(** Creates [dir] (and missing parents) if needed.  [injector] arms the
+    [Cache_corrupt] site: a firing {!store} flips one payload bit after
+    digesting, so the entry fails verification on its next read.
+    [on_corrupt] is called (with the key and the original path) whenever a
+    read quarantines an entry — the driver surfaces it as a remark. *)
 
 val dir : t -> string
 
@@ -21,3 +35,6 @@ val find_or_compute : t -> key:string -> (unit -> string) -> string
 val hits : t -> int
 
 val misses : t -> int
+
+val corrupt : t -> int
+(** Entries quarantined by failed verification since [create]. *)

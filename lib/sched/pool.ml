@@ -193,11 +193,76 @@ let await fut =
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> assert false
 
+(* OCaml's Condition has no timed wait, so the watchdog polls.  The poll
+   interval (5ms) is invisible against jobs that run for milliseconds to
+   seconds; only awaits that actually hit their deadline pay it. *)
+let watchdog_poll_s = 0.005
+
+let await_timeout fut ~seconds =
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec loop () =
+    Mutex.lock fut.fmutex;
+    let st = fut.fstate in
+    Mutex.unlock fut.fmutex;
+    match st with
+    | Done v -> Some v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending ->
+      if Unix.gettimeofday () >= deadline then None
+      else begin
+        Unix.sleepf watchdog_poll_s;
+        loop ()
+      end
+  in
+  loop ()
+
 (* Results come back in input order regardless of execution interleaving:
    the futures list is built in order and awaited in order. *)
 let map_list t f xs =
   let futures = List.map (fun x -> submit t (fun () -> f x)) xs in
   List.map await futures
+
+let default_transient = function
+  | Fault.Ompgpu_error.Error err -> Fault.Ompgpu_error.is_transient err
+  | _ -> false
+
+let map_list_guarded t ?watchdog_s ?(retries = 0) ?(backoff_s = 0.05)
+    ?(is_transient = default_transient) f xs =
+  let submit_attempt n x = submit t (fun () -> f ~attempt:n x) in
+  (* first attempts are all in flight before any await: full parallelism on
+     the happy path; retries are submitted on demand as failures surface *)
+  let futures = List.map (submit_attempt 0) xs in
+  let rec settle n x fut =
+    let outcome =
+      match watchdog_s with
+      | None -> (
+        match await fut with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      | Some seconds -> (
+        match await_timeout fut ~seconds with
+        | Some v -> Ok v
+        | None ->
+          (* the stalled job keeps its domain until it returns on its own;
+             its eventual result is discarded *)
+          let err =
+            Fault.Ompgpu_error.make
+              (Fault.Ompgpu_error.Timeout { seconds })
+              ~phase:Fault.Ompgpu_error.Scheduling
+              (Printf.sprintf "job exceeded its %gs watchdog (attempt %d)" seconds
+                 (n + 1))
+          in
+          Error (Fault.Ompgpu_error.Error err, Printexc.get_callstack 0)
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+    in
+    match outcome with
+    | Ok v -> Ok v
+    | Error (e, _) when n < retries && is_transient e ->
+      Unix.sleepf (backoff_s *. float_of_int (1 lsl n));
+      settle (n + 1) x (submit_attempt (n + 1) x)
+    | Error _ as failed -> failed
+  in
+  List.map2 (settle 0) xs futures
 
 let stats t =
   Mutex.lock t.mutex;

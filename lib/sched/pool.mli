@@ -40,11 +40,39 @@ val await : 'a future -> 'a
 (** Wait for a job's result.  Re-raises the job's exception (with its
     backtrace) if it failed. *)
 
+val await_timeout : 'a future -> seconds:float -> 'a option
+(** Like {!await}, but gives up after [seconds] and returns [None] (the job
+    itself keeps running; a later {!await} still works).  Polls — OCaml's
+    [Condition] has no timed wait — at a 5ms interval. *)
+
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list t f xs] runs [f x] for every element as pool jobs and returns
     the results in input order — deterministic output for deterministic
     [f], whatever the execution interleaving.  Equivalent to
     [List.map f xs] observationally when [f] is pure per-element. *)
+
+val map_list_guarded :
+  t ->
+  ?watchdog_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?is_transient:(exn -> bool) ->
+  (attempt:int -> 'a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** {!map_list} with per-job supervision; no exception escapes the batch —
+    each job settles to [Ok] or [Error (exn, backtrace)], in input order.
+
+    [watchdog_s]: a job not settled within this many seconds (measured from
+    submission, so queue wait counts) is declared hung with a structured
+    [Fault.Ompgpu_error.Timeout] — the stalled job keeps its domain until
+    it returns on its own, but the batch makes progress.
+
+    Failures satisfying [is_transient] (default: structured errors whose
+    [Fault.Ompgpu_error.is_transient] holds — timeouts and allocation
+    failures) are retried up to [retries] times with exponential backoff
+    ([backoff_s] * 2^attempt).  The job function receives the attempt
+    number (0 = first try) so it can derive fresh fault-injector coins. *)
 
 val stats : t -> stats
 

@@ -234,6 +234,57 @@ let prop_idempotent p =
       QCheck.Test.fail_reportf "verifier rejected twice-optimized module: %s@.%s" msg
         src
 
+(* ------------------------------------------------------------------ *)
+(* Robustness: malformed input never escapes as a raw exception        *)
+(* ------------------------------------------------------------------ *)
+
+(* Truncate a valid program at an arbitrary byte, or splat one byte with
+   punctuation the grammar rejects.  Whatever comes out, the front end must
+   either compile it or fail with a *located* structured error — a raw
+   [Failure]/[Invalid_argument]/assert escaping the lexer, parser or codegen
+   classifies as [Internal] and fails the property. *)
+let mangle (p, n, mutate) =
+  let src = render (deracify p) in
+  let len = String.length src in
+  if mutate then begin
+    let b = Bytes.of_string src in
+    Bytes.set b (n mod len) (List.nth [ '$'; '@'; '~'; '#'; '('; '}' ] (n mod 6));
+    Bytes.to_string b
+  end
+  else String.sub src 0 (n mod len)
+
+let arb_mangled =
+  QCheck.make
+    QCheck.Gen.(triple gen_prog (int_bound 4096) bool)
+    ~print:(fun arg -> mangle arg)
+
+let prop_malformed_is_structured arg =
+  let src = mangle arg in
+  let open Fault.Ompgpu_error in
+  match
+    Harness.Errors.run_protected ~phase:Lowering (fun () ->
+        let m =
+          Frontend.Codegen.compile ~scheme:Frontend.Codegen.Simplified
+            ~file:"mangled.c" src
+        in
+        match Ir.Verify.check m with
+        | Result.Ok () -> ()
+        | Result.Error msg -> raise_error Verify ~phase:Verifying "%s" msg)
+  with
+  | Result.Ok () -> true
+  | Result.Error e -> (
+    match e.kind with
+    | Verify -> true
+    | Lex | Parse | Codegen ->
+      if e.loc = None then
+        QCheck.Test.fail_reportf "compile error lost its location: %s@.%s"
+          (to_string e) src
+      else true
+    | k ->
+      QCheck.Test.fail_reportf
+        "raw exception escaped the front end (classified %s): %s@.%s"
+        (kind_name k) (to_string e) src)
+
 (* CI exit-path canary: FUZZ_FORCE_FAIL=1 injects a property that always
    fails, so the shrinker reduces a counterexample and the run must exit
    nonzero.  tools/check_fuzz_exit.sh asserts that this exit code survives
@@ -252,6 +303,8 @@ let suite =
         prop_differential;
       Helpers.qtest ~count:30 "optimizer pipeline is idempotent" arb_prog
         prop_idempotent;
+      Helpers.qtest ~count:150 "malformed source yields located structured errors"
+        arb_mangled prop_malformed_is_structured;
     ]
   in
   if Sys.getenv_opt "FUZZ_FORCE_FAIL" = Some "1" then base @ [ forced_fail ]

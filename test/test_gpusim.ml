@@ -277,7 +277,9 @@ int main() {
   in
   let sim = Gpusim.Interp.create ~fuel:10_000 Gpusim.Machine.test_machine m in
   match Gpusim.Interp.run_host sim with
-  | exception Gpusim.Interp.Trap _ -> ()
+  | exception
+      Fault.Ompgpu_error.Error { Fault.Ompgpu_error.kind = Fault.Ompgpu_error.Timeout _; _ }
+    -> ()
   | _ -> Alcotest.fail "expected fuel exhaustion"
 
 let test_determinism () =

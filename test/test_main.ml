@@ -15,5 +15,6 @@ let () =
       ("observe", Test_observe.suite);
       ("report-golden", Test_report_golden.suite);
       ("sched", Test_sched.suite);
+      ("fault", Test_fault.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -63,9 +63,9 @@ let per_app_tests (app : Proxyapps.App.t) =
         List.iter
           (fun (m : Harness.Runner.measurement) ->
             match m.Harness.Runner.outcome with
-            | Harness.Runner.Error msg ->
+            | Harness.Runner.Err e ->
               Alcotest.failf "%s/%s failed: %s" name m.Harness.Runner.config.Harness.Config.label
-                msg
+                (Fault.Ompgpu_error.to_string e)
             | _ -> ())
           ms);
   ]
@@ -78,7 +78,7 @@ let test_rsbench_oom_at_bench_scale () =
       Harness.Config.no_opt
   in
   (match m.Harness.Runner.outcome with
-  | Harness.Runner.Oom _ -> ()
+  | Harness.Runner.Err { Fault.Ompgpu_error.kind = Fault.Ompgpu_error.Oom; _ } -> ()
   | _ -> Alcotest.fail "expected the unoptimized RSBench to run out of memory");
   (* while heap-to-stack rescues it *)
   let m2 =

@@ -201,8 +201,7 @@ let test_cached_batch () =
            ^
            match m.Harness.Runner.outcome with
            | Harness.Runner.Ok x -> string_of_int x.Harness.Runner.cycles
-           | Harness.Runner.Oom msg -> "oom:" ^ msg
-           | Harness.Runner.Error msg -> "error:" ^ msg)
+           | Harness.Runner.Err e -> "err:" ^ Fault.Ompgpu_error.to_string e)
          ms)
   in
   Alcotest.(check string) "warm = cold" (fingerprint cold) (fingerprint warm)

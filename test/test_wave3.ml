@@ -307,8 +307,8 @@ let test_runner_reports_compile_errors () =
       broken Harness.Config.dev0
   in
   match m.Harness.Runner.outcome with
-  | Harness.Runner.Error _ -> ()
-  | _ -> Alcotest.fail "expected an Error outcome"
+  | Harness.Runner.Err _ -> ()
+  | _ -> Alcotest.fail "expected an Err outcome"
 
 let suite =
   [

@@ -1,0 +1,120 @@
+#!/bin/sh
+# Fault-injection matrix over the mompc CLI (docs/ROBUSTNESS.md).
+#
+# Drives every injection site through the driver in each supervision mode —
+# fail-fast, bounded retry, graceful fallback, watchdog — and asserts:
+#   1. failure sites exit with their documented taxonomy code, cleanly
+#      (structured one-line diagnostic, no unhandled exception);
+#   2. graceful sites (shared-budget) exit 0: exhaustion degrades to the
+#      device heap instead of aborting;
+#   3. two same-seed runs produce byte-identical stdout and stderr — an
+#      injected run is replayable from its seed alone.
+#
+# Exit codes matched here are API (lib/fault/ompgpu_error.ml): 14
+# pass-crash, 20 sim-trap, 21 oom, 24 timeout, 0 success/fallback.
+
+set -e
+
+MOMPC=${MOMPC:-_build/default/bin/mompc.exe}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "fault-matrix: FAIL: $*" >&2; exit 1; }
+
+[ -x "$MOMPC" ] || fail "mompc binary not found at $MOMPC (run: dune build bin/mompc.exe)"
+
+# One generic-mode kernel with a small globalized local (lands in shared
+# memory: the shared-budget site's target) and a large one (lands on the
+# device heap: the mem-alloc site's target).
+cat > "$WORK/input.c" <<'EOF'
+long A[8];
+long B[4];
+static void bump(long* p) { p[0] = p[0] + 1; }
+int main() {
+  #pragma omp target teams distribute num_teams(2) thread_limit(8)
+  for (int i = 0; i < 16; i++) {
+    long s = (long)i;
+    bump(&s);
+    long v[512];
+    v[0] = s;
+    bump(v);
+    #pragma omp atomic
+    B[0] += v[0];
+    A[i % 8] = 3;
+  }
+  for (int k = 0; k < 8; k++) { trace(A[k]); }
+  trace(B[0]);
+  return 0;
+}
+EOF
+cp "$WORK/input.c" "$WORK/input2.c"
+
+# run NAME EXPECTED_EXIT [mompc args...]
+run() {
+  name=$1; expect=$2; shift 2
+  set +e
+  "$MOMPC" --emit-ir=false "$@" > "$WORK/$name.out" 2> "$WORK/$name.err"
+  code=$?
+  set -e
+  if [ "$code" -ne "$expect" ]; then
+    cat "$WORK/$name.err" >&2
+    fail "$name: exit $code, expected $expect"
+  fi
+  # an escaping OCaml exception prints "Fatal error: exception ..." — the
+  # taxonomy guarantees that never happens, whatever is injected
+  if grep -q "Fatal error" "$WORK/$name.err"; then
+    cat "$WORK/$name.err" >&2
+    fail "$name: unhandled exception escaped the driver"
+  fi
+  echo "fault-matrix: ok: $name (exit $code)"
+}
+
+# --- fail-fast: each failure site exits with its taxonomy code ----------
+run clean          0  "$WORK/input.c" --run
+run pass-crash     14 "$WORK/input.c" -O --inject pass-crash
+run sim-trap       20 "$WORK/input.c" --run --inject sim-trap
+run mem-alloc      21 "$WORK/input.c" --run --inject mem-alloc
+grep -q "error\[pass-crash\]" "$WORK/pass-crash.err" || fail "pass-crash: diagnostic missing"
+grep -q "error\[sim-trap\]"   "$WORK/sim-trap.err"   || fail "sim-trap: diagnostic missing"
+grep -q "error\[oom\]"        "$WORK/mem-alloc.err"  || fail "mem-alloc: diagnostic missing"
+
+# --- graceful fallback: shared-memory exhaustion is not an error --------
+run shared-budget  0  "$WORK/input.c" --run --inject shared-budget
+run shared-stats   0  "$WORK/input.c" --run --inject shared-budget --stats-json "$WORK/stats.json"
+grep -q '"shared_fallbacks": *[1-9]' "$WORK/stats.json" \
+  || fail "shared-budget: no heap fallbacks counted in stats JSON"
+
+# --- bounded retry: transient failures retry, then settle structurally --
+run retry-exhaust  21 "$WORK/input.c" --run --inject mem-alloc --retries 2 --backoff 0.01
+run retry-clean    0  "$WORK/input.c" --run --retries 2
+
+# --- watchdog: a stalled pool job settles as a structured timeout -------
+run watchdog       24 "$WORK/input.c" "$WORK/input2.c" -j 2 --watchdog 0.05 --inject pool-stall
+grep -q "error\[timeout\]" "$WORK/watchdog.err" || fail "watchdog: timeout diagnostic missing"
+
+# --- cache corruption: quarantined and recomputed, never served --------
+run cache-store    0  "$WORK/input.c" --cache-dir "$WORK/cache" --inject cache-corrupt
+run cache-reread   0  "$WORK/input.c" --cache-dir "$WORK/cache" --inject cache-corrupt
+grep -q "quarantined" "$WORK/cache-reread.err" || fail "cache-corrupt: quarantine remark missing"
+[ -n "$(ls "$WORK/cache/quarantine" 2>/dev/null)" ] || fail "cache-corrupt: quarantine dir empty"
+
+# --- replay: two same-seed runs are byte-identical ----------------------
+run replay-a       20 "$WORK/input.c" --run --inject sim-trap:0.5:7
+run replay-b       20 "$WORK/input.c" --run --inject sim-trap:0.5:7
+cmp -s "$WORK/replay-a.out" "$WORK/replay-b.out" || fail "replay: stdout differs across same-seed runs"
+cmp -s "$WORK/replay-a.err" "$WORK/replay-b.err" || fail "replay: stderr differs across same-seed runs"
+
+# all six sites armed at once, still structured and replayable
+ALL="--inject mem-alloc:0.001:3 --inject shared-budget:0.5:3 --inject sim-trap:0.0005:3 \
+     --inject pass-crash:0.1:3 --inject cache-corrupt:1.0:3 --inject pool-stall:0.2:3"
+set +e
+"$MOMPC" --emit-ir=false "$WORK/input.c" -O --run $ALL > "$WORK/all-a.out" 2> "$WORK/all-a.err"; ca=$?
+"$MOMPC" --emit-ir=false "$WORK/input.c" -O --run $ALL > "$WORK/all-b.out" 2> "$WORK/all-b.err"; cb=$?
+set -e
+[ "$ca" -eq "$cb" ] || fail "all-sites: exit codes differ across same-seed runs ($ca vs $cb)"
+if grep -q "Fatal error" "$WORK/all-a.err"; then fail "all-sites: unhandled exception"; fi
+cmp -s "$WORK/all-a.out" "$WORK/all-b.out" || fail "all-sites: stdout differs across same-seed runs"
+cmp -s "$WORK/all-a.err" "$WORK/all-b.err" || fail "all-sites: stderr differs across same-seed runs"
+echo "fault-matrix: ok: all-sites (exit $ca, byte-stable)"
+
+echo "fault-matrix: PASS"
