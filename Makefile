@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix
+.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix service-smoke
 
 all: build
 
@@ -28,6 +28,7 @@ ci:
 	FUZZ_SEED=42 FUZZ_ITERS=200 dune exec test/test_main.exe -- test fuzz
 	sh tools/check_fuzz_exit.sh
 	sh tools/fault_matrix.sh
+	sh tools/service_smoke.sh
 
 # Fault-injection matrix: every injection site through the mompc CLI in each
 # supervision mode (fail-fast, bounded retry, graceful fallback, watchdog),
@@ -37,6 +38,14 @@ ci:
 fault-matrix:
 	dune build bin/mompc.exe
 	sh tools/fault_matrix.sh
+
+# Persistent-service smoke: boot a real mompd, check `mompc --daemon` is
+# byte-identical to one-shot mompc, drive 50 mixed protocol requests
+# (including an injected pass-crash and malformed lines) through
+# `mompd request`, and require a clean shutdown (docs/API.md).
+service-smoke:
+	dune build bin/mompc.exe bin/mompd.exe
+	sh tools/service_smoke.sh
 
 # Benchmark-regression gate: regenerate BENCH_observe.json into a scratch
 # directory and diff its deterministic counters (per-app barriers and store

@@ -184,10 +184,81 @@ let sched_bench () =
           ] );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Service benchmark: request latency against a live daemon            *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance shape of the compile service: a warm request — answered
+   from the daemon's in-memory cache — must be cheaper than a cold
+   one-shot compile of the same source.  Latencies measure this host; the
+   byte-identity and cache-hit facts are machine-independent. *)
+let service_bench () =
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mompd-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Service.Server.create { Service.Server.default_config with socket_path }
+  in
+  let server_thread = Thread.create Service.Server.serve_forever server in
+  let config = Ompgpu_api.Config.(default |> optimized |> with_sim) in
+  let file = "xsbench.momp" in
+  let source =
+    (Proxyapps.Apps.find_exn "xsbench").Proxyapps.App.omp_source tiny
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let request c () =
+    match Service.Client.compile c ~file ~config source with
+    | Ok r -> r
+    | Error e -> Fmt.failwith "service bench: %s" (Fault.Ompgpu_error.to_string e)
+  in
+  let oneshot, oneshot_s =
+    timed (fun () -> Ompgpu_api.compile_buffered ~config ~file source)
+  in
+  let (cold, cold_s), (warm, warm_avg_s) =
+    Service.Client.with_connection ~socket_path (fun c ->
+        let cold = timed (request c) in
+        let reps = 20 in
+        let warms, warm_total = timed (fun () -> List.init reps (fun _ -> request c ())) in
+        let () =
+          match Service.Client.shutdown c () with
+          | Ok () -> ()
+          | Error e ->
+            Fmt.failwith "service bench: shutdown: %s"
+              (Fault.Ompgpu_error.to_string e)
+        in
+        (cold, (List.hd warms, warm_total /. float_of_int reps)))
+  in
+  Thread.join server_thread;
+  let identical r =
+    r.Ompgpu_api.exit_code = oneshot.Ompgpu_api.exit_code
+    && String.equal r.Ompgpu_api.output oneshot.Ompgpu_api.output
+    && String.equal r.Ompgpu_api.diagnostics oneshot.Ompgpu_api.diagnostics
+  in
+  let byte_identical = identical cold && identical warm in
+  Fmt.pr "== Service: mompd request latency (xsbench, tiny, -O --run) ==@.";
+  Fmt.pr "  one-shot (no daemon) %8.4f s@." oneshot_s;
+  Fmt.pr "  request (cold cache) %8.4f s@." cold_s;
+  Fmt.pr "  request (warm cache) %8.4f s  (avg of 20)@." warm_avg_s;
+  Fmt.pr "  warm < cold one-shot: %b   byte-identical to one-shot: %b@.@."
+    (warm_avg_s < oneshot_s) byte_identical;
+  Observe.Json.Obj
+    [
+      ("oneshot_s", Observe.Json.Float oneshot_s);
+      ("cold_request_s", Observe.Json.Float cold_s);
+      ("warm_request_s", Observe.Json.Float warm_avg_s);
+      ("warm_beats_cold_oneshot", Observe.Json.Bool (warm_avg_s < oneshot_s));
+      ("byte_identical", Observe.Json.Bool byte_identical);
+    ]
+
 (* Machine-readable perf trajectory: every app at bench scale under the
    default developer build, with the pipeline trace attached, so future
    changes can be diffed against this file. *)
-let observe_json ~sched path =
+let observe_json ~sched ~service path =
   let scale = Proxyapps.App.Bench in
   let records =
     List.map
@@ -198,13 +269,15 @@ let observe_json ~sched path =
       Proxyapps.Apps.all
   in
   let json =
-    Observe.Json.Obj
+    Observe.Json.with_schema
+      (Observe.Json.Obj
       [
         ("scale", Observe.Json.String "bench");
         ("config", Observe.Json.String Harness.Config.dev0.Harness.Config.label);
         ("measurements", Observe.Json.List records);
         ("sched", sched);
-      ]
+        ("service", service);
+      ])
   in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Observe.Json.to_string json);
@@ -215,5 +288,6 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if not (List.mem "tables" args) then benchmark ();
   let sched = sched_bench () in
+  let service = service_bench () in
   tables ();
-  observe_json ~sched "BENCH_observe.json"
+  observe_json ~sched ~service "BENCH_observe.json"

@@ -1,4 +1,5 @@
-(* mompc: the MiniOMP compiler driver.
+(* mompc: the MiniOMP compiler driver — a thin client of the Ompgpu_api
+   façade.
 
    Parses MiniOMP source files, lowers them with the selected globalization
    scheme, optionally runs the OpenMP-aware optimizer, prints remarks, and
@@ -9,12 +10,15 @@
    domains (per-file output is buffered and printed in input order, so
    parallel output is byte-identical to sequential), and [--cache-dir DIR]
    memoizes each file's full compiler output on disk, content-addressed by
-   source text, scheme and pass options.
+   source text, scheme and pass options.  [--daemon SOCKET] sends the
+   compiles to a running [mompd] instead, sharing its warm caches — the
+   printed bytes are identical either way.
 
    The disable flags mirror the paper artifact's LLVM flags
    openmp-opt-disable-... . *)
 
 open Cmdliner
+module A = Ompgpu_api
 
 let scheme_conv =
   let parse = function
@@ -26,205 +30,31 @@ let scheme_conv =
   let print ppf s = Fmt.string ppf (Frontend.Codegen.scheme_name s) in
   Arg.conv (parse, print)
 
-(* Result of compiling one file: the process exit code it asks for, plus
-   everything it wants on stdout/stderr.  Buffering instead of printing
-   directly is what makes parallel batch compilation safe: formatters are
-   not shared across domains, and output order is decided by the driver. *)
-type file_result = { code : int; out : string; err : string }
+(* Compile the batch through a running daemon.  Unreadable files settle
+   locally to the exact bytes the local driver produces; transport
+   breakdowns settle the file with the taxonomy error the client
+   returned. *)
+let compile_via_daemon ~socket_path ~config files =
+  Service.Client.with_connection ~socket_path (fun c ->
+      List.map
+        (fun file ->
+          match In_channel.with_open_text file In_channel.input_all with
+          | exception Sys_error msg ->
+            A.errored ~file (A.Error.make A.Error.Internal ~phase:A.Error.Driver msg)
+          | src -> (
+            match Service.Client.compile c ~file ~config src with
+            | Ok r -> r
+            | Error e -> A.errored ~file e))
+        files)
 
-(* Backtrace printing is opt-in (OMPGPU_BACKTRACE=1 or --backtrace):
-   diagnostics must be byte-stable across runs — the CI fault matrix
-   compares two same-seed runs — and backtraces are not. *)
-let backtraces_wanted = ref false
-
-let compile_one ~scheme ~options ~injector ~emit_ir ~run_sim ~remarks_only
-    ~stats_json ~print_trace file : file_result =
-  let out_buf = Buffer.create 1024 in
-  let err_buf = Buffer.create 1024 in
-  let out = Format.formatter_of_buffer out_buf in
-  let err = Format.formatter_of_buffer err_buf in
-  let finish code =
-    Format.pp_print_flush out ();
-    Format.pp_print_flush err ();
-    { code; out = Buffer.contents out_buf; err = Buffer.contents err_buf }
-  in
-  (* Every failure exits through here: one stable diagnostic line, the
-     taxonomy's exit code, and (opt-in) the captured backtrace. *)
-  let fail (e : Fault.Ompgpu_error.t) =
-    Fmt.pf err "%s: %s@." file (Fault.Ompgpu_error.to_string e);
-    (if !backtraces_wanted then
-       match e.Fault.Ompgpu_error.backtrace with
-       | Some bt -> Fmt.pf err "%s@." (String.trim bt)
-       | None -> ());
-    finish (Fault.Ompgpu_error.exit_code e)
-  in
-  let classify ~phase e =
-    Harness.Errors.classify ~phase e (Printexc.get_raw_backtrace ())
-  in
-  let src = In_channel.with_open_text file In_channel.input_all in
-  match Frontend.Codegen.compile ~scheme ~file src with
-  | exception e -> fail (classify ~phase:Fault.Ompgpu_error.Lowering e)
-  | m -> (
-    match Ir.Verify.check m with
-    | Error msg ->
-      fail
-        (Fault.Ompgpu_error.make Fault.Ompgpu_error.Verify
-           ~phase:Fault.Ompgpu_error.Verifying ("front end: " ^ msg))
-    | Ok () -> (
-      (* the trace feeds both --trace (human-readable) and --stats-json *)
-      let trace =
-        if print_trace || stats_json <> None then Some (Observe.Trace.create ())
-        else None
-      in
-      let opt_report = ref None in
-      let opt_error = ref None in
-      (match options with
-      | None -> ()
-      | Some options -> (
-        match Openmpopt.Pass_manager.run ~options ~injector ?trace m with
-        | exception e -> opt_error := Some (classify ~phase:Fault.Ompgpu_error.Optimizing e)
-        | report ->
-          opt_report := Some report;
-          List.iter
-            (fun r -> Fmt.pf err "%s@." (Openmpopt.Remark.to_string r))
-            report.Openmpopt.Pass_manager.remarks;
-          Fmt.pf err "openmp-opt: %a@." Openmpopt.Pass_manager.pp_report report;
-          (match Ir.Verify.check m with
-          | Error msg ->
-            opt_error :=
-              Some
-                (Fault.Ompgpu_error.make Fault.Ompgpu_error.Verify
-                   ~phase:Fault.Ompgpu_error.Verifying ("after openmp-opt: " ^ msg))
-          | Ok () -> ());
-          if print_trace then
-            Option.iter
-              (fun tr ->
-                Fmt.pf err "openmp-opt trace:@.";
-                List.iter
-                  (fun e -> Fmt.pf err "  %a@." Observe.Trace.pp_event e)
-                  (Observe.Trace.events tr))
-              trace));
-      match !opt_error with
-      | Some e -> fail e
-      | None ->
-        if emit_ir && not remarks_only then Fmt.pf out "%a" Ir.Printer.pp_module m;
-        let sim_result =
-          if run_sim then begin
-            let sim = Gpusim.Interp.create ~injector Gpusim.Machine.bench_machine m in
-            match Gpusim.Interp.run_host sim with
-            | exception e ->
-              Error (classify ~phase:Fault.Ompgpu_error.Simulating e)
-            | () ->
-              Fmt.pf out "; kernel cycles: %d@." (Gpusim.Interp.total_kernel_cycles sim);
-              List.iter
-                (fun (s : Gpusim.Interp.launch_stats) ->
-                  Fmt.pf out
-                    "; %s: cycles=%d regs=%d smem=%dB heap=%dB instrs=%d barriers=%d \
-                     atomics=%d div-branches=%d@."
-                    s.Gpusim.Interp.kernel_name s.Gpusim.Interp.cycles
-                    s.Gpusim.Interp.registers s.Gpusim.Interp.shared_bytes
-                    s.Gpusim.Interp.heap_high_water s.Gpusim.Interp.instructions
-                    s.Gpusim.Interp.barriers
-                    (s.Gpusim.Interp.atomics_global + s.Gpusim.Interp.atomics_shared)
-                    s.Gpusim.Interp.divergent_branches)
-                sim.Gpusim.Interp.kernel_stats;
-              Fmt.pf out "; trace:%a@."
-                (Fmt.list ~sep:Fmt.sp Gpusim.Rvalue.pp)
-                (Gpusim.Interp.trace_values sim);
-              Ok (Some sim)
-          end
-          else Ok None
-        in
-        match sim_result with
-        | Error e -> fail e
-        | Ok sim_result -> (
-          match stats_json with
-          | None -> finish 0
-          | Some path -> (
-            let json =
-              Observe.Json.Obj
-                ([
-                   ("file", Observe.Json.String file);
-                   ( "scheme",
-                     Observe.Json.String (Frontend.Codegen.scheme_name scheme) );
-                   ( "report",
-                     match !opt_report with
-                     | Some r -> Openmpopt.Pass_manager.report_to_json r
-                     | None -> Observe.Json.Null );
-                   ( "passes",
-                     match trace with
-                     | Some tr -> Observe.Trace.to_json tr
-                     | None -> Observe.Json.List [] );
-                 ]
-                @
-                match sim_result with
-                | Some sim -> [ ("sim", Gpusim.Stats.json_of_sim sim) ]
-                | None -> [])
-            in
-            try
-              Out_channel.with_open_text path (fun oc ->
-                  Out_channel.output_string oc (Observe.Json.to_string json);
-                  Out_channel.output_char oc '\n');
-              finish 0
-            with Sys_error msg ->
-              Fmt.pf err "cannot write stats: %s@." msg;
-              finish 2))))
-
-(* ------------------------------------------------------------------ *)
-(* Disk cache (--cache-dir)                                            *)
-(* ------------------------------------------------------------------ *)
-
-(* Cached payload: the full per-file result as JSON, so warm output is
-   byte-identical to cold output.  The key covers everything that shapes the
-   output: source text, scheme, option fingerprint, emission flags and the
-   fault-injector fingerprint (injected and clean runs must never share an
-   entry).  --stats-json writes a side file and --trace prints wall times,
-   so those runs bypass the cache. *)
-let cache_version = "mompc-cache-v2"
-
-let cache_key ~scheme ~options ~injector ~emit_ir ~run_sim ~remarks_only src =
-  Sched.Cache.key
-    [
-      cache_version;
-      src;
-      Frontend.Codegen.scheme_name scheme;
-      (match options with
-      | None -> "noopt"
-      | Some o -> Openmpopt.Pass_manager.options_fingerprint o);
-      Fault.Injector.fingerprint injector;
-      Printf.sprintf "emit=%b;sim=%b;remarks-only=%b" emit_ir run_sim remarks_only;
-    ]
-
-let result_to_json (r : file_result) =
-  Observe.Json.Obj
-    [
-      ("code", Observe.Json.Int r.code);
-      ("out", Observe.Json.String r.out);
-      ("err", Observe.Json.String r.err);
-    ]
-
-let result_of_json s =
-  match Observe.Json.of_string s with
-  | Error _ -> None
-  | Ok j -> (
-    match
-      ( Option.bind (Observe.Json.member "code" j) Observe.Json.to_int,
-        Option.bind (Observe.Json.member "out" j) Observe.Json.to_str,
-        Option.bind (Observe.Json.member "err" j) Observe.Json.to_str )
-    with
-    | Some code, Some out, Some err -> Some { code; out; err }
-    | _ -> None)
-
-(* ------------------------------------------------------------------ *)
-(* Driver                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group emit_ir
-    run_sim remarks_only stats_json print_trace jobs cache_dir inject retries
-    backoff watchdog backtrace =
-  backtraces_wanted :=
-    backtrace || Sys.getenv_opt "OMPGPU_BACKTRACE" = Some "1";
-  if !backtraces_wanted then Printexc.record_backtrace true;
+let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group
+    emit_ir run_sim remarks_only stats_json print_trace jobs cache_dir inject
+    retries backoff watchdog backtrace daemon =
+  (* Backtrace printing is opt-in (OMPGPU_BACKTRACE=1 or --backtrace):
+     diagnostics must be byte-stable across runs — the CI fault matrix
+     compares two same-seed runs — and backtraces are not. *)
+  let backtraces = backtrace || Sys.getenv_opt "OMPGPU_BACKTRACE" = Some "1" in
+  if backtraces then Printexc.record_backtrace true;
   let options =
     if optimize then
       Some
@@ -238,123 +68,79 @@ let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group 
         }
     else None
   in
-  let specs, spec_errors =
-    List.fold_left
-      (fun (ok, errs) s ->
-        match Fault.Injector.parse_spec s with
-        | Ok spec -> (spec :: ok, errs)
-        | Error msg -> (ok, msg :: errs))
-      ([], []) inject
-  in
-  if spec_errors <> [] then begin
-    List.iter (fun m -> Fmt.epr "mompc: --inject: %s@." m) (List.rev spec_errors);
+  match Cli_common.parse_injects inject with
+  | Error msgs ->
+    List.iter (fun m -> Fmt.epr "mompc: --inject: %s@." m) msgs;
     2
-  end
-  else if stats_json <> None && List.length files > 1 then begin
-    Fmt.epr "mompc: --stats-json accepts a single input file@.";
-    2
-  end
-  else begin
-    let base_injector = Fault.Injector.create (List.rev specs) in
-    let cache =
-      (* stats-json writes a side file and --trace prints wall times:
-         neither is reproducible from a cached blob *)
-      if stats_json = None && not print_trace then
-        Option.map
-          (fun dir ->
-            Sched.Disk_cache.create ~injector:base_injector
-              ~on_corrupt:(fun ~key ~path ->
-                Fmt.epr
-                  "mompc: remark: cache entry %s failed verification, \
-                   quarantined at %s@."
-                  key path)
-              ~dir ())
-          cache_dir
-      else None
-    in
-    let one file =
-      (* Per-(file, attempt) injector: the coin sequence a file sees does
-         not depend on batch order or domain count, and a retry draws fresh
-         coins.  [stall] exercises the pool watchdog when pool-stall is
-         armed. *)
-      let compute ~attempt =
-        let injector =
-          Fault.Injector.derive base_injector
-            (Printf.sprintf "%s#%d" file attempt)
-        in
-        Fault.Injector.stall injector;
-        compile_one ~scheme ~options ~injector ~emit_ir ~run_sim ~remarks_only
-          ~stats_json ~print_trace file
+  | Ok specs ->
+    if stats_json <> None && List.length files > 1 then begin
+      Fmt.epr "mompc: --stats-json accepts a single input file@.";
+      2
+    end
+    else begin
+      let config =
+        {
+          A.Config.scheme;
+          options;
+          emit_ir;
+          run_sim;
+          remarks_only;
+          want_stats = stats_json <> None;
+          print_trace;
+          inject = specs;
+          retries;
+          backoff_s = backoff;
+          backtraces;
+        }
       in
-      (* Bounded retry on the taxonomy's transient exit codes only
-         (21 = oom, 24 = timeout); deterministic failures re-fail
-         identically, so retrying them is waste. *)
-      let rec attempt_loop n =
-        let r = compute ~attempt:n in
-        if n < retries && (r.code = 21 || r.code = 24) then begin
-          Unix.sleepf (backoff *. float_of_int (1 lsl n));
-          attempt_loop (n + 1)
-        end
-        else r
-      in
-      match cache with
-      | None -> attempt_loop 0
-      | Some cache -> (
-        let src = In_channel.with_open_text file In_channel.input_all in
-        let key =
-          cache_key ~scheme ~options ~injector:base_injector ~emit_ir ~run_sim
-            ~remarks_only src
-        in
-        match Option.bind (Sched.Disk_cache.find cache ~key) result_of_json with
-        | Some r -> r
+      let results =
+        match daemon with
+        | Some socket_path -> (
+          try Ok (compile_via_daemon ~socket_path ~config files)
+          with Unix.Unix_error (err, _, _) ->
+            Error
+              (A.Error.make A.Error.Internal ~phase:A.Error.Serving
+                 (Printf.sprintf "cannot reach daemon at %s: %s" socket_path
+                    (Unix.error_message err))))
         | None ->
-          let r = attempt_loop 0 in
-          (* failed compiles are not cached: they are cheap and the user is
-             about to edit the file anyway *)
-          if r.code = 0 then
-            Sched.Disk_cache.store cache ~key
-              ~data:(Observe.Json.to_string (result_to_json r));
-          r)
-    in
-    let results =
-      if jobs > 1 && List.length files > 1 then
-        Sched.Pool.with_pool ~domains:jobs (fun pool ->
-            match watchdog with
-            | None -> Sched.Pool.map_list pool one files
-            | Some watchdog_s ->
-              (* The guard turns a hung job into a structured Timeout; the
-                 per-file retry loop already lives inside [one], so the
-                 guard itself does not retry. *)
-              Sched.Pool.map_list_guarded pool ~watchdog_s
-                (fun ~attempt:_ file -> one file)
-                files
-              |> List.map2
-                   (fun file -> function
-                     | Ok r -> r
-                     | Error (e, bt) ->
-                       let e =
-                         Harness.Errors.classify
-                           ~phase:Fault.Ompgpu_error.Scheduling e bt
-                       in
-                       {
-                         code = Fault.Ompgpu_error.exit_code e;
-                         out = "";
-                         err =
-                           Printf.sprintf "%s: %s\n" file
-                             (Fault.Ompgpu_error.to_string e);
-                       })
-                   files)
-      else List.map one files
-    in
-    List.iter
-      (fun (r : file_result) ->
-        print_string r.out;
-        prerr_string r.err)
-      results;
-    flush stdout;
-    flush stderr;
-    List.fold_left (fun acc r -> max acc r.code) 0 results
-  end
+          Ok
+            (A.compile_files ~jobs ?cache_dir ?watchdog_s:watchdog
+               ~on_cache_corrupt:(fun ~key ~path ->
+                 Fmt.epr
+                   "mompc: remark: cache entry %s failed verification, \
+                    quarantined at %s@."
+                   key path)
+               ~config files)
+      in
+      match results with
+      | Error e ->
+        Fmt.epr "mompc: %s@." (A.Error.to_string e);
+        A.Error.exit_code e
+      | Ok results -> (
+        List.iter
+          (fun (r : A.compiled) ->
+            print_string r.A.output;
+            prerr_string r.A.diagnostics)
+          results;
+        flush stdout;
+        flush stderr;
+        let code =
+          List.fold_left (fun acc (r : A.compiled) -> max acc r.A.exit_code) 0 results
+        in
+        (* The stats payload (single file only, checked above) is collected
+           in-memory by the façade; the driver owns the side file. *)
+        match (stats_json, results) with
+        | Some path, [ { A.stats = Some stats; _ } ] -> (
+          try
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Observe.Json.to_string stats);
+                Out_channel.output_char oc '\n');
+            code
+          with Sys_error msg ->
+            Fmt.epr "cannot write stats: %s@." msg;
+            max code 2)
+        | _ -> code)
+    end
 
 let files_arg =
   Arg.(
@@ -387,65 +173,18 @@ let cmd =
       $ Arg.(value & opt bool true & info [ "emit-ir" ] ~doc:"Print the final MiniIR")
       $ flag [ "run" ] "Execute on the GPU simulator and print kernel statistics"
       $ flag [ "remarks-only" ] "Suppress IR output; print only remarks"
+      $ Cli_common.stats_json $ Cli_common.trace $ Cli_common.jobs
+      $ Cli_common.cache_dir $ Cli_common.inject $ Cli_common.retries
+      $ Cli_common.backoff $ Cli_common.watchdog $ Cli_common.backtrace
       $ Arg.(
           value
           & opt (some string) None
-          & info [ "stats-json" ] ~docv:"FILE"
+          & info [ "daemon" ] ~docv:"SOCKET"
               ~doc:
-                "Write per-round/per-pass pipeline events, the report \
-                 counters and (with $(b,--run)) per-kernel simulator \
-                 cost-model counters as JSON to $(docv).  Single input file \
-                 only.")
-      $ flag [ "trace" ] "Print the per-pass pipeline trace to stderr"
-      $ Arg.(
-          value & opt int 1
-          & info [ "j"; "jobs" ] ~docv:"N"
-              ~doc:
-                "Compile a multi-file batch on $(docv) scheduler domains.  \
-                 Output is printed in input order, byte-identical to -j 1.")
-      $ Arg.(
-          value
-          & opt (some string) None
-          & info [ "cache-dir" ] ~docv:"DIR"
-              ~doc:
-                "Content-addressed compilation cache: memoize each file's \
-                 compiler output in $(docv), keyed by source text, scheme \
-                 and pass options.  Ignored with $(b,--stats-json) and \
-                 $(b,--trace).")
-      $ Arg.(
-          value
-          & opt_all string []
-          & info [ "inject" ] ~docv:"SITE[:RATE][:SEED]"
-              ~doc:
-                "Arm a deterministic fault-injection site (repeatable).  \
-                 Sites: mem-alloc, shared-budget, sim-trap, pass-crash, \
-                 cache-corrupt, pool-stall.  RATE defaults to 1.0, SEED to \
-                 0; the same seed replays the same faults.  See \
-                 docs/ROBUSTNESS.md.")
-      $ Arg.(
-          value & opt int 0
-          & info [ "retries" ] ~docv:"N"
-              ~doc:
-                "Retry a file up to $(docv) times when it fails with a \
-                 transient taxonomy code (oom, timeout).  Each attempt \
-                 draws fresh injector coins.")
-      $ Arg.(
-          value & opt float 0.05
-          & info [ "backoff" ] ~docv:"S"
-              ~doc:
-                "Base retry backoff in seconds (doubles per attempt; \
-                 default 0.05).")
-      $ Arg.(
-          value
-          & opt (some float) None
-          & info [ "watchdog" ] ~docv:"S"
-              ~doc:
-                "With $(b,-j) > 1: declare a file's job hung after $(docv) \
-                 seconds and settle it as a structured timeout (exit code \
-                 24) instead of blocking the batch.")
-      $ flag [ "backtrace" ]
-          "Print the captured raise-point backtrace under each diagnostic \
-           (also enabled by OMPGPU_BACKTRACE=1).  Off by default: \
-           diagnostics stay byte-stable across runs.")
+                "Compile through the $(b,mompd) daemon listening on \
+                 $(docv), sharing its warm caches; output is byte-identical \
+                 to a local run.  $(b,-j), $(b,--cache-dir) and \
+                 $(b,--watchdog) are the daemon's to decide and are ignored \
+                 here."))
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,151 @@
+(* mompd: the persistent MiniOMP compile daemon.
+
+     mompd serve --socket ./mompd.sock -j 4 --cache-dir .cache &
+     mompc --daemon ./mompd.sock file.momp        # warm-cache compiles
+     mompd stats                                  # live counters (schema 2)
+     mompd request < requests.jsonl               # raw protocol access
+     mompd shutdown
+
+   The daemon keeps a Sched.Pool of worker domains and warm in-memory +
+   on-disk compile caches alive across requests, so repeated compiles of
+   the same source are cache hits whichever client sends them.  Wire
+   protocol v1 (newline-delimited JSON) is specified in docs/API.md. *)
+
+open Cmdliner
+
+let default_socket = Service.Server.default_config.Service.Server.socket_path
+
+let socket_arg = Cli_common.socket ~default:default_socket ()
+
+let require_socket = function
+  | Some s -> s
+  | None -> default_socket
+
+(* Surface a connect failure as the taxonomy does everywhere else: one
+   stable line, the kind's exit code. *)
+let with_client socket_path f =
+  match Service.Client.with_connection ~socket_path f with
+  | exception Unix.Unix_error (err, _, _) ->
+    let e =
+      Fault.Ompgpu_error.make Fault.Ompgpu_error.Internal
+        ~phase:Fault.Ompgpu_error.Serving
+        (Printf.sprintf "cannot reach daemon at %s: %s" socket_path
+           (Unix.error_message err))
+    in
+    Fmt.epr "mompd: %s@." (Fault.Ompgpu_error.to_string e);
+    Fault.Ompgpu_error.exit_code e
+  | code -> code
+
+let fail_error e =
+  Fmt.epr "mompd: %s@." (Fault.Ompgpu_error.to_string e);
+  Fault.Ompgpu_error.exit_code e
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve socket domains capacity watchdog cache_dir =
+  let socket_path = require_socket socket in
+  let capacity = Option.value capacity ~default:(4 * max 1 domains) in
+  let cfg =
+    {
+      Service.Server.socket_path;
+      domains;
+      capacity;
+      watchdog_s = watchdog;
+      cache_dir;
+    }
+  in
+  let server = Service.Server.create cfg in
+  Fmt.epr "mompd: listening on %s (domains=%d capacity=%d%s%s)@." socket_path
+    (max 1 domains) capacity
+    (match watchdog with
+    | Some s -> Printf.sprintf " watchdog=%gs" s
+    | None -> "")
+    (match cache_dir with
+    | Some d -> Printf.sprintf " cache-dir=%s" d
+    | None -> "");
+  Service.Server.serve_forever server;
+  Fmt.epr "mompd: shut down@.";
+  0
+
+let serve_cmd =
+  let doc = "run the compile daemon until a shutdown request arrives" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket_arg $ Cli_common.jobs
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "capacity" ] ~docv:"N"
+              ~doc:
+                "Admission limit: shed (exit 40, retryable) any compile \
+                 request arriving while $(docv) are already in flight.  \
+                 Default 4 * domains; 0 sheds everything.")
+      $ Cli_common.watchdog $ Cli_common.cache_dir)
+
+(* ------------------------------------------------------------------ *)
+(* stats / shutdown                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stats socket =
+  with_client (require_socket socket) (fun c ->
+      match Service.Client.stats c () with
+      | Ok j ->
+        print_string (Observe.Json.to_string j);
+        print_newline ();
+        0
+      | Error e -> fail_error e)
+
+let stats_cmd =
+  let doc = "print the daemon's live counters (schema 2) as JSON" in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ socket_arg)
+
+let shutdown socket =
+  with_client (require_socket socket) (fun c ->
+      match Service.Client.shutdown c () with
+      | Ok () -> 0
+      | Error e -> fail_error e)
+
+let shutdown_cmd =
+  let doc = "ask the daemon to drain and exit" in
+  Cmd.v (Cmd.info "shutdown" ~doc) Term.(const shutdown $ socket_arg)
+
+(* ------------------------------------------------------------------ *)
+(* request: raw protocol access for scripts and tests                  *)
+(* ------------------------------------------------------------------ *)
+
+let request socket =
+  with_client (require_socket socket) (fun c ->
+      let code = ref 0 in
+      (try
+         while true do
+           let line = input_line stdin in
+           if String.trim line <> "" then
+             match Observe.Json.of_string line with
+             | Error msg ->
+               Fmt.epr "mompd: request: unparseable JSON line: %s@." msg;
+               code := max !code 2
+             | Ok j -> (
+               match Service.Client.roundtrip_json c j with
+               | Ok reply ->
+                 print_string (Observe.Json.to_string ~minify:true reply);
+                 print_newline ()
+               | Error e -> code := max !code (fail_error e))
+         done
+       with End_of_file -> ());
+      !code)
+
+let request_cmd =
+  let doc =
+    "send newline-delimited JSON protocol requests from stdin, print one \
+     response line each (see docs/API.md for the v1 request shapes)"
+  in
+  Cmd.v (Cmd.info "request" ~doc) Term.(const request $ socket_arg)
+
+let cmd =
+  let doc = "persistent MiniOMP compile service" in
+  Cmd.group (Cmd.info "mompd" ~doc)
+    [ serve_cmd; stats_cmd; shutdown_cmd; request_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,52 @@
+(** The one source of truth for the flag names, defaults and docs shared by
+    [mompc], [mompd] and [run_experiments].
+
+    Historically the three drivers drifted ([run_experiments] hand-parsed
+    [-j]; cache/inject/stats flags existed only on [mompc]): every driver
+    now assembles its command line from these terms, so a flag means the
+    same thing, spells the same way and documents identically everywhere.
+    Old spellings survive as hidden deprecated aliases ([--domains],
+    [--cache], [--stats]). *)
+
+val jobs : int Cmdliner.Term.t
+(** [-j N] / [--jobs N] (deprecated alias [--domains]): scheduler domains
+    for batch work; default 1. *)
+
+val cache_dir : string option Cmdliner.Term.t
+(** [--cache-dir DIR] (deprecated alias [--cache]): content-addressed
+    on-disk compilation cache. *)
+
+val inject : string list Cmdliner.Term.t
+(** [--inject SITE[:RATE][:SEED]], repeatable (deprecated alias
+    [--fault-inject]).  Raw specs; validate with {!parse_injects}. *)
+
+val parse_injects :
+  string list -> (Fault.Injector.spec list, string list) result
+(** Parse every spec; [Error msgs] lists each bad spec's message, in input
+    order. *)
+
+val stats_json : string option Cmdliner.Term.t
+(** [--stats-json FILE] (deprecated alias [--stats]). *)
+
+val trace : bool Cmdliner.Term.t
+(** [--trace]: print the per-pass pipeline trace to stderr. *)
+
+val retries : int Cmdliner.Term.t
+(** [--retries N]: bounded retry on transient taxonomy codes; default 0. *)
+
+val backoff : float Cmdliner.Term.t
+(** [--backoff S]: base retry backoff, doubling per attempt; default 0.05. *)
+
+val watchdog : float option Cmdliner.Term.t
+(** [--watchdog S]: settle a hung job as a structured timeout (exit 24). *)
+
+val backtrace : bool Cmdliner.Term.t
+(** [--backtrace] (also [OMPGPU_BACKTRACE=1]): print captured backtraces
+    under diagnostics. *)
+
+val socket : ?default:string -> unit -> string option Cmdliner.Term.t
+(** [--socket PATH]: the compile service's Unix-domain socket.  With
+    [default], an absent flag yields [Some default]. *)
+
+val tiny : bool Cmdliner.Term.t
+(** [--tiny]: run proxy apps at Tiny scale (unit-test sized inputs). *)

@@ -10,6 +10,7 @@ type phase =
   | Scheduling
   | Caching
   | Driver
+  | Serving
 
 type kind =
   | Lex
@@ -23,6 +24,8 @@ type kind =
   | Deadlock of { barrier : string }
   | Timeout of { seconds : float }
   | Cache_corrupt
+  | Overload of { pending : int; capacity : int }
+  | Bad_request
   | Internal
 
 type t = {
@@ -52,6 +55,8 @@ let kind_name = function
   | Deadlock _ -> "deadlock"
   | Timeout _ -> "timeout"
   | Cache_corrupt -> "cache-corrupt"
+  | Overload _ -> "overload"
+  | Bad_request -> "bad-request"
   | Internal -> "internal"
 
 let phase_name = function
@@ -64,9 +69,11 @@ let phase_name = function
   | Scheduling -> "scheduling"
   | Caching -> "caching"
   | Driver -> "driver"
+  | Serving -> "serving"
 
 (* Exit codes are API: scripts and CI match on them.  10-19 compile-time,
-   20-29 simulation, 30-39 infrastructure, 70 internal (sysexits' EX_SOFTWARE). *)
+   20-29 simulation, 30-39 infrastructure, 40-49 service, 70 internal
+   (sysexits' EX_SOFTWARE). *)
 let exit_code t =
   match t.kind with
   | Lex -> 10
@@ -80,14 +87,17 @@ let exit_code t =
   | Deadlock _ -> 23
   | Timeout _ -> 24
   | Cache_corrupt -> 30
+  | Overload _ -> 40
+  | Bad_request -> 41
   | Internal -> 70
 
 (* Retry policy (docs/ROBUSTNESS.md): a timeout may be scheduling pressure
    or an injected stall whose next attempt draws a fresh coin; an OOM may be
-   concurrent heap pressure.  Everything else is deterministic — retrying a
-   parse error or a miscompile-induced deadlock just repeats it. *)
+   concurrent heap pressure; an overloaded service sheds load it will accept
+   again once the queue drains.  Everything else is deterministic — retrying
+   a parse error or a miscompile-induced deadlock just repeats it. *)
 let is_transient t =
-  match t.kind with Timeout _ | Oom -> true | _ -> false
+  match t.kind with Timeout _ | Oom | Overload _ -> true | _ -> false
 
 let transient_exn = function Error t -> is_transient t | _ -> false
 
@@ -95,6 +105,8 @@ let kind_detail = function
   | Pass_crash { pass; round } -> Printf.sprintf " (pass %s, round %d)" pass round
   | Deadlock { barrier } when barrier <> "" -> Printf.sprintf " (barrier %s)" barrier
   | Timeout { seconds } when seconds > 0. -> Printf.sprintf " (after %.2fs)" seconds
+  | Overload { pending; capacity } ->
+    Printf.sprintf " (%d in flight, capacity %d)" pending capacity
   | _ -> ""
 
 let to_string t =
@@ -119,6 +131,11 @@ let to_json t =
         [ ("pass", Observe.Json.String pass); ("round", Observe.Json.Int round) ]
       | Deadlock { barrier } -> [ ("barrier", Observe.Json.String barrier) ]
       | Timeout { seconds } -> [ ("seconds", Observe.Json.Float seconds) ]
+      | Overload { pending; capacity } ->
+        [
+          ("pending", Observe.Json.Int pending);
+          ("capacity", Observe.Json.Int capacity);
+        ]
       | _ -> [])
     @ (match t.loc with
       | Some l -> [ ("loc", Observe.Json.String (Support.Loc.to_string l)) ]

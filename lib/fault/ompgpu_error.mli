@@ -18,6 +18,7 @@ type phase =
   | Scheduling  (** the batch driver / domain pool *)
   | Caching
   | Driver  (** argument handling, I/O *)
+  | Serving  (** the persistent compile service ([mompd]) *)
 
 type kind =
   | Lex
@@ -36,6 +37,13 @@ type kind =
   | Timeout of { seconds : float }
       (** simulation fuel exhausted ([seconds = 0.]) or a watchdog fired *)
   | Cache_corrupt
+  | Overload of { pending : int; capacity : int }
+      (** the compile service shed this request: [pending] jobs were already
+          admitted against a limit of [capacity].  Transient by design —
+          clients retry with backoff once the queue drains. *)
+  | Bad_request
+      (** a service request the protocol layer rejected: unparseable JSON,
+          an unsupported version, an unknown operation or a missing field *)
   | Internal  (** an escaping exception: always a bug worth a backtrace *)
 
 type t = {
@@ -62,7 +70,7 @@ val phase_name : phase -> string
 val exit_code : t -> int
 (** Process exit code of the kind (stable, documented in ROBUSTNESS.md);
     distinct ranges per family: 10-19 compile, 20-29 simulate, 30-39
-    infrastructure, 70 internal. *)
+    infrastructure, 40-49 service, 70 internal. *)
 
 val is_transient : t -> bool
 (** Whether a bounded retry is worthwhile: timeouts and allocation failures

@@ -248,6 +248,7 @@ let relative ~baseline m =
 let json_of_measurement (m : measurement) : Observe.Json.t =
   let base =
     [
+      ("schema", Observe.Json.Int Observe.Json.schema_version);
       ("app", Observe.Json.String m.app);
       ("config", Observe.Json.String m.config.Config.label);
     ]

@@ -33,6 +33,12 @@ let rec equal a b =
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let schema_version = 2
+
+let with_schema = function
+  | Obj members -> Obj (("schema", Int schema_version) :: members)
+  | j -> j
+
 let escape_string buf s =
   Buffer.add_char buf '"';
   String.iter

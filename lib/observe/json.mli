@@ -14,6 +14,16 @@ type t =
 
 val equal : t -> t -> bool
 
+val schema_version : int
+(** Version stamp of every JSON payload the stack exports ([--stats-json],
+    [BENCH_observe.json], per-measurement records, service stats):
+    currently 2.  Consumers ([tools/bench_gate.ml]) reject payloads
+    without the stamp or with one they do not understand. *)
+
+val with_schema : t -> t
+(** Prepend [("schema", Int schema_version)] to an [Obj]; other values
+    are returned unchanged. *)
+
 val to_string : ?minify:bool -> t -> string
 (** Serialize; [minify:false] (the default) pretty-prints with 2-space
     indentation, [minify:true] emits a single line. *)

@@ -1,0 +1,77 @@
+module E = Fault.Ompgpu_error
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try flush t.oc with Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connection ~socket_path f =
+  let t = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let transport_error fmt =
+  Printf.ksprintf (fun m -> Error (E.make E.Internal ~phase:E.Serving m)) fmt
+
+let roundtrip_json t j =
+  Protocol.write_message t.oc j;
+  match Protocol.read_message t.ic with
+  | None -> transport_error "connection closed before a response arrived"
+  | Some (Error e) -> Error e
+  | Some (Ok reply) -> Ok reply
+
+let roundtrip t request =
+  match roundtrip_json t (Protocol.request_to_json request) with
+  | Error e -> Error e
+  | Ok j -> (
+    match Protocol.response_of_json j with
+    | Ok r -> Ok r
+    | Error msg -> transport_error "undecodable response: %s" msg)
+
+(* A [Rejected] response is the daemon speaking the taxonomy; surface its
+   error directly.  Any other unexpected shape is a protocol breakdown. *)
+let rejected_or_mismatch ~expected = function
+  | Protocol.Rejected { error; _ } -> Error error
+  | Protocol.Compiled _ -> transport_error "expected a %s reply, got a compile result" expected
+  | Protocol.Stats_reply _ -> transport_error "expected a %s reply, got stats" expected
+  | Protocol.Shutdown_ack _ ->
+    transport_error "expected a %s reply, got a shutdown acknowledgement" expected
+
+let compile t ?(id = "c0") ?(file = "<service>") ~config source =
+  match roundtrip t (Protocol.Compile { id; file; source; config }) with
+  | Error e -> Error e
+  | Ok (Protocol.Compiled { result; _ }) -> Ok result
+  | Ok other -> rejected_or_mismatch ~expected:"compile" other
+
+let stats t ?(id = "s0") () =
+  match roundtrip t (Protocol.Stats { id }) with
+  | Error e -> Error e
+  | Ok (Protocol.Stats_reply { stats; _ }) -> Ok stats
+  | Ok other -> rejected_or_mismatch ~expected:"stats" other
+
+let shutdown t ?(id = "q0") () =
+  match roundtrip t (Protocol.Shutdown { id }) with
+  | Error e -> Error e
+  | Ok (Protocol.Shutdown_ack _) -> Ok ()
+  | Ok other -> rejected_or_mismatch ~expected:"shutdown" other

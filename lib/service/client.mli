@@ -1,0 +1,51 @@
+(** Client side of the compile-service wire protocol.
+
+    A {!t} is one connection: requests written through it are answered in
+    order, so a client can pipeline.  All helpers speak {!Protocol} v1 and
+    return decoding problems as structured errors rather than raising —
+    the only exceptions escaping this module are [Unix.Unix_error] from
+    connect/IO (the daemon is down, the socket path is wrong). *)
+
+type t
+
+val connect : socket_path:string -> t
+(** Raises [Unix.Unix_error] when nothing listens at [socket_path]. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_connection : socket_path:string -> (t -> 'a) -> 'a
+(** [connect], run the callback, always [close]. *)
+
+val roundtrip :
+  t -> Protocol.request -> (Protocol.response, Fault.Ompgpu_error.t) result
+(** Send one request and block for its response line.  [Error] covers a
+    connection closed mid-response and undecodable response bytes (both
+    [Internal], phase [Serving]). *)
+
+val roundtrip_json :
+  t -> Observe.Json.t -> (Observe.Json.t, Fault.Ompgpu_error.t) result
+(** {!roundtrip} at the wire level: one JSON line out, one line back,
+    no decoding of either — what [mompd request] and protocol tests
+    speak. *)
+
+val compile :
+  t ->
+  ?id:string ->
+  ?file:string ->
+  config:Ompgpu_api.Config.t ->
+  string ->
+  (Ompgpu_api.compiled, Fault.Ompgpu_error.t) result
+(** Compile one source through the daemon.  [Ok] carries every settled
+    result — including structured failures ([compiled.exit_code <> 0],
+    e.g. a shed request) — whose bytes match a one-shot [mompc]; [Error]
+    is reserved for transport/protocol breakdowns.  [file] defaults to
+    ["<service>"], [id] to ["c0"]. *)
+
+val stats :
+  t -> ?id:string -> unit -> (Observe.Json.t, Fault.Ompgpu_error.t) result
+(** The daemon's live counters (schema 2). *)
+
+val shutdown :
+  t -> ?id:string -> unit -> (unit, Fault.Ompgpu_error.t) result
+(** Ask the daemon to stop; [Ok ()] once the acknowledgement arrives. *)

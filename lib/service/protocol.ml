@@ -1,0 +1,373 @@
+(* Wire protocol v1 (see the .mli and docs/API.md). *)
+
+module J = Observe.Json
+module E = Fault.Ompgpu_error
+
+let version = 1
+
+type request =
+  | Compile of {
+      id : string;
+      file : string;
+      source : string;
+      config : Ompgpu_api.Config.t;
+    }
+  | Stats of { id : string }
+  | Shutdown of { id : string }
+
+type response =
+  | Compiled of { id : string; op : string; result : Ompgpu_api.compiled }
+  | Stats_reply of { id : string; stats : Observe.Json.t }
+  | Shutdown_ack of { id : string }
+  | Rejected of { id : string option; error : Fault.Ompgpu_error.t }
+
+(* ------------------------------------------------------------------ *)
+(* Config codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The disable list names the paper artifact's pass toggles; absent
+   members mean "default", so old clients keep working as fields grow. *)
+let disable_names =
+  [
+    ("spmdization", (fun (o : Openmpopt.Pass_manager.options) -> o.disable_spmdization));
+    ("deglobalization", fun o -> o.disable_deglobalization);
+    ("state-machine-rewrite", fun o -> o.disable_state_machine_rewrite);
+    ("folding", fun o -> o.disable_folding);
+    ("internalization", fun o -> o.disable_internalization);
+    ("guard-grouping", fun o -> o.disable_guard_grouping);
+    ("heap-to-shared", fun o -> o.disable_heap_to_shared);
+  ]
+
+let apply_disable (o : Openmpopt.Pass_manager.options) = function
+  | "spmdization" -> Ok { o with disable_spmdization = true }
+  | "deglobalization" -> Ok { o with disable_deglobalization = true }
+  | "state-machine-rewrite" -> Ok { o with disable_state_machine_rewrite = true }
+  | "folding" -> Ok { o with disable_folding = true }
+  | "internalization" -> Ok { o with disable_internalization = true }
+  | "guard-grouping" -> Ok { o with disable_guard_grouping = true }
+  | "heap-to-shared" -> Ok { o with disable_heap_to_shared = true }
+  | s -> Error (Printf.sprintf "unknown pass toggle %S" s)
+
+let config_to_json (c : Ompgpu_api.Config.t) =
+  J.Obj
+    ([
+       ("scheme", J.String (Frontend.Codegen.scheme_name c.scheme));
+       ("optimize", J.Bool (c.options <> None));
+     ]
+    @ (match c.options with
+      | Some o ->
+        let disabled =
+          List.filter_map
+            (fun (name, get) -> if get o then Some (J.String name) else None)
+            disable_names
+        in
+        if disabled = [] then [] else [ ("disable", J.List disabled) ]
+      | None -> [])
+    @ [
+        ("emit_ir", J.Bool c.emit_ir);
+        ("run", J.Bool c.run_sim);
+        ("remarks_only", J.Bool c.remarks_only);
+        ("stats", J.Bool c.want_stats);
+        ("trace", J.Bool c.print_trace);
+        ( "inject",
+          J.List
+            (List.map
+               (fun s -> J.String (Fault.Injector.spec_to_string s))
+               c.inject) );
+        ("retries", J.Int c.retries);
+        ("backoff", J.Float c.backoff_s);
+        ("backtrace", J.Bool c.backtraces);
+      ])
+
+let config_of_json j =
+  let ( let* ) = Result.bind in
+  let bool_member k default =
+    match J.member k j with
+    | None -> Ok default
+    | Some (J.Bool b) -> Ok b
+    | Some _ -> Error (Printf.sprintf "config.%s: expected a boolean" k)
+  in
+  let d = Ompgpu_api.Config.default in
+  let* scheme =
+    match J.member "scheme" j with
+    | None -> Ok d.Ompgpu_api.Config.scheme
+    | Some (J.String "simplified") -> Ok Frontend.Codegen.Simplified
+    | Some (J.String "legacy") -> Ok Frontend.Codegen.Legacy
+    | Some (J.String "cuda") -> Ok Frontend.Codegen.Cuda
+    | Some _ -> Error "config.scheme: expected simplified|legacy|cuda"
+  in
+  let* optimize = bool_member "optimize" false in
+  let* options =
+    if not optimize then
+      match J.member "disable" j with
+      | Some _ -> Error "config.disable: requires \"optimize\": true"
+      | None -> Ok None
+    else
+      let* disabled =
+        match J.member "disable" j with
+        | None -> Ok []
+        | Some (J.List items) ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match item with
+              | J.String s -> Ok (s :: acc)
+              | _ -> Error "config.disable: expected a list of strings")
+            (Ok []) items
+          |> Result.map List.rev
+        | Some _ -> Error "config.disable: expected a list of strings"
+      in
+      let* options =
+        List.fold_left
+          (fun acc name ->
+            let* o = acc in
+            apply_disable o name)
+          (Ok Openmpopt.Pass_manager.default_options)
+          disabled
+      in
+      Ok (Some options)
+  in
+  let* emit_ir = bool_member "emit_ir" d.Ompgpu_api.Config.emit_ir in
+  let* run_sim = bool_member "run" d.Ompgpu_api.Config.run_sim in
+  let* remarks_only = bool_member "remarks_only" d.Ompgpu_api.Config.remarks_only in
+  let* want_stats = bool_member "stats" d.Ompgpu_api.Config.want_stats in
+  let* print_trace = bool_member "trace" d.Ompgpu_api.Config.print_trace in
+  let* backtraces = bool_member "backtrace" d.Ompgpu_api.Config.backtraces in
+  let* inject =
+    match J.member "inject" j with
+    | None -> Ok []
+    | Some (J.List items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match item with
+          | J.String s -> (
+            match Fault.Injector.parse_spec s with
+            | Ok spec -> Ok (spec :: acc)
+            | Error msg -> Error ("config.inject: " ^ msg))
+          | _ -> Error "config.inject: expected a list of strings")
+        (Ok []) items
+      |> Result.map List.rev
+    | Some _ -> Error "config.inject: expected a list of strings"
+  in
+  let* retries =
+    match J.member "retries" j with
+    | None -> Ok d.Ompgpu_api.Config.retries
+    | Some (J.Int n) when n >= 0 -> Ok n
+    | Some _ -> Error "config.retries: expected a non-negative integer"
+  in
+  let* backoff_s =
+    match J.member "backoff" j with
+    | None -> Ok d.Ompgpu_api.Config.backoff_s
+    | Some (J.Float f) when f >= 0. -> Ok f
+    | Some (J.Int n) when n >= 0 -> Ok (float_of_int n)
+    | Some _ -> Error "config.backoff: expected a non-negative number"
+  in
+  Ok
+    {
+      Ompgpu_api.Config.scheme;
+      options;
+      emit_ir;
+      run_sim;
+      remarks_only;
+      want_stats;
+      print_trace;
+      inject;
+      retries;
+      backoff_s;
+      backtraces;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Request codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bad_request fmt =
+  Printf.ksprintf
+    (fun message -> E.make E.Bad_request ~phase:E.Serving message)
+    fmt
+
+let request_to_json = function
+  | Compile { id; file; source; config } ->
+    let op = if config.Ompgpu_api.Config.run_sim then "run" else "compile" in
+    J.Obj
+      [
+        ("v", J.Int version);
+        ("id", J.String id);
+        ("op", J.String op);
+        ("file", J.String file);
+        ("source", J.String source);
+        ("config", config_to_json config);
+      ]
+  | Stats { id } ->
+    J.Obj [ ("v", J.Int version); ("id", J.String id); ("op", J.String "stats") ]
+  | Shutdown { id } ->
+    J.Obj
+      [ ("v", J.Int version); ("id", J.String id); ("op", J.String "shutdown") ]
+
+let request_of_json j =
+  match J.member "v" j with
+  | Some (J.Int v) when v = version -> (
+    match Option.bind (J.member "id" j) J.to_str with
+    | None -> Error (bad_request "request without a string \"id\"")
+    | Some id -> (
+      match Option.bind (J.member "op" j) J.to_str with
+      | None -> Error (bad_request "request without a string \"op\"")
+      | Some (("compile" | "run") as op) -> (
+        match Option.bind (J.member "source" j) J.to_str with
+        | None -> Error (bad_request "%s request without a string \"source\"" op)
+        | Some source -> (
+          let file =
+            Option.value
+              (Option.bind (J.member "file" j) J.to_str)
+              ~default:"<service>"
+          in
+          match
+            config_of_json
+              (Option.value (J.member "config" j) ~default:(J.Obj []))
+          with
+          | Error msg -> Error (bad_request "%s" msg)
+          | Ok config ->
+            let config =
+              if op = "run" then { config with Ompgpu_api.Config.run_sim = true }
+              else config
+            in
+            Ok (Compile { id; file; source; config })))
+      | Some "stats" -> Ok (Stats { id })
+      | Some "shutdown" -> Ok (Shutdown { id })
+      | Some op -> Error (bad_request "unknown op %S" op)))
+  | Some (J.Int v) ->
+    Error (bad_request "unsupported protocol version %d (this server speaks %d)" v version)
+  | _ -> Error (bad_request "request without an integer \"v\"")
+
+(* ------------------------------------------------------------------ *)
+(* Response codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let response_to_json = function
+  | Compiled { id; op; result } ->
+    J.Obj
+      ([
+         ("v", J.Int version);
+         ("id", J.String id);
+         ("op", J.String op);
+         ("ok", J.Bool (result.Ompgpu_api.exit_code = 0));
+         ("exit_code", J.Int result.Ompgpu_api.exit_code);
+         ("output", J.String result.Ompgpu_api.output);
+         ("diagnostics", J.String result.Ompgpu_api.diagnostics);
+       ]
+      @ (match result.Ompgpu_api.error with
+        | Some e -> [ ("error", E.to_json e) ]
+        | None -> [])
+      @
+      match result.Ompgpu_api.stats with
+      | Some s -> [ ("stats", s) ]
+      | None -> [])
+  | Stats_reply { id; stats } ->
+    J.Obj
+      [
+        ("v", J.Int version);
+        ("id", J.String id);
+        ("op", J.String "stats");
+        ("ok", J.Bool true);
+        ("stats", stats);
+      ]
+  | Shutdown_ack { id } ->
+    J.Obj
+      [
+        ("v", J.Int version);
+        ("id", J.String id);
+        ("op", J.String "shutdown");
+        ("ok", J.Bool true);
+      ]
+  | Rejected { id; error } ->
+    J.Obj
+      [
+        ("v", J.Int version);
+        ("id", match id with Some id -> J.String id | None -> J.Null);
+        ("ok", J.Bool false);
+        ("error", E.to_json error);
+      ]
+
+(* Rebuild the client-side view.  The error member round-trips as far as
+   the client needs it: kind name, exit code and message (the precise
+   variant payloads stay server-side). *)
+let error_of_json j =
+  let message =
+    Option.value (Option.bind (J.member "message" j) J.to_str) ~default:""
+  in
+  let kind =
+    match Option.bind (J.member "kind" j) J.to_str with
+    | Some "overload" ->
+      let geti k =
+        Option.value (Option.bind (J.member k j) J.to_int) ~default:0
+      in
+      E.Overload { pending = geti "pending"; capacity = geti "capacity" }
+    | Some "bad-request" -> E.Bad_request
+    | Some "timeout" -> E.Timeout { seconds = 0. }
+    | Some "oom" -> E.Oom
+    | _ -> E.Internal
+  in
+  E.make kind ~phase:E.Serving message
+
+let response_of_json j =
+  match J.member "v" j with
+  | Some (J.Int v) when v = version -> (
+    let id = Option.bind (J.member "id" j) J.to_str in
+    match Option.bind (J.member "op" j) J.to_str with
+    | Some (("compile" | "run") as op) -> (
+      match
+        ( id,
+          Option.bind (J.member "exit_code" j) J.to_int,
+          Option.bind (J.member "output" j) J.to_str,
+          Option.bind (J.member "diagnostics" j) J.to_str )
+      with
+      | Some id, Some exit_code, Some output, Some diagnostics ->
+        Ok
+          (Compiled
+             {
+               id;
+               op;
+               result =
+                 {
+                   Ompgpu_api.exit_code;
+                   output;
+                   diagnostics;
+                   error =
+                     (if exit_code = 0 then None
+                      else Option.map error_of_json (J.member "error" j));
+                   stats = J.member "stats" j;
+                 };
+             })
+      | _ -> Error "malformed compile response")
+    | Some "stats" -> (
+      match (id, J.member "stats" j) with
+      | Some id, Some stats -> Ok (Stats_reply { id; stats })
+      | _ -> Error "malformed stats response")
+    | Some "shutdown" -> (
+      match id with
+      | Some id -> Ok (Shutdown_ack { id })
+      | None -> Error "malformed shutdown response")
+    | Some op -> Error (Printf.sprintf "unknown response op %S" op)
+    | None -> (
+      match J.member "error" j with
+      | Some err -> Ok (Rejected { id; error = error_of_json err })
+      | None -> Error "response without op or error"))
+  | _ -> Error "response without a supported \"v\""
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_message ic =
+  match In_channel.input_line ic with
+  | None -> None
+  | Some line -> (
+    match J.of_string line with
+    | Ok j -> Some (Ok j)
+    | Error msg -> Some (Error (bad_request "unparseable request: %s" msg)))
+
+let write_message oc j =
+  Out_channel.output_string oc (J.to_string ~minify:true j);
+  Out_channel.output_char oc '\n';
+  Out_channel.flush oc

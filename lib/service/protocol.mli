@@ -1,0 +1,70 @@
+(** Wire protocol v1 of the persistent compile service ([mompd]).
+
+    Transport: newline-delimited JSON over a Unix-domain stream socket.
+    Each request is one minified JSON object terminated by ['\n']; the
+    server answers each request with exactly one response line, in request
+    order per connection.  A connection carries any number of requests.
+
+    Every message carries [{"v": 1, ...}]; the server rejects other
+    versions with a structured [Bad_request].  Requests carry a
+    client-chosen ["id"] echoed verbatim in the response, so pipelined
+    clients can match answers to questions.
+
+    Operations ([op]):
+    - ["compile"] — compile a MiniOMP source under a {!Ompgpu_api.Config}
+    - ["run"] — sugar for compile with the simulator forced on
+    - ["stats"] — the daemon's live counters (schema 2)
+    - ["shutdown"] — acknowledge, then stop accepting and exit
+
+    The full field-by-field specification lives in docs/API.md; the
+    fixtures in test/test_service.ml pin the encoding. *)
+
+val version : int
+(** 1.  Breaking wire changes bump this; the server answers exactly the
+    versions it supports and rejects the rest ([Bad_request], exit 41). *)
+
+type request =
+  | Compile of {
+      id : string;
+      file : string;  (** diagnostic label and injector-derivation tag *)
+      source : string;
+      config : Ompgpu_api.Config.t;
+    }
+  | Stats of { id : string }
+  | Shutdown of { id : string }
+
+type response =
+  | Compiled of {
+      id : string;
+      op : string;  (** the request's op, echoed: ["compile"] or ["run"] *)
+      result : Ompgpu_api.compiled;
+    }
+      (** Any settled compile — success, structured failure, or a shed
+          request ([Overload], exit 40): the result's diagnostics are the
+          exact bytes a one-shot [mompc] would print. *)
+  | Stats_reply of { id : string; stats : Observe.Json.t }
+  | Shutdown_ack of { id : string }
+  | Rejected of { id : string option; error : Fault.Ompgpu_error.t }
+      (** A request the protocol layer could not accept: unparseable
+          JSON, wrong version, unknown op, missing field. *)
+
+val config_to_json : Ompgpu_api.Config.t -> Observe.Json.t
+val config_of_json : Observe.Json.t -> (Ompgpu_api.Config.t, string) result
+(** Omitted members take {!Ompgpu_api.Config.default}s, so a minimal
+    request is [{"v":1,"id":"x","op":"compile","source":"..."}]. *)
+
+val request_to_json : request -> Observe.Json.t
+val request_of_json :
+  Observe.Json.t -> (request, Fault.Ompgpu_error.t) result
+(** Decoding failures are [Bad_request] taxonomy values whose message
+    names the offending field. *)
+
+val response_to_json : response -> Observe.Json.t
+val response_of_json :
+  Observe.Json.t -> (response, string) result
+
+val read_message : in_channel -> (Observe.Json.t, Fault.Ompgpu_error.t) result option
+(** Read one newline-terminated JSON message; [None] at end of stream. *)
+
+val write_message : out_channel -> Observe.Json.t -> unit
+(** Write one minified line and flush. *)

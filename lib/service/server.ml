@@ -1,0 +1,342 @@
+(* The persistent compile daemon (see the .mli and docs/API.md).
+
+   Layering: connection threads own all protocol work (parsing, admission,
+   response framing); the Sched.Pool domains own all compiler work.  The
+   only shared mutable state is the counters record (one mutex), the
+   caches (thread-safe by construction) and the stop flag. *)
+
+module J = Observe.Json
+module E = Fault.Ompgpu_error
+
+type config = {
+  socket_path : string;
+  domains : int;
+  capacity : int;
+  watchdog_s : float option;
+  cache_dir : string option;
+}
+
+let default_config =
+  {
+    socket_path = "./mompd.sock";
+    domains = 2;
+    capacity = 8;
+    watchdog_s = None;
+    cache_dir = None;
+  }
+
+(* Request counters; one mutex is plenty (a counter bump per request
+   against compiles that take milliseconds). *)
+type counters = {
+  mutable served : int;  (* responses written, all kinds *)
+  mutable compiles : int;  (* compile/run requests admitted *)
+  mutable compile_ok : int;
+  mutable compile_failed : int;  (* structured failures incl. timeouts *)
+  mutable shed : int;  (* rejected by admission control *)
+  mutable stats_requests : int;
+  mutable bad_requests : int;
+  mutable in_flight : int;  (* admitted, not yet settled *)
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  pool : Sched.Pool.t;
+  cache : Ompgpu_api.compiled Sched.Cache.t;
+  disk : Sched.Disk_cache.t option;
+  counters : counters;
+  mutex : Mutex.t;
+  mutable stopped : bool;
+  mutable conn_threads : Thread.t list;
+  started_at : float;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create cfg =
+  let cfg = { cfg with domains = max 1 cfg.domains; capacity = max 0 cfg.capacity } in
+  (if Sys.file_exists cfg.socket_path then
+     match (Unix.lstat cfg.socket_path).Unix.st_kind with
+     | Unix.S_SOCK -> Unix.unlink cfg.socket_path
+     | _ ->
+       invalid_arg
+         (Printf.sprintf "Service.Server.create: %s exists and is not a socket"
+            cfg.socket_path));
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path)
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  Unix.listen listen_fd 64;
+  {
+    cfg;
+    listen_fd;
+    (* the pool queue must outsize admission, so an admitted request never
+       blocks in [submit] behind the cap it was admitted under *)
+    pool =
+      Sched.Pool.create
+        ~queue_capacity:(max 1 (cfg.capacity + cfg.domains))
+        ~domains:cfg.domains ();
+    cache = Sched.Cache.create ();
+    disk =
+      Option.map (fun dir -> Sched.Disk_cache.create ~dir ()) cfg.cache_dir;
+    counters =
+      {
+        served = 0;
+        compiles = 0;
+        compile_ok = 0;
+        compile_failed = 0;
+        shed = 0;
+        stats_requests = 0;
+        bad_requests = 0;
+        in_flight = 0;
+      };
+    mutex = Mutex.create ();
+    stopped = false;
+    conn_threads = [];
+    started_at = Unix.gettimeofday ();
+  }
+
+let stats_json t =
+  let c, pool_stats =
+    locked t (fun () -> (t.counters, Sched.Pool.stats t.pool))
+  in
+  Ompgpu_api.with_schema
+    (J.Obj
+       [
+         ("protocol", J.Int Protocol.version);
+         ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
+         ("domains", J.Int (Sched.Pool.domain_count t.pool));
+         ("capacity", J.Int t.cfg.capacity);
+         ( "requests",
+           J.Obj
+             [
+               ("served", J.Int c.served);
+               ("compiles", J.Int c.compiles);
+               ("compile_ok", J.Int c.compile_ok);
+               ("compile_failed", J.Int c.compile_failed);
+               ("shed", J.Int c.shed);
+               ("stats", J.Int c.stats_requests);
+               ("bad", J.Int c.bad_requests);
+               ("in_flight", J.Int c.in_flight);
+             ] );
+         ( "cache",
+           J.Obj
+             ([
+                ("hits", J.Int (Sched.Cache.hits t.cache));
+                ("misses", J.Int (Sched.Cache.misses t.cache));
+                ("entries", J.Int (Sched.Cache.length t.cache));
+              ]
+             @
+             match t.disk with
+             | Some d ->
+               [
+                 ("disk_hits", J.Int (Sched.Disk_cache.hits d));
+                 ("disk_misses", J.Int (Sched.Disk_cache.misses d));
+               ]
+             | None -> []) );
+         ( "pool",
+           J.Obj
+             [
+               ("submitted", J.Int pool_stats.Sched.Pool.submitted);
+               ("executed", J.Int pool_stats.Sched.Pool.executed);
+               ("stolen", J.Int pool_stats.Sched.Pool.stolen);
+               ("max_pending", J.Int pool_stats.Sched.Pool.max_pending);
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Compile dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* find_or_compute caches whatever the thunk returns, and we only want
+   successes in the warm cache (a failure is cheap to recompute and the
+   client is about to edit the source anyway) — so failures tunnel out. *)
+exception Uncached of Ompgpu_api.compiled
+
+(* Run one admitted compile on the pool, under the optional watchdog.  The
+   stalled job keeps its domain until it returns on its own; the request
+   settles as a structured timeout and the daemon keeps serving. *)
+let pooled_compile t ~config ~file source =
+  let fut =
+    Sched.Pool.submit t.pool (fun () ->
+        Ompgpu_api.compile_buffered ~config ~file source)
+  in
+  match t.cfg.watchdog_s with
+  | None -> Sched.Pool.await fut
+  | Some seconds -> (
+    match Sched.Pool.await_timeout fut ~seconds with
+    | Some r -> r
+    | None ->
+      Ompgpu_api.errored ~file
+        (E.make
+           (E.Timeout { seconds })
+           ~phase:E.Serving
+           (Printf.sprintf "request exceeded its %gs watchdog" seconds)))
+
+(* The disk cache mirrors mompc's policy: only non-stats/trace requests
+   (their payloads embed wall times), only successes, same key. *)
+let disk_eligible (config : Ompgpu_api.Config.t) =
+  (not config.Ompgpu_api.Config.want_stats)
+  && not config.Ompgpu_api.Config.print_trace
+
+let compute_compile t ~config ~file ~key source =
+  let compile_and_persist () =
+    let r = pooled_compile t ~config ~file source in
+    (match t.disk with
+    | Some d when disk_eligible config && r.Ompgpu_api.exit_code = 0 ->
+      Sched.Disk_cache.store d ~key
+        ~data:(J.to_string (Ompgpu_api.compiled_to_json r))
+    | _ -> ());
+    r
+  in
+  let thunk () =
+    let r =
+      match t.disk with
+      | Some d when disk_eligible config -> (
+        match
+          Option.bind (Sched.Disk_cache.find d ~key) (fun s ->
+              match J.of_string s with
+              | Ok j -> Ompgpu_api.compiled_of_json j
+              | Error _ -> None)
+        with
+        | Some r -> r
+        | None -> compile_and_persist ())
+      | _ -> compile_and_persist ()
+    in
+    if r.Ompgpu_api.exit_code = 0 then r else raise (Uncached r)
+  in
+  match Sched.Cache.find_or_compute t.cache ~key thunk with
+  | r -> r
+  | exception Uncached r -> r
+
+let handle_compile t ~file ~config source =
+  (* Admission control: request capacity+1 is shed *now* with a structured
+     overload instead of queueing without bound — the client's bounded
+     retry (overload is transient) is the backpressure loop. *)
+  let admitted =
+    locked t (fun () ->
+        if t.counters.in_flight >= t.cfg.capacity then begin
+          t.counters.shed <- t.counters.shed + 1;
+          Error t.counters.in_flight
+        end
+        else begin
+          t.counters.in_flight <- t.counters.in_flight + 1;
+          t.counters.compiles <- t.counters.compiles + 1;
+          Ok ()
+        end)
+  in
+  match admitted with
+  | Error pending ->
+    Ompgpu_api.errored ~file
+      (E.make
+         (E.Overload { pending; capacity = t.cfg.capacity })
+         ~phase:E.Serving
+         (Printf.sprintf
+            "request shed: %d compile(s) in flight against a capacity of %d; \
+             retry with backoff"
+            pending t.cfg.capacity))
+  | Ok () ->
+    let key = Ompgpu_api.cache_key ~config ~source in
+    let result =
+      Fun.protect
+        ~finally:(fun () ->
+          locked t (fun () -> t.counters.in_flight <- t.counters.in_flight - 1))
+        (fun () -> compute_compile t ~config ~file ~key source)
+    in
+    locked t (fun () ->
+        if result.Ompgpu_api.exit_code = 0 then
+          t.counters.compile_ok <- t.counters.compile_ok + 1
+        else t.counters.compile_failed <- t.counters.compile_failed + 1);
+    result
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let stop t =
+  locked t (fun () -> t.stopped <- true);
+  (* wake the blocked accept: shutting a listening socket down makes the
+     pending accept fail immediately on Linux *)
+  try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let respond t oc response =
+  Protocol.write_message oc (Protocol.response_to_json response);
+  locked t (fun () -> t.counters.served <- t.counters.served + 1)
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let bad () =
+    locked t (fun () -> t.counters.bad_requests <- t.counters.bad_requests + 1)
+  in
+  let rec loop () =
+    match Protocol.read_message ic with
+    | None -> ()
+    | Some (Error e) ->
+      (* an unparseable line poisons only itself, not the connection *)
+      bad ();
+      respond t oc (Protocol.Rejected { id = None; error = e });
+      loop ()
+    | Some (Ok j) -> (
+      match Protocol.request_of_json j with
+      | Error e ->
+        bad ();
+        let id = Option.bind (J.member "id" j) J.to_str in
+        respond t oc (Protocol.Rejected { id; error = e });
+        loop ()
+      | Ok (Protocol.Stats { id }) ->
+        locked t (fun () ->
+            t.counters.stats_requests <- t.counters.stats_requests + 1);
+        respond t oc (Protocol.Stats_reply { id; stats = stats_json t });
+        loop ()
+      | Ok (Protocol.Shutdown { id }) ->
+        respond t oc (Protocol.Shutdown_ack { id });
+        stop t
+        (* stop reading: the daemon is draining *)
+      | Ok (Protocol.Compile { id; file; source; config }) ->
+        let op = if config.Ompgpu_api.Config.run_sim then "run" else "compile" in
+        let result = handle_compile t ~file ~config source in
+        respond t oc (Protocol.Compiled { id; op; result });
+        loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Out_channel.flush oc with Sys_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try loop () with
+      | Sys_error _ | End_of_file ->
+        (* client went away mid-request; nothing to answer *)
+        ()
+      | e ->
+        (* never let a connection kill the daemon: report and move on *)
+        let error =
+          E.make E.Internal ~phase:E.Serving (Printexc.to_string e)
+        in
+        (try respond t oc (Protocol.Rejected { id = None; error })
+         with Sys_error _ -> ()))
+
+let serve_forever t =
+  let rec accept_loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      let thread = Thread.create (fun () -> handle_connection t fd) () in
+      locked t (fun () -> t.conn_threads <- thread :: t.conn_threads);
+      accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | exception Unix.Unix_error _ when locked t (fun () -> t.stopped) -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (* drain: connections finish their in-flight requests, then the pool
+         goes down and the socket file disappears *)
+      List.iter Thread.join (locked t (fun () -> t.conn_threads));
+      Sched.Pool.shutdown t.pool;
+      try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+    accept_loop
+
+let run cfg = serve_forever (create cfg)

@@ -1,0 +1,59 @@
+(** The persistent compile daemon behind [mompd].
+
+    One server owns a Unix-domain listening socket, a {!Sched.Pool} of
+    worker domains, and warm caches shared across every request: an
+    in-memory content-addressed result cache plus (optionally) the same
+    on-disk cache [mompc --cache-dir] uses — so a repeated compile is a
+    cache hit whichever client sends it, and a service restart still
+    starts warm from disk.
+
+    Concurrency model: the accept loop hands each connection to a
+    lightweight thread that parses newline-delimited JSON requests
+    ({!Protocol}) and blocks on the pool for compile work; compiles
+    themselves run on the pool's domains.  Requests from one connection
+    are answered in order; connections are independent.
+
+    Robustness: admission control bounds the number of compile requests
+    in flight — request [capacity + 1] is shed immediately with a
+    structured [Overload] (exit 40) instead of queueing without bound —
+    and an optional per-request watchdog settles a hung compile as a
+    structured [Timeout] (exit 24), so one poisoned job never wedges the
+    daemon.  No client input can raise out of a connection thread. *)
+
+type config = {
+  socket_path : string;
+  domains : int;  (** pool worker domains (at least 1) *)
+  capacity : int;
+      (** max compile requests admitted concurrently; 0 sheds everything
+          (useful to test client backoff) *)
+  watchdog_s : float option;  (** per-request wall-time bound *)
+  cache_dir : string option;  (** warm the disk cache shared with [mompc] *)
+}
+
+val default_config : config
+(** [./mompd.sock], 2 domains, capacity [4 * domains], no watchdog, no
+    disk cache. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (replacing a stale socket file), spawn the pool.
+    Raises [Unix.Unix_error] if the socket cannot be bound. *)
+
+val serve_forever : t -> unit
+(** Accept and serve until a [shutdown] request (or {!stop}) arrives,
+    then drain: join every connection thread, shut the pool down, unlink
+    the socket file. *)
+
+val stop : t -> unit
+(** Ask the accept loop to exit as if a shutdown request had arrived.
+    Thread-safe and idempotent; [serve_forever] still performs the
+    drain. *)
+
+val stats_json : t -> Observe.Json.t
+(** The live counters served to a [stats] request (schema 2): requests
+    by kind and outcome, shed count, cache hit/miss/entries, pool
+    statistics, uptime. *)
+
+val run : config -> unit
+(** [create] + [serve_forever]. *)

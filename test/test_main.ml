@@ -16,5 +16,6 @@ let () =
       ("report-golden", Test_report_golden.suite);
       ("sched", Test_sched.suite);
       ("fault", Test_fault.suite);
+      ("service", Test_service.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -1,0 +1,465 @@
+(* The compile service (mompd) and the API façade it serves.
+
+   What the PR's acceptance hangs on lives here: the wire protocol's
+   encoding is pinned by goldens, and a daemon compile — cold, warm,
+   concurrent, shed, injected-fault — is byte-identical to the one-shot
+   [Ompgpu_api.compile_buffered] / [mompc] path for the same source and
+   config (stats payloads compared with the nondeterministic [time_s]
+   zeroed). *)
+
+module J = Observe.Json
+module E = Fault.Ompgpu_error
+module A = Ompgpu_api
+
+let tiny = Proxyapps.App.Tiny
+let app_source name = (Proxyapps.Apps.find_exn name).Proxyapps.App.omp_source tiny
+let all_app_names =
+  List.map (fun (a : Proxyapps.App.t) -> a.Proxyapps.App.name) Proxyapps.Apps.all
+
+(* ------------------------------------------------------------------ *)
+(* Harness: an in-process daemon on a fresh socket                     *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    (* Unix-socket paths are length-limited (~108 bytes): keep them short
+       and in the system temp dir, never under _build. *)
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mompd-t%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir f =
+  let socket_path = fresh_socket () in
+  let server =
+    Service.Server.create
+      { Service.Server.socket_path; domains; capacity; watchdog_s; cache_dir }
+  in
+  let thread = Thread.create Service.Server.serve_forever server in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Server.stop server;
+      Thread.join thread)
+    (fun () -> f socket_path)
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected service error: %s" (E.to_string e)
+
+(* Zero every [time_us] member: pass events carry wall times, the only
+   nondeterministic bytes in a stats payload. *)
+let rec zero_times = function
+  | J.Obj ms ->
+    J.Obj
+      (List.map
+         (fun (k, v) ->
+           if String.equal k "time_us" then (k, J.Int 0) else (k, zero_times v))
+         ms)
+  | J.List xs -> J.List (List.map zero_times xs)
+  | j -> j
+
+let check_same_compiled what (expected : A.compiled) (got : A.compiled) =
+  Alcotest.(check int) (what ^ ": exit code") expected.A.exit_code got.A.exit_code;
+  Alcotest.(check string) (what ^ ": stdout bytes") expected.A.output got.A.output;
+  Alcotest.(check string)
+    (what ^ ": stderr bytes")
+    expected.A.diagnostics got.A.diagnostics;
+  let stats r = Option.map (fun s -> J.to_string (zero_times s)) r.A.stats in
+  Alcotest.(check (option string))
+    (what ^ ": stats payload (time_s zeroed)")
+    (stats expected) (stats got)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol goldens                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let wire j = J.to_string ~minify:true j
+
+let test_request_goldens () =
+  Alcotest.(check string)
+    "stats request" {|{"v":1,"id":"s1","op":"stats"}|}
+    (wire (Service.Protocol.request_to_json (Service.Protocol.Stats { id = "s1" })));
+  Alcotest.(check string)
+    "shutdown request" {|{"v":1,"id":"q1","op":"shutdown"}|}
+    (wire
+       (Service.Protocol.request_to_json (Service.Protocol.Shutdown { id = "q1" })));
+  Alcotest.(check string)
+    "compile request, default config"
+    ({|{"v":1,"id":"c1","op":"compile","file":"t.c","source":"int main() { return 0; }",|}
+    ^ {|"config":{"scheme":"simplified","optimize":false,"emit_ir":true,"run":false,|}
+    ^ {|"remarks_only":false,"stats":false,"trace":false,"inject":[],"retries":0,|}
+    ^ {|"backoff":0.050000000000000003,"backtrace":false}}|})
+    (wire
+       (Service.Protocol.request_to_json
+          (Service.Protocol.Compile
+             {
+               id = "c1";
+               file = "t.c";
+               source = "int main() { return 0; }";
+               config = A.Config.default;
+             })));
+  (* a simulating config travels as op "run" *)
+  let run_req =
+    Service.Protocol.request_to_json
+      (Service.Protocol.Compile
+         {
+           id = "c2";
+           file = "t.c";
+           source = "x";
+           config = A.Config.(default |> optimized |> with_sim);
+         })
+  in
+  Alcotest.(check (option string))
+    "run op" (Some "run")
+    (Option.bind (J.member "op" run_req) J.to_str)
+
+let test_response_goldens () =
+  Alcotest.(check string)
+    "shutdown ack" {|{"v":1,"id":"q1","op":"shutdown","ok":true}|}
+    (wire
+       (Service.Protocol.response_to_json
+          (Service.Protocol.Shutdown_ack { id = "q1" })));
+  let shed =
+    Service.Protocol.response_to_json
+      (Service.Protocol.Compiled
+         {
+           id = "c9";
+           op = "compile";
+           result =
+             A.errored ~file:"t.c"
+               (E.make
+                  (E.Overload { pending = 3; capacity = 3 })
+                  ~phase:E.Serving "request shed");
+         })
+  in
+  Alcotest.(check (option int))
+    "shed response carries exit 40" (Some 40)
+    (Option.bind (J.member "exit_code" shed) J.to_int);
+  Alcotest.(check (option string))
+    "shed response carries the overload kind" (Some "overload")
+    (Option.bind (J.member "error" shed) (fun e ->
+         Option.bind (J.member "kind" e) J.to_str))
+
+let test_request_roundtrip () =
+  let config =
+    A.Config.(
+      default |> with_scheme Frontend.Codegen.Legacy
+      |> optimized
+           ~options:
+             {
+               Openmpopt.Pass_manager.default_options with
+               disable_spmdization = true;
+               disable_heap_to_shared = true;
+             }
+      |> with_sim |> with_stats
+      |> with_retries ~backoff_s:0.25 2)
+  in
+  let req =
+    Service.Protocol.Compile { id = "r1"; file = "a.c"; source = "src"; config }
+  in
+  match Service.Protocol.request_of_json (Service.Protocol.request_to_json req) with
+  | Error e -> Alcotest.failf "round-trip rejected: %s" (E.to_string e)
+  | Ok (Service.Protocol.Compile { id; file; source; config = config' }) ->
+    Alcotest.(check string) "id" "r1" id;
+    Alcotest.(check string) "file" "a.c" file;
+    Alcotest.(check string) "source" "src" source;
+    Alcotest.(check string)
+      "config fingerprint survives the wire"
+      (A.Config.fingerprint config)
+      (A.Config.fingerprint config');
+    Alcotest.(check int) "retries" 2 config'.A.Config.retries;
+    Alcotest.(check (float 1e-9)) "backoff" 0.25 config'.A.Config.backoff_s
+  | Ok _ -> Alcotest.fail "round-trip changed the operation"
+
+let test_bad_requests () =
+  let reject what j expected_fragment =
+    match Service.Protocol.request_of_json j with
+    | Ok _ -> Alcotest.failf "%s: accepted" what
+    | Error e ->
+      Alcotest.(check string) (what ^ ": kind") "bad-request" (E.kind_name e.E.kind);
+      Alcotest.(check int) (what ^ ": exit code") 41 (E.exit_code e);
+      let contains s frag =
+        let ls = String.length s and lf = String.length frag in
+        let rec go i = i + lf <= ls && (String.sub s i lf = frag || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: message mentions %S (got %S)" what expected_fragment
+           e.E.message)
+        true
+        (contains e.E.message expected_fragment)
+  in
+  reject "wrong version"
+    (J.Obj [ ("v", J.Int 99); ("id", J.String "x"); ("op", J.String "stats") ])
+    "version 99";
+  reject "missing id" (J.Obj [ ("v", J.Int 1); ("op", J.String "stats") ]) "id";
+  reject "unknown op"
+    (J.Obj [ ("v", J.Int 1); ("id", J.String "x"); ("op", J.String "explode") ])
+    "explode";
+  reject "compile without source"
+    (J.Obj [ ("v", J.Int 1); ("id", J.String "x"); ("op", J.String "compile") ])
+    "source";
+  reject "bad pass toggle"
+    (J.Obj
+       [
+         ("v", J.Int 1);
+         ("id", J.String "x");
+         ("op", J.String "compile");
+         ("source", J.String "s");
+         ( "config",
+           J.Obj
+             [
+               ("optimize", J.Bool true); ("disable", J.List [ J.String "warp-speed" ]);
+             ] );
+       ])
+    "warp-speed"
+
+(* ------------------------------------------------------------------ *)
+(* Daemon round-trips                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every proxy app at Tiny scale, full pipeline + simulator + stats: the
+   daemon's answer must match the one-shot façade compile byte for byte
+   (the acceptance criterion of the PR). *)
+let test_daemon_byte_identical () =
+  let config = A.Config.(default |> optimized |> with_sim |> with_stats) in
+  with_server @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  List.iter
+    (fun name ->
+      let file = name ^ ".momp" in
+      let source = app_source name in
+      let oneshot = A.compile_buffered ~config ~file source in
+      let served = ok_exn (Service.Client.compile c ~file ~config source) in
+      check_same_compiled (name ^ " via daemon") oneshot served)
+    all_app_names
+
+let test_daemon_warm_cache () =
+  let config = A.Config.(default |> optimized) in
+  let source = app_source "xsbench" in
+  with_server @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  let first = ok_exn (Service.Client.compile c ~file:"x.momp" ~config source) in
+  let second = ok_exn (Service.Client.compile c ~file:"x.momp" ~config source) in
+  check_same_compiled "warm replay" first second;
+  let stats = ok_exn (Service.Client.stats c ()) in
+  let cache_member k =
+    Option.bind (J.member "cache" stats) (fun c -> Option.bind (J.member k c) J.to_int)
+  in
+  Alcotest.(check (option int)) "one warm hit" (Some 1) (cache_member "hits");
+  Alcotest.(check (option int)) "one cold miss" (Some 1) (cache_member "misses");
+  Alcotest.(check (option int))
+    "stats payload is schema-stamped" (Some J.schema_version)
+    (Option.bind (J.member "schema" stats) J.to_int)
+
+(* Concurrent clients, one per app, several rounds each: the fan-in must
+   produce exactly the bytes sequential one-shot compiles produce — no
+   cross-request bleed through the shared pool, caches or counters. *)
+let test_daemon_concurrent_fan_in () =
+  let config = A.Config.(default |> optimized |> with_sim) in
+  let expected =
+    List.map
+      (fun name ->
+        (name, A.compile_buffered ~config ~file:(name ^ ".momp") (app_source name)))
+      all_app_names
+  in
+  with_server ~domains:3 ~capacity:16 @@ fun socket_path ->
+  let results = Array.make (List.length expected) None in
+  let threads =
+    List.mapi
+      (fun i (name, _) ->
+        Thread.create
+          (fun () ->
+            Service.Client.with_connection ~socket_path @@ fun c ->
+            let rs =
+              List.init 3 (fun _ ->
+                  Service.Client.compile c ~file:(name ^ ".momp") ~config
+                    (app_source name))
+            in
+            results.(i) <- Some rs)
+          ())
+      expected
+  in
+  List.iter Thread.join threads;
+  List.iteri
+    (fun i (name, oneshot) ->
+      match results.(i) with
+      | None -> Alcotest.failf "%s: client thread died" name
+      | Some rs ->
+        List.iteri
+          (fun round r ->
+            check_same_compiled
+              (Printf.sprintf "%s round %d under concurrency" name round)
+              oneshot (ok_exn r))
+          rs)
+    expected
+
+let test_daemon_load_shed () =
+  (* capacity 0 sheds deterministically: every compile answers exit 40
+     with the structured, transient overload — and the daemon keeps
+     serving protocol traffic afterwards. *)
+  with_server ~capacity:0 @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  let r =
+    ok_exn
+      (Service.Client.compile c ~file:"x.momp" ~config:A.Config.default
+         (app_source "xsbench"))
+  in
+  Alcotest.(check int) "shed exit code" 40 r.A.exit_code;
+  (match r.A.error with
+  | Some e ->
+    Alcotest.(check string) "overload kind" "overload" (E.kind_name e.E.kind);
+    Alcotest.(check bool) "overload is transient" true (E.is_transient e)
+  | None -> Alcotest.fail "shed response without a structured error");
+  let stats = ok_exn (Service.Client.stats c ()) in
+  Alcotest.(check (option int))
+    "shed counter" (Some 1)
+    (Option.bind (J.member "requests" stats) (fun r ->
+         Option.bind (J.member "shed" r) J.to_int))
+
+let test_daemon_survives_pass_crash () =
+  (* A request arriving with pass-crash armed fails structurally (exit 14)
+     with the same bytes the one-shot driver prints — and the daemon, pool
+     included, keeps serving clean requests afterwards. *)
+  let spec =
+    match Fault.Injector.parse_spec "pass-crash:1.0" with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let crash_config = A.Config.(default |> optimized |> with_inject [ spec ]) in
+  let clean_config = A.Config.(default |> optimized) in
+  let source = app_source "su3bench" in
+  let file = "s.momp" in
+  with_server @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  let oneshot = A.compile_buffered ~config:crash_config ~file source in
+  Alcotest.(check int) "injected one-shot fails as pass-crash" 14
+    oneshot.A.exit_code;
+  let served = ok_exn (Service.Client.compile c ~file ~config:crash_config source) in
+  check_same_compiled "injected failure via daemon" oneshot served;
+  let clean = ok_exn (Service.Client.compile c ~file ~config:clean_config source) in
+  Alcotest.(check int) "daemon still compiles cleanly" 0 clean.A.exit_code
+
+let test_daemon_rejects_garbage_line () =
+  with_server @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  (* a syntactically valid JSON line that is not a request *)
+  let reply = ok_exn (Service.Client.roundtrip_json c (J.String "hello")) in
+  Alcotest.(check (option bool))
+    "rejected" (Some false)
+    (Option.bind (J.member "ok" reply) (function J.Bool b -> Some b | _ -> None));
+  Alcotest.(check (option string))
+    "bad-request kind" (Some "bad-request")
+    (Option.bind (J.member "error" reply) (fun e ->
+         Option.bind (J.member "kind" e) J.to_str));
+  (* the connection survives the bad line *)
+  let r =
+    ok_exn
+      (Service.Client.compile c ~file:"x.momp" ~config:A.Config.default
+         (app_source "xsbench"))
+  in
+  Alcotest.(check int) "next request on the same connection" 0 r.A.exit_code
+
+(* ------------------------------------------------------------------ *)
+(* The façade and the CLI agree                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve the driver next to this test binary, so the tests work from
+   `dune runtest` (cwd = the sandboxed test dir) and `dune exec` (cwd =
+   wherever the user stands) alike. *)
+let mompc_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/mompc.exe"
+
+let () =
+  if not (Sys.file_exists mompc_exe) then
+    failwith ("test_service: mompc binary not found at " ^ mompc_exe)
+
+let run_command cmd =
+  let out_file = Filename.temp_file "svc" ".out" in
+  let err_file = Filename.temp_file "svc" ".err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s > %s 2> %s" cmd (Filename.quote out_file)
+         (Filename.quote err_file))
+  in
+  let read f = In_channel.with_open_text f In_channel.input_all in
+  let out = read out_file and err = read err_file in
+  Sys.remove out_file;
+  Sys.remove err_file;
+  (code, out, err)
+
+let with_source_file source f =
+  let path = Filename.temp_file "svc" ".momp.c" in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc source);
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* [Ompgpu_api.compile_buffered] IS what mompc prints: same bytes, same
+   exit code — the façade test the satellite asks for. *)
+let test_facade_matches_cli () =
+  let config = A.Config.(default |> optimized |> with_sim) in
+  with_source_file (app_source "rsbench") @@ fun path ->
+  let facade = A.compile_buffered ~config ~file:path (app_source "rsbench") in
+  let code, out, err =
+    run_command (Printf.sprintf "%s -O --run %s" mompc_exe (Filename.quote path))
+  in
+  Alcotest.(check int) "exit code" facade.A.exit_code code;
+  Alcotest.(check string) "stdout" facade.A.output out;
+  Alcotest.(check string) "stderr" facade.A.diagnostics err
+
+(* mompc --daemon SOCKET against a live in-process server: byte-identical
+   to the same mompc invocation without the daemon. *)
+let test_cli_daemon_matches_oneshot () =
+  with_server @@ fun socket_path ->
+  with_source_file (app_source "miniqmc") @@ fun path ->
+  let flags = Printf.sprintf "-O --run %s" (Filename.quote path) in
+  let code1, out1, err1 = run_command (Printf.sprintf "%s %s" mompc_exe flags) in
+  let code2, out2, err2 =
+    run_command
+      (Printf.sprintf "%s %s --daemon %s" mompc_exe flags
+         (Filename.quote socket_path))
+  in
+  Alcotest.(check int) "exit code" code1 code2;
+  Alcotest.(check string) "stdout bytes" out1 out2;
+  Alcotest.(check string) "stderr bytes" err1 err2
+
+(* Deprecated aliases keep working: --domains is -j, --cache is
+   --cache-dir.  (Aliases are satellite (b); this pins they parse and
+   mean the same thing.) *)
+let test_deprecated_aliases () =
+  with_source_file (app_source "xsbench") @@ fun path ->
+  with_source_file (app_source "su3bench") @@ fun path2 ->
+  let quoted = Filename.quote path ^ " " ^ Filename.quote path2 in
+  let code1, out1, err1 =
+    run_command (Printf.sprintf "%s -O -j 2 %s" mompc_exe quoted)
+  in
+  (* stderr is not compared: the deprecated spelling may add a
+     deprecation notice; stdout and the exit code must not move *)
+  let code2, out2, err2 =
+    run_command (Printf.sprintf "%s -O --domains 2 %s" mompc_exe quoted)
+  in
+  ignore err2;
+  Alcotest.(check int) "exit code" code1 code2;
+  Alcotest.(check string) "stdout bytes" out1 out2;
+  ignore err1
+
+let suite =
+  [
+    Alcotest.test_case "protocol/request-goldens" `Quick test_request_goldens;
+    Alcotest.test_case "protocol/response-goldens" `Quick test_response_goldens;
+    Alcotest.test_case "protocol/request-roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "protocol/bad-requests" `Quick test_bad_requests;
+    Alcotest.test_case "daemon/byte-identical-all-apps" `Quick
+      test_daemon_byte_identical;
+    Alcotest.test_case "daemon/warm-cache" `Quick test_daemon_warm_cache;
+    Alcotest.test_case "daemon/concurrent-fan-in" `Quick
+      test_daemon_concurrent_fan_in;
+    Alcotest.test_case "daemon/load-shed" `Quick test_daemon_load_shed;
+    Alcotest.test_case "daemon/survives-pass-crash" `Quick
+      test_daemon_survives_pass_crash;
+    Alcotest.test_case "daemon/rejects-garbage-line" `Quick
+      test_daemon_rejects_garbage_line;
+    Alcotest.test_case "cli/facade-matches-mompc" `Quick test_facade_matches_cli;
+    Alcotest.test_case "cli/daemon-matches-oneshot" `Quick
+      test_cli_daemon_matches_oneshot;
+    Alcotest.test_case "cli/deprecated-aliases" `Quick test_deprecated_aliases;
+  ]

@@ -23,6 +23,21 @@ let load path =
     | Ok j -> j
     | Error msg -> die "%s: %s" path msg)
 
+(* Unversioned payloads are rejected outright: a schema-less file predates
+   the stamp (regenerate it) and a future schema may change counter
+   semantics under the same member names. *)
+let require_schema path j =
+  match Option.bind (Observe.Json.member "schema" j) Observe.Json.to_int with
+  | Some v when v = Observe.Json.schema_version -> ()
+  | Some v ->
+    die "%s: unsupported schema %d (this gate reads schema %d)" path v
+      Observe.Json.schema_version
+  | None ->
+    die
+      "%s: unversioned payload (no \"schema\" member); regenerate it with a \
+       current bench/main.exe"
+      path
+
 let measurements j =
   match Option.bind (Observe.Json.member "measurements" j) Observe.Json.to_list with
   | Some ms -> ms
@@ -74,8 +89,12 @@ let () =
       prerr_endline "usage: bench_gate BASELINE.json NEW.json [--threshold PCT]";
       exit 2
   in
-  let base = measurements (load baseline_path) in
-  let next = measurements (load new_path) in
+  let base_json = load baseline_path in
+  let next_json = load new_path in
+  require_schema baseline_path base_json;
+  require_schema new_path next_json;
+  let base = measurements base_json in
+  let next = measurements next_json in
   let find_app app ms =
     List.find_opt (fun m -> String.equal (str_member "app" m) app) ms
   in
