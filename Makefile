@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix service-smoke
+.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix service-smoke chaos
 
 all: build
 
@@ -29,6 +29,7 @@ ci:
 	sh tools/check_fuzz_exit.sh
 	sh tools/fault_matrix.sh
 	sh tools/service_smoke.sh
+	sh tools/chaos_soak.sh
 
 # Fault-injection matrix: every injection site through the mompc CLI in each
 # supervision mode (fail-fast, bounded retry, graceful fallback, watchdog),
@@ -46,6 +47,16 @@ fault-matrix:
 service-smoke:
 	dune build bin/mompc.exe bin/mompd.exe
 	sh tools/service_smoke.sh
+
+# Chaos/soak harness (CHAOS_ITERS=200 by default): a supervised daemon under
+# `--inject daemon-kill` crash injection, external kill -9 / restart cycles,
+# and a malformed-frame fuzz pass — every client compile must exit 0 with
+# bytes identical to one-shot mompc, the supervisor must restart within its
+# backoff bounds, and no process may exit outside the taxonomy
+# (docs/ROBUSTNESS.md).
+chaos:
+	dune build bin/mompc.exe bin/mompd.exe
+	sh tools/chaos_soak.sh
 
 # Benchmark-regression gate: regenerate BENCH_observe.json into a scratch
 # directory and diff its deterministic counters (per-app barriers and store

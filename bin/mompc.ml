@@ -30,21 +30,31 @@ let scheme_conv =
   let print ppf s = Fmt.string ppf (Frontend.Codegen.scheme_name s) in
   Arg.conv (parse, print)
 
-(* Compile the batch through a running daemon.  Unreadable files settle
-   locally to the exact bytes the local driver produces; transport
-   breakdowns settle the file with the taxonomy error the client
-   returned. *)
+(* Compile the batch through a running daemon, resiliently: each file
+   gets the client's per-request deadline, bounded jittered retries over
+   transient failures (dropped/reset connections, torn frames, shed
+   requests) and transparent reconnect.  If the daemon still cannot
+   settle a request — or no daemon is reachable at all — the file
+   degrades silently to the in-process path, whose bytes are identical
+   by construction, so `mompc --daemon` never fails merely because the
+   daemon is down.  Unreadable files settle locally either way. *)
 let compile_via_daemon ~socket_path ~config files =
-  Service.Client.with_connection ~socket_path (fun c ->
+  (* a daemon hanging up mid-request must surface as a retryable
+     [Sys_error] on the session, not a process-killing SIGPIPE *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let session = Service.Client.session ~socket_path () in
+  Fun.protect
+    ~finally:(fun () -> Service.Client.session_close session)
+    (fun () ->
       List.map
         (fun file ->
           match In_channel.with_open_text file In_channel.input_all with
           | exception Sys_error msg ->
             A.errored ~file (A.Error.make A.Error.Internal ~phase:A.Error.Driver msg)
           | src -> (
-            match Service.Client.compile c ~file ~config src with
+            match Service.Client.session_compile session ~file ~config src with
             | Ok r -> r
-            | Error e -> A.errored ~file e))
+            | Error _ -> A.compile_buffered ~config ~file src))
         files)
 
 let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group

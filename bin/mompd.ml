@@ -3,13 +3,17 @@
      mompd serve --socket ./mompd.sock -j 4 --cache-dir .cache &
      mompc --daemon ./mompd.sock file.momp        # warm-cache compiles
      mompd stats                                  # live counters (schema 2)
+     mompd health                                 # liveness/readiness JSON
      mompd request < requests.jsonl               # raw protocol access
      mompd shutdown
 
    The daemon keeps a Sched.Pool of worker domains and warm in-memory +
    on-disk compile caches alive across requests, so repeated compiles of
-   the same source are cache hits whichever client sends them.  Wire
-   protocol v1 (newline-delimited JSON) is specified in docs/API.md. *)
+   the same source are cache hits whichever client sends them.  The serve
+   loop runs under a supervisor: a crash restarts it on the same bound
+   socket with jittered backoff, and a crash loop opens a circuit breaker
+   (exit 41).  SIGTERM/SIGINT drain gracefully.  Wire protocol v1
+   (newline-delimited JSON) is specified in docs/API.md. *)
 
 open Cmdliner
 
@@ -24,6 +28,10 @@ let require_socket = function
 (* Surface a connect failure as the taxonomy does everywhere else: one
    stable line, the kind's exit code. *)
 let with_client socket_path f =
+  (* the daemon hanging up mid-request (e.g. a serve-loop crash between
+     accept and respond) must be a structured transport error, not a
+     process-killing SIGPIPE *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   match Service.Client.with_connection ~socket_path f with
   | exception Unix.Unix_error (err, _, _) ->
     let e =
@@ -44,33 +52,75 @@ let fail_error e =
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let serve socket domains capacity watchdog cache_dir =
+let serve socket domains capacity watchdog cache_dir state_dir inject
+    max_restarts restart_window drain_deadline =
   let socket_path = require_socket socket in
   let capacity = Option.value capacity ~default:(4 * max 1 domains) in
-  let cfg =
-    {
-      Service.Server.socket_path;
-      domains;
-      capacity;
-      watchdog_s = watchdog;
-      cache_dir;
-    }
-  in
-  let server = Service.Server.create cfg in
-  Fmt.epr "mompd: listening on %s (domains=%d capacity=%d%s%s)@." socket_path
-    (max 1 domains) capacity
-    (match watchdog with
-    | Some s -> Printf.sprintf " watchdog=%gs" s
-    | None -> "")
-    (match cache_dir with
-    | Some d -> Printf.sprintf " cache-dir=%s" d
-    | None -> "");
-  Service.Server.serve_forever server;
-  Fmt.epr "mompd: shut down@.";
-  0
+  match Cli_common.parse_injects inject with
+  | Error msgs ->
+    List.iter (fun m -> Fmt.epr "mompd: --inject: %s@." m) msgs;
+    2
+  | Ok specs ->
+    (* a client hanging up mid-response must be a Sys_error on the
+       connection thread, not a process-killing SIGPIPE *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let cfg =
+      {
+        Service.Server.socket_path;
+        domains;
+        capacity;
+        watchdog_s = watchdog;
+        cache_dir;
+        state_dir;
+        injector = Fault.Injector.create specs;
+        drain_deadline_s = drain_deadline;
+      }
+    in
+    let sup_cfg =
+      {
+        Service.Supervisor.default_config with
+        Service.Supervisor.server = cfg;
+        max_restarts;
+        window_s = restart_window;
+        log = (fun m -> Fmt.epr "%s@." m);
+      }
+    in
+    let sup = Service.Supervisor.create sup_cfg in
+    let drain_and_exit _signal =
+      Service.Supervisor.stop sup;
+      (* hard stop: if the drain wedges (a compile past the deadline), do
+         not hang the process group forever *)
+      ignore
+        (Thread.create
+           (fun () ->
+             Thread.delay (drain_deadline +. 2.0);
+             Stdlib.exit 0)
+           ())
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain_and_exit);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain_and_exit);
+    Fmt.epr "mompd: listening on %s (domains=%d capacity=%d%s%s%s)@."
+      socket_path (max 1 domains) capacity
+      (match watchdog with
+      | Some s -> Printf.sprintf " watchdog=%gs" s
+      | None -> "")
+      (match cache_dir with
+      | Some d -> Printf.sprintf " cache-dir=%s" d
+      | None -> "")
+      (match state_dir with
+      | Some d -> Printf.sprintf " state-dir=%s" d
+      | None -> "");
+    (match Service.Supervisor.run sup with
+    | Ok () ->
+      Fmt.epr "mompd: shut down@.";
+      0
+    | Error e -> fail_error e)
 
 let serve_cmd =
-  let doc = "run the compile daemon until a shutdown request arrives" in
+  let doc =
+    "run the compile daemon (supervised) until a shutdown request or \
+     SIGTERM arrives"
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ socket_arg $ Cli_common.jobs
@@ -82,10 +132,38 @@ let serve_cmd =
                 "Admission limit: shed (exit 40, retryable) any compile \
                  request arriving while $(docv) are already in flight.  \
                  Default 4 * domains; 0 sheds everything.")
-      $ Cli_common.watchdog $ Cli_common.cache_dir)
+      $ Cli_common.watchdog $ Cli_common.cache_dir
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "state-dir" ] ~docv:"DIR"
+              ~doc:
+                "Journal every request to $(docv)/journal.ndjson and run \
+                 the crash-recovery scan at startup (counters surface in \
+                 $(b,mompd health)).")
+      $ Cli_common.inject
+      $ Arg.(
+          value
+          & opt int Service.Supervisor.default_config.Service.Supervisor.max_restarts
+          & info [ "max-restarts" ] ~docv:"N"
+              ~doc:
+                "Circuit breaker: more than $(docv) serve-loop crashes \
+                 within the restart window stop the daemon with exit 41.")
+      $ Arg.(
+          value
+          & opt float Service.Supervisor.default_config.Service.Supervisor.window_s
+          & info [ "restart-window" ] ~docv:"SECONDS"
+              ~doc:"Sliding window the circuit breaker counts crashes in.")
+      $ Arg.(
+          value
+          & opt float Service.Server.default_config.Service.Server.drain_deadline_s
+          & info [ "drain-deadline" ] ~docv:"SECONDS"
+              ~doc:
+                "On shutdown/SIGTERM, wait at most $(docv) for in-flight \
+                 requests to finish before severing connections."))
 
 (* ------------------------------------------------------------------ *)
-(* stats / shutdown                                                    *)
+(* stats / health / shutdown                                           *)
 (* ------------------------------------------------------------------ *)
 
 let stats socket =
@@ -100,6 +178,23 @@ let stats socket =
 let stats_cmd =
   let doc = "print the daemon's live counters (schema 2) as JSON" in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ socket_arg)
+
+let health socket =
+  with_client (require_socket socket) (fun c ->
+      match Service.Client.health c () with
+      | Ok j ->
+        print_string (Observe.Json.to_string j);
+        print_newline ();
+        0
+      | Error e -> fail_error e)
+
+let health_cmd =
+  let doc =
+    "print the daemon's health/readiness document (schema 2) as JSON: \
+     status, uptime, in-flight count, breaker state, restart and \
+     journal-replay counters"
+  in
+  Cmd.v (Cmd.info "health" ~doc) Term.(const health $ socket_arg)
 
 let shutdown socket =
   with_client (require_socket socket) (fun c ->
@@ -146,6 +241,6 @@ let request_cmd =
 let cmd =
   let doc = "persistent MiniOMP compile service" in
   Cmd.group (Cmd.info "mompd" ~doc)
-    [ serve_cmd; stats_cmd; shutdown_cmd; request_cmd ]
+    [ serve_cmd; stats_cmd; health_cmd; shutdown_cmd; request_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,8 +1,30 @@
 (* Deterministic fault injection (see the .mli). *)
 
-type site = Mem_alloc | Shared_budget | Sim_trap | Pass_crash | Cache_corrupt | Pool_stall
+type site =
+  | Mem_alloc
+  | Shared_budget
+  | Sim_trap
+  | Pass_crash
+  | Cache_corrupt
+  | Pool_stall
+  | Conn_drop
+  | Partial_frame
+  | Slow_client
+  | Daemon_kill
 
-let all_sites = [ Mem_alloc; Shared_budget; Sim_trap; Pass_crash; Cache_corrupt; Pool_stall ]
+let all_sites =
+  [
+    Mem_alloc;
+    Shared_budget;
+    Sim_trap;
+    Pass_crash;
+    Cache_corrupt;
+    Pool_stall;
+    Conn_drop;
+    Partial_frame;
+    Slow_client;
+    Daemon_kill;
+  ]
 
 let site_name = function
   | Mem_alloc -> "mem-alloc"
@@ -11,6 +33,10 @@ let site_name = function
   | Pass_crash -> "pass-crash"
   | Cache_corrupt -> "cache-corrupt"
   | Pool_stall -> "pool-stall"
+  | Conn_drop -> "conn-drop"
+  | Partial_frame -> "partial-frame"
+  | Slow_client -> "slow-client"
+  | Daemon_kill -> "daemon-kill"
 
 let site_of_name s = List.find_opt (fun x -> site_name x = s) all_sites
 

@@ -21,6 +21,18 @@ type site =
   | Pass_crash  (** an exception inside [Openmpopt.Pass_manager.run] *)
   | Cache_corrupt  (** bit-flip a [Sched.Disk_cache] entry at store time *)
   | Pool_stall  (** stall a scheduler job (exercises the pool watchdog) *)
+  | Conn_drop
+      (** [Service.Server]: drop the connection after reading a request,
+          before answering (exercises client reconnect + retry) *)
+  | Partial_frame
+      (** [Service.Server]: write only a prefix of the response line, then
+          drop the connection (exercises client partial-frame recovery) *)
+  | Slow_client
+      (** [Service.Server]: delay the response (exercises per-request
+          client deadlines) *)
+  | Daemon_kill
+      (** [Service.Server]: crash the serve loop itself after an accept
+          (exercises the supervisor's restart-with-backoff path) *)
 
 val all_sites : site list
 val site_name : site -> string

@@ -25,6 +25,7 @@ type kind =
   | Timeout of { seconds : float }
   | Cache_corrupt
   | Overload of { pending : int; capacity : int }
+  | Crash_loop of { restarts : int; window_s : float }
   | Bad_request
   | Internal
 
@@ -56,6 +57,7 @@ let kind_name = function
   | Timeout _ -> "timeout"
   | Cache_corrupt -> "cache-corrupt"
   | Overload _ -> "overload"
+  | Crash_loop _ -> "crash-loop"
   | Bad_request -> "bad-request"
   | Internal -> "internal"
 
@@ -88,7 +90,8 @@ let exit_code t =
   | Timeout _ -> 24
   | Cache_corrupt -> 30
   | Overload _ -> 40
-  | Bad_request -> 41
+  | Crash_loop _ -> 41
+  | Bad_request -> 42
   | Internal -> 70
 
 (* Retry policy (docs/ROBUSTNESS.md): a timeout may be scheduling pressure
@@ -107,6 +110,8 @@ let kind_detail = function
   | Timeout { seconds } when seconds > 0. -> Printf.sprintf " (after %.2fs)" seconds
   | Overload { pending; capacity } ->
     Printf.sprintf " (%d in flight, capacity %d)" pending capacity
+  | Crash_loop { restarts; window_s } ->
+    Printf.sprintf " (%d crashes within %gs)" restarts window_s
   | _ -> ""
 
 let to_string t =
@@ -135,6 +140,11 @@ let to_json t =
         [
           ("pending", Observe.Json.Int pending);
           ("capacity", Observe.Json.Int capacity);
+        ]
+      | Crash_loop { restarts; window_s } ->
+        [
+          ("restarts", Observe.Json.Int restarts);
+          ("window_s", Observe.Json.Float window_s);
         ]
       | _ -> [])
     @ (match t.loc with

@@ -41,6 +41,10 @@ type kind =
       (** the compile service shed this request: [pending] jobs were already
           admitted against a limit of [capacity].  Transient by design —
           clients retry with backoff once the queue drains. *)
+  | Crash_loop of { restarts : int; window_s : float }
+      (** the daemon supervisor opened its circuit breaker: the serve loop
+          crashed [restarts] times within [window_s] seconds.  NOT transient
+          — the daemon is sick; clients degrade to the in-process path. *)
   | Bad_request
       (** a service request the protocol layer rejected: unparseable JSON,
           an unsupported version, an unknown operation or a missing field *)
@@ -70,7 +74,8 @@ val phase_name : phase -> string
 val exit_code : t -> int
 (** Process exit code of the kind (stable, documented in ROBUSTNESS.md);
     distinct ranges per family: 10-19 compile, 20-29 simulate, 30-39
-    infrastructure, 40-49 service, 70 internal. *)
+    infrastructure, 40-49 service (40 overload, 41 crash-loop, 42
+    bad-request), 70 internal. *)
 
 val is_transient : t -> bool
 (** Whether a bounded retry is worthwhile: timeouts and allocation failures

@@ -16,6 +16,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable corrupt : int;
+  mutable swept : int;
 }
 
 let rec mkdir_p path =
@@ -25,17 +26,74 @@ let rec mkdir_p path =
     with Sys_error _ when Sys.file_exists path -> ()  (* lost a creation race *)
   end
 
-let create ?(injector = Fault.Injector.none) ?on_corrupt ~dir () =
+(* Temp files are only ever alive between [Filename.temp_file] and the
+   publishing [Sys.rename] — milliseconds.  A temp older than the age gate
+   is an orphan from a writer that died mid-store; the gate is generous so
+   a sweep never races a live concurrent writer. *)
+let default_temp_age_s = 600.
+
+let temp_prefix = "sched-cache"
+let temp_suffix = ".tmp"
+
+let is_temp_name name =
+  let lp = String.length temp_prefix and ls = String.length temp_suffix in
+  let ln = String.length name in
+  ln > lp + ls
+  && String.sub name 0 lp = temp_prefix
+  && String.sub name (ln - ls) ls = temp_suffix
+
+(* Move orphaned temps aside rather than deleting: like corrupt entries,
+   the quarantine directory preserves the evidence for post-mortem. *)
+let sweep_temps_in ~max_age_s dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+    let now = Unix.gettimeofday () in
+    Array.fold_left
+      (fun n name ->
+        if not (is_temp_name name) then n
+        else
+          let path = Filename.concat dir name in
+          match Unix.lstat path with
+          | exception Unix.Unix_error _ -> n (* lost a race; already gone *)
+          | st ->
+            if
+              st.Unix.st_kind = Unix.S_REG
+              && now -. st.Unix.st_mtime >= max_age_s
+            then begin
+              let qdir = Filename.concat dir "quarantine" in
+              mkdir_p qdir;
+              match Sys.rename path (Filename.concat qdir name) with
+              | () -> n + 1
+              | exception Sys_error _ -> n (* another sweeper won the race *)
+            end
+            else n)
+      0 names
+
+let sweep_temps ?(max_age_s = default_temp_age_s) t =
+  let n = sweep_temps_in ~max_age_s t.cache_dir in
+  Mutex.lock t.mutex;
+  t.swept <- t.swept + n;
+  Mutex.unlock t.mutex;
+  n
+
+let create ?(injector = Fault.Injector.none) ?on_corrupt
+    ?(temp_age_s = default_temp_age_s) ~dir () =
   mkdir_p dir;
-  {
-    cache_dir = dir;
-    injector;
-    on_corrupt;
-    mutex = Mutex.create ();
-    hits = 0;
-    misses = 0;
-    corrupt = 0;
-  }
+  let t =
+    {
+      cache_dir = dir;
+      injector;
+      on_corrupt;
+      mutex = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      corrupt = 0;
+      swept = 0;
+    }
+  in
+  ignore (sweep_temps ~max_age_s:temp_age_s t);
+  t
 
 let dir t = t.cache_dir
 
@@ -124,8 +182,9 @@ let store t ~key ~data =
     else entry
   in
   (* Filename.temp_file picks a name unique across processes; the rename is
-     same-directory, so the publish is atomic *)
-  let tmp = Filename.temp_file ~temp_dir:t.cache_dir "sched-cache" ".tmp" in
+     same-directory, so the publish is atomic.  A crash between create and
+     rename orphans the temp — the age-gated startup sweep reclaims it. *)
+  let tmp = Filename.temp_file ~temp_dir:t.cache_dir temp_prefix temp_suffix in
   Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc entry);
   Sys.rename tmp path
 
@@ -146,3 +205,4 @@ let with_lock t f =
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)
 let corrupt t = with_lock t (fun () -> t.corrupt)
+let swept t = with_lock t (fun () -> t.swept)

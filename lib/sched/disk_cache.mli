@@ -15,6 +15,7 @@ type t
 val create :
   ?injector:Fault.Injector.t ->
   ?on_corrupt:(key:string -> path:string -> unit) ->
+  ?temp_age_s:float ->
   dir:string ->
   unit ->
   t
@@ -22,7 +23,13 @@ val create :
     [Cache_corrupt] site: a firing {!store} flips one payload bit after
     digesting, so the entry fails verification on its next read.
     [on_corrupt] is called (with the key and the original path) whenever a
-    read quarantines an entry — the driver surfaces it as a remark. *)
+    read quarantines an entry — the driver surfaces it as a remark.
+
+    Startup recovery: {!store} publishes via temp-file + rename, so a
+    process dying between the two orphans a [.tmp] file forever.  [create]
+    sweeps temps older than [temp_age_s] (default 600s — generous, so a
+    live concurrent writer, whose temp exists for milliseconds, is never
+    raced) into [quarantine/]. *)
 
 val dir : t -> string
 
@@ -38,3 +45,12 @@ val misses : t -> int
 
 val corrupt : t -> int
 (** Entries quarantined by failed verification since [create]. *)
+
+val sweep_temps : ?max_age_s:float -> t -> int
+(** Quarantine orphaned temp files older than [max_age_s] (default 600s)
+    now; returns how many this call moved.  [create] already runs one
+    sweep — this is for long-lived owners (the daemon) re-sweeping. *)
+
+val swept : t -> int
+(** Orphaned temp files quarantined since [create] (startup sweep
+    included); surfaced in the daemon's stats JSON. *)

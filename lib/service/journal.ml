@@ -1,0 +1,164 @@
+(* Append-only NDJSON request journal + startup recovery scan (see the
+   .mli).  One mutex serializes appends; every append is flushed, so the
+   journal is never more than one torn line behind the truth. *)
+
+module J = Observe.Json
+
+let journal_version = 1
+let file_name = "journal.ndjson"
+let prev_name = "journal.prev.ndjson"
+
+type t = {
+  path : string;
+  oc : out_channel;
+  mutex : Mutex.t;
+  mutable seq : int;
+  mutable closed : bool;
+}
+
+type recovery = {
+  replayed_ok : int;
+  replayed_failed : int;
+  interrupted : int;
+  torn : int;
+}
+
+let empty_recovery =
+  { replayed_ok = 0; replayed_failed = 0; interrupted = 0; torn = 0 }
+
+let recovery_to_json r =
+  J.Obj
+    [
+      ("replayed_ok", J.Int r.replayed_ok);
+      ("replayed_failed", J.Int r.replayed_failed);
+      ("interrupted", J.Int r.interrupted);
+      ("torn", J.Int r.torn);
+    ]
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery scan                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay one previous life: count settles, and keep the set of begun
+   sequence numbers so begins without settles surface as interrupted.
+   Anything unreadable — a torn final write, a foreign line, an unknown
+   journal version — counts as torn, never fails the boot. *)
+let scan path =
+  let pending = Hashtbl.create 64 in
+  let ok = ref 0 and failed = ref 0 and torn = ref 0 in
+  In_channel.with_open_text path (fun ic ->
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+          (if String.trim line <> "" then
+             match J.of_string line with
+             | Error _ -> incr torn
+             | Ok j -> (
+               match
+                 ( Option.bind (J.member "jv" j) J.to_int,
+                   Option.bind (J.member "ev" j) J.to_str )
+               with
+               | Some jv, Some ev when jv = journal_version -> (
+                 let seq = Option.bind (J.member "seq" j) J.to_int in
+                 match (ev, seq) with
+                 | "begin", Some seq -> Hashtbl.replace pending seq ()
+                 | "settle", Some seq ->
+                   Hashtbl.remove pending seq;
+                   if
+                     Option.bind (J.member "code" j) J.to_int = Some 0
+                   then incr ok
+                   else incr failed
+                 | _ -> () (* service events carry no request state *))
+               | _ -> incr torn));
+          loop ()
+      in
+      loop ());
+  {
+    replayed_ok = !ok;
+    replayed_failed = !failed;
+    interrupted = Hashtbl.length pending;
+    torn = !torn;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Appends                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let append t members =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if not t.closed then begin
+        let line =
+          J.to_string ~minify:true
+            (J.with_schema (J.Obj (("jv", J.Int journal_version) :: members)))
+        in
+        output_string t.oc line;
+        output_char t.oc '\n';
+        flush t.oc
+      end)
+
+let event t ev members = append t (("ev", J.String ev) :: members)
+
+let begin_request t ~id ~op ~key =
+  let seq =
+    Mutex.lock t.mutex;
+    let s = t.seq in
+    t.seq <- s + 1;
+    Mutex.unlock t.mutex;
+    s
+  in
+  append t
+    [
+      ("ev", J.String "begin");
+      ("seq", J.Int seq);
+      ("id", J.String id);
+      ("op", J.String op);
+      ("key", J.String key);
+    ];
+  seq
+
+let settle_request t ~seq ~exit_code =
+  append t
+    [ ("ev", J.String "settle"); ("seq", J.Int seq); ("code", J.Int exit_code) ]
+
+let path t = t.path
+
+let open_ ~dir =
+  mkdir_p dir;
+  let path = Filename.concat dir file_name in
+  let recovery =
+    if Sys.file_exists path then begin
+      let r = try scan path with Sys_error _ -> empty_recovery in
+      (* rotate: the previous life stays inspectable, the fresh journal
+         starts empty so interrupted counts never double-report *)
+      (try Sys.rename path (Filename.concat dir prev_name)
+       with Sys_error _ -> ());
+      r
+    end
+    else empty_recovery
+  in
+  let oc =
+    Out_channel.open_gen [ Open_append; Open_creat; Open_text ] 0o644 path
+  in
+  let t = { path; oc; mutex = Mutex.create (); seq = 0; closed = false } in
+  event t "recovered" [ ("replay", recovery_to_json recovery) ];
+  (t, recovery)
+
+let close t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    try close_out t.oc with Sys_error _ -> ()
+  end;
+  Mutex.unlock t.mutex

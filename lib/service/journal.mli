@@ -1,0 +1,55 @@
+(** Append-only request journal of the compile daemon, and the startup
+    recovery scan over it.
+
+    The journal is newline-delimited JSON in [DIR/journal.ndjson]; every
+    line is schema-stamped and carries the journal format version
+    ([{"schema":2,"jv":1,"ev":...}]).  The daemon appends a [begin] record
+    when a compile is admitted and a [settle] record when its response is
+    written, each flushed immediately — so after a crash (even [kill -9])
+    the journal tells the next boot exactly which requests were in flight.
+
+    {!open_} runs the recovery scan: it replays the previous life's
+    records into {!recovery} counters (settled ok/failed, requests begun
+    but never settled = interrupted by the crash, torn trailing lines),
+    rotates the old journal to [journal.prev.ndjson] for post-mortem, and
+    starts a fresh journal whose first record embeds those counters.  The
+    counters surface in [mompd health] and the daemon's stats JSON. *)
+
+type t
+
+val journal_version : int
+(** 1.  Bumped when a record shape changes incompatibly; the recovery
+    scan counts records with an unknown [jv] as torn rather than failing. *)
+
+(** What the startup scan replayed out of the previous life's journal. *)
+type recovery = {
+  replayed_ok : int;  (** [settle] records with exit code 0 *)
+  replayed_failed : int;  (** [settle] records with a nonzero exit code *)
+  interrupted : int;
+      (** requests begun but never settled — the crash caught them in
+          flight; their clients saw a dropped connection *)
+  torn : int;  (** unparseable or unknown-version lines (torn final write) *)
+}
+
+val empty_recovery : recovery
+val recovery_to_json : recovery -> Observe.Json.t
+
+val open_ : dir:string -> t * recovery
+(** Create [dir] if needed, scan and rotate any existing journal, open a
+    fresh one.  Raises [Sys_error] only if the directory is unwritable. *)
+
+val path : t -> string
+
+val begin_request : t -> id:string -> op:string -> key:string -> int
+(** Journal an admitted compile; returns the life-unique sequence number
+    to pass to {!settle_request}.  Thread-safe; the line is flushed before
+    returning. *)
+
+val settle_request : t -> seq:int -> exit_code:int -> unit
+
+val event : t -> string -> (string * Observe.Json.t) list -> unit
+(** Journal a service-level event ([restart], [breaker-open], [drain],
+    ...) with extra members. *)
+
+val close : t -> unit
+(** Idempotent. *)

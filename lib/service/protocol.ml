@@ -13,11 +13,13 @@ type request =
       config : Ompgpu_api.Config.t;
     }
   | Stats of { id : string }
+  | Health of { id : string }
   | Shutdown of { id : string }
 
 type response =
   | Compiled of { id : string; op : string; result : Ompgpu_api.compiled }
   | Stats_reply of { id : string; stats : Observe.Json.t }
+  | Health_reply of { id : string; health : Observe.Json.t }
   | Shutdown_ack of { id : string }
   | Rejected of { id : string option; error : Fault.Ompgpu_error.t }
 
@@ -201,6 +203,8 @@ let request_to_json = function
       ]
   | Stats { id } ->
     J.Obj [ ("v", J.Int version); ("id", J.String id); ("op", J.String "stats") ]
+  | Health { id } ->
+    J.Obj [ ("v", J.Int version); ("id", J.String id); ("op", J.String "health") ]
   | Shutdown { id } ->
     J.Obj
       [ ("v", J.Int version); ("id", J.String id); ("op", J.String "shutdown") ]
@@ -234,6 +238,7 @@ let request_of_json j =
             in
             Ok (Compile { id; file; source; config })))
       | Some "stats" -> Ok (Stats { id })
+      | Some "health" -> Ok (Health { id })
       | Some "shutdown" -> Ok (Shutdown { id })
       | Some op -> Error (bad_request "unknown op %S" op)))
   | Some (J.Int v) ->
@@ -271,6 +276,15 @@ let response_to_json = function
         ("op", J.String "stats");
         ("ok", J.Bool true);
         ("stats", stats);
+      ]
+  | Health_reply { id; health } ->
+    J.Obj
+      [
+        ("v", J.Int version);
+        ("id", J.String id);
+        ("op", J.String "health");
+        ("ok", J.Bool true);
+        ("health", health);
       ]
   | Shutdown_ack { id } ->
     J.Obj
@@ -344,6 +358,10 @@ let response_of_json j =
       match (id, J.member "stats" j) with
       | Some id, Some stats -> Ok (Stats_reply { id; stats })
       | _ -> Error "malformed stats response")
+    | Some "health" -> (
+      match (id, J.member "health" j) with
+      | Some id, Some health -> Ok (Health_reply { id; health })
+      | _ -> Error "malformed health response")
     | Some "shutdown" -> (
       match id with
       | Some id -> Ok (Shutdown_ack { id })
@@ -359,13 +377,38 @@ let response_of_json j =
 (* Framing                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let max_frame_bytes = 8 * 1024 * 1024
+
+(* Bounded, never-raising framing: a hostile peer can send an endless
+   line, garbage bytes, or hang up mid-frame, and the worst it gets is a
+   structured [Bad_request] (and, for oversized frames, a severed
+   connection — the unread remainder of the line cannot be resynchronized
+   against). *)
 let read_message ic =
-  match In_channel.input_line ic with
-  | None -> None
-  | Some line -> (
+  let buf = Buffer.create 256 in
+  let rec fill () =
+    match In_channel.input_char ic with
+    | None -> if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | Some '\n' -> `Line (Buffer.contents buf)
+    | Some c ->
+      if Buffer.length buf >= max_frame_bytes then `Over
+      else begin
+        Buffer.add_char buf c;
+        fill ()
+      end
+  in
+  match fill () with
+  | `Eof -> `Eof
+  | `Over ->
+    `Overflow
+      (bad_request "oversized frame: request line exceeds %d bytes"
+         max_frame_bytes)
+  | `Line line -> (
+    (* EOF before the newline lands here too: the truncated frame is
+       decoded best-effort and, being torn JSON, rejected structurally *)
     match J.of_string line with
-    | Ok j -> Some (Ok j)
-    | Error msg -> Some (Error (bad_request "unparseable request: %s" msg)))
+    | Ok j -> `Msg (Ok j)
+    | Error msg -> `Msg (Error (bad_request "unparseable request: %s" msg)))
 
 let write_message oc j =
   Out_channel.output_string oc (J.to_string ~minify:true j);

@@ -14,14 +14,22 @@
     - ["compile"] — compile a MiniOMP source under a {!Ompgpu_api.Config}
     - ["run"] — sugar for compile with the simulator forced on
     - ["stats"] — the daemon's live counters (schema 2)
-    - ["shutdown"] — acknowledge, then stop accepting and exit
+    - ["health"] — liveness/readiness: uptime, in-flight, breaker state,
+      restart and journal-replay counts (schema 2)
+    - ["shutdown"] — acknowledge, then drain and exit
 
     The full field-by-field specification lives in docs/API.md; the
     fixtures in test/test_service.ml pin the encoding. *)
 
 val version : int
 (** 1.  Breaking wire changes bump this; the server answers exactly the
-    versions it supports and rejects the rest ([Bad_request], exit 41). *)
+    versions it supports and rejects the rest ([Bad_request], exit 42). *)
+
+val max_frame_bytes : int
+(** Upper bound on one request line (8 MiB).  A longer line is a hostile
+    or broken peer; {!read_message} reports it as [`Overflow] without
+    buffering the remainder, and the server severs the connection after
+    answering. *)
 
 type request =
   | Compile of {
@@ -31,6 +39,7 @@ type request =
       config : Ompgpu_api.Config.t;
     }
   | Stats of { id : string }
+  | Health of { id : string }
   | Shutdown of { id : string }
 
 type response =
@@ -43,6 +52,9 @@ type response =
           request ([Overload], exit 40): the result's diagnostics are the
           exact bytes a one-shot [mompc] would print. *)
   | Stats_reply of { id : string; stats : Observe.Json.t }
+  | Health_reply of { id : string; health : Observe.Json.t }
+      (** Schema-2 health document; see {!Server.health_json} for the
+          members. *)
   | Shutdown_ack of { id : string }
   | Rejected of { id : string option; error : Fault.Ompgpu_error.t }
       (** A request the protocol layer could not accept: unparseable
@@ -63,8 +75,16 @@ val response_to_json : response -> Observe.Json.t
 val response_of_json :
   Observe.Json.t -> (response, string) result
 
-val read_message : in_channel -> (Observe.Json.t, Fault.Ompgpu_error.t) result option
-(** Read one newline-terminated JSON message; [None] at end of stream. *)
+val read_message :
+  in_channel ->
+  [ `Eof
+  | `Msg of (Observe.Json.t, Fault.Ompgpu_error.t) result
+  | `Overflow of Fault.Ompgpu_error.t ]
+(** Read one newline-terminated JSON message.  Never raises on hostile
+    input: end of stream is [`Eof], a line over {!max_frame_bytes} is
+    [`Overflow] (the remainder of the line is left unread — close the
+    connection), and a torn or garbage line (including EOF mid-frame) is
+    [`Msg (Error bad_request)]. *)
 
 val write_message : out_channel -> Observe.Json.t -> unit
 (** Write one minified line and flush. *)

@@ -3,7 +3,13 @@
    Layering: connection threads own all protocol work (parsing, admission,
    response framing); the Sched.Pool domains own all compiler work.  The
    only shared mutable state is the counters record (one mutex), the
-   caches (thread-safe by construction) and the stop flag. *)
+   caches (thread-safe by construction), the journal (its own mutex) and
+   the stop/drain flags.
+
+   Supervision: when created with [~listen_fd] (by {!Supervisor}), the
+   server borrows the listening socket — a serve-loop crash severs the
+   live connections, re-raises, and leaves the socket bound so the
+   supervisor can restart the loop without dropping the address. *)
 
 module J = Observe.Json
 module E = Fault.Ompgpu_error
@@ -14,6 +20,9 @@ type config = {
   capacity : int;
   watchdog_s : float option;
   cache_dir : string option;
+  state_dir : string option;
+  injector : Fault.Injector.t;
+  drain_deadline_s : float;
 }
 
 let default_config =
@@ -23,7 +32,21 @@ let default_config =
     capacity = 8;
     watchdog_s = None;
     cache_dir = None;
+    state_dir = None;
+    injector = Fault.Injector.none;
+    drain_deadline_s = 5.0;
   }
+
+(* Cross-incarnation supervision state: owned by the supervisor, read by
+   every incarnation's stats/health answers. *)
+type supervision = {
+  mutable restarts : int;
+  mutable breaker_open : bool;
+  mutable last_crash : string option;
+}
+
+let new_supervision () =
+  { restarts = 0; breaker_open = false; last_crash = None }
 
 (* Request counters; one mutex is plenty (a counter bump per request
    against compiles that take milliseconds). *)
@@ -32,22 +55,31 @@ type counters = {
   mutable compiles : int;  (* compile/run requests admitted *)
   mutable compile_ok : int;
   mutable compile_failed : int;  (* structured failures incl. timeouts *)
-  mutable shed : int;  (* rejected by admission control *)
+  mutable shed : int;  (* rejected by admission control (incl. drain) *)
   mutable stats_requests : int;
+  mutable health_requests : int;
   mutable bad_requests : int;
   mutable in_flight : int;  (* admitted, not yet settled *)
+  mutable busy : int;  (* requests between parse and response write *)
+  mutable injected_drops : int;  (* conn-drop/partial-frame faults fired *)
 }
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  owns_listener : bool;
   pool : Sched.Pool.t;
   cache : Ompgpu_api.compiled Sched.Cache.t;
   disk : Sched.Disk_cache.t option;
+  journal : Journal.t option;
+  owns_journal : bool;
+  recovery : Journal.recovery;
+  supervision : supervision;
   counters : counters;
   mutex : Mutex.t;
   mutable stopped : bool;
-  mutable conn_threads : Thread.t list;
+  mutable draining : bool;
+  mutable conns : (Unix.file_descr * Thread.t) list;
   started_at : float;
 }
 
@@ -55,24 +87,43 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let create cfg =
-  let cfg = { cfg with domains = max 1 cfg.domains; capacity = max 0 cfg.capacity } in
-  (if Sys.file_exists cfg.socket_path then
-     match (Unix.lstat cfg.socket_path).Unix.st_kind with
-     | Unix.S_SOCK -> Unix.unlink cfg.socket_path
+let bind_listener socket_path =
+  (if Sys.file_exists socket_path then
+     match (Unix.lstat socket_path).Unix.st_kind with
+     | Unix.S_SOCK -> Unix.unlink socket_path
      | _ ->
        invalid_arg
          (Printf.sprintf "Service.Server.create: %s exists and is not a socket"
-            cfg.socket_path));
+            socket_path));
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path)
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX socket_path)
    with e ->
      Unix.close listen_fd;
      raise e);
   Unix.listen listen_fd 64;
+  listen_fd
+
+let create ?listen_fd ?journal ?supervision cfg =
+  let cfg = { cfg with domains = max 1 cfg.domains; capacity = max 0 cfg.capacity } in
+  let listen_fd, owns_listener =
+    match listen_fd with
+    | Some fd -> (fd, false)
+    | None -> (bind_listener cfg.socket_path, true)
+  in
+  let journal, recovery, owns_journal =
+    match journal with
+    | Some (j, r) -> (Some j, r, false)
+    | None -> (
+      match cfg.state_dir with
+      | None -> (None, Journal.empty_recovery, false)
+      | Some dir ->
+        let j, r = Journal.open_ ~dir in
+        (Some j, r, true))
+  in
   {
     cfg;
     listen_fd;
+    owns_listener;
     (* the pool queue must outsize admission, so an admitted request never
        blocks in [submit] behind the cap it was admitted under *)
     pool =
@@ -82,6 +133,10 @@ let create cfg =
     cache = Sched.Cache.create ();
     disk =
       Option.map (fun dir -> Sched.Disk_cache.create ~dir ()) cfg.cache_dir;
+    journal;
+    owns_journal;
+    recovery;
+    supervision = (match supervision with Some s -> s | None -> new_supervision ());
     counters =
       {
         served = 0;
@@ -90,14 +145,52 @@ let create cfg =
         compile_failed = 0;
         shed = 0;
         stats_requests = 0;
+        health_requests = 0;
         bad_requests = 0;
         in_flight = 0;
+        busy = 0;
+        injected_drops = 0;
       };
     mutex = Mutex.create ();
     stopped = false;
-    conn_threads = [];
+    draining = false;
+    conns = [];
     started_at = Unix.gettimeofday ();
   }
+
+(* ------------------------------------------------------------------ *)
+(* Stats and health                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let service_json t =
+  let sup = t.supervision in
+  J.Obj
+    [
+      ("restarts", J.Int sup.restarts);
+      ("breaker", J.String (if sup.breaker_open then "open" else "closed"));
+      ("draining", J.Bool (locked t (fun () -> t.draining)));
+      ("journal", Journal.recovery_to_json t.recovery);
+      ( "swept_temps",
+        J.Int (match t.disk with Some d -> Sched.Disk_cache.swept d | None -> 0)
+      );
+      ("injected_drops", J.Int t.counters.injected_drops);
+    ]
+
+let health_json t =
+  let c = t.counters in
+  Ompgpu_api.with_schema
+    (J.Obj
+       ([
+          ( "status",
+            J.String (if locked t (fun () -> t.draining) then "draining" else "ok")
+          );
+          ("protocol", J.Int Protocol.version);
+          ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
+          ("in_flight", J.Int c.in_flight);
+          ("capacity", J.Int t.cfg.capacity);
+        ]
+       @
+       match service_json t with J.Obj ms -> ms | _ -> []))
 
 let stats_json t =
   let c, pool_stats =
@@ -119,6 +212,7 @@ let stats_json t =
                ("compile_failed", J.Int c.compile_failed);
                ("shed", J.Int c.shed);
                ("stats", J.Int c.stats_requests);
+               ("health", J.Int c.health_requests);
                ("bad", J.Int c.bad_requests);
                ("in_flight", J.Int c.in_flight);
              ] );
@@ -145,6 +239,7 @@ let stats_json t =
                ("stolen", J.Int pool_stats.Sched.Pool.stolen);
                ("max_pending", J.Int pool_stats.Sched.Pool.max_pending);
              ] );
+         ("service", service_json t);
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -212,15 +307,17 @@ let compute_compile t ~config ~file ~key source =
   | r -> r
   | exception Uncached r -> r
 
-let handle_compile t ~file ~config source =
-  (* Admission control: request capacity+1 is shed *now* with a structured
-     overload instead of queueing without bound — the client's bounded
-     retry (overload is transient) is the backpressure loop. *)
+let handle_compile t ~id ~file ~config source =
+  (* Admission control: request capacity+1 — and any compile arriving
+     while the daemon drains — is shed *now* with a structured overload
+     instead of queueing without bound.  The client's bounded retry
+     (overload is transient) is the backpressure loop. *)
   let admitted =
     locked t (fun () ->
-        if t.counters.in_flight >= t.cfg.capacity then begin
+        if t.draining then Error (`Draining t.counters.in_flight)
+        else if t.counters.in_flight >= t.cfg.capacity then begin
           t.counters.shed <- t.counters.shed + 1;
-          Error t.counters.in_flight
+          Error (`Over t.counters.in_flight)
         end
         else begin
           t.counters.in_flight <- t.counters.in_flight + 1;
@@ -229,7 +326,15 @@ let handle_compile t ~file ~config source =
         end)
   in
   match admitted with
-  | Error pending ->
+  | Error (`Draining pending) ->
+    locked t (fun () -> t.counters.shed <- t.counters.shed + 1);
+    Ompgpu_api.errored ~file
+      (E.make
+         (E.Overload { pending; capacity = t.cfg.capacity })
+         ~phase:E.Serving
+         "request shed: the daemon is draining; retry against the restarted \
+          daemon or fall back to in-process compilation")
+  | Error (`Over pending) ->
     Ompgpu_api.errored ~file
       (E.make
          (E.Overload { pending; capacity = t.cfg.capacity })
@@ -240,6 +345,14 @@ let handle_compile t ~file ~config source =
             pending t.cfg.capacity))
   | Ok () ->
     let key = Ompgpu_api.cache_key ~config ~source in
+    let seq =
+      Option.map
+        (fun j ->
+          Journal.begin_request j ~id
+            ~op:(if config.Ompgpu_api.Config.run_sim then "run" else "compile")
+            ~key)
+        t.journal
+    in
     let result =
       Fun.protect
         ~finally:(fun () ->
@@ -250,6 +363,10 @@ let handle_compile t ~file ~config source =
         if result.Ompgpu_api.exit_code = 0 then
           t.counters.compile_ok <- t.counters.compile_ok + 1
         else t.counters.compile_failed <- t.counters.compile_failed + 1);
+    (match (t.journal, seq) with
+    | Some j, Some seq ->
+      Journal.settle_request j ~seq ~exit_code:result.Ompgpu_api.exit_code
+    | _ -> ());
     result
 
 (* ------------------------------------------------------------------ *)
@@ -257,13 +374,33 @@ let handle_compile t ~file ~config source =
 (* ------------------------------------------------------------------ *)
 
 let stop t =
-  locked t (fun () -> t.stopped <- true);
+  locked t (fun () ->
+      t.stopped <- true;
+      t.draining <- true);
   (* wake the blocked accept: shutting a listening socket down makes the
      pending accept fail immediately on Linux *)
   try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
 
-let respond t oc response =
-  Protocol.write_message oc (Protocol.response_to_json response);
+let count_injected_drop t =
+  locked t (fun () ->
+      t.counters.injected_drops <- t.counters.injected_drops + 1)
+
+let respond t ~fd oc response =
+  let line = J.to_string ~minify:true (Protocol.response_to_json response) in
+  if Fault.Injector.fire t.cfg.injector Fault.Injector.Slow_client then
+    Thread.delay 0.15;
+  if Fault.Injector.fire t.cfg.injector Fault.Injector.Partial_frame then begin
+    (* a torn response: half the line, no newline, then a hard close — the
+       client must treat it as a transient transport failure *)
+    count_injected_drop t;
+    Out_channel.output_string oc (String.sub line 0 (String.length line / 2));
+    Out_channel.flush oc;
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    raise End_of_file
+  end;
+  Out_channel.output_string oc line;
+  Out_channel.output_char oc '\n';
+  Out_channel.flush oc;
   locked t (fun () -> t.counters.served <- t.counters.served + 1)
 
 let handle_connection t fd =
@@ -272,42 +409,74 @@ let handle_connection t fd =
   let bad () =
     locked t (fun () -> t.counters.bad_requests <- t.counters.bad_requests + 1)
   in
+  (* [busy] brackets parse→response so the drain knows a request is being
+     answered even while [in_flight] (compiles only) is zero *)
+  let busily f =
+    locked t (fun () -> t.counters.busy <- t.counters.busy + 1);
+    Fun.protect
+      ~finally:(fun () ->
+        locked t (fun () -> t.counters.busy <- t.counters.busy - 1))
+      f
+  in
   let rec loop () =
     match Protocol.read_message ic with
-    | None -> ()
-    | Some (Error e) ->
+    | `Eof -> ()
+    | `Overflow error ->
+      (* an oversized frame poisons the whole connection: answer once,
+         stop reading (the rest of the line is still in flight) *)
+      bad ();
+      busily (fun () -> respond t ~fd oc (Protocol.Rejected { id = None; error }))
+    | `Msg (Error e) ->
       (* an unparseable line poisons only itself, not the connection *)
       bad ();
-      respond t oc (Protocol.Rejected { id = None; error = e });
+      busily (fun () -> respond t ~fd oc (Protocol.Rejected { id = None; error = e }));
       loop ()
-    | Some (Ok j) -> (
-      match Protocol.request_of_json j with
-      | Error e ->
-        bad ();
-        let id = Option.bind (J.member "id" j) J.to_str in
-        respond t oc (Protocol.Rejected { id; error = e });
+    | `Msg (Ok j) ->
+      if Fault.Injector.fire t.cfg.injector Fault.Injector.Conn_drop then begin
+        (* drop the connection on the floor, mid-request: the client's
+           reconnect-and-retry path owns recovery *)
+        count_injected_drop t;
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+      end
+      else begin
+        (match Protocol.request_of_json j with
+        | Error e ->
+          bad ();
+          let id = Option.bind (J.member "id" j) J.to_str in
+          busily (fun () -> respond t ~fd oc (Protocol.Rejected { id; error = e }))
+        | Ok (Protocol.Stats { id }) ->
+          locked t (fun () ->
+              t.counters.stats_requests <- t.counters.stats_requests + 1);
+          busily (fun () ->
+              respond t ~fd oc
+                (Protocol.Stats_reply { id; stats = stats_json t }))
+        | Ok (Protocol.Health { id }) ->
+          locked t (fun () ->
+              t.counters.health_requests <- t.counters.health_requests + 1);
+          busily (fun () ->
+              respond t ~fd oc
+                (Protocol.Health_reply { id; health = health_json t }))
+        | Ok (Protocol.Shutdown { id }) ->
+          busily (fun () -> respond t ~fd oc (Protocol.Shutdown_ack { id }));
+          stop t;
+          raise Exit (* stop reading: the daemon is draining *)
+        | Ok (Protocol.Compile { id; file; source; config }) ->
+          let op = if config.Ompgpu_api.Config.run_sim then "run" else "compile" in
+          busily (fun () ->
+              let result = handle_compile t ~id ~file ~config source in
+              respond t ~fd oc (Protocol.Compiled { id; op; result })));
         loop ()
-      | Ok (Protocol.Stats { id }) ->
-        locked t (fun () ->
-            t.counters.stats_requests <- t.counters.stats_requests + 1);
-        respond t oc (Protocol.Stats_reply { id; stats = stats_json t });
-        loop ()
-      | Ok (Protocol.Shutdown { id }) ->
-        respond t oc (Protocol.Shutdown_ack { id });
-        stop t
-        (* stop reading: the daemon is draining *)
-      | Ok (Protocol.Compile { id; file; source; config }) ->
-        let op = if config.Ompgpu_api.Config.run_sim then "run" else "compile" in
-        let result = handle_compile t ~file ~config source in
-        respond t oc (Protocol.Compiled { id; op; result });
-        loop ())
+      end
   in
   Fun.protect
     ~finally:(fun () ->
       (try Out_channel.flush oc with Sys_error _ -> ());
-      try Unix.close fd with Unix.Unix_error _ -> ())
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      locked t (fun () ->
+          t.conns <- List.filter (fun (fd', _) -> fd' != fd) t.conns))
     (fun () ->
       try loop () with
+      | Exit -> ()
       | Sys_error _ | End_of_file ->
         (* client went away mid-request; nothing to answer *)
         ()
@@ -316,27 +485,91 @@ let handle_connection t fd =
         let error =
           E.make E.Internal ~phase:E.Serving (Printexc.to_string e)
         in
-        (try respond t oc (Protocol.Rejected { id = None; error })
-         with Sys_error _ -> ()))
+        (try respond t ~fd oc (Protocol.Rejected { id = None; error })
+         with Sys_error _ | End_of_file -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Serve loop, drain, crash containment                                *)
+(* ------------------------------------------------------------------ *)
+
+let sever_connections t =
+  List.iter
+    (fun (fd, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    (locked t (fun () -> t.conns))
+
+let join_connections t =
+  List.iter (fun (_, th) -> Thread.join th) (locked t (fun () -> t.conns))
+
+(* Drain: let requests that are already being answered finish (up to the
+   deadline), then sever the remaining connections — blocked reads see
+   EOF, threads exit — join them and take the pool down. *)
+let drain t =
+  let deadline = Unix.gettimeofday () +. t.cfg.drain_deadline_s in
+  let rec wait () =
+    if
+      locked t (fun () -> t.counters.busy) > 0
+      && Unix.gettimeofday () < deadline
+    then begin
+      Thread.delay 0.01;
+      wait ()
+    end
+  in
+  wait ();
+  (match t.journal with
+  | Some j ->
+    Journal.event j "drain"
+      [ ("busy", J.Int (locked t (fun () -> t.counters.busy))) ]
+  | None -> ());
+  sever_connections t;
+  join_connections t;
+  Sched.Pool.shutdown t.pool
+
+let release_listener t =
+  if t.owns_listener then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ()
+  end
+
+let close_journal t =
+  if t.owns_journal then Option.iter Journal.close t.journal
 
 let serve_forever t =
   let rec accept_loop () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
+      if Fault.Injector.fire t.cfg.injector Fault.Injector.Daemon_kill then begin
+        (* the serve loop itself dies; connections are severed and the
+           supervisor (if any) restarts the loop on the same socket *)
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        failwith "injected daemon-kill: serve loop crashed"
+      end;
       let thread = Thread.create (fun () -> handle_connection t fd) () in
-      locked t (fun () -> t.conn_threads <- thread :: t.conn_threads);
+      locked t (fun () -> t.conns <- (fd, thread) :: t.conns);
       accept_loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if locked t (fun () -> t.stopped) then () else accept_loop ()
     | exception Unix.Unix_error _ when locked t (fun () -> t.stopped) -> ()
   in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-      (* drain: connections finish their in-flight requests, then the pool
-         goes down and the socket file disappears *)
-      List.iter Thread.join (locked t (fun () -> t.conn_threads));
-      Sched.Pool.shutdown t.pool;
-      try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
-    accept_loop
+  match accept_loop () with
+  | () ->
+    (* clean stop: connections finish their in-flight requests (bounded by
+       the drain deadline), then the pool goes down and — standalone only —
+       the socket file disappears *)
+    drain t;
+    release_listener t;
+    close_journal t
+  | exception e ->
+    (* serve-loop crash: contain it — sever and join connections, stop the
+       pool — and hand the exception to the supervisor with the listening
+       socket still bound (supervised) or fully released (standalone) *)
+    let bt = Printexc.get_raw_backtrace () in
+    locked t (fun () -> t.draining <- true);
+    sever_connections t;
+    join_connections t;
+    (try Sched.Pool.shutdown t.pool with _ -> ());
+    release_listener t;
+    close_journal t;
+    Printexc.raise_with_backtrace e bt
 
 let run cfg = serve_forever (create cfg)

@@ -18,7 +18,26 @@
     structured [Overload] (exit 40) instead of queueing without bound —
     and an optional per-request watchdog settles a hung compile as a
     structured [Timeout] (exit 24), so one poisoned job never wedges the
-    daemon.  No client input can raise out of a connection thread. *)
+    daemon.  No client input can raise out of a connection thread: torn,
+    garbage and oversized frames get structured [Bad_request] answers
+    (exit 42) and, at worst, a severed connection.
+
+    Crash containment: created standalone, the server owns its socket and
+    journal and releases both on exit.  Created by {!Supervisor} (with
+    [~listen_fd]/[~journal]/[~supervision]), it borrows them — a
+    serve-loop crash severs live connections, stops the pool, and
+    re-raises with the listening socket still bound, so the supervisor
+    restarts the loop without dropping the address.
+
+    Durability: with a [state_dir], every admitted compile is journaled
+    ([begin] on admission, [settle] on response — see {!Journal}), and
+    the startup recovery scan's counters surface in [health]/[stats].
+
+    Graceful drain: a shutdown request, {!stop}, or SIGTERM-via-[stop]
+    flips the server into draining — new compile admissions are shed with
+    [Overload], requests already being answered finish (bounded by
+    [drain_deadline_s]), then remaining connections are severed and the
+    pool stops. *)
 
 type config = {
   socket_path : string;
@@ -28,32 +47,69 @@ type config = {
           (useful to test client backoff) *)
   watchdog_s : float option;  (** per-request wall-time bound *)
   cache_dir : string option;  (** warm the disk cache shared with [mompc] *)
+  state_dir : string option;  (** request journal + recovery scan home *)
+  injector : Fault.Injector.t;
+      (** arms the service fault sites ([conn-drop], [partial-frame],
+          [slow-client], [daemon-kill]) for the chaos harness *)
+  drain_deadline_s : float;  (** bound on the graceful-drain wait *)
 }
 
 val default_config : config
 (** [./mompd.sock], 2 domains, capacity [4 * domains], no watchdog, no
-    disk cache. *)
+    disk cache, no journal, no injected faults, 5s drain deadline. *)
+
+(** Restart/breaker counters shared between a {!Supervisor} and every
+    incarnation it creates; read by [health] and [stats] answers. *)
+type supervision = {
+  mutable restarts : int;
+  mutable breaker_open : bool;
+  mutable last_crash : string option;
+}
+
+val new_supervision : unit -> supervision
 
 type t
 
-val create : config -> t
-(** Bind and listen (replacing a stale socket file), spawn the pool.
-    Raises [Unix.Unix_error] if the socket cannot be bound. *)
+val bind_listener : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket path, replacing a stale
+    socket file.  Raises [Unix.Unix_error] on failure, [Invalid_argument]
+    if the path exists and is not a socket.  {!create} calls this;
+    {!Supervisor} calls it once and shares the fd across incarnations. *)
+
+val create :
+  ?listen_fd:Unix.file_descr ->
+  ?journal:Journal.t * Journal.recovery ->
+  ?supervision:supervision ->
+  config ->
+  t
+(** Standalone (no optionals): bind the socket, open the journal from
+    [state_dir], spawn the pool; the server releases what it opened.
+    Supervised: borrow the given listener/journal/supervision — they
+    survive this incarnation.  Raises [Unix.Unix_error] if the socket
+    cannot be bound. *)
 
 val serve_forever : t -> unit
 (** Accept and serve until a [shutdown] request (or {!stop}) arrives,
-    then drain: join every connection thread, shut the pool down, unlink
-    the socket file. *)
+    then drain gracefully (see the module header).  A serve-loop crash
+    severs connections, stops the pool, and re-raises for the supervisor;
+    owned resources (standalone mode) are always released. *)
 
 val stop : t -> unit
-(** Ask the accept loop to exit as if a shutdown request had arrived.
-    Thread-safe and idempotent; [serve_forever] still performs the
-    drain. *)
+(** Ask the accept loop to exit and the server to drain, as if a shutdown
+    request had arrived.  Thread-safe, idempotent, and safe from a signal
+    handler; [serve_forever] still performs the drain. *)
 
 val stats_json : t -> Observe.Json.t
 (** The live counters served to a [stats] request (schema 2): requests
     by kind and outcome, shed count, cache hit/miss/entries, pool
-    statistics, uptime. *)
+    statistics, uptime, and a ["service"] object (restarts, breaker,
+    draining, journal-replay counters, swept temp files, injected
+    drops). *)
+
+val health_json : t -> Observe.Json.t
+(** The [health] answer (schema 2): ["status"] ("ok"/"draining"),
+    protocol version, uptime, in-flight count, capacity, plus the same
+    members as the ["service"] stats object. *)
 
 val run : config -> unit
-(** [create] + [serve_forever]. *)
+(** [create] + [serve_forever] (standalone). *)

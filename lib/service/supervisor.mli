@@ -1,0 +1,63 @@
+(** Crash-only supervision of the compile daemon's serve loop.
+
+    The supervisor owns what must survive a crash: the bound listening
+    socket (so clients connecting during a restart queue in the backlog
+    instead of failing) and the request {!Journal}.  Each incarnation of
+    {!Server} borrows both; when a serve loop dies — a bug, an injected
+    [daemon-kill] fault — the supervisor journals the crash and restarts
+    the loop after a jittered exponential backoff
+    ([backoff_base_s * 2^(n-1)], capped at [backoff_cap_s], jittered
+    deterministically by ±25%).
+
+    Crash-loop circuit breaker: more than [max_restarts] crashes inside a
+    sliding [window_s]-second window opens the breaker — the supervisor
+    stops restarting, journals [breaker-open], and {!run} returns the
+    structured {!Fault.Ompgpu_error.Crash_loop} error, which [mompd]
+    turns into the documented exit code 41.  A sick daemon fails fast and
+    loud; clients degrade to in-process compilation.
+
+    Supervision never changes observable compile output: every
+    incarnation shares the same caches-on-disk, journal, and socket, and
+    a compile answered by incarnation 3 is byte-identical to one answered
+    by incarnation 1 (pinned by test/test_resilience.ml). *)
+
+type config = {
+  server : Server.config;
+  max_restarts : int;  (** breaker threshold: crashes tolerated per window *)
+  window_s : float;  (** sliding crash-counting window *)
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  log : string -> unit;  (** supervisor narration ([mompd] sends stderr) *)
+}
+
+val default_config : config
+(** {!Server.default_config} underneath; breaker at 5 crashes / 10s;
+    backoff 50ms doubling to a 1s cap; silent log. *)
+
+type t
+
+val create : config -> t
+(** Bind the listening socket and open the journal (when
+    [server.state_dir] is set) — both outlive every incarnation.  Raises
+    [Unix.Unix_error] if the socket cannot be bound. *)
+
+val run : t -> (unit, Fault.Ompgpu_error.t) result
+(** Serve until a clean stop ([Ok ()]: shutdown request or {!stop}) or
+    until the breaker opens ([Error], kind [Crash_loop]).  Always
+    releases the socket (close + unlink) and closes the journal before
+    returning. *)
+
+val stop : t -> unit
+(** Ask the current incarnation to drain and the supervisor to not
+    restart.  Safe from a signal handler; idempotent. *)
+
+val supervision : t -> Server.supervision
+(** Live restart/breaker counters (shared with every incarnation's
+    [health] answers). *)
+
+val recovery : t -> Journal.recovery
+(** What the journal's startup scan replayed (empty without a
+    [state_dir]). *)
+
+val run_config : config -> (unit, Fault.Ompgpu_error.t) result
+(** [create] + [run]. *)

@@ -17,5 +17,6 @@ let () =
       ("sched", Test_sched.suite);
       ("fault", Test_fault.suite);
       ("service", Test_service.suite);
+      ("resilience", Test_resilience.suite);
       ("fuzz", Test_fuzz.suite);
     ]

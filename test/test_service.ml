@@ -29,11 +29,21 @@ let fresh_socket =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "mompd-t%d-%d.sock" (Unix.getpid ()) !n)
 
-let with_server ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir f =
+let with_server ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir ?state_dir
+    ?(injector = Fault.Injector.none) ?(drain_deadline_s = 5.0) f =
   let socket_path = fresh_socket () in
   let server =
     Service.Server.create
-      { Service.Server.socket_path; domains; capacity; watchdog_s; cache_dir }
+      {
+        Service.Server.socket_path;
+        domains;
+        capacity;
+        watchdog_s;
+        cache_dir;
+        state_dir;
+        injector;
+        drain_deadline_s;
+      }
   in
   let thread = Thread.create Service.Server.serve_forever server in
   Fun.protect
@@ -177,7 +187,7 @@ let test_bad_requests () =
     | Ok _ -> Alcotest.failf "%s: accepted" what
     | Error e ->
       Alcotest.(check string) (what ^ ": kind") "bad-request" (E.kind_name e.E.kind);
-      Alcotest.(check int) (what ^ ": exit code") 41 (E.exit_code e);
+      Alcotest.(check int) (what ^ ": exit code") 42 (E.exit_code e);
       let contains s frag =
         let ls = String.length s and lf = String.length frag in
         let rec go i = i + lf <= ls && (String.sub s i lf = frag || go (i + 1)) in
@@ -251,6 +261,29 @@ let test_daemon_warm_cache () =
   Alcotest.(check (option int))
     "stats payload is schema-stamped" (Some J.schema_version)
     (Option.bind (J.member "schema" stats) J.to_int)
+
+let test_daemon_health () =
+  with_server @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  let health = ok_exn (Service.Client.health c ()) in
+  let str k = Option.bind (J.member k health) J.to_str in
+  Alcotest.(check (option string)) "status" (Some "ok") (str "status");
+  Alcotest.(check (option string)) "breaker" (Some "closed") (str "breaker");
+  Alcotest.(check (option int))
+    "no restarts" (Some 0)
+    (Option.bind (J.member "restarts" health) J.to_int);
+  Alcotest.(check (option int))
+    "schema-stamped" (Some J.schema_version)
+    (Option.bind (J.member "schema" health) J.to_int);
+  Alcotest.(check bool)
+    "journal replay counters present" true
+    (Option.is_some (J.member "journal" health));
+  (* health rides the stats payload too, as the "service" object *)
+  let stats = ok_exn (Service.Client.stats c ()) in
+  Alcotest.(check (option string))
+    "stats.service.breaker" (Some "closed")
+    (Option.bind (J.member "service" stats) (fun s ->
+         Option.bind (J.member "breaker" s) J.to_str))
 
 (* Concurrent clients, one per app, several rounds each: the fan-in must
    produce exactly the bytes sequential one-shot compiles produce — no
@@ -451,6 +484,7 @@ let suite =
     Alcotest.test_case "daemon/byte-identical-all-apps" `Quick
       test_daemon_byte_identical;
     Alcotest.test_case "daemon/warm-cache" `Quick test_daemon_warm_cache;
+    Alcotest.test_case "daemon/health" `Quick test_daemon_health;
     Alcotest.test_case "daemon/concurrent-fan-in" `Quick
       test_daemon_concurrent_fan_in;
     Alcotest.test_case "daemon/load-shed" `Quick test_daemon_load_shed;

@@ -12,7 +12,8 @@
 #      its socket.
 #
 # Exit codes matched here are API (lib/fault/ompgpu_error.ml): 14
-# pass-crash, 40 overload, 41 bad-request.
+# pass-crash, 40 overload, 42 bad-request (41 is the supervisor's
+# crash-loop circuit breaker, exercised by tools/chaos_soak.sh).
 
 set -e
 
