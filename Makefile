@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix service-smoke chaos
+.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix service-smoke chaos conformance conformance-smoke
 
 all: build
 
@@ -57,6 +57,27 @@ service-smoke:
 chaos:
 	dune build bin/mompc.exe bin/mompd.exe
 	sh tools/chaos_soak.sh
+
+# Mass-conformance corpus (docs/CONFORMANCE.md): CORPUS_N seeded programs
+# through the full {scheme} x {mode} x {pipeline} differential matrix —
+# any unexplained divergence fails with a minimized reproducer — then the
+# whole corpus replayed through a live mompd (--daemon), requiring
+# byte-identity with in-process compilation and recording compiles/sec
+# cold and warm into BENCH_observe.json's "corpus" section.
+CORPUS_N ?= 1000
+CORPUS_SEED ?= 42
+conformance:
+	dune build tools/conformance.exe bench/main.exe
+	dune exec tools/conformance.exe -- --n $(CORPUS_N) --seed $(CORPUS_SEED) \
+	  --daemon --observe BENCH_observe.json
+
+# The CI-sized corpus: the committed ledger's exact run (48 programs,
+# seed 42) diffed against test/corpus_ledger.expected, plus daemon
+# replay.  Any drift is a one-line ledger diff.
+conformance-smoke:
+	dune build tools/conformance.exe
+	dune exec tools/conformance.exe -- --n 48 --seed 42 \
+	  --expected test/corpus_ledger.expected --daemon
 
 # Benchmark-regression gate: regenerate BENCH_observe.json into a scratch
 # directory and diff its deterministic counters (per-app barriers and store

@@ -255,10 +255,36 @@ let service_bench () =
       ("byte_identical", Observe.Json.Bool byte_identical);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Corpus benchmark: conformance corpus as daemon traffic              *)
+(* ------------------------------------------------------------------ *)
+
+(* The conformance corpus (lib/corpus, docs/CONFORMANCE.md) replayed
+   through a live mompd over resilient client sessions: compiles/sec is
+   the serving throughput of the daemon on generated kernels, cold
+   against empty caches and warm against the in-memory result cache.
+   Throughput measures this host; byte-identity with in-process
+   compilation and the zero-transport-error bar are machine-independent.
+   `make conformance` runs the same traffic at full corpus size. *)
+let corpus_bench () =
+  let s = Corpus.Traffic.run ~connections:4 ~domains:2 ~root:42L ~n:24 () in
+  Fmt.pr "== Corpus: conformance corpus as daemon traffic ==@.";
+  Fmt.pr "  %d programs x %d cells = %d jobs over %d connections (%d domains)@."
+    s.Corpus.Traffic.programs
+    (List.length Corpus.Matrix.cells)
+    s.Corpus.Traffic.jobs s.Corpus.Traffic.connections s.Corpus.Traffic.domains;
+  Fmt.pr "  cold  %8.1f compiles/s  (%.2fs)@." s.Corpus.Traffic.cold_cps
+    s.Corpus.Traffic.cold_s;
+  Fmt.pr "  warm  %8.1f compiles/s  (%.2fs)@." s.Corpus.Traffic.warm_cps
+    s.Corpus.Traffic.warm_s;
+  Fmt.pr "  byte-identical to in-process: %b   transport errors: %d@.@."
+    s.Corpus.Traffic.byte_identical s.Corpus.Traffic.transport_errors;
+  Corpus.Traffic.to_json s
+
 (* Machine-readable perf trajectory: every app at bench scale under the
    default developer build, with the pipeline trace attached, so future
    changes can be diffed against this file. *)
-let observe_json ~sched ~service path =
+let observe_json ~sched ~service ~corpus path =
   let scale = Proxyapps.App.Bench in
   let records =
     List.map
@@ -277,6 +303,7 @@ let observe_json ~sched ~service path =
         ("measurements", Observe.Json.List records);
         ("sched", sched);
         ("service", service);
+        ("corpus", corpus);
       ])
   in
   Out_channel.with_open_text path (fun oc ->
@@ -289,5 +316,6 @@ let () =
   if not (List.mem "tables" args) then benchmark ();
   let sched = sched_bench () in
   let service = service_bench () in
+  let corpus = corpus_bench () in
   tables ();
-  observe_json ~sched ~service "BENCH_observe.json"
+  observe_json ~sched ~service ~corpus "BENCH_observe.json"

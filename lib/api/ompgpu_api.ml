@@ -261,11 +261,16 @@ let compile ?config ?file src =
 
 (* v3: v2 lived in bin/mompc.ml and did not cover the stats/trace
    selection (those runs bypassed the disk cache entirely); the service's
-   in-memory cache does cache them, so the selection joins the key. *)
-let cache_version = "mompc-cache-v3"
+   in-memory cache does cache them, so the selection joins the key.
+   v4: the file label joins the key.  Diagnostics embed it (remarks,
+   error lines), so two compiles of the same source under different
+   labels produce different bytes — the conformance corpus caught the
+   daemon's warm cache serving one request's file label to another
+   request at scale. *)
+let cache_version = "mompc-cache-v4"
 
-let cache_key ~config ~source =
-  Sched.Cache.key [ cache_version; source; Config.fingerprint config ]
+let cache_key ~file ~config ~source =
+  Sched.Cache.key [ cache_version; file; source; Config.fingerprint config ]
 
 let compiled_to_json (r : compiled) =
   Observe.Json.Obj
@@ -337,7 +342,7 @@ let compile_files ?(jobs = 1) ?cache_dir ?watchdog_s
       match cache with
       | None -> compile_buffered ~config ~file src
       | Some cache -> (
-        let key = cache_key ~config ~source:src in
+        let key = cache_key ~file ~config ~source:src in
         match
           Option.bind (Sched.Disk_cache.find cache ~key) (fun s ->
               match Observe.Json.of_string s with

@@ -152,11 +152,14 @@ val compile : ?config:Config.t -> ?file:string -> string -> (compiled, Error.t) 
     {!compile_buffered} when the partially-accumulated diagnostics bytes
     matter (the CLIs and the service do). *)
 
-val cache_key : config:Config.t -> source:string -> string
-(** Content address of one source compile: digest of the source text, the
-    config fingerprint (scheme, pass options, emission flags, stats/trace
-    selection) and the fault-injector fingerprint.  Shared by the
-    [--cache-dir] disk cache and the service's warm in-memory cache. *)
+val cache_key : file:string -> config:Config.t -> source:string -> string
+(** Content address of one source compile: digest of the file label, the
+    source text, the config fingerprint (scheme, pass options, emission
+    flags, stats/trace selection) and the fault-injector fingerprint.
+    Shared by the [--cache-dir] disk cache and the service's warm
+    in-memory cache.  The file label joins the key because diagnostics
+    embed it: the same source compiled as [a.c] and as [b.c] produces
+    different bytes, and the caches must never alias the two. *)
 
 val compiled_to_json : compiled -> Observe.Json.t
 val compiled_of_json : Observe.Json.t -> compiled option

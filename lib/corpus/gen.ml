@@ -1,0 +1,231 @@
+(* The corpus grammar.  See the .mli for the determinism rules; the
+   rendering mirrors what test/test_fuzz.ml historically generated so the
+   long-standing differential property keeps its coverage, with the
+   Local_arr / Escape extensions and the externalized execution mode. *)
+
+type expr =
+  | Cst of int
+  | Var_i
+  | Var_j
+  | Read_a of int
+  | Add of expr * expr
+  | Mul of expr * expr
+
+type stmt =
+  | Store_a of int * expr
+  | Store_ai of expr
+  | Atomic_b of expr
+  | Local of expr
+  | Nested of expr
+  | Local_arr of int * expr
+  | Escape of expr
+
+type prog = { outer : int; stmts : stmt list }
+type mode = Generic | Spmd
+
+let modes = [ Generic; Spmd ]
+let mode_name = function Generic -> "generic" | Spmd -> "spmd"
+
+(* small, past-the-budget-when-stacked, and far past it: bench_machine's
+   per-team shared budget is stressed by the larger shapes once a few
+   threads each globalize one *)
+let arr_lens = [ 2; 8; 64; 256 ]
+
+let has_escape p =
+  List.exists (function Escape _ -> true | _ -> false) p.stmts
+
+let has_local_arr p =
+  List.exists (function Local_arr _ -> true | _ -> false) p.stmts
+
+let has_nested p =
+  List.exists (function Nested _ -> true | _ -> false) p.stmts
+
+(* ------------------------------------------------------------------ *)
+(* Drawing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_expr rng depth =
+  if depth = 0 then
+    match Splitmix.int rng 4 with
+    | 0 -> Cst (Splitmix.int rng 7)
+    | 1 -> Var_i
+    | 2 -> Var_j
+    | _ -> Read_a (Splitmix.int rng 8)
+  else
+    match Splitmix.int rng 4 with
+    | 0 -> Cst (Splitmix.int rng 7)
+    | 1 -> Add (gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 2 -> Mul (gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | _ -> Read_a (Splitmix.int rng 8)
+
+(* [j] is only in scope inside nested loops; rewrite it away elsewhere *)
+let rec scrub_j = function
+  | Var_j -> Var_i
+  | Add (a, b) -> Add (scrub_j a, scrub_j b)
+  | Mul (a, b) -> Mul (scrub_j a, scrub_j b)
+  | e -> e
+
+(* A plain store racing across iterations must store an i-independent
+   value, so every schedule writes the same bytes (see test_fuzz.ml's
+   historical [deracify]); the value is scrubbed at construction. *)
+let rec scrub_i = function
+  | Var_i -> Cst 3
+  | Add (a, b) -> Add (scrub_i a, scrub_i b)
+  | Mul (a, b) -> Mul (scrub_i a, scrub_i b)
+  | e -> e
+
+let gen_stmt rng =
+  let e depth = gen_expr rng depth in
+  (* weights follow the fuzz grammar; the new forms ride at low weight so
+     most programs stay in the deterministic common case *)
+  match Splitmix.int rng 14 with
+  | 0 | 1 -> Store_a (Splitmix.int rng 8, scrub_i (scrub_j (e 2)))
+  | 2 | 3 -> Store_ai (e 2)
+  | 4 | 5 | 6 -> Atomic_b (e 3)
+  | 7 | 8 -> Local (e 2)
+  | 9 | 10 -> Nested (e 2)
+  | 11 | 12 ->
+    Local_arr (List.nth arr_lens (Splitmix.int rng (List.length arr_lens)), e 2)
+  | _ -> Escape (e 2)
+
+let generate rng =
+  let outer = 4 + Splitmix.int rng 8 in
+  let n = 1 + Splitmix.int rng 4 in
+  let stmts = List.init n (fun _ -> gen_stmt rng) in
+  let p = { outer; stmts } in
+  (* an Escape's barriers divide threads evenly only when every thread
+     runs the same iteration count: one team, trip count = thread limit *)
+  if has_escape p then { p with outer = 4 } else p
+
+let program_stream ~root i =
+  Splitmix.split (Splitmix.create root) (Printf.sprintf "prog#%d" i)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_expr = function
+  | Cst c -> string_of_int c
+  | Var_i -> "i"
+  | Var_j -> "j"
+  | Read_a k -> Printf.sprintf "A[%d]" k
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (pp_expr a) (pp_expr b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (pp_expr a) (pp_expr b)
+
+(* Escape only keeps its cross-thread shape in SPMD mode: its barriers
+   assume every team thread executes every iteration's statement list,
+   which generic mode (team masters iterating) does not guarantee. *)
+let pp_stmt ~mode buf idx stmt =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  match stmt with
+  | Store_a (k, e) -> line "    A[%d] = %s;" k (pp_expr (scrub_j e))
+  | Store_ai e -> line "    A[(i + 7) %% 8] = %s;" (pp_expr (scrub_j e))
+  | Atomic_b e ->
+    line "    #pragma omp atomic";
+    line "    B[0] += %s;" (pp_expr (scrub_j e))
+  | Local e ->
+    line "    long v%d = %s;" idx (pp_expr (scrub_j e));
+    line "    bump(&v%d);" idx;
+    line "    #pragma omp atomic";
+    line "    B[1] += v%d;" idx
+  | Nested e ->
+    line "    #pragma omp parallel for";
+    line "    for (int j = 0; j < 4; j++) {";
+    line "      #pragma omp atomic";
+    line "      B[2] += %s;" (pp_expr e);
+    line "    }"
+  | Local_arr (len, e) ->
+    line "    long w%d[%d];" idx len;
+    line "    w%d[0] = %s;" idx (pp_expr (scrub_j e));
+    line "    w%d[%d] = w%d[0] + 3;" idx (len - 1) idx;
+    line "    #pragma omp atomic";
+    line "    B[3] += w%d[0] + w%d[%d];" idx idx (len - 1)
+  | Escape e -> (
+    match mode with
+    | Spmd ->
+      line "    long v%d = %s;" idx (pp_expr (scrub_j e));
+      line "    if (i == 0) { P = &v%d; }" idx;
+      line "    #pragma omp barrier";
+      line "    #pragma omp atomic";
+      line "    B[4] += P[0];";
+      line "    #pragma omp barrier"
+    | Generic ->
+      line "    long v%d = %s;" idx (pp_expr (scrub_j e));
+      line "    bump(&v%d);" idx;
+      line "    #pragma omp atomic";
+      line "    B[4] += v%d;" idx)
+
+let render ~mode (p : prog) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let teams = if has_escape p then 1 else 2 in
+  line "long A[8];";
+  line "long B[6];";
+  if has_escape p then line "long* P;";
+  line "static void bump(long* p) { p[0] = p[0] + 1; }";
+  line "int main() {";
+  line "  for (int k = 0; k < 8; k++) { A[k] = k; }";
+  (match mode with
+  | Generic ->
+    line "  #pragma omp target teams distribute num_teams(%d) thread_limit(4)" teams
+  | Spmd ->
+    line
+      "  #pragma omp target teams distribute parallel for num_teams(%d) \
+       thread_limit(4)"
+      teams);
+  line "  for (int i = 0; i < %d; i++) {" p.outer;
+  List.iteri (fun idx s -> pp_stmt ~mode buf idx s) p.stmts;
+  line "  }";
+  line "  for (int k = 0; k < 8; k++) { trace(A[k]); }";
+  line "  for (int k = 0; k < 6; k++) { trace(B[k]); }";
+  line "  return 0;";
+  line "}";
+  Buffer.contents buf
+
+let pp ppf p =
+  Format.fprintf ppf "--- generic ---@.%s--- spmd ---@.%s" (render ~mode:Generic p)
+    (render ~mode:Spmd p)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy candidates, as in the historical fuzz shrinker: drop a
+   statement, reset the trip count, demote the exotic statement forms,
+   then constant-fold sub-expressions. *)
+let shrink (p : prog) yield =
+  let rec drops pre = function
+    | [] -> ()
+    | s :: rest ->
+      yield { p with stmts = List.rev_append pre rest };
+      drops (s :: pre) rest
+  in
+  if List.length p.stmts > 1 then drops [] p.stmts;
+  if p.outer > 4 then yield { p with outer = 4 };
+  let rec stmts pre = function
+    | [] -> ()
+    | s :: rest ->
+      let keep s' = yield { p with stmts = List.rev_append pre (s' :: rest) } in
+      let try_expr e rebuild =
+        match e with Cst _ -> () | _ -> keep (rebuild (Cst 1))
+      in
+      (match s with
+      | Store_a (k, e) -> try_expr e (fun e -> Store_a (k, e))
+      | Store_ai e -> try_expr e (fun e -> Store_ai e)
+      | Atomic_b e -> try_expr e (fun e -> Atomic_b e)
+      | Local e ->
+        keep (Atomic_b e);
+        try_expr e (fun e -> Local e)
+      | Nested e ->
+        keep (Atomic_b e);
+        try_expr e (fun e -> Nested e)
+      | Local_arr (len, e) ->
+        keep (Atomic_b e);
+        if len > 2 then keep (Local_arr (2, e));
+        try_expr e (fun e -> Local_arr (len, e))
+      | Escape e ->
+        keep (Atomic_b e);
+        try_expr e (fun e -> Escape e));
+      stmts (s :: pre) rest
+  in
+  stmts [] p.stmts

@@ -1,0 +1,90 @@
+(** Seeded grammar-based MiniOMP program generator.
+
+    Promoted and generalized from the private grammar [test/test_fuzz.ml]
+    carried: small integer kernels over two global arrays ([A] for
+    values, [B] for atomic accumulators) whose observable behavior — the
+    host-traced final contents of both arrays — is deterministic by
+    construction under every correct build, so any cross-configuration
+    trace difference is a compiler bug (or a documented unsoundness, see
+    {!Matrix}).  Extensions over the fuzz grammar:
+
+    - {b shared-budget-stressing local arrays} ([Local_arr]): globalized
+      local arrays whose footprint ranges from a few words to well past
+      the per-team shared budget, exercising the graceful heap-fallback
+      path of the simplified globalization scheme;
+    - {b cross-thread escapes} ([Escape]): the paper's Figure 3 shape —
+      thread 0 publishes the address of a local, every thread reads
+      through it after a barrier.  Sound under the simplified scheme;
+      the legacy SPMD fast path and raw CUDA semantics read their own
+      private copy instead (the ledger's known-divergence classes);
+    - {b execution mode as an external dimension}: one program renders
+      both as a generic-mode kernel ([target teams distribute]) and as an
+      SPMD-eligible one ([... parallel for]), so the differential matrix
+      covers both lowering shapes from a single seed.
+
+    Determinism rules encoded by construction: plain stores to [A] only
+    store iteration-independent values (racy slot writes are idempotent),
+    accumulations go through atomics, [Escape] forces a one-team kernel
+    whose trip count equals the thread limit so its barriers cannot
+    diverge, and programs with barriers keep them out of generic mode. *)
+
+type expr =
+  | Cst of int
+  | Var_i  (** outer loop induction variable *)
+  | Var_j  (** inner (nested-parallel) induction variable *)
+  | Read_a of int
+  | Add of expr * expr
+  | Mul of expr * expr
+
+type stmt =
+  | Store_a of int * expr  (** [A[k] = e]; [e] is i-independent *)
+  | Store_ai of expr  (** [A[(i + 7) %% 8] = e] *)
+  | Atomic_b of expr  (** [atomic B[0] += e] *)
+  | Local of expr  (** address-taken scalar local, same-thread use *)
+  | Nested of expr  (** inner [parallel for] accumulating into [B[2]] *)
+  | Local_arr of int * expr
+      (** [long arr[len]] (globalized); accumulates into [B[3]] *)
+  | Escape of expr
+      (** Figure-3 cross-thread escape via global [P]; accumulates into
+          [B[4]].  Renders as a same-thread [Local] in generic mode. *)
+
+type prog = { outer : int;  (** outer trip count *) stmts : stmt list }
+
+(** The execution-mode dimension of the differential matrix. *)
+type mode = Generic | Spmd
+
+val modes : mode list
+(** [[Generic; Spmd]], the matrix order. *)
+
+val mode_name : mode -> string
+
+val arr_lens : int list
+(** The [Local_arr] shapes the generator draws from (words). *)
+
+val has_escape : prog -> bool
+val has_local_arr : prog -> bool
+
+val has_nested : prog -> bool
+(** The program contains an inner [parallel for] — raw CUDA semantics
+    cannot serialize nested OpenMP worksharing (see {!Matrix.classify}'s
+    ["cuda-nested-worksharing"] class). *)
+
+val generate : Splitmix.t -> prog
+(** Draw one program.  Equal streams draw equal programs. *)
+
+val program_stream : root:int64 -> int -> Splitmix.t
+(** The stream program [i] of a corpus rooted at [root] is drawn from:
+    [Splitmix.split (create root) "prog#i"].  Stable — ledgers and
+    reproduction instructions name programs by [(root, i)]. *)
+
+val render : mode:mode -> prog -> string
+(** MiniOMP source of the program in the given execution mode. *)
+
+val shrink : prog -> (prog -> unit) -> unit
+(** Greedy shrink candidates, most aggressive first: drop a statement,
+    reset the trip count, demote an [Escape]/[Local_arr] to a plain
+    atomic, shrink an array shape, replace a sub-expression by a
+    constant.  Callers keep a candidate only if it still fails. *)
+
+val pp : Format.formatter -> prog -> unit
+(** Both renderings, labeled — what failure reports print. *)

@@ -1,0 +1,91 @@
+(* Ledger rendering and diffing.  Everything here must be deterministic:
+   the ledger is a committed golden file, so iteration order is pinned
+   (corpus order for divergences, name order for classes) and no
+   wall-clock or host fact may appear. *)
+
+type totals = { cells : int; pass : int; known : int; fail : int }
+
+let totals results =
+  List.fold_left
+    (fun acc (r : Matrix.program_result) ->
+      List.fold_left
+        (fun acc (cr : Matrix.cell_result) ->
+          match cr.Matrix.verdict with
+          | Matrix.Pass -> { acc with cells = acc.cells + 1; pass = acc.pass + 1 }
+          | Matrix.Known _ -> { acc with cells = acc.cells + 1; known = acc.known + 1 }
+          | Matrix.Fail _ -> { acc with cells = acc.cells + 1; fail = acc.fail + 1 })
+        acc r.Matrix.cells)
+    { cells = 0; pass = 0; known = 0; fail = 0 }
+    results
+
+let class_counts results =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Matrix.program_result) ->
+      List.iter
+        (fun (cr : Matrix.cell_result) ->
+          match cr.Matrix.verdict with
+          | Matrix.Known { cls; _ } ->
+            Hashtbl.replace tbl cls (1 + Option.value ~default:0 (Hashtbl.find_opt tbl cls))
+          | _ -> ())
+        r.Matrix.cells)
+    results;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render ~root results =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let t = totals results in
+  line "# ompgpu conformance ledger (docs/CONFORMANCE.md)";
+  line "# regenerate: dune exec tools/conformance.exe -- --seed %Ld --n %d --ledger -"
+    root (List.length results);
+  line "schema %d" Observe.Json.schema_version;
+  line "seed %Ld" root;
+  line "programs %d" (List.length results);
+  line "matrix schemes=%s modes=%s pipelines=%s"
+    (String.concat "," (List.map Frontend.Codegen.scheme_name Matrix.schemes))
+    (String.concat "," (List.map Gen.mode_name Gen.modes))
+    (String.concat "," (List.map Matrix.pipeline_name Matrix.pipelines));
+  line "cells %d pass %d known %d fail %d" t.cells t.pass t.known t.fail;
+  List.iter (fun (cls, n) -> line "class %s %d" cls n) (class_counts results);
+  List.iter
+    (fun (r : Matrix.program_result) ->
+      List.iter
+        (fun (cr : Matrix.cell_result) ->
+          match cr.Matrix.verdict with
+          | Matrix.Pass -> ()
+          | Matrix.Known { cls; obs; ref_ } ->
+            line "divergence prog=%d cell=%s class=%s obs=%s ref=%s" r.Matrix.index
+              (Matrix.cell_name cr.Matrix.cell) cls obs ref_
+          | Matrix.Fail { obs; ref_; _ } ->
+            line "FAIL prog=%d cell=%s obs=%s ref=%s" r.Matrix.index
+              (Matrix.cell_name cr.Matrix.cell) obs ref_)
+        r.Matrix.cells)
+    results;
+  Buffer.contents buf
+
+(* Comment lines are presentation, not contract: regeneration hints may
+   change without invalidating a committed ledger. *)
+let significant_lines s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         String.length l > 0 && l.[0] <> '#')
+
+let diff ~expected ~actual =
+  let e = significant_lines expected and a = significant_lines actual in
+  let rec walk i = function
+    | [], [] -> Ok ()
+    | el :: erest, al :: arest ->
+      if String.equal el al then walk (i + 1) (erest, arest)
+      else
+        Error
+          (Printf.sprintf "ledger line %d differs\n  expected: %s\n  actual:   %s" i
+             el al)
+    | el :: _, [] ->
+      Error (Printf.sprintf "ledger truncated at line %d\n  expected: %s" i el)
+    | [], al :: _ ->
+      Error (Printf.sprintf "ledger has extra line %d\n  actual:   %s" i al)
+  in
+  walk 1 (e, a)

@@ -1,0 +1,23 @@
+(** The committed conformance ledger.
+
+    A ledger is the deterministic text rendering of one corpus run: the
+    corpus identity (schema, seed, size, matrix dimensions), the verdict
+    totals, the per-class known-divergence counts, and one line per
+    divergent cell with its observation checksums.  It is committed as
+    [test/corpus_ledger.expected] and diffed like a golden file, so any
+    behavioral drift — a new divergence, a vanished one, a changed
+    observation — is a visible one-line diff in the PR that caused it. *)
+
+type totals = { cells : int; pass : int; known : int; fail : int }
+
+val totals : Matrix.program_result list -> totals
+
+val class_counts : Matrix.program_result list -> (string * int) list
+(** Known-divergence cell counts, sorted by class name. *)
+
+val render : root:int64 -> Matrix.program_result list -> string
+(** The full ledger text.  Line-oriented; ends with a newline. *)
+
+val diff : expected:string -> actual:string -> (unit, string) result
+(** Structural comparison of two ledger texts (comment lines excluded);
+    [Error] carries a human-readable first-difference report. *)

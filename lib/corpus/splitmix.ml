@@ -1,0 +1,43 @@
+(* SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014).  The whole algorithm is three constants and
+   two mixing rounds, which is the point: it is trivially portable, so a
+   corpus seed reproduces the same program stream on every OCaml version. *)
+
+type t = { mutable state : int64; seed : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed; seed }
+let of_int n = create (Int64.of_int n)
+let copy t = { state = t.state; seed = t.seed }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* 62-bit draw (the widest that fits OCaml's int non-negatively) mod
+     bound: the modulo bias at corpus bounds (< 2^8) is below 2^-54, far
+     under anything a generator property could observe *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(* Digest the parent's *seed* (not its position) with the label, so the
+   stream a label names does not depend on how many draws preceded the
+   split.  MD5 is fine: we need stable bits, not cryptography. *)
+let split t label =
+  let d = Digest.string (Printf.sprintf "%Lx/%s" t.seed label) in
+  let byte i = Int64.of_int (Char.code d.[i]) in
+  let seed = ref 0L in
+  for i = 0 to 7 do
+    seed := Int64.logor (Int64.shift_left !seed 8) (byte i)
+  done;
+  create !seed

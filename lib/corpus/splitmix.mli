@@ -1,0 +1,35 @@
+(** A self-contained SplitMix64 PRNG.
+
+    The corpus must regenerate bit-identical programs from a seed on any
+    OCaml version and platform — [Stdlib.Random]'s stream is neither
+    stable across compiler releases nor specified, so the generator and
+    the fuzz tests draw from this instead.  The algorithm is the public
+    SplitMix64 mixer (Steele, Lea & Flood, OOPSLA 2014): a 64-bit Weyl
+    sequence put through two xor-shift-multiply rounds.  All state is
+    explicit; streams never share state unless explicitly {!split}. *)
+
+type t
+
+val create : int64 -> t
+(** A fresh stream; equal seeds give equal streams forever. *)
+
+val of_int : int -> t
+(** [create] over [Int64.of_int]. *)
+
+val copy : t -> t
+(** An independent stream positioned at the same point. *)
+
+val next : t -> int64
+(** The next raw 64-bit draw; advances the state. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1].  [bound] must be
+    positive. *)
+
+val bool : t -> bool
+
+val split : t -> string -> t
+(** A derived, statistically independent stream named by [label]: the
+    child's seed digests the parent's seed and the label (not the
+    parent's position), so derivation is order-insensitive — the corpus
+    derives program [i]'s stream from the root seed and ["prog#i"]. *)

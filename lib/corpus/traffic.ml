@@ -1,0 +1,142 @@
+(* Corpus-over-daemon traffic generation (see the .mli).  The server runs
+   in-process exactly as bench's service benchmark boots it; clients are
+   plain threads sharing a work queue, so [connections] concurrent
+   sessions stress the accept loop, admission control and the shared
+   caches the way a compile fleet would. *)
+
+module Api = Ompgpu_api
+
+type stats = {
+  programs : int;
+  jobs : int;
+  connections : int;
+  domains : int;
+  cold_s : float;
+  warm_s : float;
+  cold_cps : float;
+  warm_cps : float;
+  byte_identical : bool;
+  transport_errors : int;
+}
+
+type job = { file : string; config : Api.Config.t; src : string }
+
+let jobs_of_corpus ~root ~n =
+  List.concat
+    (List.init n (fun i ->
+         let prog = Gen.generate (Gen.program_stream ~root i) in
+         List.map
+           (fun cell ->
+             {
+               file = Printf.sprintf "corpus-%d-%s.c" i (Matrix.cell_name cell);
+               config = Matrix.config_of_cell cell;
+               src = Gen.render ~mode:cell.Matrix.mode prog;
+             })
+           Matrix.cells))
+
+let identical (a : Api.compiled) (b : Api.compiled) =
+  a.Api.exit_code = b.Api.exit_code
+  && String.equal a.Api.output b.Api.output
+  && String.equal a.Api.diagnostics b.Api.diagnostics
+
+(* One timed pass: [connections] threads, each with its own resilient
+   session, draining a shared queue.  Results land in a per-job slot so
+   no two threads write the same cell. *)
+let timed_pass ~socket_path ~connections (jobs : job array) =
+  let results = Array.make (Array.length jobs) None in
+  let next = ref 0 in
+  let lock = Mutex.create () in
+  let take () =
+    Mutex.lock lock;
+    let i = !next in
+    if i < Array.length jobs then incr next;
+    Mutex.unlock lock;
+    if i < Array.length jobs then Some i else None
+  in
+  let worker () =
+    let session = Service.Client.session ~socket_path () in
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        let j = jobs.(i) in
+        results.(i) <-
+          Some (Service.Client.session_compile session ~file:j.file ~config:j.config j.src);
+        loop ()
+    in
+    loop ();
+    Service.Client.session_close session
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init connections (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  (results, Unix.gettimeofday () -. t0)
+
+let run ?(connections = 4) ?(domains = 2) ~root ~n () =
+  let jobs = Array.of_list (jobs_of_corpus ~root ~n) in
+  let expected =
+    Array.map (fun j -> Api.compile_buffered ~config:j.config ~file:j.file j.src) jobs
+  in
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mompd-corpus-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Service.Server.create
+      { Service.Server.default_config with socket_path; domains }
+  in
+  let server_thread = Thread.create Service.Server.serve_forever server in
+  let cold, cold_s = timed_pass ~socket_path ~connections jobs in
+  let warm, warm_s = timed_pass ~socket_path ~connections jobs in
+  let () =
+    Service.Client.with_connection ~socket_path (fun c ->
+        match Service.Client.shutdown c () with
+        | Ok () -> ()
+        | Error e ->
+          Fmt.epr "corpus traffic: shutdown: %s@." (Fault.Ompgpu_error.to_string e))
+  in
+  Thread.join server_thread;
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let errors = ref 0 in
+  let matches = ref true in
+  let check results =
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some (Ok compiled) ->
+          if not (identical compiled expected.(i)) then matches := false
+        | Some (Error _) | None -> incr errors)
+      results
+  in
+  check cold;
+  check warm;
+  let total = Array.length jobs in
+  let cps s = if s > 0.0 then float_of_int total /. s else 0.0 in
+  {
+    programs = n;
+    jobs = total;
+    connections;
+    domains;
+    cold_s;
+    warm_s;
+    cold_cps = cps cold_s;
+    warm_cps = cps warm_s;
+    byte_identical = !matches && !errors = 0;
+    transport_errors = !errors;
+  }
+
+let to_json s =
+  Observe.Json.with_schema
+    (Observe.Json.Obj
+       [
+         ("programs", Observe.Json.Int s.programs);
+         ("jobs", Observe.Json.Int s.jobs);
+         ("connections", Observe.Json.Int s.connections);
+         ("domains", Observe.Json.Int s.domains);
+         ("cold_s", Observe.Json.Float s.cold_s);
+         ("warm_s", Observe.Json.Float s.warm_s);
+         ("cold_compiles_per_s", Observe.Json.Float s.cold_cps);
+         ("warm_compiles_per_s", Observe.Json.Float s.warm_cps);
+         ("byte_identical", Observe.Json.Bool s.byte_identical);
+         ("transport_errors", Observe.Json.Int s.transport_errors);
+       ])

@@ -1,0 +1,34 @@
+(** The corpus as a serving workload.
+
+    Drives every matrix cell of a corpus through a live [mompd] server —
+    booted in-process on a private Unix socket — over [connections]
+    resilient client sessions ({!Service.Client.session}), twice: a cold
+    pass against empty caches and a warm pass against the daemon's
+    in-memory result cache.  Throughput (compiles/sec) is the
+    first-class metric (DiOMP treats distributed offload compilation as
+    a serving problem); byte-identity of every daemon answer against
+    in-process {!Ompgpu_api.compile_buffered} is the correctness bar. *)
+
+type stats = {
+  programs : int;
+  jobs : int;  (** programs x matrix cells *)
+  connections : int;
+  domains : int;  (** server pool domains *)
+  cold_s : float;
+  warm_s : float;
+  cold_cps : float;  (** compiles/sec, cold caches *)
+  warm_cps : float;  (** compiles/sec, warm in-memory cache *)
+  byte_identical : bool;
+      (** every cold and warm daemon answer matched the in-process bytes *)
+  transport_errors : int;
+      (** sessions that exhausted their retry budget (0 on a healthy run) *)
+}
+
+val run :
+  ?connections:int -> ?domains:int -> root:int64 -> n:int -> unit -> stats
+(** Defaults: 4 connections, 2 server domains.  Blocks until the server
+    has drained and stopped; never raises on daemon-side failures (they
+    surface as [transport_errors] / [byte_identical = false]). *)
+
+val to_json : stats -> Observe.Json.t
+(** The schema-stamped ["corpus"] section of [BENCH_observe.json]. *)

@@ -344,7 +344,7 @@ let handle_compile t ~id ~file ~config source =
              retry with backoff"
             pending t.cfg.capacity))
   | Ok () ->
-    let key = Ompgpu_api.cache_key ~config ~source in
+    let key = Ompgpu_api.cache_key ~file ~config ~source in
     let seq =
       Option.map
         (fun j ->

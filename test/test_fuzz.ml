@@ -1,179 +1,42 @@
-(* Differential fuzzing: generate random small MiniOMP kernels and check
-   that every globalization scheme and every optimization configuration
-   observes the same trace.  Integer accumulators keep results exact, so
-   scheduling differences cannot hide behind floating-point rounding. *)
+(* Differential fuzzing: random small MiniOMP kernels must observe the
+   same trace under every globalization scheme and optimization
+   configuration.  Integer accumulators keep results exact, so scheduling
+   differences cannot hide behind floating-point rounding.
 
-(* ------------------------------------------------------------------ *)
-(* Program generator                                                   *)
-(* ------------------------------------------------------------------ *)
+   The program grammar lives in [Corpus.Gen] — the same seeded generator
+   the mass-conformance corpus (tools/conformance.exe) runs at scale —
+   so a fuzz counterexample is reproducible from a corpus seed and vice
+   versa.  QCheck supplies the seed and the shrinking loop; the shrink
+   candidates themselves come from [Corpus.Gen.shrink].
 
-type expr = Cst of int | Var_i | Var_j | Read_a of int | Add of expr * expr | Mul of expr * expr
+   Divergences the conformance ledger documents as *known* classes
+   (docs/CONFORMANCE.md) — e.g. the legacy SPMD fast path reading
+   thread-private storage through a Figure-3 escape — are skipped here
+   via [Corpus.Matrix.classify], exactly as the matrix runner accounts
+   them. *)
 
-type stmt =
-  | Store_a of int * expr  (* A[k] = e (k is a fixed slot, i-independent) *)
-  | Store_ai of expr  (* A[i % N] = e *)
-  | Atomic_b of expr  (* atomic B[0] += e *)
-  | Local of expr  (* long v = e; atomic B[1] += v (address taken via helper) *)
-  | Nested of expr  (* inner parallel for with an atomic accumulation *)
+type tcase = { prog : Corpus.Gen.prog; mode : Corpus.Gen.mode }
 
-type prog = { outer : int; stmts : stmt list; generic : bool }
+let render c = Corpus.Gen.render ~mode:c.mode c.prog
 
-let rec pp_expr = function
-  | Cst c -> string_of_int c
-  | Var_i -> "i"
-  | Var_j -> "j"
-  | Read_a k -> Printf.sprintf "A[%d]" k
-  | Add (a, b) -> Printf.sprintf "(%s + %s)" (pp_expr a) (pp_expr b)
-  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (pp_expr a) (pp_expr b)
-
-(* [j] is only in scope inside nested loops; rewrite it away elsewhere *)
-let rec scrub_j = function
-  | Var_j -> Var_i
-  | Add (a, b) -> Add (scrub_j a, scrub_j b)
-  | Mul (a, b) -> Mul (scrub_j a, scrub_j b)
-  | e -> e
-
-let pp_stmt buf idx stmt =
-  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  match stmt with
-  | Store_a (k, e) -> line "    A[%d] = %s;" k (pp_expr (scrub_j e))
-  | Store_ai e -> line "    A[(i + 7) %% 8] = %s;" (pp_expr (scrub_j e))
-  | Atomic_b e ->
-    line "    #pragma omp atomic";
-    line "    B[0] += %s;" (pp_expr (scrub_j e))
-  | Local e ->
-    line "    long v%d = %s;" idx (pp_expr (scrub_j e));
-    line "    bump(&v%d);" idx;
-    line "    #pragma omp atomic";
-    line "    B[1] += v%d;" idx
-  | Nested e ->
-    line "    #pragma omp parallel for";
-    line "    for (int j = 0; j < 4; j++) {";
-    line "      #pragma omp atomic";
-    line "      B[2] += %s;" (pp_expr e);
-    line "    }"
-
-let render (p : prog) =
-  let buf = Buffer.create 1024 in
-  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "long A[8];";
-  line "long B[4];";
-  line "static void bump(long* p) { p[0] = p[0] + 1; }";
-  line "int main() {";
-  line "  for (int k = 0; k < 8; k++) { A[k] = k; }";
-  if p.generic then begin
-    line "  #pragma omp target teams distribute num_teams(2) thread_limit(4)";
-    line "  for (int i = 0; i < %d; i++) {" p.outer
-  end
-  else begin
-    line
-      "  #pragma omp target teams distribute parallel for num_teams(2) thread_limit(4)";
-    line "  for (int i = 0; i < %d; i++) {" p.outer
-  end;
-  List.iteri (fun idx s -> pp_stmt buf idx s) p.stmts;
-  line "  }";
-  line "  for (int k = 0; k < 8; k++) { trace(A[k]); }";
-  line "  for (int k = 0; k < 4; k++) { trace(B[k]); }";
-  line "  return 0;";
-  line "}";
-  Buffer.contents buf
-
-(* generators *)
-let gen_expr =
+let gen_case =
   QCheck.Gen.(
-    sized_size (int_bound 3) (fix (fun self n ->
-        if n = 0 then
-          oneof
-            [ map (fun c -> Cst (c mod 7)) (int_bound 20); return Var_i; return Var_j;
-              map (fun k -> Read_a (k mod 8)) (int_bound 7) ]
-        else
-          oneof
-            [
-              map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2));
-              map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2));
-            ])))
+    map2
+      (fun seed spmd ->
+        {
+          prog = Corpus.Gen.generate (Corpus.Splitmix.of_int seed);
+          mode = (if spmd then Corpus.Gen.Spmd else Corpus.Gen.Generic);
+        })
+      (int_bound 0x3FFFFFFF) bool)
 
-let gen_stmt =
-  QCheck.Gen.(
-    frequency
-      [
-        (2, map2 (fun k e -> Store_a (k mod 8, e)) (int_bound 7) gen_expr);
-        (2, map (fun e -> Store_ai e) gen_expr);
-        (3, map (fun e -> Atomic_b e) gen_expr);
-        (2, map (fun e -> Local e) gen_expr);
-        (2, map (fun e -> Nested e) gen_expr);
-      ])
+let shrink_case c yield =
+  Corpus.Gen.shrink c.prog (fun prog -> yield { c with prog })
 
-let gen_prog =
-  QCheck.Gen.(
-    map3
-      (fun outer stmts generic -> { outer = 4 + (outer mod 8); stmts; generic })
-      (int_bound 7)
-      (list_size (int_range 1 4) gen_stmt)
-      bool)
-
-(* Greedy shrinker: counterexamples come out as the smallest failing kernel.
-   QCheck keeps a candidate only if the property still fails on it, so each
-   yield below is a *candidate* simplification, tried in order:
-   drop a statement, shrink the trip count, replace a sub-expression by a
-   constant. *)
-let shrink_prog (p : prog) yield =
-  let rec drops pre = function
-    | [] -> ()
-    | s :: rest ->
-      yield { p with stmts = List.rev_append pre rest };
-      drops (s :: pre) rest
-  in
-  if List.length p.stmts > 1 then drops [] p.stmts;
-  if p.outer > 4 then yield { p with outer = 4 };
-  let rec stmts pre = function
-    | [] -> ()
-    | s :: rest ->
-      let try_expr e rebuild =
-        match e with
-        | Cst _ -> ()
-        | _ -> yield { p with stmts = List.rev_append pre (rebuild (Cst 1) :: rest) }
-      in
-      (match s with
-      | Store_a (k, e) -> try_expr e (fun e -> Store_a (k, e))
-      | Store_ai e -> try_expr e (fun e -> Store_ai e)
-      | Atomic_b e -> try_expr e (fun e -> Atomic_b e)
-      | Local e -> try_expr e (fun e -> Local e)
-      | Nested e -> try_expr e (fun e -> Nested e));
-      stmts (s :: pre) rest
-  in
-  stmts [] p.stmts
-
-let arb_prog =
-  QCheck.make gen_prog ~print:(fun p -> render p) ~shrink:shrink_prog
+let arb_case = QCheck.make gen_case ~print:render ~shrink:shrink_case
 
 (* ------------------------------------------------------------------ *)
 (* The differential property                                           *)
 (* ------------------------------------------------------------------ *)
-
-(* Caveat: a [Store_a] with an i-dependent value in a kernel loop is a data
-   race between iterations run by different threads — different schedules
-   may legitimately observe different winners.  We make racy stores
-   deterministic by only generating stores whose value is rendered
-   i-independent below, or by accepting the race between the *same* config
-   (run-to-run determinism is separately asserted).  To keep the property
-   crisp we post-process: Store_a values are scrubbed of i. *)
-let rec scrub_i = function
-  | Var_i -> Cst 3
-  | Add (a, b) -> Add (scrub_i a, scrub_i b)
-  | Mul (a, b) -> Mul (scrub_i a, scrub_i b)
-  | e -> e
-
-let deracify p =
-  {
-    p with
-    stmts =
-      List.map
-        (function
-          | Store_a (k, e) -> Store_a (k, scrub_i (scrub_j e))
-          | s -> s)
-        p.stmts;
-  }
 
 let configurations =
   let open Openmpopt.Pass_manager in
@@ -188,33 +51,42 @@ let configurations =
     Some { default_options with disable_guard_grouping = true };
   ]
 
-let prop_differential p =
-  let p = deracify p in
-  let src = render p in
+(* a scheme whose divergence in this cell the ledger documents as a known
+   unsoundness of the modeled era is exempt from the property *)
+let known_divergence scheme c =
+  Corpus.Matrix.classify
+    { Corpus.Matrix.scheme; mode = c.mode; pipeline = Corpus.Matrix.O0 }
+    c.prog
+  <> None
+
+let prop_differential c =
+  let src = render c in
   let reference = Helpers.run_trace src in
   List.for_all
     (fun scheme ->
-      List.for_all
-        (fun options ->
-          let got =
-            match options with
-            | None -> Helpers.run_trace ~scheme src
-            | Some options -> Helpers.run_trace ~scheme ~options src
-          in
-          if got <> reference then
-            QCheck.Test.fail_reportf
-              "trace mismatch (scheme %s, %s):@.got      %s@.expected %s@.program:@.%s"
-              (Frontend.Codegen.scheme_name scheme)
-              (match options with None -> "no-opt" | Some _ -> "optimized")
-              (String.concat " " got) (String.concat " " reference) src
-          else true)
-        configurations)
+      known_divergence scheme c
+      || List.for_all
+           (fun options ->
+             let got =
+               match options with
+               | None -> Helpers.run_trace ~scheme src
+               | Some options -> Helpers.run_trace ~scheme ~options src
+             in
+             if got <> reference then
+               QCheck.Test.fail_reportf
+                 "trace mismatch (scheme %s, mode %s, %s):@.got      %s@.expected \
+                  %s@.program:@.%s"
+                 (Frontend.Codegen.scheme_name scheme)
+                 (Corpus.Gen.mode_name c.mode)
+                 (match options with None -> "no-opt" | Some _ -> "optimized")
+                 (String.concat " " got) (String.concat " " reference) src
+             else true)
+           configurations)
     [ Frontend.Codegen.Simplified; Frontend.Codegen.Legacy ]
 
 (* running the pipeline on an already-optimized module finds nothing new *)
-let prop_idempotent p =
-  let p = deracify p in
-  let src = render p in
+let prop_idempotent c =
+  let src = render c in
   let m = Helpers.compile src in
   ignore (Openmpopt.Pass_manager.run m);
   let second = Openmpopt.Pass_manager.run m in
@@ -243,8 +115,8 @@ let prop_idempotent p =
    either compile it or fail with a *located* structured error — a raw
    [Failure]/[Invalid_argument]/assert escaping the lexer, parser or codegen
    classifies as [Internal] and fails the property. *)
-let mangle (p, n, mutate) =
-  let src = render (deracify p) in
+let mangle (c, n, mutate) =
+  let src = render c in
   let len = String.length src in
   if mutate then begin
     let b = Bytes.of_string src in
@@ -255,7 +127,7 @@ let mangle (p, n, mutate) =
 
 let arb_mangled =
   QCheck.make
-    QCheck.Gen.(triple gen_prog (int_bound 4096) bool)
+    QCheck.Gen.(triple gen_case (int_bound 4096) bool)
     ~print:(fun arg -> mangle arg)
 
 let prop_malformed_is_structured arg =
@@ -291,17 +163,17 @@ let prop_malformed_is_structured arg =
    the `dune exec ... -- test fuzz` invocation `make ci` uses; a gate whose
    failing fuzz run exits 0 is not a gate. *)
 let forced_fail =
-  Helpers.qtest ~count:5 "forced failure (FUZZ_FORCE_FAIL canary)" arb_prog
-    (fun p ->
-      ignore (render (deracify p));
+  Helpers.qtest ~count:5 "forced failure (FUZZ_FORCE_FAIL canary)" arb_case
+    (fun c ->
+      ignore (render c);
       QCheck.Test.fail_reportf "FUZZ_FORCE_FAIL canary: intentional failure")
 
 let suite =
   let base =
     [
-      Helpers.qtest ~count:40 "random kernels: all schemes and configs agree" arb_prog
+      Helpers.qtest ~count:40 "random kernels: all schemes and configs agree" arb_case
         prop_differential;
-      Helpers.qtest ~count:30 "optimizer pipeline is idempotent" arb_prog
+      Helpers.qtest ~count:30 "optimizer pipeline is idempotent" arb_case
         prop_idempotent;
       Helpers.qtest ~count:150 "malformed source yields located structured errors"
         arb_mangled prop_malformed_is_structured;

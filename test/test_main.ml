@@ -19,4 +19,5 @@ let () =
       ("service", Test_service.suite);
       ("resilience", Test_resilience.suite);
       ("fuzz", Test_fuzz.suite);
+      ("corpus", Test_corpus.suite);
     ]

@@ -38,6 +38,28 @@ let require_schema path j =
        current bench/main.exe"
       path
 
+(* The corpus throughput section (bench/main.exe, `make conformance`)
+   must be present and itself schema-stamped; its compiles/sec numbers
+   are wall-clock and never gated, but byte-identity of daemon answers
+   with in-process compilation is machine-independent and must hold. *)
+let require_corpus path j =
+  match Observe.Json.member "corpus" j with
+  | None ->
+    die
+      "%s: no \"corpus\" member (daemon throughput section); regenerate it \
+       with a current bench/main.exe or `make conformance`"
+      path
+  | Some c -> (
+    require_schema (path ^ ": corpus") c;
+    let to_bool = function Observe.Json.Bool b -> Some b | _ -> None in
+    match Option.bind (Observe.Json.member "byte_identical" c) to_bool with
+    | Some true -> ()
+    | Some false ->
+      die "%s: corpus section recorded byte_identical=false (daemon answers \
+           diverged from in-process compilation)"
+        path
+    | None -> die "%s: corpus section without \"byte_identical\"" path)
+
 let measurements j =
   match Option.bind (Observe.Json.member "measurements" j) Observe.Json.to_list with
   | Some ms -> ms
@@ -93,6 +115,8 @@ let () =
   let next_json = load new_path in
   require_schema baseline_path base_json;
   require_schema new_path next_json;
+  require_corpus baseline_path base_json;
+  require_corpus new_path next_json;
   let base = measurements base_json in
   let next = measurements next_json in
   let find_app app ms =

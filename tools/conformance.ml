@@ -1,0 +1,220 @@
+(* conformance: the mass-corpus differential driver (docs/CONFORMANCE.md).
+
+     conformance [--n N] [--seed S] [--ledger PATH|-] [--expected PATH]
+                 [--daemon] [--connections K] [--domains D] [--observe JSON]
+                 [--quiet]
+
+   Runs N seeded corpus programs through the full
+   {scheme} x {mode} x {pipeline} differential matrix in-process,
+   renders the ledger, and exits nonzero on any unexplained divergence —
+   after shrinking each one to a minimal reproducer.  [--expected] diffs
+   the ledger against a committed golden ([test/corpus_ledger.expected]);
+   [--daemon] additionally replays the whole corpus through a live
+   in-process mompd over K client sessions, reporting compiles/sec cold
+   and warm and requiring byte-identity with in-process compilation;
+   [--observe FILE] merges the resulting schema-stamped "corpus" section
+   into an existing BENCH_observe.json.
+
+   Exit codes: 0 conformant, 1 unexplained divergence or ledger drift or
+   daemon mismatch, 2 usage/environment error. *)
+
+let die fmt = Fmt.kstr (fun s -> prerr_endline ("conformance: " ^ s); exit 2) fmt
+
+let usage () =
+  prerr_endline
+    "usage: conformance [--n N] [--seed S] [--ledger PATH|-] [--expected PATH]\n\
+    \                   [--daemon] [--connections K] [--domains D]\n\
+    \                   [--observe JSON] [--quiet]";
+  exit 2
+
+type opts = {
+  mutable n : int;
+  mutable seed : int64;
+  mutable ledger : string option;
+  mutable expected : string option;
+  mutable daemon : bool;
+  mutable connections : int;
+  mutable domains : int;
+  mutable observe : string option;
+  mutable quiet : bool;
+  mutable only : int option;
+}
+
+let parse_args () =
+  let o =
+    {
+      n = 1000;
+      seed = 42L;
+      ledger = None;
+      expected = None;
+      daemon = false;
+      connections = 4;
+      domains = 2;
+      observe = None;
+      quiet = false;
+      only = None;
+    }
+  in
+  let pos_int name v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> n
+    | _ -> die "%s expects a positive integer (got %S)" name v
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--n" :: v :: rest ->
+      o.n <- pos_int "--n" v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      (match Int64.of_string_opt v with
+      | Some s -> o.seed <- s
+      | None -> die "--seed expects an integer (got %S)" v);
+      parse rest
+    | "--ledger" :: v :: rest ->
+      o.ledger <- Some v;
+      parse rest
+    | "--expected" :: v :: rest ->
+      o.expected <- Some v;
+      parse rest
+    | "--daemon" :: rest ->
+      o.daemon <- true;
+      parse rest
+    | "--connections" :: v :: rest ->
+      o.connections <- pos_int "--connections" v;
+      parse rest
+    | "--domains" :: v :: rest ->
+      o.domains <- pos_int "--domains" v;
+      parse rest
+    | "--observe" :: v :: rest ->
+      o.observe <- Some v;
+      parse rest
+    | "--quiet" :: rest ->
+      o.quiet <- true;
+      parse rest
+    | "--only" :: v :: rest ->
+      o.only <- Some (match int_of_string_opt v with
+        | Some n when n >= 0 -> n
+        | _ -> die "--only expects a non-negative program index (got %S)" v);
+      parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | a :: _ -> die "unknown argument %S (try --help)" a
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  o
+
+(* Merge the "corpus" member into an existing BENCH_observe.json without
+   disturbing anything else in it. *)
+let merge_observe path corpus_json =
+  let base =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> die "--observe: %s" msg
+    | s -> (
+      match Observe.Json.of_string s with
+      | Ok j -> j
+      | Error msg -> die "--observe: %s: %s" path msg)
+  in
+  let merged =
+    match base with
+    | Observe.Json.Obj members ->
+      Observe.Json.Obj
+        (List.filter (fun (k, _) -> not (String.equal k "corpus")) members
+        @ [ ("corpus", corpus_json) ])
+    | _ -> die "--observe: %s: top level is not an object" path
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Observe.Json.to_string merged);
+      Out_channel.output_char oc '\n')
+
+(* --only I: print one program of the corpus and its raw per-cell
+   observations — how a ledger line is turned back into a reproduction. *)
+let dump_program ~root index =
+  let prog = Corpus.Gen.generate (Corpus.Gen.program_stream ~root index) in
+  Fmt.pr "# corpus program %d of seed %Ld@.%a@." index root Corpus.Gen.pp prog;
+  List.iter
+    (fun cell ->
+      Fmt.pr "%-22s %s@." (Corpus.Matrix.cell_name cell)
+        (Corpus.Matrix.observe cell prog))
+    Corpus.Matrix.cells
+
+let () =
+  let o = parse_args () in
+  (match o.only with
+  | Some i ->
+    dump_program ~root:o.seed i;
+    exit 0
+  | None -> ());
+  let failed = ref false in
+  let progress = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let on_program (_ : Corpus.Matrix.program_result) =
+    incr progress;
+    if (not o.quiet) && !progress mod 100 = 0 then
+      Fmt.epr "conformance: %d/%d programs@." !progress o.n
+  in
+  let results = Corpus.Matrix.run ~on_program ~root:o.seed ~n:o.n () in
+  let matrix_s = Unix.gettimeofday () -. t0 in
+  let ledger_text = Corpus.Ledger.render ~root:o.seed results in
+  (match o.ledger with
+  | Some "-" -> print_string ledger_text
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc ledger_text)
+  | None -> ());
+  let t = Corpus.Ledger.totals results in
+  if not o.quiet then begin
+    Fmt.pr "conformance: %d programs, %d cells: %d pass, %d known-divergence, %d fail \
+            (%.1fs in-process)@."
+      o.n t.Corpus.Ledger.cells t.Corpus.Ledger.pass t.Corpus.Ledger.known
+      t.Corpus.Ledger.fail matrix_s;
+    List.iter
+      (fun (cls, count) -> Fmt.pr "  class %-24s %d cells@." cls count)
+      (Corpus.Ledger.class_counts results)
+  end;
+  (* every unexplained divergence ships as a minimized reproducer *)
+  List.iter
+    (fun ((r : Corpus.Matrix.program_result), (cr : Corpus.Matrix.cell_result)) ->
+      failed := true;
+      let cell = cr.Corpus.Matrix.cell in
+      let small = Corpus.Matrix.shrink_failure cell r.Corpus.Matrix.prog in
+      Fmt.epr
+        "conformance: UNEXPLAINED divergence: prog=%d cell=%s (seed %Ld)@.\
+         minimized reproducer (mode %s):@.%s@."
+        r.Corpus.Matrix.index
+        (Corpus.Matrix.cell_name cell)
+        o.seed
+        (Corpus.Gen.mode_name cell.Corpus.Matrix.mode)
+        (Corpus.Gen.render ~mode:cell.Corpus.Matrix.mode small))
+    (Corpus.Matrix.failures results);
+  (match o.expected with
+  | None -> ()
+  | Some path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> die "--expected: %s" msg
+    | expected -> (
+      match Corpus.Ledger.diff ~expected ~actual:ledger_text with
+      | Ok () -> if not o.quiet then Fmt.pr "ledger matches %s@." path
+      | Error report ->
+        failed := true;
+        Fmt.epr "conformance: ledger drift vs %s:@.%s@." path report)));
+  if o.daemon then begin
+    let s = Corpus.Traffic.run ~connections:o.connections ~domains:o.domains
+        ~root:o.seed ~n:o.n ()
+    in
+    Fmt.pr
+      "daemon: %d jobs over %d connections (%d domains): cold %.1f compiles/s \
+       (%.1fs), warm %.1f compiles/s (%.1fs), byte-identical %b@."
+      s.Corpus.Traffic.jobs s.Corpus.Traffic.connections s.Corpus.Traffic.domains
+      s.Corpus.Traffic.cold_cps s.Corpus.Traffic.cold_s s.Corpus.Traffic.warm_cps
+      s.Corpus.Traffic.warm_s s.Corpus.Traffic.byte_identical;
+    if not s.Corpus.Traffic.byte_identical then begin
+      failed := true;
+      Fmt.epr "conformance: daemon results diverged from in-process compilation \
+               (%d transport errors)@."
+        s.Corpus.Traffic.transport_errors
+    end;
+    match o.observe with
+    | Some path -> merge_observe path (Corpus.Traffic.to_json s)
+    | None -> ()
+  end
+  else if o.observe <> None then
+    die "--observe requires --daemon (the corpus section reports daemon throughput)";
+  if !failed then exit 1

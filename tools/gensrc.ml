@@ -1,13 +1,41 @@
-(* Dump a proxy application's MiniOMP source: gensrc <app> [tiny|bench] [omp|cuda] *)
+(* Dump a proxy application's MiniOMP source:
+
+     gensrc [<app>] [tiny|bench] [omp|cuda]
+
+   Defaults: xsbench, tiny, omp.  Unknown arguments are a usage error
+   (exit 2) — silently falling back to a default would hand a script the
+   wrong source with no indication anything was misspelled. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("gensrc: " ^ s);
+      prerr_endline "usage: gensrc [<app>] [tiny|bench] [omp|cuda]";
+      exit 2)
+    fmt
+
+let arg i default = if Array.length Sys.argv > i then Sys.argv.(i) else default
+
 let () =
-  let app = Proxyapps.Apps.find_exn (try Sys.argv.(1) with _ -> "xsbench") in
-  let scale =
-    match (try Sys.argv.(2) with _ -> "tiny") with
-    | "bench" -> Proxyapps.App.Bench
-    | _ -> Proxyapps.App.Tiny
+  if Array.length Sys.argv > 4 then die "too many arguments";
+  let app_name = arg 1 "xsbench" in
+  let app =
+    match Proxyapps.Apps.find app_name with
+    | Some app -> app
+    | None ->
+      die "unknown app %S (known: %s)" app_name
+        (String.concat ", "
+           (List.map (fun (a : Proxyapps.App.t) -> a.Proxyapps.App.name)
+              Proxyapps.Apps.all))
   in
-  let variant = try Sys.argv.(3) with _ -> "omp" in
+  let scale =
+    match arg 2 "tiny" with
+    | "tiny" -> Proxyapps.App.Tiny
+    | "bench" -> Proxyapps.App.Bench
+    | s -> die "unknown scale %S (expected tiny or bench)" s
+  in
   print_string
-    (match variant with
+    (match arg 3 "omp" with
+    | "omp" -> app.Proxyapps.App.omp_source scale
     | "cuda" -> app.Proxyapps.App.cuda_source scale
-    | _ -> app.Proxyapps.App.omp_source scale)
+    | v -> die "unknown variant %S (expected omp or cuda)" v)
