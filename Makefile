@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix service-smoke chaos conformance conformance-smoke
+.PHONY: all build test bench experiments examples ci clean fmt fmt-check bench-gate fault-matrix service-smoke chaos conformance conformance-smoke perf
 
 all: build
 
@@ -81,13 +81,29 @@ conformance-smoke:
 
 # Benchmark-regression gate: regenerate BENCH_observe.json into a scratch
 # directory and diff its deterministic counters (per-app barriers and store
-# counts) against the committed baseline.  Wall-clock numbers are never
-# gated; they measure the host, not the compiler.
+# counts) against the committed baseline.  Fresh wall-clock numbers are
+# never gated here (they measure the host, not the compiler; `make perf` +
+# `bench_gate --perf` own that), but the *committed* baseline must record
+# sched.speedup > 1.0 and a pool that executed every submitted job.
 bench-gate:
 	dune build bench/main.exe tools/bench_gate.exe
 	mkdir -p _gate
 	cd _gate && ../_build/default/bench/main.exe tables > /dev/null
-	./_build/default/tools/bench_gate.exe BENCH_observe.json _gate/BENCH_observe.json
+	./_build/default/tools/bench_gate.exe BENCH_observe.json _gate/BENCH_observe.json --min-speedup 1.0
+
+# Phase-level profile of the standard Figure-10 batch (docs/PERF.md):
+# sequential vs PERF_JOBS-domain parallel (best of 2 each), then one
+# instrumented run whose per-job/per-phase samples become a flamegraph
+# (PERF_DIR/flame.folded), an allocation profile (alloc.folded) and a
+# schema-stamped perf.json the CI perf job gates with
+# `bench_gate --perf PERF_DIR/perf.json --min-speedup 1.0`.
+PERF_JOBS ?= 4
+PERF_BATCH ?= tiny
+PERF_DIR ?= _perf
+perf:
+	dune build tools/perf_report.exe
+	PERF_JOBS=$(PERF_JOBS) PERF_BATCH=$(PERF_BATCH) \
+	  dune exec tools/perf_report.exe -- $(PERF_DIR)
 
 # regenerate every table and figure of the paper's evaluation
 experiments:
@@ -106,4 +122,4 @@ examples:
 
 clean:
 	dune clean
-	rm -rf _gate
+	rm -rf _gate _perf

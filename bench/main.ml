@@ -128,16 +128,27 @@ let sched_bench () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  let seq, seq_s =
-    timed (fun () -> Harness.Runner.run_batch ~machine ~scale:tiny jobs)
+  (* Symmetric min-of-2: each side keeps its best of two runs, so one
+     scheduler hiccup (a GC pause, a noisy-neighbour slice) on either side
+     does not decide the ratio the CI perf gate enforces. *)
+  let min2 f =
+    let r, a = timed f in
+    let _, b = timed f in
+    (r, Float.min a b)
   in
-  let cache : Harness.Runner.outcome Sched.Cache.t = Sched.Cache.create () in
-  let (par, pool_stats), par_s =
+  let seq, seq_s =
+    min2 (fun () -> Harness.Runner.run_batch ~machine ~scale:tiny jobs)
+  in
+  let cold_par () =
+    let cache : Harness.Runner.outcome Sched.Cache.t = Sched.Cache.create () in
     timed (fun () ->
         Sched.Pool.with_pool ~domains:sched_domains (fun pool ->
             let r = Harness.Runner.run_batch ~machine ~scale:tiny ~pool ~cache jobs in
-            (r, Sched.Pool.stats pool)))
+            (r, Sched.Pool.stats pool, Sched.Pool.active_limit pool, cache)))
   in
+  let (par, pool_stats, active, cache), par_a = cold_par () in
+  let _, par_b = cold_par () in
+  let par_s = Float.min par_a par_b in
   let cold_hits = Sched.Cache.hits cache in
   let cold_misses = Sched.Cache.misses cache in
   Sched.Cache.reset_counters cache;
@@ -156,33 +167,42 @@ let sched_bench () =
   let speedup = if par_s > 0.0 then seq_s /. par_s else 1.0 in
   Fmt.pr "== Sched: batch of %d jobs, %d domains ==@." (List.length jobs)
     sched_domains;
-  Fmt.pr "  sequential         %8.3f s@." seq_s;
-  Fmt.pr "  parallel (cold)    %8.3f s  speedup %.2fx  cache %d hit / %d miss@."
+  Fmt.pr "  sequential         %8.3f s  (best of 2)@." seq_s;
+  Fmt.pr "  parallel (cold)    %8.3f s  (best of 2)  speedup %.2fx  cache %d hit / %d miss@."
     par_s speedup cold_hits cold_misses;
   Fmt.pr "  parallel (warm)    %8.3f s  cache hit rate %.2f@." warm_s
     (Sched.Cache.hit_rate cache);
-  Fmt.pr "  pool: submitted=%d executed=%d stolen=%d max_pending=%d@.@."
-    pool_stats.Sched.Pool.submitted pool_stats.Sched.Pool.executed
-    pool_stats.Sched.Pool.stolen pool_stats.Sched.Pool.max_pending;
-  Observe.Json.Obj
-    [
-      ("jobs", Observe.Json.Int (List.length jobs));
-      ("domains", Observe.Json.Int sched_domains);
-      ("sequential_s", Observe.Json.Float seq_s);
-      ("parallel_s", Observe.Json.Float par_s);
-      ("speedup", Observe.Json.Float speedup);
-      ("cold_cache_hits", Observe.Json.Int cold_hits);
-      ("cold_cache_misses", Observe.Json.Int cold_misses);
-      ("warm_cache_hit_rate", Observe.Json.Float (Sched.Cache.hit_rate cache));
-      ( "pool",
-        Observe.Json.Obj
-          [
-            ("submitted", Observe.Json.Int pool_stats.Sched.Pool.submitted);
-            ("executed", Observe.Json.Int pool_stats.Sched.Pool.executed);
-            ("stolen", Observe.Json.Int pool_stats.Sched.Pool.stolen);
-            ("max_pending", Observe.Json.Int pool_stats.Sched.Pool.max_pending);
-          ] );
-    ]
+  Fmt.pr
+    "  pool: active=%d submitted=%d executed=%d stolen=%d max_pending=%d \
+     waits=%d boosts=%d@.@."
+    active pool_stats.Sched.Pool.submitted pool_stats.Sched.Pool.executed
+    pool_stats.Sched.Pool.stolen pool_stats.Sched.Pool.max_pending
+    pool_stats.Sched.Pool.waits pool_stats.Sched.Pool.boosts;
+  (* Schema-stamped: tools/bench_gate.ml refuses a sched section it cannot
+     version, and rejects submitted <> executed (a lost or phantom job). *)
+  Observe.Json.with_schema
+    (Observe.Json.Obj
+       [
+         ("jobs", Observe.Json.Int (List.length jobs));
+         ("domains", Observe.Json.Int sched_domains);
+         ("sequential_s", Observe.Json.Float seq_s);
+         ("parallel_s", Observe.Json.Float par_s);
+         ("speedup", Observe.Json.Float speedup);
+         ("cold_cache_hits", Observe.Json.Int cold_hits);
+         ("cold_cache_misses", Observe.Json.Int cold_misses);
+         ("warm_cache_hit_rate", Observe.Json.Float (Sched.Cache.hit_rate cache));
+         ( "pool",
+           Observe.Json.Obj
+             [
+               ("active", Observe.Json.Int active);
+               ("submitted", Observe.Json.Int pool_stats.Sched.Pool.submitted);
+               ("executed", Observe.Json.Int pool_stats.Sched.Pool.executed);
+               ("stolen", Observe.Json.Int pool_stats.Sched.Pool.stolen);
+               ("max_pending", Observe.Json.Int pool_stats.Sched.Pool.max_pending);
+               ("waits", Observe.Json.Int pool_stats.Sched.Pool.waits);
+               ("boosts", Observe.Json.Int pool_stats.Sched.Pool.boosts);
+             ] );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Service benchmark: request latency against a live daemon            *)

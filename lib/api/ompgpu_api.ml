@@ -267,7 +267,7 @@ let compile ?config ?file src =
    labels produce different bytes — the conformance corpus caught the
    daemon's warm cache serving one request's file label to another
    request at scale. *)
-let cache_version = "mompc-cache-v4"
+let cache_version = "mompc-cache-v5"
 
 let cache_key ~file ~config ~source =
   Sched.Cache.key [ cache_version; file; source; Config.fingerprint config ]

@@ -35,11 +35,25 @@ type frame_kind =
   | Parallel_body_spmd  (* SPMD-mode region body: implicit barrier on return *)
   | Parallel_body_nested
 
+(* Per-function execution plan, built once per interpreter and shared by
+   every frame of that function: the register-file size (registers live in a
+   flat array, not a hashtable) and a label -> block table with a dense
+   per-interpreter block id (the divergence tables key on ids, not on
+   "func/block" strings). *)
+type bentry = { bblock : Block.t; bid : int }
+
+type fplan = { pbound : int; pblocks : (string, bentry) Hashtbl.t }
+
+(* Distinguished "register never written" marker; physical equality only. *)
+let unset : Rvalue.t = Fn "\000unset"
+
 type frame = {
   ffunc : Func.t;
+  fplan : fplan;
   mutable fblock : Block.t;
-  mutable fidx : int;
-  fregs : (int, Rvalue.t) Hashtbl.t;
+  mutable fbid : int;  (* id of [fblock] in [fplan] *)
+  mutable fcursor : Instr.t list;  (* instructions left in [fblock] *)
+  fregs : Rvalue.t array;
   fargs : Rvalue.t array;
   flocal_base : int;
   fkind : frame_kind;
@@ -67,9 +81,9 @@ type thread = {
   mutable barrier_site : string;
   (* device-heap bytes this thread currently holds (globalization spills) *)
   mutable heap_live : int;
-  (* per branch site, how many times this thread has executed it; indexes
-     the team's divergence table *)
-  site_execs : (string, int) Hashtbl.t;
+  (* per branch site (block id), how many times this thread has executed
+     it; indexes the team's divergence table *)
+  site_execs : (int, int) Hashtbl.t;
 }
 
 type work = {
@@ -96,9 +110,10 @@ type team = {
   (* shared-stack regions allocated AoS by __kmpc_alloc_shared: accesses
      into them are uncoalesced *)
   mutable uncoalesced : (int * int) list;
-  (* first target taken at (branch site, per-thread execution index): a
+  (* first target taken at (branch site, per-thread execution index) — the
+     key packs [block id lsl 12 lor index] (index < divergence_window): a
      later thread choosing differently is a divergent-branch event *)
-  branch_first : (string * int, string) Hashtbl.t;
+  branch_first : (int, string) Hashtbl.t;
   launch_teams : int;
   launch_threads : int;
 }
@@ -136,28 +151,66 @@ type t = {
   mem : Mem.t;
   mutable trace : Rvalue.t list;  (* __devrt_trace output, newest first *)
   mutable kernel_stats : launch_stats list;  (* newest first *)
+  (* head of [kernel_stats], cached: read on every executed instruction *)
+  mutable cur_stats : launch_stats option;
   team_uid_gen : Support.Util.Id_gen.t;
   mutable fuel : int;
   injector : Fault.Injector.t;
   (* the team the currently-simulated thread belongs to (None = host) *)
   mutable cur_team : team option;
+  (* name -> function, built once; [Irmod.find_func] scans a list and the
+     interpreter resolves a callee on every call instruction *)
+  funcs : (string, Func.t) Hashtbl.t;
+  plans : (string, fplan) Hashtbl.t;  (* per-function plans, built lazily *)
+  mutable bid_gen : int;  (* next block id for plans *)
 }
 
 let create ?(fuel = 200_000_000) ?(injector = Fault.Injector.none)
-    (machine : Machine.t) (m : Irmod.t) =
-  let mem = Mem.create ~injector machine in
+    ?scratch (machine : Machine.t) (m : Irmod.t) =
+  let mem = Mem.create ~injector ?scratch machine in
   Mem.layout_module mem m;
+  let funcs = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace funcs f.Func.name f) m.Irmod.funcs;
   {
     m;
     machine;
     mem;
     trace = [];
     kernel_stats = [];
+    cur_stats = None;
     team_uid_gen = Support.Util.Id_gen.create ();
     fuel;
     injector;
     cur_team = None;
+    funcs;
+    plans = Hashtbl.create 64;
+    bid_gen = 0;
   }
+
+(* Hand the memory arenas back to the scratch pool (when one was attached).
+   The interpreter must not be used afterwards. *)
+let release t = Mem.release t.mem
+
+let find_func t name = Hashtbl.find_opt t.funcs name
+
+let plan_for t (f : Func.t) =
+  match Hashtbl.find_opt t.plans f.Func.name with
+  | Some p -> p
+  | None ->
+    let bound = ref 0 in
+    let pblocks = Hashtbl.create 16 in
+    List.iter
+      (fun (b : Block.t) ->
+        let id = t.bid_gen in
+        t.bid_gen <- t.bid_gen + 1;
+        Hashtbl.replace pblocks b.Block.label { bblock = b; bid = id };
+        List.iter
+          (fun (i : Instr.t) -> if i.Instr.id >= !bound then bound := i.Instr.id + 1)
+          b.Block.instrs)
+      f.Func.blocks;
+    let p = { pbound = max 1 !bound; pblocks } in
+    Hashtbl.replace t.plans f.Func.name p;
+    p
 
 let costs t = t.machine.Machine.costs
 
@@ -177,16 +230,19 @@ let team_for_globals t th =
 let eval t th (v : Value.t) : Rvalue.t =
   match v with
   | Value.Const c -> of_const c
-  | Value.Reg id -> (
+  | Value.Reg id ->
     let f = cur_frame th in
-    match Hashtbl.find_opt f.fregs id with
-    | Some rv -> rv
-    | None -> error "read of unset register %%%d in @%s" id f.ffunc.Func.name)
+    let rv =
+      if id >= 0 && id < Array.length f.fregs then Array.unsafe_get f.fregs id
+      else unset
+    in
+    if rv == unset then error "read of unset register %%%d in @%s" id f.ffunc.Func.name
+    else rv
   | Value.Arg i -> (cur_frame th).fargs.(i)
   | Value.Global name -> P (Mem.global_addr t.mem name ~team:(team_for_globals t th))
   | Value.Func name -> Fn name
 
-let set_reg th id rv = Hashtbl.replace (cur_frame th).fregs id rv
+let set_reg th id rv = (cur_frame th).fregs.(id) <- rv
 
 (* ------------------------------------------------------------------ *)
 (* Arithmetic                                                          *)
@@ -237,7 +293,7 @@ let exec_bin op ty a b =
       | Ashr -> Int64.shift_right x (Int64.to_int y land 63)
       | Fadd | Fsub | Fmul | Fdiv -> error "float binop on integer type"
     in
-    I (truncate_to ty r)
+    of_int64 (truncate_to ty r)
   end
 
 let ptr_as_bits = function
@@ -263,7 +319,7 @@ let exec_icmp cc ty a b =
     | Ugt -> Int64.unsigned_compare x y > 0
     | Uge -> Int64.unsigned_compare x y >= 0
   in
-  I (if r then 1L else 0L)
+  of_bool r
 
 let exec_fcmp cc a b =
   let open Instr in
@@ -277,17 +333,17 @@ let exec_fcmp cc a b =
     | Ogt -> x > y
     | Oge -> x >= y
   in
-  I (if r then 1L else 0L)
+  of_bool r
 
 let exec_cast op to_ty v =
   let open Instr in
   match op with
-  | Zext | Sext -> I (truncate_to to_ty (as_int v))
-  | Trunc -> I (truncate_to to_ty (as_int v))
+  | Zext | Sext -> of_int64 (truncate_to to_ty (as_int v))
+  | Trunc -> of_int64 (truncate_to to_ty (as_int v))
   | Sitofp ->
     let f = Int64.to_float (as_int v) in
     F (if Types.equal to_ty Types.F32 then to_f32 f else f)
-  | Fptosi -> I (truncate_to to_ty (Int64.of_float (as_float v)))
+  | Fptosi -> of_int64 (truncate_to to_ty (Int64.of_float (as_float v)))
   | Fpext -> F (as_float v)
   | Fptrunc -> F (to_f32 (as_float v))
   | Bitcast -> (
@@ -318,8 +374,7 @@ let access_cost t (p : ptr) =
     | _ -> c.Machine.shared_access)
   | Slocal _ -> c.Machine.local_access
 
-let stats_top t =
-  match t.kernel_stats with s :: _ -> Some s | [] -> None
+let stats_top t = t.cur_stats
 
 let count_load t (p : ptr) =
   match stats_top t with
@@ -363,13 +418,13 @@ let note_branch t th ~target =
     match stats_top t with
     | None -> ()
     | Some s ->
-      let frame = cur_frame th in
-      let site = frame.ffunc.Func.name ^ "/" ^ frame.fblock.Block.label in
+      let site = (cur_frame th).fbid in
       let n = match Hashtbl.find_opt th.site_execs site with Some n -> n | None -> 0 in
       Hashtbl.replace th.site_execs site (n + 1);
       if n < divergence_window then begin
-        match Hashtbl.find_opt team.branch_first (site, n) with
-        | None -> Hashtbl.add team.branch_first (site, n) target
+        let key = (site lsl 12) lor n in
+        match Hashtbl.find_opt team.branch_first key with
+        | None -> Hashtbl.add team.branch_first key target
         | Some first when String.equal first target -> ()
         | Some _ -> s.divergent_branches <- s.divergent_branches + 1
       end)
@@ -477,14 +532,23 @@ let finish_join t team =
 (* Function call machinery                                             *)
 (* ------------------------------------------------------------------ *)
 
-let push_frame th ?(kind = Normal) ?ret_reg (f : Func.t) args =
+let push_frame t th ?(kind = Normal) ?ret_reg (f : Func.t) args =
   if Func.is_declaration f then error "call to undefined function @%s" f.Func.name;
+  let plan = plan_for t f in
+  let entry = Func.entry f in
+  let eb =
+    match Hashtbl.find_opt plan.pblocks entry.Block.label with
+    | Some eb -> eb
+    | None -> error "entry block of @%s missing from its plan" f.Func.name
+  in
   let frame =
     {
       ffunc = f;
-      fblock = Func.entry f;
-      fidx = 0;
-      fregs = Hashtbl.create 32;
+      fplan = plan;
+      fblock = entry;
+      fbid = eb.bid;
+      fcursor = entry.Block.instrs;
+      fregs = Array.make plan.pbound unset;
       fargs = Array.of_list args;
       flocal_base = th.local_sp;
       fkind = kind;
@@ -515,9 +579,7 @@ let pop_frame t team_opt th (ret : Rvalue.t) =
       | None -> ())
     | Parallel_body_nested -> th.level <- th.level - 1);
     (match (rest, frame.fret_reg) with
-    | caller :: _, Some reg ->
-      ignore caller;
-      Hashtbl.replace (List.hd rest).fregs reg ret
+    | caller :: _, Some reg -> caller.fregs.(reg) <- ret
     | _ -> ());
     rest <> []
 
@@ -699,7 +761,7 @@ let device_runtime_call t team th name (args : Rvalue.t list) : rt_result =
       | _ -> error "parallel_51: bad function operand"
     in
     let resolve_fn () =
-      match Irmod.find_func t.m fname with
+      match find_func t fname with
       | Some f -> f
       | None -> error "parallel_51: unknown function %s" fname
     in
@@ -707,14 +769,14 @@ let device_runtime_call t team th name (args : Rvalue.t list) : rt_result =
       (* nested parallelism executes sequentially on the encountering thread *)
       charge th c.Machine.call;
       th.level <- th.level + 1;
-      push_frame th ~kind:Parallel_body_nested (resolve_fn ()) [ argsv ];
+      push_frame t th ~kind:Parallel_body_nested (resolve_fn ()) [ argsv ];
       Done Undef
     end
     else if team.exec_spmd then begin
       (* SPMD: every thread runs the region directly; implicit barrier at end *)
       charge th c.Machine.call;
       th.level <- th.level + 1;
-      push_frame th ~kind:Parallel_body_spmd (resolve_fn ()) [ argsv ];
+      push_frame t th ~kind:Parallel_body_spmd (resolve_fn ()) [ argsv ];
       Done Undef
     end
     else begin
@@ -722,7 +784,7 @@ let device_runtime_call t team th name (args : Rvalue.t list) : rt_result =
       publish_work t team th ~fn:fname ~id:(as_int idv) ~args:argsv
         ~requested:(Int64.to_int (as_int numv));
       th.level <- th.level + 1;
-      push_frame th ~kind:Parallel_body_generic (resolve_fn ()) [ argsv ];
+      push_frame t th ~kind:Parallel_body_generic (resolve_fn ()) [ argsv ];
       Done Undef
     end)
   | "__kmpc_worker_wait", [] | "__kmpc_worker_wait_id", [] -> (
@@ -930,8 +992,8 @@ let launch_hook :
     (t -> Func.t -> Rvalue.t list -> unit) ref =
   ref (fun _ _ _ -> error "launch hook not installed")
 
-(* Execute the instruction at the current position; assumes fidx was already
-   advanced past it by the caller. *)
+(* Execute one instruction; the caller already advanced the frame cursor
+   past it. *)
 let exec_instr t (team_opt : team option) th (i : Instr.t) =
   let c = costs t in
   (match stats_top t with Some s -> s.instructions <- s.instructions + 1 | None -> ());
@@ -1023,12 +1085,12 @@ let exec_instr t (team_opt : team option) th (i : Instr.t) =
           match host_runtime_call t th name args with
           | rv -> if Instr.has_result i then set_reg th i.Instr.id rv))
       | None -> (
-        match Irmod.find_func t.m name with
+        match find_func t name with
         | Some f when Func.is_kernel f && team_opt = None ->
           !launch_hook t f args
         | Some f when not (Func.is_declaration f) ->
           charge th c.Machine.call;
-          push_frame th
+          push_frame t th
             ?ret_reg:(if Instr.has_result i then Some i.Instr.id else None)
             f args
         | Some f when Func.is_kernel f ->
@@ -1052,8 +1114,14 @@ let exec_term t th (b : Block.t) =
   let c = costs t in
   let goto label =
     let frame = cur_frame th in
-    frame.fblock <- Func.find_block_exn frame.ffunc label;
-    frame.fidx <- 0
+    match Hashtbl.find_opt frame.fplan.pblocks label with
+    | Some be ->
+      frame.fblock <- be.bblock;
+      frame.fbid <- be.bid;
+      frame.fcursor <- be.bblock.Block.instrs
+    | None ->
+      Support.Util.failf "Func.find_block: no block %s in %s" label
+        frame.ffunc.Func.name
   in
   ignore c;
   match b.Block.term with
@@ -1096,19 +1164,17 @@ let run_thread t (team_opt : team option) th =
     | [] ->
       th.status <- Finished;
       continue_ := false
-    | frame :: _ ->
-      let instrs = frame.fblock.Block.instrs in
-      if frame.fidx < List.length instrs then begin
-        let i = List.nth instrs frame.fidx in
-        frame.fidx <- frame.fidx + 1;
+    | frame :: _ -> (
+      match frame.fcursor with
+      | i :: rest ->
+        frame.fcursor <- rest;
         exec_instr t team_opt th i
-      end
-      else
+      | [] -> (
         match exec_term t th frame.fblock with
         | `Continue -> ()
         | `Finished ->
           th.status <- Finished;
-          continue_ := false
+          continue_ := false))
   done
 
 (* ------------------------------------------------------------------ *)
@@ -1254,6 +1320,7 @@ let launch_kernel t (kernel : Func.t) (args : Rvalue.t list) =
     }
   in
   t.kernel_stats <- stats :: t.kernel_stats;
+  t.cur_stats <- Some stats;
   (* track the heap high-water mark of this launch alone *)
   t.mem.Mem.heap_high_water <- t.mem.Mem.heap_in_use;
   let is_spmd = info.Func.exec_mode = Func.Spmd in
@@ -1300,14 +1367,14 @@ let launch_kernel t (kernel : Func.t) (args : Rvalue.t list) =
         launch_threads = nthreads;
       }
     in
-    Array.iter (fun th -> push_frame th kernel args) threads;
+    Array.iter (fun th -> push_frame t th kernel args) threads;
     run_team t team;
     let team_time = Array.fold_left (fun acc th -> max acc th.clock) 0 threads in
     stats.team_cycles_total <- stats.team_cycles_total + team_time;
     if team.shared_high > !max_team_shared then max_team_shared := team.shared_high;
-    (* release per-team memory arenas *)
-    Hashtbl.remove t.mem.Mem.shareds team_uid;
-    Array.iter (fun th -> Hashtbl.remove t.mem.Mem.locals th.gid) threads
+    (* release per-team memory arenas (recycled via the scratch if any) *)
+    Mem.release_shared t.mem team_uid;
+    Array.iter (fun th -> Mem.release_local t.mem th.gid) threads
   done;
   stats.shared_bytes <- !max_team_shared;
   (* keep the larger of the concurrency-scaled footprint (recorded at the
@@ -1348,7 +1415,7 @@ let run_host ?(entry = "main") t =
       site_execs = Hashtbl.create 16;
     }
   in
-  push_frame host_thread f [];
+  push_frame t host_thread f [];
   (* host executes outside any team; kernel launches install their own *)
   let continue_ = ref true in
   while !continue_ do

@@ -49,13 +49,18 @@ type t = {
   mem : Mem.t;
   mutable trace : Rvalue.t list;  (** [__devrt_trace] output, newest first *)
   mutable kernel_stats : launch_stats list;  (** newest first *)
+  mutable cur_stats : launch_stats option;  (** head of [kernel_stats] *)
   team_uid_gen : Support.Util.Id_gen.t;
   mutable fuel : int;
   injector : Fault.Injector.t;
   mutable cur_team : team option;
+  funcs : (string, Ir.Func.t) Hashtbl.t;  (** name -> function, built once *)
+  plans : (string, fplan) Hashtbl.t;  (** per-function execution plans *)
+  mutable bid_gen : int;
 }
 
 and team
+and fplan
 
 (** Pure operational helpers, exposed for cross-checking against the
     optimizer's constant folding. *)
@@ -67,10 +72,23 @@ val exec_cast : Ir.Instr.cast -> Ir.Types.t -> Rvalue.t -> Rvalue.t
 val occupancy_factor : Machine.t -> int -> float
 (** Time multiplier from register-limited occupancy: (max_warps/active)^0.75. *)
 
-val create : ?fuel:int -> ?injector:Fault.Injector.t -> Machine.t -> Ir.Irmod.t -> t
+val create :
+  ?fuel:int ->
+  ?injector:Fault.Injector.t ->
+  ?scratch:Scratch.t ->
+  Machine.t ->
+  Ir.Irmod.t ->
+  t
 (** Lay out the module's globals and prepare a simulation.  [fuel] bounds
     the total number of executed instructions (default 2e8).  [injector]
-    arms the [Mem_alloc], [Shared_budget] and [Sim_trap] fault sites. *)
+    arms the [Mem_alloc], [Shared_budget] and [Sim_trap] fault sites.
+    [scratch] backs the simulated memory with a pool worker's recycled
+    arenas (zero-filled on reuse — results stay byte-identical to fresh
+    allocation); call {!release} when done with the interpreter. *)
+
+val release : t -> unit
+(** Return the memory arenas to the scratch (no-op without one).  The
+    interpreter must not be used afterwards. *)
 
 val run_host : ?entry:string -> t -> unit
 (** Execute the host [entry] function (default ["main"]).  Kernel launches

@@ -6,16 +6,30 @@
    pointer silently reads the *current* thread's local memory at the same
    offset.  This is exactly why the paper's Figure 3 program miscompiles
    under the legacy SPMD fast path; the simulator counts these accesses so
-   tests can assert on them. *)
+   tests can assert on them.
+
+   Every store records a dirty high-water mark (per shared/local arena; two
+   marks for the global arena — module-globals region and heap region — so
+   one heap store does not mark the whole span dirty).  When a [Scratch.t]
+   is attached, released arenas carry their dirty extent back to the pool,
+   which re-zeroes only those bytes on reuse; bytes beyond a mark were
+   never written and are still zero.  The batch path thus skips nearly all
+   of the tens of MBs a fresh [Bytes.make] must fill per job, with results
+   byte-identical to the allocate-per-job path. *)
 
 open Rvalue
+
+(* A shared/local arena plus the high end of its written span. *)
+type arena = { ab : Bytes.t; mutable ahigh : int }
 
 type t = {
   machine : Machine.t;
   injector : Fault.Injector.t;
+  (* arena recycler of the owning pool worker; None = allocate-per-job *)
+  scratch : Scratch.t option;
   global : Bytes.t;
-  shareds : (int, Bytes.t) Hashtbl.t;
-  locals : (int, Bytes.t) Hashtbl.t;
+  shareds : (int, arena) Hashtbl.t;
+  locals : (int, arena) Hashtbl.t;
   globals_layout : (string, int) Hashtbl.t;  (* global-space globals *)
   shared_layout : (string, int) Hashtbl.t;  (* shared-space globals, per-team offsets *)
   mutable globals_size : int;
@@ -25,6 +39,8 @@ type t = {
   mutable heap_free : (int * int) list;  (* (addr, size) free blocks *)
   mutable heap_in_use : int;
   mutable heap_high_water : int;
+  mutable gdirty_low : int;  (* high end of stores below heap_base *)
+  mutable gdirty_heap : int;  (* high end of stores at/above heap_base *)
   mutable cross_local_accesses : int;
   (* address ranges of small read-mostly global arrays assumed resident in
      the read-only cache (the simulator has no cache hierarchy; arrays up to
@@ -34,22 +50,29 @@ type t = {
 
 exception Out_of_memory of string
 
-let create ?(injector = Fault.Injector.none) (machine : Machine.t) =
+let create ?(injector = Fault.Injector.none) ?scratch (machine : Machine.t) =
+  let heap_base = machine.Machine.global_bytes - machine.Machine.heap_bytes in
   {
     machine;
     injector;
-    global = Bytes.make machine.Machine.global_bytes '\000';
+    scratch;
+    global =
+      (match scratch with
+      | Some s -> Scratch.take_global s machine.Machine.global_bytes
+      | None -> Bytes.make machine.Machine.global_bytes '\000');
     shareds = Hashtbl.create 16;
     locals = Hashtbl.create 64;
     globals_layout = Hashtbl.create 16;
     shared_layout = Hashtbl.create 16;
     globals_size = 0;
     static_shared_size = 0;
-    heap_base = machine.Machine.global_bytes - machine.Machine.heap_bytes;
-    heap_cursor = machine.Machine.global_bytes - machine.Machine.heap_bytes;
+    heap_base;
+    heap_cursor = heap_base;
     heap_free = [];
     heap_in_use = 0;
     heap_high_water = 0;
+    gdirty_low = 0;
+    gdirty_heap = heap_base;
     cross_local_accesses = 0;
     cached_ranges = [];
   }
@@ -90,32 +113,101 @@ let global_addr t name ~team =
 
 let shared_of t team =
   match Hashtbl.find_opt t.shareds team with
-  | Some b -> b
+  | Some a -> a
   | None ->
-    let b = Bytes.make t.machine.Machine.shared_bytes_per_team '\000' in
-    Hashtbl.replace t.shareds team b;
-    b
+    let size = t.machine.Machine.shared_bytes_per_team in
+    let b =
+      match t.scratch with
+      | Some s -> Scratch.take_shared s size
+      | None -> Bytes.make size '\000'
+    in
+    let a = { ab = b; ahigh = 0 } in
+    Hashtbl.replace t.shareds team a;
+    a
 
 let local_of t thread =
   match Hashtbl.find_opt t.locals thread with
-  | Some b -> b
+  | Some a -> a
   | None ->
-    let b = Bytes.make t.machine.Machine.local_bytes_per_thread '\000' in
-    Hashtbl.replace t.locals thread b;
-    b
+    let size = t.machine.Machine.local_bytes_per_thread in
+    let b =
+      match t.scratch with
+      | Some s -> Scratch.take_local s size
+      | None -> Bytes.make size '\000'
+    in
+    let a = { ab = b; ahigh = 0 } in
+    Hashtbl.replace t.locals thread a;
+    a
+
+(* Drop a team's / thread's arena; with a scratch attached the bytes go
+   back to the pool (with their dirty extent) for the next launch instead
+   of to the GC. *)
+let release_shared t team =
+  match Hashtbl.find_opt t.shareds team with
+  | None -> ()
+  | Some a ->
+    Hashtbl.remove t.shareds team;
+    Option.iter (fun s -> Scratch.give_shared s a.ab ~dirty:a.ahigh) t.scratch
+
+let release_local t thread =
+  match Hashtbl.find_opt t.locals thread with
+  | None -> ()
+  | Some a ->
+    Hashtbl.remove t.locals thread;
+    Option.iter (fun s -> Scratch.give_local s a.ab ~dirty:a.ahigh) t.scratch
+
+(* Hand every arena (including the global one) back to the scratch; the
+   memory must not be used afterwards. *)
+let release t =
+  match t.scratch with
+  | None -> ()
+  | Some s ->
+    Scratch.give_global s t.global
+      ~ranges:
+        [ (0, min t.gdirty_low t.heap_base); (t.heap_base, t.gdirty_heap - t.heap_base) ];
+    Hashtbl.iter (fun _ a -> Scratch.give_shared s a.ab ~dirty:a.ahigh) t.shareds;
+    Hashtbl.iter (fun _ a -> Scratch.give_local s a.ab ~dirty:a.ahigh) t.locals;
+    Hashtbl.reset t.shareds;
+    Hashtbl.reset t.locals
 
 (* Resolve a pointer to (backing bytes, offset) for the accessing thread. *)
 let resolve t ~current (p : ptr) =
   match p.sp with
   | Sglobal -> (t.global, p.addr)
-  | Sshared team -> (shared_of t team, p.addr)
+  | Sshared team -> ((shared_of t team).ab, p.addr)
   | Slocal owner ->
     if owner <> current then begin
       t.cross_local_accesses <- t.cross_local_accesses + 1;
       (* local memory is thread-addressed: we read our own frame *)
-      (local_of t current, p.addr)
+      ((local_of t current).ab, p.addr)
     end
-    else (local_of t owner, p.addr)
+    else ((local_of t owner).ab, p.addr)
+
+(* Like [resolve], but records the written span's high end. *)
+let resolve_store t ~current (p : ptr) size =
+  match p.sp with
+  | Sglobal ->
+    let hi = p.addr + size in
+    if p.addr < t.heap_base then begin
+      if hi > t.gdirty_low then t.gdirty_low <- hi
+    end
+    else if hi > t.gdirty_heap then t.gdirty_heap <- hi;
+    (t.global, p.addr)
+  | Sshared team ->
+    let a = shared_of t team in
+    if p.addr + size > a.ahigh then a.ahigh <- p.addr + size;
+    (a.ab, p.addr)
+  | Slocal owner ->
+    let owner =
+      if owner <> current then begin
+        t.cross_local_accesses <- t.cross_local_accesses + 1;
+        current
+      end
+      else owner
+    in
+    let a = local_of t owner in
+    if p.addr + size > a.ahigh then a.ahigh <- p.addr + size;
+    (a.ab, p.addr)
 
 (* ------------------------------------------------------------------ *)
 (* Typed access                                                        *)
@@ -152,9 +244,9 @@ let read t ~current (p : ptr) (ty : Ir.Types.t) : Rvalue.t =
   check_bounds bytes off size "load";
   match ty with
   | Ir.Types.I1 | Ir.Types.I8 ->
-    I (truncate_to ty (Int64.of_int (Char.code (Bytes.get bytes off))))
-  | Ir.Types.I32 -> I (Int64.of_int32 (Bytes.get_int32_le bytes off))
-  | Ir.Types.I64 -> I (Bytes.get_int64_le bytes off)
+    of_int64 (truncate_to ty (Int64.of_int (Char.code (Bytes.get bytes off))))
+  | Ir.Types.I32 -> of_int64 (Int64.of_int32 (Bytes.get_int32_le bytes off))
+  | Ir.Types.I64 -> of_int64 (Bytes.get_int64_le bytes off)
   | Ir.Types.F32 -> F (Int32.float_of_bits (Bytes.get_int32_le bytes off))
   | Ir.Types.F64 -> F (Int64.float_of_bits (Bytes.get_int64_le bytes off))
   | Ir.Types.Ptr _ -> P (decode_ptr (Bytes.get_int64_le bytes off))
@@ -162,8 +254,8 @@ let read t ~current (p : ptr) (ty : Ir.Types.t) : Rvalue.t =
     error "load of type %s" (Ir.Types.to_string ty)
 
 let write t ~current (p : ptr) (ty : Ir.Types.t) (v : Rvalue.t) =
-  let bytes, off = resolve t ~current p in
   let size = Ir.Types.size_of ty in
+  let bytes, off = resolve_store t ~current p size in
   check_bounds bytes off size "store";
   match ty with
   | Ir.Types.I1 | Ir.Types.I8 ->

@@ -7,12 +7,17 @@
     same offset — which is exactly how the paper's Figure 3 miscompiles
     under the legacy SPMD fast path.  Such accesses are counted. *)
 
+type arena = { ab : Bytes.t; mutable ahigh : int }
+(** A shared/local arena plus the high end of its written span (the dirty
+    extent handed back to the scratch on release). *)
+
 type t = {
   machine : Machine.t;
   injector : Fault.Injector.t;
+  scratch : Scratch.t option;
   global : Bytes.t;
-  shareds : (int, Bytes.t) Hashtbl.t;
-  locals : (int, Bytes.t) Hashtbl.t;
+  shareds : (int, arena) Hashtbl.t;
+  locals : (int, arena) Hashtbl.t;
   globals_layout : (string, int) Hashtbl.t;
   shared_layout : (string, int) Hashtbl.t;
   mutable globals_size : int;
@@ -22,15 +27,30 @@ type t = {
   mutable heap_free : (int * int) list;
   mutable heap_in_use : int;
   mutable heap_high_water : int;
+  mutable gdirty_low : int;
+  mutable gdirty_heap : int;
   mutable cross_local_accesses : int;
   mutable cached_ranges : (int * int) list;
 }
 
 exception Out_of_memory of string
 
-val create : ?injector:Fault.Injector.t -> Machine.t -> t
+val create : ?injector:Fault.Injector.t -> ?scratch:Scratch.t -> Machine.t -> t
 (** [injector] arms the [Mem_alloc] fault site: [heap_alloc] then fails
-    deterministically at the injected rate. *)
+    deterministically at the injected rate.  [scratch] recycles arena bytes
+    across jobs of one pool worker; recycled arenas are zero-filled before
+    reuse, so simulations stay byte-identical to the allocate-per-job
+    path. *)
+
+val release_shared : t -> int -> unit
+(** Drop a team's shared arena (recycled into the scratch when present). *)
+
+val release_local : t -> int -> unit
+(** Drop a thread's local arena (recycled into the scratch when present). *)
+
+val release : t -> unit
+(** Hand every arena back to the scratch; the memory must not be used
+    afterwards.  A no-op without a scratch. *)
 
 val cache_threshold : int
 (** Global arrays up to this size get the read-only-cache latency. *)

@@ -48,12 +48,28 @@ let truncate_to ty v =
 
 let to_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
 
+(* Shared physical values for the integers the hot path produces constantly
+   (comparison results, loop counters, truncated bytes): a boxed [I] costs
+   two heap blocks per result, and the interpreter makes hundreds of
+   millions of them.  [-1, 255] covers i1/i8 and most induction values. *)
+let small_ints = Array.init 257 (fun i -> I (Int64.of_int (i - 1)))
+
+let of_int64 v =
+  if Int64.compare v (-1L) >= 0 && Int64.compare v 255L <= 0 then
+    Array.unsafe_get small_ints (Int64.to_int v + 1)
+  else I v
+
+let rv_false = of_int64 0L
+let rv_true = of_int64 1L
+let of_bool b = if b then rv_true else rv_false
+let null_ptr = P { sp = Sglobal; addr = 0 }
+
 let of_const (c : Ir.Value.const) =
   match c with
-  | Ir.Value.CInt (ty, v) -> I (truncate_to ty v)
+  | Ir.Value.CInt (ty, v) -> of_int64 (truncate_to ty v)
   | Ir.Value.CFloat (Ir.Types.F32, v) -> F (to_f32 v)
   | Ir.Value.CFloat (_, v) -> F v
-  | Ir.Value.CNull _ -> P { sp = Sglobal; addr = 0 }
+  | Ir.Value.CNull _ -> null_ptr
   | Ir.Value.CUndef _ -> Undef
 
 let pp ppf = function

@@ -30,6 +30,13 @@ val truncate_to : Ir.Types.t -> int64 -> int64
 val to_f32 : float -> float
 (** Round to single precision. *)
 
+val of_int64 : int64 -> t
+(** [I v], but small values ([-1, 255]) return a shared boxed value — the
+    hot path of the interpreter produces these constantly. *)
+
+val of_bool : bool -> t
+(** Shared [I 1L] / [I 0L]. *)
+
 val of_const : Ir.Value.const -> t
 
 val pp : Format.formatter -> t -> unit

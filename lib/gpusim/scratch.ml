@@ -1,0 +1,114 @@
+(* Reusable simulation arenas.
+
+   A simulated run allocates one large global arena (tens of MB on the
+   bench machine) plus one shared arena per team and one local arena per
+   thread — hundreds of Bytes values, re-made (and memset) from scratch
+   for every job.  On the batch path each pool worker owns one [Scratch.t]
+   and threads it through its jobs: arenas released by a finished launch
+   (or job) are handed back here together with their dirty extent, and the
+   next launch takes them again, so steady-state batch compilation
+   allocates no arena bytes and zeroes only the bytes the previous job
+   actually wrote (typically KBs, not the tens of MBs a fresh [Bytes.make]
+   must fill).
+
+   Correctness: a taken arena is zero everywhere — [Mem] records the
+   high-water mark of every store, the dirty prefix/ranges are re-filled
+   with zeros here, and bytes beyond the recorded marks were never written
+   and are still zero from the arena's original allocation.  That is
+   byte-for-byte the state a fresh arena starts in, so a simulation backed
+   by recycled arenas is indistinguishable from one backed by fresh
+   allocations.  The sequential reference path simply never attaches a
+   scratch and keeps its stateless allocate-per-job behaviour.
+
+   A scratch is single-owner: one worker domain, one job at a time.  It is
+   NOT domain-safe and must never be shared. *)
+
+type dirty = { db : Bytes.t; ranges : (int * int) list }  (* (offset, len) *)
+
+type t = {
+  mutable global : dirty option;
+  mutable shareds : dirty list;
+  mutable locals : dirty list;
+  mutable reused_bytes : int;  (* arena bytes served from the pool *)
+  mutable fresh_bytes : int;  (* arena bytes that had to be allocated *)
+  mutable zeroed_bytes : int;  (* dirty bytes re-zeroed on reuse *)
+}
+
+(* Every scratch ever created, so `make perf` can report arena recycling
+   totals across all pool workers (each scratch lives in another domain's
+   DLS and is otherwise unreachable).  Counter fields are immediate ints:
+   a cross-domain read during [aggregate] observes some written value,
+   which is all a statistics report needs. *)
+let registry : t list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let create () =
+  let t =
+    {
+      global = None;
+      shareds = [];
+      locals = [];
+      reused_bytes = 0;
+      fresh_bytes = 0;
+      zeroed_bytes = 0;
+    }
+  in
+  Mutex.lock registry_mutex;
+  registry := t :: !registry;
+  Mutex.unlock registry_mutex;
+  t
+
+let aggregate () =
+  Mutex.lock registry_mutex;
+  let all = !registry in
+  Mutex.unlock registry_mutex;
+  List.fold_left
+    (fun (r, f, z) t -> (r + t.reused_bytes, f + t.fresh_bytes, z + t.zeroed_bytes))
+    (0, 0, 0) all
+
+let clean t { db; ranges } =
+  let len = Bytes.length db in
+  List.iter
+    (fun (off, n) ->
+      let off = max 0 (min off len) in
+      let n = min n (len - off) in
+      if n > 0 then begin
+        Bytes.fill db off n '\000';
+        t.zeroed_bytes <- t.zeroed_bytes + n
+      end)
+    ranges;
+  t.reused_bytes <- t.reused_bytes + len;
+  db
+
+let fresh t size =
+  t.fresh_bytes <- t.fresh_bytes + size;
+  Bytes.make size '\000'
+
+(* A pooled arena of the wrong size (the scratch moved to a different
+   machine description) is discarded, not left clogging the pool. *)
+let take_global t size =
+  match t.global with
+  | Some d ->
+    t.global <- None;
+    if Bytes.length d.db = size then clean t d else fresh t size
+  | None -> fresh t size
+
+let take_from_list t take set size =
+  match take () with
+  | d :: rest ->
+    set rest;
+    if Bytes.length d.db = size then clean t d else fresh t size
+  | [] -> fresh t size
+
+let take_shared t size =
+  take_from_list t (fun () -> t.shareds) (fun l -> t.shareds <- l) size
+
+let take_local t size =
+  take_from_list t (fun () -> t.locals) (fun l -> t.locals <- l) size
+
+let give_global t b ~ranges = t.global <- Some { db = b; ranges }
+let give_shared t b ~dirty = t.shareds <- { db = b; ranges = [ (0, dirty) ] } :: t.shareds
+let give_local t b ~dirty = t.locals <- { db = b; ranges = [ (0, dirty) ] } :: t.locals
+let reused_bytes t = t.reused_bytes
+let fresh_bytes t = t.fresh_bytes
+let zeroed_bytes t = t.zeroed_bytes

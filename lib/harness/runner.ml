@@ -46,12 +46,23 @@ let frontend_for (config : Config.t) (app : Proxyapps.App.t)
     let src = app.Proxyapps.App.cuda_source scale in
     (Frontend.Codegen.compile ~scheme:Frontend.Codegen.Cuda ~file src, None)
 
-let compile_for ?trace ?injector (config : Config.t) (app : Proxyapps.App.t)
-    (scale : Proxyapps.App.scale) =
-  match frontend_for config app scale with
+(* Attribute one phase of one job to the profile collector, when there is
+   one.  The stack is [job label; phase], which folds into the
+   per-job-per-phase flamegraph `make perf` renders (docs/PERF.md). *)
+let prof perf ~plabel phase f =
+  match perf with
+  | None -> f ()
+  | Some p -> Observe.Perf.record p ~stack:[ plabel; phase ] f
+
+let compile_for ?trace ?injector ?perf ~plabel (config : Config.t)
+    (app : Proxyapps.App.t) (scale : Proxyapps.App.scale) =
+  match prof perf ~plabel "frontend" (fun () -> frontend_for config app scale) with
   | m, None -> (m, None)
   | m, Some options ->
-    let report = Openmpopt.Pass_manager.run ~options ?injector ?trace m in
+    let report =
+      prof perf ~plabel "optimize" (fun () ->
+          Openmpopt.Pass_manager.run ~options ?injector ?trace m)
+    in
     (m, Some report)
 
 let checksum_of_trace sim =
@@ -60,18 +71,21 @@ let checksum_of_trace sim =
   | [ Gpusim.Rvalue.I v ] -> Some (Int64.to_float v)
   | _ -> None
 
-(* Verify + simulate an already-optimized module. *)
-let measure ~machine ~trace ?injector (m : Ir.Irmod.t)
+(* Verify + simulate an already-optimized module.  [scratch] recycles the
+   simulation arenas across the jobs of one pool worker; results are
+   byte-identical to the allocate-per-job path (see gpusim/scratch.ml). *)
+let measure ~machine ~trace ?injector ?scratch ?perf ?(plabel = "") (m : Ir.Irmod.t)
     (report : Openmpopt.Pass_manager.report option) : outcome =
-  match Ir.Verify.check m with
+  match prof perf ~plabel "verify" (fun () -> Ir.Verify.check m) with
   | Result.Error msg ->
     Err
       (Fault.Ompgpu_error.make Fault.Ompgpu_error.Verify
          ~phase:Fault.Ompgpu_error.Verifying msg)
   | Result.Ok () -> (
-    let sim = Gpusim.Interp.create ?injector machine m in
-    match Gpusim.Interp.run_host sim with
+    let sim = Gpusim.Interp.create ?injector ?scratch machine m in
+    match prof perf ~plabel "simulate" (fun () -> Gpusim.Interp.run_host sim) with
     | exception e ->
+      Gpusim.Interp.release sim;
       Err
         (Errors.classify ~phase:Fault.Ompgpu_error.Simulating e
            (Printexc.get_raw_backtrace ()))
@@ -100,12 +114,23 @@ let measure ~machine ~trace ?injector (m : Ir.Irmod.t)
           report;
           kernel_stats = List.rev stats;
           trace;
-        })
+        }
+      |> fun ok ->
+      Gpusim.Interp.release sim;
+      ok)
 
 (* Machine descriptions are immutable records of scalars, so marshalling is
-   a deterministic content fingerprint. *)
+   a deterministic content fingerprint.  Batches hash the same machine for
+   every job, so one physical-equality slot removes the rehash. *)
+let fingerprint_memo : (Gpusim.Machine.t * string) option ref = ref None
+
 let machine_fingerprint (machine : Gpusim.Machine.t) =
-  Digest.to_hex (Digest.string (Marshal.to_string machine []))
+  match !fingerprint_memo with
+  | Some (m, fp) when m == machine -> fp
+  | _ ->
+    let fp = Digest.to_hex (Digest.string (Marshal.to_string machine [])) in
+    fingerprint_memo := Some (machine, fp);
+    fp
 
 let scale_fingerprint = function
   | Proxyapps.App.Tiny -> "tiny"
@@ -141,8 +166,9 @@ let injector_for ~scale ~attempt (app : Proxyapps.App.t) (config : Config.t) =
          (scale_fingerprint scale) attempt)
 
 let run ?(machine = Gpusim.Machine.bench_machine) ?(scale = Proxyapps.App.Bench)
-    ?(with_trace = false) ?cache ?(attempt = 0) (app : Proxyapps.App.t)
-    (config : Config.t) : measurement =
+    ?(with_trace = false) ?cache ?scratch ?perf ?(attempt = 0)
+    (app : Proxyapps.App.t) (config : Config.t) : measurement =
+  let plabel = app.Proxyapps.App.name ^ "/" ^ config.Config.label in
   (* each job owns a fresh trace (and, inside the pass manager, a fresh
      remark sink), so concurrent jobs never interleave their events *)
   let trace = if with_trace then Some (Observe.Trace.create ()) else None in
@@ -154,14 +180,14 @@ let run ?(machine = Gpusim.Machine.bench_machine) ?(scale = Proxyapps.App.Bench)
   let outcome =
     match cache with
     | None -> (
-      match compile_for ?trace ~injector config app scale with
+      match compile_for ?trace ~injector ?perf ~plabel config app scale with
       | exception e -> classify ~phase:Fault.Ompgpu_error.Lowering e
-      | m, report -> measure ~machine ~trace ~injector m report)
+      | m, report -> measure ~machine ~trace ~injector ?scratch ?perf ~plabel m report)
     | Some cache -> (
       (* the front end always runs (its text is the cache key); the
          optimize+simulate work — the expensive part — is what a hit skips.
          Front-end failures produce no module, hence no key: not cached. *)
-      match frontend_for config app scale with
+      match prof perf ~plabel "frontend" (fun () -> frontend_for config app scale) with
       | exception e -> classify ~phase:Fault.Ompgpu_error.Lowering e
       | m, options ->
         let key =
@@ -170,18 +196,30 @@ let run ?(machine = Gpusim.Machine.bench_machine) ?(scale = Proxyapps.App.Bench)
         in
         Sched.Cache.find_or_compute cache ~key (fun () ->
             match
-              Option.map
-                (fun options -> Openmpopt.Pass_manager.run ~options ~injector ?trace m)
-                options
+              prof perf ~plabel "optimize" (fun () ->
+                  Option.map
+                    (fun options ->
+                      Openmpopt.Pass_manager.run ~options ~injector ?trace m)
+                    options)
             with
             | exception e -> classify ~phase:Fault.Ompgpu_error.Optimizing e
-            | report -> measure ~machine ~trace ~injector m report))
+            | report -> measure ~machine ~trace ~injector ?scratch ?perf ~plabel m report))
   in
   { app = app.Proxyapps.App.name; config; outcome }
 
 let is_transient_outcome = function
   | Err e -> Fault.Ompgpu_error.is_transient e
   | Ok _ -> false
+
+(* One scratch per executing domain (pool workers, and the awaiting caller
+   when the pool has it help run jobs).  Domain-local state is single-owner
+   by construction — no synchronization, and a long-lived domain (the
+   compile daemon's) reuses its arenas across whole batches.  The
+   sequential batch branch below never touches this: it stays the
+   stateless allocate-per-job reference that the differential and
+   conformance suites compare against. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Gpusim.Scratch.create ())
+let domain_scratch () = Domain.DLS.get scratch_key
 
 (* The batch entry point of the scheduler: compile+optimize+simulate every
    (app, config) pair, concurrently when a pool is given.  Results are in
@@ -192,12 +230,12 @@ let is_transient_outcome = function
    allocation faults) are retried up to [retries] times with exponential
    backoff, each attempt drawing fresh injector coins.  No exception
    escapes a batch: every job settles to a measurement. *)
-let run_batch ?machine ?scale ?with_trace ?pool ?cache ?watchdog_s ?(retries = 0)
-    ?backoff_s jobs =
+let run_batch ?machine ?scale ?with_trace ?pool ?cache ?perf ?watchdog_s
+    ?(retries = 0) ?backoff_s jobs =
   match pool with
   | None ->
     let rec attempt n (app, config) =
-      let m = run ?machine ?scale ?with_trace ?cache ~attempt:n app config in
+      let m = run ?machine ?scale ?with_trace ?cache ?perf ~attempt:n app config in
       if n < retries && is_transient_outcome m.outcome then begin
         (match backoff_s with
         | Some b -> Unix.sleepf (b *. float_of_int (1 lsl n))
@@ -209,7 +247,10 @@ let run_batch ?machine ?scale ?with_trace ?pool ?cache ?watchdog_s ?(retries = 0
     List.map (attempt 0) jobs
   | Some pool ->
     let job ~attempt (app, config) =
-      let m = run ?machine ?scale ?with_trace ?cache ~attempt app config in
+      let scratch = Some (domain_scratch ()) in
+      let m =
+        run ?machine ?scale ?with_trace ?cache ?scratch ?perf ~attempt app config
+      in
       (* surface transient failures as exceptions so the pool's guard can
          apply its retry policy; terminal failures settle immediately *)
       match m.outcome with
@@ -231,9 +272,10 @@ let run_batch ?machine ?scale ?with_trace ?pool ?cache ?watchdog_s ?(retries = 0
 
 (* Run a list of configurations for one app; the result list is in config
    order regardless of the execution interleaving. *)
-let run_configs ?machine ?scale ?with_trace ?pool ?cache ?watchdog_s ?retries
-    ?backoff_s app configs =
-  run_batch ?machine ?scale ?with_trace ?pool ?cache ?watchdog_s ?retries ?backoff_s
+let run_configs ?machine ?scale ?with_trace ?pool ?cache ?perf ?watchdog_s
+    ?retries ?backoff_s app configs =
+  run_batch ?machine ?scale ?with_trace ?pool ?cache ?perf ?watchdog_s ?retries
+    ?backoff_s
     (List.map (fun config -> (app, config)) configs)
 
 (* Relative performance versus a baseline measurement (the paper normalizes

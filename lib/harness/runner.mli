@@ -48,6 +48,8 @@ val run :
   ?scale:Proxyapps.App.scale ->
   ?with_trace:bool ->
   ?cache:outcome Sched.Cache.t ->
+  ?scratch:Gpusim.Scratch.t ->
+  ?perf:Observe.Perf.t ->
   ?attempt:int ->
   Proxyapps.App.t ->
   Config.t ->
@@ -55,6 +57,17 @@ val run :
 (** Defaults: [Gpusim.Machine.bench_machine], [Proxyapps.App.Bench],
     [with_trace:false].  Tracing is off by default so that bechamel
     micro-benchmarks measure the pipeline itself, not the instrumentation.
+
+    [scratch] recycles simulation arenas across the jobs of one owner (a
+    pool worker); simulations stay byte-identical to the allocate-per-job
+    path.  The batch runner threads one scratch per worker automatically —
+    pass this only when driving [run] directly from a single owner.
+
+    [perf] attributes each phase (frontend, optimize, verify, simulate)
+    to the profile collector under the stack [app/config-label; phase];
+    `make perf` renders the collected samples as a flamegraph and an
+    allocation profile (docs/PERF.md).  Safe to share across pool
+    domains.
 
     Never raises: every failure settles into an [Err] outcome.  When the
     config arms fault sites ([Config.with_inject]), a per-(job, [attempt])
@@ -72,6 +85,7 @@ val run_configs :
   ?with_trace:bool ->
   ?pool:Sched.Pool.t ->
   ?cache:outcome Sched.Cache.t ->
+  ?perf:Observe.Perf.t ->
   ?watchdog_s:float ->
   ?retries:int ->
   ?backoff_s:float ->
@@ -86,6 +100,7 @@ val run_batch :
   ?with_trace:bool ->
   ?pool:Sched.Pool.t ->
   ?cache:outcome Sched.Cache.t ->
+  ?perf:Observe.Perf.t ->
   ?watchdog_s:float ->
   ?retries:int ->
   ?backoff_s:float ->

@@ -12,17 +12,14 @@ let create () =
   { mutex = Mutex.create (); table = Hashtbl.create 64; hits = 0; misses = 0 }
 
 (* Frame every part with its length so ["ab"; "c"] and ["a"; "bc"] cannot
-   collide, then digest. *)
+   collide, then fold the streaming hash — no buffer, no copy, one
+   multiply per byte (Support.Hash64 replaced MD5 here; see its header). *)
 let key parts =
-  let buf = Buffer.create 256 in
-  List.iter
-    (fun p ->
-      Buffer.add_string buf (string_of_int (String.length p));
-      Buffer.add_char buf ':';
-      Buffer.add_string buf p;
-      Buffer.add_char buf '\n')
-    parts;
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+  Support.Hash64.to_hex
+    (List.fold_left
+       (fun h p ->
+         Support.Hash64.add_string (Support.Hash64.add_int h (String.length p)) p)
+       Support.Hash64.empty parts)
 
 let find_or_compute t ~key f =
   Mutex.lock t.mutex;

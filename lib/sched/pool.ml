@@ -1,147 +1,335 @@
-(* Work-stealing domain pool.
+(* Work-stealing domain pool, lock-striped.
 
-   One mutex guards all scheduler state (the per-worker deques and the
-   counters).  Our jobs are whole compile+optimize+simulate pipelines —
-   milliseconds to seconds each — so a scheduler-level lock is invisible in
-   profiles; what matters is the work-stealing *shape*: owners pop
-   newest-first from their own deque (locality: a just-submitted batch stays
-   warm), thieves take the oldest job of a victim (the one the owner would
-   reach last). *)
+   Each worker owns an array-backed ring deque guarded by its own stripe
+   lock; the hot path (push a job / pop a job) touches exactly one stripe
+   mutex and a handful of atomics.  A single small "gate" mutex exists only
+   for parking and waking — its critical sections are a few loads, never a
+   deque operation.  Owners pop newest-first from their own deque
+   (locality: a just-submitted batch stays warm), thieves take the oldest
+   job of a victim (the one the owner would reach last).
 
-(* A deque as a front/back list pair; every operation runs under the pool
-   mutex, so no per-deque synchronization is needed. *)
-module Deque = struct
-  type 'a t = { mutable front : 'a list; mutable back : 'a list }
-  (* front holds oldest-first, back holds newest-first *)
+   Oversubscription control: spawning more domains than the machine has
+   cores is catastrophic under OCaml 5's stop-the-world minor GC — every
+   runnable mutator domain lengthens every GC synchronization.  The pool
+   therefore runs at most [active] workers (default: the runtime's
+   recommended domain count, clamped to [domains]); the remaining workers
+   are *reserves* that park immediately and cost nothing.  A reserve is
+   engaged by {!boost} — called from [await_timeout]'s poll loop, i.e.
+   exactly when a supervisor observes a job overstaying its watchdog while
+   queued work exists.  A blocked primary therefore cannot stall a guarded
+   batch (the reserve picks the queue up within one 5ms poll), yet an
+   unguarded batch on a loaded single-core host never thrashes.
 
-  let create () = { front = []; back = [] }
-  let push_newest d x = d.back <- x :: d.back
+   Wakeup correctness is epoch-based: submitters push, then bump [epoch],
+   then signal if anyone is parked; a worker records the epoch *before*
+   scanning and re-checks it (after registering itself idle, under the
+   gate) before sleeping.  Atomics are sequentially consistent, so either
+   the re-check sees the bump or the submitter sees the idle registration
+   — a missed wakeup is impossible. *)
 
-  let pop_newest d =
-    match d.back with
-    | x :: rest ->
-      d.back <- rest;
+(* Jobs erase their result type: the closure fulfils its own future. *)
+type job = unit -> unit
+
+(* A fixed-capacity growable ring deque.  All operations on one ring run
+   under its stripe lock. *)
+module Ring = struct
+  type t = {
+    mutable buf : job array;
+    mutable head : int;  (* index of oldest *)
+    mutable len : int;
+  }
+
+  let dummy : job = fun () -> ()
+  let create cap = { buf = Array.make (max 4 cap) dummy; head = 0; len = 0 }
+
+  let grow r =
+    let cap = Array.length r.buf in
+    let buf = Array.make (2 * cap) dummy in
+    for k = 0 to r.len - 1 do
+      buf.(k) <- r.buf.((r.head + k) mod cap)
+    done;
+    r.buf <- buf;
+    r.head <- 0
+
+  let push_newest r x =
+    if r.len = Array.length r.buf then grow r;
+    r.buf.((r.head + r.len) mod Array.length r.buf) <- x;
+    r.len <- r.len + 1
+
+  let pop_newest r =
+    if r.len = 0 then None
+    else begin
+      r.len <- r.len - 1;
+      let i = (r.head + r.len) mod Array.length r.buf in
+      let x = r.buf.(i) in
+      r.buf.(i) <- dummy;
       Some x
-    | [] -> (
-      (* move front (oldest-first) to back (newest-first) *)
-      match List.rev d.front with
-      | [] -> None
-      | x :: rest ->
-        d.front <- [];
-        d.back <- rest;
-        Some x)
+    end
 
-  let pop_oldest d =
-    match d.front with
-    | x :: rest ->
-      d.front <- rest;
+  let pop_oldest r =
+    if r.len = 0 then None
+    else begin
+      let x = r.buf.(r.head) in
+      r.buf.(r.head) <- dummy;
+      r.head <- (r.head + 1) mod Array.length r.buf;
+      r.len <- r.len - 1;
       Some x
-    | [] -> (
-      match List.rev d.back with
-      | [] -> None
-      | x :: rest ->
-        d.back <- [];
-        d.front <- rest;
-        Some x)
+    end
 end
+
+type stripe = { lock : Mutex.t; ring : Ring.t }
 
 type 'a state =
   | Pending
   | Done of 'a
   | Failed of exn * Printexc.raw_backtrace
 
+type stats = {
+  submitted : int;
+  executed : int;
+  stolen : int;
+  max_pending : int;
+  waits : int;
+  boosts : int;
+}
+
+type t = {
+  stripes : stripe array;
+  queue_capacity : int;
+  active : int;  (* workers 0..active-1 run eagerly; the rest are reserves *)
+  gate : Mutex.t;  (* parking/waking only — never held around deque ops *)
+  work_cond : Condition.t;  (* primaries park here *)
+  reserve_cond : Condition.t;  (* reserves park here, woken by [boost] *)
+  space_cond : Condition.t;  (* submitters park here under backpressure *)
+  epoch : int Atomic.t;  (* bumped after every push; anti-lost-wakeup *)
+  pending : int Atomic.t;  (* queued, not yet started *)
+  cursor : int Atomic.t;  (* round-robin submission cursor *)
+  idle_primaries : int Atomic.t;
+  parked_reserves : int Atomic.t;
+  space_waiters : int Atomic.t;
+  submitted : int Atomic.t;
+  executed : int Atomic.t;
+  stolen : int Atomic.t;
+  max_pending : int Atomic.t;
+  waits : int Atomic.t;
+  boosts : int Atomic.t;
+  mutable stop : bool;  (* written under [gate] *)
+  mutable workers : unit Domain.t list;  (* mutated under [gate] *)
+  mutable spawned_reserves : int;  (* reserves are spawned lazily, under [gate] *)
+}
+
 type 'a future = {
   fmutex : Mutex.t;
   fcond : Condition.t;
   mutable fstate : 'a state;
+  fpool : t;  (* lets [await_timeout] engage a reserve on overstay *)
 }
 
-(* Jobs erase their result type: the closure fulfils its own future. *)
-type job = unit -> unit
+let domain_count t = Array.length t.stripes
+let active_limit t = t.active
 
-type stats = { submitted : int; executed : int; stolen : int; max_pending : int }
+(* The index of the pool worker running the current domain, if any; lets a
+   job bind per-worker resources (e.g. a scratch arena) race-free. *)
+let ix_key = Domain.DLS.new_key (fun () -> None)
+let worker_index () = Domain.DLS.get ix_key
 
-type t = {
-  mutex : Mutex.t;
-  work_available : Condition.t;  (* workers wait here for jobs *)
-  space_available : Condition.t;  (* submitters wait here under backpressure *)
-  deques : job Deque.t array;
-  queue_capacity : int;
-  mutable pending : int;  (* queued, not yet started *)
-  mutable next_deque : int;  (* round-robin submission cursor *)
-  mutable shutting_down : bool;
-  mutable submitted : int;
-  mutable executed : int;
-  mutable stolen : int;
-  mutable max_pending : int;
-  mutable workers : unit Domain.t list;
-}
-
-let domain_count t = Array.length t.deques
+let update_max cell v =
+  let rec go () =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then go ()
+  in
+  go ()
 
 (* Take a job for worker [i]: own deque newest-first, then steal the oldest
-   job from the first non-empty sibling.  Caller holds the mutex. *)
+   job from the first non-empty sibling.  Locks one stripe at a time. *)
 let try_take t i =
-  match Deque.pop_newest t.deques.(i) with
-  | Some j -> Some j
+  let own = t.stripes.(i) in
+  Mutex.lock own.lock;
+  let mine = Ring.pop_newest own.ring in
+  Mutex.unlock own.lock;
+  match mine with
+  | Some _ -> mine
   | None ->
-    let n = Array.length t.deques in
+    let n = Array.length t.stripes in
     let rec scan k =
       if k = n then None
-      else
-        let victim = (i + k) mod n in
-        match Deque.pop_oldest t.deques.(victim) with
-        | Some j ->
-          t.stolen <- t.stolen + 1;
-          Some j
+      else begin
+        let victim = t.stripes.((i + k) mod n) in
+        Mutex.lock victim.lock;
+        let got = Ring.pop_oldest victim.ring in
+        Mutex.unlock victim.lock;
+        match got with
+        | Some _ ->
+          Atomic.incr t.stolen;
+          got
         | None -> scan (k + 1)
+      end
     in
     scan 1
 
+let took_one t =
+  Atomic.decr t.pending;
+  if Atomic.get t.space_waiters > 0 then begin
+    Mutex.lock t.gate;
+    Condition.broadcast t.space_cond;
+    Mutex.unlock t.gate
+  end
+
+(* Run one queued job on the calling domain, if any.  Used by [await]
+   (work-stealing join: an awaiter executes the queue instead of blocking)
+   and by backpressured submitters (the producer becomes a consumer), which
+   is also what keeps a pool with zero eager workers live. *)
+let help_one t =
+  match try_take t 0 with
+  | Some job ->
+    took_one t;
+    job ();
+    true
+  | None -> false
+
+(* Primary worker: scan, run, park on empty.  The epoch is read before the
+   scan; see the module comment for why sleeping is then safe. *)
+let worker_minor_heap_words = 1 lsl 22  (* 4M words = 32MB nursery *)
+
+(* Batch jobs allocate tens of MB each; every nursery fill is a
+   stop-the-world handshake with every live domain.  Workers therefore run
+   with a large nursery (the server-GC trade: latency for throughput) —
+   jobs see ~an order of magnitude fewer STW pauses.  Only the worker
+   domain's own nursery grows; the main domain keeps its default. *)
+let set_worker_gc () =
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = worker_minor_heap_words }
+
 let worker_loop t i =
-  Mutex.lock t.mutex;
-  let rec next () =
+  Domain.DLS.set ix_key (Some i);
+  set_worker_gc ();
+  let rec run () =
+    let e = Atomic.get t.epoch in
     match try_take t i with
     | Some job ->
-      t.pending <- t.pending - 1;
-      Condition.signal t.space_available;
-      Mutex.unlock t.mutex;
+      took_one t;
       job ();
-      Mutex.lock t.mutex;
-      next ()
+      run ()
     | None ->
-      if t.shutting_down then Mutex.unlock t.mutex
+      Mutex.lock t.gate;
+      if t.stop then Mutex.unlock t.gate
       else begin
-        Condition.wait t.work_available t.mutex;
-        next ()
+        Atomic.incr t.idle_primaries;
+        if Atomic.get t.epoch <> e then begin
+          Atomic.decr t.idle_primaries;
+          Mutex.unlock t.gate;
+          run ()
+        end
+        else begin
+          Atomic.incr t.waits;
+          Condition.wait t.work_cond t.gate;
+          Atomic.decr t.idle_primaries;
+          Mutex.unlock t.gate;
+          run ()
+        end
       end
   in
-  next ()
+  run ()
 
-let create ?queue_capacity ~domains () =
+(* Reserve worker: spawned lazily by the first [boost] that finds no parked
+   reserve (an idle domain is not free — every minor-GC stop-the-world must
+   handshake it, which on a loaded single-core host is a context switch per
+   collection).  Once alive it drains until a scan comes up dry, then parks
+   on [reserve_cond]; later boosts wake it.  A boost with no reserve
+   available is dropped — the next watchdog poll retries, so liveness is
+   kept by the 5ms poll cadence. *)
+let reserve_loop t i =
+  Domain.DLS.set ix_key (Some i);
+  set_worker_gc ();
+  let rec park () =
+    Mutex.lock t.gate;
+    if t.stop then Mutex.unlock t.gate
+    else begin
+      Atomic.incr t.parked_reserves;
+      Atomic.incr t.waits;
+      Condition.wait t.reserve_cond t.gate;
+      Atomic.decr t.parked_reserves;
+      Mutex.unlock t.gate;
+      engaged ()
+    end
+  and engaged () =
+    match try_take t i with
+    | Some job ->
+      took_one t;
+      job ();
+      engaged ()
+    | None -> park ()
+  in
+  engaged ()
+
+(* One fewer eager worker than the machine has cores: the awaiting caller
+   helps execute the queue (see [await]), so it occupies the last slot
+   itself.  On a single-core host this means ZERO worker domains — the
+   whole batch runs on the caller, and no stop-the-world handshake ever
+   involves a second domain. *)
+let default_active ~domains =
+  min domains (max 0 (Domain.recommended_domain_count () - 1))
+
+let create ?queue_capacity ?active ~domains () =
   let domains = max 1 domains in
   let queue_capacity =
     match queue_capacity with Some c -> max 1 c | None -> 4 * domains
   in
+  let active =
+    match active with
+    | Some a -> max 0 (min domains a)
+    | None -> default_active ~domains
+  in
   let t =
     {
-      mutex = Mutex.create ();
-      work_available = Condition.create ();
-      space_available = Condition.create ();
-      deques = Array.init domains (fun _ -> Deque.create ());
+      stripes =
+        Array.init domains (fun _ ->
+            { lock = Mutex.create (); ring = Ring.create 16 });
       queue_capacity;
-      pending = 0;
-      next_deque = 0;
-      shutting_down = false;
-      submitted = 0;
-      executed = 0;
-      stolen = 0;
-      max_pending = 0;
+      active;
+      gate = Mutex.create ();
+      work_cond = Condition.create ();
+      reserve_cond = Condition.create ();
+      space_cond = Condition.create ();
+      epoch = Atomic.make 0;
+      pending = Atomic.make 0;
+      cursor = Atomic.make 0;
+      idle_primaries = Atomic.make 0;
+      parked_reserves = Atomic.make 0;
+      space_waiters = Atomic.make 0;
+      submitted = Atomic.make 0;
+      executed = Atomic.make 0;
+      stolen = Atomic.make 0;
+      max_pending = Atomic.make 0;
+      waits = Atomic.make 0;
+      boosts = Atomic.make 0;
+      stop = false;
       workers = [];
+      spawned_reserves = 0;
     }
   in
-  t.workers <- List.init domains (fun i -> Domain.spawn (fun () -> worker_loop t i));
+  t.workers <-
+    List.init active (fun i -> Domain.spawn (fun () -> worker_loop t i));
   t
+
+let boost t =
+  if Atomic.get t.pending > 0 then begin
+    if Atomic.get t.parked_reserves > 0 then begin
+      Atomic.incr t.boosts;
+      Mutex.lock t.gate;
+      Condition.signal t.reserve_cond;
+      Mutex.unlock t.gate
+    end
+    else if t.spawned_reserves < domain_count t - t.active then begin
+      Mutex.lock t.gate;
+      if (not t.stop) && t.spawned_reserves < domain_count t - t.active then begin
+        let i = t.active + t.spawned_reserves in
+        t.spawned_reserves <- t.spawned_reserves + 1;
+        Atomic.incr t.boosts;
+        t.workers <- Domain.spawn (fun () -> reserve_loop t i) :: t.workers
+      end;
+      Mutex.unlock t.gate
+    end
+  end
 
 let fulfil fut result =
   Mutex.lock fut.fmutex;
@@ -149,8 +337,37 @@ let fulfil fut result =
   Condition.broadcast fut.fcond;
   Mutex.unlock fut.fmutex
 
+(* Reserve a queue slot; blocks under backpressure.  Registering as a
+   space-waiter before re-checking [pending] mirrors the worker-side
+   epoch protocol: either the re-check sees the freed slot or the worker
+   sees the waiter and broadcasts. *)
+let reserve_slot t =
+  let rec attempt () =
+    let old = Atomic.fetch_and_add t.pending 1 in
+    if old < t.queue_capacity then update_max t.max_pending (old + 1)
+    else begin
+      Atomic.decr t.pending;
+      (* full queue: run one queued job right here rather than waiting for
+         a worker to drain it *)
+      if help_one t then attempt ()
+      else begin
+        Mutex.lock t.gate;
+        Atomic.incr t.space_waiters;
+        if Atomic.get t.pending >= t.queue_capacity then
+          Condition.wait t.space_cond t.gate;
+        Atomic.decr t.space_waiters;
+        Mutex.unlock t.gate;
+        attempt ()
+      end
+    end
+  in
+  attempt ()
+
 let submit t f =
-  let fut = { fmutex = Mutex.create (); fcond = Condition.create (); fstate = Pending } in
+  if t.stop then invalid_arg "Sched.Pool.submit: pool is shut down";
+  let fut =
+    { fmutex = Mutex.create (); fcond = Condition.create (); fstate = Pending; fpool = t }
+  in
   (* [executed] is bumped before the future is fulfilled, so any stats read
      that follows an [await] of this job already counts it. *)
   let job () =
@@ -159,43 +376,59 @@ let submit t f =
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
-    Mutex.lock t.mutex;
-    t.executed <- t.executed + 1;
-    Mutex.unlock t.mutex;
+    Atomic.incr t.executed;
     fulfil fut result
   in
-  Mutex.lock t.mutex;
-  if t.shutting_down then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Sched.Pool.submit: pool is shut down"
+  reserve_slot t;
+  let stripe =
+    t.stripes.(Atomic.fetch_and_add t.cursor 1 mod Array.length t.stripes)
+  in
+  Mutex.lock stripe.lock;
+  Ring.push_newest stripe.ring job;
+  Mutex.unlock stripe.lock;
+  Atomic.incr t.submitted;
+  Atomic.incr t.epoch;
+  if Atomic.get t.idle_primaries > 0 then begin
+    Mutex.lock t.gate;
+    Condition.signal t.work_cond;
+    Mutex.unlock t.gate
   end;
-  while t.pending >= t.queue_capacity do
-    Condition.wait t.space_available t.mutex
-  done;
-  Deque.push_newest t.deques.(t.next_deque) job;
-  t.next_deque <- (t.next_deque + 1) mod Array.length t.deques;
-  t.pending <- t.pending + 1;
-  t.submitted <- t.submitted + 1;
-  if t.pending > t.max_pending then t.max_pending <- t.pending;
-  Condition.signal t.work_available;
-  Mutex.unlock t.mutex;
   fut
 
+(* Work-stealing join: while the future is unresolved and the queue is
+   non-empty, the awaiter executes jobs itself.  If its scan comes up dry
+   while the future is still pending, the future's own job must already be
+   running on some other domain (a queued job would have been found), so
+   blocking on the future's condition is safe. *)
 let await fut =
-  Mutex.lock fut.fmutex;
-  while fut.fstate = Pending do
-    Condition.wait fut.fcond fut.fmutex
-  done;
-  let st = fut.fstate in
-  Mutex.unlock fut.fmutex;
-  match st with
-  | Done v -> v
-  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-  | Pending -> assert false
+  let t = fut.fpool in
+  let rec go () =
+    Mutex.lock fut.fmutex;
+    let st = fut.fstate in
+    Mutex.unlock fut.fmutex;
+    match st with
+    | Pending -> if help_one t then go () else block ()
+    | st -> settle st
+  and block () =
+    Mutex.lock fut.fmutex;
+    while fut.fstate = Pending do
+      Condition.wait fut.fcond fut.fmutex
+    done;
+    let st = fut.fstate in
+    Mutex.unlock fut.fmutex;
+    settle st
+  and settle = function
+    | Done v -> v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending -> assert false
+  in
+  go ()
 
 (* OCaml's Condition has no timed wait, so the watchdog polls.  The poll
    interval (5ms) is invisible against jobs that run for milliseconds to
-   seconds; only awaits that actually hit their deadline pay it. *)
+   seconds; only awaits that actually hit their deadline pay it.  Each
+   miss also [boost]s the pool: an unsettled future plus queued work is
+   precisely the signature of a stalled worker, so a reserve is engaged. *)
 let watchdog_poll_s = 0.005
 
 let await_timeout fut ~seconds =
@@ -210,17 +443,40 @@ let await_timeout fut ~seconds =
     | Pending ->
       if Unix.gettimeofday () >= deadline then None
       else begin
+        boost fut.fpool;
         Unix.sleepf watchdog_poll_s;
         loop ()
       end
   in
   loop ()
 
+(* Split [xs] into groups of [chunk], keeping order. *)
+let chunks_of chunk xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = chunk then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
 (* Results come back in input order regardless of execution interleaving:
    the futures list is built in order and awaited in order. *)
-let map_list t f xs =
-  let futures = List.map (fun x -> submit t (fun () -> f x)) xs in
-  List.map await futures
+let map_list t ?(chunk = 1) f xs =
+  if chunk <= 1 then begin
+    let futures = List.map (fun x -> submit t (fun () -> f x)) xs in
+    List.map await futures
+  end
+  else begin
+    (* coarsen tiny jobs: one pool job maps a whole chunk, amortizing the
+       submit/steal/wake cost; order is preserved chunk-wise and in-chunk *)
+    let futures =
+      List.map
+        (fun group -> submit t (fun () -> List.map f group))
+        (chunks_of chunk xs)
+    in
+    List.concat_map await futures
+  end
 
 let default_transient = function
   | Fault.Ompgpu_error.Error err -> Fault.Ompgpu_error.is_transient err
@@ -265,30 +521,41 @@ let map_list_guarded t ?watchdog_s ?(retries = 0) ?(backoff_s = 0.05)
   List.map2 (settle 0) xs futures
 
 let stats t =
-  Mutex.lock t.mutex;
-  let s =
-    {
-      submitted = t.submitted;
-      executed = t.executed;
-      stolen = t.stolen;
-      max_pending = t.max_pending;
-    }
-  in
-  Mutex.unlock t.mutex;
-  s
+  {
+    submitted = Atomic.get t.submitted;
+    executed = Atomic.get t.executed;
+    stolen = Atomic.get t.stolen;
+    max_pending = Atomic.get t.max_pending;
+    waits = Atomic.get t.waits;
+    boosts = Atomic.get t.boosts;
+  }
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  if t.shutting_down then Mutex.unlock t.mutex
+  Mutex.lock t.gate;
+  if t.stop then Mutex.unlock t.gate
   else begin
-    t.shutting_down <- true;
-    Condition.broadcast t.work_available;
-    Condition.broadcast t.space_available;
-    Mutex.unlock t.mutex;
-    List.iter Domain.join t.workers;
-    t.workers <- []
+    t.stop <- true;
+    Condition.broadcast t.work_cond;
+    Condition.broadcast t.reserve_cond;
+    Condition.broadcast t.space_cond;
+    let workers = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.gate;
+    List.iter Domain.join workers;
+    (* drain anything still queued (a parked worker re-checks [stop] before
+       sleeping, so by here every worker has exited; late-queued jobs run
+       on the caller, preserving the drain-then-join contract) *)
+    let rec drain i =
+      match try_take t i with
+      | Some job ->
+        took_one t;
+        job ();
+        drain i
+      | None -> ()
+    in
+    drain 0
   end
 
-let with_pool ?queue_capacity ~domains f =
-  let t = create ?queue_capacity ~domains () in
+let with_pool ?queue_capacity ?active ~domains f =
+  let t = create ?queue_capacity ?active ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

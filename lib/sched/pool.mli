@@ -1,11 +1,23 @@
 (** A fixed-size work-stealing job scheduler on OCaml 5 [Domain]s.
 
-    The pool owns [domains] worker domains.  Each worker has its own deque;
-    submitted jobs are distributed round-robin, a worker services its own
-    deque newest-first (LIFO, for locality) and steals the oldest job
-    (FIFO) from a sibling when its own deque is empty.  The pending-job
-    count is bounded: [submit] blocks once [queue_capacity] jobs are
-    queued, giving natural backpressure to producers.
+    The pool owns [domains] worker domains.  Each worker has its own
+    array-backed ring deque under a per-worker stripe lock; submitted jobs
+    are distributed round-robin, a worker services its own deque
+    newest-first (LIFO, for locality) and steals the oldest job (FIFO)
+    from a sibling when its own deque is empty.  A small gate mutex covers
+    only parking and waking.  The pending-job count is bounded: [submit]
+    blocks once [queue_capacity] jobs are queued, giving natural
+    backpressure to producers.
+
+    At most [active] workers (default: the runtime's recommended domain
+    count) run eagerly; the rest are {e reserves}, spawned lazily —
+    running (or even idling) more domains than the machine has cores is
+    counterproductive under OCaml 5's stop-the-world minor GC, so on a
+    constrained host a [domains:4] pool keeps only its active workers
+    alive — until {!await_timeout} observes a job overstaying its deadline
+    while work is queued, which engages a reserve within one poll
+    interval.  Guarded batches therefore keep their liveness guarantees
+    even when a job blocks its worker.
 
     Domain-safety contract for jobs: a job must not touch mutable state
     shared with another job (each compile/simulate job builds its own IR
@@ -23,14 +35,27 @@ type stats = {
   executed : int;  (** jobs completed (successfully or with an exception) *)
   stolen : int;  (** jobs a worker took from a sibling's deque *)
   max_pending : int;  (** high-water mark of the bounded queue *)
+  waits : int;  (** times a worker parked on an empty scan *)
+  boosts : int;  (** reserve engagements triggered by watchdog polls *)
 }
 
-val create : ?queue_capacity:int -> domains:int -> unit -> t
+val create : ?queue_capacity:int -> ?active:int -> domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains] worker domains (at least 1).
     [queue_capacity] bounds the number of queued-but-not-started jobs
-    (default [4 * domains]; at least 1). *)
+    (default [4 * domains]; at least 1).  [active] caps the eagerly
+    running workers (default [min domains (Domain.recommended_domain_count
+    ())]; clamped to [1..domains]) — the remainder start parked as
+    reserves. *)
 
 val domain_count : t -> int
+
+val active_limit : t -> int
+(** The number of eagerly running workers (see [create]'s [active]). *)
+
+val worker_index : unit -> int option
+(** The pool-worker index of the calling domain ([Some i] inside a job,
+    [None] elsewhere).  Lets a job bind per-worker resources — e.g. the
+    batch runner's scratch arenas — without synchronization. *)
 
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a job.  Blocks while the queue is at capacity.  Raises
@@ -43,13 +68,17 @@ val await : 'a future -> 'a
 val await_timeout : 'a future -> seconds:float -> 'a option
 (** Like {!await}, but gives up after [seconds] and returns [None] (the job
     itself keeps running; a later {!await} still works).  Polls — OCaml's
-    [Condition] has no timed wait — at a 5ms interval. *)
+    [Condition] has no timed wait — at a 5ms interval; every missed poll
+    with queued work engages one parked reserve worker, so a blocked
+    primary cannot stall a supervised batch. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list t f xs] runs [f x] for every element as pool jobs and returns
     the results in input order — deterministic output for deterministic
     [f], whatever the execution interleaving.  Equivalent to
-    [List.map f xs] observationally when [f] is pure per-element. *)
+    [List.map f xs] observationally when [f] is pure per-element.
+    [chunk] (default 1) coarsens tiny jobs: each pool job maps [chunk]
+    consecutive elements, amortizing submit/wake/steal overhead. *)
 
 val map_list_guarded :
   t ->
@@ -79,5 +108,5 @@ val stats : t -> stats
 val shutdown : t -> unit
 (** Drain every queued job, then join the worker domains.  Idempotent. *)
 
-val with_pool : ?queue_capacity:int -> domains:int -> (t -> 'a) -> 'a
+val with_pool : ?queue_capacity:int -> ?active:int -> domains:int -> (t -> 'a) -> 'a
 (** [create], run the callback, always [shutdown]. *)

@@ -1,0 +1,41 @@
+(* Streaming FNV-1a over OCaml's native 63-bit integers.
+
+   The content-address cache hashed megabytes of module text per batch
+   through MD5 (buffer copy + a cryptographic compression function per
+   block).  Cache keys need collision resistance against accident, not
+   adversaries, so a multiplicative byte-at-a-time hash in a native int —
+   one fused multiply per byte, no allocation at all — is the right
+   price point.  The 64-bit FNV constants are truncated to OCaml's tagged
+   63-bit int; keys are printed as 16 hex digits of the final state.
+
+   Determinism: the fold is a pure function of the byte sequence on any
+   64-bit platform (the tier-1 targets).  Keys address an in-process (or
+   single-daemon) cache and are golden-pinned by the corpus suite; they
+   are not a cross-platform wire format. *)
+
+type t = int
+
+(* FNV-1a offset basis / prime, masked into the native int range. *)
+let empty : t = 0x3bf29ce484222325
+let prime = 0x100000001b3
+
+let add_char (h : t) c = (h lxor Char.code c) * prime
+
+let add_string (h : t) s =
+  let h = ref h in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * prime
+  done;
+  !h
+
+(* Folds the int's own bytes (low to high), so framing lengths with
+   [add_int] cannot alias with content bytes. *)
+let add_int (h : t) n =
+  let h = ref h and n = ref n in
+  for _ = 0 to 7 do
+    h := (!h lxor (!n land 0xff)) * prime;
+    n := !n asr 8
+  done;
+  !h
+
+let to_hex (h : t) = Printf.sprintf "%016x" (h land max_int)

@@ -1,0 +1,17 @@
+(** Streaming FNV-1a content hash in a native 63-bit int: one multiply per
+    byte, zero allocation.  Replaces MD5 for cache addressing — collision
+    resistance against accident, not adversaries.  Deterministic on any
+    64-bit platform; not a cross-platform wire format. *)
+
+type t = private int
+
+val empty : t
+val add_char : t -> char -> t
+val add_string : t -> string -> t
+
+val add_int : t -> int -> t
+(** Folds the int's 8 low-order bytes; used to length-frame parts so
+    [["ab"; "c"]] and [["a"; "bc"]] cannot collide. *)
+
+val to_hex : t -> string
+(** 16 hex digits of the final state. *)

@@ -88,7 +88,7 @@ let generator_golden () =
         Corpus.Gen.render ~mode:Corpus.Gen.Generic
           (Corpus.Gen.generate (Corpus.Gen.program_stream ~root:42L i)))
   in
-  checks "digest of corpus programs 0-7 (root 42)" "ae09b115fcd85c3d"
+  checks "digest of corpus programs 0-7 (root 42)" "383b5f9ae97fb8d4"
     (String.sub (Sched.Cache.key ("corpus-renders" :: renders)) 0 16)
 
 let generator_escape_invariant () =
@@ -115,22 +115,22 @@ let cache_key_golden () =
   let key c = Api.cache_key ~file:"golden.c" ~config:c ~source:src in
   let expected =
     [
-      ("default", Api.Config.default, "b84c4ff0e0f56cc5e1b3767c013ed75e");
+      ("default", Api.Config.default, "38e790ef472f1029");
       ( "legacy",
         Api.Config.with_scheme Frontend.Codegen.Legacy Api.Config.default,
-        "a33d054b5c4847494c4d2f761e63d2ba" );
+        "2b5448dc90e31698" );
       ( "cuda",
         Api.Config.with_scheme Frontend.Codegen.Cuda Api.Config.default,
-        "a2c2b6835b393f3d541444db1ffd781c" );
+        "0279975bda1eb3fa" );
       ("optimized", Api.Config.optimized Api.Config.default,
-       "9dcd1dea423bfc62c3c8c2a18d38d3bd");
+       "285c5ed891fba1f2");
       ("sim", Api.Config.with_sim Api.Config.default,
-       "eb1b2eb3213d785834e33c2f9818a79a");
+       "0fc705556e514373");
       ( "injected",
         Api.Config.with_inject
           [ { Fault.Injector.site = Fault.Injector.Mem_alloc; rate = 0.5; seed = 7 } ]
           Api.Config.default,
-        "1ae76105ff6af035bb2561255b0a3038" );
+        "3723a2fddf7dc77d" );
     ]
   in
   List.iter (fun (name, c, k) -> checks ("cache_key " ^ name) k (key c)) expected;

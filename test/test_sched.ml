@@ -58,6 +58,53 @@ let test_submit_after_shutdown () =
   | _ -> Alcotest.fail "submit after shutdown accepted"
   | exception Invalid_argument _ -> ()
 
+(* A batch an order of magnitude past anything the drivers submit: 500
+   jobs whose costs span four orders of magnitude (no-ops through ~1M
+   iterations of mixing), mapped at every -j the CI matrix uses.  The
+   claims: every future settles (the map returns a full-length list — a
+   lost future would hang or shorten it), results land in input order
+   independent of -j, chunked submission agrees with unchunked, and at
+   -j4 the striped deques actually exchange work (stolen > 0: jobs are
+   round-robined over all stripes while any one domain drains its own
+   stripe first, so an 11x imbalance forces cross-stripe traffic). *)
+let test_stress_mixed_cost () =
+  let n = 500 in
+  (* deterministic mixed costs: 0, ~1e2, ~1e4, ~1e6 iterations *)
+  let cost i = match i mod 4 with 0 -> 0 | 1 -> 100 | 2 -> 10_000 | _ -> 1_000_000 in
+  let job i =
+    let acc = ref i in
+    for k = 1 to cost i do
+      acc := (!acc * 31) + k
+    done;
+    (i, !acc)
+  in
+  let expected = List.init n job in
+  let run ~domains ~chunk =
+    Sched.Pool.with_pool ~domains @@ fun pool ->
+    let r = Sched.Pool.map_list pool ~chunk job (List.init n Fun.id) in
+    (r, Sched.Pool.stats pool)
+  in
+  let seq = List.init n job in
+  List.iter
+    (fun (domains, chunk) ->
+      let r, s = run ~domains ~chunk in
+      Alcotest.(check int)
+        (Printf.sprintf "-j%d chunk=%d: no lost futures" domains chunk)
+        n (List.length r);
+      Alcotest.(check bool)
+        (Printf.sprintf "-j%d chunk=%d: deterministic, in input order" domains chunk)
+        true (r = expected && r = seq);
+      Alcotest.(check int)
+        (Printf.sprintf "-j%d: executed all" domains)
+        s.Sched.Pool.submitted s.Sched.Pool.executed)
+    [ (1, 1); (2, 1); (4, 1); (4, 8) ];
+  let _, s4 = run ~domains:4 ~chunk:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "-j4: work was stolen across stripes (stolen=%d)"
+       s4.Sched.Pool.stolen)
+    true
+    (s4.Sched.Pool.stolen > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -212,6 +259,7 @@ let suite =
     Alcotest.test_case "backpressure bound" `Quick test_backpressure;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
     Alcotest.test_case "submit after shutdown" `Quick test_submit_after_shutdown;
+    Alcotest.test_case "stress: 500 mixed-cost jobs" `Slow test_stress_mixed_cost;
     Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
     Alcotest.test_case "cache key framing" `Quick test_cache_key_framing;
     Alcotest.test_case "cache raising thunk" `Quick test_cache_raising_thunk;

@@ -1,17 +1,29 @@
 (* bench_gate: the CI benchmark-regression gate.
 
-     bench_gate BASELINE.json NEW.json [--threshold PCT]
+     bench_gate BASELINE.json NEW.json [--threshold PCT] [--min-speedup X]
+     bench_gate --perf PERF.json --min-speedup X
 
-   Compares two BENCH_observe.json files (the committed baseline vs a fresh
-   run) and fails — exit 1 — when any per-app cost-model counter regresses
-   by more than the threshold (default 20%).
+   Compare mode: diffs two BENCH_observe.json files (the committed
+   baseline vs a fresh run) and fails — exit 1 — when any per-app
+   cost-model counter regresses by more than the threshold (default 20%).
+   Only deterministic simulator counters are gated: per-app barriers and
+   the store counts summed over kernel launches (global + shared +
+   local).  Both files must carry a schema-stamped "sched" section whose
+   pool executed every submitted job; with [--min-speedup], the
+   *committed baseline's* recorded sched.speedup must clear the bar — a
+   regression there means someone committed a benchmark file from a run
+   where parallel compilation lost to sequential.
 
-   Only deterministic simulator counters are gated: per-app barriers and the
-   store counts summed over kernel launches (global + shared + local).
-   Wall-clock numbers (bechamel estimates, the sched speedup) are *never*
-   gated — they measure the CI host, not the compiler. *)
+   Perf mode (--perf): validates a single perf.json from `make perf`
+   (tools/perf_report.ml) — schema, sched section, no lost or phantom
+   pool jobs — and gates its freshly measured sched.speedup against
+   [--min-speedup].  This is the only place a fresh wall-clock ratio is
+   gated, and it is the CI perf job's contract: parallel compilation of
+   the standard batch must beat sequential (docs/PERF.md). *)
 
 let threshold = ref 20.0
+let min_speedup : float option ref = ref None
+let perf_path : string option ref = ref None
 
 let die fmt = Fmt.kstr (fun s -> prerr_endline ("bench_gate: " ^ s); exit 2) fmt
 
@@ -60,6 +72,59 @@ let require_corpus path j =
         path
     | None -> die "%s: corpus section without \"byte_identical\"" path)
 
+(* The scheduler section (bench/main.exe, `make perf`) must be present,
+   itself schema-stamped, and internally consistent: a pool that executed
+   fewer jobs than were submitted lost futures, one that executed more
+   invented them — either way the speedup number is meaningless.  Returns
+   the recorded speedup for the optional --min-speedup gate. *)
+let require_sched path j =
+  match Observe.Json.member "sched" j with
+  | None ->
+    die
+      "%s: no \"sched\" member (scheduler section); regenerate it with a \
+       current bench/main.exe or `make perf`"
+      path
+  | Some s -> (
+    require_schema (path ^ ": sched") s;
+    let pool =
+      match Observe.Json.member "pool" s with
+      | Some p -> p
+      | None -> die "%s: sched section without \"pool\"" path
+    in
+    let pool_int k =
+      match Option.bind (Observe.Json.member k pool) Observe.Json.to_int with
+      | Some n -> n
+      | None -> die "%s: sched.pool without counter %S" path k
+    in
+    let submitted = pool_int "submitted" and executed = pool_int "executed" in
+    if submitted <> executed then
+      die
+        "%s: sched.pool submitted=%d but executed=%d (lost or phantom jobs; \
+         the speedup number is meaningless)"
+        path submitted executed;
+    let to_float = function
+      | Observe.Json.Float f -> Some f
+      | Observe.Json.Int n -> Some (float_of_int n)
+      | _ -> None
+    in
+    match Option.bind (Observe.Json.member "speedup" s) to_float with
+    | Some sp -> sp
+    | None -> die "%s: sched section without \"speedup\"" path)
+
+let gate_speedup path speedup =
+  match !min_speedup with
+  | None -> ()
+  | Some bar ->
+    if speedup > bar then
+      Fmt.pr "bench_gate: %s sched.speedup %.3f > %.3f OK@." path speedup bar
+    else begin
+      Fmt.pr
+        "bench_gate: %s sched.speedup %.3f <= %.3f — parallel compilation \
+         does not beat sequential@."
+        path speedup bar;
+      exit 1
+    end
+
 let measurements j =
   match Option.bind (Observe.Json.member "measurements" j) Observe.Json.to_list with
   | Some ms -> ms
@@ -99,16 +164,40 @@ let () =
         threshold := t;
         parse rest
       | _ -> die "--threshold expects a positive number")
+    | "--min-speedup" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t > 0.0 ->
+        min_speedup := Some t;
+        parse rest
+      | _ -> die "--min-speedup expects a positive number")
+    | "--perf" :: p :: rest ->
+      perf_path := Some p;
+      parse rest
     | a :: rest ->
       positional := a :: !positional;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !perf_path with
+  | Some path ->
+    if !positional <> [] then
+      die "--perf takes no positional arguments";
+    let j = load path in
+    require_schema path j;
+    let speedup = require_sched path j in
+    (if !min_speedup = None then min_speedup := Some 1.0);
+    gate_speedup path speedup;
+    Fmt.pr "bench_gate: %s OK@." path;
+    exit 0
+  | None -> ());
   let baseline_path, new_path =
     match List.rev !positional with
     | [ b; n ] -> (b, n)
     | _ ->
-      prerr_endline "usage: bench_gate BASELINE.json NEW.json [--threshold PCT]";
+      prerr_endline
+        "usage: bench_gate BASELINE.json NEW.json [--threshold PCT] \
+         [--min-speedup X]\n\
+        \       bench_gate --perf PERF.json [--min-speedup X]";
       exit 2
   in
   let base_json = load baseline_path in
@@ -117,6 +206,9 @@ let () =
   require_schema new_path next_json;
   require_corpus baseline_path base_json;
   require_corpus new_path next_json;
+  let base_speedup = require_sched baseline_path base_json in
+  ignore (require_sched new_path next_json);
+  gate_speedup baseline_path base_speedup;
   let base = measurements base_json in
   let next = measurements next_json in
   let find_app app ms =
