@@ -301,10 +301,69 @@ let corpus_bench () =
     s.Corpus.Traffic.byte_identical s.Corpus.Traffic.transport_errors;
   Corpus.Traffic.to_json s
 
+(* ------------------------------------------------------------------ *)
+(* Fleet benchmark: the corpus through the sharded router              *)
+(* ------------------------------------------------------------------ *)
+
+(* How serving scales with shard count, and what a shard dying costs.
+   The same corpus traffic as corpus_bench, but through a Router fronting
+   N supervised in-process shards: requests/sec cold and warm at N=1,2,4
+   (the warm-hit ratio says whether the consistent-hash ring kept each
+   key on its warm shard), then the failover run — one shard stopped
+   mid-pass — whose p99 prices the router's absorption of the kill.
+   Throughput and latency measure this host; byte-identity of every
+   fleet answer with in-process compilation is machine-independent and
+   is the member tools/bench_gate.ml refuses to pass without. *)
+let fleet_bench () =
+  Fmt.pr "== Fleet: corpus through the sharded router ==@.";
+  let scaling =
+    List.map
+      (fun shards ->
+        let f =
+          Corpus.Traffic.run_fleet ~connections:4 ~shards ~domains:2 ~root:42L
+            ~n:12 ()
+        in
+        let s = f.Corpus.Traffic.base in
+        Fmt.pr
+          "  shards=%d  cold %8.1f compiles/s  warm %8.1f compiles/s  \
+           warm-hit %.2f  failovers %d  fallbacks %d  byte-identical %b@."
+          shards s.Corpus.Traffic.cold_cps s.Corpus.Traffic.warm_cps
+          f.Corpus.Traffic.warm_hit_ratio f.Corpus.Traffic.failovers
+          f.Corpus.Traffic.fallbacks s.Corpus.Traffic.byte_identical;
+        f)
+      [ 1; 2; 4 ]
+  in
+  let fo = Corpus.Traffic.run_failover ~connections:4 ~shards:3 ~domains:2
+      ~root:42L ~n:8 ()
+  in
+  Fmt.pr
+    "  failover: killed %s mid-pass (3 shards, %d jobs): p50 %.1fms  p99 \
+     %.1fms  max %.1fms  %d failover(s), %d fallback(s), %d respawn(s), \
+     byte-identical %b@.@."
+    fo.Corpus.Traffic.killed fo.Corpus.Traffic.fo_jobs
+    fo.Corpus.Traffic.p50_ms fo.Corpus.Traffic.p99_ms fo.Corpus.Traffic.max_ms
+    fo.Corpus.Traffic.fo_failovers fo.Corpus.Traffic.fo_fallbacks
+    fo.Corpus.Traffic.respawns fo.Corpus.Traffic.fo_byte_identical;
+  let byte_identical =
+    fo.Corpus.Traffic.fo_byte_identical
+    && List.for_all
+         (fun (f : Corpus.Traffic.fleet_stats) ->
+           f.Corpus.Traffic.base.Corpus.Traffic.byte_identical)
+         scaling
+  in
+  Observe.Json.with_schema
+    (Observe.Json.Obj
+       [
+         ( "scaling",
+           Observe.Json.List (List.map Corpus.Traffic.fleet_to_json scaling) );
+         ("failover", Corpus.Traffic.failover_to_json fo);
+         ("byte_identical", Observe.Json.Bool byte_identical);
+       ])
+
 (* Machine-readable perf trajectory: every app at bench scale under the
    default developer build, with the pipeline trace attached, so future
    changes can be diffed against this file. *)
-let observe_json ~sched ~service ~corpus path =
+let observe_json ~sched ~service ~corpus ~fleet path =
   let scale = Proxyapps.App.Bench in
   let records =
     List.map
@@ -324,6 +383,7 @@ let observe_json ~sched ~service ~corpus path =
         ("sched", sched);
         ("service", service);
         ("corpus", corpus);
+        ("fleet", fleet);
       ])
   in
   Out_channel.with_open_text path (fun oc ->
@@ -337,5 +397,6 @@ let () =
   let sched = sched_bench () in
   let service = service_bench () in
   let corpus = corpus_bench () in
+  let fleet = fleet_bench () in
   tables ();
-  observe_json ~sched ~service ~corpus "BENCH_observe.json"
+  observe_json ~sched ~service ~corpus ~fleet "BENCH_observe.json"

@@ -163,6 +163,227 @@ let serve_cmd =
                  requests to finish before severing connections."))
 
 (* ------------------------------------------------------------------ *)
+(* route: the sharded fleet front-end                                  *)
+(* ------------------------------------------------------------------ *)
+
+let default_router_socket =
+  Service.Router.default_config.Service.Router.socket_path
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* One daemon shard as a child process: [mompd serve] on its own socket
+   and state dir, stdout/stderr appended to a per-shard log.  [alive] and
+   [stop] reap with waitpid; the router's monitor thread is the only
+   [alive] caller, so the pid slot needs no locking. *)
+let subprocess_backend ~name ~socket_path ~log_file args =
+  let pid = ref None in
+  let start () =
+    let logfd =
+      Unix.openfile log_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    let p =
+      Fun.protect
+        ~finally:(fun () -> Unix.close logfd)
+        (fun () -> Unix.create_process Sys.executable_name args Unix.stdin logfd logfd)
+    in
+    pid := Some p
+  in
+  let alive () =
+    match !pid with
+    | None -> false
+    | Some p -> (
+      match Unix.waitpid [ Unix.WNOHANG ] p with
+      | 0, _ -> true
+      | _ ->
+        pid := None;
+        false
+      | exception Unix.Unix_error _ ->
+        pid := None;
+        false)
+  in
+  let stop () =
+    match !pid with
+    | None -> ()
+    | Some p ->
+      (try Unix.kill p Sys.sigterm with Unix.Unix_error _ -> ());
+      let deadline = Unix.gettimeofday () +. 8.0 in
+      let rec reap () =
+        match Unix.waitpid [ Unix.WNOHANG ] p with
+        | 0, _ ->
+          if Unix.gettimeofday () < deadline then begin
+            Thread.delay 0.05;
+            reap ()
+          end
+          else begin
+            (* the graceful drain wedged: do not leave an orphan behind *)
+            (try Unix.kill p Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] p) with Unix.Unix_error _ -> ()
+          end
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      reap ();
+      pid := None
+  in
+  { Service.Router.name; socket_path; start; stop; alive; pid = (fun () -> !pid) }
+
+let route socket shards domains capacity cache_dir fleet_dir inject
+    queue_deadline probe_interval max_respawns eject_cooldown =
+  let socket_path =
+    match socket with Some s -> s | None -> default_router_socket
+  in
+  let shards = max 1 shards in
+  let capacity = Option.value capacity ~default:(4 * max 1 domains * shards) in
+  match Cli_common.parse_injects inject with
+  | Error msgs ->
+    List.iter (fun m -> Fmt.epr "mompd: --inject: %s@." m) msgs;
+    2
+  | Ok specs ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    mkdir_p fleet_dir;
+    Option.iter mkdir_p cache_dir;
+    let backends =
+      List.init shards (fun i ->
+          let name = Printf.sprintf "shard-%d" i in
+          let state_dir = Filename.concat fleet_dir (name ^ ".state") in
+          mkdir_p state_dir;
+          let shard_socket = Filename.concat fleet_dir (name ^ ".sock") in
+          let args =
+            [
+              Sys.executable_name;
+              "serve";
+              "--socket";
+              shard_socket;
+              "-j";
+              string_of_int (max 1 domains);
+              (* each shard takes the whole fleet capacity: the router's
+                 per-tenant fair queue is the real admission gate, and a
+                 failover must not be shed by a tight per-shard cap *)
+              "--capacity";
+              string_of_int capacity;
+              "--state-dir";
+              state_dir;
+            ]
+            @ (match cache_dir with
+              | Some d -> [ "--cache-dir"; d ]  (* the shared disk tier *)
+              | None -> [])
+            @ List.concat_map
+                (fun s ->
+                  [ "--inject"; Fault.Injector.spec_to_string s ])
+                (List.filter
+                   (fun s ->
+                     (* router-level sites stay at the router *)
+                     match s.Fault.Injector.site with
+                     | Fault.Injector.Shard_down | Fault.Injector.Probe_timeout
+                     | Fault.Injector.Ring_skew ->
+                       false
+                     | _ -> true)
+                   specs)
+          in
+          subprocess_backend ~name ~socket_path:shard_socket
+            ~log_file:(Filename.concat fleet_dir (name ^ ".log"))
+            (Array.of_list args))
+    in
+    let cfg =
+      {
+        Service.Router.default_config with
+        Service.Router.socket_path;
+        capacity;
+        queue_deadline_s = queue_deadline;
+        probe_interval_s = probe_interval;
+        max_respawns;
+        eject_cooldown_s = eject_cooldown;
+        injector = Fault.Injector.create specs;
+        log = (fun m -> Fmt.epr "mompd: %s@." m);
+      }
+    in
+    let router = Service.Router.create cfg backends in
+    let drain_and_exit _signal =
+      Service.Router.stop router;
+      ignore
+        (Thread.create
+           (fun () ->
+             Thread.delay 10.0;
+             Stdlib.exit 0)
+           ())
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain_and_exit);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain_and_exit);
+    Fmt.epr "mompd: routing on %s across %d shard(s) (fleet-dir=%s capacity=%d%s)@."
+      socket_path shards fleet_dir capacity
+      (match cache_dir with
+      | Some d -> Printf.sprintf " cache-dir=%s" d
+      | None -> "");
+    Service.Router.serve_forever router;
+    Fmt.epr "mompd: fleet shut down@.";
+    0
+
+let route_cmd =
+  let doc =
+    "run the fleet router: N supervised daemon shards behind one socket, \
+     requests sharded by cache key over a consistent-hash ring with \
+     health-probed failover (see docs/FLEET.md)"
+  in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(
+      const route
+      $ Cli_common.socket ~default:default_router_socket ()
+      $ Arg.(
+          value
+          & opt int 2
+          & info [ "shards" ] ~docv:"N"
+              ~doc:"Number of daemon shards to spawn and supervise.")
+      $ Cli_common.jobs
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "capacity" ] ~docv:"N"
+              ~doc:
+                "Fleet-wide admission limit enforced by the per-tenant fair \
+                 queue.  Default 4 * domains * shards.")
+      $ Cli_common.cache_dir
+      $ Arg.(
+          value
+          & opt string "./mompd-fleet"
+          & info [ "fleet-dir" ] ~docv:"DIR"
+              ~doc:
+                "Home for per-shard sockets, state dirs and logs \
+                 ($(docv)/shard-K.sock, $(docv)/shard-K.state, \
+                 $(docv)/shard-K.log).")
+      $ Cli_common.inject
+      $ Arg.(
+          value
+          & opt float
+              Service.Router.default_config.Service.Router.queue_deadline_s
+          & info [ "queue-deadline" ] ~docv:"SECONDS"
+              ~doc:
+                "Longest a request waits for fair-queue capacity before \
+                 being shed (exit 40, retryable).")
+      $ Arg.(
+          value
+          & opt float
+              Service.Router.default_config.Service.Router.probe_interval_s
+          & info [ "probe-interval" ] ~docv:"SECONDS"
+              ~doc:"Health-probe period per shard.")
+      $ Arg.(
+          value
+          & opt int Service.Router.default_config.Service.Router.max_respawns
+          & info [ "max-respawns" ] ~docv:"N"
+              ~doc:
+                "Respawns tolerated per window before a crash-looping shard \
+                 is ejected from the ring.")
+      $ Arg.(
+          value
+          & opt float
+              Service.Router.default_config.Service.Router.eject_cooldown_s
+          & info [ "eject-cooldown" ] ~docv:"SECONDS"
+              ~doc:"How long an ejected shard sits out before rejoining."))
+
+(* ------------------------------------------------------------------ *)
 (* stats / health / shutdown                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -195,6 +416,27 @@ let health_cmd =
      journal-replay counters"
   in
   Cmd.v (Cmd.info "health" ~doc) Term.(const health $ socket_arg)
+
+let fleet socket =
+  let socket_path =
+    match socket with Some s -> s | None -> default_router_socket
+  in
+  with_client socket_path (fun c ->
+      match Service.Client.fleet c () with
+      | Ok j ->
+        print_string (Observe.Json.to_string j);
+        print_newline ();
+        0
+      | Error e -> fail_error e)
+
+let fleet_cmd =
+  let doc =
+    "print the router's fleet document (schema 2) as JSON: ring layout, \
+     router counters, and per-shard state/probe/respawn counters with \
+     each reachable shard's live stats"
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(const fleet $ Cli_common.socket ~default:default_router_socket ())
 
 let shutdown socket =
   with_client (require_socket socket) (fun c ->
@@ -241,6 +483,14 @@ let request_cmd =
 let cmd =
   let doc = "persistent MiniOMP compile service" in
   Cmd.group (Cmd.info "mompd" ~doc)
-    [ serve_cmd; stats_cmd; health_cmd; shutdown_cmd; request_cmd ]
+    [
+      serve_cmd;
+      route_cmd;
+      stats_cmd;
+      health_cmd;
+      fleet_cmd;
+      shutdown_cmd;
+      request_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

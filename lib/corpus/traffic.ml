@@ -72,7 +72,15 @@ let timed_pass ~socket_path ~connections (jobs : job array) =
   List.iter Thread.join threads;
   (results, Unix.gettimeofday () -. t0)
 
+(* This module boots servers (and kills shards) inside the calling
+   process, so a peer closing mid-write is an expected event here even
+   when the host binary never asked for one: without this, a failover
+   run dies of SIGPIPE instead of recording the failover. *)
+let ignore_sigpipe () =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 let run ?(connections = 4) ?(domains = 2) ~root ~n () =
+  ignore_sigpipe ();
   let jobs = Array.of_list (jobs_of_corpus ~root ~n) in
   let expected =
     Array.map (fun j -> Api.compile_buffered ~config:j.config ~file:j.file j.src) jobs
@@ -140,3 +148,321 @@ let to_json s =
          ("byte_identical", Observe.Json.Bool s.byte_identical);
          ("transport_errors", Observe.Json.Int s.transport_errors);
        ])
+
+(* ------------------------------------------------------------------ *)
+(* The corpus through the fleet router                                 *)
+(* ------------------------------------------------------------------ *)
+
+module J = Observe.Json
+
+type fleet_stats = {
+  base : stats;
+  shards : int;
+  failovers : int;
+  fallbacks : int;
+  warm_hit_ratio : float;
+}
+
+(* Sum every reachable shard's in-memory cache hits out of a fleet
+   document: the delta between the warm and cold passes is how many warm
+   answers the ring kept on the shard that already compiled them. *)
+let fleet_cache_hits doc =
+  match J.member "shards" doc with
+  | Some (J.List entries) ->
+    List.fold_left
+      (fun acc entry ->
+        match
+          Option.bind (J.member "stats" entry) (fun stats ->
+              Option.bind (J.member "cache" stats) (fun cache ->
+                  Option.bind (J.member "hits" cache) J.to_int))
+        with
+        | Some hits -> acc + hits
+        | None -> acc)
+      0 entries
+  | _ -> 0
+
+let router_counter doc name =
+  Option.value
+    (Option.bind (J.member "router" doc) (fun r ->
+         Option.bind (J.member name r) J.to_int))
+    ~default:0
+
+let fleet_respawns doc =
+  match J.member "shards" doc with
+  | Some (J.List entries) ->
+    List.fold_left
+      (fun acc entry ->
+        match Option.bind (J.member "respawns" entry) J.to_int with
+        | Some n -> acc + n
+        | None -> acc)
+      0 entries
+  | _ -> 0
+
+let fetch_fleet_doc ~router_socket =
+  Service.Client.with_connection ~socket_path:router_socket (fun c ->
+      match Service.Client.fleet c () with
+      | Ok doc -> doc
+      | Error _ -> J.Obj [])
+
+let with_fleet ?(shards = 2) ?(domains = 2) ~tag f =
+  ignore_sigpipe ();
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mompd-fleet-%d-%s" (Unix.getpid ()) tag)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let cache_dir = Filename.concat dir "cache" in
+  let backends =
+    List.init shards (fun i ->
+        let name = Printf.sprintf "shard-%d" i in
+        Service.Router.inproc_backend
+          {
+            Service.Supervisor.default_config with
+            Service.Supervisor.server =
+              {
+                Service.Server.default_config with
+                Service.Server.socket_path =
+                  Filename.concat dir (name ^ ".sock");
+                domains;
+                capacity = 4 * max 1 domains;
+                cache_dir = Some cache_dir;  (* the shared disk tier *)
+              };
+          }
+          ~name)
+  in
+  let router_socket = Filename.concat dir "router.sock" in
+  let router =
+    Service.Router.create
+      {
+        Service.Router.default_config with
+        Service.Router.socket_path = router_socket;
+        capacity = 4 * max 1 domains * shards;
+        probe_interval_s = 0.05;
+      }
+      backends
+  in
+  let router_thread = Thread.create Service.Router.serve_forever router in
+  let finish () =
+    Service.Client.with_connection ~socket_path:router_socket (fun c ->
+        match Service.Client.shutdown c () with
+        | Ok () -> ()
+        | Error e ->
+          Fmt.epr "fleet traffic: shutdown: %s@."
+            (Fault.Ompgpu_error.to_string e));
+    Thread.join router_thread
+  in
+  match f ~router_socket ~backends with
+  | result ->
+    finish ();
+    result
+  | exception e ->
+    (try finish () with _ -> ());
+    raise e
+
+let run_fleet ?(connections = 4) ?(shards = 2) ?(domains = 2) ~root ~n () =
+  let jobs = Array.of_list (jobs_of_corpus ~root ~n) in
+  let expected =
+    Array.map (fun j -> Api.compile_buffered ~config:j.config ~file:j.file j.src) jobs
+  in
+  with_fleet ~shards ~domains ~tag:(Printf.sprintf "s%d" shards)
+    (fun ~router_socket ~backends:_ ->
+      let cold, cold_s = timed_pass ~socket_path:router_socket ~connections jobs in
+      let after_cold = fetch_fleet_doc ~router_socket in
+      let warm, warm_s = timed_pass ~socket_path:router_socket ~connections jobs in
+      let after_warm = fetch_fleet_doc ~router_socket in
+      let errors = ref 0 in
+      let matches = ref true in
+      let check results =
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Some (Ok compiled) ->
+              if not (identical compiled expected.(i)) then matches := false
+            | Some (Error _) | None -> incr errors)
+          results
+      in
+      check cold;
+      check warm;
+      let total = Array.length jobs in
+      let cps s = if s > 0.0 then float_of_int total /. s else 0.0 in
+      let warm_hits = fleet_cache_hits after_warm - fleet_cache_hits after_cold in
+      {
+        base =
+          {
+            programs = n;
+            jobs = total;
+            connections;
+            domains;
+            cold_s;
+            warm_s;
+            cold_cps = cps cold_s;
+            warm_cps = cps warm_s;
+            byte_identical = !matches && !errors = 0;
+            transport_errors = !errors;
+          };
+        shards;
+        failovers = router_counter after_warm "failovers";
+        fallbacks = router_counter after_warm "fallbacks";
+        warm_hit_ratio =
+          (if total > 0 then float_of_int warm_hits /. float_of_int total
+           else 0.0);
+      })
+
+let fleet_to_json s =
+  match to_json s.base with
+  | J.Obj members ->
+    J.Obj
+      (members
+      @ [
+          ("shards", J.Int s.shards);
+          ("failovers", J.Int s.failovers);
+          ("fallbacks", J.Int s.fallbacks);
+          ("warm_hit_ratio", J.Float s.warm_hit_ratio);
+        ])
+  | j -> j
+
+(* ------------------------------------------------------------------ *)
+(* Failover latency: stop a shard in the middle of a measured pass     *)
+(* ------------------------------------------------------------------ *)
+
+type failover_stats = {
+  shards_total : int;
+  fo_jobs : int;
+  killed : string;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  fo_byte_identical : bool;
+  fo_failovers : int;
+  fo_fallbacks : int;
+  respawns : int;
+}
+
+(* [timed_pass], but with a per-request latency recorded next to each
+   result — the distribution, not the total, is what a shard kill
+   distorts — and a [taken] counter the killer thread watches so the
+   kill lands mid-pass whatever this host's throughput is. *)
+let latency_pass ~taken ~socket_path ~connections (jobs : job array) =
+  let results = Array.make (Array.length jobs) None in
+  let lat = Array.make (Array.length jobs) 0.0 in
+  let next = ref 0 in
+  let lock = Mutex.create () in
+  let take () =
+    Mutex.lock lock;
+    let i = !next in
+    if i < Array.length jobs then incr next;
+    Mutex.unlock lock;
+    if i < Array.length jobs then begin
+      Atomic.incr taken;
+      Some i
+    end
+    else None
+  in
+  let worker () =
+    let session = Service.Client.session ~socket_path () in
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        let j = jobs.(i) in
+        let t0 = Unix.gettimeofday () in
+        results.(i) <-
+          Some (Service.Client.session_compile session ~file:j.file ~config:j.config j.src);
+        lat.(i) <- Unix.gettimeofday () -. t0;
+        loop ()
+    in
+    loop ();
+    Service.Client.session_close session
+  in
+  let threads = List.init connections (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  (results, lat)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+let run_failover ?(connections = 4) ?(shards = 3) ?(domains = 2) ~root ~n () =
+  let jobs = Array.of_list (jobs_of_corpus ~root ~n) in
+  let expected =
+    Array.map (fun j -> Api.compile_buffered ~config:j.config ~file:j.file j.src) jobs
+  in
+  with_fleet ~shards ~domains ~tag:"failover" (fun ~router_socket ~backends ->
+      (* A cold pass first, so the measured pass isolates failover cost
+         from first-compile cost: every key is warm somewhere (in-memory
+         on its shard, on the shared disk tier for everyone else). *)
+      let (_ : (Api.compiled, Fault.Ompgpu_error.t) result option array * float) =
+        timed_pass ~socket_path:router_socket ~connections jobs
+      in
+      let victim = List.hd backends in
+      (* the kill lands once a quarter of the jobs are in flight or done,
+         so the remaining three quarters exercise strike + failover *)
+      let taken = Atomic.make 0 in
+      let quarter = max 1 (Array.length jobs / 4) in
+      let killer =
+        Thread.create
+          (fun () ->
+            while Atomic.get taken < quarter do
+              Thread.delay 0.001
+            done;
+            victim.Service.Router.stop ())
+          ()
+      in
+      let results, lat =
+        latency_pass ~taken ~socket_path:router_socket ~connections jobs
+      in
+      Thread.join killer;
+      (* give the monitor a moment to notice the corpse and respawn it —
+         the counters below should show the kill was real *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec settle () =
+        let doc = fetch_fleet_doc ~router_socket in
+        if fleet_respawns doc >= 1 || Unix.gettimeofday () > deadline then doc
+        else begin
+          Thread.delay 0.05;
+          settle ()
+        end
+      in
+      let doc = settle () in
+      let errors = ref 0 in
+      let matches = ref true in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some (Ok compiled) ->
+            if not (identical compiled expected.(i)) then matches := false
+          | Some (Error _) | None -> incr errors)
+        results;
+      let sorted = Array.copy lat in
+      Array.sort compare sorted;
+      let ms s = 1000.0 *. s in
+      {
+        shards_total = shards;
+        fo_jobs = Array.length jobs;
+        killed = victim.Service.Router.name;
+        p50_ms = ms (percentile sorted 50.0);
+        p99_ms = ms (percentile sorted 99.0);
+        max_ms = ms (percentile sorted 100.0);
+        fo_byte_identical = !matches && !errors = 0;
+        fo_failovers = router_counter doc "failovers";
+        fo_fallbacks = router_counter doc "fallbacks";
+        respawns = fleet_respawns doc;
+      })
+
+let failover_to_json s =
+  J.Obj
+    [
+      ("shards", J.Int s.shards_total);
+      ("jobs", J.Int s.fo_jobs);
+      ("killed", J.String s.killed);
+      ("p50_ms", J.Float s.p50_ms);
+      ("p99_ms", J.Float s.p99_ms);
+      ("max_ms", J.Float s.max_ms);
+      ("byte_identical", J.Bool s.fo_byte_identical);
+      ("failovers", J.Int s.fo_failovers);
+      ("fallbacks", J.Int s.fo_fallbacks);
+      ("respawns", J.Int s.respawns);
+    ]

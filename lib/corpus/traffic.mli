@@ -32,3 +32,70 @@ val run :
 
 val to_json : stats -> Observe.Json.t
 (** The schema-stamped ["corpus"] section of [BENCH_observe.json]. *)
+
+(** {1 The corpus through the fleet router} *)
+
+type fleet_stats = {
+  base : stats;  (** same measurements, taken through the router *)
+  shards : int;
+  failovers : int;  (** requests the router moved off a failed shard *)
+  fallbacks : int;  (** requests the router settled in-process *)
+  warm_hit_ratio : float;
+      (** warm-pass answers served from a shard's in-memory cache — the
+          consistent-hash ring keeping each key on its warm shard is the
+          whole point of sharding, so this should approach 1.0 on a
+          healthy fleet *)
+}
+
+val run_fleet :
+  ?connections:int ->
+  ?shards:int ->
+  ?domains:int ->
+  root:int64 ->
+  n:int ->
+  unit ->
+  fleet_stats
+(** {!run}, but through a {!Service.Router} fronting [shards] in-process
+    supervised daemon shards (default 2) that share one on-disk cache
+    tier.  Byte-identity is judged against the same in-process facade —
+    a reply through the fleet must match a lone daemon's bytes, which
+    must match [mompc]'s. *)
+
+val fleet_to_json : fleet_stats -> Observe.Json.t
+(** One entry of the fleet section's ["scaling"] list in
+    [BENCH_observe.json] (the section itself is assembled and
+    schema-stamped by [bench/main.exe]). *)
+
+(** {1 Failover latency under a mid-traffic shard kill} *)
+
+type failover_stats = {
+  shards_total : int;
+  fo_jobs : int;
+  killed : string;  (** name of the shard stopped mid-pass *)
+  p50_ms : float;
+  p99_ms : float;  (** the headline: request latency with a shard dying *)
+  max_ms : float;
+  fo_byte_identical : bool;
+      (** every answer — including those that failed over — matched the
+          in-process bytes, with zero client-visible transport errors *)
+  fo_failovers : int;  (** requests the router moved off the dead shard *)
+  fo_fallbacks : int;  (** requests the router settled in-process *)
+  respawns : int;  (** monitor respawns observed (>= 1 on a healthy run) *)
+}
+
+val run_failover :
+  ?connections:int ->
+  ?shards:int ->
+  ?domains:int ->
+  root:int64 ->
+  n:int ->
+  unit ->
+  failover_stats
+(** Warm a fleet (default 3 in-process shards) with one cold pass, then
+    stop one shard ~50ms into a second, per-request-timed pass.  The
+    router must absorb the kill — strike the shard, fail over along the
+    ring, respawn it — without a single client-visible failure; the
+    latency percentiles price that absorption. *)
+
+val failover_to_json : failover_stats -> Observe.Json.t
+(** The ["failover"] member of the fleet section of [BENCH_observe.json]. *)

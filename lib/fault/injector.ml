@@ -11,6 +11,9 @@ type site =
   | Partial_frame
   | Slow_client
   | Daemon_kill
+  | Shard_down
+  | Probe_timeout
+  | Ring_skew
 
 let all_sites =
   [
@@ -24,6 +27,9 @@ let all_sites =
     Partial_frame;
     Slow_client;
     Daemon_kill;
+    Shard_down;
+    Probe_timeout;
+    Ring_skew;
   ]
 
 let site_name = function
@@ -37,6 +43,9 @@ let site_name = function
   | Partial_frame -> "partial-frame"
   | Slow_client -> "slow-client"
   | Daemon_kill -> "daemon-kill"
+  | Shard_down -> "shard-down"
+  | Probe_timeout -> "probe-timeout"
+  | Ring_skew -> "ring-skew"
 
 let site_of_name s = List.find_opt (fun x -> site_name x = s) all_sites
 

@@ -33,6 +33,15 @@ type site =
   | Daemon_kill
       (** [Service.Server]: crash the serve loop itself after an accept
           (exercises the supervisor's restart-with-backoff path) *)
+  | Shard_down
+      (** [Service.Router]: treat the hash ring's primary shard as down for
+          one request (exercises failover to the next live shard) *)
+  | Probe_timeout
+      (** [Service.Router]: fail one health probe without contacting the
+          shard (exercises the up/degraded/down state machine) *)
+  | Ring_skew
+      (** [Service.Router]: rotate the ring's preference order for one
+          request (exercises cold-but-correct misrouting) *)
 
 val all_sites : site list
 val site_name : site -> string

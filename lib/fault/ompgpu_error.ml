@@ -33,13 +33,15 @@ type t = {
   kind : kind;
   phase : phase;
   loc : Support.Loc.t option;
+  peer : string option;
   message : string;
   backtrace : string option;
 }
 
 exception Error of t
 
-let make kind ~phase ?loc ?backtrace message = { kind; phase; loc; message; backtrace }
+let make kind ~phase ?loc ?peer ?backtrace message =
+  { kind; phase; loc; peer; message; backtrace }
 
 let raise_error kind ~phase ?loc fmt =
   Fmt.kstr (fun message -> raise (Error (make kind ~phase ?loc message))) fmt
@@ -120,8 +122,11 @@ let to_string t =
     | Some l when not (Support.Loc.is_none l) -> " at " ^ Support.Loc.to_string l
     | _ -> ""
   in
-  Printf.sprintf "%s error[%s]%s%s: %s" (phase_name t.phase) (kind_name t.kind)
-    (kind_detail t.kind) loc t.message
+  (* fleet-mode failures name the shard they failed against, so "daemon
+     unreachable" always says *which* daemon *)
+  let peer = match t.peer with Some p -> " via " ^ p | None -> "" in
+  Printf.sprintf "%s error[%s]%s%s%s: %s" (phase_name t.phase) (kind_name t.kind)
+    (kind_detail t.kind) loc peer t.message
 
 let to_json t =
   Observe.Json.Obj
@@ -149,6 +154,9 @@ let to_json t =
       | _ -> [])
     @ (match t.loc with
       | Some l -> [ ("loc", Observe.Json.String (Support.Loc.to_string l)) ]
+      | None -> [])
+    @ (match t.peer with
+      | Some p -> [ ("peer", Observe.Json.String p) ]
       | None -> [])
     @
     match t.backtrace with

@@ -54,6 +54,10 @@ type t = {
   kind : kind;
   phase : phase;
   loc : Support.Loc.t option;
+  peer : string option;
+      (** the remote endpoint (shard socket path) a transport failure was
+          observed against — fleet-mode failures name the shard, not just
+          "daemon unreachable".  [None] for every local error. *)
   message : string;
   backtrace : string option;  (** raise-point backtrace, when recorded *)
 }
@@ -61,7 +65,14 @@ type t = {
 exception Error of t
 (** The one structured exception layers raise across module boundaries. *)
 
-val make : kind -> phase:phase -> ?loc:Support.Loc.t -> ?backtrace:string -> string -> t
+val make :
+  kind ->
+  phase:phase ->
+  ?loc:Support.Loc.t ->
+  ?peer:string ->
+  ?backtrace:string ->
+  string ->
+  t
 
 val raise_error : kind -> phase:phase -> ?loc:Support.Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Format a message and raise [Error]. *)
@@ -87,11 +98,14 @@ val transient_exn : exn -> bool
     [Error]. *)
 
 val to_string : t -> string
-(** Stable one-line rendering ["phase error[kind] at loc: message"], without
-    the backtrace — this is the byte-stable diagnostic CI compares. *)
+(** Stable one-line rendering ["phase error[kind] at loc via peer: message"],
+    without the backtrace — this is the byte-stable diagnostic CI compares
+    (the [via peer] segment appears only on transport errors, which never
+    enter compiled bytes). *)
 
 val to_json : t -> Observe.Json.t
-(** {"kind"; "phase"; "exit_code"; "message"; "loc"?; "backtrace"?} *)
+(** {"kind"; "phase"; "exit_code"; "message"; "loc"?; "peer"?;
+    "backtrace"?} *)
 
 val of_exn : phase:phase -> exn -> Printexc.raw_backtrace -> t
 (** Classify an arbitrary exception caught at a layer boundary.  [Error t]

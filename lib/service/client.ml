@@ -4,6 +4,7 @@ type t = {
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
+  peer : string;  (* the socket path, so transport errors name the shard *)
   mutable closed : bool;
 }
 
@@ -26,6 +27,7 @@ let connect ?deadline_s ~socket_path () =
     fd;
     ic = Unix.in_channel_of_descr fd;
     oc = Unix.out_channel_of_descr fd;
+    peer = socket_path;
     closed = false;
   }
 
@@ -40,26 +42,29 @@ let with_connection ~socket_path f =
   let t = connect ~socket_path () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
-let transport_error fmt =
-  Printf.ksprintf (fun m -> Error (E.make E.Internal ~phase:E.Serving m)) fmt
+(* Every transport breakdown names the peer it was observed against
+   ([E.t.peer]), so a fleet-mode failure says *which* shard, not just
+   "daemon unreachable". *)
+let transport_error ~peer fmt =
+  Printf.ksprintf (fun m -> Error (E.make E.Internal ~phase:E.Serving ~peer m)) fmt
 
 let roundtrip_json t j =
   match
     Protocol.write_message t.oc j;
     Protocol.read_message t.ic
   with
-  | `Eof -> transport_error "connection closed before a response arrived"
+  | `Eof -> transport_error ~peer:t.peer "connection closed before a response arrived"
   | `Overflow e | `Msg (Error e) -> Error e
   | `Msg (Ok reply) -> Ok reply
   | exception Sys_error msg ->
     (* a timed-out or reset socket read/write; the stream can no longer be
        resynchronized, so the caller must reconnect *)
-    transport_error "transport failure: %s" msg
+    transport_error ~peer:t.peer "transport failure: %s" msg
   | exception Sys_blocked_io ->
     (* the per-request deadline (SO_RCVTIMEO) fired mid-read *)
-    transport_error "request deadline exceeded waiting for the daemon"
+    transport_error ~peer:t.peer "request deadline exceeded waiting for the daemon"
   | exception End_of_file ->
-    transport_error "connection closed before a response arrived"
+    transport_error ~peer:t.peer "connection closed before a response arrived"
 
 let roundtrip t request =
   match roundtrip_json t (Protocol.request_to_json request) with
@@ -67,41 +72,50 @@ let roundtrip t request =
   | Ok j -> (
     match Protocol.response_of_json j with
     | Ok r -> Ok r
-    | Error msg -> transport_error "undecodable response: %s" msg)
+    | Error msg -> transport_error ~peer:t.peer "undecodable response: %s" msg)
 
 (* A [Rejected] response is the daemon speaking the taxonomy; surface its
    error directly.  Any other unexpected shape is a protocol breakdown. *)
-let rejected_or_mismatch ~expected = function
+let rejected_or_mismatch ~peer ~expected = function
   | Protocol.Rejected { error; _ } -> Error error
-  | Protocol.Compiled _ -> transport_error "expected a %s reply, got a compile result" expected
-  | Protocol.Stats_reply _ -> transport_error "expected a %s reply, got stats" expected
-  | Protocol.Health_reply _ -> transport_error "expected a %s reply, got health" expected
+  | Protocol.Compiled _ ->
+    transport_error ~peer "expected a %s reply, got a compile result" expected
+  | Protocol.Stats_reply _ -> transport_error ~peer "expected a %s reply, got stats" expected
+  | Protocol.Health_reply _ -> transport_error ~peer "expected a %s reply, got health" expected
+  | Protocol.Fleet_reply _ ->
+    transport_error ~peer "expected a %s reply, got a fleet document" expected
   | Protocol.Shutdown_ack _ ->
-    transport_error "expected a %s reply, got a shutdown acknowledgement" expected
+    transport_error ~peer "expected a %s reply, got a shutdown acknowledgement" expected
 
-let compile t ?(id = "c0") ?(file = "<service>") ~config source =
-  match roundtrip t (Protocol.Compile { id; file; source; config }) with
+let compile t ?(id = "c0") ?(file = "<service>") ?tenant ~config source =
+  match roundtrip t (Protocol.Compile { id; file; source; config; tenant }) with
   | Error e -> Error e
   | Ok (Protocol.Compiled { result; _ }) -> Ok result
-  | Ok other -> rejected_or_mismatch ~expected:"compile" other
+  | Ok other -> rejected_or_mismatch ~peer:t.peer ~expected:"compile" other
 
 let stats t ?(id = "s0") () =
   match roundtrip t (Protocol.Stats { id }) with
   | Error e -> Error e
   | Ok (Protocol.Stats_reply { stats; _ }) -> Ok stats
-  | Ok other -> rejected_or_mismatch ~expected:"stats" other
+  | Ok other -> rejected_or_mismatch ~peer:t.peer ~expected:"stats" other
 
 let health t ?(id = "h0") () =
   match roundtrip t (Protocol.Health { id }) with
   | Error e -> Error e
   | Ok (Protocol.Health_reply { health; _ }) -> Ok health
-  | Ok other -> rejected_or_mismatch ~expected:"health" other
+  | Ok other -> rejected_or_mismatch ~peer:t.peer ~expected:"health" other
+
+let fleet t ?(id = "f0") () =
+  match roundtrip t (Protocol.Fleet { id }) with
+  | Error e -> Error e
+  | Ok (Protocol.Fleet_reply { fleet; _ }) -> Ok fleet
+  | Ok other -> rejected_or_mismatch ~peer:t.peer ~expected:"fleet" other
 
 let shutdown t ?(id = "q0") () =
   match roundtrip t (Protocol.Shutdown { id }) with
   | Error e -> Error e
   | Ok (Protocol.Shutdown_ack _) -> Ok ()
-  | Ok other -> rejected_or_mismatch ~expected:"shutdown" other
+  | Ok other -> rejected_or_mismatch ~peer:t.peer ~expected:"shutdown" other
 
 (* ------------------------------------------------------------------ *)
 (* Resilient sessions                                                  *)
@@ -154,8 +168,8 @@ let backoff_delay policy ~attempt ~key =
     (policy.backoff_base_s *. (2. ** float_of_int attempt))
   *. jitter (key, attempt)
 
-let unavailable fmt =
-  Printf.ksprintf (fun m -> E.make E.Internal ~phase:E.Serving m) fmt
+let unavailable ~peer fmt =
+  Printf.ksprintf (fun m -> E.make E.Internal ~phase:E.Serving ~peer m) fmt
 
 let ensure_conn s =
   match s.conn with
@@ -172,14 +186,15 @@ let ensure_conn s =
          burn the retry budget, degrade immediately *)
       Error
         (`Fatal
-          (unavailable "no daemon at %s (socket file missing)" s.socket_path))
+          (unavailable ~peer:s.socket_path "no daemon at %s (socket file missing)"
+             s.socket_path))
     | exception Unix.Unix_error (err, _, _) ->
       (* ECONNREFUSED and friends: a stale socket — the daemon may be mid
          restart, worth the bounded retries *)
       Error
         (`Transient
-          (unavailable "cannot reach daemon at %s: %s" s.socket_path
-             (Unix.error_message err))))
+          (unavailable ~peer:s.socket_path "cannot reach daemon at %s: %s"
+             s.socket_path (Unix.error_message err))))
 
 let try_once s ~id ~file ~config source =
   match ensure_conn s with
@@ -200,12 +215,14 @@ let try_once s ~id ~file ~config source =
       | _ -> if E.is_transient e then `Transient e else `Fatal e)
     | exception (Sys_error _ | End_of_file) ->
       drop_conn s;
-      `Transient (unavailable "connection to %s broke mid-request" s.socket_path)
+      `Transient
+        (unavailable ~peer:s.socket_path "connection to %s broke mid-request"
+           s.socket_path)
     | exception Unix.Unix_error (err, _, _) ->
       drop_conn s;
       `Transient
-        (unavailable "connection to %s failed: %s" s.socket_path
-           (Unix.error_message err)))
+        (unavailable ~peer:s.socket_path "connection to %s failed: %s"
+           s.socket_path (Unix.error_message err)))
 
 (* One compile with the full client-resilience loop: per-request deadline
    (set at connect), bounded jittered retries over transient failures

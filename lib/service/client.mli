@@ -49,14 +49,18 @@ val compile :
   t ->
   ?id:string ->
   ?file:string ->
+  ?tenant:string ->
   config:Ompgpu_api.Config.t ->
   string ->
   (Ompgpu_api.compiled, Fault.Ompgpu_error.t) result
 (** Compile one source through the daemon.  [Ok] carries every settled
     result — including structured failures ([compiled.exit_code <> 0],
     e.g. a shed request) — whose bytes match a one-shot [mompc]; [Error]
-    is reserved for transport/protocol breakdowns.  [file] defaults to
-    ["<service>"], [id] to ["c0"]. *)
+    is reserved for transport/protocol breakdowns ([Internal], phase
+    [Serving], [peer] = the socket path, so fleet-mode failures name the
+    shard).  [file] defaults to ["<service>"], [id] to ["c0"]; [tenant]
+    names the admission-quota identity under the fleet router and is
+    omitted from the wire when absent. *)
 
 val stats :
   t -> ?id:string -> unit -> (Observe.Json.t, Fault.Ompgpu_error.t) result
@@ -66,6 +70,12 @@ val health :
   t -> ?id:string -> unit -> (Observe.Json.t, Fault.Ompgpu_error.t) result
 (** The daemon's health document (schema 2): status, uptime, in-flight,
     breaker state, restart and journal-replay counts. *)
+
+val fleet :
+  t -> ?id:string -> unit -> (Observe.Json.t, Fault.Ompgpu_error.t) result
+(** The fleet document (schema 2): ring layout plus one entry per shard
+    with its health state and stats.  Only the {!Router} answers this; a
+    single-shard daemon rejects it with [Bad_request]. *)
 
 val shutdown :
   t -> ?id:string -> unit -> (unit, Fault.Ompgpu_error.t) result

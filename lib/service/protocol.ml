@@ -11,15 +11,18 @@ type request =
       file : string;
       source : string;
       config : Ompgpu_api.Config.t;
+      tenant : string option;
     }
   | Stats of { id : string }
   | Health of { id : string }
+  | Fleet of { id : string }
   | Shutdown of { id : string }
 
 type response =
   | Compiled of { id : string; op : string; result : Ompgpu_api.compiled }
   | Stats_reply of { id : string; stats : Observe.Json.t }
   | Health_reply of { id : string; health : Observe.Json.t }
+  | Fleet_reply of { id : string; fleet : Observe.Json.t }
   | Shutdown_ack of { id : string }
   | Rejected of { id : string option; error : Fault.Ompgpu_error.t }
 
@@ -190,21 +193,26 @@ let bad_request fmt =
     fmt
 
 let request_to_json = function
-  | Compile { id; file; source; config } ->
+  | Compile { id; file; source; config; tenant } ->
     let op = if config.Ompgpu_api.Config.run_sim then "run" else "compile" in
     J.Obj
-      [
-        ("v", J.Int version);
-        ("id", J.String id);
-        ("op", J.String op);
-        ("file", J.String file);
-        ("source", J.String source);
-        ("config", config_to_json config);
-      ]
+      ([
+         ("v", J.Int version);
+         ("id", J.String id);
+         ("op", J.String op);
+         ("file", J.String file);
+         ("source", J.String source);
+         ("config", config_to_json config);
+       ]
+      (* the member is omitted entirely for the anonymous tenant, so
+         pre-fleet requests stay byte-identical *)
+      @ match tenant with Some t -> [ ("tenant", J.String t) ] | None -> [])
   | Stats { id } ->
     J.Obj [ ("v", J.Int version); ("id", J.String id); ("op", J.String "stats") ]
   | Health { id } ->
     J.Obj [ ("v", J.Int version); ("id", J.String id); ("op", J.String "health") ]
+  | Fleet { id } ->
+    J.Obj [ ("v", J.Int version); ("id", J.String id); ("op", J.String "fleet") ]
   | Shutdown { id } ->
     J.Obj
       [ ("v", J.Int version); ("id", J.String id); ("op", J.String "shutdown") ]
@@ -227,18 +235,23 @@ let request_of_json j =
               ~default:"<service>"
           in
           match
-            config_of_json
-              (Option.value (J.member "config" j) ~default:(J.Obj []))
+            ( config_of_json
+                (Option.value (J.member "config" j) ~default:(J.Obj [])),
+              match J.member "tenant" j with
+              | None -> Ok None
+              | Some (J.String t) -> Ok (Some t)
+              | Some _ -> Error "tenant: expected a string" )
           with
-          | Error msg -> Error (bad_request "%s" msg)
-          | Ok config ->
+          | Error msg, _ | _, Error msg -> Error (bad_request "%s" msg)
+          | Ok config, Ok tenant ->
             let config =
               if op = "run" then { config with Ompgpu_api.Config.run_sim = true }
               else config
             in
-            Ok (Compile { id; file; source; config })))
+            Ok (Compile { id; file; source; config; tenant })))
       | Some "stats" -> Ok (Stats { id })
       | Some "health" -> Ok (Health { id })
+      | Some "fleet" -> Ok (Fleet { id })
       | Some "shutdown" -> Ok (Shutdown { id })
       | Some op -> Error (bad_request "unknown op %S" op)))
   | Some (J.Int v) ->
@@ -285,6 +298,15 @@ let response_to_json = function
         ("op", J.String "health");
         ("ok", J.Bool true);
         ("health", health);
+      ]
+  | Fleet_reply { id; fleet } ->
+    J.Obj
+      [
+        ("v", J.Int version);
+        ("id", J.String id);
+        ("op", J.String "fleet");
+        ("ok", J.Bool true);
+        ("fleet", fleet);
       ]
   | Shutdown_ack { id } ->
     J.Obj
@@ -362,6 +384,10 @@ let response_of_json j =
       match (id, J.member "health" j) with
       | Some id, Some health -> Ok (Health_reply { id; health })
       | _ -> Error "malformed health response")
+    | Some "fleet" -> (
+      match (id, J.member "fleet" j) with
+      | Some id, Some fleet -> Ok (Fleet_reply { id; fleet })
+      | _ -> Error "malformed fleet response")
     | Some "shutdown" -> (
       match id with
       | Some id -> Ok (Shutdown_ack { id })

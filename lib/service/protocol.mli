@@ -16,6 +16,8 @@
     - ["stats"] — the daemon's live counters (schema 2)
     - ["health"] — liveness/readiness: uptime, in-flight, breaker state,
       restart and journal-replay counts (schema 2)
+    - ["fleet"] — aggregate per-shard health/stats; answered by the
+      {!Router} front-end (a single-shard daemon rejects it)
     - ["shutdown"] — acknowledge, then drain and exit
 
     The full field-by-field specification lives in docs/API.md; the
@@ -37,9 +39,14 @@ type request =
       file : string;  (** diagnostic label and injector-derivation tag *)
       source : string;
       config : Ompgpu_api.Config.t;
+      tenant : string option;
+          (** admission-quota identity under the fleet router; the wire
+              member is omitted (not [null]) when [None], so pre-fleet
+              requests encode byte-identically *)
     }
   | Stats of { id : string }
   | Health of { id : string }
+  | Fleet of { id : string }
   | Shutdown of { id : string }
 
 type response =
@@ -55,6 +62,10 @@ type response =
   | Health_reply of { id : string; health : Observe.Json.t }
       (** Schema-2 health document; see {!Server.health_json} for the
           members. *)
+  | Fleet_reply of { id : string; fleet : Observe.Json.t }
+      (** Schema-2 fleet document: the ring layout plus one entry per
+          shard (state, probe counters, per-shard stats).  Only the
+          {!Router} produces it. *)
   | Shutdown_ack of { id : string }
   | Rejected of { id : string option; error : Fault.Ompgpu_error.t }
       (** A request the protocol layer could not accept: unparseable

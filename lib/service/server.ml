@@ -456,11 +456,25 @@ let handle_connection t fd =
           busily (fun () ->
               respond t ~fd oc
                 (Protocol.Health_reply { id; health = health_json t }))
+        | Ok (Protocol.Fleet { id }) ->
+          (* fleet aggregation is the router's job; a bare shard saying
+             "yes" here would masquerade as a one-shard fleet *)
+          bad ();
+          busily (fun () ->
+              respond t ~fd oc
+                (Protocol.Rejected
+                   {
+                     id = Some id;
+                     error =
+                       E.make E.Bad_request ~phase:E.Serving
+                         "fleet: this daemon is a single shard; ask the \
+                          fleet router (mompd route)";
+                   }))
         | Ok (Protocol.Shutdown { id }) ->
           busily (fun () -> respond t ~fd oc (Protocol.Shutdown_ack { id }));
           stop t;
           raise Exit (* stop reading: the daemon is draining *)
-        | Ok (Protocol.Compile { id; file; source; config }) ->
+        | Ok (Protocol.Compile { id; file; source; config; tenant = _ }) ->
           let op = if config.Ompgpu_api.Config.run_sim then "run" else "compile" in
           busily (fun () ->
               let result = handle_compile t ~id ~file ~config source in

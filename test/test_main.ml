@@ -18,6 +18,7 @@ let () =
       ("fault", Test_fault.suite);
       ("service", Test_service.suite);
       ("resilience", Test_resilience.suite);
+      ("fleet", Test_fleet.suite);
       ("fuzz", Test_fuzz.suite);
       ("corpus", Test_corpus.suite);
     ]

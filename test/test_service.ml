@@ -107,6 +107,7 @@ let test_request_goldens () =
                file = "t.c";
                source = "int main() { return 0; }";
                config = A.Config.default;
+               tenant = None;
              })));
   (* a simulating config travels as op "run" *)
   let run_req =
@@ -117,6 +118,7 @@ let test_request_goldens () =
            file = "t.c";
            source = "x";
            config = A.Config.(default |> optimized |> with_sim);
+           tenant = None;
          })
   in
   Alcotest.(check (option string))
@@ -165,11 +167,12 @@ let test_request_roundtrip () =
       |> with_retries ~backoff_s:0.25 2)
   in
   let req =
-    Service.Protocol.Compile { id = "r1"; file = "a.c"; source = "src"; config }
+    Service.Protocol.Compile
+      { id = "r1"; file = "a.c"; source = "src"; config; tenant = Some "t-acme" }
   in
   match Service.Protocol.request_of_json (Service.Protocol.request_to_json req) with
   | Error e -> Alcotest.failf "round-trip rejected: %s" (E.to_string e)
-  | Ok (Service.Protocol.Compile { id; file; source; config = config' }) ->
+  | Ok (Service.Protocol.Compile { id; file; source; config = config'; tenant }) ->
     Alcotest.(check string) "id" "r1" id;
     Alcotest.(check string) "file" "a.c" file;
     Alcotest.(check string) "source" "src" source;
@@ -178,7 +181,9 @@ let test_request_roundtrip () =
       (A.Config.fingerprint config)
       (A.Config.fingerprint config');
     Alcotest.(check int) "retries" 2 config'.A.Config.retries;
-    Alcotest.(check (float 1e-9)) "backoff" 0.25 config'.A.Config.backoff_s
+    Alcotest.(check (float 1e-9)) "backoff" 0.25 config'.A.Config.backoff_s;
+    Alcotest.(check (option string))
+      "tenant survives the wire" (Some "t-acme") tenant
   | Ok _ -> Alcotest.fail "round-trip changed the operation"
 
 let test_bad_requests () =

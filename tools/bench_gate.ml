@@ -9,7 +9,10 @@
    Only deterministic simulator counters are gated: per-app barriers and
    the store counts summed over kernel launches (global + shared +
    local).  Both files must carry a schema-stamped "sched" section whose
-   pool executed every submitted job; with [--min-speedup], the
+   pool executed every submitted job, a "corpus" section and a "fleet"
+   section that each recorded byte_identical=true (daemon and
+   sharded-router answers matched in-process compilation bit for bit);
+   with [--min-speedup], the
    *committed baseline's* recorded sched.speedup must clear the bar — a
    regression there means someone committed a benchmark file from a run
    where parallel compilation lost to sequential.
@@ -71,6 +74,29 @@ let require_corpus path j =
            diverged from in-process compilation)"
         path
     | None -> die "%s: corpus section without \"byte_identical\"" path)
+
+(* The fleet section (bench/main.exe) must be present and itself
+   schema-stamped: requests/sec per shard count and the failover p99 are
+   wall-clock and never gated, but a fleet answer diverging from
+   in-process compilation — anywhere in the shard-scaling runs or the
+   shard-kill failover run — is a routing bug, not a perf number. *)
+let require_fleet path j =
+  match Observe.Json.member "fleet" j with
+  | None ->
+    die
+      "%s: no \"fleet\" member (sharded-router section); regenerate it with \
+       a current bench/main.exe"
+      path
+  | Some f -> (
+    require_schema (path ^ ": fleet") f;
+    let to_bool = function Observe.Json.Bool b -> Some b | _ -> None in
+    match Option.bind (Observe.Json.member "byte_identical" f) to_bool with
+    | Some true -> ()
+    | Some false ->
+      die "%s: fleet section recorded byte_identical=false (routed answers \
+           diverged from in-process compilation)"
+        path
+    | None -> die "%s: fleet section without \"byte_identical\"" path)
 
 (* The scheduler section (bench/main.exe, `make perf`) must be present,
    itself schema-stamped, and internally consistent: a pool that executed
@@ -206,6 +232,8 @@ let () =
   require_schema new_path next_json;
   require_corpus baseline_path base_json;
   require_corpus new_path next_json;
+  require_fleet baseline_path base_json;
+  require_fleet new_path next_json;
   let base_speedup = require_sched baseline_path base_json in
   ignore (require_sched new_path next_json);
   gate_speedup baseline_path base_speedup;

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Chaos/soak harness for the supervised compile service (docs/ROBUSTNESS.md).
 #
-# Three phases, CHAOS_ITERS iterations overall (default 200):
+# Four phases, CHAOS_ITERS iterations overall (default 200):
 #
 #   1. Supervised crash soak: a daemon under `--inject daemon-kill` crashes
 #      its serve loop on a deterministic fraction of accepts; a stream of
@@ -24,6 +24,14 @@
 #      available, raw garbage bytes, a torn frame and an oversized
 #      (> max_frame_bytes) line are also thrown at the socket directly.
 #
+#   4. Fleet kill -9 soak: `mompd route` fronts three subprocess shards;
+#      a stream of compiles rides through the router while one shard is
+#      SIGKILLed mid-traffic.  Every client must still exit 0 with bytes
+#      identical to the one-shot reference (the router strikes the dead
+#      shard and fails over along the ring), the monitor must respawn
+#      the corpse, and the fleet document must show all shards back up
+#      with a respawn on the books (docs/FLEET.md).
+#
 # Zero non-taxonomy exits allowed anywhere: clients exit 0, the daemon
 # exits 0 on shutdown, and nothing ever dies on an unhandled exception.
 
@@ -34,16 +42,27 @@ MOMPD=${MOMPD:-_build/default/bin/mompd.exe}
 CHAOS_ITERS=${CHAOS_ITERS:-200}
 
 # iteration budget: half crash soak, a tenth kill -9 cycles (each costs a
-# daemon boot), the rest protocol fuzz lines
+# daemon boot), a tenth fleet compiles around a shard SIGKILL, the rest
+# protocol fuzz lines
 P1=$((CHAOS_ITERS / 2))
 P2=$((CHAOS_ITERS / 10))
-P3=$((CHAOS_ITERS - P1 - P2))
+P4=$((CHAOS_ITERS / 10))
+[ "$P4" -ge 4 ] || P4=4
+P3=$((CHAOS_ITERS - P1 - P2 - P4))
+[ "$P3" -ge 5 ] || P3=5
 
 WORK=$(mktemp -d)
-# keep the socket path short: Unix sockets cap at ~108 bytes
+# keep the socket paths short: Unix sockets cap at ~108 bytes
 SOCK=$(mktemp -u /tmp/mompd-chaos-XXXXXX.sock)
+RSOCK=$(mktemp -u /tmp/mompd-chaos-r-XXXXXX.sock)
 DPID=
-trap 'rm -rf "$WORK"; rm -f "$SOCK"; [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true' EXIT
+RPID=
+# the router owns its shard subprocesses: TERM it first so it can stop
+# them, and only then fall back to SIGKILL
+trap 'rm -rf "$WORK"; rm -f "$SOCK" "$RSOCK";
+      [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null;
+      [ -n "$RPID" ] && { kill "$RPID" 2>/dev/null; sleep 1; kill -9 "$RPID" 2>/dev/null; };
+      true' EXIT
 
 fail() { echo "chaos-soak: FAIL: $*" >&2; exit 1; }
 
@@ -240,11 +259,70 @@ else
   echo "chaos-soak: note: python3 not found, skipping raw-socket fuzz" >&2
 fi
 
-# --- clean shutdown ---------------------------------------------------------
+# --- clean shutdown of the single daemon ------------------------------------
 
 retry_verb shutdown
 wait "$DPID" || fail "daemon exited nonzero after shutdown"
 DPID=
 [ ! -e "$SOCK" ] || fail "daemon left its socket file behind"
 
-echo "chaos-soak: OK ($P1 compiles over crash injection, $P2 kill -9 cycles, $P3 fuzz lines; zero non-taxonomy exits)"
+# --- phase 4: fleet kill -9 soak --------------------------------------------
+
+echo "chaos-soak: phase 4: $P4 compiles through the router around a shard kill -9" >&2
+
+"$MOMPD" route --socket "$RSOCK" --shards 3 -j 2 \
+  --fleet-dir "$WORK/fleet" --cache-dir "$WORK/fleet-cache" \
+  --probe-interval 0.05 \
+  2> "$WORK/router.log" &
+RPID=$!
+
+# all three shards probed up before any traffic (or a kill) is aimed at them
+fleet_doc() { "$MOMPD" fleet --socket "$RSOCK" 2>/dev/null; }
+wait_fleet_up() {
+  i=0
+  while [ "$(fleet_doc | grep -c '"state": "up"')" -ne 3 ]; do
+    i=$((i+1))
+    [ "$i" -gt 200 ] && fail "phase 4: fleet did not come up (see $WORK/router.log)"
+    kill -0 "$RPID" 2>/dev/null || fail "phase 4: router died: $(tail -5 "$WORK/router.log")"
+    sleep 0.1
+  done
+}
+wait_fleet_up
+
+n=0
+while [ "$n" -lt "$P4" ]; do
+  if [ "$n" -eq $((P4 / 2)) ]; then
+    # SIGKILL one shard mid-traffic: pick its pid out of the fleet
+    # document, index varied by the iteration count
+    KPID=$(fleet_doc | grep -o '"pid": [0-9]*' | grep -o '[0-9]*$' \
+           | sed -n "$(( (n % 3) + 1 ))p")
+    [ -n "$KPID" ] || fail "phase 4: no shard pid in the fleet document"
+    kill -9 "$KPID" 2>/dev/null || fail "phase 4: could not SIGKILL shard pid $KPID"
+  fi
+  "$MOMPC" -O --run --daemon "$RSOCK" "$WORK/input.c" \
+    > "$WORK/p4.out" 2> "$WORK/p4.err" \
+    || fail "phase 4 iter $n: client exited $? through the router"
+  cmp -s "$WORK/ref.out" "$WORK/p4.out" || fail "phase 4 iter $n: stdout differs"
+  cmp -s "$WORK/ref.err" "$WORK/p4.err" || fail "phase 4 iter $n: stderr differs"
+  n=$((n+1))
+done
+
+# the monitor must have respawned the corpse and probed it back up
+i=0
+until fleet_doc > "$WORK/fleet.json" \
+      && [ "$(grep -c '"state": "up"' "$WORK/fleet.json")" -eq 3 ]; do
+  i=$((i+1))
+  [ "$i" -gt 100 ] && fail "phase 4: killed shard never came back up: $(cat "$WORK/fleet.json")"
+  sleep 0.1
+done
+grep -q '"respawns": [1-9]' "$WORK/fleet.json" \
+  || fail "phase 4: no shard recorded a respawn after kill -9: $(cat "$WORK/fleet.json")"
+"$MOMPD" health --socket "$RSOCK" | grep -q '"shards_up": 3' \
+  || fail "phase 4: router health does not report 3 shards up"
+
+"$MOMPD" shutdown --socket "$RSOCK" || fail "phase 4: router shutdown failed"
+wait "$RPID" || fail "phase 4: router exited nonzero after shutdown"
+RPID=
+[ ! -e "$RSOCK" ] || fail "phase 4: router left its socket file behind"
+
+echo "chaos-soak: OK ($P1 compiles over crash injection, $P2 kill -9 cycles, $P3 fuzz lines, $P4 fleet compiles around a shard kill -9; zero non-taxonomy exits)"

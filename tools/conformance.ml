@@ -1,8 +1,8 @@
 (* conformance: the mass-corpus differential driver (docs/CONFORMANCE.md).
 
      conformance [--n N] [--seed S] [--ledger PATH|-] [--expected PATH]
-                 [--daemon] [--connections K] [--domains D] [--observe JSON]
-                 [--quiet]
+                 [--daemon] [--router] [--shards K] [--connections K]
+                 [--domains D] [--observe JSON] [--quiet]
 
    Runs N seeded corpus programs through the full
    {scheme} x {mode} x {pipeline} differential matrix in-process,
@@ -12,6 +12,8 @@
    [--daemon] additionally replays the whole corpus through a live
    in-process mompd over K client sessions, reporting compiles/sec cold
    and warm and requiring byte-identity with in-process compilation;
+   [--router] does the same through a fleet router fronting --shards
+   supervised daemon shards (cold + warm, byte-identity required);
    [--observe FILE] merges the resulting schema-stamped "corpus" section
    into an existing BENCH_observe.json.
 
@@ -23,8 +25,8 @@ let die fmt = Fmt.kstr (fun s -> prerr_endline ("conformance: " ^ s); exit 2) fm
 let usage () =
   prerr_endline
     "usage: conformance [--n N] [--seed S] [--ledger PATH|-] [--expected PATH]\n\
-    \                   [--daemon] [--connections K] [--domains D]\n\
-    \                   [--observe JSON] [--quiet]";
+    \                   [--daemon] [--router] [--shards K] [--connections K]\n\
+    \                   [--domains D] [--observe JSON] [--quiet]";
   exit 2
 
 type opts = {
@@ -33,6 +35,8 @@ type opts = {
   mutable ledger : string option;
   mutable expected : string option;
   mutable daemon : bool;
+  mutable router : bool;
+  mutable shards : int;
   mutable connections : int;
   mutable domains : int;
   mutable observe : string option;
@@ -48,6 +52,8 @@ let parse_args () =
       ledger = None;
       expected = None;
       daemon = false;
+      router = false;
+      shards = 2;
       connections = 4;
       domains = 2;
       observe = None;
@@ -78,6 +84,12 @@ let parse_args () =
       parse rest
     | "--daemon" :: rest ->
       o.daemon <- true;
+      parse rest
+    | "--router" :: rest ->
+      o.router <- true;
+      parse rest
+    | "--shards" :: v :: rest ->
+      o.shards <- pos_int "--shards" v;
       parse rest
     | "--connections" :: v :: rest ->
       o.connections <- pos_int "--connections" v;
@@ -217,4 +229,29 @@ let () =
   end
   else if o.observe <> None then
     die "--observe requires --daemon (the corpus section reports daemon throughput)";
+  if o.router then begin
+    (* the same corpus, the same byte-identity bar, but through the fleet:
+       a router + shards answer must match the in-process facade exactly *)
+    let f =
+      Corpus.Traffic.run_fleet ~connections:o.connections ~shards:o.shards
+        ~domains:o.domains ~root:o.seed ~n:o.n ()
+    in
+    let s = f.Corpus.Traffic.base in
+    Fmt.pr
+      "router: %d jobs over %d connections and %d shard(s): cold %.1f \
+       compiles/s (%.1fs), warm %.1f compiles/s (%.1fs), warm-hit ratio \
+       %.2f, %d failover(s), %d fallback(s), byte-identical %b@."
+      s.Corpus.Traffic.jobs s.Corpus.Traffic.connections f.Corpus.Traffic.shards
+      s.Corpus.Traffic.cold_cps s.Corpus.Traffic.cold_s s.Corpus.Traffic.warm_cps
+      s.Corpus.Traffic.warm_s f.Corpus.Traffic.warm_hit_ratio
+      f.Corpus.Traffic.failovers f.Corpus.Traffic.fallbacks
+      s.Corpus.Traffic.byte_identical;
+    if not s.Corpus.Traffic.byte_identical then begin
+      failed := true;
+      Fmt.epr
+        "conformance: fleet results diverged from in-process compilation (%d \
+         transport errors)@."
+        s.Corpus.Traffic.transport_errors
+    end
+  end;
   if !failed then exit 1
