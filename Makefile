@@ -61,23 +61,30 @@ chaos:
 # Mass-conformance corpus (docs/CONFORMANCE.md): CORPUS_N seeded programs
 # through the full {scheme} x {mode} x {pipeline} differential matrix —
 # any unexplained divergence fails with a minimized reproducer — then the
-# whole corpus replayed through a live mompd (--daemon), requiring
-# byte-identity with in-process compilation and recording compiles/sec
-# cold and warm into BENCH_observe.json's "corpus" section.
+# whole corpus replayed through a live mompd (--daemon) plus the tiered
+# vs untiered daemon comparison (--tiered), requiring byte-identity with
+# in-process compilation and recording compiles/sec, cold p50 per tier
+# and upgrade throughput into BENCH_observe.json's "corpus" and "tiers"
+# sections.
 CORPUS_N ?= 1000
 CORPUS_SEED ?= 42
 conformance:
 	dune build tools/conformance.exe bench/main.exe
 	dune exec tools/conformance.exe -- --n $(CORPUS_N) --seed $(CORPUS_SEED) \
-	  --daemon --observe BENCH_observe.json
+	  --daemon --tiered --observe BENCH_observe.json
 
 # The CI-sized corpus: the committed ledger's exact run (48 programs,
 # seed 42) diffed against test/corpus_ledger.expected, plus daemon
-# replay.  Any drift is a one-line ledger diff.
+# replay.  Any drift is a one-line ledger diff.  Then the same corpus
+# replayed with `--pipeline fast` standing in for the optimized column —
+# the divergence licenses are scheme/mode/program-keyed, so every
+# fast-vs-full delta must still classify (api_version 2's pipeline API
+# cannot introduce unexplained divergences).
 conformance-smoke:
 	dune build tools/conformance.exe
 	dune exec tools/conformance.exe -- --n 48 --seed 42 \
 	  --expected test/corpus_ledger.expected --daemon
+	dune exec tools/conformance.exe -- --n 48 --seed 42 --pipeline fast
 
 # Benchmark-regression gate: regenerate BENCH_observe.json into a scratch
 # directory and diff its deterministic counters (per-app barriers and store

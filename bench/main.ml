@@ -360,10 +360,40 @@ let fleet_bench () =
          ("byte_identical", Observe.Json.Bool byte_identical);
        ])
 
+(* ------------------------------------------------------------------ *)
+(* Tiers benchmark: cold latency per tier, upgrade throughput          *)
+(* ------------------------------------------------------------------ *)
+
+(* The tiered-compilation acceptance shape (docs/SCHEDULER.md): a cold
+   request against a tiered daemon — answered from the fast tier — must
+   be cheaper than the same cold request against an untiered (full-only)
+   daemon, the warm path must not regress, and once the background
+   upgrade queue drains every answer must be byte-identical to a
+   one-shot full-pipeline compile.  Latencies and upgrade throughput
+   measure this host; byte-identity is machine-independent and is the
+   member tools/bench_gate.ml refuses to pass without. *)
+let tiers_bench () =
+  let t = Corpus.Traffic.run_tiered ~connections:4 ~domains:2 ~root:42L ~n:12 () in
+  Fmt.pr "== Tiers: cold latency per tier, background upgrade throughput ==@.";
+  Fmt.pr "  %d tier-eligible jobs over %d connections (%d domains)@."
+    t.Corpus.Traffic.tr_jobs t.Corpus.Traffic.tr_connections
+    t.Corpus.Traffic.tr_domains;
+  Fmt.pr "  cold p50   full %8.1f ms   tiered %8.1f ms@."
+    t.Corpus.Traffic.full_cold_p50_ms t.Corpus.Traffic.tiered_cold_p50_ms;
+  Fmt.pr "  warm       full %8.1f c/s  tiered %8.1f c/s@."
+    t.Corpus.Traffic.full_warm_cps t.Corpus.Traffic.tiered_warm_cps;
+  Fmt.pr "  upgrades   %d drained in %.2fs (%.1f/s)@."
+    t.Corpus.Traffic.upgrades_done t.Corpus.Traffic.upgrade_drain_s
+    t.Corpus.Traffic.upgrades_per_s;
+  Fmt.pr "  post-upgrade byte-identical to one-shot full: %b   transport \
+          errors: %d@.@."
+    t.Corpus.Traffic.post_upgrade_identical t.Corpus.Traffic.tr_transport_errors;
+  Corpus.Traffic.tiers_to_json t
+
 (* Machine-readable perf trajectory: every app at bench scale under the
    default developer build, with the pipeline trace attached, so future
    changes can be diffed against this file. *)
-let observe_json ~sched ~service ~corpus ~fleet path =
+let observe_json ~sched ~service ~corpus ~fleet ~tiers path =
   let scale = Proxyapps.App.Bench in
   let records =
     List.map
@@ -384,6 +414,7 @@ let observe_json ~sched ~service ~corpus ~fleet path =
         ("service", service);
         ("corpus", corpus);
         ("fleet", fleet);
+        ("tiers", tiers);
       ])
   in
   Out_channel.with_open_text path (fun oc ->
@@ -398,5 +429,6 @@ let () =
   let service = service_bench () in
   let corpus = corpus_bench () in
   let fleet = fleet_bench () in
+  let tiers = tiers_bench () in
   tables ();
-  observe_json ~sched ~service ~corpus ~fleet "BENCH_observe.json"
+  observe_json ~sched ~service ~corpus ~fleet ~tiers "BENCH_observe.json"

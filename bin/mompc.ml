@@ -57,9 +57,9 @@ let compile_via_daemon ~socket_path ~config files =
             | Error _ -> A.compile_buffered ~config ~file src))
         files)
 
-let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group
-    emit_ir run_sim remarks_only stats_json print_trace jobs cache_dir inject
-    retries backoff watchdog backtrace daemon =
+let run_compile files scheme pipeline_spec optimize no_spmd no_deglob no_csm
+    no_fold no_group emit_ir run_sim remarks_only stats_json print_trace jobs
+    cache_dir inject retries backoff watchdog backtrace daemon =
   (* Backtrace printing is opt-in (OMPGPU_BACKTRACE=1 or --backtrace):
      diagnostics must be byte-stable across runs — the CI fault matrix
      compares two same-seed runs — and backtraces are not. *)
@@ -78,6 +78,28 @@ let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group
         }
     else None
   in
+  (* A malformed --pipeline spec is a client error of the same class the
+     daemon rejects with Bad_request, so the one-shot driver settles it
+     under the same taxonomy exit code. *)
+  let pipeline =
+    match pipeline_spec with
+    | None -> Ok None
+    | Some spec -> (
+      if options <> None then
+        Error
+          "may not be combined with -O/--openmp-opt or the \
+           openmp-opt-disable-* toggles"
+      else
+        match A.Pipeline.of_string spec with
+        | Ok p -> Ok (Some p)
+        | Error msg -> Error msg)
+  in
+  match pipeline with
+  | Error msg ->
+    let e = A.Error.make A.Error.Bad_request ~phase:A.Error.Driver msg in
+    Fmt.epr "mompc: --pipeline: %s@." msg;
+    A.Error.exit_code e
+  | Ok pipeline -> (
   match Cli_common.parse_injects inject with
   | Error msgs ->
     List.iter (fun m -> Fmt.epr "mompc: --inject: %s@." m) msgs;
@@ -92,6 +114,7 @@ let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group
         {
           A.Config.scheme;
           options;
+          pipeline;
           emit_ir;
           run_sim;
           remarks_only;
@@ -150,7 +173,7 @@ let run_compile files scheme optimize no_spmd no_deglob no_csm no_fold no_group
             Fmt.epr "cannot write stats: %s@." msg;
             max code 2)
         | _ -> code)
-    end
+    end)
 
 let files_arg =
   Arg.(
@@ -172,6 +195,17 @@ let cmd =
     (Cmd.info "mompc" ~doc)
     Term.(
       const run_compile $ files_arg $ scheme_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "pipeline" ] ~docv:"SPEC"
+              ~doc:
+                "Run a first-class pass pipeline: a built-in tier \
+                 ($(b,fast), $(b,full)) or a spec like \
+                 $(b,fast=internalize,fold,cleanup\\@1) (see docs/API.md \
+                 for the grammar).  Supersedes $(b,-O) and the \
+                 $(b,openmp-opt-disable-*) toggles and may not be \
+                 combined with them.")
       $ flag [ "O"; "openmp-opt" ] "Run the OpenMP-aware optimization pipeline"
       $ flag [ "openmp-opt-disable-spmdization" ] "Disable SPMDzation"
       $ flag [ "openmp-opt-disable-deglobalization" ] "Disable HeapToStack/HeapToShared"

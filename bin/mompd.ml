@@ -12,7 +12,7 @@
    the same source are cache hits whichever client sends them.  The serve
    loop runs under a supervisor: a crash restarts it on the same bound
    socket with jittered backoff, and a crash loop opens a circuit breaker
-   (exit 41).  SIGTERM/SIGINT drain gracefully.  Wire protocol v1
+   (exit 41).  SIGTERM/SIGINT drain gracefully.  Wire protocol v2
    (newline-delimited JSON) is specified in docs/API.md. *)
 
 open Cmdliner
@@ -53,7 +53,7 @@ let fail_error e =
 (* ------------------------------------------------------------------ *)
 
 let serve socket domains capacity watchdog cache_dir state_dir inject
-    max_restarts restart_window drain_deadline =
+    max_restarts restart_window drain_deadline tiered =
   let socket_path = require_socket socket in
   let capacity = Option.value capacity ~default:(4 * max 1 domains) in
   match Cli_common.parse_injects inject with
@@ -74,6 +74,7 @@ let serve socket domains capacity watchdog cache_dir state_dir inject
         state_dir;
         injector = Fault.Injector.create specs;
         drain_deadline_s = drain_deadline;
+        tiered;
       }
     in
     let sup_cfg =
@@ -99,7 +100,7 @@ let serve socket domains capacity watchdog cache_dir state_dir inject
     in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle drain_and_exit);
     Sys.set_signal Sys.sigint (Sys.Signal_handle drain_and_exit);
-    Fmt.epr "mompd: listening on %s (domains=%d capacity=%d%s%s%s)@."
+    Fmt.epr "mompd: listening on %s (domains=%d capacity=%d%s%s%s%s)@."
       socket_path (max 1 domains) capacity
       (match watchdog with
       | Some s -> Printf.sprintf " watchdog=%gs" s
@@ -109,7 +110,8 @@ let serve socket domains capacity watchdog cache_dir state_dir inject
       | None -> "")
       (match state_dir with
       | Some d -> Printf.sprintf " state-dir=%s" d
-      | None -> "");
+      | None -> "")
+      (if tiered then " tiered" else "");
     (match Service.Supervisor.run sup with
     | Ok () ->
       Fmt.epr "mompd: shut down@.";
@@ -160,7 +162,17 @@ let serve_cmd =
           & info [ "drain-deadline" ] ~docv:"SECONDS"
               ~doc:
                 "On shutdown/SIGTERM, wait at most $(docv) for in-flight \
-                 requests to finish before severing connections."))
+                 requests to finish before severing connections.")
+      $ Arg.(
+          value & flag
+          & info [ "tiered" ]
+              ~doc:
+                "Tiered compilation: answer cold full-pipeline compiles \
+                 from the $(b,fast) tier immediately and promote hot cache \
+                 entries to the full pipeline in the background (see \
+                 docs/SCHEDULER.md).  Off by default: until the upgrade \
+                 lands, a fast-tier answer is not byte-identical to a \
+                 one-shot $(b,mompc) compile."))
 
 (* ------------------------------------------------------------------ *)
 (* route: the sharded fleet front-end                                  *)
@@ -232,7 +244,7 @@ let subprocess_backend ~name ~socket_path ~log_file args =
   { Service.Router.name; socket_path; start; stop; alive; pid = (fun () -> !pid) }
 
 let route socket shards domains capacity cache_dir fleet_dir inject
-    queue_deadline probe_interval max_respawns eject_cooldown =
+    queue_deadline probe_interval max_respawns eject_cooldown tiered =
   let socket_path =
     match socket with Some s -> s | None -> default_router_socket
   in
@@ -271,6 +283,8 @@ let route socket shards domains capacity cache_dir fleet_dir inject
             @ (match cache_dir with
               | Some d -> [ "--cache-dir"; d ]  (* the shared disk tier *)
               | None -> [])
+            (* shards are full Servers: tiering is inherited unchanged *)
+            @ (if tiered then [ "--tiered" ] else [])
             @ List.concat_map
                 (fun s ->
                   [ "--inject"; Fault.Injector.spec_to_string s ])
@@ -381,7 +395,14 @@ let route_cmd =
           & opt float
               Service.Router.default_config.Service.Router.eject_cooldown_s
           & info [ "eject-cooldown" ] ~docv:"SECONDS"
-              ~doc:"How long an ejected shard sits out before rejoining."))
+              ~doc:"How long an ejected shard sits out before rejoining.")
+      $ Arg.(
+          value & flag
+          & info [ "tiered" ]
+              ~doc:
+                "Spawn every shard with $(b,--tiered): shards are full \
+                 daemons, so tiered compilation is inherited unchanged \
+                 (see docs/SCHEDULER.md)."))
 
 (* ------------------------------------------------------------------ *)
 (* stats / health / shutdown                                           *)
@@ -476,7 +497,7 @@ let request socket =
 let request_cmd =
   let doc =
     "send newline-delimited JSON protocol requests from stdin, print one \
-     response line each (see docs/API.md for the v1 request shapes)"
+     response line each (see docs/API.md for the v2 request shapes)"
   in
   Cmd.v (Cmd.info "request" ~doc) Term.(const request $ socket_arg)
 

@@ -5,7 +5,7 @@
    (mompd), and embedders all run the exact same code — byte-identical
    output is a correctness property the test suite pins. *)
 
-let api_version = 1
+let api_version = 2
 let schema_version = Observe.Json.schema_version
 let with_schema = Observe.Json.with_schema
 
@@ -25,10 +25,13 @@ module Apps = Proxyapps.Apps
 (* Config                                                              *)
 (* ------------------------------------------------------------------ *)
 
+module Pipeline = Openmpopt.Pass_manager.Pipeline
+
 module Config = struct
   type t = {
     scheme : Frontend.Codegen.scheme;
     options : Openmpopt.Pass_manager.options option;
+    pipeline : Pipeline.t option;
     emit_ir : bool;
     run_sim : bool;
     remarks_only : bool;
@@ -44,6 +47,7 @@ module Config = struct
     {
       scheme = Frontend.Codegen.Simplified;
       options = None;
+      pipeline = None;
       emit_ir = true;
       run_sim = false;
       remarks_only = false;
@@ -57,8 +61,20 @@ module Config = struct
 
   let with_scheme scheme t = { t with scheme }
 
+  (* deprecated (api_version 2): the PR-4 toggle surface; prefer
+     [with_pipeline].  [pipeline] wins when both are set. *)
   let optimized ?(options = Openmpopt.Pass_manager.default_options) t =
     { t with options = Some options }
+
+  let with_pipeline pipeline t = { t with pipeline = Some pipeline }
+
+  (* The pipeline this config actually runs: an explicit [pipeline] wins,
+     a bare deprecated [options] is mapped via [Pipeline.of_options]
+     (byte-identical by construction), [None] means O0. *)
+  let pipeline_of t =
+    match t.pipeline with
+    | Some p -> Some p
+    | None -> Option.map Openmpopt.Pass_manager.Pipeline.of_options t.options
 
   let with_sim t = { t with run_sim = true }
   let with_stats t = { t with want_stats = true }
@@ -72,14 +88,19 @@ module Config = struct
      (a stats payload, trace lines in diagnostics); [retries]/[backoff_s]
      do not — only successful results are ever cached, and a success's
      bytes do not depend on how many failed attempts preceded it.  The
-     injector fingerprint keeps injected and clean compiles apart. *)
+     injector fingerprint keeps injected and clean compiles apart.
+
+     Optimization identity goes through the *effective pipeline*
+     ([pipeline_of]), so a deprecated [optimized] config and an equivalent
+     [with_pipeline] config share cache entries — they run the same pass
+     sequence and produce the same bytes. *)
   let fingerprint t =
     String.concat ";"
       [
         Frontend.Codegen.scheme_name t.scheme;
-        (match t.options with
+        (match pipeline_of t with
         | None -> "noopt"
-        | Some o -> Openmpopt.Pass_manager.options_fingerprint o);
+        | Some p -> Openmpopt.Pass_manager.Pipeline.fingerprint p);
         Fault.Injector.fingerprint (Fault.Injector.create t.inject);
         Printf.sprintf "emit=%b;sim=%b;remarks-only=%b;stats=%b;trace=%b"
           t.emit_ir t.run_sim t.remarks_only t.want_stats t.print_trace;
@@ -145,10 +166,10 @@ let compile_attempt ~(config : Config.t) ~injector ~file src : compiled =
       in
       let opt_report = ref None in
       let opt_error = ref None in
-      (match config.Config.options with
+      (match Config.pipeline_of config with
       | None -> ()
-      | Some options -> (
-        match Openmpopt.Pass_manager.run ~options ~injector ?trace m with
+      | Some pipeline -> (
+        match Openmpopt.Pass_manager.run_pipeline ~pipeline ~injector ?trace m with
         | exception e -> opt_error := Some (classify ~phase:Error.Optimizing e)
         | report ->
           opt_report := Some report;
@@ -266,8 +287,13 @@ let compile ?config ?file src =
    error lines), so two compiles of the same source under different
    labels produce different bytes — the conformance corpus caught the
    daemon's warm cache serving one request's file label to another
-   request at scale. *)
-let cache_version = "mompc-cache-v5"
+   request at scale.
+   v6: optimization identity moved from the options record's fingerprint
+   to the effective pipeline's (api_version 2) — same behavior now maps
+   to the same key whether it was requested via the deprecated toggles
+   or a first-class pipeline, and explicit pipelines (tiers, custom
+   specs) are addressable at all. *)
+let cache_version = "mompc-cache-v6"
 
 let cache_key ~file ~config ~source =
   Sched.Cache.key [ cache_version; file; source; Config.fingerprint config ]

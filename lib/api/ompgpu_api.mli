@@ -18,7 +18,11 @@
       ([Service.Protocol.version], docs/API.md). *)
 
 val api_version : int
-(** The façade's surface version: 1. *)
+(** The façade's surface version: 2.  Version 2 made pass pipelines
+    first-class ({!Pipeline}, [Config.pipeline], cache v6); the version-1
+    entry points ([Config.optimized], the [Config.options] field,
+    [Options.run]) remain as deprecated aliases for one release per the
+    policy above. *)
 
 val schema_version : int
 (** Schema stamp of every JSON payload emitted by the stack: 2. *)
@@ -48,6 +52,13 @@ module Options = Openmpopt.Pass_manager
 (** Pass-pipeline options, report and counters ([Options.options],
     [Options.default_options], [Options.report]). *)
 
+module Pipeline = Openmpopt.Pass_manager.Pipeline
+(** First-class pass pipelines (api_version 2): named tiers
+    ([Pipeline.fast], [Pipeline.full]), custom ordered pass lists, and the
+    stable textual spec syntax ([Pipeline.of_string] /
+    [Pipeline.to_string]) accepted by [mompc --pipeline] and protocol v2's
+    ["pipeline"] member. *)
+
 module Scheme = Frontend.Codegen
 (** Globalization schemes ([Scheme.Simplified] (LLVM 13),
     [Scheme.Legacy] (LLVM 12), [Scheme.Cuda]). *)
@@ -74,7 +85,13 @@ module Config : sig
   type t = {
     scheme : Frontend.Codegen.scheme;  (** globalization scheme *)
     options : Openmpopt.Pass_manager.options option;
-        (** [Some _] runs the OpenMP-aware pipeline ([-O]); [None] skips it *)
+        (** deprecated (api_version 2): the toggle-record way to request
+            optimization; superseded by [pipeline], which wins when both
+            are set.  Kept for one release per the deprecation policy. *)
+    pipeline : Openmpopt.Pass_manager.Pipeline.t option;
+        (** [Some _] runs this pipeline; [None] falls back to [options]
+            (mapped via [Pipeline.of_options]) or, when that is also
+            [None], skips optimization entirely *)
     emit_ir : bool;  (** print the final MiniIR to the output *)
     run_sim : bool;  (** execute on the GPU simulator ([--run]) *)
     remarks_only : bool;  (** suppress IR output; keep remarks *)
@@ -96,8 +113,18 @@ module Config : sig
   val with_scheme : Frontend.Codegen.scheme -> t -> t
 
   val optimized : ?options:Openmpopt.Pass_manager.options -> t -> t
-  (** Run the pipeline; [options] defaults to
-      [Openmpopt.Pass_manager.default_options]. *)
+  (** Deprecated (api_version 2): sets the legacy [options] field; prefer
+      {!with_pipeline}.  [options] defaults to
+      [Openmpopt.Pass_manager.default_options], which is semantically
+      [Pipeline.full]. *)
+
+  val with_pipeline : Openmpopt.Pass_manager.Pipeline.t -> t -> t
+  (** Run this pipeline (wins over the deprecated [options] field). *)
+
+  val pipeline_of : t -> Openmpopt.Pass_manager.Pipeline.t option
+  (** The pipeline the config actually runs: [pipeline] if set, else the
+      deprecated [options] mapped via [Pipeline.of_options], else [None]
+      (no optimization).  This is the identity {!fingerprint} hashes. *)
 
   val with_sim : t -> t
   val with_stats : t -> t

@@ -1,80 +1,45 @@
-(* Shared Cmdliner terms (see the .mli).  Each term pairs the canonical
-   spelling with its deprecated alias: the alias is a separate hidden
-   option folded into the canonical one, so `--cache DIR` still works but
-   the manpage steers to `--cache-dir`. *)
+(* Shared Cmdliner terms (see the .mli).
+
+   The PR-4 deprecated aliases (--domains, --cache, --stats,
+   --fault-inject) served their one-release grace period (docs/API.md
+   deprecation policy) and are gone: the options below accept only their
+   canonical spellings. *)
 
 open Cmdliner
 
-(* Fold a deprecated optional alias into the canonical optional flag; an
-   explicitly-given canonical flag wins. *)
-let with_alias main alias =
-  Term.(
-    const (fun m a -> match m with Some _ -> m | None -> a) $ main $ alias)
-
 let jobs =
-  let main =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:
-            "Run batch work on $(docv) scheduler domains.  Results are \
-             settled in input order, byte-identical to $(b,-j 1).")
-  in
-  let alias =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "domains" ] ~docv:"N"
-          ~deprecated:"use -j/--jobs instead"
-          ~doc:"Deprecated alias for $(b,--jobs).")
-  in
-  Term.(const (Option.value ~default:1) $ with_alias main alias)
+  Term.(
+    const (Option.value ~default:1)
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "j"; "jobs" ] ~docv:"N"
+            ~doc:
+              "Run batch work on $(docv) scheduler domains.  Results are \
+               settled in input order, byte-identical to $(b,-j 1)."))
 
 let cache_dir =
-  let main =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "cache-dir" ] ~docv:"DIR"
-          ~doc:
-            "Content-addressed compilation cache: memoize each file's \
-             compiler output in $(docv), keyed by source text, scheme and \
-             pass options.  Ignored with $(b,--stats-json) and \
-             $(b,--trace).")
-  in
-  let alias =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "cache" ] ~docv:"DIR"
-          ~deprecated:"use --cache-dir instead"
-          ~doc:"Deprecated alias for $(b,--cache-dir).")
-  in
-  with_alias main alias
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed compilation cache: memoize each file's \
+           compiler output in $(docv), keyed by source text, scheme and \
+           pass options.  Ignored with $(b,--stats-json) and \
+           $(b,--trace).")
 
 let inject =
-  let main =
-    Arg.(
-      value
-      & opt_all string []
-      & info [ "inject" ] ~docv:"SITE[:RATE][:SEED]"
-          ~doc:
-            "Arm a deterministic fault-injection site (repeatable).  \
-             Sites: mem-alloc, shared-budget, sim-trap, pass-crash, \
-             cache-corrupt, pool-stall.  RATE defaults to 1.0, SEED to 0; \
-             the same seed replays the same faults.  See \
-             docs/ROBUSTNESS.md.")
-  in
-  let alias =
-    Arg.(
-      value
-      & opt_all string []
-      & info [ "fault-inject" ] ~docv:"SPEC"
-          ~deprecated:"use --inject instead"
-          ~doc:"Deprecated alias for $(b,--inject).")
-  in
-  Term.(const (fun m a -> m @ a) $ main $ alias)
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "inject" ] ~docv:"SITE[:RATE][:SEED]"
+        ~doc:
+          "Arm a deterministic fault-injection site (repeatable).  \
+           Sites: mem-alloc, shared-budget, sim-trap, pass-crash, \
+           cache-corrupt, pool-stall.  RATE defaults to 1.0, SEED to 0; \
+           the same seed replays the same faults.  See \
+           docs/ROBUSTNESS.md.")
 
 let parse_injects specs =
   let ok, errs =
@@ -88,26 +53,15 @@ let parse_injects specs =
   if errs <> [] then Error (List.rev errs) else Ok (List.rev ok)
 
 let stats_json =
-  let main =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "stats-json" ] ~docv:"FILE"
-          ~doc:
-            "Write per-round/per-pass pipeline events, the report counters \
-             and (with $(b,--run)) per-kernel simulator cost-model \
-             counters as JSON (schema 2) to $(docv).  Single input file \
-             only.")
-  in
-  let alias =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "stats" ] ~docv:"FILE"
-          ~deprecated:"use --stats-json instead"
-          ~doc:"Deprecated alias for $(b,--stats-json).")
-  in
-  with_alias main alias
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write per-round/per-pass pipeline events, the report counters \
+           and (with $(b,--run)) per-kernel simulator cost-model \
+           counters as JSON (schema 2) to $(docv).  Single input file \
+           only.")
 
 let trace =
   Arg.(
@@ -151,7 +105,7 @@ let backtrace =
 let socket ?default () =
   let doc =
     "Unix-domain socket of the compile service (newline-delimited JSON, \
-     protocol v1; see docs/API.md)."
+     protocol v2; see docs/API.md)."
   in
   match default with
   | None -> Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)

@@ -5,20 +5,19 @@
     [-j]; cache/inject/stats flags existed only on [mompc]): every driver
     now assembles its command line from these terms, so a flag means the
     same thing, spells the same way and documents identically everywhere.
-    Old spellings survive as hidden deprecated aliases ([--domains],
-    [--cache], [--stats]). *)
+    The PR-4 deprecated aliases ([--domains], [--cache], [--stats],
+    [--fault-inject]) completed their one-release grace period and were
+    removed (docs/API.md migration table). *)
 
 val jobs : int Cmdliner.Term.t
-(** [-j N] / [--jobs N] (deprecated alias [--domains]): scheduler domains
-    for batch work; default 1. *)
+(** [-j N] / [--jobs N]: scheduler domains for batch work; default 1. *)
 
 val cache_dir : string option Cmdliner.Term.t
-(** [--cache-dir DIR] (deprecated alias [--cache]): content-addressed
-    on-disk compilation cache. *)
+(** [--cache-dir DIR]: content-addressed on-disk compilation cache. *)
 
 val inject : string list Cmdliner.Term.t
-(** [--inject SITE[:RATE][:SEED]], repeatable (deprecated alias
-    [--fault-inject]).  Raw specs; validate with {!parse_injects}. *)
+(** [--inject SITE[:RATE][:SEED]], repeatable.  Raw specs; validate with
+    {!parse_injects}. *)
 
 val parse_injects :
   string list -> (Fault.Injector.spec list, string list) result
@@ -26,7 +25,7 @@ val parse_injects :
     order. *)
 
 val stats_json : string option Cmdliner.Term.t
-(** [--stats-json FILE] (deprecated alias [--stats]). *)
+(** [--stats-json FILE]. *)
 
 val trace : bool Cmdliner.Term.t
 (** [--trace]: print the per-pass pipeline trace to stderr. *)

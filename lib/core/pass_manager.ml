@@ -60,6 +60,216 @@ let all_disabled =
     disable_internalization = true;
   }
 
+(* First-class pipelines.
+
+   A pipeline is a named, ordered list of pass descriptors plus a round
+   count and the two behavior flags that parameterize individual passes
+   (Fig. 7 guard grouping, HeapToShared).  The textual syntax is stable and
+   part of the public surface (mompc --pipeline, protocol v2's "pipeline"
+   member, cache keys):
+
+     spec   ::= builtin | [name "="] passes ["@" rounds] flag*
+     passes ::= pass ("," pass)*
+     flag   ::= "!nogroup" | "!noshared"
+
+   e.g. "fast=internalize,fold,cleanup@1".  A bare builtin name ("fast",
+   "full") denotes that tier. *)
+module Pipeline = struct
+  type pass =
+    | Internalize
+    | Fold  (* mode-invariant folds + a simplify sweep, the "early" block *)
+    | Deglobalize
+    | Spmdize
+    | State_machine
+    | Fold_late  (* execution-mode folds *)
+    | Dedup
+    | Dead_regions
+    | Cleanup  (* generic simplify *)
+
+  let all_passes =
+    [
+      Internalize;
+      Fold;
+      Deglobalize;
+      Spmdize;
+      State_machine;
+      Fold_late;
+      Dedup;
+      Dead_regions;
+      Cleanup;
+    ]
+
+  let pass_name = function
+    | Internalize -> "internalize"
+    | Fold -> "fold"
+    | Deglobalize -> "deglobalize"
+    | Spmdize -> "spmdize"
+    | State_machine -> "state-machine"
+    | Fold_late -> "fold-late"
+    | Dedup -> "dedup"
+    | Dead_regions -> "dead-regions"
+    | Cleanup -> "cleanup"
+
+  let pass_of_name s = List.find_opt (fun p -> pass_name p = s) all_passes
+
+  type t = {
+    name : string;
+    passes : pass list;
+    rounds : int;
+    grouping : bool;  (* Fig. 7 side-effect grouping during SPMDzation *)
+    heap_to_shared : bool;  (* HeapToShared on during deglobalization *)
+  }
+
+  let max_rounds = 16
+
+  let full =
+    {
+      name = "full";
+      passes = all_passes;
+      rounds = default_options.rounds;
+      grouping = true;
+      heap_to_shared = true;
+    }
+
+  let fast =
+    {
+      name = "fast";
+      passes = [ Internalize; Fold; Cleanup ];
+      rounds = 1;
+      grouping = true;
+      heap_to_shared = true;
+    }
+
+  let builtins = [ ("fast", fast); ("full", full) ]
+  let find name = List.assoc_opt name builtins
+
+  (* Semantic identity: everything but the name.  Two pipelines that agree
+     here run the exact same pass sequence and produce the same bytes. *)
+  let same_semantics a b =
+    a.passes = b.passes && a.rounds = b.rounds && a.grouping = b.grouping
+    && a.heap_to_shared = b.heap_to_shared
+
+  let equal a b = a.name = b.name && same_semantics a b
+
+  (* the spec body — everything after "name=" — doubles as the semantic
+     fingerprint, so it must cover every field except the name *)
+  let spec_body p =
+    let passes = String.concat "," (List.map pass_name p.passes) in
+    let flags =
+      (if p.grouping then "" else "!nogroup")
+      ^ if p.heap_to_shared then "" else "!noshared"
+    in
+    Printf.sprintf "%s@%d%s" passes p.rounds flags
+
+  let to_string p = p.name ^ "=" ^ spec_body p
+  let fingerprint p = "pipeline:" ^ spec_body p
+
+  let valid_name s =
+    String.length s > 0
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true | _ -> false)
+         s
+
+  let of_string s =
+    let trim = String.trim in
+    let s = trim s in
+    match find s with
+    | Some p -> Ok p
+    | None -> (
+      let ( let* ) = Result.bind in
+      let name, body =
+        match String.index_opt s '=' with
+        | Some i ->
+          (trim (String.sub s 0 i), trim (String.sub s (i + 1) (String.length s - i - 1)))
+        | None -> ("custom", s)
+      in
+      let* () =
+        if valid_name name then Ok ()
+        else Error (Printf.sprintf "invalid pipeline name %S" name)
+      in
+      (* split off "!flag" suffixes *)
+      let body, flags =
+        match String.split_on_char '!' body with
+        | [] -> ("", [])
+        | b :: fs -> (trim b, List.map trim fs)
+      in
+      let* grouping, heap_to_shared =
+        List.fold_left
+          (fun acc flag ->
+            let* g, h = acc in
+            match flag with
+            | "nogroup" -> Ok (false, h)
+            | "noshared" -> Ok (g, false)
+            | f -> Error (Printf.sprintf "unknown pipeline flag %S" ("!" ^ f)))
+          (Ok (true, true))
+          flags
+      in
+      let body, rounds_s =
+        match String.index_opt body '@' with
+        | Some i ->
+          ( trim (String.sub body 0 i),
+            Some (trim (String.sub body (i + 1) (String.length body - i - 1))) )
+        | None -> (body, None)
+      in
+      let* rounds =
+        match rounds_s with
+        | None -> Ok 1
+        | Some r -> (
+          match int_of_string_opt r with
+          | Some n when n >= 1 && n <= max_rounds -> Ok n
+          | Some n ->
+            Error (Printf.sprintf "pipeline rounds %d out of range 1..%d" n max_rounds)
+          | None -> Error (Printf.sprintf "invalid pipeline round count %S" r))
+      in
+      let* passes =
+        match String.split_on_char ',' body with
+        | [ "" ] -> Error "empty pipeline (no passes)"
+        | names ->
+          List.fold_left
+            (fun acc n ->
+              let* ps = acc in
+              let n = trim n in
+              match pass_of_name n with
+              | Some p -> Ok (p :: ps)
+              | None ->
+                Error
+                  (Printf.sprintf "unknown pass %S (known: %s)" n
+                     (String.concat ", " (List.map pass_name all_passes))))
+            (Ok []) names
+          |> Result.map List.rev
+      in
+      Ok { name; passes; rounds; grouping; heap_to_shared })
+
+  (* The legacy boolean-toggle surface, mapped onto a pipeline.  The
+     resulting pass sequence instruments exactly what [run] executed for the
+     same options, so the two surfaces produce byte-identical results. *)
+  let of_options (o : options) =
+    let passes =
+      List.filter
+        (fun p ->
+          match p with
+          | Internalize -> not o.disable_internalization
+          | Fold | Fold_late | Dedup | Dead_regions -> not o.disable_folding
+          | Deglobalize -> not o.disable_deglobalization
+          | Spmdize -> not o.disable_spmdization
+          | State_machine -> not o.disable_state_machine_rewrite
+          | Cleanup -> true)
+        all_passes
+    in
+    let p =
+      {
+        name = "custom";
+        passes;
+        rounds = o.rounds;
+        grouping = not o.disable_guard_grouping;
+        heap_to_shared = not o.disable_heap_to_shared;
+      }
+    in
+    match List.find_opt (fun (_, b) -> same_semantics p b) builtins with
+    | Some (name, _) -> { p with name }
+    | None -> p
+end
+
 type report = {
   remarks : Remark.t list;
   internalized : int;
@@ -171,8 +381,8 @@ let flag_unknown_runtime_calls (m : Ir.Irmod.t) (sink : Remark.sink) =
           | _ -> ()))
     (Ir.Irmod.defined_funcs m)
 
-let run ?(options = default_options) ?(injector = Fault.Injector.none) ?trace ?sink
-    (m : Ir.Irmod.t) : report =
+let run_pipeline ?(pipeline = Pipeline.full) ?(injector = Fault.Injector.none) ?trace
+    ?sink (m : Ir.Irmod.t) : report =
   (* Every mutable artifact of one pipeline run — the remark sink, the
      counter record and the optional trace — is local to this invocation (or
      injected by the job context that owns it), never module-level state:
@@ -214,7 +424,9 @@ let run ?(options = default_options) ?(injector = Fault.Injector.none) ?trace ?s
       ignore (Observe.Trace.record_pass tr ~round ~pass ~time_s ~before ~after ~counters)
   in
   flag_unknown_runtime_calls m sink;
-  if not options.disable_internalization then
+  (* Internalization is a module pass that runs once before round 1 ("run
+     early on the entire module"), wherever it appears in the pass list. *)
+  if List.mem Pipeline.Internalize pipeline.Pipeline.passes then
     instrument ~round:0 ~pass:Internalize.pass_name (fun () ->
         report := { !report with internalized = Internalize.run m sink });
   let add_folds counts =
@@ -227,67 +439,72 @@ let run ?(options = default_options) ?(injector = Fault.Injector.none) ?trace ?s
         folds_launch_bounds = !report.folds_launch_bounds + counts.Fold.launch_bounds;
       }
   in
-  for round = 1 to options.rounds do
+  for round = 1 to pipeline.Pipeline.rounds do
+    (* domains are recomputed per pass: deglobalization changes instructions *)
     let domains () =
       let cg = Analysis.Callgraph.compute m in
       Analysis.Exec_domain.compute m cg
     in
     let instrument ~pass f = instrument ~round ~pass f in
-    (* mode-invariant folds first: pruning the sequential fallbacks before
-       deglobalization avoids double-counted allocation sites *)
-    if not options.disable_folding then begin
-      instrument ~pass:(Fold.pass_name ^ "-early") (fun () ->
-          add_folds (Fold.run ~fold_exec_mode:false m (domains ())));
-      instrument ~pass:Simplify.pass_name (fun () -> ignore (Simplify.run m))
-    end;
-    if not options.disable_deglobalization then
-      instrument ~pass:Deglobalize.pass_name (fun () ->
-          let res =
-            Deglobalize.run m (domains ()) sink
-              ~heap_to_shared:(not options.disable_heap_to_shared)
-          in
-          report :=
-            {
-              !report with
-              heap_to_stack = !report.heap_to_stack + res.Deglobalize.to_stack;
-              heap_to_shared = !report.heap_to_shared + res.Deglobalize.to_shared;
-              shared_bytes = !report.shared_bytes + res.Deglobalize.shared_bytes;
-            });
-    (* domains are recomputed per pass: deglobalization changes instructions *)
-    if not options.disable_spmdization then
-      instrument ~pass:Spmdization.pass_name (fun () ->
-          let converted, guards =
-            Spmdization.run m (domains ()) sink
-              ~grouping:(not options.disable_guard_grouping)
-          in
-          report :=
-            {
-              !report with
-              spmdized = !report.spmdized + converted;
-              guards = !report.guards + guards;
-            });
-    if not options.disable_state_machine_rewrite then
-      instrument ~pass:State_machine.pass_name (fun () ->
-          let rewritten, fallbacks = State_machine.run m sink in
-          report :=
-            {
-              !report with
-              custom_state_machines = !report.custom_state_machines + rewritten;
-              csm_fallbacks = !report.csm_fallbacks + fallbacks;
-            });
-    if not options.disable_folding then begin
-      instrument ~pass:(Fold.pass_name ^ "-late") (fun () ->
-          add_folds (Fold.run ~fold_exec_mode:true m (domains ())));
+    let exec : Pipeline.pass -> unit = function
+      | Pipeline.Internalize -> ()  (* ran once at round 0 *)
+      (* mode-invariant folds first: pruning the sequential fallbacks before
+         deglobalization avoids double-counted allocation sites; the sweep
+         ends with a simplify so later passes see canonical IR *)
+      | Pipeline.Fold ->
+        instrument ~pass:(Fold.pass_name ^ "-early") (fun () ->
+            add_folds (Fold.run ~fold_exec_mode:false m (domains ())));
+        instrument ~pass:Simplify.pass_name (fun () -> ignore (Simplify.run m))
+      | Pipeline.Deglobalize ->
+        instrument ~pass:Deglobalize.pass_name (fun () ->
+            let res =
+              Deglobalize.run m (domains ()) sink
+                ~heap_to_shared:pipeline.Pipeline.heap_to_shared
+            in
+            report :=
+              {
+                !report with
+                heap_to_stack = !report.heap_to_stack + res.Deglobalize.to_stack;
+                heap_to_shared = !report.heap_to_shared + res.Deglobalize.to_shared;
+                shared_bytes = !report.shared_bytes + res.Deglobalize.shared_bytes;
+              })
+      | Pipeline.Spmdize ->
+        instrument ~pass:Spmdization.pass_name (fun () ->
+            let converted, guards =
+              Spmdization.run m (domains ()) sink ~grouping:pipeline.Pipeline.grouping
+            in
+            report :=
+              {
+                !report with
+                spmdized = !report.spmdized + converted;
+                guards = !report.guards + guards;
+              })
+      | Pipeline.State_machine ->
+        instrument ~pass:State_machine.pass_name (fun () ->
+            let rewritten, fallbacks = State_machine.run m sink in
+            report :=
+              {
+                !report with
+                custom_state_machines = !report.custom_state_machines + rewritten;
+                csm_fallbacks = !report.csm_fallbacks + fallbacks;
+              })
+      | Pipeline.Fold_late ->
+        instrument ~pass:(Fold.pass_name ^ "-late") (fun () ->
+            add_folds (Fold.run ~fold_exec_mode:true m (domains ())))
       (* deduplicate surviving runtime queries and drop effect-free regions *)
-      instrument ~pass:Dedup.pass_name (fun () ->
-          let deduped = Dedup.dedup_runtime_calls m sink in
-          report :=
-            { !report with deduplicated_calls = !report.deduplicated_calls + deduped });
-      instrument ~pass:"dead-regions" (fun () ->
-          let dead = Dedup.delete_dead_regions m sink in
-          report := { !report with dead_regions = !report.dead_regions + dead })
-    end;
-    instrument ~pass:Simplify.pass_name (fun () -> ignore (Simplify.run m))
+      | Pipeline.Dedup ->
+        instrument ~pass:Dedup.pass_name (fun () ->
+            let deduped = Dedup.dedup_runtime_calls m sink in
+            report :=
+              { !report with deduplicated_calls = !report.deduplicated_calls + deduped })
+      | Pipeline.Dead_regions ->
+        instrument ~pass:"dead-regions" (fun () ->
+            let dead = Dedup.delete_dead_regions m sink in
+            report := { !report with dead_regions = !report.dead_regions + dead })
+      | Pipeline.Cleanup ->
+        instrument ~pass:Simplify.pass_name (fun () -> ignore (Simplify.run m))
+    in
+    List.iter exec pipeline.Pipeline.passes
   done;
   (* analyses re-run each round and re-emit the same findings: dedupe *)
   let remarks =
@@ -299,3 +516,10 @@ let run ?(options = default_options) ?(injector = Fault.Injector.none) ?trace ?s
       (Remark.all sink)
   in
   { !report with remarks }
+
+(* Deprecated alias (docs/API.md deprecation policy): the boolean-toggle
+   surface, routed through [run_pipeline] via [Pipeline.of_options].  The
+   mapped pipeline instruments the exact pass sequence the old driver
+   executed, so existing callers see byte-identical results and traces. *)
+let run ?(options = default_options) ?injector ?trace ?sink m =
+  run_pipeline ~pipeline:(Pipeline.of_options options) ?injector ?trace ?sink m

@@ -35,6 +35,99 @@ val all_disabled : options
 (** Every OpenMP-specific optimization off (the "No OpenMP Optimization"
     build of Figure 11); generic cleanup still runs. *)
 
+(** First-class pipelines: a named, ordered list of pass descriptors with a
+    round count, serializable to a stable textual syntax.  This is the
+    primary way to select what [run_pipeline] executes — the boolean
+    [options] record above is the deprecated PR-4-era surface, kept per the
+    docs/API.md deprecation policy and mapped via [of_options].
+
+    Spec syntax (also accepted by [mompc --pipeline] and protocol v2's
+    ["pipeline"] request member):
+
+    {v spec   ::= "fast" | "full" | [name "="] passes ["@" rounds] flag*
+passes ::= pass ("," pass)*
+flag   ::= "!nogroup" | "!noshared" v}
+
+    e.g. ["fast=internalize,fold,cleanup@1"].  Rounds default to 1;
+    [!nogroup] disables Fig. 7 guard grouping, [!noshared] disables
+    HeapToShared. *)
+module Pipeline : sig
+  (** One schedulable pass of the OpenMPOpt driver.  [Fold] is the
+      mode-invariant fold sweep plus its trailing simplify (the "early"
+      block); [Fold_late] folds execution-mode queries; [Cleanup] is a
+      generic simplify sweep. *)
+  type pass =
+    | Internalize
+    | Fold
+    | Deglobalize
+    | Spmdize
+    | State_machine
+    | Fold_late
+    | Dedup
+    | Dead_regions
+    | Cleanup
+
+  val all_passes : pass list
+  (** Every pass, in the full pipeline's canonical order. *)
+
+  val pass_name : pass -> string
+  (** The stable spec-syntax name (e.g. ["state-machine"]). *)
+
+  val pass_of_name : string -> pass option
+
+  type t = {
+    name : string;  (** display name; not part of [fingerprint] *)
+    passes : pass list;  (** executed in order, each round *)
+    rounds : int;  (** [Internalize] still runs only once, before round 1 *)
+    grouping : bool;  (** Fig. 7 side-effect grouping during SPMDzation *)
+    heap_to_shared : bool;  (** HeapToShared during deglobalization *)
+  }
+
+  val max_rounds : int
+  (** Upper bound [of_string] accepts for [rounds] (16). *)
+
+  val full : t
+  (** The paper's default pipeline: every pass, three rounds.  Semantically
+      identical to [run] with [default_options]. *)
+
+  val fast : t
+  (** The low-latency tier answering cold daemon requests:
+      internalization + mode-invariant folding + cleanup, one round
+      (["fast=internalize,fold,cleanup@1"]). *)
+
+  val builtins : (string * t) list
+  (** The named tiers [of_string] resolves by bare name: fast, full. *)
+
+  val find : string -> t option
+
+  val of_options : options -> t
+  (** Map the deprecated toggle record onto a pipeline.  The result
+      instruments the exact pass sequence the old [run] executed for the
+      same options, so both surfaces produce byte-identical results; when
+      the mapped semantics match a builtin, its name is adopted. *)
+
+  val to_string : t -> string
+  (** Canonical spec, [name ^ "=" ^ body]; [of_string (to_string p)] yields
+      [p] back (names are preserved). *)
+
+  val of_string : string -> (t, string) result
+  (** Parse a spec.  Unknown pass names, unknown flags, invalid names and
+      out-of-range round counts are [Error] with a human-readable message —
+      callers on the service path map it to the [Bad_request] taxonomy
+      error. *)
+
+  val fingerprint : t -> string
+  (** Stable semantic identity — the spec body without the display name —
+      used as part of the content address of a compile (see
+      [Ompgpu_api.cache_key]).  Two pipelines with equal fingerprints run
+      the same pass sequence and produce the same bytes. *)
+
+  val same_semantics : t -> t -> bool
+  (** Equality ignoring the display name (i.e. equal fingerprints). *)
+
+  val equal : t -> t -> bool
+end
+
 (** What the pipeline did — the counts behind the paper's Figure 9. *)
 type report = {
   remarks : Remark.t list;  (** deduplicated, in emission order *)
@@ -65,16 +158,17 @@ val report_to_json : report -> Observe.Json.t
 
 val pp_report : Format.formatter -> report -> unit
 
-val run :
-  ?options:options ->
+val run_pipeline :
+  ?pipeline:Pipeline.t ->
   ?injector:Fault.Injector.t ->
   ?trace:Observe.Trace.t ->
   ?sink:Remark.sink ->
   Ir.Irmod.t ->
   report
-(** [run m] optimizes [m] in place and reports what happened.  The module
-    remains verifier-clean; every transformation preserves the observable
-    trace semantics of the program (checked by the differential test suite).
+(** [run_pipeline m] optimizes [m] in place, executing [pipeline] (default
+    [Pipeline.full]), and reports what happened.  The module remains
+    verifier-clean; every transformation preserves the observable trace
+    semantics of the program (checked by the differential test suite).
 
     [injector] arms the [Pass_crash] fault site: each executed pass first
     draws a coin and raises a structured
@@ -90,5 +184,17 @@ val run :
     When [trace] is given, every executed pass records one
     [Observe.Trace.event] per round: wall time, module and per-function IR
     deltas, and the increments to the report counters (plus a ["remarks"]
-    pseudo-counter with the number of remarks the pass emitted).  Disabled
-    passes record nothing. *)
+    pseudo-counter with the number of remarks the pass emitted).  Passes
+    absent from the pipeline record nothing. *)
+
+val run :
+  ?options:options ->
+  ?injector:Fault.Injector.t ->
+  ?trace:Observe.Trace.t ->
+  ?sink:Remark.sink ->
+  Ir.Irmod.t ->
+  report
+(** Deprecated (since api_version 2; docs/API.md deprecation policy): the
+    boolean-toggle surface over [run_pipeline], equivalent to
+    [run_pipeline ~pipeline:(Pipeline.of_options options)] and
+    byte-identical to it.  New callers should build a [Pipeline.t]. *)

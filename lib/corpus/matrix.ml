@@ -36,14 +36,26 @@ let cell_name c =
 let cell_of_name s =
   List.find_opt (fun c -> String.equal (cell_name c) s) cells
 
-let config_of_cell c =
-  {
-    Api.Config.default with
-    Api.Config.scheme = c.scheme;
-    options = (match c.pipeline with O0 -> None | Full -> Some Api.Options.default_options);
-    run_sim = true;
-    emit_ir = false;
-  }
+let config_of_cell ?pipeline c =
+  let base =
+    {
+      Api.Config.default with
+      Api.Config.scheme = c.scheme;
+      options =
+        (match c.pipeline with
+        | O0 -> None
+        | Full -> Some Api.Options.default_options);
+      run_sim = true;
+      emit_ir = false;
+    }
+  in
+  (* an explicit pipeline override replaces the Full cells' pass
+     pipeline (api_version 2): `conformance --pipeline fast` replays the
+     matrix with the fast tier standing in for the full one.  O0 cells
+     are untouched — they are the unoptimized reference column. *)
+  match (c.pipeline, pipeline) with
+  | Full, Some p -> { base with Api.Config.options = None; pipeline = Some p }
+  | _ -> base
 
 (* The documented unsoundness classes (docs/CONFORMANCE.md).  A class is
    a *license* for a cell to diverge, not a prediction that it will: an
@@ -101,16 +113,17 @@ let observation_of_compiled (r : Api.compiled) =
    diagnostics stay comparable across cells *)
 let corpus_file = "corpus.c"
 
-let observe ?(backend = default_backend) cell prog =
+let observe ?(backend = default_backend) ?pipeline cell prog =
   let src = Gen.render ~mode:cell.mode prog in
-  observation_of_compiled (backend ~file:corpus_file ~config:(config_of_cell cell) src)
+  observation_of_compiled
+    (backend ~file:corpus_file ~config:(config_of_cell ?pipeline cell) src)
 
 let checksum obs = String.sub (Sched.Cache.key [ "corpus-obs"; obs ]) 0 12
 
 let reference_cell mode =
   { scheme = Frontend.Codegen.Simplified; mode; pipeline = O0 }
 
-let run_program ?(backend = default_backend) ~index prog =
+let run_program ?(backend = default_backend) ?pipeline ~index prog =
   let ref_obs mode = observe ~backend (reference_cell mode) prog in
   let refs = List.map (fun m -> (m, ref_obs m)) Gen.modes in
   let cells =
@@ -119,7 +132,7 @@ let run_program ?(backend = default_backend) ~index prog =
         let reference = List.assoc cell.mode refs in
         let obs =
           if cell = reference_cell cell.mode then reference
-          else observe ~backend cell prog
+          else observe ~backend ?pipeline cell prog
         in
         let verdict =
           if String.equal obs reference then Pass
@@ -140,10 +153,11 @@ let run_program ?(backend = default_backend) ~index prog =
   in
   { index; prog; cells }
 
-let run ?(backend = default_backend) ?(on_program = fun _ -> ()) ~root ~n () =
+let run ?(backend = default_backend) ?pipeline ?(on_program = fun _ -> ())
+    ~root ~n () =
   List.init n (fun i ->
       let prog = Gen.generate (Gen.program_stream ~root i) in
-      let r = run_program ~backend ~index:i prog in
+      let r = run_program ~backend ?pipeline ~index:i prog in
       on_program r;
       r)
 
@@ -151,19 +165,20 @@ let run ?(backend = default_backend) ?(on_program = fun _ -> ()) ~root ~n () =
 (* Shrinking                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let still_fails cell prog =
+let still_fails ?pipeline cell prog =
   match classify cell prog with
   | Some _ -> false
   | None ->
     let reference = observe (reference_cell cell.mode) prog in
-    not (String.equal (observe cell prog) reference)
+    not (String.equal (observe ?pipeline cell prog) reference)
 
 exception Found of Gen.prog
 
-let shrink_failure cell prog =
+let shrink_failure ?pipeline cell prog =
   let rec loop p =
     match
-      Gen.shrink p (fun cand -> if still_fails cell cand then raise (Found cand))
+      Gen.shrink p (fun cand ->
+          if still_fails ?pipeline cell cand then raise (Found cand))
     with
     | () -> p
     | exception Found cand -> loop cand

@@ -36,10 +36,14 @@ val cell_name : cell -> string
 
 val cell_of_name : string -> cell option
 
-val config_of_cell : cell -> Ompgpu_api.Config.t
+val config_of_cell :
+  ?pipeline:Ompgpu_api.Pipeline.t -> cell -> Ompgpu_api.Config.t
 (** The facade config a cell compiles under: the cell's scheme, the full
     default pipeline for [Full] (none for [O0]), simulation on, IR
-    emission off.  Also what the daemon traffic generator sends. *)
+    emission off.  Also what the daemon traffic generator sends.
+    [?pipeline] (api_version 2) substitutes an explicit pipeline for the
+    [Full] cells — [conformance --pipeline fast] replays the matrix with
+    the fast tier in the optimized column; [O0] cells are unaffected. *)
 
 val classify : cell -> Gen.prog -> string option
 (** [Some class_id] when a divergence in this cell is a documented
@@ -68,16 +72,19 @@ type program_result = {
 val observe :
   ?backend:
     (file:string -> config:Ompgpu_api.Config.t -> string -> Ompgpu_api.compiled) ->
+  ?pipeline:Ompgpu_api.Pipeline.t ->
   cell ->
   Gen.prog ->
   string
 (** The cell's observation string: ["exit:N|<trace line>"].  [backend]
     defaults to in-process {!Ompgpu_api.compile_buffered}; the traffic
-    generator substitutes a daemon-backed one. *)
+    generator substitutes a daemon-backed one.  [?pipeline] is threaded
+    to {!config_of_cell}. *)
 
 val run_program :
   ?backend:
     (file:string -> config:Ompgpu_api.Config.t -> string -> Ompgpu_api.compiled) ->
+  ?pipeline:Ompgpu_api.Pipeline.t ->
   index:int ->
   Gen.prog ->
   program_result
@@ -85,17 +92,23 @@ val run_program :
 val run :
   ?backend:
     (file:string -> config:Ompgpu_api.Config.t -> string -> Ompgpu_api.compiled) ->
+  ?pipeline:Ompgpu_api.Pipeline.t ->
   ?on_program:(program_result -> unit) ->
   root:int64 ->
   n:int ->
   unit ->
   program_result list
 (** The corpus: programs [0 .. n-1] drawn from [root], each run through
-    every cell.  [on_program] fires after each program (progress). *)
+    every cell; [?pipeline] replays the optimized column under an
+    explicit pipeline (the divergence licenses in {!classify} are keyed
+    on scheme/mode/program only, so they still apply).  [on_program]
+    fires after each program (progress). *)
 
-val shrink_failure : cell -> Gen.prog -> Gen.prog
-(** Greedily minimize a program that [Fail]s in [cell], re-checking the
-    cell at every candidate; returns the fixpoint. *)
+val shrink_failure :
+  ?pipeline:Ompgpu_api.Pipeline.t -> cell -> Gen.prog -> Gen.prog
+(** Greedily minimize a program that [Fail]s in [cell] (under the same
+    pipeline override the failing run used), re-checking the cell at
+    every candidate; returns the fixpoint. *)
 
 val failures : program_result list -> (program_result * cell_result) list
 (** Every unexplained divergence, in corpus order. *)

@@ -466,3 +466,219 @@ let failover_to_json s =
       ("fallbacks", J.Int s.fo_fallbacks);
       ("respawns", J.Int s.respawns);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Tiered compilation: cold latency per tier + upgrade throughput      *)
+(* ------------------------------------------------------------------ *)
+
+type tier_stats = {
+  tr_jobs : int;
+  tr_connections : int;
+  tr_domains : int;
+  full_cold_p50_ms : float;
+  tiered_cold_p50_ms : float;
+  full_warm_cps : float;
+  tiered_warm_cps : float;
+  upgrades_done : int;
+  upgrade_drain_s : float;
+  upgrades_per_s : float;
+  post_upgrade_identical : bool;
+  tr_transport_errors : int;
+}
+
+(* Only the tier-eligible slice of the matrix: Full-pipeline cells are
+   the requests whose cold latency the fast tier hides; O0 cells would
+   be served as-asked on either daemon and only dilute the comparison.
+   The jobs are compile-only (IR out, no simulation): compilation is
+   what the fast tier makes cheap — a run_sim request spends most of its
+   time simulating, and less-optimized fast-tier code simulates slower,
+   which would measure the simulator, not the tier.  Emitting IR also
+   makes post-upgrade byte-identity a real check: fast and full IR
+   genuinely differ, so a non-promoted entry cannot pass by accident. *)
+let tier_jobs ~root ~n =
+  List.concat
+    (List.init n (fun i ->
+         let prog = Gen.generate (Gen.program_stream ~root i) in
+         List.filter_map
+           (fun cell ->
+             match cell.Matrix.pipeline with
+             | Matrix.O0 -> None
+             | Matrix.Full ->
+               let config = Matrix.config_of_cell cell in
+               Some
+                 {
+                   file =
+                     Printf.sprintf "corpus-%d-%s.c" i (Matrix.cell_name cell);
+                   config =
+                     {
+                       config with
+                       Api.Config.run_sim = false;
+                       emit_ir = true;
+                     };
+                   src = Gen.render ~mode:cell.Matrix.mode prog;
+                 })
+           Matrix.cells))
+
+let with_daemon ?(tiered = false) ~domains ~tag f =
+  ignore_sigpipe ();
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mompd-%s-%d.sock" tag (Unix.getpid ()))
+  in
+  let server =
+    Service.Server.create
+      { Service.Server.default_config with socket_path; domains; tiered }
+  in
+  let server_thread = Thread.create Service.Server.serve_forever server in
+  let finish () =
+    Service.Client.with_connection ~socket_path (fun c ->
+        match Service.Client.shutdown c () with
+        | Ok () -> ()
+        | Error e ->
+          Fmt.epr "tier traffic: shutdown: %s@." (Fault.Ompgpu_error.to_string e));
+    Thread.join server_thread;
+    try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+  in
+  match f ~socket_path with
+  | result ->
+    finish ();
+    result
+  | exception e ->
+    (try finish () with _ -> ());
+    raise e
+
+let tier_counters ~socket_path =
+  Service.Client.with_connection ~socket_path (fun c ->
+      match Service.Client.stats c () with
+      | Ok doc ->
+        let tier k =
+          Option.value
+            (Option.bind (J.member "tiers" doc) (fun t ->
+                 Option.bind (J.member k t) J.to_int))
+            ~default:0
+        in
+        ( tier "upgrades_pending",
+          tier "upgrades_queued",
+          tier "upgrades_done",
+          tier "upgrades_failed" )
+      | Error _ -> (0, 0, 0, 0))
+
+(* Wait for the upgrade queue to settle: nothing pending and every queued
+   upgrade accounted for (done or failed). *)
+let wait_upgrades_drained ~socket_path ~deadline_s =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec loop () =
+    let pending, queued, done_, failed = tier_counters ~socket_path in
+    if pending = 0 && done_ + failed >= queued then (done_, failed)
+    else if Unix.gettimeofday () > deadline then (done_, failed)
+    else begin
+      Thread.delay 0.02;
+      loop ()
+    end
+  in
+  loop ()
+
+let run_tiered ?(connections = 4) ?(domains = 2) ~root ~n () =
+  ignore_sigpipe ();
+  let jobs = Array.of_list (tier_jobs ~root ~n) in
+  let expected =
+    Array.map (fun j -> Api.compile_buffered ~config:j.config ~file:j.file j.src) jobs
+  in
+  let errors = ref 0 in
+  let count_errors results =
+    Array.iter
+      (function Some (Ok _) -> () | Some (Error _) | None -> incr errors)
+      results
+  in
+  let p50_ms lat =
+    let sorted = Array.copy lat in
+    Array.sort compare sorted;
+    1000.0 *. percentile sorted 50.0
+  in
+  let total = Array.length jobs in
+  let cps s = if s > 0.0 then float_of_int total /. s else 0.0 in
+  (* baseline: the identical workload against an untiered daemon *)
+  let full_cold_p50_ms, full_warm_cps =
+    with_daemon ~domains ~tag:"untiered" (fun ~socket_path ->
+        let cold, lat =
+          latency_pass ~taken:(Atomic.make 0) ~socket_path ~connections jobs
+        in
+        count_errors cold;
+        let _warm, warm_s = timed_pass ~socket_path ~connections jobs in
+        (p50_ms lat, cps warm_s))
+  in
+  (* the tiered daemon: cold answers come from the fast tier, then the
+     background queue converges every entry to the full-pipeline bytes *)
+  let ( tiered_cold_p50_ms,
+        tiered_warm_cps,
+        upgrades_done,
+        upgrade_drain_s,
+        post_upgrade_identical ) =
+    with_daemon ~tiered:true ~domains ~tag:"tiered" (fun ~socket_path ->
+        let cold, lat =
+          latency_pass ~taken:(Atomic.make 0) ~socket_path ~connections jobs
+        in
+        count_errors cold;
+        let t0 = Unix.gettimeofday () in
+        let done_, _failed =
+          wait_upgrades_drained ~socket_path ~deadline_s:120.0
+        in
+        let drain_s = Unix.gettimeofday () -. t0 in
+        (* post-upgrade, every warm answer must be byte-identical to the
+           one-shot full-pipeline compile — the acceptance criterion *)
+        let warm, warm_s = timed_pass ~socket_path ~connections jobs in
+        let identical_to_full = ref true in
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Some (Ok compiled) ->
+              if not (identical compiled expected.(i)) then begin
+                if !identical_to_full then
+                  Fmt.epr
+                    "tier traffic: %s diverged post-upgrade (daemon exit %d \
+                     vs one-shot full exit %d)@."
+                    jobs.(i).file compiled.Api.exit_code
+                    expected.(i).Api.exit_code;
+                identical_to_full := false
+              end
+            | Some (Error _) | None ->
+              incr errors;
+              identical_to_full := false)
+          warm;
+        (p50_ms lat, cps warm_s, done_, drain_s, !identical_to_full))
+  in
+  {
+    tr_jobs = total;
+    tr_connections = connections;
+    tr_domains = domains;
+    full_cold_p50_ms;
+    tiered_cold_p50_ms;
+    full_warm_cps;
+    tiered_warm_cps;
+    upgrades_done;
+    upgrade_drain_s;
+    upgrades_per_s =
+      (if upgrade_drain_s > 0.0 then
+         float_of_int upgrades_done /. upgrade_drain_s
+       else 0.0);
+    post_upgrade_identical;
+    tr_transport_errors = !errors;
+  }
+
+let tiers_to_json s =
+  J.with_schema
+    (J.Obj
+       [
+         ("jobs", J.Int s.tr_jobs);
+         ("connections", J.Int s.tr_connections);
+         ("domains", J.Int s.tr_domains);
+         ("full_cold_p50_ms", J.Float s.full_cold_p50_ms);
+         ("tiered_cold_p50_ms", J.Float s.tiered_cold_p50_ms);
+         ("full_warm_compiles_per_s", J.Float s.full_warm_cps);
+         ("tiered_warm_compiles_per_s", J.Float s.tiered_warm_cps);
+         ("upgrades_done", J.Int s.upgrades_done);
+         ("upgrade_drain_s", J.Float s.upgrade_drain_s);
+         ("upgrades_per_s", J.Float s.upgrades_per_s);
+         ("byte_identical", J.Bool s.post_upgrade_identical);
+         ("transport_errors", J.Int s.tr_transport_errors);
+       ])

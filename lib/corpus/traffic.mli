@@ -99,3 +99,37 @@ val run_failover :
 
 val failover_to_json : failover_stats -> Observe.Json.t
 (** The ["failover"] member of the fleet section of [BENCH_observe.json]. *)
+
+(** {1 Tiered compilation: cold latency per tier, upgrade throughput} *)
+
+type tier_stats = {
+  tr_jobs : int;  (** tier-eligible jobs (the matrix's Full cells only) *)
+  tr_connections : int;
+  tr_domains : int;
+  full_cold_p50_ms : float;
+      (** cold per-request p50 against an untiered daemon (full tier) *)
+  tiered_cold_p50_ms : float;
+      (** cold per-request p50 against a tiered daemon (fast-tier
+          answers) — the headline: tiering must drop this *)
+  full_warm_cps : float;
+  tiered_warm_cps : float;  (** warm throughput must not regress *)
+  upgrades_done : int;
+  upgrade_drain_s : float;
+      (** how long after the cold pass the upgrade queue took to settle *)
+  upgrades_per_s : float;  (** background full-pipeline promotion rate *)
+  post_upgrade_identical : bool;
+      (** every post-drain answer was byte-identical to a one-shot
+          full-pipeline compile — the tentpole's acceptance criterion *)
+  tr_transport_errors : int;
+}
+
+val run_tiered :
+  ?connections:int -> ?domains:int -> root:int64 -> n:int -> unit -> tier_stats
+(** Drive the tier-eligible corpus slice through two in-process daemons —
+    one untiered, one [tiered] — cold then warm, and wait for the tiered
+    daemon's upgrade queue to drain before judging byte-identity of the
+    warm pass against one-shot full-pipeline compiles. *)
+
+val tiers_to_json : tier_stats -> Observe.Json.t
+(** The schema-stamped ["tiers"] section of [BENCH_observe.json]
+    (required by [bench_gate] in compare mode). *)

@@ -1,0 +1,35 @@
+(* Per-key hit counters (see the .mli). *)
+
+type t = { mutex : Mutex.t; table : (string, int) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 64 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bump t key =
+  with_lock t (fun () ->
+      let n = 1 + Option.value (Hashtbl.find_opt t.table key) ~default:0 in
+      Hashtbl.replace t.table key n;
+      n)
+
+let count t key =
+  with_lock t (fun () -> Option.value (Hashtbl.find_opt t.table key) ~default:0)
+
+let distinct t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let total t =
+  with_lock t (fun () -> Hashtbl.fold (fun _ n acc -> acc + n) t.table 0)
+
+let top ?(n = 10) t =
+  with_lock t (fun () ->
+      let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] in
+      let sorted =
+        (* count descending, key ascending for a deterministic order *)
+        List.sort
+          (fun (ka, va) (kb, vb) ->
+            match compare vb va with 0 -> compare ka kb | c -> c)
+          all
+      in
+      List.filteri (fun i _ -> i < n) sorted)

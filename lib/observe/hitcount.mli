@@ -1,0 +1,28 @@
+(** Thread-safe per-key hit counters.
+
+    A tiny frequency table over string keys (cache keys, request labels):
+    each {!bump} increments one key's count under a mutex.  The compile
+    daemon records one bump per tier-eligible request keyed by its
+    {!Ompgpu_api.cache_key}, and the tier-upgrade queue drains hottest key
+    first ({!count} ordering) so frequently requested entries get promoted
+    to the full pipeline before one-off compiles (docs/SCHEDULER.md). *)
+
+type t
+
+val create : unit -> t
+
+val bump : t -> string -> int
+(** Increment [key]'s count; returns the new count (1 on first bump). *)
+
+val count : t -> string -> int
+(** Current count for [key]; 0 if never bumped. *)
+
+val distinct : t -> int
+(** Number of distinct keys ever bumped. *)
+
+val total : t -> int
+(** Sum of all counts. *)
+
+val top : ?n:int -> t -> (string * int) list
+(** The [n] (default 10) hottest keys, count descending, key ascending on
+    ties (deterministic). *)

@@ -45,6 +45,22 @@ let find_or_compute t ~key f =
     Mutex.unlock t.mutex;
     v
 
+(* Atomic overwrite: readers serialized on the same mutex observe either
+   the old or the new value, never a torn entry.  The tier-upgrade path
+   uses this to promote a fast-tier result to the full-pipeline one. *)
+let replace t ~key v =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.table key v;
+  Mutex.unlock t.mutex
+
+(* Counter-neutral lookup: background maintenance (the upgrade worker)
+   must not distort the request-path hit/miss accounting. *)
+let peek t ~key =
+  Mutex.lock t.mutex;
+  let v = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.mutex;
+  v
+
 let with_lock t f =
   Mutex.lock t.mutex;
   let v = f () in

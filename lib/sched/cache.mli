@@ -25,6 +25,17 @@ val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
     lock), memoize and return its result.  A raising thunk caches
     nothing. *)
 
+val replace : 'a t -> key:string -> 'a -> unit
+(** Atomically overwrite (or insert) [key]'s entry.  Concurrent readers
+    see the old or the new value, never a torn one; hit/miss counters are
+    untouched.  Used by the daemon's tier-upgrade path to promote a
+    fast-tier entry to the full-pipeline result. *)
+
+val peek : 'a t -> key:string -> 'a option
+(** Counter-neutral lookup: like a read under {!find_or_compute}'s lock
+    but without touching the hit/miss accounting.  For background
+    maintenance (the upgrade worker), not the request path. *)
+
 val hits : 'a t -> int
 
 val misses : 'a t -> int

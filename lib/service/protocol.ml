@@ -1,9 +1,13 @@
-(* Wire protocol v1 (see the .mli and docs/API.md). *)
+(* Wire protocol v2 (see the .mli and docs/API.md).
+
+   v2 (api_version 2): the config object gained an optional "pipeline"
+   member — a pipeline spec string (Pass_manager.Pipeline.of_string) that
+   supersedes "optimize"/"disable" and may not be combined with them. *)
 
 module J = Observe.Json
 module E = Fault.Ompgpu_error
 
-let version = 1
+let version = 2
 
 type request =
   | Compile of {
@@ -55,19 +59,24 @@ let apply_disable (o : Openmpopt.Pass_manager.options) = function
 
 let config_to_json (c : Ompgpu_api.Config.t) =
   J.Obj
-    ([
-       ("scheme", J.String (Frontend.Codegen.scheme_name c.scheme));
-       ("optimize", J.Bool (c.options <> None));
-     ]
-    @ (match c.options with
-      | Some o ->
-        let disabled =
-          List.filter_map
-            (fun (name, get) -> if get o then Some (J.String name) else None)
-            disable_names
-        in
-        if disabled = [] then [] else [ ("disable", J.List disabled) ]
-      | None -> [])
+    ([ ("scheme", J.String (Frontend.Codegen.scheme_name c.scheme)) ]
+    (* an explicit pipeline travels as its spec string and replaces the
+       legacy optimize/disable members (they may not be combined) *)
+    @ (match c.pipeline with
+      | Some p ->
+        [ ("pipeline", J.String (Openmpopt.Pass_manager.Pipeline.to_string p)) ]
+      | None -> (
+        [ ("optimize", J.Bool (c.options <> None)) ]
+        @
+        match c.options with
+        | Some o ->
+          let disabled =
+            List.filter_map
+              (fun (name, get) -> if get o then Some (J.String name) else None)
+              disable_names
+          in
+          if disabled = [] then [] else [ ("disable", J.List disabled) ]
+        | None -> []))
     @ [
         ("emit_ir", J.Bool c.emit_ir);
         ("run", J.Bool c.run_sim);
@@ -100,6 +109,18 @@ let config_of_json j =
     | Some (J.String "legacy") -> Ok Frontend.Codegen.Legacy
     | Some (J.String "cuda") -> Ok Frontend.Codegen.Cuda
     | Some _ -> Error "config.scheme: expected simplified|legacy|cuda"
+  in
+  let* pipeline =
+    match J.member "pipeline" j with
+    | None -> Ok None
+    | Some (J.String s) -> (
+      if J.member "optimize" j <> None || J.member "disable" j <> None then
+        Error "config.pipeline: may not be combined with \"optimize\"/\"disable\""
+      else
+        match Openmpopt.Pass_manager.Pipeline.of_string s with
+        | Ok p -> Ok (Some p)
+        | Error msg -> Error ("config.pipeline: " ^ msg))
+    | Some _ -> Error "config.pipeline: expected a pipeline spec string"
   in
   let* optimize = bool_member "optimize" false in
   let* options =
@@ -172,6 +193,7 @@ let config_of_json j =
     {
       Ompgpu_api.Config.scheme;
       options;
+      pipeline;
       emit_ir;
       run_sim;
       remarks_only;

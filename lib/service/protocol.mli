@@ -1,11 +1,16 @@
-(** Wire protocol v1 of the persistent compile service ([mompd]).
+(** Wire protocol v2 of the persistent compile service ([mompd]).
 
     Transport: newline-delimited JSON over a Unix-domain stream socket.
     Each request is one minified JSON object terminated by ['\n']; the
     server answers each request with exactly one response line, in request
     order per connection.  A connection carries any number of requests.
 
-    Every message carries [{"v": 1, ...}]; the server rejects other
+    v2 (api_version 2): the compile config gained an optional ["pipeline"]
+    member — a pipeline spec string ([Pipeline.of_string]) superseding the
+    legacy ["optimize"]/["disable"] pair, which remain accepted on their
+    own but may not be combined with it.
+
+    Every message carries [{"v": 2, ...}]; the server rejects other
     versions with a structured [Bad_request].  Requests carry a
     client-chosen ["id"] echoed verbatim in the response, so pipelined
     clients can match answers to questions.
@@ -24,7 +29,7 @@
     fixtures in test/test_service.ml pin the encoding. *)
 
 val version : int
-(** 1.  Breaking wire changes bump this; the server answers exactly the
+(** 2.  Breaking wire changes bump this; the server answers exactly the
     versions it supports and rejects the rest ([Bad_request], exit 42). *)
 
 val max_frame_bytes : int
@@ -74,7 +79,7 @@ type response =
 val config_to_json : Ompgpu_api.Config.t -> Observe.Json.t
 val config_of_json : Observe.Json.t -> (Ompgpu_api.Config.t, string) result
 (** Omitted members take {!Ompgpu_api.Config.default}s, so a minimal
-    request is [{"v":1,"id":"x","op":"compile","source":"..."}]. *)
+    request is [{"v":2,"id":"x","op":"compile","source":"..."}]. *)
 
 val request_to_json : request -> Observe.Json.t
 val request_of_json :

@@ -23,6 +23,7 @@ type config = {
   state_dir : string option;
   injector : Fault.Injector.t;
   drain_deadline_s : float;
+  tiered : bool;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     state_dir = None;
     injector = Fault.Injector.none;
     drain_deadline_s = 5.0;
+    tiered = false;
   }
 
 (* Cross-incarnation supervision state: owned by the supervisor, read by
@@ -62,6 +64,22 @@ type counters = {
   mutable in_flight : int;  (* admitted, not yet settled *)
   mutable busy : int;  (* requests between parse and response write *)
   mutable injected_drops : int;  (* conn-drop/partial-frame faults fired *)
+  mutable fast_served : int;  (* compile answers taken from the fast tier *)
+}
+
+(* Tiered compilation (docs/SCHEDULER.md): with [config.tiered], a cold
+   full-pipeline request is answered from the low-latency fast tier and
+   the cache entry is tier-tagged; a background worker re-runs the full
+   pipeline (hottest key first) and atomically replaces the entry. *)
+type tier = Fast | Full
+
+type entry = { tier : tier; result : Ompgpu_api.compiled }
+
+type upgrade = {
+  u_key : string;
+  u_file : string;
+  u_config : Ompgpu_api.Config.t;
+  u_source : string;
 }
 
 type t = {
@@ -69,7 +87,7 @@ type t = {
   listen_fd : Unix.file_descr;
   owns_listener : bool;
   pool : Sched.Pool.t;
-  cache : Ompgpu_api.compiled Sched.Cache.t;
+  cache : entry Sched.Cache.t;
   disk : Sched.Disk_cache.t option;
   journal : Journal.t option;
   owns_journal : bool;
@@ -81,6 +99,18 @@ type t = {
   mutable draining : bool;
   mutable conns : (Unix.file_descr * Thread.t) list;
   started_at : float;
+  (* tier-upgrade state: its own mutex/condition so the worker never
+     contends with the request-path counters lock *)
+  hot : Observe.Hitcount.t;  (* per-key request counts; promotion order *)
+  upgrade_mutex : Mutex.t;
+  upgrade_cond : Condition.t;
+  mutable upgrade_queue : upgrade list;  (* pending; worker picks hottest *)
+  mutable upgrade_stop : bool;
+  mutable upgrade_worker : Thread.t option;
+  mutable upgrades_queued : int;
+  mutable upgrades_done : int;
+  mutable upgrades_failed : int;
+  mutable last_active : float;  (* last compile admission/settle (t.mutex) *)
 }
 
 let locked t f =
@@ -150,12 +180,23 @@ let create ?listen_fd ?journal ?supervision cfg =
         in_flight = 0;
         busy = 0;
         injected_drops = 0;
+        fast_served = 0;
       };
     mutex = Mutex.create ();
     stopped = false;
     draining = false;
     conns = [];
     started_at = Unix.gettimeofday ();
+    hot = Observe.Hitcount.create ();
+    upgrade_mutex = Mutex.create ();
+    upgrade_cond = Condition.create ();
+    upgrade_queue = [];
+    upgrade_stop = false;
+    upgrade_worker = None;
+    upgrades_queued = 0;
+    upgrades_done = 0;
+    upgrades_failed = 0;
+    last_active = 0.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -239,6 +280,28 @@ let stats_json t =
                ("stolen", J.Int pool_stats.Sched.Pool.stolen);
                ("max_pending", J.Int pool_stats.Sched.Pool.max_pending);
              ] );
+         ( "tiers",
+           (let pending, queued, done_, failed =
+              Mutex.lock t.upgrade_mutex;
+              let v =
+                ( List.length t.upgrade_queue,
+                  t.upgrades_queued,
+                  t.upgrades_done,
+                  t.upgrades_failed )
+              in
+              Mutex.unlock t.upgrade_mutex;
+              v
+            in
+            J.Obj
+              [
+                ("enabled", J.Bool t.cfg.tiered);
+                ("fast_served", J.Int c.fast_served);
+                ("hot_keys", J.Int (Observe.Hitcount.distinct t.hot));
+                ("upgrades_pending", J.Int pending);
+                ("upgrades_queued", J.Int queued);
+                ("upgrades_done", J.Int done_);
+                ("upgrades_failed", J.Int failed);
+              ]) );
          ("service", service_json t);
        ])
 
@@ -277,34 +340,193 @@ let disk_eligible (config : Ompgpu_api.Config.t) =
   (not config.Ompgpu_api.Config.want_stats)
   && not config.Ompgpu_api.Config.print_trace
 
+(* A request is tier-eligible when it asks for the full pipeline's
+   semantics with cacheable, injection-free output: those are the requests
+   whose cold latency the fast tier can hide while the background upgrade
+   converges the entry to the exact full-pipeline bytes. *)
+let tier_eligible t (config : Ompgpu_api.Config.t) =
+  t.cfg.tiered && disk_eligible config
+  && config.Ompgpu_api.Config.inject = []
+  &&
+  match Ompgpu_api.Config.pipeline_of config with
+  | Some p ->
+    Openmpopt.Pass_manager.Pipeline.same_semantics p
+      Openmpopt.Pass_manager.Pipeline.full
+  | None -> false
+
+let fast_config (config : Ompgpu_api.Config.t) =
+  {
+    config with
+    Ompgpu_api.Config.options = None;
+    pipeline = Some Openmpopt.Pass_manager.Pipeline.fast;
+  }
+
+(* Fast-tier disk entries live under a derived key, not the request's: a
+   non-tiered daemon or a one-shot mompc sharing the --cache-dir looks up
+   the plain key only and must never be served fast bytes for a
+   full-pipeline request. *)
+let fast_disk_key key = Sched.Cache.key [ key; "fast-tier" ]
+
+let disk_find d ~key =
+  Option.bind (Sched.Disk_cache.find d ~key) (fun s ->
+      match J.of_string s with
+      | Ok j -> Ompgpu_api.compiled_of_json j
+      | Error _ -> None)
+
+let disk_store t ~config ~tier ~key (r : Ompgpu_api.compiled) =
+  match t.disk with
+  | Some d when disk_eligible config && r.Ompgpu_api.exit_code = 0 ->
+    let key = match tier with Full -> key | Fast -> fast_disk_key key in
+    Sched.Disk_cache.store d ~key
+      ~data:(J.to_string (Ompgpu_api.compiled_to_json r))
+  | _ -> ()
+
+(* Upgrades are strictly idle-time work: a picked upgrade waits for the
+   compile path to have been quiet for [idle_window_s] before touching
+   the pool, so tiering never taxes cold-request latency — an active
+   request burst (its inter-request gaps are far below the window) defers
+   every upgrade until the burst ends.  Within a quiet drain the window
+   is already elapsed, so consecutive upgrades proceed back to back.
+   Under sustained saturation the queue simply waits (visible as
+   upgrades_pending in stats); a drain/stop releases the wait
+   immediately. *)
+let idle_window_s = 0.05
+
+let rec wait_for_idle t =
+  let stopping =
+    Mutex.lock t.upgrade_mutex;
+    let s = t.upgrade_stop in
+    Mutex.unlock t.upgrade_mutex;
+    s
+  in
+  if not stopping then begin
+    let busy, last =
+      locked t (fun () -> (t.counters.in_flight > 0, t.last_active))
+    in
+    if busy || Unix.gettimeofday () -. last < idle_window_s then begin
+      Thread.delay 0.002;
+      wait_for_idle t
+    end
+  end
+
+(* The upgrade worker: drains the queue hottest-key-first (per-key request
+   counts in [t.hot]; queue order on ties) on the shared pool, atomically
+   replacing the warm entry (Sched.Cache.replace) and the disk entry
+   (Disk_cache.store is temp+rename) with the full-pipeline result.  The
+   full-pipeline outcome is authoritative even when it is a failure — the
+   request asked for full semantics, so the entry must converge to the
+   exact full-pipeline answer, failing or not; this is the one deliberate
+   exception to the successes-only warm-cache policy (the failing disk
+   store is still skipped).  Only an upgrade that raises (a poisoned
+   pool, a shutdown race) leaves the fast entry in place. *)
+let rec upgrade_loop t =
+  Mutex.lock t.upgrade_mutex;
+  while t.upgrade_queue = [] && not t.upgrade_stop do
+    Condition.wait t.upgrade_cond t.upgrade_mutex
+  done;
+  if t.upgrade_stop then Mutex.unlock t.upgrade_mutex
+  else begin
+    let u =
+      match List.rev t.upgrade_queue (* oldest first, so ties stay FIFO *) with
+      | [] -> assert false
+      | first :: rest ->
+        List.fold_left
+          (fun best v ->
+            if
+              Observe.Hitcount.count t.hot v.u_key
+              > Observe.Hitcount.count t.hot best.u_key
+            then v
+            else best)
+          first rest
+    in
+    t.upgrade_queue <- List.filter (fun v -> v.u_key <> u.u_key) t.upgrade_queue;
+    Mutex.unlock t.upgrade_mutex;
+    wait_for_idle t;
+    let promoted =
+      match pooled_compile t ~config:u.u_config ~file:u.u_file u.u_source with
+      | r ->
+        Sched.Cache.replace t.cache ~key:u.u_key { tier = Full; result = r };
+        disk_store t ~config:u.u_config ~tier:Full ~key:u.u_key r;
+        true
+      | exception _ -> false
+    in
+    Mutex.lock t.upgrade_mutex;
+    if promoted then t.upgrades_done <- t.upgrades_done + 1
+    else t.upgrades_failed <- t.upgrades_failed + 1;
+    Mutex.unlock t.upgrade_mutex;
+    upgrade_loop t
+  end
+
+(* Enqueue is idempotent per key, and the worker thread starts lazily on
+   the first upgrade so non-tiered daemons never pay for one. *)
+let enqueue_upgrade t ~key ~config ~file ~source =
+  Mutex.lock t.upgrade_mutex;
+  (if not (t.upgrade_stop || List.exists (fun u -> u.u_key = key) t.upgrade_queue)
+   then begin
+     t.upgrade_queue <-
+       { u_key = key; u_file = file; u_config = config; u_source = source }
+       :: t.upgrade_queue;
+     t.upgrades_queued <- t.upgrades_queued + 1;
+     if t.upgrade_worker = None then
+       t.upgrade_worker <- Some (Thread.create upgrade_loop t)
+     else Condition.signal t.upgrade_cond
+   end);
+  Mutex.unlock t.upgrade_mutex
+
+let stop_upgrader t =
+  Mutex.lock t.upgrade_mutex;
+  t.upgrade_stop <- true;
+  Condition.broadcast t.upgrade_cond;
+  let worker = t.upgrade_worker in
+  t.upgrade_worker <- None;
+  Mutex.unlock t.upgrade_mutex;
+  Option.iter Thread.join worker
+
 let compute_compile t ~config ~file ~key source =
+  let eligible = tier_eligible t config in
+  if eligible then ignore (Observe.Hitcount.bump t.hot key);
   let compile_and_persist () =
-    let r = pooled_compile t ~config ~file source in
-    (match t.disk with
-    | Some d when disk_eligible config && r.Ompgpu_api.exit_code = 0 ->
-      Sched.Disk_cache.store d ~key
-        ~data:(J.to_string (Ompgpu_api.compiled_to_json r))
-    | _ -> ());
-    r
+    let e =
+      if eligible then begin
+        let fast = pooled_compile t ~config:(fast_config config) ~file source in
+        if fast.Ompgpu_api.exit_code = 0 then { tier = Fast; result = fast }
+        else
+          (* the fast tier cannot stand in for a failing compile: fall
+             back to the asked-for full pipeline synchronously so the
+             client sees the authoritative outcome (no upgrade needed) *)
+          { tier = Full; result = pooled_compile t ~config ~file source }
+      end
+      else { tier = Full; result = pooled_compile t ~config ~file source }
+    in
+    disk_store t ~config ~tier:e.tier ~key e.result;
+    e
   in
   let thunk () =
-    let r =
+    let e =
       match t.disk with
       | Some d when disk_eligible config -> (
-        match
-          Option.bind (Sched.Disk_cache.find d ~key) (fun s ->
-              match J.of_string s with
-              | Ok j -> Ompgpu_api.compiled_of_json j
-              | Error _ -> None)
-        with
-        | Some r -> r
-        | None -> compile_and_persist ())
+        (* the plain key always holds full-pipeline bytes; a tiered boot
+           also accepts a leftover fast entry (and re-queues its upgrade
+           via the Fast tag below) *)
+        match disk_find d ~key with
+        | Some r -> { tier = Full; result = r }
+        | None ->
+          if eligible then
+            match disk_find d ~key:(fast_disk_key key) with
+            | Some r -> { tier = Fast; result = r }
+            | None -> compile_and_persist ()
+          else compile_and_persist ())
       | _ -> compile_and_persist ()
     in
-    if r.Ompgpu_api.exit_code = 0 then r else raise (Uncached r)
+    if e.result.Ompgpu_api.exit_code = 0 then e else raise (Uncached e.result)
   in
   match Sched.Cache.find_or_compute t.cache ~key thunk with
-  | r -> r
+  | e ->
+    if e.tier = Fast then begin
+      locked t (fun () -> t.counters.fast_served <- t.counters.fast_served + 1);
+      enqueue_upgrade t ~key ~config ~file ~source
+    end;
+    e.result
   | exception Uncached r -> r
 
 let handle_compile t ~id ~file ~config source =
@@ -322,6 +544,7 @@ let handle_compile t ~id ~file ~config source =
         else begin
           t.counters.in_flight <- t.counters.in_flight + 1;
           t.counters.compiles <- t.counters.compiles + 1;
+          t.last_active <- Unix.gettimeofday ();
           Ok ()
         end)
   in
@@ -356,7 +579,9 @@ let handle_compile t ~id ~file ~config source =
     let result =
       Fun.protect
         ~finally:(fun () ->
-          locked t (fun () -> t.counters.in_flight <- t.counters.in_flight - 1))
+          locked t (fun () ->
+              t.counters.in_flight <- t.counters.in_flight - 1;
+              t.last_active <- Unix.gettimeofday ()))
         (fun () -> compute_compile t ~config ~file ~key source)
     in
     locked t (fun () ->
@@ -537,6 +762,10 @@ let drain t =
   | None -> ());
   sever_connections t;
   join_connections t;
+  (* pending upgrades are abandoned (their fast entries persist under the
+     derived disk key and re-queue on the next tiered boot); the worker
+     must be joined before the pool it submits to goes down *)
+  stop_upgrader t;
   Sched.Pool.shutdown t.pool
 
 let release_listener t =
@@ -581,6 +810,7 @@ let serve_forever t =
     locked t (fun () -> t.draining <- true);
     sever_connections t;
     join_connections t;
+    (try stop_upgrader t with _ -> ());
     (try Sched.Pool.shutdown t.pool with _ -> ());
     release_listener t;
     close_journal t;

@@ -52,11 +52,20 @@ type config = {
       (** arms the service fault sites ([conn-drop], [partial-frame],
           [slow-client], [daemon-kill]) for the chaos harness *)
   drain_deadline_s : float;  (** bound on the graceful-drain wait *)
+  tiered : bool;
+      (** tiered compilation (docs/SCHEDULER.md): answer cold
+          full-pipeline requests from the fast tier, tier-tag the cache
+          entry, and let a background worker re-run the full pipeline
+          (hottest key first, per-key {!Observe.Hitcount} counts) and
+          atomically replace it.  Off by default: fast-tier answers are
+          not byte-identical to one-shot [mompc] until the upgrade lands,
+          so the byte-identity gates run untiered. *)
 }
 
 val default_config : config
 (** [./mompd.sock], 2 domains, capacity [4 * domains], no watchdog, no
-    disk cache, no journal, no injected faults, 5s drain deadline. *)
+    disk cache, no journal, no injected faults, 5s drain deadline, not
+    tiered. *)
 
 (** Restart/breaker counters shared between a {!Supervisor} and every
     incarnation it creates; read by [health] and [stats] answers. *)
@@ -102,9 +111,11 @@ val stop : t -> unit
 val stats_json : t -> Observe.Json.t
 (** The live counters served to a [stats] request (schema 2): requests
     by kind and outcome, shed count, cache hit/miss/entries, pool
-    statistics, uptime, and a ["service"] object (restarts, breaker,
-    draining, journal-replay counters, swept temp files, injected
-    drops). *)
+    statistics, uptime, a ["tiers"] object (enabled flag, fast-tier
+    answers served, distinct hot keys, upgrade queue depth and
+    queued/done/failed counts) and a ["service"] object (restarts,
+    breaker, draining, journal-replay counters, swept temp files,
+    injected drops). *)
 
 val health_json : t -> Observe.Json.t
 (** The [health] answer (schema 2): ["status"] ("ok"/"draining"),

@@ -16,6 +16,7 @@ let () =
       ("report-golden", Test_report_golden.suite);
       ("sched", Test_sched.suite);
       ("fault", Test_fault.suite);
+      ("pipeline", Test_pipeline.suite);
       ("service", Test_service.suite);
       ("resilience", Test_resilience.suite);
       ("fleet", Test_fleet.suite);

@@ -59,6 +59,7 @@ let server_config ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir
     state_dir;
     injector;
     drain_deadline_s;
+    tiered = false;
   }
 
 let check_same_compiled what (expected : A.compiled) (got : A.compiled) =

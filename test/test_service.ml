@@ -30,7 +30,8 @@ let fresh_socket =
       (Printf.sprintf "mompd-t%d-%d.sock" (Unix.getpid ()) !n)
 
 let with_server ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir ?state_dir
-    ?(injector = Fault.Injector.none) ?(drain_deadline_s = 5.0) f =
+    ?(injector = Fault.Injector.none) ?(drain_deadline_s = 5.0)
+    ?(tiered = false) f =
   let socket_path = fresh_socket () in
   let server =
     Service.Server.create
@@ -43,6 +44,7 @@ let with_server ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir ?state_dir
         state_dir;
         injector;
         drain_deadline_s;
+        tiered;
       }
   in
   let thread = Thread.create Service.Server.serve_forever server in
@@ -86,16 +88,22 @@ let check_same_compiled what (expected : A.compiled) (got : A.compiled) =
 let wire j = J.to_string ~minify:true j
 
 let test_request_goldens () =
+  (* the wire version, the API version and the observability schema are
+     three distinct version numbers; pin all three so a bump that forgets
+     one of them fails here, not in a client *)
+  Alcotest.(check int) "api_version is 2" 2 A.api_version;
+  Alcotest.(check int) "protocol version is 2" 2 Service.Protocol.version;
+  Alcotest.(check int) "schema_version is 2" 2 J.schema_version;
   Alcotest.(check string)
-    "stats request" {|{"v":1,"id":"s1","op":"stats"}|}
+    "stats request" {|{"v":2,"id":"s1","op":"stats"}|}
     (wire (Service.Protocol.request_to_json (Service.Protocol.Stats { id = "s1" })));
   Alcotest.(check string)
-    "shutdown request" {|{"v":1,"id":"q1","op":"shutdown"}|}
+    "shutdown request" {|{"v":2,"id":"q1","op":"shutdown"}|}
     (wire
        (Service.Protocol.request_to_json (Service.Protocol.Shutdown { id = "q1" })));
   Alcotest.(check string)
     "compile request, default config"
-    ({|{"v":1,"id":"c1","op":"compile","file":"t.c","source":"int main() { return 0; }",|}
+    ({|{"v":2,"id":"c1","op":"compile","file":"t.c","source":"int main() { return 0; }",|}
     ^ {|"config":{"scheme":"simplified","optimize":false,"emit_ir":true,"run":false,|}
     ^ {|"remarks_only":false,"stats":false,"trace":false,"inject":[],"retries":0,|}
     ^ {|"backoff":0.050000000000000003,"backtrace":false}}|})
@@ -127,7 +135,7 @@ let test_request_goldens () =
 
 let test_response_goldens () =
   Alcotest.(check string)
-    "shutdown ack" {|{"v":1,"id":"q1","op":"shutdown","ok":true}|}
+    "shutdown ack" {|{"v":2,"id":"q1","op":"shutdown","ok":true}|}
     (wire
        (Service.Protocol.response_to_json
           (Service.Protocol.Shutdown_ack { id = "q1" })));
@@ -207,17 +215,22 @@ let test_bad_requests () =
   reject "wrong version"
     (J.Obj [ ("v", J.Int 99); ("id", J.String "x"); ("op", J.String "stats") ])
     "version 99";
-  reject "missing id" (J.Obj [ ("v", J.Int 1); ("op", J.String "stats") ]) "id";
+  (* the v1 wire is gone: a v1 client gets a structured refusal naming
+     both versions, never a silently-different answer *)
+  reject "v1 request"
+    (J.Obj [ ("v", J.Int 1); ("id", J.String "x"); ("op", J.String "stats") ])
+    "version 1";
+  reject "missing id" (J.Obj [ ("v", J.Int 2); ("op", J.String "stats") ]) "id";
   reject "unknown op"
-    (J.Obj [ ("v", J.Int 1); ("id", J.String "x"); ("op", J.String "explode") ])
+    (J.Obj [ ("v", J.Int 2); ("id", J.String "x"); ("op", J.String "explode") ])
     "explode";
   reject "compile without source"
-    (J.Obj [ ("v", J.Int 1); ("id", J.String "x"); ("op", J.String "compile") ])
+    (J.Obj [ ("v", J.Int 2); ("id", J.String "x"); ("op", J.String "compile") ])
     "source";
   reject "bad pass toggle"
     (J.Obj
        [
-         ("v", J.Int 1);
+         ("v", J.Int 2);
          ("id", J.String "x");
          ("op", J.String "compile");
          ("source", J.String "s");
@@ -227,7 +240,57 @@ let test_bad_requests () =
                ("optimize", J.Bool true); ("disable", J.List [ J.String "warp-speed" ]);
              ] );
        ])
-    "warp-speed"
+    "warp-speed";
+  (* pipeline spec errors surface as Bad_request with the offending pass
+     named, exactly like the CLI's --pipeline validation *)
+  reject "unknown pass in pipeline spec"
+    (J.Obj
+       [
+         ("v", J.Int 2);
+         ("id", J.String "x");
+         ("op", J.String "compile");
+         ("source", J.String "s");
+         ("config", J.Obj [ ("pipeline", J.String "internalize,warp-speed@2") ]);
+       ])
+    "warp-speed";
+  reject "pipeline combined with optimize"
+    (J.Obj
+       [
+         ("v", J.Int 2);
+         ("id", J.String "x");
+         ("op", J.String "compile");
+         ("source", J.String "s");
+         ( "config",
+           J.Obj [ ("pipeline", J.String "fast"); ("optimize", J.Bool true) ] );
+       ])
+    "may not be combined"
+
+(* an explicit pipeline replaces the legacy optimize/disable members on
+   the wire and survives the round trip with its identity intact *)
+let test_pipeline_on_the_wire () =
+  let config = A.Config.(default |> with_pipeline A.Pipeline.fast) in
+  let j = Service.Protocol.config_to_json config in
+  Alcotest.(check (option string))
+    "pipeline member is the spec string"
+    (Some "fast=internalize,fold,cleanup@1")
+    (Option.bind (J.member "pipeline" j) J.to_str);
+  Alcotest.(check bool)
+    "legacy optimize member omitted" true
+    (J.member "optimize" j = None && J.member "disable" j = None);
+  match Service.Protocol.config_of_json j with
+  | Error e -> Alcotest.failf "pipeline config rejected: %s" e
+  | Ok config' ->
+    Alcotest.(check string)
+      "config fingerprint survives the wire"
+      (A.Config.fingerprint config)
+      (A.Config.fingerprint config');
+    (match config'.A.Config.pipeline with
+    | Some p ->
+      Alcotest.(check string)
+        "the pipeline itself survives"
+        (A.Pipeline.to_string A.Pipeline.fast)
+        (A.Pipeline.to_string p)
+    | None -> Alcotest.fail "pipeline member lost in decoding")
 
 (* ------------------------------------------------------------------ *)
 (* Daemon round-trips                                                  *)
@@ -399,6 +462,109 @@ let test_daemon_rejects_garbage_line () =
   Alcotest.(check int) "next request on the same connection" 0 r.A.exit_code
 
 (* ------------------------------------------------------------------ *)
+(* Tiered compilation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tiers_int stats k =
+  Option.bind (J.member "tiers" stats) (fun t ->
+      Option.bind (J.member k t) J.to_int)
+
+let rec wait_for_upgrades c ~target deadline =
+  let stats = ok_exn (Service.Client.stats c ()) in
+  match tiers_int stats "upgrades_done" with
+  | Some n when n >= target -> stats
+  | _ ->
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "tier upgrade did not land within the deadline"
+    else begin
+      Thread.delay 0.02;
+      wait_for_upgrades c ~target deadline
+    end
+
+(* The tentpole's acceptance: a tiered daemon answers a cold
+   full-pipeline request from the fast tier; a racing request sees the
+   fast bytes or the full bytes — both complete compiles — never a torn
+   entry; and once the background upgrade lands, the served bytes are
+   identical to a one-shot full-pipeline compile. *)
+let test_daemon_tier_upgrade () =
+  let config = A.Config.(default |> optimized) in
+  let source = app_source "xsbench" in
+  let file = "x.momp" in
+  let oneshot_full = A.compile_buffered ~config ~file source in
+  let oneshot_fast =
+    A.compile_buffered
+      ~config:A.Config.(default |> with_pipeline A.Pipeline.fast)
+      ~file source
+  in
+  Alcotest.(check bool)
+    "precondition: the tiers produce different bytes" false
+    (String.equal oneshot_full.A.output oneshot_fast.A.output);
+  with_server ~tiered:true @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  let cold = ok_exn (Service.Client.compile c ~file ~config source) in
+  check_same_compiled "cold answer is the fast tier" oneshot_fast cold;
+  (* racing requests during the upgrade window: each answer must be
+     exactly one tier's bytes, never a mixture *)
+  List.iteri
+    (fun i r ->
+      let r = ok_exn r in
+      if
+        not
+          (String.equal r.A.output oneshot_fast.A.output
+          || String.equal r.A.output oneshot_full.A.output)
+      then Alcotest.failf "racer %d saw torn bytes" i;
+      Alcotest.(check int) (Printf.sprintf "racer %d exit code" i) 0 r.A.exit_code)
+    (List.init 8 (fun _ -> Service.Client.compile c ~file ~config source));
+  let stats = wait_for_upgrades c ~target:1 (Unix.gettimeofday () +. 30.) in
+  Alcotest.(check (option bool))
+    "stats report tiering enabled" (Some true)
+    (Option.bind (J.member "tiers" stats) (fun t ->
+         Option.bind (J.member "enabled" t) (function
+           | J.Bool b -> Some b
+           | _ -> None)));
+  Alcotest.(check bool)
+    "fast-tier answers were counted" true
+    (match tiers_int stats "fast_served" with Some n -> n >= 1 | None -> false);
+  Alcotest.(check (option int)) "no failed upgrades" (Some 0)
+    (tiers_int stats "upgrades_failed");
+  (* post-upgrade, the cached entry IS the one-shot full compile *)
+  let warm = ok_exn (Service.Client.compile c ~file ~config source) in
+  check_same_compiled "post-upgrade answer is byte-identical to one-shot full"
+    oneshot_full warm
+
+(* An untiered daemon must be wholly unaffected by the machinery: cold
+   answers are full-pipeline bytes and the tiers counters stay zero. *)
+let test_daemon_untiered_unchanged () =
+  let config = A.Config.(default |> optimized) in
+  let source = app_source "su3bench" in
+  let file = "s.momp" in
+  let oneshot = A.compile_buffered ~config ~file source in
+  with_server @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  let served = ok_exn (Service.Client.compile c ~file ~config source) in
+  check_same_compiled "untiered cold answer is full-pipeline" oneshot served;
+  let stats = ok_exn (Service.Client.stats c ()) in
+  Alcotest.(check (option int)) "no fast-tier answers" (Some 0)
+    (tiers_int stats "fast_served");
+  Alcotest.(check (option int)) "no upgrades queued" (Some 0)
+    (tiers_int stats "upgrades_queued")
+
+(* An explicit fast-tier request against a tiered daemon is served as
+   asked and never enqueued for upgrade: the client chose the tier. *)
+let test_daemon_explicit_fast_not_upgraded () =
+  let config = A.Config.(default |> with_pipeline A.Pipeline.fast) in
+  let source = app_source "su3bench" in
+  let file = "s.momp" in
+  let oneshot = A.compile_buffered ~config ~file source in
+  with_server ~tiered:true @@ fun socket_path ->
+  Service.Client.with_connection ~socket_path @@ fun c ->
+  let served = ok_exn (Service.Client.compile c ~file ~config source) in
+  check_same_compiled "explicit fast request served as asked" oneshot served;
+  let stats = ok_exn (Service.Client.stats c ()) in
+  Alcotest.(check (option int)) "nothing queued for upgrade" (Some 0)
+    (tiers_int stats "upgrades_queued")
+
+(* ------------------------------------------------------------------ *)
 (* The façade and the CLI agree                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -460,25 +626,73 @@ let test_cli_daemon_matches_oneshot () =
   Alcotest.(check string) "stdout bytes" out1 out2;
   Alcotest.(check string) "stderr bytes" err1 err2
 
-(* Deprecated aliases keep working: --domains is -j, --cache is
-   --cache-dir.  (Aliases are satellite (b); this pins they parse and
-   mean the same thing.) *)
-let test_deprecated_aliases () =
+let contains s frag =
+  let ls = String.length s and lf = String.length frag in
+  let rec go i = i + lf <= ls && (String.sub s i lf = frag || go (i + 1)) in
+  go 0
+
+(* The PR-4 compatibility aliases served their one-release grace period
+   (docs/API.md deprecation policy) and are retired with api_version 2:
+   the old spellings that are not a prefix of a canonical flag are now
+   CLI parse errors, while the canonical spellings keep working.
+   (--cache and --stats still parse, but only as cmdliner's unambiguous
+   abbreviation of --cache-dir and --stats-json — the same meaning, so
+   there is nothing separate to pin for them.) *)
+let test_retired_aliases () =
   with_source_file (app_source "xsbench") @@ fun path ->
-  with_source_file (app_source "su3bench") @@ fun path2 ->
-  let quoted = Filename.quote path ^ " " ^ Filename.quote path2 in
-  let code1, out1, err1 =
+  let quoted = Filename.quote path in
+  let code_canonical, _, _ =
     run_command (Printf.sprintf "%s -O -j 2 %s" mompc_exe quoted)
   in
-  (* stderr is not compared: the deprecated spelling may add a
-     deprecation notice; stdout and the exit code must not move *)
-  let code2, out2, err2 =
-    run_command (Printf.sprintf "%s -O --domains 2 %s" mompc_exe quoted)
+  Alcotest.(check int) "canonical -j still parses" 0 code_canonical;
+  List.iter
+    (fun (flag, value) ->
+      let code, _, err =
+        run_command (Printf.sprintf "%s -O %s %s %s" mompc_exe flag value quoted)
+      in
+      Alcotest.(check int) (flag ^ ": retired spelling is a CLI error") 124 code;
+      Alcotest.(check bool)
+        (flag ^ ": named in the usage error")
+        true (contains err flag))
+    [ ("--domains", "2"); ("--fault-inject", "pass-crash:1.0") ]
+
+(* mompc --pipeline: full is byte-identical to -O, fast compiles, bad
+   specs and mixing with the legacy toggles are structured Bad_requests
+   (exit 42). *)
+let test_cli_pipeline_flag () =
+  with_source_file (app_source "xsbench") @@ fun path ->
+  let quoted = Filename.quote path in
+  let code_o, out_o, err_o =
+    run_command (Printf.sprintf "%s -O %s" mompc_exe quoted)
   in
-  ignore err2;
-  Alcotest.(check int) "exit code" code1 code2;
-  Alcotest.(check string) "stdout bytes" out1 out2;
-  ignore err1
+  let code_p, out_p, err_p =
+    run_command (Printf.sprintf "%s --pipeline full %s" mompc_exe quoted)
+  in
+  Alcotest.(check int) "--pipeline full: exit code of -O" code_o code_p;
+  Alcotest.(check string) "--pipeline full: stdout bytes of -O" out_o out_p;
+  Alcotest.(check string) "--pipeline full: stderr bytes of -O" err_o err_p;
+  let code_fast, out_fast, _ =
+    run_command (Printf.sprintf "%s --pipeline fast %s" mompc_exe quoted)
+  in
+  Alcotest.(check int) "--pipeline fast compiles" 0 code_fast;
+  Alcotest.(check bool)
+    "fast is a different tier (different bytes)" false
+    (String.equal out_fast out_p);
+  let code_bad, _, err_bad =
+    run_command
+      (Printf.sprintf "%s --pipeline internalize,warp-speed@1 %s" mompc_exe
+         quoted)
+  in
+  Alcotest.(check int) "unknown pass is exit 42" 42 code_bad;
+  Alcotest.(check bool)
+    "unknown pass named" true (contains err_bad "warp-speed");
+  let code_mix, _, err_mix =
+    run_command (Printf.sprintf "%s --pipeline fast -O %s" mompc_exe quoted)
+  in
+  Alcotest.(check int) "--pipeline with -O refused (exit 42)" 42 code_mix;
+  Alcotest.(check bool)
+    "mixing error mentions the conflict" true
+    (contains err_mix "may not be combined")
 
 let suite =
   [
@@ -486,6 +700,8 @@ let suite =
     Alcotest.test_case "protocol/response-goldens" `Quick test_response_goldens;
     Alcotest.test_case "protocol/request-roundtrip" `Quick test_request_roundtrip;
     Alcotest.test_case "protocol/bad-requests" `Quick test_bad_requests;
+    Alcotest.test_case "protocol/pipeline-on-the-wire" `Quick
+      test_pipeline_on_the_wire;
     Alcotest.test_case "daemon/byte-identical-all-apps" `Quick
       test_daemon_byte_identical;
     Alcotest.test_case "daemon/warm-cache" `Quick test_daemon_warm_cache;
@@ -497,8 +713,14 @@ let suite =
       test_daemon_survives_pass_crash;
     Alcotest.test_case "daemon/rejects-garbage-line" `Quick
       test_daemon_rejects_garbage_line;
+    Alcotest.test_case "daemon/tier-upgrade" `Quick test_daemon_tier_upgrade;
+    Alcotest.test_case "daemon/untiered-unchanged" `Quick
+      test_daemon_untiered_unchanged;
+    Alcotest.test_case "daemon/explicit-fast-not-upgraded" `Quick
+      test_daemon_explicit_fast_not_upgraded;
     Alcotest.test_case "cli/facade-matches-mompc" `Quick test_facade_matches_cli;
     Alcotest.test_case "cli/daemon-matches-oneshot" `Quick
       test_cli_daemon_matches_oneshot;
-    Alcotest.test_case "cli/deprecated-aliases" `Quick test_deprecated_aliases;
+    Alcotest.test_case "cli/retired-aliases" `Quick test_retired_aliases;
+    Alcotest.test_case "cli/pipeline-flag" `Quick test_cli_pipeline_flag;
   ]

@@ -9,9 +9,10 @@
    Only deterministic simulator counters are gated: per-app barriers and
    the store counts summed over kernel launches (global + shared +
    local).  Both files must carry a schema-stamped "sched" section whose
-   pool executed every submitted job, a "corpus" section and a "fleet"
-   section that each recorded byte_identical=true (daemon and
-   sharded-router answers matched in-process compilation bit for bit);
+   pool executed every submitted job, and "corpus", "fleet" and "tiers"
+   sections that each recorded byte_identical=true (daemon,
+   sharded-router, and post-upgrade tiered answers matched the expected
+   in-process compilation bit for bit);
    with [--min-speedup], the
    *committed baseline's* recorded sched.speedup must clear the bar — a
    regression there means someone committed a benchmark file from a run
@@ -97,6 +98,30 @@ let require_fleet path j =
            diverged from in-process compilation)"
         path
     | None -> die "%s: fleet section without \"byte_identical\"" path)
+
+(* The tiers section (bench/main.exe, `make conformance TIERED=1`) must
+   be present and itself schema-stamped: the cold p50 per tier and the
+   upgrade throughput are wall-clock and never gated, but a tiered
+   daemon whose post-drain answers diverge from one-shot full-pipeline
+   compilation has broken the tier-upgrade atomicity contract — that is
+   a correctness bug, not a perf number. *)
+let require_tiers path j =
+  match Observe.Json.member "tiers" j with
+  | None ->
+    die
+      "%s: no \"tiers\" member (tiered-compilation section); regenerate it \
+       with a current bench/main.exe"
+      path
+  | Some t -> (
+    require_schema (path ^ ": tiers") t;
+    let to_bool = function Observe.Json.Bool b -> Some b | _ -> None in
+    match Option.bind (Observe.Json.member "byte_identical" t) to_bool with
+    | Some true -> ()
+    | Some false ->
+      die "%s: tiers section recorded byte_identical=false (post-upgrade \
+           answers diverged from one-shot full-pipeline compilation)"
+        path
+    | None -> die "%s: tiers section without \"byte_identical\"" path)
 
 (* The scheduler section (bench/main.exe, `make perf`) must be present,
    itself schema-stamped, and internally consistent: a pool that executed
@@ -234,6 +259,8 @@ let () =
   require_corpus new_path next_json;
   require_fleet baseline_path base_json;
   require_fleet new_path next_json;
+  require_tiers baseline_path base_json;
+  require_tiers new_path next_json;
   let base_speedup = require_sched baseline_path base_json in
   ignore (require_sched new_path next_json);
   gate_speedup baseline_path base_speedup;

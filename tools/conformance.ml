@@ -1,8 +1,9 @@
 (* conformance: the mass-corpus differential driver (docs/CONFORMANCE.md).
 
      conformance [--n N] [--seed S] [--ledger PATH|-] [--expected PATH]
-                 [--daemon] [--router] [--shards K] [--connections K]
-                 [--domains D] [--observe JSON] [--quiet]
+                 [--pipeline SPEC] [--daemon] [--router] [--tiered]
+                 [--shards K] [--connections K] [--domains D]
+                 [--observe JSON] [--quiet]
 
    Runs N seeded corpus programs through the full
    {scheme} x {mode} x {pipeline} differential matrix in-process,
@@ -14,8 +15,14 @@
    and warm and requiring byte-identity with in-process compilation;
    [--router] does the same through a fleet router fronting --shards
    supervised daemon shards (cold + warm, byte-identity required);
-   [--observe FILE] merges the resulting schema-stamped "corpus" section
-   into an existing BENCH_observe.json.
+   [--pipeline SPEC] (api_version 2) replays the matrix with an explicit
+   pipeline in the optimized column — `--pipeline fast` asserts the fast
+   tier's deltas against the reference are all classified by the ledger,
+   i.e. the tier introduces no NEW unsoundness; [--tiered] measures the
+   tiered daemon (cold p50 per tier, upgrade throughput, post-upgrade
+   byte-identity) and merges a schema-stamped "tiers" section with
+   [--observe]; [--observe FILE] merges the resulting schema-stamped
+   "corpus" (and "tiers") sections into an existing BENCH_observe.json.
 
    Exit codes: 0 conformant, 1 unexplained divergence or ledger drift or
    daemon mismatch, 2 usage/environment error. *)
@@ -25,8 +32,9 @@ let die fmt = Fmt.kstr (fun s -> prerr_endline ("conformance: " ^ s); exit 2) fm
 let usage () =
   prerr_endline
     "usage: conformance [--n N] [--seed S] [--ledger PATH|-] [--expected PATH]\n\
-    \                   [--daemon] [--router] [--shards K] [--connections K]\n\
-    \                   [--domains D] [--observe JSON] [--quiet]";
+    \                   [--pipeline SPEC] [--daemon] [--router] [--tiered]\n\
+    \                   [--shards K] [--connections K] [--domains D]\n\
+    \                   [--observe JSON] [--quiet]";
   exit 2
 
 type opts = {
@@ -42,6 +50,8 @@ type opts = {
   mutable observe : string option;
   mutable quiet : bool;
   mutable only : int option;
+  mutable pipeline : Ompgpu_api.Pipeline.t option;
+  mutable tiered : bool;
 }
 
 let parse_args () =
@@ -59,6 +69,8 @@ let parse_args () =
       observe = None;
       quiet = false;
       only = None;
+      pipeline = None;
+      tiered = false;
     }
   in
   let pos_int name v =
@@ -100,6 +112,14 @@ let parse_args () =
     | "--observe" :: v :: rest ->
       o.observe <- Some v;
       parse rest
+    | "--pipeline" :: v :: rest ->
+      (match Ompgpu_api.Pipeline.of_string v with
+      | Ok p -> o.pipeline <- Some p
+      | Error msg -> die "--pipeline: %s" msg);
+      parse rest
+    | "--tiered" :: rest ->
+      o.tiered <- true;
+      parse rest
     | "--quiet" :: rest ->
       o.quiet <- true;
       parse rest
@@ -114,12 +134,14 @@ let parse_args () =
   parse (List.tl (Array.to_list Sys.argv));
   o
 
-(* Merge the "corpus" member into an existing BENCH_observe.json without
-   disturbing anything else in it. *)
-let merge_observe path corpus_json =
+(* Merge one named member ("corpus", "tiers") into an existing
+   BENCH_observe.json without disturbing anything else in it. *)
+let merge_observe path member_name member_json =
   let base =
     match In_channel.with_open_text path In_channel.input_all with
-    | exception Sys_error msg -> die "--observe: %s" msg
+    (* a missing file starts from an empty object: conformance can seed a
+       fresh observe file that bench/main.exe later fills in *)
+    | exception Sys_error _ -> Observe.Json.Obj []
     | s -> (
       match Observe.Json.of_string s with
       | Ok j -> j
@@ -129,8 +151,8 @@ let merge_observe path corpus_json =
     match base with
     | Observe.Json.Obj members ->
       Observe.Json.Obj
-        (List.filter (fun (k, _) -> not (String.equal k "corpus")) members
-        @ [ ("corpus", corpus_json) ])
+        (List.filter (fun (k, _) -> not (String.equal k member_name)) members
+        @ [ (member_name, member_json) ])
     | _ -> die "--observe: %s: top level is not an object" path
   in
   Out_channel.with_open_text path (fun oc ->
@@ -155,6 +177,13 @@ let () =
     dump_program ~root:o.seed i;
     exit 0
   | None -> ());
+  (* the committed golden pins the FULL-pipeline ledger; diffing a
+     replay under another pipeline against it would always "drift" *)
+  (match (o.pipeline, o.expected) with
+  | Some _, Some _ ->
+    die "--pipeline and --expected are mutually exclusive (the golden \
+         ledger pins the full-pipeline matrix)"
+  | _ -> ());
   let failed = ref false in
   let progress = ref 0 in
   let t0 = Unix.gettimeofday () in
@@ -163,7 +192,9 @@ let () =
     if (not o.quiet) && !progress mod 100 = 0 then
       Fmt.epr "conformance: %d/%d programs@." !progress o.n
   in
-  let results = Corpus.Matrix.run ~on_program ~root:o.seed ~n:o.n () in
+  let results =
+    Corpus.Matrix.run ?pipeline:o.pipeline ~on_program ~root:o.seed ~n:o.n ()
+  in
   let matrix_s = Unix.gettimeofday () -. t0 in
   let ledger_text = Corpus.Ledger.render ~root:o.seed results in
   (match o.ledger with
@@ -173,6 +204,11 @@ let () =
   | None -> ());
   let t = Corpus.Ledger.totals results in
   if not o.quiet then begin
+    (match o.pipeline with
+    | Some p ->
+      Fmt.pr "conformance: optimized column replayed under pipeline %s@."
+        (Ompgpu_api.Pipeline.to_string p)
+    | None -> ());
     Fmt.pr "conformance: %d programs, %d cells: %d pass, %d known-divergence, %d fail \
             (%.1fs in-process)@."
       o.n t.Corpus.Ledger.cells t.Corpus.Ledger.pass t.Corpus.Ledger.known
@@ -186,7 +222,10 @@ let () =
     (fun ((r : Corpus.Matrix.program_result), (cr : Corpus.Matrix.cell_result)) ->
       failed := true;
       let cell = cr.Corpus.Matrix.cell in
-      let small = Corpus.Matrix.shrink_failure cell r.Corpus.Matrix.prog in
+      let small =
+        Corpus.Matrix.shrink_failure ?pipeline:o.pipeline cell
+          r.Corpus.Matrix.prog
+      in
       Fmt.epr
         "conformance: UNEXPLAINED divergence: prog=%d cell=%s (seed %Ld)@.\
          minimized reproducer (mode %s):@.%s@."
@@ -224,11 +263,42 @@ let () =
         s.Corpus.Traffic.transport_errors
     end;
     match o.observe with
-    | Some path -> merge_observe path (Corpus.Traffic.to_json s)
+    | Some path -> merge_observe path "corpus" (Corpus.Traffic.to_json s)
     | None -> ()
   end
-  else if o.observe <> None then
-    die "--observe requires --daemon (the corpus section reports daemon throughput)";
+  else if o.observe <> None && not o.tiered then
+    die "--observe requires --daemon or --tiered (it merges daemon-measured \
+         sections)";
+  if o.tiered then begin
+    (* tiered daemon vs untiered daemon on the tier-eligible slice: cold
+       p50 must drop, and post-upgrade answers must be byte-identical to
+       one-shot full-pipeline compiles *)
+    let ts =
+      Corpus.Traffic.run_tiered ~connections:o.connections ~domains:o.domains
+        ~root:o.seed ~n:o.n ()
+    in
+    Fmt.pr
+      "tiers: %d jobs over %d connections (%d domains): cold p50 full \
+       %.1fms vs tiered %.1fms, warm %.1f vs %.1f compiles/s, %d \
+       upgrade(s) drained in %.1fs (%.1f/s), post-upgrade byte-identical \
+       %b@."
+      ts.Corpus.Traffic.tr_jobs ts.Corpus.Traffic.tr_connections
+      ts.Corpus.Traffic.tr_domains ts.Corpus.Traffic.full_cold_p50_ms
+      ts.Corpus.Traffic.tiered_cold_p50_ms ts.Corpus.Traffic.full_warm_cps
+      ts.Corpus.Traffic.tiered_warm_cps ts.Corpus.Traffic.upgrades_done
+      ts.Corpus.Traffic.upgrade_drain_s ts.Corpus.Traffic.upgrades_per_s
+      ts.Corpus.Traffic.post_upgrade_identical;
+    if not ts.Corpus.Traffic.post_upgrade_identical then begin
+      failed := true;
+      Fmt.epr
+        "conformance: post-upgrade tiered answers diverged from one-shot \
+         full-pipeline compilation (%d transport errors)@."
+        ts.Corpus.Traffic.tr_transport_errors
+    end;
+    match o.observe with
+    | Some path -> merge_observe path "tiers" (Corpus.Traffic.tiers_to_json ts)
+    | None -> ()
+  end;
   if o.router then begin
     (* the same corpus, the same byte-identity bar, but through the fleet:
        a router + shards answer must match the in-process facade exactly *)

@@ -73,22 +73,22 @@ REQ="$WORK/requests.jsonl"
 n=0
 while [ "$n" -lt 43 ]; do
   if [ $((n % 2)) -eq 0 ]; then op=compile; else op=run; fi
-  printf '{"v":1,"id":"c%d","op":"%s","file":"input.c","source":"%s","config":{"optimize":true}}\n' \
+  printf '{"v":2,"id":"c%d","op":"%s","file":"input.c","source":"%s","config":{"optimize":true}}\n' \
     "$n" "$op" "$SRC" >> "$REQ"
   n=$((n+1))
 done
 # two byte-identical requests: their responses must be byte-identical too
-printf '{"v":1,"id":"dup","op":"run","file":"input.c","source":"%s","config":{"optimize":true}}\n' "$SRC" >> "$REQ"
-printf '{"v":1,"id":"dup","op":"run","file":"input.c","source":"%s","config":{"optimize":true}}\n' "$SRC" >> "$REQ"
+printf '{"v":2,"id":"dup","op":"run","file":"input.c","source":"%s","config":{"optimize":true}}\n' "$SRC" >> "$REQ"
+printf '{"v":2,"id":"dup","op":"run","file":"input.c","source":"%s","config":{"optimize":true}}\n' "$SRC" >> "$REQ"
 # one injected fault: fails structurally (pass-crash, exit 14), daemon survives
-printf '{"v":1,"id":"crash","op":"compile","file":"input.c","source":"%s","config":{"optimize":true,"inject":["pass-crash:1.0"]}}\n' "$SRC" >> "$REQ"
-printf '{"v":1,"id":"s1","op":"stats"}\n' >> "$REQ"
+printf '{"v":2,"id":"crash","op":"compile","file":"input.c","source":"%s","config":{"optimize":true,"inject":["pass-crash:1.0"]}}\n' "$SRC" >> "$REQ"
+printf '{"v":2,"id":"s1","op":"stats"}\n' >> "$REQ"
 # structured rejections: wrong protocol version, then a non-request document
 printf '{"v":99,"id":"bad","op":"stats"}\n' >> "$REQ"
 printf '"hello"\n' >> "$REQ"
-printf '{"v":1,"id":"s2","op":"stats"}\n' >> "$REQ"
+printf '{"v":2,"id":"s2","op":"stats"}\n' >> "$REQ"
 # the 51st line drains the daemon
-printf '{"v":1,"id":"q","op":"shutdown"}\n' >> "$REQ"
+printf '{"v":2,"id":"q","op":"shutdown"}\n' >> "$REQ"
 
 RESP="$WORK/responses.jsonl"
 "$MOMPD" request --socket "$SOCK" < "$REQ" > "$RESP" \
@@ -108,7 +108,7 @@ grep -q '"id":"bad".*"kind":"bad-request"' "$RESP" \
   || fail "expected 2 bad-request rejections"
 [ "$(grep -c '"op":"stats".*"schema":2' "$RESP")" -eq 2 ] \
   || fail "stats responses are not schema-stamped"
-grep -q '{"v":1,"id":"q","op":"shutdown","ok":true}' "$RESP" \
+grep -q '{"v":2,"id":"q","op":"shutdown","ok":true}' "$RESP" \
   || fail "missing shutdown acknowledgement"
 
 # --- 3. clean shutdown ------------------------------------------------------
