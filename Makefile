@@ -50,10 +50,13 @@ service-smoke:
 
 # Chaos/soak harness (CHAOS_ITERS=200 by default): a supervised daemon under
 # `--inject daemon-kill` crash injection, external kill -9 / restart cycles,
-# a malformed-frame fuzz pass, and a fleet phase that SIGKILLs router shards
-# under traffic — every client compile must exit 0 with bytes identical to
-# one-shot mompc, the supervisor must restart within its backoff bounds, and
-# no process may exit outside the taxonomy (docs/ROBUSTNESS.md, docs/FLEET.md).
+# a malformed-frame fuzz pass, a fleet phase that SIGKILLs router shards
+# under traffic, and a storage-governance phase that runs fleet traffic
+# under `--inject disk-full` with a tiny `--cache-max-bytes` quota — every
+# client compile must exit 0 with bytes identical to one-shot mompc, the
+# supervisor must restart within its backoff bounds, the cache directory
+# must stay inside its quota, and no process may exit outside the taxonomy
+# (docs/ROBUSTNESS.md, docs/FLEET.md).
 chaos:
 	dune build bin/mompc.exe bin/mompd.exe
 	sh tools/chaos_soak.sh

@@ -390,10 +390,143 @@ let tiers_bench () =
     t.Corpus.Traffic.post_upgrade_identical t.Corpus.Traffic.tr_transport_errors;
   Corpus.Traffic.tiers_to_json t
 
+(* ------------------------------------------------------------------ *)
+(* Storage benchmark: governed caches under pressure                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The storage-governance acceptance shape (docs/ROBUSTNESS.md): a
+   byte-capped warm cache under eviction pressure and a disk cache with
+   every store failing as disk-full must both keep serving byte-identical
+   results — governance costs warm hits, never correctness — while the
+   caps hold and the counters (evictions, store failures, breaker trips)
+   surface the pressure.  At an ample cap the warm pass still hits
+   everything.  [byte_identical] is the member tools/bench_gate.ml
+   refuses to pass without. *)
+let storage_bench () =
+  Fmt.pr "== Storage: bounded caches and ENOSPC-graceful writes ==@.";
+  let apps = List.map (fun (a : Proxyapps.App.t) -> a.Proxyapps.App.name) Proxyapps.Apps.all in
+  let config = Ompgpu_api.Config.default in
+  let reference =
+    List.map
+      (fun app ->
+        let source = (Proxyapps.Apps.find_exn app).Proxyapps.App.omp_source tiny in
+        (app, source, Ompgpu_api.compile_buffered ~config ~file:(app ^ ".momp") source))
+      apps
+  in
+  (* eviction pressure: a cap far under the working set, two rounds *)
+  let small_cap = 1024 in
+  let small = Sched.Cache.create ~max_bytes:small_cap ~size_of:String.length () in
+  let identical = ref true in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 2 do
+    List.iter
+      (fun (app, source, (reference : Ompgpu_api.compiled)) ->
+        let key = Ompgpu_api.cache_key ~file:(app ^ ".momp") ~config ~source in
+        let out =
+          Sched.Cache.find_or_compute small ~key (fun () ->
+              (Ompgpu_api.compile_buffered ~config ~file:(app ^ ".momp") source)
+                .Ompgpu_api.output)
+        in
+        if not (String.equal out reference.Ompgpu_api.output) then identical := false)
+      reference
+  done;
+  let pressured_s = Unix.gettimeofday () -. t0 in
+  (* ample cap: the same two rounds must hit everything the second time *)
+  let ample = Sched.Cache.create ~max_bytes:(16 * 1024 * 1024) ~size_of:String.length () in
+  let warm_pass () =
+    List.iter
+      (fun (app, source, _) ->
+        let key = Ompgpu_api.cache_key ~file:(app ^ ".momp") ~config ~source in
+        ignore
+          (Sched.Cache.find_or_compute ample ~key (fun () ->
+               (Ompgpu_api.compile_buffered ~config ~file:(app ^ ".momp") source)
+                 .Ompgpu_api.output)))
+      reference
+  in
+  warm_pass ();
+  Sched.Cache.reset_counters ample;
+  warm_pass ();
+  let warm_hit_rate = Sched.Cache.hit_rate ample in
+  (* every store fails as disk-full: no store may raise, the breaker must
+     trip, and lookups stay plain misses *)
+  let dfull_dir = Filename.temp_file "bench-dfull" "" in
+  Sys.remove dfull_dir;
+  let injector =
+    Fault.Injector.create
+      [ { Fault.Injector.site = Fault.Injector.Disk_full; rate = 1.0; seed = 0 } ]
+  in
+  let dfull = Sched.Disk_cache.create ~injector ~dir:dfull_dir () in
+  List.iter
+    (fun (app, _, (r : Ompgpu_api.compiled)) ->
+      Sched.Disk_cache.store dfull ~key:app ~data:r.Ompgpu_api.output)
+    reference;
+  (* a quota'd disk cache under the same working set: two entries' worth
+     of quota (outputs vary per app, so size it off the largest), so the
+     footprint is bounded and eviction is LRU-by-mtime *)
+  let quota =
+    2
+    * List.fold_left
+        (fun m (_, _, (r : Ompgpu_api.compiled)) ->
+          max m (String.length r.Ompgpu_api.output + 64))
+        0 reference
+  in
+  let quota_dir = Filename.temp_file "bench-quota" "" in
+  Sys.remove quota_dir;
+  let quotad = Sched.Disk_cache.create ~max_bytes:quota ~dir:quota_dir () in
+  List.iter
+    (fun (app, _, (r : Ompgpu_api.compiled)) ->
+      Sched.Disk_cache.store quotad ~key:app ~data:r.Ompgpu_api.output)
+    reference;
+  let byte_identical =
+    !identical
+    && Sched.Disk_cache.bytes quotad <= quota
+    && Sched.Disk_cache.writes_disabled dfull
+  in
+  Fmt.pr "  %d apps x2 through a %dB warm cache: %.1f ms, %d eviction(s), \
+          byte-identical %b@."
+    (List.length apps) small_cap (pressured_s *. 1e3)
+    (Sched.Cache.evictions small) !identical;
+  Fmt.pr "  ample cap warm hit rate: %.2f@." warm_hit_rate;
+  Fmt.pr "  injected disk-full: %d store failure(s), %d breaker trip(s), \
+          writes disabled %b, zero raised@."
+    (Sched.Disk_cache.store_failures dfull)
+    (Sched.Disk_cache.breaker_trips dfull)
+    (Sched.Disk_cache.writes_disabled dfull);
+  Fmt.pr "  %dB disk quota: %d entrie(s) kept, %d evicted, %dB on disk@.@."
+    quota
+    (Sched.Disk_cache.entries quotad)
+    (Sched.Disk_cache.evictions quotad)
+    (Sched.Disk_cache.bytes quotad);
+  Observe.Json.with_schema
+    (Observe.Json.Obj
+       [
+         ( "cache",
+           Observe.Json.Obj
+             [
+               ("cap_bytes", Observe.Json.Int small_cap);
+               ("evictions", Observe.Json.Int (Sched.Cache.evictions small));
+               ("pressured_ms", Observe.Json.Float (pressured_s *. 1e3));
+               ("warm_hit_rate", Observe.Json.Float warm_hit_rate);
+             ] );
+         ( "disk",
+           Observe.Json.Obj
+             [
+               ("quota_bytes", Observe.Json.Int quota);
+               ("entries", Observe.Json.Int (Sched.Disk_cache.entries quotad));
+               ("evictions", Observe.Json.Int (Sched.Disk_cache.evictions quotad));
+               ("bytes", Observe.Json.Int (Sched.Disk_cache.bytes quotad));
+               ( "store_failures",
+                 Observe.Json.Int (Sched.Disk_cache.store_failures dfull) );
+               ( "breaker_trips",
+                 Observe.Json.Int (Sched.Disk_cache.breaker_trips dfull) );
+             ] );
+         ("byte_identical", Observe.Json.Bool byte_identical);
+       ])
+
 (* Machine-readable perf trajectory: every app at bench scale under the
    default developer build, with the pipeline trace attached, so future
    changes can be diffed against this file. *)
-let observe_json ~sched ~service ~corpus ~fleet ~tiers path =
+let observe_json ~sched ~service ~corpus ~fleet ~tiers ~storage path =
   let scale = Proxyapps.App.Bench in
   let records =
     List.map
@@ -415,6 +548,7 @@ let observe_json ~sched ~service ~corpus ~fleet ~tiers path =
         ("corpus", corpus);
         ("fleet", fleet);
         ("tiers", tiers);
+        ("storage", storage);
       ])
   in
   Out_channel.with_open_text path (fun oc ->
@@ -430,5 +564,6 @@ let () =
   let corpus = corpus_bench () in
   let fleet = fleet_bench () in
   let tiers = tiers_bench () in
+  let storage = storage_bench () in
   tables ();
-  observe_json ~sched ~service ~corpus ~fleet ~tiers "BENCH_observe.json"
+  observe_json ~sched ~service ~corpus ~fleet ~tiers ~storage "BENCH_observe.json"

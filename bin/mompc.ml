@@ -59,7 +59,8 @@ let compile_via_daemon ~socket_path ~config files =
 
 let run_compile files scheme pipeline_spec optimize no_spmd no_deglob no_csm
     no_fold no_group emit_ir run_sim remarks_only stats_json print_trace jobs
-    cache_dir inject retries backoff watchdog backtrace daemon =
+    cache_dir cache_max_bytes cache_max_entries inject retries backoff watchdog
+    backtrace daemon =
   (* Backtrace printing is opt-in (OMPGPU_BACKTRACE=1 or --backtrace):
      diagnostics must be byte-stable across runs — the CI fault matrix
      compares two same-seed runs — and backtraces are not. *)
@@ -137,7 +138,8 @@ let run_compile files scheme pipeline_spec optimize no_spmd no_deglob no_csm
                     (Unix.error_message err))))
         | None ->
           Ok
-            (A.compile_files ~jobs ?cache_dir ?watchdog_s:watchdog
+            (A.compile_files ~jobs ?cache_dir ?cache_max_bytes
+               ?cache_max_entries ?watchdog_s:watchdog
                ~on_cache_corrupt:(fun ~key ~path ->
                  Fmt.epr
                    "mompc: remark: cache entry %s failed verification, \
@@ -218,7 +220,8 @@ let cmd =
       $ flag [ "run" ] "Execute on the GPU simulator and print kernel statistics"
       $ flag [ "remarks-only" ] "Suppress IR output; print only remarks"
       $ Cli_common.stats_json $ Cli_common.trace $ Cli_common.jobs
-      $ Cli_common.cache_dir $ Cli_common.inject $ Cli_common.retries
+      $ Cli_common.cache_dir $ Cli_common.cache_max_bytes
+      $ Cli_common.cache_max_entries $ Cli_common.inject $ Cli_common.retries
       $ Cli_common.backoff $ Cli_common.watchdog $ Cli_common.backtrace
       $ Arg.(
           value

@@ -52,8 +52,9 @@ let fail_error e =
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let serve socket domains capacity watchdog cache_dir state_dir inject
-    max_restarts restart_window drain_deadline tiered =
+let serve socket domains capacity watchdog cache_dir cache_max_bytes
+    cache_max_entries state_dir journal_max_bytes inject max_restarts
+    restart_window drain_deadline tiered =
   let socket_path = require_socket socket in
   let capacity = Option.value capacity ~default:(4 * max 1 domains) in
   match Cli_common.parse_injects inject with
@@ -75,6 +76,9 @@ let serve socket domains capacity watchdog cache_dir state_dir inject
         injector = Fault.Injector.create specs;
         drain_deadline_s = drain_deadline;
         tiered;
+        cache_max_entries;
+        cache_max_bytes;
+        journal_max_bytes;
       }
     in
     let sup_cfg =
@@ -135,6 +139,7 @@ let serve_cmd =
                  request arriving while $(docv) are already in flight.  \
                  Default 4 * domains; 0 sheds everything.")
       $ Cli_common.watchdog $ Cli_common.cache_dir
+      $ Cli_common.cache_max_bytes $ Cli_common.cache_max_entries
       $ Arg.(
           value
           & opt (some string) None
@@ -142,7 +147,16 @@ let serve_cmd =
               ~doc:
                 "Journal every request to $(docv)/journal.ndjson and run \
                  the crash-recovery scan at startup (counters surface in \
-                 $(b,mompd health)).")
+                 $(b,mompd health)).  A tiered daemon also checkpoints \
+                 its hotness profile here ($(docv)/hotness.json).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "journal-max-bytes" ] ~docv:"BYTES"
+              ~doc:
+                "Rotate the journal mid-life once it exceeds $(docv) \
+                 bytes (to journal.prev.ndjson), instead of only at the \
+                 next restart.")
       $ Cli_common.inject
       $ Arg.(
           value
@@ -243,8 +257,9 @@ let subprocess_backend ~name ~socket_path ~log_file args =
   in
   { Service.Router.name; socket_path; start; stop; alive; pid = (fun () -> !pid) }
 
-let route socket shards domains capacity cache_dir fleet_dir inject
-    queue_deadline probe_interval max_respawns eject_cooldown tiered =
+let route socket shards domains capacity cache_dir cache_max_bytes
+    cache_max_entries fleet_dir inject queue_deadline probe_interval
+    max_respawns eject_cooldown tiered =
   let socket_path =
     match socket with Some s -> s | None -> default_router_socket
   in
@@ -282,6 +297,15 @@ let route socket shards domains capacity cache_dir fleet_dir inject
             ]
             @ (match cache_dir with
               | Some d -> [ "--cache-dir"; d ]  (* the shared disk tier *)
+              | None -> [])
+            (* storage governance is per shard: every shard enforces the
+               same caps over its own in-memory cache and the shared
+               disk tier *)
+            @ (match cache_max_bytes with
+              | Some n -> [ "--cache-max-bytes"; string_of_int n ]
+              | None -> [])
+            @ (match cache_max_entries with
+              | Some n -> [ "--cache-max-entries"; string_of_int n ]
               | None -> [])
             (* shards are full Servers: tiering is inherited unchanged *)
             @ (if tiered then [ "--tiered" ] else [])
@@ -360,6 +384,7 @@ let route_cmd =
                 "Fleet-wide admission limit enforced by the per-tenant fair \
                  queue.  Default 4 * domains * shards.")
       $ Cli_common.cache_dir
+      $ Cli_common.cache_max_bytes $ Cli_common.cache_max_entries
       $ Arg.(
           value
           & opt string "./mompd-fleet"

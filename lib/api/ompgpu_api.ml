@@ -343,8 +343,8 @@ let errored ~file e =
     stats = None;
   }
 
-let compile_files ?(jobs = 1) ?cache_dir ?watchdog_s
-    ?(on_cache_corrupt = fun ~key:_ ~path:_ -> ()) ~config files =
+let compile_files ?(jobs = 1) ?cache_dir ?cache_max_bytes ?cache_max_entries
+    ?watchdog_s ?(on_cache_corrupt = fun ~key:_ ~path:_ -> ()) ~config files =
   let base_injector = Fault.Injector.create config.Config.inject in
   let cache =
     (* stats payloads and --trace lines embed wall times: a cached replay
@@ -355,7 +355,8 @@ let compile_files ?(jobs = 1) ?cache_dir ?watchdog_s
       Option.map
         (fun dir ->
           Sched.Disk_cache.create ~injector:base_injector
-            ~on_corrupt:on_cache_corrupt ~dir ())
+            ~on_corrupt:on_cache_corrupt ?max_bytes:cache_max_bytes
+            ?max_entries:cache_max_entries ~dir ())
         cache_dir
     else None
   in

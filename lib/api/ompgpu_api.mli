@@ -197,6 +197,8 @@ val compiled_of_json : Observe.Json.t -> compiled option
 val compile_files :
   ?jobs:int ->
   ?cache_dir:string ->
+  ?cache_max_bytes:int ->
+  ?cache_max_entries:int ->
   ?watchdog_s:float ->
   ?on_cache_corrupt:(key:string -> path:string -> unit) ->
   config:Config.t ->
@@ -207,6 +209,10 @@ val compile_files :
     and return per-file results in input order (byte-identical at every
     [jobs]).  [cache_dir] memoizes successful compiles on disk,
     content-addressed by {!val:cache_key}; stats/trace runs bypass the
-    disk cache (their payloads embed wall times).  [watchdog_s] settles a
+    disk cache (their payloads embed wall times).
+    [cache_max_bytes]/[cache_max_entries] bound the cache directory —
+    oldest entries are evicted on store ({!Sched.Disk_cache}), and a
+    failing store (full disk) is absorbed there, never surfaced here.
+    [watchdog_s] settles a
     hung job as a structured timeout (pool runs only).  An unreadable
     file settles to a [Driver]-phase error, never an exception. *)

@@ -29,6 +29,29 @@ let cache_dir =
            pass options.  Ignored with $(b,--stats-json) and \
            $(b,--trace).")
 
+let cache_max_bytes =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Storage governance: cap the compilation caches at $(docv) \
+           bytes — the disk cache ($(b,--cache-dir)) evicts its \
+           oldest-written entries on store to stay under the quota, and \
+           the daemon's in-memory result cache becomes an LRU bounded by \
+           approximate payload bytes.  Evictions are counted in the \
+           $(b,storage) stats section.  Unbounded by default.")
+
+let cache_max_entries =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-max-entries" ] ~docv:"N"
+        ~doc:
+          "Storage governance: cap the compilation caches at $(docv) \
+           entries (LRU eviction; see $(b,--cache-max-bytes)).  \
+           Unbounded by default.")
+
 let inject =
   Arg.(
     value
@@ -37,8 +60,8 @@ let inject =
         ~doc:
           "Arm a deterministic fault-injection site (repeatable).  \
            Sites: mem-alloc, shared-budget, sim-trap, pass-crash, \
-           cache-corrupt, pool-stall.  RATE defaults to 1.0, SEED to 0; \
-           the same seed replays the same faults.  See \
+           cache-corrupt, disk-full, pool-stall.  RATE defaults to 1.0, \
+           SEED to 0; the same seed replays the same faults.  See \
            docs/ROBUSTNESS.md.")
 
 let parse_injects specs =

@@ -15,6 +15,15 @@ val jobs : int Cmdliner.Term.t
 val cache_dir : string option Cmdliner.Term.t
 (** [--cache-dir DIR]: content-addressed on-disk compilation cache. *)
 
+val cache_max_bytes : int option Cmdliner.Term.t
+(** [--cache-max-bytes BYTES]: byte quota on the disk cache (LRU-by-mtime
+    eviction on store) and, for the daemon, an approximate-byte LRU cap
+    on the in-memory result cache.  Unbounded when absent. *)
+
+val cache_max_entries : int option Cmdliner.Term.t
+(** [--cache-max-entries N]: entry-count cap on the caches (LRU
+    eviction).  Unbounded when absent. *)
+
 val inject : string list Cmdliner.Term.t
 (** [--inject SITE[:RATE][:SEED]], repeatable.  Raw specs; validate with
     {!parse_injects}. *)

@@ -6,6 +6,7 @@ type site =
   | Sim_trap
   | Pass_crash
   | Cache_corrupt
+  | Disk_full
   | Pool_stall
   | Conn_drop
   | Partial_frame
@@ -22,6 +23,7 @@ let all_sites =
     Sim_trap;
     Pass_crash;
     Cache_corrupt;
+    Disk_full;
     Pool_stall;
     Conn_drop;
     Partial_frame;
@@ -38,6 +40,7 @@ let site_name = function
   | Sim_trap -> "sim-trap"
   | Pass_crash -> "pass-crash"
   | Cache_corrupt -> "cache-corrupt"
+  | Disk_full -> "disk-full"
   | Pool_stall -> "pool-stall"
   | Conn_drop -> "conn-drop"
   | Partial_frame -> "partial-frame"

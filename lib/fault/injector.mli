@@ -20,6 +20,9 @@ type site =
   | Sim_trap  (** a trap on an executed instruction in [Gpusim.Interp] *)
   | Pass_crash  (** an exception inside [Openmpopt.Pass_manager.run] *)
   | Cache_corrupt  (** bit-flip a [Sched.Disk_cache] entry at store time *)
+  | Disk_full
+      (** fail a [Sched.Disk_cache] store as if the disk were full
+          (ENOSPC-shaped: counted, breaker-tripping, never client-visible) *)
   | Pool_stall  (** stall a scheduler job (exercises the pool watchdog) *)
   | Conn_drop
       (** [Service.Server]: drop the connection after reading a request,

@@ -1,17 +1,53 @@
 (* Per-key hit counters (see the .mli). *)
 
-type t = { mutex : Mutex.t; table : (string, int) Hashtbl.t }
+type t = {
+  mutex : Mutex.t;
+  table : (string, int) Hashtbl.t;
+  max_keys : int option;
+  mutable decays : int;
+}
 
-let create () = { mutex = Mutex.create (); table = Hashtbl.create 64 }
+let create ?max_keys () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    max_keys = Option.map (max 1) max_keys;
+    decays = 0;
+  }
 
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* Decay-on-overflow: halve every count, dropping the ones that reach
+   zero.  One pass always removes every count-1 key (there is at least
+   one whenever the table just grew past the cap by a fresh bump), so the
+   loop terminates; hot keys keep their relative order, cold ones age
+   out — the classic frequency-decay sketch. *)
+let rec decay_locked t =
+  match t.max_keys with
+  | Some cap when Hashtbl.length t.table > cap ->
+    t.decays <- t.decays + 1;
+    let dead =
+      Hashtbl.fold
+        (fun k n acc ->
+          let n' = n / 2 in
+          if n' = 0 then k :: acc
+          else begin
+            Hashtbl.replace t.table k n';
+            acc
+          end)
+        t.table []
+    in
+    List.iter (Hashtbl.remove t.table) dead;
+    decay_locked t
+  | _ -> ()
+
 let bump t key =
   with_lock t (fun () ->
       let n = 1 + Option.value (Hashtbl.find_opt t.table key) ~default:0 in
       Hashtbl.replace t.table key n;
+      decay_locked t;
       n)
 
 let count t key =
@@ -21,6 +57,8 @@ let distinct t = with_lock t (fun () -> Hashtbl.length t.table)
 
 let total t =
   with_lock t (fun () -> Hashtbl.fold (fun _ n acc -> acc + n) t.table 0)
+
+let decays t = with_lock t (fun () -> t.decays)
 
 let top ?(n = 10) t =
   with_lock t (fun () ->
@@ -33,3 +71,78 @@ let top ?(n = 10) t =
           all
       in
       List.filteri (fun i _ -> i < n) sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent profile                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Format version of the saved profile, independent of the JSON schema
+   stamp: a daemon must never trust counts whose meaning changed. *)
+let profile_version = 1
+
+let to_json t =
+  with_lock t (fun () ->
+      let counts =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) t.table [])
+      in
+      Json.with_schema
+        (Json.Obj [ ("hv", Json.Int profile_version); ("counts", Json.Obj counts) ]))
+
+let counts_of_json j =
+  match Option.bind (Json.member "hv" j) Json.to_int with
+  | Some v when v = profile_version -> (
+    match Json.member "counts" j with
+    | Some (Json.Obj members) ->
+      Some
+        (List.filter_map
+           (fun (k, v) ->
+             match Json.to_int v with
+             | Some n when n > 0 -> Some (k, n)
+             | _ -> None)
+           members)
+    | _ -> None)
+  | _ -> None
+
+(* Atomic, never-raising save: the profile is an optimization, exactly
+   like a disk-cache entry — losing it costs re-warming, never a boot. *)
+let save t ~path =
+  let doc = Json.to_string ~minify:true (to_json t) ^ "\n" in
+  match
+    let dir = Filename.dirname path in
+    let tmp = Filename.temp_file ~temp_dir:dir "hotness" ".tmp" in
+    match
+      Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc doc);
+      Sys.rename tmp path
+    with
+    | () -> ()
+    | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+  with
+  | () -> true
+  | exception (Sys_error _ | Unix.Unix_error _) -> false
+
+(* Merge the saved counts in (keeping any live ones), so a profile can be
+   restored into a warm table; unreadable, unparseable or wrong-version
+   files restore nothing.  Returns how many keys were restored. *)
+let load_into t ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> 0
+  | raw -> (
+    match Json.of_string (String.trim raw) with
+    | Error _ -> 0
+    | Ok j -> (
+      match counts_of_json j with
+      | None -> 0
+      | Some counts ->
+        with_lock t (fun () ->
+            List.iter
+              (fun (k, n) ->
+                let live =
+                  Option.value (Hashtbl.find_opt t.table k) ~default:0
+                in
+                Hashtbl.replace t.table k (live + n))
+              counts;
+            decay_locked t;
+            List.length counts)))

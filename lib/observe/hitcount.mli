@@ -1,28 +1,62 @@
-(** Thread-safe per-key hit counters.
+(** Thread-safe per-key hit counters, optionally bounded and persistent.
 
     A tiny frequency table over string keys (cache keys, request labels):
     each {!bump} increments one key's count under a mutex.  The compile
     daemon records one bump per tier-eligible request keyed by its
     {!Ompgpu_api.cache_key}, and the tier-upgrade queue drains hottest key
     first ({!count} ordering) so frequently requested entries get promoted
-    to the full pipeline before one-off compiles (docs/SCHEDULER.md). *)
+    to the full pipeline before one-off compiles (docs/SCHEDULER.md).
+
+    Bounded mode: with [?max_keys], growing past the cap triggers
+    decay-on-overflow — every count is halved and zeros are dropped, so
+    hot keys survive (with their relative order) while one-off keys age
+    out and memory stays O(cap) over unbounded key traffic.
+
+    Persistence: {!save}/{!load_into} round-trip the table through a
+    schema-stamped profile file ([{"schema":2,"hv":1,"counts":{...}}]),
+    so a restarted [mompd serve --tiered] boots already knowing its hot
+    keys. *)
 
 type t
 
-val create : unit -> t
+val create : ?max_keys:int -> unit -> t
+(** [max_keys] caps the distinct-key count via decay-on-overflow;
+    omitted, the table grows one entry per distinct key forever. *)
 
 val bump : t -> string -> int
-(** Increment [key]'s count; returns the new count (1 on first bump). *)
+(** Increment [key]'s count; returns the new count (1 on first bump —
+    though a decay triggered by this very bump may drop it again). *)
 
 val count : t -> string -> int
-(** Current count for [key]; 0 if never bumped. *)
+(** Current count for [key]; 0 if never bumped (or decayed away). *)
 
 val distinct : t -> int
-(** Number of distinct keys ever bumped. *)
+(** Number of distinct keys currently tracked. *)
 
 val total : t -> int
 (** Sum of all counts. *)
 
+val decays : t -> int
+(** Halving passes run by the overflow cap since [create]. *)
+
 val top : ?n:int -> t -> (string * int) list
 (** The [n] (default 10) hottest keys, count descending, key ascending on
     ties (deterministic). *)
+
+val profile_version : int
+(** 1.  Bumped when the meaning of a saved count changes; {!load_into}
+    restores nothing from a profile with an unknown version. *)
+
+val to_json : t -> Json.t
+(** The schema-stamped profile document. *)
+
+val save : t -> path:string -> bool
+(** Atomically (temp + rename) write the profile to [path].  Never
+    raises — the profile is an optimization; [false] means the write
+    failed and the next boot simply starts cold. *)
+
+val load_into : t -> path:string -> int
+(** Merge the counts saved at [path] into the live table (adding to any
+    live counts), then apply the overflow cap.  Returns how many keys the
+    file restored; 0 — never an exception — for a missing, unreadable,
+    unparseable or wrong-version profile. *)

@@ -8,7 +8,17 @@
     Entries carry a digest header verified on every read.  A failing entry
     — torn write, disk corruption, an injected bit-flip — is moved to a
     [quarantine/] subdirectory, counted, reported through [on_corrupt], and
-    treated as a miss: the cache recomputes, it never serves corrupt data. *)
+    treated as a miss: the cache recomputes, it never serves corrupt data.
+
+    Governance: [create] digest-verifies every existing entry up front
+    (the startup scrub), quarantining corrupt ones eagerly and seeding an
+    in-memory byte ledger with the survivors.  {!store} enforces the
+    optional byte quota / entry cap by deleting oldest-written entries
+    first (LRU by mtime) and *never raises*: a failed write (ENOSPC,
+    EDQUOT, permissions, the injected [Disk_full] site) is counted, and
+    [failure_threshold] consecutive failures trip a breaker that skips
+    writes until a re-probe after [reprobe_after_s] — the caller already
+    has the computed result, so a full disk only costs warm hits. *)
 
 type t
 
@@ -16,26 +26,45 @@ val create :
   ?injector:Fault.Injector.t ->
   ?on_corrupt:(key:string -> path:string -> unit) ->
   ?temp_age_s:float ->
+  ?max_bytes:int ->
+  ?max_entries:int ->
+  ?failure_threshold:int ->
+  ?reprobe_after_s:float ->
   dir:string ->
   unit ->
   t
 (** Creates [dir] (and missing parents) if needed.  [injector] arms the
-    [Cache_corrupt] site: a firing {!store} flips one payload bit after
-    digesting, so the entry fails verification on its next read.
+    [Cache_corrupt] site (a firing {!store} flips one payload bit after
+    digesting, so the entry fails verification on its next read) and the
+    [Disk_full] site (a firing {!store} fails as if the disk were full).
     [on_corrupt] is called (with the key and the original path) whenever a
-    read quarantines an entry — the driver surfaces it as a remark.
+    read or the scrub quarantines an entry — the driver surfaces it as a
+    remark.
 
     Startup recovery: {!store} publishes via temp-file + rename, so a
     process dying between the two orphans a [.tmp] file forever.  [create]
     sweeps temps older than [temp_age_s] (default 600s — generous, so a
     live concurrent writer, whose temp exists for milliseconds, is never
-    raced) into [quarantine/]. *)
+    raced) into [quarantine/], then scrubs: every remaining entry is
+    digest-verified, corrupt ones are quarantined on the spot, and the
+    byte ledger starts exact.  A directory over its new quota converges
+    (oldest entries evicted) before [create] returns.
+
+    [max_bytes]/[max_entries] bound the on-disk footprint (enforced on
+    every store); [failure_threshold] (default 3) consecutive store
+    failures open the write breaker, re-probed after [reprobe_after_s]
+    (default 5s). *)
 
 val dir : t -> string
 
 val find : t -> key:string -> string option
+(** Open-directly lookup: a concurrent quarantine, eviction or peer
+    delete between any existence check and the read would race, so there
+    is no existence check — an unopenable or unreadable entry is a plain
+    miss, never an exception. *)
 
 val store : t -> key:string -> data:string -> unit
+(** Never raises; see the module header for the failure/breaker policy. *)
 
 val find_or_compute : t -> key:string -> (unit -> string) -> string
 
@@ -44,7 +73,8 @@ val hits : t -> int
 val misses : t -> int
 
 val corrupt : t -> int
-(** Entries quarantined by failed verification since [create]. *)
+(** Entries quarantined by failed verification since [create] (scrub
+    included). *)
 
 val sweep_temps : ?max_age_s:float -> t -> int
 (** Quarantine orphaned temp files older than [max_age_s] (default 600s)
@@ -54,3 +84,28 @@ val sweep_temps : ?max_age_s:float -> t -> int
 val swept : t -> int
 (** Orphaned temp files quarantined since [create] (startup sweep
     included); surfaced in the daemon's stats JSON. *)
+
+val scrubbed : t -> int
+(** Entries digest-verified by the startup scrub. *)
+
+val evictions : t -> int
+(** Entries deleted by the quota since [create]. *)
+
+val bytes : t -> int
+(** The ledger: on-disk bytes of verified entries this process knows
+    about (exact when it owns the directory alone). *)
+
+val entries : t -> int
+(** Ledger entry count. *)
+
+val store_failures : t -> int
+(** Failed {!store} attempts since [create] (injected or real). *)
+
+val breaker_trips : t -> int
+(** How many times consecutive failures opened the write breaker. *)
+
+val writes_disabled : t -> bool
+(** Whether the breaker is open right now (stores are being skipped;
+    clears by timeout + successful re-probe). *)
+
+val max_bytes : t -> int option

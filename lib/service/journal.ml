@@ -10,8 +10,13 @@ let prev_name = "journal.prev.ndjson"
 
 type t = {
   path : string;
-  oc : out_channel;
+  prev_path : string;
+  max_bytes : int option;
+  on_rotate : (unit -> unit) option;
   mutex : Mutex.t;
+  mutable oc : out_channel;
+  mutable bytes : int;  (* written to the current file since its open *)
+  mutable rotations : int;  (* mid-life size-cap rotations *)
   mutable seq : int;
   mutable closed : bool;
 }
@@ -90,23 +95,54 @@ let scan path =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Appends                                                             *)
+(* Appends + mid-life rotation                                         *)
 (* ------------------------------------------------------------------ *)
 
+let render members =
+  J.to_string ~minify:true
+    (J.with_schema (J.Obj (("jv", J.Int journal_version) :: members)))
+
+let write_line_locked t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  t.bytes <- t.bytes + String.length line + 1
+
+(* Size-cap rotation, mid-life: rename the live file over the previous
+   one and reopen fresh.  No recovery scan here — in-flight requests are
+   not interrupted, their settle records simply land in the new file (a
+   later boot's scan sees their begin in the rotated-away file as neither
+   interrupted nor settled, which matches the "at most one life back"
+   contract the prev file always had).  Runs with the mutex held; the
+   [on_rotate] callback runs in {!append} after the lock drops, so it may
+   append events of its own. *)
+let rotate_locked t =
+  (try close_out t.oc with Sys_error _ -> ());
+  (try Sys.rename t.path t.prev_path with Sys_error _ -> ());
+  t.oc <-
+    Out_channel.open_gen [ Open_append; Open_creat; Open_text ] 0o644 t.path;
+  t.bytes <- 0;
+  t.rotations <- t.rotations + 1;
+  write_line_locked t
+    (render [ ("ev", J.String "rotated"); ("n", J.Int t.rotations) ])
+
 let append t members =
-  Mutex.lock t.mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.mutex)
-    (fun () ->
-      if not t.closed then begin
-        let line =
-          J.to_string ~minify:true
-            (J.with_schema (J.Obj (("jv", J.Int journal_version) :: members)))
-        in
-        output_string t.oc line;
-        output_char t.oc '\n';
-        flush t.oc
-      end)
+  let rotated =
+    Mutex.lock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        if t.closed then false
+        else begin
+          write_line_locked t (render members);
+          match t.max_bytes with
+          | Some cap when t.bytes > cap ->
+            rotate_locked t;
+            true
+          | _ -> false
+        end)
+  in
+  if rotated then Option.iter (fun f -> f ()) t.on_rotate
 
 let event t ev members = append t (("ev", J.String ev) :: members)
 
@@ -133,8 +169,13 @@ let settle_request t ~seq ~exit_code =
     [ ("ev", J.String "settle"); ("seq", J.Int seq); ("code", J.Int exit_code) ]
 
 let path t = t.path
+let rotations t =
+  Mutex.lock t.mutex;
+  let n = t.rotations in
+  Mutex.unlock t.mutex;
+  n
 
-let open_ ~dir =
+let open_ ?max_bytes ?on_rotate ~dir () =
   mkdir_p dir;
   let path = Filename.concat dir file_name in
   let recovery =
@@ -151,7 +192,20 @@ let open_ ~dir =
   let oc =
     Out_channel.open_gen [ Open_append; Open_creat; Open_text ] 0o644 path
   in
-  let t = { path; oc; mutex = Mutex.create (); seq = 0; closed = false } in
+  let t =
+    {
+      path;
+      prev_path = Filename.concat dir prev_name;
+      max_bytes = Option.map (max 1) max_bytes;
+      on_rotate;
+      mutex = Mutex.create ();
+      oc;
+      bytes = 0;
+      rotations = 0;
+      seq = 0;
+      closed = false;
+    }
+  in
   event t "recovered" [ ("replay", recovery_to_json recovery) ];
   (t, recovery)
 

@@ -34,11 +34,25 @@ type recovery = {
 val empty_recovery : recovery
 val recovery_to_json : recovery -> Observe.Json.t
 
-val open_ : dir:string -> t * recovery
+val open_ :
+  ?max_bytes:int -> ?on_rotate:(unit -> unit) -> dir:string -> unit -> t * recovery
 (** Create [dir] if needed, scan and rotate any existing journal, open a
-    fresh one.  Raises [Sys_error] only if the directory is unwritable. *)
+    fresh one.  Raises [Sys_error] only if the directory is unwritable.
+
+    [max_bytes] also rotates mid-life: an append pushing the live file
+    past the cap renames it over [journal.prev.ndjson] and reopens fresh
+    (first record: a [rotated] event) — so a hot daemon's journal is
+    bounded by roughly [max_bytes] plus one line, instead of growing
+    until the next restart.  No recovery scan runs on a mid-life
+    rotation; in-flight requests settle into the new file.  [on_rotate]
+    is called after each mid-life rotation, outside the journal lock (the
+    daemon uses it to checkpoint its hotness profile). *)
 
 val path : t -> string
+
+val rotations : t -> int
+(** Mid-life size-cap rotations since {!open_} (the boot-time rotation is
+    not counted). *)
 
 val begin_request : t -> id:string -> op:string -> key:string -> int
 (** Journal an admitted compile; returns the life-unique sequence number

@@ -510,6 +510,83 @@ let shard_counts t =
           | Ejected -> (up, degraded, down, ejected + 1))
         (0, 0, 0, 0) t.shards)
 
+let shard_stats_live t shard =
+  match
+    Client.connect ~deadline_s:t.cfg.probe_deadline_s
+      ~socket_path:shard.backend.socket_path ()
+  with
+  | c ->
+    let stats =
+      match Client.stats c () with Ok s -> Some s | Error _ -> None
+    in
+    Client.close c;
+    stats
+  | exception _ -> None
+
+(* Roll up the shards' [storage] sections (Server.storage_json) into one
+   fleet-wide view: reachable, non-ejected shards' cache/disk/journal
+   counters summed, plus how many shards actually reported.  The router
+   itself holds no cache — its in-process fallback compiles are one-shot
+   — so every number here is shard truth, fetched live under the probe
+   deadline. *)
+let storage_rollup t =
+  let at path doc =
+    List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some doc) path
+  in
+  let int_at path doc =
+    Option.value ~default:0 (Option.bind (at path doc) J.to_int)
+  in
+  let reporting = ref 0 in
+  let cache_entries = ref 0 and cache_bytes = ref 0 in
+  let cache_evictions = ref 0 in
+  let disk_bytes = ref 0 and disk_entries = ref 0 in
+  let disk_evictions = ref 0 and disk_quarantined = ref 0 in
+  let store_failures = ref 0 and breaker_trips = ref 0 in
+  let rotations = ref 0 in
+  Array.iter
+    (fun s ->
+      if locked t (fun () -> s.state) <> Ejected then
+        match Option.bind (shard_stats_live t s) (J.member "storage") with
+        | None -> ()
+        | Some st ->
+          incr reporting;
+          cache_entries := !cache_entries + int_at [ "cache"; "entries" ] st;
+          cache_bytes := !cache_bytes + int_at [ "cache"; "bytes" ] st;
+          cache_evictions :=
+            !cache_evictions + int_at [ "cache"; "evictions" ] st;
+          disk_bytes := !disk_bytes + int_at [ "disk"; "bytes" ] st;
+          disk_entries := !disk_entries + int_at [ "disk"; "entries" ] st;
+          disk_evictions := !disk_evictions + int_at [ "disk"; "evictions" ] st;
+          disk_quarantined :=
+            !disk_quarantined + int_at [ "disk"; "quarantined" ] st;
+          store_failures :=
+            !store_failures + int_at [ "disk"; "store_failures" ] st;
+          breaker_trips := !breaker_trips + int_at [ "disk"; "breaker_trips" ] st;
+          rotations := !rotations + int_at [ "journal"; "rotations" ] st)
+    t.shards;
+  J.Obj
+    [
+      ("shards_reporting", J.Int !reporting);
+      ( "cache",
+        J.Obj
+          [
+            ("entries", J.Int !cache_entries);
+            ("bytes", J.Int !cache_bytes);
+            ("evictions", J.Int !cache_evictions);
+          ] );
+      ( "disk",
+        J.Obj
+          [
+            ("bytes", J.Int !disk_bytes);
+            ("entries", J.Int !disk_entries);
+            ("evictions", J.Int !disk_evictions);
+            ("quarantined", J.Int !disk_quarantined);
+            ("store_failures", J.Int !store_failures);
+            ("breaker_trips", J.Int !breaker_trips);
+          ] );
+      ("journal", J.Obj [ ("rotations", J.Int !rotations) ]);
+    ]
+
 let router_json t =
   let c = t.counters in
   locked t (fun () ->
@@ -556,6 +633,7 @@ let stats_json t =
          ("capacity", J.Int t.cfg.capacity);
          ("in_flight", J.Int (Admission.in_flight t.admission));
          ("requests", router_json t);
+         ("storage", storage_rollup t);
          ( "shards",
            J.Obj
              [
@@ -566,19 +644,6 @@ let stats_json t =
                ("ejected", J.Int ejected);
              ] );
        ])
-
-let shard_stats_live t shard =
-  match
-    Client.connect ~deadline_s:t.cfg.probe_deadline_s
-      ~socket_path:shard.backend.socket_path ()
-  with
-  | c ->
-    let stats =
-      match Client.stats c () with Ok s -> Some s | Error _ -> None
-    in
-    Client.close c;
-    stats
-  | exception _ -> None
 
 let fleet_json t =
   let shard_entries =

@@ -24,6 +24,9 @@ type config = {
   injector : Fault.Injector.t;
   drain_deadline_s : float;
   tiered : bool;
+  cache_max_entries : int option;  (* in-memory result-cache entry cap *)
+  cache_max_bytes : int option;  (* in-memory byte cap + disk-cache quota *)
+  journal_max_bytes : int option;  (* mid-life journal rotation cap *)
 }
 
 let default_config =
@@ -37,6 +40,9 @@ let default_config =
     injector = Fault.Injector.none;
     drain_deadline_s = 5.0;
     tiered = false;
+    cache_max_entries = None;
+    cache_max_bytes = None;
+    journal_max_bytes = None;
   }
 
 (* Cross-incarnation supervision state: owned by the supervisor, read by
@@ -45,10 +51,18 @@ type supervision = {
   mutable restarts : int;
   mutable breaker_open : bool;
   mutable last_crash : string option;
+  mutable on_journal_rotate : unit -> unit;
+      (* set by each incarnation: the journal outlives servers, so its
+         rotation hook indirects through here to reach the current one *)
 }
 
 let new_supervision () =
-  { restarts = 0; breaker_open = false; last_crash = None }
+  {
+    restarts = 0;
+    breaker_open = false;
+    last_crash = None;
+    on_journal_rotate = ignore;
+  }
 
 (* Request counters; one mutex is plenty (a counter bump per request
    against compiles that take milliseconds). *)
@@ -65,6 +79,7 @@ type counters = {
   mutable busy : int;  (* requests between parse and response write *)
   mutable injected_drops : int;  (* conn-drop/partial-frame faults fired *)
   mutable fast_served : int;  (* compile answers taken from the fast tier *)
+  mutable profile_saves : int;  (* hotness-profile checkpoints written *)
 }
 
 (* Tiered compilation (docs/SCHEDULER.md): with [config.tiered], a cold
@@ -94,6 +109,7 @@ type t = {
   recovery : Journal.recovery;
   supervision : supervision;
   counters : counters;
+  profile_restored : int;  (* hot keys reloaded from the saved profile *)
   mutex : Mutex.t;
   mutable stopped : bool;
   mutable draining : bool;
@@ -133,8 +149,39 @@ let bind_listener socket_path =
   Unix.listen listen_fd 64;
   listen_fd
 
+(* The hotness table is always bounded: over unbounded distinct-key
+   traffic the decay cap keeps profile memory O(hot_keys_cap) while hot
+   keys keep their relative order (Observe.Hitcount). *)
+let hot_keys_cap = 4096
+
+let profile_file = "hotness.json"
+let profile_path dir = Filename.concat dir profile_file
+
+(* Checkpoint the hotness profile (tiered daemons with a state dir only):
+   written on drain and on every mid-life journal rotation, loaded at
+   create — a restarted daemon re-queues upgrades hottest-first from the
+   counts its previous life observed. *)
+let save_profile t =
+  match t.cfg.state_dir with
+  | Some dir when t.cfg.tiered ->
+    if Observe.Hitcount.save t.hot ~path:(profile_path dir) then
+      locked t (fun () ->
+          t.counters.profile_saves <- t.counters.profile_saves + 1)
+  | _ -> ()
+
+(* Approximate retained bytes of one warm-cache entry: the payload
+   strings dominate; the constant covers record/JSON overhead.  Feeds the
+   --cache-max-bytes LRU cap. *)
+let entry_bytes e =
+  String.length e.result.Ompgpu_api.output
+  + String.length e.result.Ompgpu_api.diagnostics
+  + 256
+
 let create ?listen_fd ?journal ?supervision cfg =
   let cfg = { cfg with domains = max 1 cfg.domains; capacity = max 0 cfg.capacity } in
+  let supervision =
+    match supervision with Some s -> s | None -> new_supervision ()
+  in
   let listen_fd, owns_listener =
     match listen_fd with
     | Some fd -> (fd, false)
@@ -147,57 +194,80 @@ let create ?listen_fd ?journal ?supervision cfg =
       match cfg.state_dir with
       | None -> (None, Journal.empty_recovery, false)
       | Some dir ->
-        let j, r = Journal.open_ ~dir in
+        let j, r =
+          Journal.open_ ?max_bytes:cfg.journal_max_bytes
+            ~on_rotate:(fun () -> supervision.on_journal_rotate ())
+            ~dir ()
+        in
         (Some j, r, true))
   in
-  {
-    cfg;
-    listen_fd;
-    owns_listener;
-    (* the pool queue must outsize admission, so an admitted request never
-       blocks in [submit] behind the cap it was admitted under *)
-    pool =
-      Sched.Pool.create
-        ~queue_capacity:(max 1 (cfg.capacity + cfg.domains))
-        ~domains:cfg.domains ();
-    cache = Sched.Cache.create ();
-    disk =
-      Option.map (fun dir -> Sched.Disk_cache.create ~dir ()) cfg.cache_dir;
-    journal;
-    owns_journal;
-    recovery;
-    supervision = (match supervision with Some s -> s | None -> new_supervision ());
-    counters =
-      {
-        served = 0;
-        compiles = 0;
-        compile_ok = 0;
-        compile_failed = 0;
-        shed = 0;
-        stats_requests = 0;
-        health_requests = 0;
-        bad_requests = 0;
-        in_flight = 0;
-        busy = 0;
-        injected_drops = 0;
-        fast_served = 0;
-      };
-    mutex = Mutex.create ();
-    stopped = false;
-    draining = false;
-    conns = [];
-    started_at = Unix.gettimeofday ();
-    hot = Observe.Hitcount.create ();
-    upgrade_mutex = Mutex.create ();
-    upgrade_cond = Condition.create ();
-    upgrade_queue = [];
-    upgrade_stop = false;
-    upgrade_worker = None;
-    upgrades_queued = 0;
-    upgrades_done = 0;
-    upgrades_failed = 0;
-    last_active = 0.0;
-  }
+  let hot = Observe.Hitcount.create ~max_keys:hot_keys_cap () in
+  let profile_restored =
+    match cfg.state_dir with
+    | Some dir when cfg.tiered ->
+      Observe.Hitcount.load_into hot ~path:(profile_path dir)
+    | _ -> 0
+  in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      owns_listener;
+      (* the pool queue must outsize admission, so an admitted request never
+         blocks in [submit] behind the cap it was admitted under *)
+      pool =
+        Sched.Pool.create
+          ~queue_capacity:(max 1 (cfg.capacity + cfg.domains))
+          ~domains:cfg.domains ();
+      cache =
+        Sched.Cache.create ?max_entries:cfg.cache_max_entries
+          ?max_bytes:cfg.cache_max_bytes ~size_of:entry_bytes ();
+      disk =
+        Option.map
+          (fun dir ->
+            Sched.Disk_cache.create ~injector:cfg.injector
+              ?max_bytes:cfg.cache_max_bytes ~dir ())
+          cfg.cache_dir;
+      journal;
+      owns_journal;
+      recovery;
+      supervision;
+      counters =
+        {
+          served = 0;
+          compiles = 0;
+          compile_ok = 0;
+          compile_failed = 0;
+          shed = 0;
+          stats_requests = 0;
+          health_requests = 0;
+          bad_requests = 0;
+          in_flight = 0;
+          busy = 0;
+          injected_drops = 0;
+          fast_served = 0;
+          profile_saves = 0;
+        };
+      profile_restored;
+      mutex = Mutex.create ();
+      stopped = false;
+      draining = false;
+      conns = [];
+      started_at = Unix.gettimeofday ();
+      hot;
+      upgrade_mutex = Mutex.create ();
+      upgrade_cond = Condition.create ();
+      upgrade_queue = [];
+      upgrade_stop = false;
+      upgrade_worker = None;
+      upgrades_queued = 0;
+      upgrades_done = 0;
+      upgrades_failed = 0;
+      last_active = 0.0;
+    }
+  in
+  supervision.on_journal_rotate <- (fun () -> save_profile t);
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Stats and health                                                    *)
@@ -232,6 +302,55 @@ let health_json t =
         ]
        @
        match service_json t with J.Obj ms -> ms | _ -> []))
+
+(* The storage-governance view: every bound, ledger and breaker the
+   daemon runs under, one object (docs/API.md).  [quarantined] counts
+   both scrub-time and read-time digest failures. *)
+let storage_json t =
+  let opt_int name v =
+    match v with Some n -> [ (name, J.Int n) ] | None -> []
+  in
+  let cache_o =
+    [
+      ("entries", J.Int (Sched.Cache.length t.cache));
+      ("bytes", J.Int (Sched.Cache.bytes t.cache));
+      ("evictions", J.Int (Sched.Cache.evictions t.cache));
+    ]
+    @ opt_int "max_entries" (Sched.Cache.max_entries t.cache)
+    @ opt_int "max_bytes" (Sched.Cache.max_bytes t.cache)
+  in
+  let disk_o =
+    match t.disk with
+    | None -> [ ("enabled", J.Bool false) ]
+    | Some d ->
+      [
+        ("enabled", J.Bool true);
+        ("bytes", J.Int (Sched.Disk_cache.bytes d));
+        ("entries", J.Int (Sched.Disk_cache.entries d));
+        ("evictions", J.Int (Sched.Disk_cache.evictions d));
+        ("scrubbed", J.Int (Sched.Disk_cache.scrubbed d));
+        ("quarantined", J.Int (Sched.Disk_cache.corrupt d));
+        ("store_failures", J.Int (Sched.Disk_cache.store_failures d));
+        ("breaker_trips", J.Int (Sched.Disk_cache.breaker_trips d));
+        ("writes_disabled", J.Bool (Sched.Disk_cache.writes_disabled d));
+        ("swept_temps", J.Int (Sched.Disk_cache.swept d));
+      ]
+      @ opt_int "max_bytes" (Sched.Disk_cache.max_bytes d)
+  in
+  let journal_o =
+    [
+      ( "rotations",
+        J.Int (match t.journal with Some j -> Journal.rotations j | None -> 0)
+      );
+    ]
+    @ opt_int "max_bytes" t.cfg.journal_max_bytes
+  in
+  J.Obj
+    [
+      ("cache", J.Obj cache_o);
+      ("disk", J.Obj disk_o);
+      ("journal", J.Obj journal_o);
+    ]
 
 let stats_json t =
   let c, pool_stats =
@@ -301,7 +420,10 @@ let stats_json t =
                 ("upgrades_queued", J.Int queued);
                 ("upgrades_done", J.Int done_);
                 ("upgrades_failed", J.Int failed);
+                ("profile_restored", J.Int t.profile_restored);
+                ("profile_saves", J.Int c.profile_saves);
               ]) );
+         ("storage", storage_json t);
          ("service", service_json t);
        ])
 
@@ -760,6 +882,9 @@ let drain t =
     Journal.event j "drain"
       [ ("busy", J.Int (locked t (fun () -> t.counters.busy))) ]
   | None -> ());
+  (* checkpoint the hotness profile while the table is final: the next
+     tiered boot restores it and re-queues upgrades hottest-first *)
+  save_profile t;
   sever_connections t;
   join_connections t;
   (* pending upgrades are abandoned (their fast entries persist under the

@@ -59,20 +59,36 @@ type config = {
           (hottest key first, per-key {!Observe.Hitcount} counts) and
           atomically replace it.  Off by default: fast-tier answers are
           not byte-identical to one-shot [mompc] until the upgrade lands,
-          so the byte-identity gates run untiered. *)
+          so the byte-identity gates run untiered.  With a [state_dir],
+          the per-key hotness profile is checkpointed on drain and on
+          mid-life journal rotations, and reloaded at boot. *)
+  cache_max_entries : int option;
+      (** LRU entry cap on the in-memory result cache (evictions counted
+          in the [storage] stats section); [None] = unbounded. *)
+  cache_max_bytes : int option;
+      (** approximate-byte LRU cap on the in-memory result cache, and the
+          byte quota of the disk cache (oldest entries evicted on
+          store); [None] = unbounded. *)
+  journal_max_bytes : int option;
+      (** mid-life journal rotation cap ({!Journal.open_}); [None] =
+          rotate only at boot. *)
 }
 
 val default_config : config
 (** [./mompd.sock], 2 domains, capacity [4 * domains], no watchdog, no
     disk cache, no journal, no injected faults, 5s drain deadline, not
-    tiered. *)
+    tiered, every storage cap unbounded. *)
 
 (** Restart/breaker counters shared between a {!Supervisor} and every
-    incarnation it creates; read by [health] and [stats] answers. *)
+    incarnation it creates; read by [health] and [stats] answers.
+    [on_journal_rotate] is the current incarnation's profile-checkpoint
+    hook — the journal outlives servers, so its rotation callback
+    indirects through here. *)
 type supervision = {
   mutable restarts : int;
   mutable breaker_open : bool;
   mutable last_crash : string option;
+  mutable on_journal_rotate : unit -> unit;
 }
 
 val new_supervision : unit -> supervision
@@ -113,9 +129,13 @@ val stats_json : t -> Observe.Json.t
     by kind and outcome, shed count, cache hit/miss/entries, pool
     statistics, uptime, a ["tiers"] object (enabled flag, fast-tier
     answers served, distinct hot keys, upgrade queue depth and
-    queued/done/failed counts) and a ["service"] object (restarts,
-    breaker, draining, journal-replay counters, swept temp files,
-    injected drops). *)
+    queued/done/failed counts, profile keys restored at boot and
+    checkpoints written), a ["storage"] object (in-memory cache
+    entries/bytes/evictions + caps, disk-cache ledger bytes/entries,
+    evictions, scrub/quarantine counts, store failures, write-breaker
+    state, journal rotations — see docs/API.md) and a ["service"] object
+    (restarts, breaker, draining, journal-replay counters, swept temp
+    files, injected drops). *)
 
 val health_json : t -> Observe.Json.t
 (** The [health] answer (schema 2): ["status"] ("ok"/"draining"),

@@ -38,16 +38,21 @@ let create cfg =
      its backlog) survives every serve-loop crash, so clients connecting
      during a restart queue instead of failing. *)
   let listen_fd = Server.bind_listener cfg.server.Server.socket_path in
+  let supervision = Server.new_supervision () in
   let journal =
     match cfg.server.Server.state_dir with
     | None -> None
-    | Some dir -> Some (Journal.open_ ~dir)
+    | Some dir ->
+      Some
+        (Journal.open_ ?max_bytes:cfg.server.Server.journal_max_bytes
+           ~on_rotate:(fun () -> supervision.Server.on_journal_rotate ())
+           ~dir ())
   in
   {
     cfg;
     listen_fd;
     journal;
-    supervision = Server.new_supervision ();
+    supervision;
     mutex = Mutex.create ();
     current = None;
     stopping = false;

@@ -20,6 +20,7 @@ let () =
       ("service", Test_service.suite);
       ("resilience", Test_resilience.suite);
       ("fleet", Test_fleet.suite);
+      ("storage", Test_storage.suite);
       ("fuzz", Test_fuzz.suite);
       ("corpus", Test_corpus.suite);
     ]

@@ -60,6 +60,9 @@ let server_config ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir
     injector;
     drain_deadline_s;
     tiered = false;
+    cache_max_entries = None;
+    cache_max_bytes = None;
+    journal_max_bytes = None;
   }
 
 let check_same_compiled what (expected : A.compiled) (got : A.compiled) =
@@ -122,7 +125,7 @@ let test_journal_recovery_scan () =
          {|{"schema":2,"jv":99,"ev":"begin","seq":3}|};
          {|{"torn final wri|};
        ]);
-  let j, r = Service.Journal.open_ ~dir in
+  let j, r = Service.Journal.open_ ~dir () in
   Alcotest.(check int) "replayed ok" 1 r.Service.Journal.replayed_ok;
   Alcotest.(check int) "replayed failed" 1 r.Service.Journal.replayed_failed;
   Alcotest.(check int) "interrupted (begun, never settled)" 1
@@ -140,7 +143,7 @@ let test_journal_recovery_scan () =
   let seq = Service.Journal.begin_request j ~id:"x" ~op:"compile" ~key:"kx" in
   Service.Journal.settle_request j ~seq ~exit_code:0;
   Service.Journal.close j;
-  let _, r2 = Service.Journal.open_ ~dir in
+  let _, r2 = Service.Journal.open_ ~dir () in
   Alcotest.(check int) "second boot replays the settle" 1
     r2.Service.Journal.replayed_ok;
   Alcotest.(check int) "second boot sees nothing interrupted" 0

@@ -31,7 +31,7 @@ let fresh_socket =
 
 let with_server ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir ?state_dir
     ?(injector = Fault.Injector.none) ?(drain_deadline_s = 5.0)
-    ?(tiered = false) f =
+    ?(tiered = false) ?cache_max_entries ?cache_max_bytes ?journal_max_bytes f =
   let socket_path = fresh_socket () in
   let server =
     Service.Server.create
@@ -45,6 +45,9 @@ let with_server ?(domains = 2) ?(capacity = 8) ?watchdog_s ?cache_dir ?state_dir
         injector;
         drain_deadline_s;
         tiered;
+        cache_max_entries;
+        cache_max_bytes;
+        journal_max_bytes;
       }
   in
   let thread = Thread.create Service.Server.serve_forever server in

@@ -9,10 +9,10 @@
    Only deterministic simulator counters are gated: per-app barriers and
    the store counts summed over kernel launches (global + shared +
    local).  Both files must carry a schema-stamped "sched" section whose
-   pool executed every submitted job, and "corpus", "fleet" and "tiers"
-   sections that each recorded byte_identical=true (daemon,
-   sharded-router, and post-upgrade tiered answers matched the expected
-   in-process compilation bit for bit);
+   pool executed every submitted job, and "corpus", "fleet", "tiers" and
+   "storage" sections that each recorded byte_identical=true (daemon,
+   sharded-router, post-upgrade tiered, and governed-cache answers
+   matched the expected in-process compilation bit for bit);
    with [--min-speedup], the
    *committed baseline's* recorded sched.speedup must clear the bar — a
    regression there means someone committed a benchmark file from a run
@@ -122,6 +122,31 @@ let require_tiers path j =
            answers diverged from one-shot full-pipeline compilation)"
         path
     | None -> die "%s: tiers section without \"byte_identical\"" path)
+
+(* The storage section (bench/main.exe) must be present and itself
+   schema-stamped: eviction counts, cache footprints and the pressured
+   wall time are machine-local and never gated, but a governed cache
+   that served different bytes under eviction pressure — or a disk-full
+   store that leaked past the breaker — is a correctness bug, not a
+   perf number. *)
+let require_storage path j =
+  match Observe.Json.member "storage" j with
+  | None ->
+    die
+      "%s: no \"storage\" member (storage-governance section); regenerate \
+       it with a current bench/main.exe"
+      path
+  | Some s -> (
+    require_schema (path ^ ": storage") s;
+    let to_bool = function Observe.Json.Bool b -> Some b | _ -> None in
+    match Option.bind (Observe.Json.member "byte_identical" s) to_bool with
+    | Some true -> ()
+    | Some false ->
+      die "%s: storage section recorded byte_identical=false (governed \
+           caches diverged from ungoverned compilation, or the disk-full \
+           breaker failed to hold)"
+        path
+    | None -> die "%s: storage section without \"byte_identical\"" path)
 
 (* The scheduler section (bench/main.exe, `make perf`) must be present,
    itself schema-stamped, and internally consistent: a pool that executed
@@ -261,6 +286,8 @@ let () =
   require_fleet new_path next_json;
   require_tiers baseline_path base_json;
   require_tiers new_path next_json;
+  require_storage baseline_path base_json;
+  require_storage new_path next_json;
   let base_speedup = require_sched baseline_path base_json in
   ignore (require_sched new_path next_json);
   gate_speedup baseline_path base_speedup;

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Chaos/soak harness for the supervised compile service (docs/ROBUSTNESS.md).
 #
-# Four phases, CHAOS_ITERS iterations overall (default 200):
+# Five phases, CHAOS_ITERS iterations overall (default 200):
 #
 #   1. Supervised crash soak: a daemon under `--inject daemon-kill` crashes
 #      its serve loop on a deterministic fraction of accepts; a stream of
@@ -32,6 +32,14 @@
 #      the corpse, and the fleet document must show all shards back up
 #      with a respawn on the books (docs/FLEET.md).
 #
+#   5. Storage-governance soak: a fleet under `--inject disk-full` (half
+#      of all disk-cache stores fail as ENOSPC) and a tiny
+#      `--cache-max-bytes` quota, fed a rotating set of distinct sources
+#      so the caches churn.  Every reply must stay byte-identical to its
+#      one-shot reference (a full disk costs warm hits, never a reply),
+#      the shared cache directory must stay bounded by the per-shard
+#      quotas, and the router stats must surface the storage rollup.
+#
 # Zero non-taxonomy exits allowed anywhere: clients exit 0, the daemon
 # exits 0 on shutdown, and nothing ever dies on an unhandled exception.
 
@@ -42,13 +50,16 @@ MOMPD=${MOMPD:-_build/default/bin/mompd.exe}
 CHAOS_ITERS=${CHAOS_ITERS:-200}
 
 # iteration budget: half crash soak, a tenth kill -9 cycles (each costs a
-# daemon boot), a tenth fleet compiles around a shard SIGKILL, the rest
+# daemon boot), a tenth fleet compiles around a shard SIGKILL, a tenth
+# storage-governance compiles under disk-full injection, the rest
 # protocol fuzz lines
 P1=$((CHAOS_ITERS / 2))
 P2=$((CHAOS_ITERS / 10))
 P4=$((CHAOS_ITERS / 10))
 [ "$P4" -ge 4 ] || P4=4
-P3=$((CHAOS_ITERS - P1 - P2 - P4))
+P5=$((CHAOS_ITERS / 10))
+[ "$P5" -ge 6 ] || P5=6
+P3=$((CHAOS_ITERS - P1 - P2 - P4 - P5))
 [ "$P3" -ge 5 ] || P3=5
 
 WORK=$(mktemp -d)
@@ -278,16 +289,16 @@ RPID=$!
 
 # all three shards probed up before any traffic (or a kill) is aimed at them
 fleet_doc() { "$MOMPD" fleet --socket "$RSOCK" 2>/dev/null; }
-wait_fleet_up() {
+wait_fleet_up() { # $1 = expected shard count, $2 = router log
   i=0
-  while [ "$(fleet_doc | grep -c '"state": "up"')" -ne 3 ]; do
+  while [ "$(fleet_doc | grep -c '"state": "up"')" -ne "$1" ]; do
     i=$((i+1))
-    [ "$i" -gt 200 ] && fail "phase 4: fleet did not come up (see $WORK/router.log)"
-    kill -0 "$RPID" 2>/dev/null || fail "phase 4: router died: $(tail -5 "$WORK/router.log")"
+    [ "$i" -gt 200 ] && fail "fleet did not come up (see $2)"
+    kill -0 "$RPID" 2>/dev/null || fail "router died: $(tail -5 "$2")"
     sleep 0.1
   done
 }
-wait_fleet_up
+wait_fleet_up 3 "$WORK/router.log"
 
 n=0
 while [ "$n" -lt "$P4" ]; do
@@ -307,16 +318,19 @@ while [ "$n" -lt "$P4" ]; do
   n=$((n+1))
 done
 
-# the monitor must have respawned the corpse and probed it back up
+# The monitor must have respawned the corpse and probed it back up.  Both
+# conditions poll together: right after the kill the fleet document can
+# still show three stale "up" states from probes that predate the SIGKILL,
+# so requiring 3-up alone would pass before the monitor has even noticed
+# the death (and the respawn counter would then read 0).
 i=0
 until fleet_doc > "$WORK/fleet.json" \
-      && [ "$(grep -c '"state": "up"' "$WORK/fleet.json")" -eq 3 ]; do
+      && [ "$(grep -c '"state": "up"' "$WORK/fleet.json")" -eq 3 ] \
+      && grep -q '"respawns": [1-9]' "$WORK/fleet.json"; do
   i=$((i+1))
-  [ "$i" -gt 100 ] && fail "phase 4: killed shard never came back up: $(cat "$WORK/fleet.json")"
+  [ "$i" -gt 100 ] && fail "phase 4: killed shard never respawned and came back up: $(cat "$WORK/fleet.json")"
   sleep 0.1
 done
-grep -q '"respawns": [1-9]' "$WORK/fleet.json" \
-  || fail "phase 4: no shard recorded a respawn after kill -9: $(cat "$WORK/fleet.json")"
 "$MOMPD" health --socket "$RSOCK" | grep -q '"shards_up": 3' \
   || fail "phase 4: router health does not report 3 shards up"
 
@@ -325,4 +339,62 @@ wait "$RPID" || fail "phase 4: router exited nonzero after shutdown"
 RPID=
 [ ! -e "$RSOCK" ] || fail "phase 4: router left its socket file behind"
 
-echo "chaos-soak: OK ($P1 compiles over crash injection, $P2 kill -9 cycles, $P3 fuzz lines, $P4 fleet compiles around a shard kill -9; zero non-taxonomy exits)"
+# --- phase 5: storage governance under disk-full injection -------------------
+
+echo "chaos-soak: phase 5: $P5 compiles under disk-full injection and a tiny cache quota" >&2
+
+# a rotating set of distinct sources, so the byte-capped caches actually
+# churn (one source would be a single key: no eviction pressure at all)
+NVAR=6
+v=0
+while [ "$v" -lt "$NVAR" ]; do
+  sed "s/num_teams(2)/num_teams($((v + 2)))/" "$WORK/input.c" > "$WORK/v$v.c"
+  "$MOMPC" -O --run "$WORK/v$v.c" > "$WORK/ref$v.out" 2> "$WORK/ref$v.err" \
+    || fail "phase 5: one-shot reference compile of variant $v failed"
+  v=$((v+1))
+done
+
+QUOTA=4096
+P5SHARDS=2
+"$MOMPD" route --socket "$RSOCK" --shards "$P5SHARDS" -j 2 \
+  --fleet-dir "$WORK/fleet5" --cache-dir "$WORK/p5-cache" \
+  --cache-max-bytes "$QUOTA" --inject disk-full:0.5:9 \
+  --probe-interval 0.05 \
+  2> "$WORK/router5.log" &
+RPID=$!
+wait_fleet_up "$P5SHARDS" "$WORK/router5.log"
+
+n=0
+while [ "$n" -lt "$P5" ]; do
+  v=$((n % NVAR))
+  "$MOMPC" -O --run --daemon "$RSOCK" "$WORK/v$v.c" \
+    > "$WORK/p5.out" 2> "$WORK/p5.err" \
+    || fail "phase 5 iter $n: client exited $? under disk-full injection"
+  cmp -s "$WORK/ref$v.out" "$WORK/p5.out" || fail "phase 5 iter $n: stdout differs"
+  cmp -s "$WORK/ref$v.err" "$WORK/p5.err" || fail "phase 5 iter $n: stderr differs"
+  n=$((n+1))
+done
+
+# the shared directory is bounded: each shard enforces its own quota over
+# its own ledger, so the worst case is shards x quota plus one in-flight
+# temp file's worth of slack
+DU=$(du -sb "$WORK/p5-cache" 2>/dev/null | cut -f1)
+[ -n "$DU" ] || DU=$(( $(du -sk "$WORK/p5-cache" | cut -f1) * 1024 ))
+LIMIT=$((P5SHARDS * QUOTA + QUOTA))
+[ "$DU" -le "$LIMIT" ] \
+  || fail "phase 5: cache dir grew past the quota: ${DU}B on disk, limit ${LIMIT}B"
+
+# the router's stats document must roll the shards' storage sections up
+"$MOMPD" stats --socket "$RSOCK" > "$WORK/stats5.json" \
+  || fail "phase 5: router stats failed"
+grep -q '"storage"' "$WORK/stats5.json" \
+  || fail "phase 5: router stats carry no storage rollup"
+grep -q '"shards_reporting": '"$P5SHARDS" "$WORK/stats5.json" \
+  || fail "phase 5: storage rollup missing shards: $(cat "$WORK/stats5.json")"
+
+"$MOMPD" shutdown --socket "$RSOCK" || fail "phase 5: router shutdown failed"
+wait "$RPID" || fail "phase 5: router exited nonzero after shutdown"
+RPID=
+[ ! -e "$RSOCK" ] || fail "phase 5: router left its socket file behind"
+
+echo "chaos-soak: OK ($P1 compiles over crash injection, $P2 kill -9 cycles, $P3 fuzz lines, $P4 fleet compiles around a shard kill -9, $P5 compiles under disk-full injection; zero non-taxonomy exits)"
